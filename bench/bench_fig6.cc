@@ -1,0 +1,80 @@
+/// \file bench_fig6.cc
+/// \brief Reproduces Figure 6: downstream metric as the number of query
+/// templates grows from 1 to 8 (5 queries per template), per dataset and
+/// model.
+///
+/// Expected shape: mostly non-decreasing curves; deep models benefit most
+/// from additional templates (they synthesize feature interactions), while
+/// traditional models plateau early.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/str_util.h"
+
+namespace featlib {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  const std::vector<std::string> datasets =
+      config.datasets.empty()
+          ? std::vector<std::string>{"tmall", "instacart", "student", "merchant"}
+          : config.datasets;
+  const std::vector<ModelKind> models =
+      config.models.empty()
+          ? std::vector<ModelKind>{ModelKind::kLogisticRegression, ModelKind::kXgb}
+          : config.models;
+  const std::vector<int> template_counts =
+      config.fast ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 6, 8};
+
+  std::printf("Figure 6 reproduction — metric vs number of query templates\n");
+  std::printf("rows=%zu repeats=%d%s\n", config.rows, config.repeats,
+              config.fast ? " (fast mode)" : "");
+
+  for (const auto& name : datasets) {
+    auto bundle = MakeBundle(name, config);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "bundle %s: %s\n", name.c_str(),
+                   bundle.status().ToString().c_str());
+      return 1;
+    }
+    const DatasetBundle& b = bundle.value();
+    PrintHeader("Fig. 6 — " + name + " (" + MetricNameFor(b) + ")");
+    std::vector<std::string> header;
+    for (int n : template_counts) header.push_back(StrFormat("T=%d", n));
+    PrintRow("model", header);
+    for (ModelKind model : models) {
+      std::vector<std::string> cells;
+      for (int n_templates : template_counts) {
+        MethodBudget budget = MakeBudget(config, model);
+        budget.n_templates = n_templates;
+        std::vector<double> values;
+        bool ok = true;
+        for (int r = 0; r < config.repeats; ++r) {
+          auto cell = RunFeatAug(b, model, FeatAugVariant::kFull,
+                                 ProxyKind::kMutualInformation, budget,
+                                 config.seed + 97 * r);
+          if (!cell.ok()) {
+            ok = false;
+            break;
+          }
+          values.push_back(cell.value().metric);
+        }
+        cells.push_back(ok ? FormatMetric(MeanMetric(values)) : "X");
+      }
+      PrintRow(ModelKindToString(model), cells);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace featlib
+
+int main(int argc, char** argv) {
+  featlib::bench::BenchConfig config;
+  if (!featlib::bench::ParseBenchArgs(argc, argv, &config)) return 2;
+  return featlib::bench::Run(config);
+}

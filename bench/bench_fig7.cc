@@ -1,0 +1,69 @@
+/// \file bench_fig7.cc
+/// \brief Reproduces Figure 7: FeatAug runtime split (QTI / Warm-up /
+/// Generate) as the relevant table widens (the paper's Student-Wide
+/// horizontal duplication, 20..100 columns).
+///
+/// Expected shape: QTI time grows with the column count (more candidate
+/// attributes per layer); warm-up and generate times stay roughly flat.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/str_util.h"
+
+namespace featlib {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  const std::vector<ModelKind> models =
+      config.models.empty()
+          ? std::vector<ModelKind>{ModelKind::kLogisticRegression}
+          : config.models;
+  // Capped at 63 total candidate attributes — TemplateIdentifier's lattice
+  // node is a 64-bit mask (the paper's widest real attr set is 20).
+  const std::vector<size_t> extra_cols =
+      config.fast ? std::vector<size_t>{0, 16, 32}
+                  : std::vector<size_t>{0, 12, 24, 36, 48};
+
+  std::printf("Figure 7 reproduction — runtime vs #columns in R (Student-Wide)\n");
+  std::printf("rows=%zu%s\n", config.rows, config.fast ? " (fast mode)" : "");
+
+  for (ModelKind model : models) {
+    PrintHeader(std::string("Fig. 7 — model ") + ModelKindToString(model));
+    PrintRow("cols(R)", {"qti_s", "warmup_s", "generate_s", "total_s"});
+    for (size_t extra : extra_cols) {
+      SyntheticOptions data_options;
+      data_options.n_train = config.rows;
+      data_options.avg_logs_per_entity = config.logs_per_entity;
+      data_options.seed = config.seed;
+      data_options.extra_numeric_cols = extra;
+      DatasetBundle bundle = MakeStudent(data_options);
+      const MethodBudget budget = MakeBudget(config, model);
+      auto cell = RunFeatAug(bundle, model, FeatAugVariant::kFull,
+                             ProxyKind::kMutualInformation, budget, config.seed);
+      if (!cell.ok()) {
+        PrintRow(StrFormat("%zu", bundle.relevant.num_columns()), {"X"});
+        continue;
+      }
+      const CellResult& c = cell.value();
+      PrintRow(StrFormat("%zu", bundle.relevant.num_columns()),
+               {StrFormat("%.2f", c.qti_seconds),
+                StrFormat("%.2f", c.warmup_seconds),
+                StrFormat("%.2f", c.generate_seconds),
+                StrFormat("%.2f",
+                          c.qti_seconds + c.warmup_seconds + c.generate_seconds)});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace featlib
+
+int main(int argc, char** argv) {
+  featlib::bench::BenchConfig config;
+  if (!featlib::bench::ParseBenchArgs(argc, argv, &config)) return 2;
+  return featlib::bench::Run(config);
+}

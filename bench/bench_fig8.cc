@@ -1,0 +1,71 @@
+/// \file bench_fig8.cc
+/// \brief Reproduces Figure 8: FeatAug runtime split (QTI / Warm-up /
+/// Generate) as the training table D grows (row-count sweep per dataset).
+///
+/// Expected shape: warm-up time grows roughly linearly with |D| (the MI
+/// proxy touches every training row); generate time grows with model
+/// training cost (super-linear for the heavier models).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/str_util.h"
+
+namespace featlib {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  const std::vector<std::string> datasets =
+      config.datasets.empty()
+          ? std::vector<std::string>{"tmall", "instacart", "student", "merchant"}
+          : config.datasets;
+  const std::vector<ModelKind> models =
+      config.models.empty()
+          ? std::vector<ModelKind>{ModelKind::kLogisticRegression}
+          : config.models;
+  const std::vector<double> scales =
+      config.fast ? std::vector<double>{0.5, 1.0}
+                  : std::vector<double>{0.4, 0.8, 1.2, 1.6, 2.0};
+
+  std::printf("Figure 8 reproduction — runtime vs #rows in training table D\n");
+  std::printf("base rows=%zu%s\n", config.rows, config.fast ? " (fast mode)" : "");
+
+  for (const auto& name : datasets) {
+    for (ModelKind model : models) {
+      PrintHeader("Fig. 8 — " + name + ", model " + ModelKindToString(model));
+      PrintRow("rows(D)", {"qti_s", "warmup_s", "generate_s", "total_s"});
+      for (double scale : scales) {
+        BenchConfig scaled = config;
+        scaled.rows = static_cast<size_t>(static_cast<double>(config.rows) * scale);
+        auto bundle = MakeBundle(name, scaled);
+        if (!bundle.ok()) return 1;
+        const MethodBudget budget = MakeBudget(config, model);
+        auto cell = RunFeatAug(bundle.value(), model, FeatAugVariant::kFull,
+                               ProxyKind::kMutualInformation, budget, config.seed);
+        if (!cell.ok()) {
+          PrintRow(StrFormat("%zu", scaled.rows), {"X"});
+          continue;
+        }
+        const CellResult& c = cell.value();
+        PrintRow(StrFormat("%zu", scaled.rows),
+                 {StrFormat("%.2f", c.qti_seconds),
+                  StrFormat("%.2f", c.warmup_seconds),
+                  StrFormat("%.2f", c.generate_seconds),
+                  StrFormat("%.2f", c.qti_seconds + c.warmup_seconds +
+                                        c.generate_seconds)});
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace featlib
+
+int main(int argc, char** argv) {
+  featlib::bench::BenchConfig config;
+  if (!featlib::bench::ParseBenchArgs(argc, argv, &config)) return 2;
+  return featlib::bench::Run(config);
+}

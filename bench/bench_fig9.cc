@@ -1,0 +1,71 @@
+/// \file bench_fig9.cc
+/// \brief Reproduces Figure 9: FeatAug runtime split (QTI / Warm-up /
+/// Generate) as the relevant table R grows (log-volume sweep; |D| fixed).
+///
+/// Expected shape: QTI and warm-up times grow roughly linearly with |R|
+/// (every query execution scans R); generate time tracks model training and
+/// moves little.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/str_util.h"
+
+namespace featlib {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  const std::vector<std::string> datasets =
+      config.datasets.empty() ? std::vector<std::string>{"student", "merchant"}
+                              : config.datasets;
+  const std::vector<ModelKind> models =
+      config.models.empty()
+          ? std::vector<ModelKind>{ModelKind::kLogisticRegression}
+          : config.models;
+  const std::vector<double> scales =
+      config.fast ? std::vector<double>{0.5, 1.0}
+                  : std::vector<double>{0.5, 1.0, 2.0, 3.0, 4.0};
+
+  std::printf("Figure 9 reproduction — runtime vs #rows in relevant table R\n");
+  std::printf("rows(D)=%zu base logs=%.0f%s\n", config.rows,
+              config.logs_per_entity, config.fast ? " (fast mode)" : "");
+
+  for (const auto& name : datasets) {
+    for (ModelKind model : models) {
+      PrintHeader("Fig. 9 — " + name + ", model " + ModelKindToString(model));
+      PrintRow("rows(R)", {"qti_s", "warmup_s", "generate_s", "total_s"});
+      for (double scale : scales) {
+        BenchConfig scaled = config;
+        scaled.logs_per_entity = config.logs_per_entity * scale;
+        auto bundle = MakeBundle(name, scaled);
+        if (!bundle.ok()) return 1;
+        const MethodBudget budget = MakeBudget(config, model);
+        auto cell = RunFeatAug(bundle.value(), model, FeatAugVariant::kFull,
+                               ProxyKind::kMutualInformation, budget, config.seed);
+        if (!cell.ok()) {
+          PrintRow("?", {"X"});
+          continue;
+        }
+        const CellResult& c = cell.value();
+        PrintRow(StrFormat("%zu", bundle.value().relevant.num_rows()),
+                 {StrFormat("%.2f", c.qti_seconds),
+                  StrFormat("%.2f", c.warmup_seconds),
+                  StrFormat("%.2f", c.generate_seconds),
+                  StrFormat("%.2f", c.qti_seconds + c.warmup_seconds +
+                                        c.generate_seconds)});
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace featlib
+
+int main(int argc, char** argv) {
+  featlib::bench::BenchConfig config;
+  if (!featlib::bench::ParseBenchArgs(argc, argv, &config)) return 2;
+  return featlib::bench::Run(config);
+}

@@ -1,0 +1,149 @@
+/// \file bench_micro.cc
+/// \brief google-benchmark micro-benchmarks for the substrate primitives on
+/// FeatAug's hot path: predicate filtering, group-by aggregation, the full
+/// feature materialization (filter + group + aggregate + join), mutual
+/// information, and one TPE suggest/observe step.
+
+#include <benchmark/benchmark.h>
+
+#include "core/codec.h"
+#include "data/synthetic.h"
+#include "data/multi_table_data.h"
+#include "hpo/tpe.h"
+#include "query/sql_parser.h"
+#include "query/executor.h"
+#include "stats/stats.h"
+
+namespace featlib {
+namespace {
+
+const DatasetBundle& SharedBundle() {
+  static const DatasetBundle* bundle = [] {
+    SyntheticOptions options;
+    options.n_train = 2000;
+    options.avg_logs_per_entity = 15;
+    options.seed = 42;
+    return new DatasetBundle(MakeTmall(options));
+  }();
+  return *bundle;
+}
+
+void BM_PredicateFilter(benchmark::State& state) {
+  const DatasetBundle& b = SharedBundle();
+  const auto filter =
+      CompiledFilter::Compile(SharedBundle().golden_query.predicates, b.relevant);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.value().Apply());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(b.relevant.num_rows()));
+}
+BENCHMARK(BM_PredicateFilter);
+
+void BM_GroupByAggregate(benchmark::State& state) {
+  const DatasetBundle& b = SharedBundle();
+  AggQuery q = b.golden_query;
+  q.predicates.clear();
+  q.agg = static_cast<AggFunction>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecuteAggQuery(q, b.relevant));
+  }
+  state.SetLabel(AggFunctionName(q.agg));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(b.relevant.num_rows()));
+}
+BENCHMARK(BM_GroupByAggregate)
+    ->Arg(static_cast<int>(AggFunction::kSum))
+    ->Arg(static_cast<int>(AggFunction::kAvg))
+    ->Arg(static_cast<int>(AggFunction::kCountDistinct))
+    ->Arg(static_cast<int>(AggFunction::kMedian))
+    ->Arg(static_cast<int>(AggFunction::kEntropy));
+
+void BM_FeatureMaterialization(benchmark::State& state) {
+  const DatasetBundle& b = SharedBundle();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeFeatureColumn(b.golden_query, b.training, b.relevant));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(b.relevant.num_rows()));
+}
+BENCHMARK(BM_FeatureMaterialization);
+
+void BM_MutualInformation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    y[i] = x[i] > 0 ? 1.0 : 0.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MutualInformation(x, y, true));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MutualInformation)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TpeSuggestObserve(benchmark::State& state) {
+  const DatasetBundle& b = SharedBundle();
+  auto codec = QueryVectorCodec::Create(b.golden_template, b.relevant);
+  TpeOptions options;
+  options.seed = 3;
+  Tpe tpe(codec.value().space(), options);
+  Rng rng(4);
+  // Pre-populate history so Suggest exercises the surrogate path.
+  for (int i = 0; i < 64; ++i) {
+    ParamVector v = codec.value().space().Sample(&rng);
+    tpe.Observe(v, rng.Normal());
+  }
+  for (auto _ : state) {
+    ParamVector v = tpe.Suggest();
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_TpeSuggestObserve);
+
+void BM_QueryVectorDecode(benchmark::State& state) {
+  const DatasetBundle& b = SharedBundle();
+  auto codec = QueryVectorCodec::Create(b.golden_template, b.relevant);
+  Rng rng(5);
+  ParamVector v = codec.value().space().Sample(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.value().Decode(v));
+  }
+}
+BENCHMARK(BM_QueryVectorDecode);
+
+void BM_SqlParse(benchmark::State& state) {
+  const DatasetBundle& b = SharedBundle();
+  const std::string sql = b.golden_query.ToSql("relevant", b.relevant);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseAggQuerySql(sql));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sql.size()));
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_FlattenRelevant(benchmark::State& state) {
+  SyntheticOptions options;
+  options.n_train = static_cast<size_t>(state.range(0));
+  options.avg_logs_per_entity = 10;
+  options.seed = 11;
+  const MultiTableBundle bundle = MakeInstacartMultiTable(options);
+  auto graph = bundle.BuildGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.value().FlattenRelevant("order_items"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bundle.order_items.num_rows()));
+}
+BENCHMARK(BM_FlattenRelevant)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace featlib
+
+BENCHMARK_MAIN();

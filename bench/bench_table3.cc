@@ -1,0 +1,100 @@
+/// \file bench_table3.cc
+/// \brief Reproduces Table III: overall performance on the four one-to-many
+/// datasets (Tmall, Instacart, Student AUC; Merchant RMSE) across LR, XGB,
+/// RF and DeepFM, for Featuretools (+7 selectors), Random and FeatAug.
+///
+/// Expected shape (paper): FeatAug tops most (dataset, model) cells;
+/// Featuretools variants cluster below because their query space has no
+/// predicates and the planted signal is predicate-gated.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace featlib {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  const std::vector<std::string> datasets =
+      config.datasets.empty()
+          ? std::vector<std::string>{"tmall", "instacart", "student", "merchant"}
+          : config.datasets;
+  const std::vector<ModelKind> models =
+      config.models.empty()
+          ? std::vector<ModelKind>{ModelKind::kLogisticRegression, ModelKind::kXgb,
+                                   ModelKind::kRandomForest, ModelKind::kDeepFm}
+          : config.models;
+  const std::vector<SelectorKind> selectors = {
+      SelectorKind::kNone,    SelectorKind::kLr,   SelectorKind::kGbdt,
+      SelectorKind::kMi,      SelectorKind::kChi2, SelectorKind::kGini,
+      SelectorKind::kForward, SelectorKind::kBackward};
+
+  std::printf("Table III reproduction — one-to-many datasets\n");
+  std::printf("rows=%zu logs=%.0f features=%d repeats=%d%s\n", config.rows,
+              config.logs_per_entity, config.n_features, config.repeats,
+              config.fast ? " (fast mode)" : "");
+
+  for (ModelKind model : models) {
+    PrintHeader(std::string("Table III — downstream model ") +
+                ModelKindToString(model));
+    std::vector<std::string> header = {"method"};
+    std::vector<DatasetBundle> bundles;
+    for (const auto& name : datasets) {
+      auto bundle = MakeBundle(name, config);
+      if (!bundle.ok()) {
+        std::fprintf(stderr, "bundle %s: %s\n", name.c_str(),
+                     bundle.status().ToString().c_str());
+        return 1;
+      }
+      header.push_back(name + "(" + MetricNameFor(bundle.value()) + ")");
+      bundles.push_back(std::move(bundle).ValueOrDie());
+    }
+    PrintRow(header[0], {header.begin() + 1, header.end()});
+
+    const MethodBudget budget = MakeBudget(config, model);
+    auto run_method = [&](const std::string& label, auto&& fn) {
+      std::vector<std::string> cells;
+      for (const auto& bundle : bundles) {
+        std::vector<double> values;
+        bool supported = true;
+        for (int r = 0; r < config.repeats; ++r) {
+          auto cell = fn(bundle, config.seed + 97 * r);
+          if (!cell.ok()) {
+            supported = false;
+            break;
+          }
+          values.push_back(cell.value().metric);
+        }
+        cells.push_back(supported ? FormatMetric(MeanMetric(values)) : "-");
+      }
+      PrintRow(label, cells);
+    };
+
+    for (SelectorKind selector : selectors) {
+      run_method(SelectorKindToString(selector),
+                 [&](const DatasetBundle& bundle, uint64_t seed) {
+                   return RunFeaturetools(bundle, model, selector, budget,
+                                          config.n_features, seed);
+                 });
+    }
+    run_method("Random", [&](const DatasetBundle& bundle, uint64_t seed) {
+      return RunRandom(bundle, model, budget, config.n_features, seed);
+    });
+    run_method("FeatAug", [&](const DatasetBundle& bundle, uint64_t seed) {
+      return RunFeatAug(bundle, model, FeatAugVariant::kFull,
+                        ProxyKind::kMutualInformation, budget, seed);
+    });
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace featlib
+
+int main(int argc, char** argv) {
+  featlib::bench::BenchConfig config;
+  if (!featlib::bench::ParseBenchArgs(argc, argv, &config)) return 2;
+  return featlib::bench::Run(config);
+}

@@ -1,0 +1,108 @@
+/// \file bench_table6.cc
+/// \brief Reproduces Table VI: single-table / one-to-one relationship
+/// datasets (Covtype, Household; macro-F1) across LR, XGB, RF, adding the
+/// one-to-one baselines ARDA and AutoFeature (MAB / DQN). DeepFM is omitted
+/// as in the paper (multi-class tasks).
+///
+/// Expected shape: FeatAug competitive or best in most cells; ARDA /
+/// AutoFeature strong since the signal attributes are directly joinable.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace featlib {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  const std::vector<std::string> datasets =
+      config.datasets.empty() ? std::vector<std::string>{"covtype", "household"}
+                              : config.datasets;
+  const std::vector<ModelKind> models =
+      config.models.empty()
+          ? std::vector<ModelKind>{ModelKind::kLogisticRegression, ModelKind::kXgb,
+                                   ModelKind::kRandomForest}
+          : config.models;
+  const std::vector<SelectorKind> selectors = {
+      SelectorKind::kNone, SelectorKind::kLr,   SelectorKind::kGbdt,
+      SelectorKind::kMi,   SelectorKind::kChi2, SelectorKind::kGini};
+
+  std::printf("Table VI reproduction — single-table / one-to-one datasets\n");
+  std::printf("rows=%zu features=%d repeats=%d%s\n", config.rows,
+              config.n_features, config.repeats, config.fast ? " (fast mode)" : "");
+
+  for (ModelKind model : models) {
+    PrintHeader(std::string("Table VI — downstream model ") +
+                ModelKindToString(model));
+    std::vector<std::string> header = {"method"};
+    std::vector<DatasetBundle> bundles;
+    for (const auto& name : datasets) {
+      auto bundle = MakeBundle(name, config);
+      if (!bundle.ok()) {
+        std::fprintf(stderr, "bundle %s: %s\n", name.c_str(),
+                     bundle.status().ToString().c_str());
+        return 1;
+      }
+      header.push_back(name + "(" + MetricNameFor(bundle.value()) + ")");
+      bundles.push_back(std::move(bundle).ValueOrDie());
+    }
+    PrintRow(header[0], {header.begin() + 1, header.end()});
+
+    const MethodBudget budget = MakeBudget(config, model);
+    auto run_method = [&](const std::string& label, auto&& fn) {
+      std::vector<std::string> cells;
+      for (const auto& bundle : bundles) {
+        std::vector<double> values;
+        bool ok = true;
+        for (int r = 0; r < config.repeats; ++r) {
+          auto cell = fn(bundle, config.seed + 97 * r);
+          if (!cell.ok()) {
+            ok = false;
+            break;
+          }
+          values.push_back(cell.value().metric);
+        }
+        cells.push_back(ok ? FormatMetric(MeanMetric(values)) : "-");
+      }
+      PrintRow(label, cells);
+    };
+
+    for (SelectorKind selector : selectors) {
+      run_method(SelectorKindToString(selector),
+                 [&](const DatasetBundle& bundle, uint64_t seed) {
+                   return RunFeaturetools(bundle, model, selector, budget,
+                                          config.n_features, seed);
+                 });
+    }
+    run_method("ARDA", [&](const DatasetBundle& bundle, uint64_t seed) {
+      return RunArda(bundle, model, config.n_features, seed);
+    });
+    run_method("AutoFeat-MAB", [&](const DatasetBundle& bundle, uint64_t seed) {
+      return RunAutoFeature(bundle, model, AutoFeaturePolicy::kMab,
+                            config.n_features, budget, seed);
+    });
+    run_method("AutoFeat-DQN", [&](const DatasetBundle& bundle, uint64_t seed) {
+      return RunAutoFeature(bundle, model, AutoFeaturePolicy::kDqn,
+                            config.n_features, budget, seed);
+    });
+    run_method("Random", [&](const DatasetBundle& bundle, uint64_t seed) {
+      return RunRandom(bundle, model, budget, config.n_features, seed);
+    });
+    run_method("FeatAug", [&](const DatasetBundle& bundle, uint64_t seed) {
+      return RunFeatAug(bundle, model, FeatAugVariant::kFull,
+                        ProxyKind::kMutualInformation, budget, seed);
+    });
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace featlib
+
+int main(int argc, char** argv) {
+  featlib::bench::BenchConfig config;
+  if (!featlib::bench::ParseBenchArgs(argc, argv, &config)) return 2;
+  return featlib::bench::Run(config);
+}

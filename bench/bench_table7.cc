@@ -1,0 +1,86 @@
+/// \file bench_table7.cc
+/// \brief Reproduces Table VII: ablation of FeatAug's two optimizations —
+/// NoQTI (single user-provided template instead of Query Template
+/// Identification) and NoWU (plain TPE with the warm-up's model-evaluation
+/// budget folded in, per §VII.D.1) — against the full system.
+///
+/// Expected shape: Full >= NoWU >> NoQTI on most cells (QTI contributes the
+/// most; warm-up adds a smaller consistent gain).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace featlib {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  const std::vector<std::string> datasets =
+      config.datasets.empty()
+          ? std::vector<std::string>{"tmall", "instacart", "student", "merchant"}
+          : config.datasets;
+  const std::vector<ModelKind> models =
+      config.models.empty()
+          ? std::vector<ModelKind>{ModelKind::kLogisticRegression, ModelKind::kXgb,
+                                   ModelKind::kRandomForest, ModelKind::kDeepFm}
+          : config.models;
+  const std::vector<std::pair<FeatAugVariant, const char*>> variants = {
+      {FeatAugVariant::kNoQti, "FeatAug(NoQTI)"},
+      {FeatAugVariant::kNoWarmup, "FeatAug(NoWU)"},
+      {FeatAugVariant::kFull, "FeatAug(Full)"}};
+
+  std::printf("Table VII reproduction — ablation study\n");
+  std::printf("rows=%zu features=%d repeats=%d%s\n", config.rows,
+              config.n_features, config.repeats, config.fast ? " (fast mode)" : "");
+
+  for (ModelKind model : models) {
+    PrintHeader(std::string("Table VII — downstream model ") +
+                ModelKindToString(model));
+    std::vector<std::string> header = {"variant"};
+    std::vector<DatasetBundle> bundles;
+    for (const auto& name : datasets) {
+      auto bundle = MakeBundle(name, config);
+      if (!bundle.ok()) {
+        std::fprintf(stderr, "bundle %s: %s\n", name.c_str(),
+                     bundle.status().ToString().c_str());
+        return 1;
+      }
+      header.push_back(name + "(" + MetricNameFor(bundle.value()) + ")");
+      bundles.push_back(std::move(bundle).ValueOrDie());
+    }
+    PrintRow(header[0], {header.begin() + 1, header.end()});
+
+    const MethodBudget budget = MakeBudget(config, model);
+    for (const auto& [variant, label] : variants) {
+      std::vector<std::string> cells;
+      for (const auto& bundle : bundles) {
+        std::vector<double> values;
+        bool ok = true;
+        for (int r = 0; r < config.repeats; ++r) {
+          auto cell = RunFeatAug(bundle, model, variant,
+                                 ProxyKind::kMutualInformation, budget,
+                                 config.seed + 97 * r);
+          if (!cell.ok()) {
+            ok = false;
+            break;
+          }
+          values.push_back(cell.value().metric);
+        }
+        cells.push_back(ok ? FormatMetric(MeanMetric(values)) : "-");
+      }
+      PrintRow(label, cells);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace featlib
+
+int main(int argc, char** argv) {
+  featlib::bench::BenchConfig config;
+  if (!featlib::bench::ParseBenchArgs(argc, argv, &config)) return 2;
+  return featlib::bench::Run(config);
+}

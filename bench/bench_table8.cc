@@ -1,0 +1,79 @@
+/// \file bench_table8.cc
+/// \brief Reproduces Table VIII: sensitivity of FeatAug to the low-cost
+/// proxy — Spearman correlation (SC), mutual information (MI) and a mini
+/// logistic/linear-regression model (LR) — across datasets and models.
+///
+/// Expected shape: MI best in the majority of cells, SC competitive, LR
+/// proxy weakest (its performance transfers poorly to other model classes).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace featlib {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  const std::vector<std::string> datasets =
+      config.datasets.empty()
+          ? std::vector<std::string>{"tmall", "instacart", "student", "merchant"}
+          : config.datasets;
+  const std::vector<ModelKind> models =
+      config.models.empty()
+          ? std::vector<ModelKind>{ModelKind::kLogisticRegression, ModelKind::kXgb,
+                                   ModelKind::kRandomForest, ModelKind::kDeepFm}
+          : config.models;
+  const std::vector<std::pair<ProxyKind, const char*>> proxies = {
+      {ProxyKind::kSpearman, "SC"},
+      {ProxyKind::kMutualInformation, "MI"},
+      {ProxyKind::kLogisticRegression, "LR"}};
+
+  std::printf("Table VIII reproduction — low-cost proxy sweep\n");
+  std::printf("rows=%zu features=%d repeats=%d%s\n", config.rows,
+              config.n_features, config.repeats, config.fast ? " (fast mode)" : "");
+
+  for (const auto& name : datasets) {
+    auto bundle = MakeBundle(name, config);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "bundle %s: %s\n", name.c_str(),
+                   bundle.status().ToString().c_str());
+      return 1;
+    }
+    const DatasetBundle& b = bundle.value();
+    PrintHeader("Table VIII — dataset " + name + " (" + MetricNameFor(b) + ")");
+    std::vector<std::string> header;
+    for (ModelKind model : models) header.push_back(ModelKindToString(model));
+    PrintRow("proxy", header);
+    for (const auto& [proxy, label] : proxies) {
+      std::vector<std::string> cells;
+      for (ModelKind model : models) {
+        const MethodBudget budget = MakeBudget(config, model);
+        std::vector<double> values;
+        bool ok = true;
+        for (int r = 0; r < config.repeats; ++r) {
+          auto cell = RunFeatAug(b, model, FeatAugVariant::kFull, proxy, budget,
+                                 config.seed + 97 * r);
+          if (!cell.ok()) {
+            ok = false;
+            break;
+          }
+          values.push_back(cell.value().metric);
+        }
+        cells.push_back(ok ? FormatMetric(MeanMetric(values)) : "-");
+      }
+      PrintRow(label, cells);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace featlib
+
+int main(int argc, char** argv) {
+  featlib::bench::BenchConfig config;
+  if (!featlib::bench::ParseBenchArgs(argc, argv, &config)) return 2;
+  return featlib::bench::Run(config);
+}

@@ -1,0 +1,205 @@
+/// \file feataug_cli.cpp
+/// \brief Command-line FeatAug: augment a CSV training table from a CSV
+/// relevant table and write the augmented CSV plus the discovered SQL.
+///
+///   feataug_cli --train=D.csv --relevant=R.csv --label=label
+///               --fk=user_id[,merchant_id] --out=augmented.csv
+///               [--task=binary|multiclass|regression] [--model=LR|XGB|RF|DeepFM]
+///               [--features=20] [--templates=4] [--seed=42]
+///               [--agg-attrs=a,b] [--where-attrs=p,q] [--base-features=x,y]
+///
+/// Column roles default sensibly (InferTemplateIngredients): aggregation
+/// attributes = R's numeric/bool/datetime columns (minus FKs), WHERE
+/// candidates = those plus low-cardinality string columns (minus FKs), base
+/// features = D's numeric columns (minus label and FKs).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/str_util.h"
+#include "core/feataug.h"
+#include "core/multi_table.h"
+#include "table/csv.h"
+
+using namespace featlib;
+
+namespace {
+
+struct CliArgs {
+  std::string train_path;
+  std::string relevant_path;
+  std::string out_path = "augmented.csv";
+  std::string label;
+  std::vector<std::string> fk;
+  std::string task = "binary";
+  std::string model = "XGB";
+  int features = 20;
+  int templates = 4;
+  uint64_t seed = 42;
+  std::vector<std::string> agg_attrs;
+  std::vector<std::string> where_attrs;
+  std::vector<std::string> base_features;
+};
+
+bool Parse(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--train=")) args->train_path = v;
+    else if (const char* v = value_of("--relevant=")) args->relevant_path = v;
+    else if (const char* v = value_of("--out=")) args->out_path = v;
+    else if (const char* v = value_of("--label=")) args->label = v;
+    else if (const char* v = value_of("--fk=")) args->fk = StrSplit(v, ',');
+    else if (const char* v = value_of("--task=")) args->task = v;
+    else if (const char* v = value_of("--model=")) args->model = v;
+    else if (const char* v = value_of("--features=")) args->features = std::atoi(v);
+    else if (const char* v = value_of("--templates=")) args->templates = std::atoi(v);
+    else if (const char* v = value_of("--seed=")) args->seed = std::atoll(v);
+    else if (const char* v = value_of("--agg-attrs=")) args->agg_attrs = StrSplit(v, ',');
+    else if (const char* v = value_of("--where-attrs=")) args->where_attrs = StrSplit(v, ',');
+    else if (const char* v = value_of("--base-features=")) args->base_features = StrSplit(v, ',');
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (args->train_path.empty() || args->relevant_path.empty() ||
+      args->label.empty() || args->fk.empty()) {
+    std::fprintf(stderr,
+                 "required: --train=D.csv --relevant=R.csv --label=col "
+                 "--fk=key[,key2]\n");
+    return false;
+  }
+  return true;
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+int RunCli(const CliArgs& args) {
+  auto train = ReadCsv(args.train_path);
+  if (!train.ok()) {
+    std::fprintf(stderr, "reading %s: %s\n", args.train_path.c_str(),
+                 train.status().ToString().c_str());
+    return 1;
+  }
+  auto relevant = ReadCsv(args.relevant_path);
+  if (!relevant.ok()) {
+    std::fprintf(stderr, "reading %s: %s\n", args.relevant_path.c_str(),
+                 relevant.status().ToString().c_str());
+    return 1;
+  }
+
+  FeatAugProblem problem;
+  problem.training = std::move(train).ValueOrDie();
+  problem.relevant = std::move(relevant).ValueOrDie();
+  problem.label_col = args.label;
+  problem.fk_attrs = args.fk;
+  if (args.task == "binary") {
+    problem.task = TaskKind::kBinaryClassification;
+  } else if (args.task == "multiclass") {
+    problem.task = TaskKind::kMultiClassification;
+  } else if (args.task == "regression") {
+    problem.task = TaskKind::kRegression;
+  } else {
+    std::fprintf(stderr, "unknown task: %s\n", args.task.c_str());
+    return 1;
+  }
+  problem.agg_functions = AllAggFunctions();
+
+  // Infer column roles that were not given explicitly (shared heuristic
+  // with MultiTableFeatAug: numeric/bool/datetime aggregate, near-unique
+  // string columns are dropped from the WHERE candidates).
+  problem.agg_attrs = args.agg_attrs;
+  problem.candidate_where_attrs = args.where_attrs;
+  if (args.agg_attrs.empty() || args.where_attrs.empty()) {
+    TemplateIngredients inferred =
+        InferTemplateIngredients(problem.relevant, args.fk);
+    if (args.agg_attrs.empty()) problem.agg_attrs = std::move(inferred.agg_attrs);
+    if (args.where_attrs.empty()) {
+      problem.candidate_where_attrs = std::move(inferred.where_candidates);
+    }
+  }
+  problem.base_feature_cols = args.base_features;
+  if (args.base_features.empty()) {
+    for (size_t c = 0; c < problem.training.num_columns(); ++c) {
+      const std::string& name = problem.training.NameAt(c);
+      if (name == args.label || Contains(args.fk, name)) continue;
+      problem.base_feature_cols.push_back(name);
+    }
+  }
+
+  FeatAugOptions options;
+  options.n_templates = args.templates;
+  options.queries_per_template =
+      std::max(1, args.features / std::max(1, args.templates));
+  auto model = [&]() -> Result<ModelKind> {
+    const std::string upper = [&] {
+      std::string s = args.model;
+      for (char& ch : s) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      return s;
+    }();
+    if (upper == "LR") return ModelKind::kLogisticRegression;
+    if (upper == "XGB") return ModelKind::kXgb;
+    if (upper == "RF") return ModelKind::kRandomForest;
+    if (upper == "DEEPFM") return ModelKind::kDeepFm;
+    return Status::InvalidArgument("unknown model " + args.model);
+  }();
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  options.evaluator.model = model.value();
+  options.evaluator.metric = DefaultMetricFor(problem.task);
+  options.seed = args.seed;
+
+  std::printf("FeatAug: D=%zu rows, R=%zu rows, %zu agg attrs, %zu WHERE candidates\n",
+              problem.training.num_rows(), problem.relevant.num_rows(),
+              problem.agg_attrs.size(), problem.candidate_where_attrs.size());
+
+  const Table relevant_copy = problem.relevant;
+  const Table training_copy = problem.training;
+  FeatAug feataug(std::move(problem), options);
+  auto plan = feataug.Fit();
+  if (!plan.ok()) {
+    std::fprintf(stderr, "Fit failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nDiscovered %zu queries:\n", plan.value().queries.size());
+  for (size_t i = 0; i < plan.value().queries.size(); ++i) {
+    std::printf("-- %s  [validation %s %.4f]\n%s\n\n",
+                plan.value().feature_names[i].c_str(),
+                MetricKindToString(options.evaluator.metric),
+                plan.value().valid_metrics[i],
+                plan.value().queries[i].ToSql("R", relevant_copy).c_str());
+  }
+
+  auto augmented = feataug.Apply(plan.value(), training_copy);
+  if (!augmented.ok()) {
+    std::fprintf(stderr, "Apply failed: %s\n", augmented.status().ToString().c_str());
+    return 1;
+  }
+  Status st = WriteCsv(augmented.value(), args.out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "writing %s: %s\n", args.out_path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("augmented table (%zu columns) -> %s\n",
+              augmented.value().num_columns(), args.out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!Parse(argc, argv, &args)) return 2;
+  return RunCli(args);
+}

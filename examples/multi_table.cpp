@@ -1,0 +1,111 @@
+/// \file multi_table.cpp
+/// \brief Multi-table walkthrough: the §III reductions end-to-end.
+///
+/// Starts from a *normalized* Instacart-style schema — a base table, an
+/// order_items fact chained through products and departments dimensions,
+/// and a second browse_log fact — declares it as a RelationGraph, flattens
+/// the deep-layer chain into relevant tables, and runs MultiTableFeatAug
+/// with a proxy-weighted feature budget across both facts.
+///
+///   ./multi_table [n_train]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/multi_table.h"
+#include "data/multi_table_data.h"
+#include "ml/evaluator.h"
+
+using namespace featlib;
+
+int main(int argc, char** argv) {
+  SyntheticOptions data_options;
+  data_options.n_train = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 800;
+  data_options.avg_logs_per_entity = 10;
+  data_options.seed = 42;
+  const MultiTableBundle bundle = MakeInstacartMultiTable(data_options);
+
+  std::printf("Raw schema (normalized, before any join):\n");
+  std::printf("  training     %6zu rows  %zu cols\n", bundle.training.num_rows(),
+              bundle.training.num_columns());
+  std::printf("  order_items  %6zu rows  %zu cols  (fact #1)\n",
+              bundle.order_items.num_rows(), bundle.order_items.num_columns());
+  std::printf("  products     %6zu rows  %zu cols  (lookup)\n",
+              bundle.products.num_rows(), bundle.products.num_columns());
+  std::printf("  departments  %6zu rows  %zu cols  (second-hop lookup)\n",
+              bundle.departments.num_rows(), bundle.departments.num_columns());
+  std::printf("  browse_log   %6zu rows  %zu cols  (fact #2)\n\n",
+              bundle.browse_log.num_rows(), bundle.browse_log.num_columns());
+
+  // ---- Declare the relationships and flatten (deep-layer preparation). ----
+  auto graph = bundle.BuildGraph();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto problem = MultiTableProblem::FromGraph(graph.value(), "training", "label",
+                                              TaskKind::kBinaryClassification);
+  if (!problem.ok()) {
+    std::fprintf(stderr, "problem: %s\n", problem.status().ToString().c_str());
+    return 1;
+  }
+  for (const RelevantInput& input : problem.value().relevants) {
+    std::printf("Flattened relevant table '%s': %zu rows, %zu cols, "
+                "%zu agg attrs, %zu WHERE candidates\n",
+                input.name.c_str(), input.relevant.num_rows(),
+                input.relevant.num_columns(), input.agg_attrs.size(),
+                input.candidate_where_attrs.size());
+  }
+
+  // ---- Fit FeatAug across both facts with a shared feature budget. ----
+  MultiTableOptions options;
+  options.total_features = 12;
+  options.queries_per_template = 3;
+  options.allocation = BudgetAllocation::kProxyWeighted;
+  options.per_table.generator.warmup_iterations = 60;
+  options.per_table.generator.warmup_top_k = 8;
+  options.per_table.generator.generation_iterations = 12;
+  options.per_table.qti.beam_width = 2;
+  options.per_table.qti.max_depth = 2;
+  options.per_table.evaluator.model = ModelKind::kLogisticRegression;
+  options.per_table.evaluator.metric = MetricKind::kAuc;
+  options.seed = 7;
+
+  const Table training = problem.value().training;
+  MultiTableFeatAug feataug(std::move(problem).ValueOrDie(), options);
+  auto plan = feataug.Fit();
+  if (!plan.ok()) {
+    std::fprintf(stderr, "fit: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nBudget allocation (proxy-weighted):\n");
+  for (const auto& tp : plan.value().tables) {
+    std::printf("  %-12s probe=%.4f  budget=%d  found=%zu\n", tp.name.c_str(),
+                tp.probe_score, tp.budget_features, tp.plan.queries.size());
+  }
+
+  std::printf("\nDiscovered queries:\n");
+  for (const auto& tp : plan.value().tables) {
+    const RelevantInput* input = nullptr;
+    // The flattened tables were moved into the driver; re-render SQL against
+    // the raw fact for naming only.
+    for (size_t i = 0; i < tp.plan.queries.size(); ++i) {
+      (void)input;
+      std::printf("-- [%s] AUC %.4f\n%s\n\n", tp.name.c_str(),
+                  tp.plan.valid_metrics[i],
+                  tp.plan.queries[i].ToSql(tp.name, bundle.order_items).c_str());
+    }
+  }
+
+  auto augmented = feataug.Apply(plan.value(), training);
+  if (!augmented.ok()) {
+    std::fprintf(stderr, "apply: %s\n", augmented.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Augmented training table: %zu rows x %zu cols (was %zu)\n",
+              augmented.value().num_rows(), augmented.value().num_columns(),
+              training.num_columns());
+  std::printf("Sample:\n%s\n", augmented.value().Head(5).ToString(5).c_str());
+  return 0;
+}

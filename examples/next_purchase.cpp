@@ -1,0 +1,74 @@
+/// \file next_purchase.cpp
+/// \brief The paper's motivating scenario (§I): repeat-purchase prediction
+/// from customer behaviour logs, at a realistic scale, with the full
+/// pipeline — Query Template Identification over candidate WHERE attributes
+/// followed by per-template query generation — and a head-to-head against
+/// the Featuretools baseline under the same feature budget.
+///
+///   ./next_purchase [rows]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/featuretools.h"
+#include "baselines/selectors.h"
+#include "common/timer.h"
+#include "data/synthetic.h"
+
+using namespace featlib;
+
+int main(int argc, char** argv) {
+  SyntheticOptions data_options;
+  data_options.n_train = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 2000;
+  data_options.avg_logs_per_entity = 12;
+  data_options.seed = 7;
+  const DatasetBundle bundle = MakeTmall(data_options);
+  std::printf("Tmall-style scenario: %zu customers, %zu behaviour logs\n",
+              bundle.training.num_rows(), bundle.relevant.num_rows());
+  std::printf("Planted signal: %s\n\n",
+              bundle.golden_query.ToSql("user_logs", bundle.relevant).c_str());
+
+  FeatAugOptions options;
+  options.n_templates = 4;
+  options.queries_per_template = 5;
+  options.evaluator.model = ModelKind::kXgb;
+  options.seed = 42;
+
+  WallTimer timer;
+  FeatAug feataug(bundle.ToProblem(), options);
+  auto plan = feataug.Fit();
+  if (!plan.ok()) {
+    std::fprintf(stderr, "Fit failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("FeatAug fit in %.1fs (QTI %.1fs, warm-up %.1fs, generate %.1fs)\n",
+              timer.Seconds(), plan.value().qti_seconds,
+              plan.value().warmup_seconds, plan.value().generate_seconds);
+  std::printf("%zu model evaluations, %zu proxy evaluations\n\n",
+              plan.value().model_evals, plan.value().proxy_evals);
+
+  std::printf("Top discovered queries:\n");
+  const size_t show = std::min<size_t>(5, plan.value().queries.size());
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("  [valid AUC %.4f] %s\n", plan.value().valid_metrics[i],
+                plan.value().queries[i].CacheKey().c_str());
+  }
+
+  // Featuretools under the same feature budget.
+  auto* evaluator = feataug.evaluator();
+  const auto ft_all = GenerateFeaturetoolsQueries(
+      bundle.relevant, bundle.agg_functions, bundle.agg_attrs, bundle.fk_attrs);
+  auto ft_selected = SelectQueries(evaluator, ft_all, SelectorKind::kMi,
+                                   plan.value().queries.size());
+
+  const double baseline = evaluator->BaselineModelScore().value();
+  const double feataug_auc = evaluator->TestScore(plan.value().queries).value();
+  const double ft_auc = evaluator->TestScore(ft_selected.value()).value();
+  std::printf("\nHeld-out test AUC (XGB):\n");
+  std::printf("  no augmentation        %.4f\n", baseline);
+  std::printf("  Featuretools+MI (%2zu)   %.4f\n", ft_selected.value().size(),
+              ft_auc);
+  std::printf("  FeatAug        (%2zu)   %.4f\n", plan.value().queries.size(),
+              feataug_auc);
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "baselines/arda.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ml/forest.h"
+
+namespace featlib {
+
+Result<std::vector<AggQuery>> ArdaSelect(FeatureEvaluator* evaluator,
+                                         const std::vector<AggQuery>& candidates,
+                                         size_t k, const ArdaOptions& options) {
+  if (candidates.empty()) return std::vector<AggQuery>{};
+  Rng rng(options.seed);
+  const SplitIndices& split = evaluator->split();
+
+  // Base + candidates over the train split (computed once, reused per round).
+  Dataset base = evaluator->base_dataset();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    FEAT_ASSIGN_OR_RETURN(const std::vector<double>* f,
+                          evaluator->Feature(candidates[i]));
+    FEAT_RETURN_NOT_OK(base.AddFeature("cand" + std::to_string(i), *f));
+  }
+  Dataset train = base.GatherRows(split.train);
+  ImputeNanInPlace(&train, train);
+
+  const size_t base_d = evaluator->base_dataset().d;
+  const size_t n_noise = std::max<size_t>(
+      2, static_cast<size_t>(std::ceil(options.noise_fraction *
+                                       static_cast<double>(candidates.size()))));
+
+  std::vector<int> votes(candidates.size(), 0);
+  std::vector<double> total_importance(candidates.size(), 0.0);
+  for (int round = 0; round < options.rounds; ++round) {
+    Dataset injected = train;
+    for (size_t j = 0; j < n_noise; ++j) {
+      std::vector<double> noise(train.n);
+      for (double& v : noise) v = rng.Normal();
+      FEAT_RETURN_NOT_OK(injected.AddFeature("noise" + std::to_string(j), noise));
+    }
+    RandomForestOptions rf_options;
+    rf_options.n_trees = 25;
+    rf_options.seed = rng.NextU64();
+    RandomForestModel forest(evaluator->task(), rf_options);
+    FEAT_RETURN_NOT_OK(forest.Fit(injected));
+    std::vector<double> importances = forest.FeatureImportances();
+    importances.resize(injected.d, 0.0);
+
+    // Noise threshold: the tau-quantile of noise importances.
+    std::vector<double> noise_imp(importances.end() - static_cast<ptrdiff_t>(n_noise),
+                                  importances.end());
+    std::sort(noise_imp.begin(), noise_imp.end());
+    const size_t qi = std::min(
+        noise_imp.size() - 1,
+        static_cast<size_t>(options.noise_quantile *
+                            static_cast<double>(noise_imp.size())));
+    const double threshold = noise_imp[qi];
+
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const double imp = importances[base_d + i];
+      total_importance[i] += imp;
+      if (imp > threshold) ++votes[i];
+    }
+  }
+
+  // Survivors (majority of rounds), ordered by total importance; pad with
+  // the best non-survivors if fewer than k survive.
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const bool sa = votes[a] * 2 > options.rounds;
+    const bool sb = votes[b] * 2 > options.rounds;
+    if (sa != sb) return sa;
+    return total_importance[a] > total_importance[b];
+  });
+  std::vector<AggQuery> out;
+  for (size_t i = 0; i < order.size() && out.size() < k; ++i) {
+    out.push_back(candidates[order[i]]);
+  }
+  return out;
+}
+
+}  // namespace featlib

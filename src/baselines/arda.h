@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file arda.h
+/// \brief ARDA baseline [Chepurko et al., VLDB'20]: random-injection feature
+/// selection for one-to-one relationship tables. Candidate features are
+/// ranked by random-forest importance against injected noise features; a
+/// feature survives when it beats the noise quantile in a majority of
+/// injection rounds.
+
+#include <vector>
+
+#include "core/feature_eval.h"
+#include "query/agg_query.h"
+
+namespace featlib {
+
+struct ArdaOptions {
+  /// Injection rounds (majority vote across rounds).
+  int rounds = 3;
+  /// Noise features injected per round, as a fraction of candidates.
+  double noise_fraction = 0.5;
+  /// Quantile of noise importances a real feature must exceed (tau).
+  double noise_quantile = 0.9;
+  uint64_t seed = 42;
+};
+
+/// \brief Selects up to `k` of `candidates` by random injection. Falls back
+/// to importance order when fewer than `k` survive the noise test.
+Result<std::vector<AggQuery>> ArdaSelect(FeatureEvaluator* evaluator,
+                                         const std::vector<AggQuery>& candidates,
+                                         size_t k, const ArdaOptions& options);
+
+}  // namespace featlib

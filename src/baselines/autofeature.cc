@@ -1,0 +1,141 @@
+#include "baselines/autofeature.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace featlib {
+
+namespace {
+
+/// Shared episode state: the growing feature set and its score.
+struct EpisodeState {
+  std::vector<size_t> selected;
+  std::vector<bool> used;
+  double current_loss = 0.0;
+};
+
+Result<double> LossOf(FeatureEvaluator* evaluator,
+                      const std::vector<AggQuery>& candidates,
+                      const std::vector<size_t>& selected) {
+  std::vector<AggQuery> queries;
+  queries.reserve(selected.size());
+  for (size_t i : selected) queries.push_back(candidates[i]);
+  if (queries.empty()) {
+    FEAT_ASSIGN_OR_RETURN(double metric, evaluator->BaselineModelScore());
+    return evaluator->ScoreToLoss(metric);
+  }
+  FEAT_ASSIGN_OR_RETURN(double metric, evaluator->ModelScore(queries));
+  return evaluator->ScoreToLoss(metric);
+}
+
+}  // namespace
+
+Result<std::vector<AggQuery>> AutoFeatureSelect(
+    FeatureEvaluator* evaluator, const std::vector<AggQuery>& candidates,
+    size_t k, const AutoFeatureOptions& options) {
+  if (candidates.empty()) return std::vector<AggQuery>{};
+  Rng rng(options.seed);
+  const size_t n = candidates.size();
+
+  EpisodeState state;
+  state.used.assign(n, false);
+  FEAT_ASSIGN_OR_RETURN(state.current_loss, LossOf(evaluator, candidates, {}));
+
+  // Arm statistics (MAB) / Q-values (DQN-lite; action-value plus a bias per
+  // selected-set size, the "state" signal that matters for greedy growth).
+  std::vector<double> value(n, 0.0);
+  std::vector<int> pulls(n, 0);
+  int total_pulls = 0;
+
+  int budget = options.budget;
+  while (budget > 0 && state.selected.size() < k) {
+    // Pick an action among unused candidates.
+    size_t action = n;
+    if (options.policy == AutoFeaturePolicy::kMab) {
+      double best_ucb = -std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < n; ++i) {
+        if (state.used[i]) continue;
+        const double mean = pulls[i] > 0 ? value[i] : 0.0;
+        const double bonus =
+            pulls[i] > 0
+                ? options.ucb_c *
+                      std::sqrt(std::log(static_cast<double>(total_pulls + 1)) /
+                                static_cast<double>(pulls[i]))
+                : std::numeric_limits<double>::infinity();  // force exploration
+        const double ucb = mean + bonus;
+        if (ucb > best_ucb) {
+          best_ucb = ucb;
+          action = i;
+        }
+      }
+    } else {
+      // DQN-lite: epsilon-greedy over the linear Q estimates.
+      std::vector<size_t> available;
+      for (size_t i = 0; i < n; ++i) {
+        if (!state.used[i]) available.push_back(i);
+      }
+      if (available.empty()) break;
+      if (rng.Bernoulli(options.epsilon)) {
+        action = available[rng.UniformInt(available.size())];
+      } else {
+        action = available[0];
+        for (size_t i : available) {
+          if (value[i] > value[action]) action = i;
+        }
+      }
+    }
+    if (action == n) break;
+
+    // Environment step: add the feature, observe the reward.
+    std::vector<size_t> trial = state.selected;
+    trial.push_back(action);
+    FEAT_ASSIGN_OR_RETURN(double trial_loss, LossOf(evaluator, candidates, trial));
+    --budget;
+    const double reward = state.current_loss - trial_loss;  // positive = better
+
+    ++pulls[action];
+    ++total_pulls;
+    if (options.policy == AutoFeaturePolicy::kMab) {
+      value[action] += (reward - value[action]) / static_cast<double>(pulls[action]);
+    } else {
+      // TD(0) with max-over-remaining as the bootstrap target.
+      double max_next = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!state.used[i] && i != action) max_next = std::max(max_next, value[i]);
+      }
+      const double target = reward + options.q_discount * max_next;
+      value[action] += options.q_learning_rate * (target - value[action]);
+    }
+
+    // Greedy commit: keep the feature when it did not hurt; always commit
+    // when the remaining budget cannot cover further exploration.
+    if (reward >= 0.0 ||
+        budget <= static_cast<int>(k - state.selected.size())) {
+      state.selected.push_back(action);
+      state.used[action] = true;
+      state.current_loss = trial_loss;
+    }
+  }
+
+  // Fill any remaining slots by learned value.
+  if (state.selected.size() < k) {
+    std::vector<size_t> order;
+    for (size_t i = 0; i < n; ++i) {
+      if (!state.used[i]) order.push_back(i);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return value[a] > value[b]; });
+    for (size_t i : order) {
+      if (state.selected.size() >= k) break;
+      state.selected.push_back(i);
+    }
+  }
+
+  std::vector<AggQuery> out;
+  for (size_t i : state.selected) out.push_back(candidates[i]);
+  return out;
+}
+
+}  // namespace featlib

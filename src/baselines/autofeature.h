@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file autofeature.h
+/// \brief AutoFeature baseline [Liu et al., ICDE'22]: reinforcement-learning
+/// feature augmentation. Each step the agent picks the next candidate
+/// feature to add; the reward is the change in downstream validation
+/// performance. Two policies, as in the paper's Table VI: multi-armed bandit
+/// (UCB1) and a DQN variant (here a linear Q-function over state/action
+/// one-hots with epsilon-greedy exploration and TD updates).
+
+#include <vector>
+
+#include "core/feature_eval.h"
+#include "query/agg_query.h"
+
+namespace featlib {
+
+enum class AutoFeaturePolicy { kMab, kDqn };
+
+struct AutoFeatureOptions {
+  AutoFeaturePolicy policy = AutoFeaturePolicy::kMab;
+  /// Model-evaluation budget (each step trains the downstream model once).
+  int budget = 30;
+  /// UCB1 exploration constant.
+  double ucb_c = 0.5;
+  /// DQN-lite exploration and learning parameters.
+  double epsilon = 0.2;
+  double q_learning_rate = 0.3;
+  double q_discount = 0.9;
+  uint64_t seed = 42;
+};
+
+/// \brief Selects up to `k` candidates via RL-driven incremental addition.
+Result<std::vector<AggQuery>> AutoFeatureSelect(
+    FeatureEvaluator* evaluator, const std::vector<AggQuery>& candidates,
+    size_t k, const AutoFeatureOptions& options);
+
+}  // namespace featlib

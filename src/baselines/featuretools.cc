@@ -1,0 +1,36 @@
+#include "baselines/featuretools.h"
+
+namespace featlib {
+
+std::vector<AggQuery> GenerateFeaturetoolsQueries(
+    const Table& relevant, const std::vector<AggFunction>& agg_functions,
+    const std::vector<std::string>& agg_attrs,
+    const std::vector<std::string>& fk_attrs, const FeaturetoolsOptions& options) {
+  std::vector<AggQuery> out;
+  bool count_emitted = false;
+  for (AggFunction fn : agg_functions) {
+    for (const auto& attr : agg_attrs) {
+      if (fn == AggFunction::kCount) {
+        // COUNT(a) is attribute-independent up to null handling; one copy.
+        if (count_emitted) continue;
+        count_emitted = true;
+      }
+      auto col = relevant.GetColumn(attr);
+      if (!col.ok()) continue;
+      if (col.value()->type() == DataType::kString && !SupportsCategorical(fn)) {
+        continue;
+      }
+      AggQuery q;
+      q.agg = fn;
+      q.agg_attr = attr;
+      q.group_keys = fk_attrs;
+      out.push_back(std::move(q));
+      if (options.max_features > 0 && out.size() >= options.max_features) {
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace featlib

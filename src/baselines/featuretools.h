@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file featuretools.h
+/// \brief Featuretools-style Deep Feature Synthesis baseline [Kanter &
+/// Veeramachaneni, DSAA'15]: enumerates every `SELECT k, agg(a) FROM R GROUP
+/// BY k` query — no WHERE clause — exactly the query space §I/Example 3
+/// attributes to Featuretools.
+
+#include <vector>
+
+#include "query/agg_query.h"
+#include "table/table.h"
+
+namespace featlib {
+
+struct FeaturetoolsOptions {
+  /// Cap on generated queries (0 = all valid agg x attr combinations).
+  size_t max_features = 0;
+};
+
+/// \brief Generates the full predicate-free query enumeration.
+///
+/// Skips (fn, attr) pairs where the function is undefined on a categorical
+/// attribute; COUNT is emitted once (per attribute it is redundant).
+std::vector<AggQuery> GenerateFeaturetoolsQueries(
+    const Table& relevant, const std::vector<AggFunction>& agg_functions,
+    const std::vector<std::string>& agg_attrs,
+    const std::vector<std::string>& fk_attrs,
+    const FeaturetoolsOptions& options = {});
+
+}  // namespace featlib

@@ -1,0 +1,49 @@
+#include "baselines/random_aug.h"
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "core/codec.h"
+
+namespace featlib {
+
+Result<std::vector<AggQuery>> RandomAugmentation(
+    const Table& relevant, const QueryTemplate& base,
+    const std::vector<std::string>& candidate_attrs,
+    const RandomAugOptions& options) {
+  Rng rng(options.seed);
+  std::vector<AggQuery> out;
+  std::unordered_set<std::string> seen;
+  const int max_attempts = options.n_templates * 4;
+
+  for (int t = 0; t < max_attempts &&
+                  out.size() < static_cast<size_t>(options.n_templates *
+                                                   options.queries_per_template);
+       ++t) {
+    // Random non-empty attribute subset (uniform over the template set).
+    QueryTemplate tmpl = base;
+    tmpl.where_attrs.clear();
+    if (!candidate_attrs.empty()) {
+      for (const auto& attr : candidate_attrs) {
+        if (rng.Bernoulli(0.5)) tmpl.where_attrs.push_back(attr);
+      }
+      if (tmpl.where_attrs.empty()) {
+        tmpl.where_attrs.push_back(
+            candidate_attrs[rng.UniformInt(candidate_attrs.size())]);
+      }
+    }
+    FEAT_ASSIGN_OR_RETURN(QueryVectorCodec codec,
+                          QueryVectorCodec::Create(tmpl, relevant));
+    for (int q = 0; q < options.queries_per_template; ++q) {
+      Rng sample_rng = rng.Fork();
+      ParamVector v = codec.space().Sample(&sample_rng);
+      FEAT_ASSIGN_OR_RETURN(AggQuery query, codec.Decode(v));
+      if (seen.insert(query.CacheKey()).second) {
+        out.push_back(std::move(query));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace featlib

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file random_aug.h
+/// \brief The Random baseline (§VII.A.3): uniformly picks query templates
+/// from the template set, then uniformly samples predicate-aware queries
+/// from each template's pool — no evaluation in the loop.
+
+#include <vector>
+
+#include "core/query_template.h"
+#include "query/agg_query.h"
+#include "table/table.h"
+
+namespace featlib {
+
+struct RandomAugOptions {
+  int n_templates = 8;
+  int queries_per_template = 5;
+  uint64_t seed = 42;
+};
+
+/// \brief Samples n_templates random WHERE-attribute subsets of
+/// `candidate_attrs` and queries_per_template random queries per pool.
+/// `base` supplies F, A and K. Deduplicates by query cache key.
+Result<std::vector<AggQuery>> RandomAugmentation(
+    const Table& relevant, const QueryTemplate& base,
+    const std::vector<std::string>& candidate_attrs,
+    const RandomAugOptions& options);
+
+}  // namespace featlib

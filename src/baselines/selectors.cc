@@ -1,0 +1,250 @@
+#include "baselines/selectors.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/gbdt.h"
+#include "ml/linear.h"
+#include "stats/stats.h"
+
+namespace featlib {
+
+namespace {
+
+/// Restricts a full-length feature column to the evaluator's train rows.
+std::vector<double> TrainSlice(const std::vector<double>& full,
+                               const SplitIndices& split) {
+  std::vector<double> out;
+  out.reserve(split.train.size());
+  for (uint32_t r : split.train) out.push_back(full[r]);
+  return out;
+}
+
+/// Builds base + all candidate features over the train split.
+Result<Dataset> BuildCandidateDataset(FeatureEvaluator* evaluator,
+                                      const std::vector<AggQuery>& candidates) {
+  Dataset full = evaluator->base_dataset();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    FEAT_ASSIGN_OR_RETURN(const std::vector<double>* f,
+                          evaluator->Feature(candidates[i]));
+    FEAT_RETURN_NOT_OK(full.AddFeature("cand" + std::to_string(i), *f));
+  }
+  Dataset train = full.GatherRows(evaluator->split().train);
+  ImputeNanInPlace(&train, train);
+  return train;
+}
+
+std::vector<AggQuery> TakeTop(const std::vector<AggQuery>& candidates,
+                              const std::vector<double>& scores, size_t k) {
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  std::vector<AggQuery> out;
+  for (size_t i = 0; i < order.size() && out.size() < k; ++i) {
+    out.push_back(candidates[order[i]]);
+  }
+  return out;
+}
+
+/// Pre-trims a candidate pool by MI so the wrapper selectors' model-training
+/// loops stay tractable (the paper runs them on a beefy EC2 box; we cap the
+/// pool instead of the semantics).
+Result<std::vector<AggQuery>> TrimByMi(FeatureEvaluator* evaluator,
+                                       const std::vector<AggQuery>& candidates,
+                                       size_t cap) {
+  if (candidates.size() <= cap) return candidates;
+  std::vector<double> labels;
+  for (uint32_t r : evaluator->split().train) {
+    labels.push_back(evaluator->base_dataset().y[r]);
+  }
+  std::vector<double> scores(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    FEAT_ASSIGN_OR_RETURN(const std::vector<double>* f,
+                          evaluator->Feature(candidates[i]));
+    scores[i] = MutualInformation(TrainSlice(*f, evaluator->split()), labels,
+                                  evaluator->task() != TaskKind::kRegression);
+  }
+  return TakeTop(candidates, scores, cap);
+}
+
+}  // namespace
+
+const char* SelectorKindToString(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kNone:
+      return "FT";
+    case SelectorKind::kLr:
+      return "FT+LR";
+    case SelectorKind::kGbdt:
+      return "FT+GBDT";
+    case SelectorKind::kMi:
+      return "FT+MI";
+    case SelectorKind::kChi2:
+      return "FT+Chi2";
+    case SelectorKind::kGini:
+      return "FT+Gini";
+    case SelectorKind::kForward:
+      return "FT+Forward";
+    case SelectorKind::kBackward:
+      return "FT+Backward";
+  }
+  return "?";
+}
+
+bool SelectorSupportsTask(SelectorKind kind, TaskKind task) {
+  if (kind == SelectorKind::kChi2 || kind == SelectorKind::kGini) {
+    return task != TaskKind::kRegression;
+  }
+  return true;
+}
+
+Result<std::vector<AggQuery>> SelectQueries(FeatureEvaluator* evaluator,
+                                            const std::vector<AggQuery>& candidates,
+                                            SelectorKind kind, size_t k,
+                                            const SelectorBudget& budget) {
+  if (!SelectorSupportsTask(kind, evaluator->task())) {
+    return Status::InvalidArgument("selector unsupported for this task");
+  }
+  if (kind == SelectorKind::kNone || candidates.size() <= k) {
+    std::vector<AggQuery> out = candidates;
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+  const SplitIndices& split = evaluator->split();
+  std::vector<double> labels;
+  labels.reserve(split.train.size());
+  for (uint32_t r : split.train) labels.push_back(evaluator->base_dataset().y[r]);
+
+  switch (kind) {
+    case SelectorKind::kMi:
+    case SelectorKind::kChi2:
+    case SelectorKind::kGini: {
+      std::vector<double> scores(candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        FEAT_ASSIGN_OR_RETURN(const std::vector<double>* f,
+                              evaluator->Feature(candidates[i]));
+        const std::vector<double> x = TrainSlice(*f, split);
+        if (kind == SelectorKind::kMi) {
+          scores[i] = MutualInformation(x, labels,
+                                        evaluator->task() != TaskKind::kRegression);
+        } else if (kind == SelectorKind::kChi2) {
+          scores[i] = ChiSquareScore(x, labels);
+        } else {
+          scores[i] = GiniScore(x, labels);
+        }
+      }
+      return TakeTop(candidates, scores, k);
+    }
+
+    case SelectorKind::kLr: {
+      FEAT_ASSIGN_OR_RETURN(Dataset train,
+                            BuildCandidateDataset(evaluator, candidates));
+      const size_t base_d = evaluator->base_dataset().d;
+      std::vector<double> importances;
+      if (evaluator->task() == TaskKind::kRegression) {
+        LinearRegressionModel model;
+        FEAT_RETURN_NOT_OK(model.Fit(train));
+        importances = model.FeatureImportances();
+      } else {
+        LinearModelOptions lr_options;
+        lr_options.epochs = 80;
+        LogisticRegressionModel model(evaluator->task(), lr_options);
+        FEAT_RETURN_NOT_OK(model.Fit(train));
+        importances = model.FeatureImportances();
+      }
+      std::vector<double> scores(candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        scores[i] = importances[base_d + i];
+      }
+      return TakeTop(candidates, scores, k);
+    }
+
+    case SelectorKind::kGbdt: {
+      FEAT_ASSIGN_OR_RETURN(Dataset train,
+                            BuildCandidateDataset(evaluator, candidates));
+      const size_t base_d = evaluator->base_dataset().d;
+      GbdtOptions gbdt_options;
+      gbdt_options.n_rounds = 30;
+      GbdtModel model(evaluator->task(), gbdt_options);
+      FEAT_RETURN_NOT_OK(model.Fit(train));
+      const auto importances = model.FeatureImportances();
+      std::vector<double> scores(candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        scores[i] = importances[base_d + i];
+      }
+      return TakeTop(candidates, scores, k);
+    }
+
+    case SelectorKind::kForward: {
+      FEAT_ASSIGN_OR_RETURN(
+          std::vector<AggQuery> pool,
+          TrimByMi(evaluator, candidates, budget.forward_pool_factor * k));
+      std::vector<AggQuery> selected;
+      std::vector<bool> used(pool.size(), false);
+      size_t steps = 0;
+      while (selected.size() < k && steps < budget.max_wrapper_steps) {
+        ++steps;
+        double best_loss = std::numeric_limits<double>::infinity();
+        size_t best_i = pool.size();
+        for (size_t i = 0; i < pool.size(); ++i) {
+          if (used[i]) continue;
+          std::vector<AggQuery> trial = selected;
+          trial.push_back(pool[i]);
+          FEAT_ASSIGN_OR_RETURN(double metric, evaluator->ModelScore(trial));
+          const double loss = evaluator->ScoreToLoss(metric);
+          if (loss < best_loss) {
+            best_loss = loss;
+            best_i = i;
+          }
+        }
+        if (best_i == pool.size()) break;
+        used[best_i] = true;
+        selected.push_back(pool[best_i]);
+      }
+      // Budget exhausted: fill the remaining slots in pool (MI) order.
+      for (size_t i = 0; i < pool.size() && selected.size() < k; ++i) {
+        if (!used[i]) {
+          used[i] = true;
+          selected.push_back(pool[i]);
+        }
+      }
+      return selected;
+    }
+
+    case SelectorKind::kBackward: {
+      // Pool sized so the elimination loop runs at most max_wrapper_steps
+      // rounds (each round trains |pool| models).
+      FEAT_ASSIGN_OR_RETURN(
+          std::vector<AggQuery> pool,
+          TrimByMi(evaluator, candidates,
+                   std::min(2 * k, k + budget.max_wrapper_steps)));
+      while (pool.size() > k) {
+        double best_loss = std::numeric_limits<double>::infinity();
+        size_t drop_i = pool.size();
+        for (size_t i = 0; i < pool.size(); ++i) {
+          std::vector<AggQuery> trial;
+          for (size_t j = 0; j < pool.size(); ++j) {
+            if (j != i) trial.push_back(pool[j]);
+          }
+          FEAT_ASSIGN_OR_RETURN(double metric, evaluator->ModelScore(trial));
+          const double loss = evaluator->ScoreToLoss(metric);
+          if (loss < best_loss) {
+            best_loss = loss;
+            drop_i = i;
+          }
+        }
+        if (drop_i == pool.size()) break;
+        pool.erase(pool.begin() + static_cast<ptrdiff_t>(drop_i));
+      }
+      return pool;
+    }
+
+    case SelectorKind::kNone:
+      break;
+  }
+  return Status::InvalidArgument("unhandled selector");
+}
+
+}  // namespace featlib

@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file status.h
+/// \brief Arrow/RocksDB-style Status and Result<T> error handling.
+///
+/// All fallible public APIs in featlib return Status (no useful value) or
+/// Result<T> (value or error). Exceptions are reserved for programmer errors
+/// surfaced through FEAT_CHECK.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace featlib {
+
+/// Machine-readable category of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns the canonical lowercase name of a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error outcome carrying a message on failure.
+///
+/// Cheap to copy in the OK case (no allocation). Modeled after
+/// arrow::Status / rocksdb::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "<code>: <message>" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(payload_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    return ok() ? ok_status : std::get<Status>(payload_);
+  }
+
+  /// Returns the value; aborts if this holds an error. Use only after ok().
+  T& value() & {
+    DieIfError();
+    return std::get<T>(payload_);
+  }
+  const T& value() const& {
+    DieIfError();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    DieIfError();
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// Moves the value out; aborts on error. Convenience for tests/examples.
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(payload_));
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(payload_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace featlib
+
+/// Propagates a non-OK Status from the enclosing function.
+#define FEAT_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::featlib::Status _feat_status = (expr);     \
+    if (!_feat_status.ok()) return _feat_status; \
+  } while (0)
+
+#define FEAT_CONCAT_IMPL(a, b) a##b
+#define FEAT_CONCAT(a, b) FEAT_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error propagates the Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define FEAT_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto FEAT_CONCAT(_feat_result_, __LINE__) = (rexpr);                \
+  if (!FEAT_CONCAT(_feat_result_, __LINE__).ok())                     \
+    return FEAT_CONCAT(_feat_result_, __LINE__).status();             \
+  lhs = std::move(FEAT_CONCAT(_feat_result_, __LINE__)).ValueOrDie()
+
+/// Aborts with a message when a programmer-error invariant is violated.
+#define FEAT_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FEAT_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, (msg));                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file str_util.h
+/// \brief Small string helpers shared across modules.
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace featlib {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits `s` on the single character `sep` (keeps empty fields).
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string StrTrim(const std::string& s);
+
+/// ASCII lower-casing.
+std::string StrLower(const std::string& s);
+
+/// True when `s` parses fully as a finite double; writes the value to *out.
+bool ParseDouble(const std::string& s, double* out);
+
+/// True when `s` parses fully as an int64; writes the value to *out.
+bool ParseInt64(const std::string& s, int64_t* out);
+
+}  // namespace featlib

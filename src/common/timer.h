@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file timer.h
+/// \brief Wall-clock timing for the scalability experiments (Figs. 5, 7-9).
+
+#include <chrono>
+
+namespace featlib {
+
+/// \brief Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace featlib

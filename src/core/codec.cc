@@ -1,0 +1,181 @@
+#include "core/codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace featlib {
+
+Result<QueryVectorCodec> QueryVectorCodec::Create(const QueryTemplate& tmpl,
+                                                  const Table& relevant) {
+  FEAT_RETURN_NOT_OK(tmpl.Validate(relevant));
+  QueryVectorCodec codec;
+  codec.template_ = tmpl;
+
+  SearchSpace space;
+  space.Add(ParamDomain::Categorical("agg_fn",
+                                     static_cast<int>(tmpl.agg_functions.size())));
+  space.Add(
+      ParamDomain::Categorical("agg_attr", static_cast<int>(tmpl.agg_attrs.size())));
+
+  for (const auto& attr : tmpl.agg_attrs) {
+    FEAT_ASSIGN_OR_RETURN(const Column* col, relevant.GetColumn(attr));
+    codec.agg_attr_categorical_.push_back(col->type() == DataType::kString);
+  }
+
+  for (const auto& attr : tmpl.where_attrs) {
+    FEAT_ASSIGN_OR_RETURN(const Column* col, relevant.GetColumn(attr));
+    WhereSlot slot;
+    slot.attr = attr;
+    slot.dim = space.NumDims();
+    if (col->type() == DataType::kString || col->type() == DataType::kBool) {
+      slot.categorical = true;
+      if (col->type() == DataType::kString) {
+        for (const auto& s : col->dictionary()) slot.values.push_back(Value::Str(s));
+      } else {
+        slot.values.push_back(Value::Int(0));
+        slot.values.push_back(Value::Int(1));
+      }
+      if (slot.values.empty()) {
+        return Status::InvalidArgument("categorical WHERE attribute " + attr +
+                                       " has empty domain");
+      }
+      // Last index encodes "no predicate on this attribute" (None).
+      space.Add(ParamDomain::Categorical(
+          "where_" + attr, static_cast<int>(slot.values.size()) + 1));
+    } else {
+      auto minmax = col->MinMaxAsDouble();
+      if (!minmax.ok()) {
+        return Status::InvalidArgument("numeric WHERE attribute " + attr +
+                                       " has no observable domain");
+      }
+      slot.lo = minmax.value().first;
+      slot.hi = minmax.value().second;
+      slot.integer =
+          col->type() == DataType::kInt64 || col->type() == DataType::kDatetime;
+      space.Add(ParamDomain::OptionalNumeric("where_" + attr + "_lo", slot.lo,
+                                             slot.hi, slot.integer));
+      space.Add(ParamDomain::OptionalNumeric("where_" + attr + "_hi", slot.lo,
+                                             slot.hi, slot.integer));
+    }
+    codec.where_slots_.push_back(std::move(slot));
+  }
+
+  codec.fk_dim_begin_ = space.NumDims();
+  for (const auto& k : tmpl.fk_attrs) {
+    space.Add(ParamDomain::Categorical("fk_" + k, 2));
+  }
+  codec.space_ = std::move(space);
+  return codec;
+}
+
+Result<AggQuery> QueryVectorCodec::Decode(const ParamVector& v) const {
+  FEAT_RETURN_NOT_OK(space_.Validate(v));
+  AggQuery q;
+  const size_t fn_idx = static_cast<size_t>(std::llround(v[0]));
+  const size_t attr_idx = static_cast<size_t>(std::llround(v[1]));
+  q.agg = template_.agg_functions[fn_idx];
+  q.agg_attr = template_.agg_attrs[attr_idx];
+  // Lossy repair: numeric-only functions degrade to COUNT on categorical
+  // aggregation attributes so every in-domain vector decodes to an
+  // executable query (TPE learns to avoid the repaired corner).
+  if (agg_attr_categorical_[attr_idx] && !SupportsCategorical(q.agg)) {
+    q.agg = AggFunction::kCount;
+  }
+
+  for (const WhereSlot& slot : where_slots_) {
+    if (slot.categorical) {
+      const size_t choice = static_cast<size_t>(std::llround(v[slot.dim]));
+      if (choice >= slot.values.size()) continue;  // None: no predicate
+      q.predicates.push_back(Predicate::Equals(slot.attr, slot.values[choice]));
+    } else {
+      double lo = v[slot.dim];
+      double hi = v[slot.dim + 1];
+      const bool has_lo = !IsNone(lo);
+      const bool has_hi = !IsNone(hi);
+      if (!has_lo && !has_hi) continue;  // no predicate on this attribute
+      if (has_lo && has_hi && lo > hi) std::swap(lo, hi);
+      q.predicates.push_back(Predicate::Range(
+          slot.attr, has_lo ? std::optional<double>(lo) : std::nullopt,
+          has_hi ? std::optional<double>(hi) : std::nullopt));
+    }
+  }
+
+  for (size_t i = 0; i < template_.fk_attrs.size(); ++i) {
+    if (std::llround(v[fk_dim_begin_ + i]) == 1) {
+      q.group_keys.push_back(template_.fk_attrs[i]);
+    }
+  }
+  if (q.group_keys.empty()) q.group_keys.push_back(template_.fk_attrs.front());
+  return q;
+}
+
+Result<ParamVector> QueryVectorCodec::Encode(const AggQuery& q) const {
+  ParamVector v(space_.NumDims(), NoneValue());
+
+  auto fn_it = std::find(template_.agg_functions.begin(),
+                         template_.agg_functions.end(), q.agg);
+  if (fn_it == template_.agg_functions.end()) {
+    return Status::InvalidArgument("agg function not in template F");
+  }
+  v[0] = static_cast<double>(fn_it - template_.agg_functions.begin());
+
+  auto attr_it =
+      std::find(template_.agg_attrs.begin(), template_.agg_attrs.end(), q.agg_attr);
+  if (attr_it == template_.agg_attrs.end()) {
+    return Status::InvalidArgument("agg attribute not in template A");
+  }
+  v[1] = static_cast<double>(attr_it - template_.agg_attrs.begin());
+
+  // Default: no predicate -> categorical None index / numeric NaN slots.
+  for (const WhereSlot& slot : where_slots_) {
+    if (slot.categorical) {
+      v[slot.dim] = static_cast<double>(slot.values.size());
+    }
+  }
+
+  for (const Predicate& p : q.predicates) {
+    if (p.IsTrivial()) continue;
+    const WhereSlot* slot = nullptr;
+    for (const WhereSlot& s : where_slots_) {
+      if (s.attr == p.attr) {
+        slot = &s;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      return Status::InvalidArgument("predicate attribute not in template P: " +
+                                     p.attr);
+    }
+    if (slot->categorical) {
+      if (p.kind != Predicate::Kind::kEquals) {
+        return Status::InvalidArgument("range predicate on categorical " + p.attr);
+      }
+      auto val_it = std::find(slot->values.begin(), slot->values.end(),
+                              p.equals_value);
+      if (val_it == slot->values.end()) {
+        return Status::InvalidArgument("predicate value outside domain of " +
+                                       p.attr);
+      }
+      v[slot->dim] = static_cast<double>(val_it - slot->values.begin());
+    } else {
+      if (p.kind != Predicate::Kind::kRange) {
+        return Status::InvalidArgument("equality predicate on numeric " + p.attr);
+      }
+      if (p.has_lo) v[slot->dim] = p.lo;
+      if (p.has_hi) v[slot->dim + 1] = p.hi;
+    }
+  }
+
+  for (size_t i = 0; i < template_.fk_attrs.size(); ++i) {
+    const bool selected =
+        std::find(q.group_keys.begin(), q.group_keys.end(),
+                  template_.fk_attrs[i]) != q.group_keys.end();
+    v[fk_dim_begin_ + i] = selected ? 1.0 : 0.0;
+  }
+  FEAT_RETURN_NOT_OK(space_.Validate(v));
+  return v;
+}
+
+}  // namespace featlib

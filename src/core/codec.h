@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file codec.h
+/// \brief Query-vector codec (§V.A): the bijection-ish mapping between
+/// predicate-aware SQL queries in a pool Q_T and points of an HPO search
+/// space V.
+///
+/// Vector layout for T = (F, A, P, K):
+///   [0]            categorical over F (aggregation function)
+///   [1]            categorical over A (aggregation attribute)
+///   per p in P:    categorical attrs -> 1 slot over {values.., None};
+///                  numeric/datetime  -> 2 OptionalNumeric slots (lo, hi)
+///   per k in K:    categorical {0,1} selection bit
+///
+/// Decode guarantees a *valid* query for every in-domain vector: lo/hi are
+/// swapped when inverted, an all-zero FK selection falls back to the first
+/// key, and an aggregation function that is undefined on a categorical
+/// aggregation attribute degrades to COUNT (documented lossy repair; TPE
+/// simply learns to avoid such corners).
+
+#include <vector>
+
+#include "core/query_template.h"
+#include "hpo/space.h"
+#include "query/agg_query.h"
+
+namespace featlib {
+
+/// \brief Compiled codec for one (template, relevant table) pair.
+class QueryVectorCodec {
+ public:
+  /// Builds domains from R: distinct dictionary values for categorical
+  /// WHERE attributes, observed [min, max] for numeric/datetime ones.
+  static Result<QueryVectorCodec> Create(const QueryTemplate& tmpl,
+                                         const Table& relevant);
+
+  const SearchSpace& space() const { return space_; }
+  const QueryTemplate& query_template() const { return template_; }
+
+  /// Vector -> SQL query. Never fails for vectors valid in space().
+  Result<AggQuery> Decode(const ParamVector& v) const;
+
+  /// SQL query -> vector (used by tests and warm-start transfer).
+  /// Fails when the query is not expressible under this template.
+  Result<ParamVector> Encode(const AggQuery& q) const;
+
+ private:
+  struct WhereSlot {
+    std::string attr;
+    bool categorical = false;
+    // Categorical: decoded index -> equality value.
+    std::vector<Value> values;
+    // Numeric/datetime bounds and snapping.
+    double lo = 0.0, hi = 1.0;
+    bool integer = false;
+    // First dimension index of this slot in the vector.
+    size_t dim = 0;
+  };
+
+  QueryTemplate template_;
+  SearchSpace space_;
+  std::vector<WhereSlot> where_slots_;
+  std::vector<bool> agg_attr_categorical_;
+  size_t fk_dim_begin_ = 0;
+};
+
+}  // namespace featlib

@@ -1,0 +1,101 @@
+#include "core/feataug.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "common/timer.h"
+
+namespace featlib {
+
+FeatAug::FeatAug(FeatAugProblem problem, FeatAugOptions options)
+    : problem_(std::move(problem)), options_(std::move(options)) {}
+
+Result<AugmentationPlan> FeatAug::Fit() {
+  EvaluatorOptions eval_options = options_.evaluator;
+  auto evaluator_result = FeatureEvaluator::Create(
+      problem_.training, problem_.label_col, problem_.base_feature_cols,
+      problem_.relevant, problem_.task, eval_options);
+  if (!evaluator_result.ok()) return evaluator_result.status();
+  evaluator_.emplace(std::move(evaluator_result).ValueOrDie());
+
+  AugmentationPlan plan;
+  QueryTemplate base;
+  base.agg_functions = problem_.agg_functions;
+  base.agg_attrs = problem_.agg_attrs;
+  base.fk_attrs = problem_.fk_attrs;
+  FEAT_RETURN_NOT_OK(base.Validate(problem_.relevant));
+
+  // ---- Stage 1: Query Template Identification (optional). ----
+  std::vector<QueryTemplate> templates;
+  if (options_.enable_qti && !problem_.candidate_where_attrs.empty()) {
+    TemplateIdOptions qti_options = options_.qti;
+    qti_options.n_templates = options_.n_templates;
+    qti_options.proxy = options_.proxy;
+    qti_options.seed = options_.seed;
+    TemplateIdentifier identifier(&*evaluator_, qti_options);
+    FEAT_ASSIGN_OR_RETURN(TemplateIdResult qti,
+                          identifier.Run(base, problem_.candidate_where_attrs));
+    plan.qti_seconds = qti.seconds;
+    for (auto& scored : qti.templates) templates.push_back(std::move(scored.tmpl));
+  } else {
+    // NoQTI: the single template formed by all provided attributes.
+    QueryTemplate t = base;
+    t.where_attrs = problem_.candidate_where_attrs;
+    templates.push_back(std::move(t));
+  }
+  plan.templates_considered = templates.size();
+
+  // ---- Stage 2: SQL Query Generation per template. ----
+  GeneratorOptions gen_options = options_.generator;
+  gen_options.enable_warmup = options_.enable_warmup;
+  gen_options.proxy = options_.proxy;
+  gen_options.n_queries = options_.queries_per_template;
+  std::unordered_set<std::string> dedup;
+  for (size_t t = 0; t < templates.size(); ++t) {
+    gen_options.seed = options_.seed + 1000 * (t + 1);
+    SqlQueryGenerator generator(&*evaluator_, gen_options);
+    FEAT_ASSIGN_OR_RETURN(GenerationResult gen, generator.Run(templates[t]));
+    plan.warmup_seconds += gen.warmup_seconds;
+    plan.generate_seconds += gen.generate_seconds;
+    for (auto& gq : gen.queries) {
+      if (!dedup.insert(gq.query.CacheKey()).second) continue;
+      const size_t qi = plan.queries.size();
+      plan.feature_names.push_back(
+          StrFormat("feataug_%s_%s_t%zu_q%zu", AggFunctionName(gq.query.agg),
+                    gq.query.agg_attr.c_str(), t, qi));
+      plan.valid_metrics.push_back(gq.model_metric);
+      plan.queries.push_back(std::move(gq.query));
+    }
+  }
+  plan.model_evals = evaluator_->num_model_evals();
+  plan.proxy_evals = evaluator_->num_proxy_evals();
+  return plan;
+}
+
+Result<Table> FeatAug::Apply(const AugmentationPlan& plan,
+                             const Table& training) const {
+  Table out = training;
+  for (size_t i = 0; i < plan.queries.size(); ++i) {
+    FEAT_ASSIGN_OR_RETURN(
+        out, AugmentTable(out, problem_.relevant, plan.queries[i],
+                          plan.feature_names[i]));
+  }
+  return out;
+}
+
+Result<Dataset> FeatAug::ApplyToDataset(const AugmentationPlan& plan,
+                                        const Table& training) const {
+  FEAT_ASSIGN_OR_RETURN(
+      Dataset ds, Dataset::FromTable(training, problem_.label_col,
+                                     problem_.base_feature_cols, problem_.task));
+  for (size_t i = 0; i < plan.queries.size(); ++i) {
+    FEAT_ASSIGN_OR_RETURN(
+        std::vector<double> feature,
+        ComputeFeatureColumn(plan.queries[i], training, problem_.relevant));
+    FEAT_RETURN_NOT_OK(ds.AddFeature(plan.feature_names[i], feature));
+  }
+  return ds;
+}
+
+}  // namespace featlib

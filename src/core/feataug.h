@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file feataug.h
+/// \brief End-to-end FeatAug (Fig. 2): optional Query Template
+/// Identification, then SQL Query Generation per selected template, yielding
+/// an augmentation plan of predicate-aware queries that Apply() joins onto
+/// the training table.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/feature_eval.h"
+#include "core/generator.h"
+#include "core/template_id.h"
+
+namespace featlib {
+
+struct FeatAugOptions {
+  /// Number of promising templates used (paper default 8).
+  int n_templates = 8;
+  /// Queries kept per template's pool (paper default 5; 8 x 5 = 40 features).
+  int queries_per_template = 5;
+  /// Disable for the NoQTI ablation: a single template built from all
+  /// candidate WHERE attributes is used instead.
+  bool enable_qti = true;
+  /// Disable for the NoWU ablation (see GeneratorOptions::enable_warmup).
+  bool enable_warmup = true;
+  ProxyKind proxy = ProxyKind::kMutualInformation;
+  GeneratorOptions generator;
+  TemplateIdOptions qti;
+  EvaluatorOptions evaluator;
+  uint64_t seed = 42;
+};
+
+/// \brief The fitted augmentation plan: an ordered list of queries plus
+/// bookkeeping for the scalability experiments (Figs. 5, 7-9).
+struct AugmentationPlan {
+  std::vector<AggQuery> queries;
+  std::vector<std::string> feature_names;
+  std::vector<double> valid_metrics;  // per query, on the validation split
+  double qti_seconds = 0.0;
+  double warmup_seconds = 0.0;
+  double generate_seconds = 0.0;
+  size_t templates_considered = 0;
+  size_t model_evals = 0;
+  size_t proxy_evals = 0;
+};
+
+/// \brief Problem inputs: tables, label, task and template ingredients.
+struct FeatAugProblem {
+  Table training;
+  std::string label_col;
+  /// D's own feature columns (excluded: label, FK columns).
+  std::vector<std::string> base_feature_cols;
+  Table relevant;
+  TaskKind task = TaskKind::kBinaryClassification;
+  /// Template ingredients (Table II): F, A, K and the candidate attr set.
+  std::vector<AggFunction> agg_functions;
+  std::vector<std::string> agg_attrs;
+  std::vector<std::string> fk_attrs;
+  std::vector<std::string> candidate_where_attrs;
+};
+
+/// \brief FeatAug driver.
+class FeatAug {
+ public:
+  FeatAug(FeatAugProblem problem, FeatAugOptions options);
+
+  /// Runs QTI (unless disabled) + query generation; returns the plan.
+  Result<AugmentationPlan> Fit();
+
+  /// Appends the plan's features to a table with the same schema as D.
+  Result<Table> Apply(const AugmentationPlan& plan, const Table& training) const;
+
+  /// Builds the augmented Dataset (base features + plan features) for
+  /// downstream training, aligned to `training` rows.
+  Result<Dataset> ApplyToDataset(const AugmentationPlan& plan,
+                                 const Table& training) const;
+
+  /// The evaluator (valid after Fit); exposes split/test scoring.
+  FeatureEvaluator* evaluator() {
+    return evaluator_.has_value() ? &*evaluator_ : nullptr;
+  }
+
+ private:
+  FeatAugProblem problem_;
+  FeatAugOptions options_;
+  std::optional<FeatureEvaluator> evaluator_;
+};
+
+}  // namespace featlib

@@ -1,0 +1,154 @@
+#include "core/feature_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+#include "ml/linear.h"
+#include "stats/stats.h"
+
+namespace featlib {
+
+const char* ProxyKindToString(ProxyKind proxy) {
+  switch (proxy) {
+    case ProxyKind::kMutualInformation:
+      return "MI";
+    case ProxyKind::kSpearman:
+      return "SC";
+    case ProxyKind::kLogisticRegression:
+      return "LR";
+  }
+  return "?";
+}
+
+Result<FeatureEvaluator> FeatureEvaluator::Create(
+    const Table& training, const std::string& label_col,
+    const std::vector<std::string>& base_feature_cols, const Table& relevant,
+    TaskKind task, EvaluatorOptions options) {
+  // A 0.6/0.2/0.2 split needs at least a handful of rows per part before
+  // any trained metric means anything.
+  constexpr size_t kMinTrainingRows = 10;
+  if (training.num_rows() < kMinTrainingRows) {
+    return Status::InvalidArgument(
+        StrFormat("training table has %zu rows; need >= %zu to split and train",
+                  training.num_rows(), kMinTrainingRows));
+  }
+  FeatureEvaluator out;
+  out.training_ = training;
+  out.relevant_ = relevant;
+  out.label_col_ = label_col;
+  out.options_ = options;
+  FEAT_ASSIGN_OR_RETURN(
+      out.base_, Dataset::FromTable(training, label_col, base_feature_cols, task));
+  out.split_ = MakeSplit(training.num_rows(), options.train_ratio,
+                         options.valid_ratio, options.split_seed);
+  out.train_labels_.reserve(out.split_.train.size());
+  for (uint32_t r : out.split_.train) out.train_labels_.push_back(out.base_.y[r]);
+  return out;
+}
+
+Result<const std::vector<double>*> FeatureEvaluator::Feature(const AggQuery& q) {
+  const std::string key = q.CacheKey();
+  auto it = feature_cache_.find(key);
+  if (it != feature_cache_.end()) return &it->second;
+  FEAT_ASSIGN_OR_RETURN(std::vector<double> values,
+                        ComputeFeatureColumn(q, training_, relevant_));
+  ++num_materializations_;
+  auto [inserted, ok] = feature_cache_.emplace(key, std::move(values));
+  (void)ok;
+  return &inserted->second;
+}
+
+Result<double> FeatureEvaluator::ProxyScore(const AggQuery& q, ProxyKind proxy) {
+  FEAT_ASSIGN_OR_RETURN(const std::vector<double>* feature, Feature(q));
+  ++num_proxy_evals_;
+  std::vector<double> train_feature;
+  train_feature.reserve(split_.train.size());
+  for (uint32_t r : split_.train) train_feature.push_back((*feature)[r]);
+
+  switch (proxy) {
+    case ProxyKind::kMutualInformation:
+      return MutualInformation(train_feature, train_labels_,
+                               task() != TaskKind::kRegression);
+    case ProxyKind::kSpearman:
+      return SpearmanProxy(train_feature, train_labels_);
+    case ProxyKind::kLogisticRegression: {
+      // Mini LR on base + candidate feature; proxy = validation metric
+      // converted so that higher is always better.
+      FEAT_ASSIGN_OR_RETURN(Dataset train, BuildDataset({q}, split_.train));
+      FEAT_ASSIGN_OR_RETURN(Dataset valid, BuildDataset({q}, split_.valid));
+      LinearModelOptions lr_options;
+      lr_options.epochs = 60;
+      FEAT_ASSIGN_OR_RETURN(
+          double metric,
+          TrainAndScore(ModelKind::kLogisticRegression, train, valid,
+                        options_.metric, options_.model_seed));
+      return -ScoreToLoss(metric);
+    }
+  }
+  return Status::InvalidArgument("unknown proxy kind");
+}
+
+Result<Dataset> FeatureEvaluator::BuildDataset(const std::vector<AggQuery>& queries,
+                                               const std::vector<uint32_t>& rows) {
+  // Materialize all query features first (full-length, cached).
+  std::vector<const std::vector<double>*> features;
+  features.reserve(queries.size());
+  for (const AggQuery& q : queries) {
+    FEAT_ASSIGN_OR_RETURN(const std::vector<double>* f, Feature(q));
+    features.push_back(f);
+  }
+  Dataset full = base_;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    FEAT_RETURN_NOT_OK(
+        full.AddFeature(StrFormat("q%zu", i), *features[i]));
+  }
+  return full.GatherRows(rows);
+}
+
+Result<double> FeatureEvaluator::ModelScore(const std::vector<AggQuery>& queries) {
+  FEAT_ASSIGN_OR_RETURN(Dataset train, BuildDataset(queries, split_.train));
+  FEAT_ASSIGN_OR_RETURN(Dataset valid, BuildDataset(queries, split_.valid));
+  ++num_model_evals_;
+  return TrainAndScore(options_.model, train, valid, options_.metric,
+                       options_.model_seed);
+}
+
+Result<double> FeatureEvaluator::ModelScoreAtFidelity(
+    const std::vector<AggQuery>& queries, double fidelity) {
+  if (!(fidelity > 0.0) || fidelity > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("fidelity must lie in (0, 1], got %g", fidelity));
+  }
+  if (fidelity >= 1.0) return ModelScore(queries);
+  const size_t n = std::max<size_t>(
+      2, static_cast<size_t>(std::ceil(fidelity * split_.train.size())));
+  std::vector<uint32_t> sub(split_.train.begin(),
+                            split_.train.begin() +
+                                std::min(n, split_.train.size()));
+  FEAT_ASSIGN_OR_RETURN(Dataset train, BuildDataset(queries, sub));
+  FEAT_ASSIGN_OR_RETURN(Dataset valid, BuildDataset(queries, split_.valid));
+  ++num_model_evals_;
+  return TrainAndScore(options_.model, train, valid, options_.metric,
+                       options_.model_seed);
+}
+
+Result<double> FeatureEvaluator::BaselineModelScore() {
+  if (baseline_computed_) return baseline_score_;
+  FEAT_ASSIGN_OR_RETURN(Dataset train, BuildDataset({}, split_.train));
+  FEAT_ASSIGN_OR_RETURN(Dataset valid, BuildDataset({}, split_.valid));
+  FEAT_ASSIGN_OR_RETURN(baseline_score_,
+                        TrainAndScore(options_.model, train, valid,
+                                      options_.metric, options_.model_seed));
+  baseline_computed_ = true;
+  return baseline_score_;
+}
+
+Result<double> FeatureEvaluator::TestScore(const std::vector<AggQuery>& queries) {
+  FEAT_ASSIGN_OR_RETURN(Dataset train, BuildDataset(queries, split_.train));
+  FEAT_ASSIGN_OR_RETURN(Dataset test, BuildDataset(queries, split_.test));
+  return TrainAndScore(options_.model, train, test, options_.metric,
+                       options_.model_seed);
+}
+
+}  // namespace featlib

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file feature_eval.h
+/// \brief Central evaluation service: materializes query features against
+/// (D, R), scores them with low-cost proxies (§V.C, Table VIII) or with the
+/// real downstream model (Problem 1's L(A(D_train), D_valid)), and caches
+/// feature columns across the search.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/evaluator.h"
+#include "query/executor.h"
+
+namespace featlib {
+
+/// Low-cost proxies studied in Table VIII.
+enum class ProxyKind {
+  kMutualInformation,  // "MI" (default)
+  kSpearman,           // "SC"
+  kLogisticRegression, // "LR" mini-model proxy
+};
+
+const char* ProxyKindToString(ProxyKind proxy);
+
+struct EvaluatorOptions {
+  ModelKind model = ModelKind::kXgb;
+  /// Metric; defaults (per task) applied when unset stays kAuc for binary.
+  MetricKind metric = MetricKind::kAuc;
+  double train_ratio = 0.6;
+  double valid_ratio = 0.2;
+  uint64_t split_seed = 7;
+  uint64_t model_seed = 13;
+};
+
+/// \brief Evaluation context bound to one (D, label, base features, R).
+class FeatureEvaluator {
+ public:
+  /// `base_feature_cols` are D's pre-existing features (the paper's age,
+  /// gender, ...); FK columns and the label must not be listed.
+  static Result<FeatureEvaluator> Create(const Table& training,
+                                         const std::string& label_col,
+                                         const std::vector<std::string>& base_feature_cols,
+                                         const Table& relevant, TaskKind task,
+                                         EvaluatorOptions options);
+
+  /// Materializes (and caches) the feature column of `q` aligned to D.
+  Result<const std::vector<double>*> Feature(const AggQuery& q);
+
+  /// Proxy score of the single feature on the training split; higher is
+  /// better for every proxy kind.
+  Result<double> ProxyScore(const AggQuery& q, ProxyKind proxy);
+
+  /// Real model evaluation: base features plus all `queries` features,
+  /// trained on the train split, scored on the validation split.
+  Result<double> ModelScore(const std::vector<AggQuery>& queries);
+
+  /// Real model evaluation of the base features plus one query feature.
+  Result<double> ModelScoreSingle(const AggQuery& q) {
+    return ModelScore({q});
+  }
+
+  /// Reduced-fidelity model evaluation for Hyperband/BOHB: trains on the
+  /// first ceil(fidelity * |train|) rows of the shuffled train split (a
+  /// uniform subsample with the prefix property successive halving wants —
+  /// every higher rung's training set contains the lower rung's) and scores
+  /// on the full validation split. fidelity must lie in (0, 1];
+  /// fidelity = 1 is exactly ModelScore.
+  Result<double> ModelScoreAtFidelity(const std::vector<AggQuery>& queries,
+                                      double fidelity);
+
+  /// Model metric with base features only (cached after first call).
+  Result<double> BaselineModelScore();
+
+  /// Test-split metric for a final feature set (used by benches to report
+  /// held-out numbers like the paper's tables).
+  Result<double> TestScore(const std::vector<AggQuery>& queries);
+
+  /// Converts a metric value into a loss for minimizing optimizers.
+  double ScoreToLoss(double metric_value) const {
+    return MetricToLoss(options_.metric, metric_value);
+  }
+
+  const Table& training() const { return training_; }
+  const Table& relevant() const { return relevant_; }
+  TaskKind task() const { return base_.task; }
+  const EvaluatorOptions& options() const { return options_; }
+  const Dataset& base_dataset() const { return base_; }
+  const SplitIndices& split() const { return split_; }
+
+  /// Evaluation counters (reported by the scalability benches).
+  size_t num_feature_materializations() const { return num_materializations_; }
+  size_t num_proxy_evals() const { return num_proxy_evals_; }
+  size_t num_model_evals() const { return num_model_evals_; }
+
+ private:
+  FeatureEvaluator() = default;
+
+  /// Builds base + query features dataset rows for the given split rows.
+  Result<Dataset> BuildDataset(const std::vector<AggQuery>& queries,
+                               const std::vector<uint32_t>& rows);
+
+  Table training_;
+  Table relevant_;
+  std::string label_col_;
+  Dataset base_;  // base features over all rows of D
+  SplitIndices split_;
+  EvaluatorOptions options_;
+
+  std::unordered_map<std::string, std::vector<double>> feature_cache_;
+  // Labels restricted to the train split (proxy scoring).
+  std::vector<double> train_labels_;
+  double baseline_score_ = 0.0;
+  bool baseline_computed_ = false;
+
+  size_t num_materializations_ = 0;
+  size_t num_proxy_evals_ = 0;
+  size_t num_model_evals_ = 0;
+};
+
+}  // namespace featlib

@@ -1,0 +1,195 @@
+#include "core/generator.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/timer.h"
+
+namespace featlib {
+
+namespace {
+
+std::unique_ptr<Optimizer> MakeOptimizer(HpoBackend backend,
+                                         const SearchSpace& space,
+                                         const TpeOptions& tpe_options,
+                                         uint64_t seed) {
+  switch (backend) {
+    case HpoBackend::kTpe: {
+      TpeOptions options = tpe_options;
+      options.seed = seed;
+      return std::make_unique<Tpe>(space, options);
+    }
+    case HpoBackend::kSmac: {
+      SmacOptions options;
+      options.seed = seed;
+      return std::make_unique<Smac>(space, options);
+    }
+    case HpoBackend::kRandom:
+      return std::make_unique<RandomSearch>(space, seed);
+    case HpoBackend::kHyperband:
+    case HpoBackend::kBohb:
+      // Multi-fidelity backends use the bracketed driver, not the
+      // sequential suggest/observe loop; the proxy round falls back to TPE.
+      return std::make_unique<Tpe>(space, TpeOptions{.seed = seed});
+  }
+  return nullptr;
+}
+
+bool IsMultiFidelity(HpoBackend backend) {
+  return backend == HpoBackend::kHyperband || backend == HpoBackend::kBohb;
+}
+
+}  // namespace
+
+const char* HpoBackendToString(HpoBackend backend) {
+  switch (backend) {
+    case HpoBackend::kTpe:
+      return "TPE";
+    case HpoBackend::kSmac:
+      return "SMAC";
+    case HpoBackend::kRandom:
+      return "Random";
+    case HpoBackend::kHyperband:
+      return "Hyperband";
+    case HpoBackend::kBohb:
+      return "BOHB";
+  }
+  return "?";
+}
+
+Result<GenerationResult> SqlQueryGenerator::Run(const QueryTemplate& tmpl) {
+  FEAT_ASSIGN_OR_RETURN(QueryVectorCodec codec,
+                        QueryVectorCodec::Create(tmpl, evaluator_->relevant()));
+  GenerationResult result;
+  const size_t proxy_evals_before = evaluator_->num_proxy_evals();
+  const size_t model_evals_before = evaluator_->num_model_evals();
+
+  // Best (vector, model loss) observations that seed and fill round two.
+  std::vector<Trial> warm_trials;
+  // All real-model-evaluated queries, keyed for dedup.
+  std::unordered_map<std::string, GeneratedQuery> evaluated;
+
+  auto evaluate_with_model = [&](const ParamVector& v) -> Status {
+    FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
+    const std::string key = q.CacheKey();
+    auto it = evaluated.find(key);
+    double loss;
+    if (it != evaluated.end()) {
+      loss = it->second.loss;
+    } else {
+      FEAT_ASSIGN_OR_RETURN(double metric, evaluator_->ModelScoreSingle(q));
+      loss = evaluator_->ScoreToLoss(metric);
+      evaluated.emplace(key, GeneratedQuery{std::move(q), metric, loss});
+    }
+    warm_trials.push_back(Trial{v, loss});
+    return Status::OK();
+  };
+
+  WallTimer timer;
+  if (options_.enable_warmup) {
+    // ---- Round one: TPE against the low-cost proxy. ----
+    auto proxy_search_ptr =
+        MakeOptimizer(options_.backend, codec.space(), options_.tpe, options_.seed);
+    Optimizer& proxy_search = *proxy_search_ptr;
+    // (vector, proxy) pairs; proxy losses are -score (minimize convention).
+    std::vector<std::pair<ParamVector, double>> proxy_history;
+    std::unordered_set<std::string> proxy_seen;
+    for (int i = 0; i < options_.warmup_iterations; ++i) {
+      ParamVector v = proxy_search.Suggest();
+      FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
+      FEAT_ASSIGN_OR_RETURN(double score,
+                            evaluator_->ProxyScore(q, options_.proxy));
+      proxy_search.Observe(v, -score);
+      if (proxy_seen.insert(q.CacheKey()).second) {
+        proxy_history.emplace_back(std::move(v), -score);
+      }
+    }
+    // Top-k distinct proxy queries get real-model evaluations that
+    // initialize the surrogate of round two (knowledge transfer).
+    std::sort(proxy_history.begin(), proxy_history.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    const size_t top_k = std::min<size_t>(
+        proxy_history.size(), static_cast<size_t>(options_.warmup_top_k));
+    for (size_t i = 0; i < top_k; ++i) {
+      FEAT_RETURN_NOT_OK(evaluate_with_model(proxy_history[i].first));
+    }
+  }
+  result.warmup_seconds = options_.enable_warmup ? timer.Seconds() : 0.0;
+
+  // ---- Round two: search against the real validation loss. ----
+  timer.Restart();
+  int iterations = options_.generation_iterations;
+  if (!options_.enable_warmup) {
+    // Fair-comparison protocol: the dropped warm-up's model evaluations are
+    // granted to plain TPE instead (50 + 40 = 90 in the paper).
+    iterations += options_.warmup_top_k;
+  }
+
+  if (IsMultiFidelity(options_.backend)) {
+    // Bracketed successive halving at equal model-training budget: the cost
+    // ledger counts a fidelity-f evaluation as f full evaluations.
+    HyperbandOptions hb = options_.hyperband;
+    hb.seed = options_.seed + 1;
+    hb.model_based = options_.backend == HpoBackend::kBohb;
+    hb.max_total_cost = static_cast<double>(iterations);
+    Hyperband driver(codec.space(), hb);
+    driver.WarmStart(warm_trials);
+    auto objective = [&](const ParamVector& v,
+                         double fidelity) -> Result<double> {
+      FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
+      if (fidelity >= 1.0) {
+        // Only full-fidelity losses are reliable enough for the final
+        // ranking; they flow into `evaluated` like round-two TPE losses.
+        const std::string key = q.CacheKey();
+        auto it = evaluated.find(key);
+        if (it != evaluated.end()) return it->second.loss;
+        FEAT_ASSIGN_OR_RETURN(double metric, evaluator_->ModelScoreSingle(q));
+        const double loss = evaluator_->ScoreToLoss(metric);
+        evaluated.emplace(key, GeneratedQuery{std::move(q), metric, loss});
+        return loss;
+      }
+      FEAT_ASSIGN_OR_RETURN(double metric,
+                            evaluator_->ModelScoreAtFidelity({q}, fidelity));
+      return evaluator_->ScoreToLoss(metric);
+    };
+    FEAT_RETURN_NOT_OK(driver.Run(objective).status());
+  } else {
+    auto generation_search_ptr = MakeOptimizer(options_.backend, codec.space(),
+                                               options_.tpe, options_.seed + 1);
+    Optimizer& generation_search = *generation_search_ptr;
+    generation_search.WarmStart(warm_trials);
+    for (int i = 0; i < iterations; ++i) {
+      ParamVector v = generation_search.Suggest();
+      FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
+      const std::string key = q.CacheKey();
+      double loss;
+      auto it = evaluated.find(key);
+      if (it != evaluated.end()) {
+        loss = it->second.loss;
+      } else {
+        FEAT_ASSIGN_OR_RETURN(double metric, evaluator_->ModelScoreSingle(q));
+        loss = evaluator_->ScoreToLoss(metric);
+        evaluated.emplace(key, GeneratedQuery{std::move(q), metric, loss});
+      }
+      generation_search.Observe(v, loss);
+    }
+  }
+  result.generate_seconds = timer.Seconds();
+
+  result.queries.reserve(evaluated.size());
+  for (auto& [key, gq] : evaluated) result.queries.push_back(std::move(gq));
+  std::sort(result.queries.begin(), result.queries.end(),
+            [](const GeneratedQuery& a, const GeneratedQuery& b) {
+              return a.loss < b.loss;
+            });
+  if (result.queries.size() > static_cast<size_t>(options_.n_queries)) {
+    result.queries.resize(static_cast<size_t>(options_.n_queries));
+  }
+  result.proxy_evals = evaluator_->num_proxy_evals() - proxy_evals_before;
+  result.model_evals = evaluator_->num_model_evals() - model_evals_before;
+  return result;
+}
+
+}  // namespace featlib

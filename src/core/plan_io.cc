@@ -1,0 +1,127 @@
+#include "core/plan_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "query/sql_parser.h"
+
+namespace featlib {
+
+namespace {
+
+constexpr const char* kPlanHeader = "-- feataug plan v1";
+
+/// Extracts "-- key: value" metadata lines preceding each statement.
+/// Returns per-statement (name, metric) pairs in order of appearance,
+/// aligned with the ';'-separated statements of the script.
+struct StatementMeta {
+  std::string feature_name;
+  double valid_metric = std::nan("");
+};
+
+std::vector<StatementMeta> CollectMetadata(const std::string& text) {
+  std::vector<StatementMeta> out;
+  StatementMeta pending;
+  bool pending_used = true;
+  std::istringstream lines(text);
+  std::string line;
+  // A statement ends at a line containing ';'. Comments between statements
+  // accumulate into the next statement's metadata.
+  while (std::getline(lines, line)) {
+    const std::string trimmed = StrTrim(line);
+    if (trimmed.rfind("--", 0) == 0) {
+      const std::string body = StrTrim(trimmed.substr(2));
+      if (body.rfind("feature:", 0) == 0) {
+        pending.feature_name = StrTrim(body.substr(8));
+        pending_used = false;
+      } else if (body.rfind("valid_metric:", 0) == 0) {
+        double v = 0.0;
+        if (ParseDouble(StrTrim(body.substr(13)), &v)) pending.valid_metric = v;
+        pending_used = false;
+      }
+      continue;
+    }
+    if (trimmed.find(';') != std::string::npos) {
+      out.push_back(pending);
+      pending = StatementMeta{};
+      pending_used = true;
+    }
+  }
+  if (!pending_used) out.push_back(pending);
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeAugmentationPlan(const AugmentationPlan& plan,
+                                      const std::string& relation,
+                                      const Table& schema_of) {
+  std::string out = std::string(kPlanHeader) + "\n";
+  out += StrFormat("-- queries: %zu\n\n", plan.queries.size());
+  for (size_t i = 0; i < plan.queries.size(); ++i) {
+    if (i < plan.feature_names.size()) {
+      out += "-- feature: " + plan.feature_names[i] + "\n";
+    }
+    if (i < plan.valid_metrics.size() && std::isfinite(plan.valid_metrics[i])) {
+      out += StrFormat("-- valid_metric: %.6f\n", plan.valid_metrics[i]);
+    }
+    out += plan.queries[i].ToSql(relation, schema_of) + ";\n\n";
+  }
+  return out;
+}
+
+Result<AugmentationPlan> ParseAugmentationPlan(const std::string& text) {
+  FEAT_ASSIGN_OR_RETURN(std::vector<ParsedAggQuery> parsed,
+                        ParseAggQueryScript(text));
+  const std::vector<StatementMeta> meta = CollectMetadata(text);
+  AugmentationPlan plan;
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    plan.queries.push_back(std::move(parsed[i].query));
+    std::string name;
+    double metric = std::nan("");
+    if (i < meta.size()) {
+      name = meta[i].feature_name;
+      metric = meta[i].valid_metric;
+    }
+    if (name.empty()) {
+      // Prefer the SQL alias when the author supplied a meaningful one.
+      name = parsed[i].feature_alias != "feature"
+                 ? parsed[i].feature_alias
+                 : StrFormat("feature_%zu", i);
+    }
+    plan.feature_names.push_back(std::move(name));
+    plan.valid_metrics.push_back(metric);
+  }
+  return plan;
+}
+
+Result<AugmentationPlan> ParseAugmentationPlan(const std::string& text,
+                                               const Table& relevant) {
+  FEAT_ASSIGN_OR_RETURN(AugmentationPlan plan, ParseAugmentationPlan(text));
+  for (const AggQuery& q : plan.queries) {
+    FEAT_RETURN_NOT_OK(q.Validate(relevant));
+  }
+  return plan;
+}
+
+Status WriteAugmentationPlan(const AugmentationPlan& plan,
+                             const std::string& relation, const Table& schema_of,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot open for writing: " + path);
+  out << SerializeAugmentationPlan(plan, relation, schema_of);
+  if (!out) return Status::InvalidArgument("write failed: " + path);
+  return Status::OK();
+}
+
+Result<AugmentationPlan> ReadAugmentationPlan(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return ParseAugmentationPlan(buf.str());
+}
+
+}  // namespace featlib

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file plan_io.h
+/// \brief Persisting an AugmentationPlan as a SQL script and loading it
+/// back.
+///
+/// The serialized form is plain SQL — reviewable, diffable, editable by a
+/// data scientist — with the plan metadata (feature names, validation
+/// metrics) carried in `--` line comments the parser ignores:
+///
+///   -- feataug plan v1
+///   -- feature: feataug_AVG_pprice_t0_q0
+///   -- valid_metric: 0.7421
+///   SELECT cname, AVG(pprice) AS feature
+///   FROM relevant
+///   WHERE department = 'Electronics'
+///   GROUP BY cname;
+///
+/// Loading tolerates hand edits: extra/removed queries, changed predicates,
+/// missing metadata comments (names are regenerated, metrics become NaN).
+/// Loaded plans re-validate against the relevant table before use.
+
+#include <string>
+
+#include "core/feataug.h"
+
+namespace featlib {
+
+/// Renders the plan to the SQL script format. `relation` names the FROM
+/// table; `schema_of` supplies predicate types for rendering.
+std::string SerializeAugmentationPlan(const AugmentationPlan& plan,
+                                      const std::string& relation,
+                                      const Table& schema_of);
+
+/// Parses a serialized plan. Timing/counter fields are zero; missing
+/// feature names are regenerated as "feature_<i>"; missing metrics load as
+/// NaN. Fails on malformed SQL.
+Result<AugmentationPlan> ParseAugmentationPlan(const std::string& text);
+
+/// Parses and validates every query against the relevant table's schema.
+Result<AugmentationPlan> ParseAugmentationPlan(const std::string& text,
+                                               const Table& relevant);
+
+/// File variants.
+Status WriteAugmentationPlan(const AugmentationPlan& plan,
+                             const std::string& relation, const Table& schema_of,
+                             const std::string& path);
+Result<AugmentationPlan> ReadAugmentationPlan(const std::string& path);
+
+}  // namespace featlib

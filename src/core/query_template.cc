@@ -1,0 +1,52 @@
+#include "core/query_template.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace featlib {
+
+Status QueryTemplate::Validate(const Table& relevant) const {
+  if (agg_functions.empty()) {
+    return Status::InvalidArgument("template needs at least one aggregation fn");
+  }
+  if (agg_attrs.empty()) {
+    return Status::InvalidArgument("template needs at least one agg attribute");
+  }
+  if (fk_attrs.empty()) {
+    return Status::InvalidArgument("template needs at least one FK attribute");
+  }
+  for (const auto& a : agg_attrs) {
+    if (!relevant.HasColumn(a)) {
+      return Status::InvalidArgument("agg attribute missing from R: " + a);
+    }
+  }
+  for (const auto& p : where_attrs) {
+    if (!relevant.HasColumn(p)) {
+      return Status::InvalidArgument("WHERE attribute missing from R: " + p);
+    }
+  }
+  for (const auto& k : fk_attrs) {
+    if (!relevant.HasColumn(k)) {
+      return Status::InvalidArgument("FK attribute missing from R: " + k);
+    }
+  }
+  return Status::OK();
+}
+
+std::string QueryTemplate::ToString() const {
+  std::vector<std::string> fns;
+  fns.reserve(agg_functions.size());
+  for (AggFunction fn : agg_functions) fns.emplace_back(AggFunctionName(fn));
+  return "(F=[" + StrJoin(fns, ",") + "], A=[" + StrJoin(agg_attrs, ",") +
+         "], P=[" + StrJoin(where_attrs, ",") + "], K=[" + StrJoin(fk_attrs, ",") +
+         "])";
+}
+
+std::string QueryTemplate::WhereKey() const {
+  std::vector<std::string> sorted = where_attrs;
+  std::sort(sorted.begin(), sorted.end());
+  return StrJoin(sorted, "|");
+}
+
+}  // namespace featlib

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file query_template.h
+/// \brief Query template T = (F, A, P, K) (Def. 1): aggregation functions F,
+/// aggregable attributes A, the WHERE-clause attribute combination P, and
+/// the foreign-key attributes K.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/aggregate.h"
+#include "table/table.h"
+
+namespace featlib {
+
+/// \brief A query template; each template induces a query pool Q_T (Def. 2).
+struct QueryTemplate {
+  std::vector<AggFunction> agg_functions;  // F
+  std::vector<std::string> agg_attrs;      // A
+  std::vector<std::string> where_attrs;    // P (fixed attribute combination)
+  std::vector<std::string> fk_attrs;       // K
+
+  /// Checks attribute existence/typing against the relevant table.
+  Status Validate(const Table& relevant) const;
+
+  /// "(F=[SUM,AVG], A=[pprice], P=[department,ts], K=[cname])"
+  std::string ToString() const;
+
+  /// Canonical key over P (the part Query Template Identification varies).
+  std::string WhereKey() const;
+};
+
+}  // namespace featlib

@@ -1,0 +1,309 @@
+#include "core/template_id.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "core/codec.h"
+#include "hpo/tpe.h"
+#include "ml/linear.h"
+
+namespace featlib {
+
+namespace {
+
+/// Node in the attribute-combination lattice: a bitmask over candidate
+/// attributes (limited to 63 candidates, far above practical widths).
+using AttrMask = uint64_t;
+
+std::vector<std::string> MaskToAttrs(AttrMask mask,
+                                     const std::vector<std::string>& attrs) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (mask & (AttrMask{1} << i)) out.push_back(attrs[i]);
+  }
+  return out;
+}
+
+int PopCount(AttrMask mask) {
+  int count = 0;
+  while (mask != 0) {
+    mask &= mask - 1;
+    ++count;
+  }
+  return count;
+}
+
+/// Ridge performance predictor over one-hot template encodings (Opt. 2).
+class TemplatePredictor {
+ public:
+  explicit TemplatePredictor(size_t n_attrs) : n_attrs_(n_attrs) {}
+
+  void AddExample(AttrMask mask, double score) {
+    masks_.push_back(mask);
+    scores_.push_back(score);
+  }
+
+  /// Refits the ridge model; returns false with too little data.
+  bool Fit() {
+    if (masks_.size() < 2) return false;
+    const size_t dim = n_attrs_ + 1;  // + bias
+    std::vector<double> xtx(dim * dim, 0.0);
+    std::vector<double> xty(dim, 0.0);
+    std::vector<double> row(dim, 0.0);
+    for (size_t e = 0; e < masks_.size(); ++e) {
+      for (size_t i = 0; i < n_attrs_; ++i) {
+        row[i] = (masks_[e] & (AttrMask{1} << i)) ? 1.0 : 0.0;
+      }
+      row[n_attrs_] = 1.0;
+      for (size_t i = 0; i < dim; ++i) {
+        xty[i] += row[i] * scores_[e];
+        for (size_t j = i; j < dim; ++j) xtx[i * dim + j] += row[i] * row[j];
+      }
+    }
+    for (size_t i = 0; i < dim; ++i) {
+      for (size_t j = 0; j < i; ++j) xtx[i * dim + j] = xtx[j * dim + i];
+    }
+    Status st = SolveRidgeSystem(&xtx, &xty, dim, 1e-2);
+    if (!st.ok()) return false;
+    weights_ = std::move(xty);
+    return true;
+  }
+
+  double Predict(AttrMask mask) const {
+    double z = weights_.back();
+    for (size_t i = 0; i < n_attrs_; ++i) {
+      if (mask & (AttrMask{1} << i)) z += weights_[i];
+    }
+    return z;
+  }
+
+ private:
+  size_t n_attrs_;
+  std::vector<AttrMask> masks_;
+  std::vector<double> scores_;
+  std::vector<double> weights_;
+};
+
+}  // namespace
+
+Result<NodeEvaluation> TemplateIdentifier::EvaluateNode(
+    const QueryTemplate& tmpl,
+    const std::vector<std::pair<AggQuery, double>>& seeds) {
+  FEAT_ASSIGN_OR_RETURN(QueryVectorCodec codec,
+                        QueryVectorCodec::Create(tmpl, evaluator_->relevant()));
+  TpeOptions tpe_options;
+  tpe_options.seed = options_.seed ^ std::hash<std::string>{}(tmpl.WhereKey());
+  tpe_options.n_startup = std::max(2, options_.node_iterations / 3);
+  Tpe search(codec.space(), tpe_options);
+
+  NodeEvaluation node;
+  node.score = -std::numeric_limits<double>::infinity();
+  std::unordered_set<std::string> top_keys;
+  auto record = [&](const AggQuery& q, double score) {
+    node.score = std::max(node.score, score);
+    const std::string key = q.CacheKey();
+    if (!top_keys.insert(key).second) return;
+    node.top_queries.emplace_back(q, score);
+    std::sort(node.top_queries.begin(), node.top_queries.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (node.top_queries.size() > static_cast<size_t>(options_.seeds_per_node)) {
+      top_keys.erase(node.top_queries.back().first.CacheKey());
+      node.top_queries.pop_back();
+    }
+  };
+
+  // Beam inheritance: parent-pool bests are valid (and proxy-cached)
+  // observations in this pool; they both warm the surrogate and floor the
+  // node's score at its parents' level.
+  for (const auto& [q, score] : seeds) {
+    auto encoded = codec.Encode(q);
+    if (!encoded.ok()) continue;  // seed outside this pool (shouldn't happen)
+    search.Observe(encoded.value(), -score);
+    record(q, score);
+  }
+
+  for (int i = 0; i < options_.node_iterations; ++i) {
+    ParamVector v = search.Suggest();
+    FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
+    double score;
+    if (options_.use_low_cost_proxy) {
+      FEAT_ASSIGN_OR_RETURN(score, evaluator_->ProxyScore(q, options_.proxy));
+    } else {
+      // Without Opt. 1, effectiveness is the real validation metric
+      // (expensive: one model training per iteration).
+      FEAT_ASSIGN_OR_RETURN(double metric, evaluator_->ModelScoreSingle(q));
+      score = -evaluator_->ScoreToLoss(metric);
+    }
+    search.Observe(v, -score);
+    record(q, score);
+  }
+  return node;
+}
+
+Result<TemplateIdResult> TemplateIdentifier::Run(
+    const QueryTemplate& base, const std::vector<std::string>& candidate_attrs) {
+  if (candidate_attrs.empty()) {
+    return Status::InvalidArgument("QTI needs candidate WHERE attributes");
+  }
+  if (candidate_attrs.size() > 63) {
+    return Status::InvalidArgument("QTI supports at most 63 candidate attributes");
+  }
+  WallTimer timer;
+  TemplateIdResult result;
+  TemplatePredictor predictor(candidate_attrs.size());
+
+  auto make_template = [&](AttrMask mask) {
+    QueryTemplate t = base;
+    t.where_attrs = MaskToAttrs(mask, candidate_attrs);
+    return t;
+  };
+
+  struct EvaluatedNode {
+    AttrMask mask;
+    double score;
+  };
+  std::vector<EvaluatedNode> all_evaluated;
+  std::unordered_set<AttrMask> seen;
+  std::unordered_map<AttrMask, NodeEvaluation> node_results;
+
+  // Beam inheritance: a child's seeds are the best queries of its evaluated
+  // parents (mask minus one bit), deduplicated, best-first, capped.
+  auto gather_seeds = [&](AttrMask mask) {
+    std::vector<std::pair<AggQuery, double>> seeds;
+    if (!options_.seed_from_parents) return seeds;
+    std::unordered_set<std::string> keys;
+    for (size_t i = 0; i < candidate_attrs.size(); ++i) {
+      const AttrMask bit = AttrMask{1} << i;
+      if (!(mask & bit)) continue;
+      auto it = node_results.find(mask & ~bit);
+      if (it == node_results.end()) continue;
+      for (const auto& [q, score] : it->second.top_queries) {
+        if (keys.insert(q.CacheKey()).second) seeds.emplace_back(q, score);
+      }
+    }
+    std::sort(seeds.begin(), seeds.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (seeds.size() > static_cast<size_t>(options_.seeds_per_node)) {
+      seeds.resize(static_cast<size_t>(options_.seeds_per_node));
+    }
+    return seeds;
+  };
+
+  auto evaluate = [&](AttrMask mask) -> Status {
+    if (!seen.insert(mask).second) return Status::OK();
+    FEAT_ASSIGN_OR_RETURN(NodeEvaluation node,
+                          EvaluateNode(make_template(mask), gather_seeds(mask)));
+    all_evaluated.push_back(EvaluatedNode{mask, node.score});
+    node_results.emplace(mask, std::move(node));
+    predictor.AddExample(mask, all_evaluated.back().score);
+    ++result.nodes_evaluated;
+    return Status::OK();
+  };
+
+  // Layer 0 (beam inheritance only): the predicate-free root seeds every
+  // singleton with the best unpredicated aggregates.
+  if (options_.seed_from_parents) {
+    FEAT_RETURN_NOT_OK(evaluate(AttrMask{0}));
+  }
+
+  // Layer 1: every singleton is evaluated (this is also the predictor's
+  // first batch of training data, per §VI.C).
+  std::vector<EvaluatedNode> layer;
+  for (size_t i = 0; i < candidate_attrs.size(); ++i) {
+    FEAT_RETURN_NOT_OK(evaluate(AttrMask{1} << i));
+  }
+  for (const auto& node : all_evaluated) {
+    if (node.mask != 0) layer.push_back(node);
+  }
+
+  const size_t beam = static_cast<size_t>(std::max(1, options_.beam_width));
+  for (int depth = 2; depth <= options_.max_depth; ++depth) {
+    // Beam: expand the top-beta nodes of the previous layer.
+    // Under beam inheritance a child's score is floored at its parents'
+    // best, so exact ties mean "the extra attribute added nothing" — break
+    // them toward the simpler template (then by mask, for determinism).
+    std::sort(layer.begin(), layer.end(),
+              [](const EvaluatedNode& a, const EvaluatedNode& b) {
+                if (a.score != b.score) return a.score > b.score;
+                const int pa = PopCount(a.mask), pb = PopCount(b.mask);
+                if (pa != pb) return pa < pb;
+                return a.mask < b.mask;
+              });
+    if (layer.size() > beam) layer.resize(beam);
+
+    // Children: add one unused attribute to a beam node.
+    std::vector<AttrMask> children;
+    std::unordered_set<AttrMask> child_seen;
+    for (const EvaluatedNode& parent : layer) {
+      for (size_t i = 0; i < candidate_attrs.size(); ++i) {
+        const AttrMask bit = AttrMask{1} << i;
+        if (parent.mask & bit) continue;
+        const AttrMask child = parent.mask | bit;
+        if (seen.count(child) > 0 || !child_seen.insert(child).second) continue;
+        children.push_back(child);
+      }
+    }
+    if (children.empty()) break;
+
+    // Opt. 2: rank children by predicted score, evaluate only the top-beta.
+    if (options_.use_predictor && predictor.Fit()) {
+      std::sort(children.begin(), children.end(), [&](AttrMask a, AttrMask b) {
+        return predictor.Predict(a) > predictor.Predict(b);
+      });
+      if (children.size() > beam) {
+        result.nodes_pruned_by_predictor += children.size() - beam;
+        children.resize(beam);
+      }
+    }
+
+    layer.clear();
+    for (AttrMask child : children) {
+      FEAT_RETURN_NOT_OK(evaluate(child));
+      layer.push_back(all_evaluated.back());
+    }
+  }
+
+  // Top-n templates over everything evaluated (§VI.B: the n most promising
+  // templates are picked from all visited nodes, not the last layer).
+  std::sort(all_evaluated.begin(), all_evaluated.end(),
+            [](const EvaluatedNode& a, const EvaluatedNode& b) {
+              if (a.score != b.score) return a.score > b.score;
+              const int pa = PopCount(a.mask), pb = PopCount(b.mask);
+              if (pa != pb) return pa < pb;
+              return a.mask < b.mask;
+            });
+  // Under beam inheritance a node that exactly ties its best evaluated
+  // parent found nothing its parent's pool lacked — its recommendation
+  // would be redundant. Prefer improvers; pad with the rest in rank order.
+  auto is_improver = [&](const EvaluatedNode& n) {
+    if (!options_.seed_from_parents || n.mask == 0) return true;
+    double parent_best = -std::numeric_limits<double>::infinity();
+    bool any_parent = false;
+    for (size_t i = 0; i < candidate_attrs.size(); ++i) {
+      const AttrMask bit = AttrMask{1} << i;
+      if (!(n.mask & bit)) continue;
+      auto it = node_results.find(n.mask & ~bit);
+      if (it == node_results.end()) continue;
+      any_parent = true;
+      parent_best = std::max(parent_best, it->second.score);
+    }
+    return !any_parent || n.score > parent_best + 1e-12;
+  };
+  const size_t take = std::min<size_t>(all_evaluated.size(),
+                                       static_cast<size_t>(options_.n_templates));
+  for (int pass = 0; pass < 2 && result.templates.size() < take; ++pass) {
+    for (const EvaluatedNode& node : all_evaluated) {
+      if (result.templates.size() >= take) break;
+      if ((pass == 0) != is_improver(node)) continue;
+      result.templates.push_back(
+          ScoredTemplate{make_template(node.mask), node.score});
+    }
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace featlib

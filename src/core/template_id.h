@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file template_id.h
+/// \brief The Query Template Identification component (§VI): beam search
+/// over the lattice of WHERE-clause attribute combinations, with
+/// Optimization 1 (low-cost proxy scoring of each node) and Optimization 2
+/// (a ridge performance predictor over one-hot template encodings that
+/// prunes each layer to beta nodes before any proxy evaluation).
+
+#include <vector>
+
+#include "core/feature_eval.h"
+#include "core/query_template.h"
+
+namespace featlib {
+
+struct TemplateIdOptions {
+  /// Beam width beta: nodes expanded per layer.
+  int beam_width = 2;
+  /// Maximum WHERE-clause size explored (tree depth).
+  int max_depth = 3;
+  /// Number of templates recommended (top-n over all evaluated nodes).
+  int n_templates = 8;
+  /// Proxy-TPE iterations used to estimate a node's effectiveness (Def. 5
+  /// approximated by the best proxy value found in its pool).
+  int node_iterations = 20;
+  /// Optimization 1: score nodes with the low-cost proxy instead of real
+  /// model training. Disabling makes every node evaluation train models.
+  bool use_low_cost_proxy = true;
+  /// Optimization 2: predict child scores and only evaluate the top-beta.
+  bool use_predictor = true;
+  /// Beam inheritance (this implementation's extension): a child template's
+  /// pool contains every query of its parents' pools, so the best queries
+  /// found while scoring a parent are valid — and already proxy-cached —
+  /// observations for the child's search. Seeding them makes short
+  /// node_iterations budgets find compound predicates (e.g. department AND
+  /// reordered) that a cold search at the same budget misses; see
+  /// bench_ablation_design. A root node (no predicates) is evaluated first
+  /// to seed layer 1.
+  bool seed_from_parents = true;
+  /// Best queries carried from each node to its children.
+  int seeds_per_node = 4;
+  ProxyKind proxy = ProxyKind::kMutualInformation;
+  uint64_t seed = 42;
+};
+
+struct ScoredTemplate {
+  QueryTemplate tmpl;
+  /// Node effectiveness estimate (higher is better).
+  double score = 0.0;
+};
+
+/// Result of scoring one lattice node: its effectiveness estimate plus the
+/// best queries found (carried to children under beam inheritance).
+struct NodeEvaluation {
+  double score = 0.0;
+  /// Best-first (query, proxy score) pairs, deduplicated by cache key.
+  std::vector<std::pair<AggQuery, double>> top_queries;
+};
+
+struct TemplateIdResult {
+  /// Top-n templates over all evaluated nodes, best first.
+  std::vector<ScoredTemplate> templates;
+  double seconds = 0.0;
+  size_t nodes_evaluated = 0;
+  size_t nodes_pruned_by_predictor = 0;
+};
+
+/// \brief Identifies promising query templates for given candidate WHERE
+/// attributes (Problem 2).
+class TemplateIdentifier {
+ public:
+  TemplateIdentifier(FeatureEvaluator* evaluator, TemplateIdOptions options)
+      : evaluator_(evaluator), options_(options) {}
+
+  /// `base` supplies F, A and K; its where_attrs are ignored — `candidate_attrs`
+  /// is the attr set of Problem 2 from which combinations P are drawn.
+  Result<TemplateIdResult> Run(const QueryTemplate& base,
+                               const std::vector<std::string>& candidate_attrs);
+
+ private:
+  /// Effectiveness estimate of one node (template): short TPE run over its
+  /// pool maximizing the proxy (Opt. 1) or the real metric (no Opt. 1).
+  /// `seeds` are parent-pool queries warm-starting the search.
+  Result<NodeEvaluation> EvaluateNode(
+      const QueryTemplate& tmpl,
+      const std::vector<std::pair<AggQuery, double>>& seeds);
+
+  FeatureEvaluator* evaluator_;
+  TemplateIdOptions options_;
+};
+
+}  // namespace featlib

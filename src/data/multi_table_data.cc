@@ -1,0 +1,248 @@
+#include "data/multi_table_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace featlib {
+
+namespace {
+
+/// Z-scores a vector (constant vectors map to all-zero).
+std::vector<double> ZScore(const std::vector<double>& v) {
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= v.empty() ? 1.0 : static_cast<double>(v.size());
+  double ss = 0.0;
+  for (double x : v) ss += (x - mean) * (x - mean);
+  const double sd = std::sqrt(ss / std::max<size_t>(1, v.size()));
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i] = sd > 1e-12 ? (v[i] - mean) / sd : 0.0;
+  }
+  return out;
+}
+
+const char* const kDeptNames[] = {"dairy",   "produce", "bakery", "frozen",
+                                  "pantry",  "snacks",  "meat",   "deli",
+                                  "babies",  "household"};
+constexpr size_t kNumDepts = 10;
+constexpr size_t kNumProducts = 150;
+
+}  // namespace
+
+Result<RelationGraph> MultiTableBundle::BuildGraph() const {
+  RelationGraph graph;
+  FEAT_RETURN_NOT_OK(graph.AddTable("training", training));
+  FEAT_RETURN_NOT_OK(graph.AddTable("order_items", order_items));
+  FEAT_RETURN_NOT_OK(graph.AddTable("products", products));
+  FEAT_RETURN_NOT_OK(graph.AddTable("departments", departments));
+  FEAT_RETURN_NOT_OK(graph.AddTable("browse_log", browse_log));
+  FEAT_RETURN_NOT_OK(graph.AddFact("training", "order_items", fk_attrs));
+  FEAT_RETURN_NOT_OK(graph.AddFact("training", "browse_log", fk_attrs));
+  FEAT_RETURN_NOT_OK(graph.AddLookup("order_items", "products", {"product_id"}));
+  FEAT_RETURN_NOT_OK(
+      graph.AddLookup("products", "departments", {"department_id"}));
+  return graph;
+}
+
+MultiTableBundle MakeInstacartMultiTable(const SyntheticOptions& options) {
+  Rng rng(options.seed ^ 0x51aee2b7ULL);
+  const size_t n = options.n_train;
+
+  MultiTableBundle bundle;
+  bundle.name = "instacart_multi";
+  bundle.label_col = "label";
+  bundle.task = TaskKind::kBinaryClassification;
+  bundle.fk_attrs = {"user_id"};
+  bundle.base_features = {"household", "tenure"};
+
+  // ---- departments dimension. ----
+  {
+    Column id(DataType::kInt64), name(DataType::kString);
+    for (size_t d = 0; d < kNumDepts; ++d) {
+      id.AppendInt(static_cast<int64_t>(d));
+      name.AppendString(kDeptNames[d]);
+    }
+    FEAT_CHECK(bundle.departments.AddColumn("department_id", std::move(id)).ok(),
+               "departments");
+    FEAT_CHECK(bundle.departments.AddColumn("department", std::move(name)).ok(),
+               "departments");
+  }
+
+  // ---- products dimension (dept 0 = dairy gets ~1/6 of products). ----
+  std::vector<int64_t> product_dept(kNumProducts);
+  std::vector<size_t> dairy_products, other_products;
+  {
+    Column id(DataType::kInt64), dept(DataType::kInt64);
+    Column weight(DataType::kDouble), organic(DataType::kBool);
+    Column aisle(DataType::kString);
+    for (size_t p = 0; p < kNumProducts; ++p) {
+      const int64_t d = rng.Bernoulli(1.0 / 6.0)
+                            ? 0
+                            : 1 + static_cast<int64_t>(rng.UniformInt(kNumDepts - 1));
+      product_dept[p] = d;
+      (d == 0 ? dairy_products : other_products).push_back(p);
+      id.AppendInt(static_cast<int64_t>(p));
+      dept.AppendInt(d);
+      weight.AppendDouble(0.1 + 5.0 * rng.Uniform());
+      organic.AppendInt(rng.Bernoulli(0.3) ? 1 : 0);
+      aisle.AppendString(StrFormat("aisle_%llu",
+                                   static_cast<unsigned long long>(rng.UniformInt(12))));
+    }
+    FEAT_CHECK(bundle.products.AddColumn("product_id", std::move(id)).ok(), "products");
+    FEAT_CHECK(bundle.products.AddColumn("weight", std::move(weight)).ok(), "products");
+    FEAT_CHECK(bundle.products.AddColumn("organic", std::move(organic)).ok(),
+               "products");
+    FEAT_CHECK(bundle.products.AddColumn("aisle", std::move(aisle)).ok(), "products");
+    FEAT_CHECK(bundle.products.AddColumn("department_id", std::move(dept)).ok(),
+               "products");
+    // Degenerate seeds could leave one side empty; guarantee both pools.
+    FEAT_CHECK(!dairy_products.empty() && !other_products.empty(),
+               "product pools must be non-empty");
+  }
+
+  // ---- per-entity latents and base features. ----
+  std::vector<double> u(n), w(n), base_effect(n);
+  std::vector<int64_t> user_id(n);
+  std::vector<double> household(n), tenure(n);
+  for (size_t e = 0; e < n; ++e) {
+    u[e] = rng.Normal();
+    w[e] = rng.Normal();
+    user_id[e] = static_cast<int64_t>(e);
+    household[e] = 1.0 + static_cast<double>(rng.UniformInt(6));
+    tenure[e] = 30.0 + 1000.0 * rng.Uniform();
+    base_effect[e] =
+        0.5 * (household[e] - 3.5) / 2.0 + 0.3 * (tenure[e] - 530.0) / 300.0;
+  }
+
+  // ---- order_items fact: strong signal hidden behind the dept chain. ----
+  {
+    Column f_user(DataType::kInt64), f_product(DataType::kInt64);
+    Column f_price(DataType::kDouble), f_cartpos(DataType::kInt64);
+    Column f_daygap(DataType::kDouble), f_hour(DataType::kInt64);
+    Column f_items(DataType::kInt64), f_reordered(DataType::kBool);
+    Column f_dow(DataType::kInt64), f_ts(DataType::kDatetime);
+    const int64_t t_start = 1680000000;
+    const int64_t t_end = t_start + 180LL * 86400;
+    for (size_t e = 0; e < n; ++e) {
+      const int64_t n_logs = 1 + rng.Poisson(options.avg_logs_per_entity);
+      for (int64_t l = 0; l < n_logs; ++l) {
+        const bool dairy = rng.Bernoulli(0.2);
+        const bool reordered = rng.Bernoulli(0.55);
+        const bool in_golden = dairy && reordered;
+        const size_t pid = dairy ? dairy_products[rng.UniformInt(dairy_products.size())]
+                                 : other_products[rng.UniformInt(other_products.size())];
+        f_user.AppendInt(user_id[e]);
+        f_product.AppendInt(static_cast<int64_t>(pid));
+        // Golden rows carry +4u. Non-dairy reordered rows carry a -1u
+        // counterweight sized so that E[AVG(price) | reordered] = 0.2*4u +
+        // 0.8*(-1u) = 0: without the department attribute (two lookups
+        // away) no predicate reachable from the raw fact recovers u — the
+        // deep-layer flatten is genuinely necessary (see bench_multi_table).
+        double price;
+        if (in_golden) {
+          price = 10.0 + 4.0 * u[e] + rng.Normal(0.0, 1.0);
+        } else if (reordered) {
+          price = 10.0 - 1.0 * u[e] + rng.Normal(0.0, 4.5);
+        } else {
+          price = 10.0 + rng.Normal(0.0, 4.5);
+        }
+        f_price.AppendDouble(price);
+        f_cartpos.AppendInt(1 + static_cast<int64_t>(rng.UniformInt(20)));
+        f_daygap.AppendDouble(30.0 * rng.Uniform());
+        f_hour.AppendInt(static_cast<int64_t>(rng.UniformInt(24)));
+        f_items.AppendInt(1 + static_cast<int64_t>(rng.UniformInt(15)));
+        f_reordered.AppendInt(reordered ? 1 : 0);
+        f_dow.AppendInt(static_cast<int64_t>(rng.UniformInt(7)));
+        f_ts.AppendInt(rng.UniformRange(t_start, t_end));
+      }
+    }
+    FEAT_CHECK(bundle.order_items.AddColumn("user_id", std::move(f_user)).ok(), "oi");
+    FEAT_CHECK(bundle.order_items.AddColumn("product_id", std::move(f_product)).ok(),
+               "oi");
+    FEAT_CHECK(bundle.order_items.AddColumn("item_price", std::move(f_price)).ok(),
+               "oi");
+    FEAT_CHECK(bundle.order_items.AddColumn("cart_position", std::move(f_cartpos)).ok(),
+               "oi");
+    FEAT_CHECK(bundle.order_items.AddColumn("day_gap", std::move(f_daygap)).ok(), "oi");
+    FEAT_CHECK(bundle.order_items.AddColumn("hour", std::move(f_hour)).ok(), "oi");
+    FEAT_CHECK(bundle.order_items.AddColumn("total_items", std::move(f_items)).ok(),
+               "oi");
+    FEAT_CHECK(bundle.order_items.AddColumn("reordered", std::move(f_reordered)).ok(),
+               "oi");
+    FEAT_CHECK(bundle.order_items.AddColumn("order_dow", std::move(f_dow)).ok(), "oi");
+    FEAT_CHECK(bundle.order_items.AddColumn("ts", std::move(f_ts)).ok(), "oi");
+  }
+
+  // ---- browse_log fact: row count carries the weak signal w. ----
+  {
+    Column b_user(DataType::kInt64), b_dwell(DataType::kDouble);
+    Column b_clicks(DataType::kInt64), b_pages(DataType::kInt64);
+    Column b_ts(DataType::kDatetime);
+    const int64_t t_start = 1680000000;
+    for (size_t e = 0; e < n; ++e) {
+      const int64_t n_logs =
+          1 + rng.Poisson(0.6 * options.avg_logs_per_entity * std::exp(0.35 * w[e]));
+      for (int64_t l = 0; l < n_logs; ++l) {
+        b_user.AppendInt(user_id[e]);
+        b_dwell.AppendDouble(5.0 + 120.0 * rng.Uniform());
+        b_clicks.AppendInt(static_cast<int64_t>(rng.UniformInt(30)));
+        b_pages.AppendInt(1 + static_cast<int64_t>(rng.UniformInt(12)));
+        b_ts.AppendInt(t_start + static_cast<int64_t>(rng.UniformInt(180 * 86400)));
+      }
+    }
+    FEAT_CHECK(bundle.browse_log.AddColumn("user_id", std::move(b_user)).ok(), "bl");
+    FEAT_CHECK(bundle.browse_log.AddColumn("dwell_seconds", std::move(b_dwell)).ok(),
+               "bl");
+    FEAT_CHECK(bundle.browse_log.AddColumn("clicks", std::move(b_clicks)).ok(), "bl");
+    FEAT_CHECK(bundle.browse_log.AddColumn("pages", std::move(b_pages)).ok(), "bl");
+    FEAT_CHECK(bundle.browse_log.AddColumn("ts", std::move(b_ts)).ok(), "bl");
+  }
+
+  // ---- label: strong + weak + base + noise (see synthetic.h). ----
+  {
+    const auto zu = ZScore(u);
+    const auto zw = ZScore(w);
+    const auto zb = ZScore(base_effect);
+    std::vector<double> scores(n);
+    for (size_t e = 0; e < n; ++e) {
+      scores[e] = options.strong_weight * zu[e] + options.weak_weight * zw[e] +
+                  options.base_weight * zb[e] + options.noise * rng.Normal();
+    }
+    std::vector<double> sorted = scores;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<ptrdiff_t>(sorted.size() / 2),
+                     sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    std::vector<int64_t> labels(n);
+    for (size_t e = 0; e < n; ++e) labels[e] = scores[e] > median ? 1 : 0;
+
+    FEAT_CHECK(bundle.training
+                   .AddColumn("user_id", Column::FromInts(DataType::kInt64, user_id))
+                   .ok(),
+               "train");
+    FEAT_CHECK(
+        bundle.training.AddColumn("household", Column::FromDoubles(household)).ok(),
+        "train");
+    FEAT_CHECK(bundle.training.AddColumn("tenure", Column::FromDoubles(tenure)).ok(),
+               "train");
+    FEAT_CHECK(bundle.training
+                   .AddColumn("label", Column::FromInts(DataType::kInt64, labels))
+                   .ok(),
+               "train");
+  }
+
+  // Golden query against the *flattened* order_items chain.
+  bundle.golden_query.agg = AggFunction::kAvg;
+  bundle.golden_query.agg_attr = "item_price";
+  bundle.golden_query.group_keys = {"user_id"};
+  bundle.golden_query.predicates = {
+      Predicate::Equals("department", Value::Str("dairy")),
+      Predicate::Equals("reordered", Value::Bool(true))};
+  return bundle;
+}
+
+}  // namespace featlib

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file synthetic.h
+/// \brief Synthetic stand-ins for the paper's six evaluation datasets
+/// (Table I/IV). The real datasets are multi-GB Kaggle/Tianchi dumps that
+/// cannot be redistributed; these generators mimic each dataset's schema and
+/// relationship shape and *plant* a predicate-dependent signal:
+///
+///   - a per-entity strong latent u is only observable through a "golden"
+///     predicate-aware aggregate (e.g. AVG(pprice) WHERE action='purchase'
+///     AND ts >= t0) — reachable by FeatAug, diluted for Featuretools;
+///   - a weak latent w is observable through an unpredicated aggregate
+///     (log counts), reachable by every baseline;
+///   - the label mixes strong, weak, base-feature and noise terms.
+///
+/// Each bundle records the golden query/template so tests can assert the
+/// planted structure is recoverable.
+
+#include <string>
+#include <vector>
+
+#include "core/feataug.h"
+#include "core/query_template.h"
+#include "query/agg_query.h"
+#include "table/table.h"
+
+namespace featlib {
+
+struct SyntheticOptions {
+  /// Rows in the training table D (entities).
+  size_t n_train = 2000;
+  /// Mean log rows per entity in the relevant table R (Poisson).
+  double avg_logs_per_entity = 15.0;
+  uint64_t seed = 42;
+  /// Extra uninformative numeric columns appended to R (the Student-Wide
+  /// horizontal duplication of Fig. 7).
+  size_t extra_numeric_cols = 0;
+  /// Signal mixing weights.
+  double strong_weight = 2.2;
+  double weak_weight = 0.7;
+  double base_weight = 0.5;
+  double noise = 0.8;
+};
+
+/// \brief A generated dataset plus everything FeatAug and the baselines
+/// need to run on it, mirroring Table II's per-dataset configuration.
+struct DatasetBundle {
+  std::string name;
+  Table training;
+  std::string label_col;
+  std::vector<std::string> base_features;
+  Table relevant;
+  std::vector<std::string> fk_attrs;
+  std::vector<AggFunction> agg_functions;
+  std::vector<std::string> agg_attrs;
+  std::vector<std::string> where_candidates;
+  TaskKind task = TaskKind::kBinaryClassification;
+
+  /// Ground truth: the planted signal's query and its template.
+  AggQuery golden_query;
+  QueryTemplate golden_template;
+
+  /// Convenience conversion to the FeatAug driver's input struct.
+  FeatAugProblem ToProblem() const;
+};
+
+/// Tmall repeat-buyer prediction: D=(user_id, merchant_id, age, gender),
+/// R=user/merchant interaction logs, binary AUC task, compound FK.
+DatasetBundle MakeTmall(const SyntheticOptions& options);
+
+/// Instacart next-purchase prediction: D=(user_id, ...), R=order items with
+/// a boolean `reordered` attribute in the golden predicate, binary AUC task.
+DatasetBundle MakeInstacart(const SyntheticOptions& options);
+
+/// Student game-play correctness: D=(session_id, ...), R=event stream; the
+/// golden feature is a COUNT under an event-type + level predicate.
+DatasetBundle MakeStudent(const SyntheticOptions& options);
+
+/// Merchant (Elo) category recommendation: regression (RMSE); golden
+/// feature is AVG(purchase_amount) restricted by category and month_lag.
+DatasetBundle MakeMerchant(const SyntheticOptions& options);
+
+/// Covtype (single table -> self relevant table, one-to-one via data_index);
+/// 4-class F1 task, as used in §VII.C.
+DatasetBundle MakeCovtype(const SyntheticOptions& options);
+
+/// Household poverty (one-to-one; 5 base features kept in D, the rest moved
+/// to R); 4-class F1 task.
+DatasetBundle MakeHousehold(const SyntheticOptions& options);
+
+/// Generator registry by paper name ("tmall", "instacart", "student",
+/// "merchant", "covtype", "household").
+Result<DatasetBundle> MakeDatasetByName(const std::string& name,
+                                        const SyntheticOptions& options);
+
+}  // namespace featlib

@@ -1,0 +1,142 @@
+#include "hpo/hyperband.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace featlib {
+
+Hyperband::Hyperband(SearchSpace space, HyperbandOptions options)
+    : space_(std::move(space)), options_(options), rng_(options.seed) {
+  FEAT_CHECK(options_.eta > 1.0, "Hyperband eta must exceed 1");
+  FEAT_CHECK(options_.min_fidelity > 0.0 && options_.min_fidelity <= 1.0,
+             "min_fidelity must lie in (0, 1]");
+  // s_max = round(log_eta(1 / min_fidelity)): the number of halving steps
+  // between the smallest rung and full fidelity.
+  s_max_ = static_cast<int>(
+      std::lround(std::log(1.0 / options_.min_fidelity) / std::log(options_.eta)));
+  s_max_ = std::max(s_max_, 0);
+  rung_observations_.resize(static_cast<size_t>(s_max_) + 1);
+}
+
+std::vector<double> Hyperband::RungFidelities() const {
+  std::vector<double> out;
+  for (int i = s_max_; i >= 0; --i) {
+    out.push_back(std::min(1.0, std::pow(options_.eta, -i)));
+  }
+  return out;
+}
+
+void Hyperband::WarmStart(const std::vector<Trial>& trials) {
+  // Full-fidelity pool is the last rung.
+  auto& pool = rung_observations_.back();
+  pool.insert(pool.end(), trials.begin(), trials.end());
+}
+
+const std::vector<Trial>* Hyperband::ModelPool() const {
+  const int min_points = options_.min_model_points > 0
+                             ? options_.min_model_points
+                             : static_cast<int>(space_.NumDims()) + 2;
+  for (int i = static_cast<int>(rung_observations_.size()) - 1; i >= 0; --i) {
+    if (rung_observations_[static_cast<size_t>(i)].size() >=
+        static_cast<size_t>(min_points)) {
+      return &rung_observations_[static_cast<size_t>(i)];
+    }
+  }
+  return nullptr;
+}
+
+ParamVector Hyperband::Propose() {
+  if (!options_.model_based || rng_.Uniform() < options_.random_fraction) {
+    return space_.Sample(&rng_);
+  }
+  const std::vector<Trial>* pool = ModelPool();
+  if (pool == nullptr) return space_.Sample(&rng_);
+  // BOHB: one-shot TPE proposal from the deepest informative pool.
+  TpeOptions tpe_options = options_.tpe;
+  tpe_options.seed = rng_.NextU64();
+  tpe_options.n_startup = 0;             // the pool *is* the startup data
+  tpe_options.exploration_fraction = 0;  // random_fraction already covers it
+  Tpe sampler(space_, tpe_options);
+  sampler.WarmStart(*pool);
+  return sampler.Suggest();
+}
+
+Result<HyperbandResult> Hyperband::Run(const MultiFidelityObjective& objective) {
+  HyperbandResult result;
+  const double eta = options_.eta;
+
+  // Outer loop: brackets s = s_max, s_max-1, .., 0, then cycle, until the
+  // budget runs out. Each bracket trades #configs against starting rung.
+  int bracket_counter = 0;
+  while (result.total_cost < options_.max_total_cost) {
+    const int s = s_max_ - (bracket_counter % (s_max_ + 1));
+    ++bracket_counter;
+    ++result.brackets_run;
+
+    // Initial configs and fidelity for this bracket (Li et al., Alg. 1).
+    const int n0 = static_cast<int>(std::ceil(static_cast<double>(s_max_ + 1) /
+                                              (s + 1) * std::pow(eta, s)));
+    std::vector<FidelityTrial> rung;
+    rung.reserve(static_cast<size_t>(n0));
+    for (int i = 0; i < n0; ++i) {
+      rung.push_back(FidelityTrial{Propose(), 0.0, 0.0});
+    }
+
+    // Successive halving: evaluate, keep the best 1/eta, raise fidelity.
+    for (int i = 0; i <= s; ++i) {
+      const double fidelity = std::min(1.0, std::pow(eta, i - s));
+      const int rung_index = s_max_ - (s - i);  // 0 = smallest fidelity rung
+      for (FidelityTrial& t : rung) {
+        FEAT_ASSIGN_OR_RETURN(t.loss, objective(t.params, fidelity));
+        // Non-finite losses would corrupt the promotion sort; demote them.
+        if (!std::isfinite(t.loss)) t.loss = kWorstLoss;
+        t.fidelity = fidelity;
+        result.trials.push_back(t);
+        result.total_cost += fidelity;
+        ++result.n_evals;
+        rung_observations_[static_cast<size_t>(rung_index)].push_back(
+            Trial{t.params, t.loss});
+        if (fidelity >= 1.0) {
+          result.full_fidelity_trials.push_back(Trial{t.params, t.loss});
+        }
+      }
+      if (i == s) break;
+      const size_t keep = std::max<size_t>(
+          1, static_cast<size_t>(std::floor(rung.size() / eta)));
+      std::sort(rung.begin(), rung.end(),
+                [](const FidelityTrial& a, const FidelityTrial& b) {
+                  return a.loss < b.loss;
+                });
+      rung.resize(keep);
+      if (result.total_cost >= options_.max_total_cost) break;
+    }
+    if (s_max_ == 0 && result.total_cost >= options_.max_total_cost) break;
+  }
+
+  // Best configuration: prefer reliable full-fidelity losses.
+  const std::vector<Trial>* source = nullptr;
+  if (!result.full_fidelity_trials.empty()) {
+    source = &result.full_fidelity_trials;
+  }
+  if (source != nullptr) {
+    const Trial* best = nullptr;
+    for (const Trial& t : *source) {
+      if (best == nullptr || t.loss < best->loss) best = &t;
+    }
+    result.best_params = best->params;
+    result.best_loss = best->loss;
+    result.has_best = true;
+  } else if (!result.trials.empty()) {
+    const FidelityTrial* best = nullptr;
+    for (const FidelityTrial& t : result.trials) {
+      if (best == nullptr || t.loss < best->loss) best = &t;
+    }
+    result.best_params = best->params;
+    result.best_loss = best->loss;
+    result.has_best = true;
+  }
+  return result;
+}
+
+}  // namespace featlib

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file hyperband.h
+/// \brief Hyperband (Li et al., JMLR'17) and BOHB (Falkner et al., ICML'18),
+/// the early-stopping HPO speedups the paper's §II.D / §V Remark name as
+/// alternatives to plain TPE.
+///
+/// Both allocate most evaluations at *reduced fidelity* — here, a model
+/// trained on a subsample of the training split — and promote only the
+/// top 1/eta configurations of each rung to the next (larger) fidelity.
+/// Hyperband samples configurations uniformly; BOHB replaces the uniform
+/// sampler with a TPE model fit on the largest fidelity that has enough
+/// observations, which keeps Hyperband's any-time behaviour while gaining
+/// TPE's sample efficiency.
+///
+/// The driver is budgeted in **full-evaluation equivalents**: evaluating at
+/// fidelity f costs f, so `max_total_cost = 30` buys the same model-training
+/// time as 30 conventional full-data evaluations.
+
+#include <functional>
+#include <vector>
+
+#include "hpo/optimizer.h"
+#include "hpo/tpe.h"
+
+namespace featlib {
+
+/// Loss of `params` evaluated at `fidelity` in (0, 1] (fraction of the
+/// training data). Must be monotone in spirit: higher fidelity, less noise.
+using MultiFidelityObjective =
+    std::function<Result<double>(const ParamVector& params, double fidelity)>;
+
+struct HyperbandOptions {
+  /// Downsampling rate between successive rungs (>1; paper default 3).
+  double eta = 3.0;
+  /// Fidelity of the lowest rung; rung ladder is eta^-s, .., eta^-1, 1.
+  double min_fidelity = 1.0 / 9.0;
+  /// Stop once the summed fidelity cost reaches this many full evaluations.
+  double max_total_cost = 30.0;
+  /// BOHB: model-based sampling. False degrades to plain Hyperband.
+  bool model_based = true;
+  /// BOHB: fraction of proposals drawn uniformly regardless of the model,
+  /// preserving Hyperband's worst-case guarantees.
+  double random_fraction = 0.2;
+  /// Minimum observations (at one fidelity) before the model kicks in;
+  /// below it proposals are uniform. 0 = dims + 2 (the BOHB paper's rule).
+  int min_model_points = 0;
+  /// Sampler options for the BOHB TPE model.
+  TpeOptions tpe;
+  uint64_t seed = 42;
+};
+
+/// One evaluation at some rung.
+struct FidelityTrial {
+  ParamVector params;
+  double fidelity = 1.0;
+  double loss = 0.0;
+};
+
+struct HyperbandResult {
+  /// Every evaluation performed, in execution order.
+  std::vector<FidelityTrial> trials;
+  /// The subset evaluated at fidelity 1.0 (reliable losses).
+  std::vector<Trial> full_fidelity_trials;
+  /// Best full-fidelity configuration (fall back: best any-fidelity).
+  ParamVector best_params;
+  double best_loss = 0.0;
+  bool has_best = false;
+  /// Summed fidelities (full-evaluation equivalents actually spent).
+  double total_cost = 0.0;
+  size_t n_evals = 0;
+  int brackets_run = 0;
+};
+
+/// \brief Hyperband/BOHB driver over a SearchSpace. Minimizes loss.
+///
+/// Unlike Optimizer this is a driver, not a suggest/observe object: the
+/// successive-halving control flow owns the evaluation schedule.
+class Hyperband {
+ public:
+  Hyperband(SearchSpace space, HyperbandOptions options);
+
+  /// Seeds the BOHB sampler with externally evaluated full-fidelity trials
+  /// (the §V.C warm-up transfer). No effect on plain Hyperband.
+  void WarmStart(const std::vector<Trial>& trials);
+
+  /// Runs outer-loop brackets (s = s_max .. 0, cycling) until the cost
+  /// budget is exhausted. Objective errors abort the run.
+  Result<HyperbandResult> Run(const MultiFidelityObjective& objective);
+
+  /// Rung fidelities, smallest first (exposed for tests).
+  std::vector<double> RungFidelities() const;
+
+  int s_max() const { return s_max_; }
+
+ private:
+  /// Draws one configuration: uniform (Hyperband / cold model) or from a
+  /// TPE fit on the deepest informative fidelity pool (BOHB).
+  ParamVector Propose();
+
+  /// Pool lookup for the BOHB model: observations at the largest fidelity
+  /// with at least min_model_points entries; nullptr when all are cold.
+  const std::vector<Trial>* ModelPool() const;
+
+  SearchSpace space_;
+  HyperbandOptions options_;
+  Rng rng_;
+  int s_max_ = 0;
+  /// Observations per rung fidelity, keyed by rung index (0 = smallest).
+  std::vector<std::vector<Trial>> rung_observations_;
+};
+
+}  // namespace featlib

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file optimizer.h
+/// \brief Common suggest/observe interface for sequential optimizers.
+/// FeatAug plugs TPE in here (§V.B); the Random baseline plugs RandomSearch.
+
+#include <vector>
+
+#include "hpo/space.h"
+
+namespace featlib {
+
+/// Sentinel recorded in place of non-finite losses (NaN metrics, infinite
+/// objectives). Large enough to rank below every real observation, small
+/// enough that surrogate arithmetic (sums of squares in the SMAC forest)
+/// stays finite.
+inline constexpr double kWorstLoss = 1e12;
+
+/// One evaluated configuration. Losses follow the minimize convention.
+struct Trial {
+  ParamVector params;
+  double loss = 0.0;
+};
+
+/// \brief Sequential model-based optimizer interface.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Proposes the next configuration to evaluate.
+  virtual ParamVector Suggest() = 0;
+
+  /// Records an evaluated configuration.
+  virtual void Observe(const ParamVector& params, double loss) = 0;
+
+  /// Seeds the optimizer's history with externally evaluated trials
+  /// (the warm-up transfer of §V.C).
+  virtual void WarmStart(const std::vector<Trial>& trials) {
+    for (const Trial& t : trials) Observe(t.params, t.loss);
+  }
+
+  virtual const std::vector<Trial>& history() const = 0;
+
+  /// Best (lowest-loss) trial so far, or nullptr before any observation.
+  const Trial* best() const {
+    const Trial* out = nullptr;
+    for (const Trial& t : history()) {
+      if (out == nullptr || t.loss < out->loss) out = &t;
+    }
+    return out;
+  }
+};
+
+}  // namespace featlib

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file random_search.h
+/// \brief Uniform random search baseline (Bergstra & Bengio, JMLR'12).
+
+#include "hpo/optimizer.h"
+
+namespace featlib {
+
+/// \brief Optimizer that ignores history and samples uniformly.
+class RandomSearch : public Optimizer {
+ public:
+  RandomSearch(SearchSpace space, uint64_t seed)
+      : space_(std::move(space)), rng_(seed) {}
+
+  ParamVector Suggest() override { return space_.Sample(&rng_); }
+
+  void Observe(const ParamVector& params, double loss) override {
+    history_.push_back(Trial{params, loss});
+  }
+
+  const std::vector<Trial>& history() const override { return history_; }
+
+ private:
+  SearchSpace space_;
+  Rng rng_;
+  std::vector<Trial> history_;
+};
+
+}  // namespace featlib

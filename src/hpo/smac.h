@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file smac.h
+/// \brief SMAC-style optimizer (Hutter et al., LION'11): a random-forest
+/// surrogate over configurations with a lower-confidence-bound acquisition.
+///
+/// The paper's §V Remark names SMAC (and BOHB) as the HPO methods to
+/// investigate next; this implements that future-work comparison point so
+/// the generator can swap Bayesian-optimization engines. The forest reuses
+/// featlib's gradient trees; predictive uncertainty is the across-tree
+/// variance; candidates mix uniform draws with local perturbations of the
+/// incumbent (SMAC's local search).
+
+#include "hpo/optimizer.h"
+
+namespace featlib {
+
+struct SmacOptions {
+  /// Trees in the surrogate forest.
+  int n_trees = 12;
+  /// Candidates scored per Suggest (half uniform, half incumbent
+  /// perturbations).
+  int n_candidates = 32;
+  /// Random configurations before the surrogate takes over.
+  int n_startup = 10;
+  /// LCB exploration strength: acquisition = mean - kappa * stddev.
+  double kappa = 1.3;
+  /// Uniform-exploration fraction after startup (interleaved random
+  /// configurations, as in SMAC's alternating scheme).
+  double exploration_fraction = 0.25;
+  /// Std-dev of numeric perturbations, as a fraction of the domain width.
+  double perturbation_scale = 0.2;
+  uint64_t seed = 42;
+};
+
+/// \brief Random-forest-surrogate optimizer. Minimizes loss.
+class Smac : public Optimizer {
+ public:
+  Smac(SearchSpace space, SmacOptions options);
+
+  ParamVector Suggest() override;
+  void Observe(const ParamVector& params, double loss) override;
+  const std::vector<Trial>& history() const override { return history_; }
+
+  const SearchSpace& space() const { return space_; }
+
+ private:
+  /// Encodes a configuration for the forest: categorical/numeric dims map
+  /// to one feature, optional dims to (is_none, value-or-midpoint).
+  std::vector<double> EncodeConfig(const ParamVector& v) const;
+
+  /// Perturbs the incumbent: each dim resampled with probability ~1/dims,
+  /// numeric dims jittered by a scaled Gaussian.
+  ParamVector Perturb(const ParamVector& base);
+
+  SearchSpace space_;
+  SmacOptions options_;
+  Rng rng_;
+  std::vector<Trial> history_;
+};
+
+}  // namespace featlib

@@ -1,0 +1,107 @@
+#include "hpo/space.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace featlib {
+
+ParamDomain ParamDomain::Categorical(std::string name, int n_choices) {
+  FEAT_CHECK(n_choices > 0, "categorical domain needs choices");
+  ParamDomain d;
+  d.kind = Kind::kCategorical;
+  d.name = std::move(name);
+  d.n_choices = n_choices;
+  return d;
+}
+
+ParamDomain ParamDomain::Numeric(std::string name, double lo, double hi,
+                                 bool integer) {
+  FEAT_CHECK(lo <= hi, "numeric domain needs lo <= hi");
+  ParamDomain d;
+  d.kind = Kind::kNumeric;
+  d.name = std::move(name);
+  d.lo = lo;
+  d.hi = hi;
+  d.integer = integer;
+  return d;
+}
+
+ParamDomain ParamDomain::OptionalNumeric(std::string name, double lo, double hi,
+                                         bool integer) {
+  ParamDomain d = Numeric(std::move(name), lo, hi, integer);
+  d.kind = Kind::kOptionalNumeric;
+  return d;
+}
+
+double ParamDomain::Sample(Rng* rng) const {
+  switch (kind) {
+    case Kind::kCategorical:
+      return static_cast<double>(rng->UniformInt(static_cast<uint64_t>(n_choices)));
+    case Kind::kOptionalNumeric:
+      if (rng->Bernoulli(0.5)) return NoneValue();
+      [[fallthrough]];
+    case Kind::kNumeric: {
+      double v = rng->UniformReal(lo, hi);
+      if (integer) v = std::round(v);
+      return Clip(v);
+    }
+  }
+  return 0.0;
+}
+
+double ParamDomain::Clip(double v) const {
+  if (kind == Kind::kCategorical) {
+    if (IsNone(v)) return 0.0;
+    double c = std::round(v);
+    if (c < 0.0) c = 0.0;
+    if (c > static_cast<double>(n_choices - 1)) {
+      c = static_cast<double>(n_choices - 1);
+    }
+    return c;
+  }
+  if (IsNone(v)) {
+    return kind == Kind::kOptionalNumeric ? NoneValue() : 0.5 * (lo + hi);
+  }
+  double out = std::min(hi, std::max(lo, v));
+  if (integer) out = std::round(out);
+  return out;
+}
+
+ParamVector SearchSpace::Sample(Rng* rng) const {
+  ParamVector out(dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) out[i] = dims_[i].Sample(rng);
+  return out;
+}
+
+Status SearchSpace::Validate(const ParamVector& v) const {
+  if (v.size() != dims_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("vector has %zu dims, space has %zu", v.size(), dims_.size()));
+  }
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    const ParamDomain& d = dims_[i];
+    if (IsNone(v[i])) {
+      if (d.kind != ParamDomain::Kind::kOptionalNumeric) {
+        return Status::InvalidArgument("None in non-optional dim " + d.name);
+      }
+      continue;
+    }
+    switch (d.kind) {
+      case ParamDomain::Kind::kCategorical:
+        if (v[i] < 0.0 || v[i] > static_cast<double>(d.n_choices - 1)) {
+          return Status::OutOfRange("categorical out of range in " + d.name);
+        }
+        break;
+      case ParamDomain::Kind::kNumeric:
+      case ParamDomain::Kind::kOptionalNumeric:
+        if (v[i] < d.lo - 1e-9 || v[i] > d.hi + 1e-9) {
+          return Status::OutOfRange("numeric out of range in " + d.name);
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace featlib

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file space.h
+/// \brief Hyperparameter search-space definition shared by TPE and random
+/// search. Query vectors (§V.A) are points in such a space.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace featlib {
+
+/// A point in the space. NaN encodes "None" in optional dimensions (the
+/// paper's absent-predicate marker).
+using ParamVector = std::vector<double>;
+
+/// \brief Domain of one dimension.
+struct ParamDomain {
+  enum class Kind {
+    /// Integer choice in {0, .., n_choices-1}; distances are meaningless.
+    kCategorical,
+    /// Real (or snapped-integer) value in [lo, hi].
+    kNumeric,
+    /// kNumeric that may also take None (NaN).
+    kOptionalNumeric,
+  };
+
+  Kind kind = Kind::kNumeric;
+  std::string name;
+  int n_choices = 0;     // kCategorical
+  double lo = 0.0;       // kNumeric / kOptionalNumeric
+  double hi = 1.0;
+  bool integer = false;  // snap numeric samples to integers
+
+  static ParamDomain Categorical(std::string name, int n_choices);
+  static ParamDomain Numeric(std::string name, double lo, double hi,
+                             bool integer = false);
+  static ParamDomain OptionalNumeric(std::string name, double lo, double hi,
+                                     bool integer = false);
+
+  /// Draws one value uniformly (optional dims take None w.p. 0.5).
+  double Sample(Rng* rng) const;
+
+  /// Clamps/snaps `v` into the domain. None stays None for optional dims;
+  /// for required dims NaN becomes the midpoint.
+  double Clip(double v) const;
+};
+
+/// \brief An ordered list of dimensions.
+class SearchSpace {
+ public:
+  SearchSpace() = default;
+  explicit SearchSpace(std::vector<ParamDomain> dims) : dims_(std::move(dims)) {}
+
+  size_t NumDims() const { return dims_.size(); }
+  const ParamDomain& dim(size_t i) const { return dims_[i]; }
+  const std::vector<ParamDomain>& dims() const { return dims_; }
+
+  void Add(ParamDomain domain) { dims_.push_back(std::move(domain)); }
+
+  /// Uniform sample of a full vector.
+  ParamVector Sample(Rng* rng) const;
+
+  /// Validates dimensionality and per-dim membership.
+  Status Validate(const ParamVector& v) const;
+
+ private:
+  std::vector<ParamDomain> dims_;
+};
+
+/// True when the slot holds None.
+inline bool IsNone(double v) { return std::isnan(v); }
+
+/// The None marker.
+inline double NoneValue() { return std::nan(""); }
+
+}  // namespace featlib

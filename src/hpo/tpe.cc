@@ -1,0 +1,227 @@
+#include "hpo/tpe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+
+namespace featlib {
+
+namespace {
+
+constexpr double kLogFloor = -745.0;  // log of smallest positive double-ish
+
+double SafeLog(double v) { return v > 0.0 ? std::log(v) : kLogFloor; }
+
+/// Dirichlet-smoothed categorical estimator.
+struct CatEstimator {
+  std::vector<double> weights;
+
+  CatEstimator(int n_choices, double prior_weight) {
+    weights.assign(static_cast<size_t>(n_choices),
+                   prior_weight / static_cast<double>(n_choices));
+  }
+
+  void Add(int choice) { weights[static_cast<size_t>(choice)] += 1.0; }
+
+  double LogProb(int choice) const {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    return SafeLog(weights[static_cast<size_t>(choice)] / total);
+  }
+
+  int SampleChoice(Rng* rng) const {
+    return static_cast<int>(rng->Categorical(weights));
+  }
+};
+
+/// 1-D Parzen window over observed points plus a wide prior component
+/// (Hyperopt-style adaptive bandwidths from neighbor spacing).
+struct KdeEstimator {
+  std::vector<double> points;
+  std::vector<double> bandwidths;
+  double lo, hi, prior_mu, prior_sigma, prior_weight;
+  bool integer;
+
+  KdeEstimator(std::vector<double> pts, double lo_in, double hi_in,
+               double prior_weight_in, bool integer_in)
+      : points(std::move(pts)),
+        lo(lo_in),
+        hi(hi_in),
+        prior_weight(prior_weight_in),
+        integer(integer_in) {
+    const double range = std::max(hi - lo, 1e-12);
+    prior_mu = 0.5 * (lo + hi);
+    prior_sigma = range;
+    std::sort(points.begin(), points.end());
+    bandwidths.resize(points.size());
+    const double min_bw =
+        range / std::min<double>(100.0, static_cast<double>(points.size()) + 1.0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      double left = i > 0 ? points[i] - points[i - 1] : range;
+      double right = i + 1 < points.size() ? points[i + 1] - points[i] : range;
+      double bw = std::max(left, right);
+      bandwidths[i] = std::min(range, std::max(min_bw, bw));
+    }
+  }
+
+  static double NormalPdf(double x, double mu, double sigma) {
+    const double z = (x - mu) / sigma;
+    return std::exp(-0.5 * z * z) / (sigma * 2.5066282746310002);
+  }
+
+  double LogPdf(double x) const {
+    double total_weight = prior_weight;
+    double density = prior_weight * NormalPdf(x, prior_mu, prior_sigma);
+    for (size_t i = 0; i < points.size(); ++i) {
+      density += NormalPdf(x, points[i], bandwidths[i]);
+      total_weight += 1.0;
+    }
+    return SafeLog(density / total_weight);
+  }
+
+  double SampleValue(Rng* rng) const {
+    const double total = prior_weight + static_cast<double>(points.size());
+    double v;
+    if (rng->Uniform() * total < prior_weight || points.empty()) {
+      v = rng->Normal(prior_mu, prior_sigma);
+    } else {
+      const size_t i = static_cast<size_t>(rng->UniformInt(points.size()));
+      v = rng->Normal(points[i], bandwidths[i]);
+    }
+    v = std::min(hi, std::max(lo, v));
+    if (integer) v = std::round(v);
+    return v;
+  }
+};
+
+/// Combined per-dimension estimator (handles the optional-None mixture).
+struct DimEstimator {
+  const ParamDomain* domain;
+  double p_none = 0.0;  // only for optional dims
+  std::unique_ptr<CatEstimator> cat;
+  std::unique_ptr<KdeEstimator> kde;
+
+  DimEstimator(const ParamDomain& d, const std::vector<double>& observed,
+               double prior_weight)
+      : domain(&d) {
+    if (d.kind == ParamDomain::Kind::kCategorical) {
+      cat = std::make_unique<CatEstimator>(d.n_choices, prior_weight);
+      for (double v : observed) {
+        if (!IsNone(v)) cat->Add(static_cast<int>(std::llround(v)));
+      }
+      return;
+    }
+    std::vector<double> values;
+    size_t none_count = 0;
+    for (double v : observed) {
+      if (IsNone(v)) {
+        ++none_count;
+      } else {
+        values.push_back(v);
+      }
+    }
+    if (d.kind == ParamDomain::Kind::kOptionalNumeric) {
+      // Beta(1,1)-smoothed Bernoulli for the None indicator.
+      p_none = (1.0 + static_cast<double>(none_count)) /
+               (2.0 + static_cast<double>(observed.size()));
+    }
+    kde = std::make_unique<KdeEstimator>(std::move(values), d.lo, d.hi,
+                                         prior_weight, d.integer);
+  }
+
+  double LogPdf(double v) const {
+    if (domain->kind == ParamDomain::Kind::kCategorical) {
+      return cat->LogProb(static_cast<int>(std::llround(v)));
+    }
+    if (domain->kind == ParamDomain::Kind::kOptionalNumeric) {
+      if (IsNone(v)) return SafeLog(p_none);
+      return SafeLog(1.0 - p_none) + kde->LogPdf(v);
+    }
+    return kde->LogPdf(v);
+  }
+
+  double Sample(Rng* rng) const {
+    if (domain->kind == ParamDomain::Kind::kCategorical) {
+      return static_cast<double>(cat->SampleChoice(rng));
+    }
+    if (domain->kind == ParamDomain::Kind::kOptionalNumeric &&
+        rng->Bernoulli(p_none)) {
+      return NoneValue();
+    }
+    return kde->SampleValue(rng);
+  }
+};
+
+}  // namespace
+
+Tpe::Tpe(SearchSpace space, TpeOptions options)
+    : space_(std::move(space)), options_(options), rng_(options.seed) {}
+
+void Tpe::Observe(const ParamVector& params, double loss) {
+  FEAT_CHECK(params.size() == space_.NumDims(), "Observe: dim mismatch");
+  // Non-finite losses (degenerate metrics, NaN aggregates) would corrupt
+  // the good/bad quantile split's ordering; record them as worst-possible.
+  if (!std::isfinite(loss)) loss = kWorstLoss;
+  history_.push_back(Trial{params, loss});
+}
+
+ParamVector Tpe::Suggest() {
+  const size_t n = history_.size();
+  if (n < static_cast<size_t>(options_.n_startup) ||
+      rng_.Bernoulli(options_.exploration_fraction)) {
+    return space_.Sample(&rng_);
+  }
+
+  // Split at the gamma quantile of losses.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return history_[a].loss < history_[b].loss;
+  });
+  const size_t n_good = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(options_.gamma * static_cast<double>(n))));
+
+  const size_t n_dims = space_.NumDims();
+  std::vector<DimEstimator> good_est;
+  std::vector<DimEstimator> bad_est;
+  good_est.reserve(n_dims);
+  bad_est.reserve(n_dims);
+  std::vector<double> good_vals;
+  std::vector<double> bad_vals;
+  for (size_t d = 0; d < n_dims; ++d) {
+    good_vals.clear();
+    bad_vals.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const double v = history_[order[i]].params[d];
+      if (i < n_good) {
+        good_vals.push_back(v);
+      } else {
+        bad_vals.push_back(v);
+      }
+    }
+    good_est.emplace_back(space_.dim(d), good_vals, options_.prior_weight);
+    bad_est.emplace_back(space_.dim(d), bad_vals, options_.prior_weight);
+  }
+
+  // Sample candidates from l(x), rank by log l - log g.
+  ParamVector best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < options_.n_candidates; ++c) {
+    ParamVector candidate(n_dims);
+    double score = 0.0;
+    for (size_t d = 0; d < n_dims; ++d) {
+      candidate[d] = good_est[d].Sample(&rng_);
+      score += good_est[d].LogPdf(candidate[d]) - bad_est[d].LogPdf(candidate[d]);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace featlib

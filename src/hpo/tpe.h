@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file tpe.h
+/// \brief Tree-structured Parzen Estimator (Bergstra et al., NeurIPS'11),
+/// the Bayesian-optimization engine of FeatAug's SQL Query Generation
+/// component (§V.B).
+///
+/// Observations are split at the gamma quantile of losses into "good" and
+/// "bad" sets; per dimension, Parzen estimators l(x) (good) and g(x) (bad)
+/// are built, candidates are sampled from l and ranked by the expected-
+/// improvement surrogate log l(x) - log g(x). Categorical dimensions use
+/// Dirichlet-smoothed counts; optional dimensions model P(None) separately
+/// (the paper's absent-predicate slots).
+
+#include "hpo/optimizer.h"
+
+namespace featlib {
+
+struct TpeOptions {
+  /// Quantile of observations labeled "good" (paper: 10-15%).
+  double gamma = 0.15;
+  /// Candidates sampled from l(x) per Suggest call.
+  int n_candidates = 32;
+  /// Random exploration before the surrogate kicks in.
+  int n_startup = 10;
+  /// Weight of the uniform/wide prior mixed into each estimator.
+  double prior_weight = 1.0;
+  /// Fraction of post-startup suggestions drawn uniformly at random — the
+  /// explicit exploration half of the paper's exploration-and-exploitation
+  /// strategy. Prevents the surrogate from locking onto an early local
+  /// optimum when the good set becomes homogeneous.
+  double exploration_fraction = 0.15;
+  uint64_t seed = 42;
+};
+
+/// \brief TPE optimizer over a SearchSpace. Minimizes loss.
+class Tpe : public Optimizer {
+ public:
+  Tpe(SearchSpace space, TpeOptions options);
+
+  ParamVector Suggest() override;
+  void Observe(const ParamVector& params, double loss) override;
+  const std::vector<Trial>& history() const override { return history_; }
+
+  const SearchSpace& space() const { return space_; }
+
+ private:
+  SearchSpace space_;
+  TpeOptions options_;
+  Rng rng_;
+  std::vector<Trial> history_;
+};
+
+}  // namespace featlib

@@ -1,0 +1,254 @@
+#include "ml/deepfm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace featlib {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+struct DeepFmModel::Workspace {
+  std::vector<double> e;        // d*k scaled embeddings
+  std::vector<double> s;        // k column sums of e
+  std::vector<double> h1_pre, h1, h2_pre, h2;
+  double first_order = 0.0;
+  double fm = 0.0;
+  double deep = 0.0;
+};
+
+DeepFmModel::DeepFmModel(TaskKind task, DeepFmOptions options)
+    : task_(task), options_(options) {}
+
+double DeepFmModel::Forward(const double* x, Workspace* ws) const {
+  const size_t k = static_cast<size_t>(options_.embed_dim);
+  const size_t h1n = static_cast<size_t>(options_.hidden1);
+  const size_t h2n = static_cast<size_t>(options_.hidden2);
+  const size_t dk = d_ * k;
+  ws->e.assign(dk, 0.0);
+  ws->s.assign(k, 0.0);
+
+  // Embeddings and first-order term.
+  double first = params_[off_b_];
+  for (size_t i = 0; i < d_; ++i) {
+    first += params_[off_w_ + i] * x[i];
+    for (size_t f = 0; f < k; ++f) {
+      const double e = x[i] * params_[off_v_ + i * k + f];
+      ws->e[i * k + f] = e;
+      ws->s[f] += e;
+    }
+  }
+  ws->first_order = first;
+
+  // FM second-order term.
+  double fm = 0.0;
+  for (size_t f = 0; f < k; ++f) {
+    double q = 0.0;
+    for (size_t i = 0; i < d_; ++i) {
+      const double e = ws->e[i * k + f];
+      q += e * e;
+    }
+    fm += ws->s[f] * ws->s[f] - q;
+  }
+  ws->fm = 0.5 * fm;
+
+  // Deep tower.
+  ws->h1_pre.assign(h1n, 0.0);
+  ws->h1.assign(h1n, 0.0);
+  for (size_t j = 0; j < h1n; ++j) {
+    double z = params_[off_b1_ + j];
+    const double* w_row = &params_[off_w1_ + j * dk];
+    for (size_t i = 0; i < dk; ++i) z += w_row[i] * ws->e[i];
+    ws->h1_pre[j] = z;
+    ws->h1[j] = z > 0.0 ? z : 0.0;
+  }
+  ws->h2_pre.assign(h2n, 0.0);
+  ws->h2.assign(h2n, 0.0);
+  for (size_t j = 0; j < h2n; ++j) {
+    double z = params_[off_b2_ + j];
+    const double* w_row = &params_[off_w2_ + j * h1n];
+    for (size_t i = 0; i < h1n; ++i) z += w_row[i] * ws->h1[i];
+    ws->h2_pre[j] = z;
+    ws->h2[j] = z > 0.0 ? z : 0.0;
+  }
+  double deep = params_[off_b3_];
+  for (size_t j = 0; j < h2n; ++j) deep += params_[off_w3_ + j] * ws->h2[j];
+  ws->deep = deep;
+
+  return ws->first_order + ws->fm + ws->deep;
+}
+
+Status DeepFmModel::Fit(const Dataset& train) {
+  if (task_ == TaskKind::kMultiClassification) {
+    return Status::InvalidArgument(
+        "DeepFM supports binary classification and regression only");
+  }
+  if (train.n == 0 || train.d == 0) {
+    return Status::InvalidArgument("DeepFM needs non-empty training data");
+  }
+  d_ = train.d;
+  const size_t k = static_cast<size_t>(options_.embed_dim);
+  const size_t h1n = static_cast<size_t>(options_.hidden1);
+  const size_t h2n = static_cast<size_t>(options_.hidden2);
+  const size_t dk = d_ * k;
+
+  off_v_ = 0;
+  off_w_ = off_v_ + dk;
+  off_b_ = off_w_ + d_;
+  off_w1_ = off_b_ + 1;
+  off_b1_ = off_w1_ + h1n * dk;
+  off_w2_ = off_b1_ + h1n;
+  off_b2_ = off_w2_ + h2n * h1n;
+  off_w3_ = off_b2_ + h2n;
+  off_b3_ = off_w3_ + h2n;
+  const size_t n_params = off_b3_ + 1;
+
+  Rng rng(options_.seed);
+  params_.assign(n_params, 0.0);
+  const double v_scale = 0.1 / std::sqrt(static_cast<double>(k));
+  for (size_t i = off_v_; i < off_v_ + dk; ++i) params_[i] = rng.Normal(0.0, v_scale);
+  const double w1_scale = std::sqrt(2.0 / static_cast<double>(dk));
+  for (size_t i = off_w1_; i < off_w1_ + h1n * dk; ++i) {
+    params_[i] = rng.Normal(0.0, w1_scale);
+  }
+  const double w2_scale = std::sqrt(2.0 / static_cast<double>(h1n));
+  for (size_t i = off_w2_; i < off_w2_ + h2n * h1n; ++i) {
+    params_[i] = rng.Normal(0.0, w2_scale);
+  }
+  const double w3_scale = std::sqrt(2.0 / static_cast<double>(h2n));
+  for (size_t i = off_w3_; i < off_w3_ + h2n; ++i) {
+    params_[i] = rng.Normal(0.0, w3_scale);
+  }
+
+  standardizer_.Fit(train);
+  Dataset std_train = train;
+  standardizer_.Apply(&std_train);
+
+  // Adam state.
+  std::vector<double> m(n_params, 0.0);
+  std::vector<double> v(n_params, 0.0);
+  std::vector<double> grad(n_params, 0.0);
+  const double beta1 = 0.9;
+  const double beta2 = 0.999;
+  const double eps = 1e-8;
+  int64_t step = 0;
+
+  std::vector<uint32_t> order(train.n);
+  std::iota(order.begin(), order.end(), 0u);
+  Workspace ws;
+  std::vector<double> de(dk), dh1(h1n), dh2(h2n);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < train.n;
+         start += static_cast<size_t>(options_.batch_size)) {
+      const size_t end =
+          std::min(train.n, start + static_cast<size_t>(options_.batch_size));
+      std::fill(grad.begin(), grad.end(), 0.0);
+      for (size_t bi = start; bi < end; ++bi) {
+        const size_t row = order[bi];
+        const double* x = &std_train.x[row * d_];
+        const double logit = Forward(x, &ws);
+        double dlogit;
+        if (task_ == TaskKind::kRegression) {
+          dlogit = logit - std_train.y[row];  // squared loss, identity head
+        } else {
+          const double target = std_train.y[row] >= 0.5 ? 1.0 : 0.0;
+          dlogit = Sigmoid(logit) - target;
+        }
+
+        // First-order weights.
+        grad[off_b_] += dlogit;
+        for (size_t i = 0; i < d_; ++i) grad[off_w_ + i] += dlogit * x[i];
+
+        // Deep tower backward.
+        grad[off_b3_] += dlogit;
+        for (size_t j = 0; j < h2n; ++j) {
+          grad[off_w3_ + j] += dlogit * ws.h2[j];
+          dh2[j] = dlogit * params_[off_w3_ + j];
+          if (ws.h2_pre[j] <= 0.0) dh2[j] = 0.0;
+        }
+        std::fill(dh1.begin(), dh1.end(), 0.0);
+        for (size_t j = 0; j < h2n; ++j) {
+          if (dh2[j] == 0.0) continue;
+          grad[off_b2_ + j] += dh2[j];
+          const size_t w_off = off_w2_ + j * h1n;
+          for (size_t i = 0; i < h1n; ++i) {
+            grad[w_off + i] += dh2[j] * ws.h1[i];
+            dh1[i] += dh2[j] * params_[w_off + i];
+          }
+        }
+        std::fill(de.begin(), de.end(), 0.0);
+        for (size_t j = 0; j < h1n; ++j) {
+          double dj = dh1[j];
+          if (ws.h1_pre[j] <= 0.0) dj = 0.0;
+          if (dj == 0.0) continue;
+          grad[off_b1_ + j] += dj;
+          const size_t w_off = off_w1_ + j * dk;
+          for (size_t i = 0; i < dk; ++i) {
+            grad[w_off + i] += dj * ws.e[i];
+            de[i] += dj * params_[w_off + i];
+          }
+        }
+
+        // FM backward: dfm/de_if = s_f - e_if.
+        for (size_t i = 0; i < d_; ++i) {
+          for (size_t f = 0; f < k; ++f) {
+            const double total_de =
+                de[i * k + f] + dlogit * (ws.s[f] - ws.e[i * k + f]);
+            grad[off_v_ + i * k + f] += total_de * x[i];
+          }
+        }
+      }
+
+      // Adam update with decoupled L2.
+      const double batch_scale = 1.0 / static_cast<double>(end - start);
+      ++step;
+      const double bias1 = 1.0 - std::pow(beta1, static_cast<double>(step));
+      const double bias2 = 1.0 - std::pow(beta2, static_cast<double>(step));
+      for (size_t i = 0; i < n_params; ++i) {
+        const double g = grad[i] * batch_scale + options_.l2 * params_[i];
+        m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+        v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+        params_[i] -= options_.learning_rate * (m[i] / bias1) /
+                      (std::sqrt(v[i] / bias2) + eps);
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> DeepFmModel::PredictScore(const Dataset& ds) const {
+  FEAT_CHECK(fitted_, "PredictScore before Fit");
+  FEAT_CHECK(ds.d == d_, "DeepFM dimension mismatch");
+  Dataset std_ds = ds;
+  standardizer_.Apply(&std_ds);
+  Workspace ws;
+  std::vector<double> out(ds.n);
+  for (size_t r = 0; r < ds.n; ++r) {
+    const double raw = Forward(&std_ds.x[r * d_], &ws);
+    out[r] = task_ == TaskKind::kRegression ? raw : Sigmoid(raw);
+  }
+  return out;
+}
+
+std::vector<int> DeepFmModel::PredictClass(const Dataset& ds) const {
+  const auto scores = PredictScore(ds);
+  std::vector<int> out(ds.n);
+  for (size_t r = 0; r < ds.n; ++r) out[r] = scores[r] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+}  // namespace featlib

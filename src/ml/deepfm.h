@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file deepfm.h
+/// \brief DeepFM (Guo et al., IJCAI'17): a factorization-machine component
+/// plus an MLP over shared per-feature embeddings, summed into one sigmoid
+/// head. Binary classification only, as in the paper's evaluation.
+///
+/// Dense adaptation: each numeric feature i has a latent vector V_i in R^k;
+/// its "field embedding" is x_i * V_i. The FM term is the classic
+/// 0.5 * sum_f [(sum_i e_if)^2 - sum_i e_if^2]; the deep tower consumes the
+/// concatenated embeddings. Trained with minibatch Adam on log-loss over
+/// standardized inputs.
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace featlib {
+
+struct DeepFmOptions {
+  int embed_dim = 8;
+  int hidden1 = 32;
+  int hidden2 = 16;
+  int epochs = 20;
+  int batch_size = 64;
+  double learning_rate = 1e-2;
+  double l2 = 1e-5;
+  uint64_t seed = 42;
+};
+
+/// \brief DeepFM model (binary classification or regression).
+class DeepFmModel : public Model {
+ public:
+  explicit DeepFmModel(TaskKind task, DeepFmOptions options = {});
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> PredictScore(const Dataset& ds) const override;
+  std::vector<int> PredictClass(const Dataset& ds) const override;
+
+ private:
+  struct Workspace;
+
+  /// Forward pass for one (standardized) row; fills the workspace so the
+  /// training loop can backpropagate through it.
+  double Forward(const double* x, Workspace* ws) const;
+
+  TaskKind task_;
+  DeepFmOptions options_;
+  size_t d_ = 0;
+  // Parameters, flattened: see offsets in deepfm.cc.
+  std::vector<double> params_;
+  Standardizer standardizer_;
+  bool fitted_ = false;
+
+  // Parameter block offsets.
+  size_t off_v_ = 0;   // d * k embeddings
+  size_t off_w_ = 0;   // d first-order weights
+  size_t off_b_ = 0;   // 1 bias
+  size_t off_w1_ = 0;  // hidden1 x (d*k)
+  size_t off_b1_ = 0;  // hidden1
+  size_t off_w2_ = 0;  // hidden2 x hidden1
+  size_t off_b2_ = 0;  // hidden2
+  size_t off_w3_ = 0;  // hidden2
+  size_t off_b3_ = 0;  // 1
+};
+
+}  // namespace featlib

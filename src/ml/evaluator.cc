@@ -1,0 +1,71 @@
+#include "ml/evaluator.h"
+
+#include <cmath>
+
+namespace featlib {
+
+MetricKind DefaultMetricFor(TaskKind task) {
+  switch (task) {
+    case TaskKind::kBinaryClassification:
+      return MetricKind::kAuc;
+    case TaskKind::kMultiClassification:
+      return MetricKind::kF1Macro;
+    case TaskKind::kRegression:
+      return MetricKind::kRmse;
+  }
+  return MetricKind::kAuc;
+}
+
+Result<double> TrainAndScore(ModelKind kind, const Dataset& train,
+                             const Dataset& valid, MetricKind metric,
+                             uint64_t seed) {
+  if (train.d == 0) {
+    return Status::InvalidArgument("cannot train on zero features");
+  }
+  Dataset train_imputed = train;
+  Dataset valid_imputed = valid;
+  ImputeNanInPlace(&train_imputed, train);
+  ImputeNanInPlace(&valid_imputed, train);
+
+  auto model = MakeModel(kind, train.task, seed);
+  if (model == nullptr) return Status::InvalidArgument("unknown model kind");
+  FEAT_RETURN_NOT_OK(model->Fit(train_imputed));
+
+  switch (metric) {
+    case MetricKind::kAuc: {
+      const auto scores = model->PredictScore(valid_imputed);
+      return Auc(valid_imputed.y, scores);
+    }
+    case MetricKind::kF1Macro: {
+      const auto pred = model->PredictClass(valid_imputed);
+      std::vector<int> labels(valid_imputed.n);
+      for (size_t i = 0; i < valid_imputed.n; ++i) {
+        labels[i] = static_cast<int>(std::llround(valid_imputed.y[i]));
+      }
+      return F1Macro(labels, pred, valid_imputed.num_classes);
+    }
+    case MetricKind::kRmse: {
+      const auto pred = model->PredictScore(valid_imputed);
+      return Rmse(valid_imputed.y, pred);
+    }
+    case MetricKind::kAccuracy: {
+      const auto pred = model->PredictClass(valid_imputed);
+      std::vector<int> labels(valid_imputed.n);
+      for (size_t i = 0; i < valid_imputed.n; ++i) {
+        labels[i] = static_cast<int>(std::llround(valid_imputed.y[i]));
+      }
+      return Accuracy(labels, pred);
+    }
+    case MetricKind::kLogLoss: {
+      const auto scores = model->PredictScore(valid_imputed);
+      return LogLoss(valid_imputed.y, scores);
+    }
+  }
+  return Status::InvalidArgument("unknown metric");
+}
+
+double MetricToLoss(MetricKind metric, double value) {
+  return MetricHigherIsBetter(metric) ? -value : value;
+}
+
+}  // namespace featlib

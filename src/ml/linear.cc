@@ -1,0 +1,221 @@
+#include "ml/linear.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace featlib {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status SolveRidgeSystem(std::vector<double>* a, std::vector<double>* b, size_t dim,
+                        double l2) {
+  FEAT_CHECK(a->size() == dim * dim && b->size() == dim, "bad system shape");
+  std::vector<double>& m = *a;
+  for (size_t i = 0; i < dim; ++i) m[i * dim + i] += l2;
+  // In-place Cholesky: m = L L^T (lower triangle).
+  for (size_t j = 0; j < dim; ++j) {
+    double diag = m[j * dim + j];
+    for (size_t k = 0; k < j; ++k) diag -= m[j * dim + k] * m[j * dim + k];
+    if (diag <= 1e-12) {
+      return Status::InvalidArgument("matrix not positive definite (collinear?)");
+    }
+    const double root = std::sqrt(diag);
+    m[j * dim + j] = root;
+    for (size_t i = j + 1; i < dim; ++i) {
+      double v = m[i * dim + j];
+      for (size_t k = 0; k < j; ++k) v -= m[i * dim + k] * m[j * dim + k];
+      m[i * dim + j] = v / root;
+    }
+  }
+  // Forward solve L z = b.
+  for (size_t i = 0; i < dim; ++i) {
+    double v = (*b)[i];
+    for (size_t k = 0; k < i; ++k) v -= m[i * dim + k] * (*b)[k];
+    (*b)[i] = v / m[i * dim + i];
+  }
+  // Back solve L^T w = z.
+  for (size_t ii = dim; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double v = (*b)[i];
+    for (size_t k = i + 1; k < dim; ++k) v -= m[k * dim + i] * (*b)[k];
+    (*b)[i] = v / m[i * dim + i];
+  }
+  return Status::OK();
+}
+
+LogisticRegressionModel::LogisticRegressionModel(TaskKind task,
+                                                 LinearModelOptions options)
+    : task_(task), options_(options) {}
+
+Dataset LogisticRegressionModel::Standardized(const Dataset& ds) const {
+  Dataset copy = ds;
+  standardizer_.Apply(&copy);
+  return copy;
+}
+
+Status LogisticRegressionModel::Fit(const Dataset& train) {
+  if (task_ == TaskKind::kRegression) {
+    return Status::InvalidArgument("LogisticRegressionModel is for classification");
+  }
+  num_classes_ = task_ == TaskKind::kBinaryClassification ? 2 : train.num_classes;
+  standardizer_.Fit(train);
+  const Dataset std_train = Standardized(train);
+  const size_t n_heads = num_classes_ == 2 ? 1 : static_cast<size_t>(num_classes_);
+  heads_.assign(n_heads, std::vector<double>(train.d + 1, 0.0));
+
+  for (size_t head = 0; head < n_heads; ++head) {
+    std::vector<double>& w = heads_[head];
+    for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+      std::vector<double> grad(train.d + 1, 0.0);
+      for (size_t r = 0; r < std_train.n; ++r) {
+        double z = w[train.d];
+        for (size_t c = 0; c < train.d; ++c) z += w[c] * std_train.At(r, c);
+        const double target = n_heads == 1
+                                  ? (std_train.y[r] >= 0.5 ? 1.0 : 0.0)
+                                  : (static_cast<int>(std::llround(std_train.y[r])) ==
+                                             static_cast<int>(head)
+                                         ? 1.0
+                                         : 0.0);
+        const double err = Sigmoid(z) - target;
+        for (size_t c = 0; c < train.d; ++c) grad[c] += err * std_train.At(r, c);
+        grad[train.d] += err;
+      }
+      const double scale =
+          options_.learning_rate / static_cast<double>(std::max<size_t>(1, std_train.n));
+      for (size_t c = 0; c <= train.d; ++c) {
+        const double reg = c < train.d ? options_.l2 * w[c] : 0.0;
+        w[c] -= scale * grad[c] + options_.learning_rate * reg;
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> LogisticRegressionModel::HeadScores(const Dataset& std_ds,
+                                                        size_t head) const {
+  const std::vector<double>& w = heads_[head];
+  std::vector<double> out(std_ds.n);
+  for (size_t r = 0; r < std_ds.n; ++r) {
+    double z = w[std_ds.d];
+    for (size_t c = 0; c < std_ds.d; ++c) z += w[c] * std_ds.At(r, c);
+    out[r] = Sigmoid(z);
+  }
+  return out;
+}
+
+std::vector<double> LogisticRegressionModel::PredictScore(const Dataset& ds) const {
+  FEAT_CHECK(fitted_, "PredictScore before Fit");
+  const Dataset std_ds = Standardized(ds);
+  if (heads_.size() == 1) return HeadScores(std_ds, 0);
+  // Multi-class: report the winning class probability.
+  std::vector<double> best(ds.n, 0.0);
+  for (size_t head = 0; head < heads_.size(); ++head) {
+    const auto scores = HeadScores(std_ds, head);
+    for (size_t r = 0; r < ds.n; ++r) best[r] = std::max(best[r], scores[r]);
+  }
+  return best;
+}
+
+std::vector<int> LogisticRegressionModel::PredictClass(const Dataset& ds) const {
+  FEAT_CHECK(fitted_, "PredictClass before Fit");
+  const Dataset std_ds = Standardized(ds);
+  if (heads_.size() == 1) {
+    const auto scores = HeadScores(std_ds, 0);
+    std::vector<int> out(ds.n);
+    for (size_t r = 0; r < ds.n; ++r) out[r] = scores[r] >= 0.5 ? 1 : 0;
+    return out;
+  }
+  std::vector<int> out(ds.n, 0);
+  std::vector<double> best(ds.n, -1.0);
+  for (size_t head = 0; head < heads_.size(); ++head) {
+    const auto scores = HeadScores(std_ds, head);
+    for (size_t r = 0; r < ds.n; ++r) {
+      if (scores[r] > best[r]) {
+        best[r] = scores[r];
+        out[r] = static_cast<int>(head);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> LogisticRegressionModel::FeatureImportances() const {
+  FEAT_CHECK(fitted_, "FeatureImportances before Fit");
+  const size_t d = heads_[0].size() - 1;
+  std::vector<double> out(d, 0.0);
+  for (const auto& w : heads_) {
+    for (size_t c = 0; c < d; ++c) out[c] += std::fabs(w[c]);
+  }
+  return out;
+}
+
+LinearRegressionModel::LinearRegressionModel(LinearModelOptions options)
+    : options_(options) {}
+
+Status LinearRegressionModel::Fit(const Dataset& train) {
+  standardizer_.Fit(train);
+  Dataset std_train = train;
+  standardizer_.Apply(&std_train);
+  const size_t dim = train.d + 1;
+  std::vector<double> xtx(dim * dim, 0.0);
+  std::vector<double> xty(dim, 0.0);
+  for (size_t r = 0; r < std_train.n; ++r) {
+    for (size_t i = 0; i < dim; ++i) {
+      const double xi = i < train.d ? std_train.At(r, i) : 1.0;
+      xty[i] += xi * std_train.y[r];
+      for (size_t j = i; j < dim; ++j) {
+        const double xj = j < train.d ? std_train.At(r, j) : 1.0;
+        xtx[i * dim + j] += xi * xj;
+      }
+    }
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = 0; j < i; ++j) xtx[i * dim + j] = xtx[j * dim + i];
+  }
+  FEAT_RETURN_NOT_OK(SolveRidgeSystem(&xtx, &xty, dim, options_.l2 + 1e-8));
+  weights_ = std::move(xty);
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> LinearRegressionModel::PredictScore(const Dataset& ds) const {
+  FEAT_CHECK(fitted_, "PredictScore before Fit");
+  Dataset std_ds = ds;
+  standardizer_.Apply(&std_ds);
+  std::vector<double> out(ds.n);
+  for (size_t r = 0; r < ds.n; ++r) {
+    double z = weights_[ds.d];
+    for (size_t c = 0; c < ds.d; ++c) z += weights_[c] * std_ds.At(r, c);
+    out[r] = z;
+  }
+  return out;
+}
+
+std::vector<int> LinearRegressionModel::PredictClass(const Dataset& ds) const {
+  const auto scores = PredictScore(ds);
+  std::vector<int> out(ds.n);
+  for (size_t r = 0; r < ds.n; ++r) out[r] = scores[r] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+std::vector<double> LinearRegressionModel::FeatureImportances() const {
+  FEAT_CHECK(fitted_, "FeatureImportances before Fit");
+  std::vector<double> out(weights_.size() - 1);
+  for (size_t c = 0; c + 1 < weights_.size(); ++c) out[c] = std::fabs(weights_[c]);
+  return out;
+}
+
+}  // namespace featlib

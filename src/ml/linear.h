@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file linear.h
+/// \brief Linear models: logistic regression (binary + one-vs-rest) and
+/// ridge linear regression (closed form via Cholesky).
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace featlib {
+
+struct LinearModelOptions {
+  double l2 = 1e-3;
+  int epochs = 200;
+  double learning_rate = 0.5;
+  uint64_t seed = 42;
+};
+
+/// \brief Logistic regression trained with full-batch gradient descent on
+/// standardized inputs. Multi-class tasks train one-vs-rest heads.
+class LogisticRegressionModel : public Model {
+ public:
+  explicit LogisticRegressionModel(TaskKind task, LinearModelOptions options = {});
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> PredictScore(const Dataset& ds) const override;
+  std::vector<int> PredictClass(const Dataset& ds) const override;
+
+  /// Per-class absolute weights, used by the Featuretools+LR selector.
+  std::vector<double> FeatureImportances() const;
+
+ private:
+  // One weight vector (+bias at the end) per head.
+  std::vector<std::vector<double>> heads_;
+  TaskKind task_;
+  int num_classes_ = 2;
+  LinearModelOptions options_;
+  Standardizer standardizer_;
+  bool fitted_ = false;
+
+  std::vector<double> HeadScores(const Dataset& std_ds, size_t head) const;
+  Dataset Standardized(const Dataset& ds) const;
+};
+
+/// \brief Ridge regression solved in closed form (normal equations +
+/// Cholesky). Backs "LR" on the paper's regression dataset (Merchant).
+class LinearRegressionModel : public Model {
+ public:
+  explicit LinearRegressionModel(LinearModelOptions options = {});
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> PredictScore(const Dataset& ds) const override;
+  std::vector<int> PredictClass(const Dataset& ds) const override;
+
+  std::vector<double> FeatureImportances() const;
+
+ private:
+  std::vector<double> weights_;  // d + 1 (bias last)
+  LinearModelOptions options_;
+  Standardizer standardizer_;
+  bool fitted_ = false;
+};
+
+/// Solves (A + l2*I) w = b for symmetric positive definite A via Cholesky.
+/// `a` is dim x dim row-major and is modified in place.
+Status SolveRidgeSystem(std::vector<double>* a, std::vector<double>* b, size_t dim,
+                        double l2);
+
+}  // namespace featlib

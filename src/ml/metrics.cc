@@ -1,0 +1,137 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+#include "stats/stats.h"
+
+namespace featlib {
+
+const char* MetricKindToString(MetricKind metric) {
+  switch (metric) {
+    case MetricKind::kAuc:
+      return "AUC";
+    case MetricKind::kF1Macro:
+      return "F1";
+    case MetricKind::kRmse:
+      return "RMSE";
+    case MetricKind::kAccuracy:
+      return "ACC";
+    case MetricKind::kLogLoss:
+      return "LOGLOSS";
+  }
+  return "?";
+}
+
+bool MetricHigherIsBetter(MetricKind metric) {
+  switch (metric) {
+    case MetricKind::kAuc:
+    case MetricKind::kF1Macro:
+    case MetricKind::kAccuracy:
+      return true;
+    case MetricKind::kRmse:
+    case MetricKind::kLogLoss:
+      return false;
+  }
+  return true;
+}
+
+double Auc(const std::vector<double>& labels, const std::vector<double>& scores) {
+  FEAT_CHECK(labels.size() == scores.size(), "AUC: size mismatch");
+  size_t n_pos = 0;
+  for (double y : labels) {
+    if (y >= 0.5) ++n_pos;
+  }
+  const size_t n = labels.size();
+  const size_t n_neg = n - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  // Rank statistic: AUC = (sum of positive ranks - n_pos(n_pos+1)/2) /
+  // (n_pos * n_neg), with average ranks for ties.
+  const std::vector<double> ranks = RankData(scores);
+  double pos_rank_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] >= 0.5) pos_rank_sum += ranks[i];
+  }
+  const double np = static_cast<double>(n_pos);
+  const double nn = static_cast<double>(n_neg);
+  return (pos_rank_sum - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+double F1Macro(const std::vector<int>& labels, const std::vector<int>& predictions,
+               int num_classes) {
+  FEAT_CHECK(labels.size() == predictions.size(), "F1: size mismatch");
+  double f1_sum = 0.0;
+  int present = 0;
+  for (int cls = 0; cls < num_classes; ++cls) {
+    size_t tp = 0;
+    size_t fp = 0;
+    size_t fn = 0;
+    bool in_labels = false;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      const bool is_true = labels[i] == cls;
+      const bool is_pred = predictions[i] == cls;
+      if (is_true) in_labels = true;
+      if (is_true && is_pred) ++tp;
+      if (!is_true && is_pred) ++fp;
+      if (is_true && !is_pred) ++fn;
+    }
+    if (!in_labels) continue;
+    ++present;
+    const double denom = 2.0 * static_cast<double>(tp) + static_cast<double>(fp) +
+                         static_cast<double>(fn);
+    f1_sum += denom > 0.0 ? 2.0 * static_cast<double>(tp) / denom : 0.0;
+  }
+  return present > 0 ? f1_sum / present : 0.0;
+}
+
+double F1Binary(const std::vector<int>& labels, const std::vector<int>& predictions) {
+  FEAT_CHECK(labels.size() == predictions.size(), "F1: size mismatch");
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 1 && predictions[i] == 1) ++tp;
+    if (labels[i] == 0 && predictions[i] == 1) ++fp;
+    if (labels[i] == 1 && predictions[i] == 0) ++fn;
+  }
+  const double denom =
+      2.0 * static_cast<double>(tp) + static_cast<double>(fp) + static_cast<double>(fn);
+  return denom > 0.0 ? 2.0 * static_cast<double>(tp) / denom : 0.0;
+}
+
+double Accuracy(const std::vector<int>& labels, const std::vector<int>& predictions) {
+  FEAT_CHECK(labels.size() == predictions.size(), "accuracy: size mismatch");
+  if (labels.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == predictions[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double Rmse(const std::vector<double>& targets,
+            const std::vector<double>& predictions) {
+  FEAT_CHECK(targets.size() == predictions.size(), "RMSE: size mismatch");
+  if (targets.empty()) return 0.0;
+  double ss = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const double d = targets[i] - predictions[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(targets.size()));
+}
+
+double LogLoss(const std::vector<double>& labels, const std::vector<double>& probs) {
+  FEAT_CHECK(labels.size() == probs.size(), "log-loss: size mismatch");
+  if (labels.empty()) return 0.0;
+  double loss = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double p = std::min(1.0 - 1e-12, std::max(1e-12, probs[i]));
+    loss -= labels[i] >= 0.5 ? std::log(p) : std::log(1.0 - p);
+  }
+  return loss / static_cast<double>(labels.size());
+}
+
+}  // namespace featlib

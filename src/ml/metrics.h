@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file metrics.h
+/// \brief Evaluation metrics used by the paper: AUC (binary), F1 (macro,
+/// multi-class), RMSE (regression), plus accuracy and log-loss.
+
+#include <vector>
+
+namespace featlib {
+
+/// Metrics the experiment harness reports (Table III/VI/VII/VIII).
+enum class MetricKind {
+  kAuc,
+  kF1Macro,
+  kRmse,
+  kAccuracy,
+  kLogLoss,
+};
+
+const char* MetricKindToString(MetricKind metric);
+
+/// True for metrics where larger values mean better models (AUC, F1,
+/// accuracy); false for losses (RMSE, log-loss).
+bool MetricHigherIsBetter(MetricKind metric);
+
+/// Area under the ROC curve via the rank statistic; ties share rank credit.
+/// `labels` must be 0/1. Returns 0.5 when one class is absent.
+double Auc(const std::vector<double>& labels, const std::vector<double>& scores);
+
+/// Macro-averaged F1 over classes present in `labels`.
+double F1Macro(const std::vector<int>& labels, const std::vector<int>& predictions,
+               int num_classes);
+
+/// Binary F1 of the positive class.
+double F1Binary(const std::vector<int>& labels, const std::vector<int>& predictions);
+
+double Accuracy(const std::vector<int>& labels, const std::vector<int>& predictions);
+
+double Rmse(const std::vector<double>& targets, const std::vector<double>& predictions);
+
+/// Binary cross-entropy with probability clipping at 1e-12.
+double LogLoss(const std::vector<double>& labels, const std::vector<double>& probs);
+
+}  // namespace featlib

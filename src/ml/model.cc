@@ -1,0 +1,55 @@
+#include "ml/model.h"
+
+#include "ml/deepfm.h"
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "ml/linear.h"
+
+namespace featlib {
+
+const char* ModelKindToString(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLogisticRegression:
+      return "LR";
+    case ModelKind::kXgb:
+      return "XGB";
+    case ModelKind::kRandomForest:
+      return "RF";
+    case ModelKind::kDeepFm:
+      return "DeepFM";
+  }
+  return "?";
+}
+
+std::unique_ptr<Model> MakeModel(ModelKind kind, TaskKind task, uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kLogisticRegression: {
+      if (task == TaskKind::kRegression) {
+        LinearModelOptions options;
+        options.seed = seed;
+        return std::make_unique<LinearRegressionModel>(options);
+      }
+      LinearModelOptions options;
+      options.seed = seed;
+      return std::make_unique<LogisticRegressionModel>(task, options);
+    }
+    case ModelKind::kXgb: {
+      GbdtOptions options;
+      options.seed = seed;
+      return std::make_unique<GbdtModel>(task, options);
+    }
+    case ModelKind::kRandomForest: {
+      RandomForestOptions options;
+      options.seed = seed;
+      return std::make_unique<RandomForestModel>(task, options);
+    }
+    case ModelKind::kDeepFm: {
+      DeepFmOptions options;
+      options.seed = seed;
+      return std::make_unique<DeepFmModel>(task, options);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace featlib

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file model.h
+/// \brief Downstream-model interface and factory. The paper evaluates four
+/// models: Logistic Regression (LR), XGBoost-style boosting (XGB), Random
+/// Forest (RF) and DeepFM; a linear regressor backs the regression tasks.
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace featlib {
+
+enum class ModelKind {
+  kLogisticRegression,  // "LR"; linear regression for regression tasks
+  kXgb,                 // second-order gradient boosting
+  kRandomForest,        // "RF"
+  kDeepFm,              // "DeepFM"; binary classification only
+};
+
+const char* ModelKindToString(ModelKind kind);
+
+/// \brief A trainable downstream model.
+///
+/// Models own their preprocessing (standardization where needed) but expect
+/// NaN-free inputs: impute with ImputeNanInPlace before Fit/Predict.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Trains on `train`. Must be called before any Predict*.
+  virtual Status Fit(const Dataset& train) = 0;
+
+  /// Binary classification: P(class 1) per row. Regression: the prediction.
+  /// Multi-class models return the max-class probability (use PredictClass).
+  virtual std::vector<double> PredictScore(const Dataset& ds) const = 0;
+
+  /// Class prediction for classification tasks (argmax / threshold 0.5).
+  virtual std::vector<int> PredictClass(const Dataset& ds) const = 0;
+};
+
+/// Creates a model of the given kind configured for `task`. DeepFM rejects
+/// non-binary tasks at Fit time. `seed` controls all internal randomness.
+std::unique_ptr<Model> MakeModel(ModelKind kind, TaskKind task, uint64_t seed);
+
+}  // namespace featlib

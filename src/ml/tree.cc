@@ -1,0 +1,251 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace featlib {
+
+namespace {
+
+// Candidate features for one split: all, or a uniform subset without
+// replacement when max_features is set.
+std::vector<size_t> SplitFeatures(size_t d, int max_features, Rng* rng) {
+  if (max_features <= 0 || static_cast<size_t>(max_features) >= d) {
+    std::vector<size_t> all(d);
+    std::iota(all.begin(), all.end(), size_t{0});
+    return all;
+  }
+  return rng->SampleIndices(d, static_cast<size_t>(max_features));
+}
+
+}  // namespace
+
+int GradientTree::Build(const Dataset& ds, std::vector<uint32_t>* rows,
+                        size_t begin, size_t end, const std::vector<double>& grad,
+                        const std::vector<double>& hess, const TreeOptions& options,
+                        int depth, Rng* rng) {
+  const size_t count = end - begin;
+  double g_total = 0.0;
+  double h_total = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    g_total += grad[(*rows)[i]];
+    h_total += hess[(*rows)[i]];
+  }
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = -g_total / (h_total + options.lambda);
+
+  if (depth >= options.max_depth || count < options.min_samples_split) {
+    return node_id;
+  }
+
+  const double parent_score = g_total * g_total / (h_total + options.lambda);
+  double best_gain = options.min_gain;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, uint32_t>> sorted;
+  sorted.reserve(count);
+  for (size_t feature : SplitFeatures(ds.d, options.max_features, rng)) {
+    sorted.clear();
+    for (size_t i = begin; i < end; ++i) {
+      sorted.emplace_back(ds.At((*rows)[i], feature), (*rows)[i]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    double g_left = 0.0;
+    double h_left = 0.0;
+    for (size_t i = 0; i + 1 < count; ++i) {
+      g_left += grad[sorted[i].second];
+      h_left += hess[sorted[i].second];
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const size_t left_n = i + 1;
+      const size_t right_n = count - left_n;
+      if (left_n < options.min_samples_leaf || right_n < options.min_samples_leaf) {
+        continue;
+      }
+      const double g_right = g_total - g_left;
+      const double h_right = h_total - h_left;
+      const double gain =
+          0.5 * (g_left * g_left / (h_left + options.lambda) +
+                 g_right * g_right / (h_right + options.lambda) - parent_score);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition rows in place around the chosen split.
+  auto middle = std::partition(
+      rows->begin() + static_cast<ptrdiff_t>(begin),
+      rows->begin() + static_cast<ptrdiff_t>(end), [&](uint32_t r) {
+        return ds.At(r, static_cast<size_t>(best_feature)) <= best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(middle - rows->begin());
+  if (mid == begin || mid == end) return node_id;  // numerically degenerate
+
+  if (feature_gains_.size() < ds.d) feature_gains_.resize(ds.d, 0.0);
+  feature_gains_[static_cast<size_t>(best_feature)] += best_gain;
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = Build(ds, rows, begin, mid, grad, hess, options, depth + 1, rng);
+  const int right = Build(ds, rows, mid, end, grad, hess, options, depth + 1, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+void GradientTree::Fit(const Dataset& ds, const std::vector<uint32_t>& rows,
+                       const std::vector<double>& grad,
+                       const std::vector<double>& hess, const TreeOptions& options,
+                       Rng* rng) {
+  FEAT_CHECK(!rows.empty(), "GradientTree::Fit with no rows");
+  nodes_.clear();
+  feature_gains_.assign(ds.d, 0.0);
+  std::vector<uint32_t> mutable_rows = rows;
+  Build(ds, &mutable_rows, 0, mutable_rows.size(), grad, hess, options, 0, rng);
+}
+
+double GradientTree::PredictRow(const Dataset& ds, size_t row) const {
+  FEAT_CHECK(!nodes_.empty(), "PredictRow before Fit");
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<size_t>(node)];
+    node = ds.At(row, static_cast<size_t>(nd.feature)) <= nd.threshold ? nd.left
+                                                                       : nd.right;
+  }
+  return nodes_[static_cast<size_t>(node)].value;
+}
+
+namespace {
+
+double GiniFromCounts(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) sum_sq += (c / total) * (c / total);
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+int ClassificationTree::Build(const Dataset& ds, std::vector<uint32_t>* rows,
+                              size_t begin, size_t end, int num_classes,
+                              const TreeOptions& options, int depth, Rng* rng) {
+  const size_t count = end - begin;
+  std::vector<double> counts(static_cast<size_t>(num_classes), 0.0);
+  for (size_t i = begin; i < end; ++i) {
+    const int cls = static_cast<int>(std::llround(ds.y[(*rows)[i]]));
+    counts[static_cast<size_t>(cls)] += 1.0;
+  }
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    std::vector<double> dist = counts;
+    for (double& c : dist) c /= static_cast<double>(count);
+    nodes_[node_id].distribution = std::move(dist);
+  }
+
+  const double parent_gini = GiniFromCounts(counts, static_cast<double>(count));
+  if (depth >= options.max_depth || count < options.min_samples_split ||
+      parent_gini <= 0.0) {
+    return node_id;
+  }
+
+  double best_score = parent_gini - 1e-9;  // must strictly improve
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, uint32_t>> sorted;
+  sorted.reserve(count);
+  std::vector<double> left_counts(static_cast<size_t>(num_classes));
+  for (size_t feature : SplitFeatures(ds.d, options.max_features, rng)) {
+    sorted.clear();
+    for (size_t i = begin; i < end; ++i) {
+      sorted.emplace_back(ds.At((*rows)[i], feature), (*rows)[i]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    for (size_t i = 0; i + 1 < count; ++i) {
+      const int cls = static_cast<int>(std::llround(ds.y[sorted[i].second]));
+      left_counts[static_cast<size_t>(cls)] += 1.0;
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const double left_n = static_cast<double>(i + 1);
+      const double right_n = static_cast<double>(count) - left_n;
+      if (left_n < static_cast<double>(options.min_samples_leaf) ||
+          right_n < static_cast<double>(options.min_samples_leaf)) {
+        continue;
+      }
+      std::vector<double> right_counts(static_cast<size_t>(num_classes));
+      for (size_t c = 0; c < right_counts.size(); ++c) {
+        right_counts[c] = counts[c] - left_counts[c];
+      }
+      const double weighted =
+          (left_n * GiniFromCounts(left_counts, left_n) +
+           right_n * GiniFromCounts(right_counts, right_n)) /
+          static_cast<double>(count);
+      if (weighted < best_score) {
+        best_score = weighted;
+        best_feature = static_cast<int>(feature);
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  auto middle = std::partition(
+      rows->begin() + static_cast<ptrdiff_t>(begin),
+      rows->begin() + static_cast<ptrdiff_t>(end), [&](uint32_t r) {
+        return ds.At(r, static_cast<size_t>(best_feature)) <= best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(middle - rows->begin());
+  if (mid == begin || mid == end) return node_id;
+
+  if (feature_gains_.size() < ds.d) feature_gains_.resize(ds.d, 0.0);
+  feature_gains_[static_cast<size_t>(best_feature)] +=
+      (parent_gini - best_score) * static_cast<double>(count);
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = Build(ds, rows, begin, mid, num_classes, options, depth + 1, rng);
+  const int right = Build(ds, rows, mid, end, num_classes, options, depth + 1, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+void ClassificationTree::Fit(const Dataset& ds, const std::vector<uint32_t>& rows,
+                             int num_classes, const TreeOptions& options, Rng* rng) {
+  FEAT_CHECK(!rows.empty(), "ClassificationTree::Fit with no rows");
+  nodes_.clear();
+  feature_gains_.assign(ds.d, 0.0);
+  std::vector<uint32_t> mutable_rows = rows;
+  Build(ds, &mutable_rows, 0, mutable_rows.size(), num_classes, options, 0, rng);
+}
+
+const std::vector<double>& ClassificationTree::PredictDistribution(const Dataset& ds,
+                                                                   size_t row) const {
+  FEAT_CHECK(!nodes_.empty(), "PredictDistribution before Fit");
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<size_t>(node)];
+    node = ds.At(row, static_cast<size_t>(nd.feature)) <= nd.threshold ? nd.left
+                                                                       : nd.right;
+  }
+  return nodes_[static_cast<size_t>(node)].distribution;
+}
+
+}  // namespace featlib

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file tree.h
+/// \brief CART decision trees: a gradient/hessian regression tree (the GBDT
+/// weak learner, XGBoost leaf-weight formulation) and a Gini classification
+/// tree with class distributions at the leaves (the RF base learner).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace featlib {
+
+struct TreeOptions {
+  int max_depth = 6;
+  size_t min_samples_leaf = 2;
+  size_t min_samples_split = 4;
+  /// Number of features examined per split; <= 0 means all features.
+  int max_features = -1;
+  /// L2 regularization on leaf weights (gradient tree only).
+  double lambda = 1.0;
+  /// Minimum gain to accept a split (gradient tree only).
+  double min_gain = 1e-7;
+};
+
+/// \brief Regression tree over (gradient, hessian) statistics.
+///
+/// Leaf weight = -G/(H + lambda); split gain is the standard second-order
+/// formula. With gradients -y and unit hessians this reduces to a
+/// mean-predicting variance-reduction CART, which RandomForest reuses for
+/// regression.
+class GradientTree {
+ public:
+  void Fit(const Dataset& ds, const std::vector<uint32_t>& rows,
+           const std::vector<double>& grad, const std::vector<double>& hess,
+           const TreeOptions& options, Rng* rng);
+
+  double PredictRow(const Dataset& ds, size_t row) const;
+
+  /// Total split gain attributed to each feature (importance for the
+  /// Featuretools+GBDT selector).
+  const std::vector<double>& feature_gains() const { return feature_gains_; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 for leaf
+    double threshold = 0.0; // go left when x <= threshold
+    int left = -1;
+    int right = -1;
+    double value = 0.0;     // leaf weight
+  };
+
+  int Build(const Dataset& ds, std::vector<uint32_t>* rows, size_t begin,
+            size_t end, const std::vector<double>& grad,
+            const std::vector<double>& hess, const TreeOptions& options, int depth,
+            Rng* rng);
+
+  std::vector<Node> nodes_;
+  std::vector<double> feature_gains_;
+};
+
+/// \brief Gini-impurity classification tree storing per-leaf class
+/// probability vectors.
+class ClassificationTree {
+ public:
+  void Fit(const Dataset& ds, const std::vector<uint32_t>& rows, int num_classes,
+           const TreeOptions& options, Rng* rng);
+
+  /// Class-probability vector for one row.
+  const std::vector<double>& PredictDistribution(const Dataset& ds, size_t row) const;
+
+  /// Sample-weighted Gini impurity decrease per feature (importances).
+  const std::vector<double>& feature_gains() const { return feature_gains_; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    std::vector<double> distribution;  // leaves only
+  };
+
+  int Build(const Dataset& ds, std::vector<uint32_t>* rows, size_t begin,
+            size_t end, int num_classes, const TreeOptions& options, int depth,
+            Rng* rng);
+
+  std::vector<Node> nodes_;
+  std::vector<double> feature_gains_;
+};
+
+}  // namespace featlib

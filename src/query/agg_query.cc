@@ -1,0 +1,82 @@
+#include "query/agg_query.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace featlib {
+
+std::string AggQuery::ToSql(const std::string& relation_name,
+                            const Table& schema_of) const {
+  std::string keys = StrJoin(group_keys, ", ");
+  std::string out = "SELECT " + keys + ", " + AggFunctionName(agg) + "(" +
+                    agg_attr + ") AS feature\nFROM " + relation_name;
+  std::vector<std::string> conjuncts;
+  for (const Predicate& p : predicates) {
+    if (p.IsTrivial()) continue;
+    DataType type = DataType::kDouble;
+    auto col = schema_of.GetColumn(p.attr);
+    if (col.ok()) type = col.value()->type();
+    conjuncts.push_back(p.ToSql(type));
+  }
+  if (!conjuncts.empty()) {
+    out += "\nWHERE " + StrJoin(conjuncts, " AND ");
+  }
+  out += "\nGROUP BY " + keys;
+  return out;
+}
+
+std::string AggQuery::CacheKey() const {
+  std::string out = AggFunctionName(agg);
+  out += "(" + agg_attr + ")|k=" + StrJoin(group_keys, ",") + "|";
+  for (const Predicate& p : predicates) {
+    if (p.IsTrivial()) continue;
+    out += p.attr;
+    if (p.kind == Predicate::Kind::kEquals) {
+      out += "=" + p.equals_value.ToSqlLiteral();
+    } else {
+      out += StrFormat("[%s,%s]", p.has_lo ? StrFormat("%.9g", p.lo).c_str() : "-inf",
+                       p.has_hi ? StrFormat("%.9g", p.hi).c_str() : "+inf");
+    }
+    out += ";";
+  }
+  return out;
+}
+
+Status AggQuery::Validate(const Table& relevant) const {
+  if (group_keys.empty()) {
+    return Status::InvalidArgument("query has no group-by keys");
+  }
+  if (!relevant.HasColumn(agg_attr)) {
+    return Status::InvalidArgument("aggregation attribute not in relevant table: " +
+                                   agg_attr);
+  }
+  for (const auto& k : group_keys) {
+    if (!relevant.HasColumn(k)) {
+      return Status::InvalidArgument("group key not in relevant table: " + k);
+    }
+  }
+  FEAT_ASSIGN_OR_RETURN(const Column* agg_col, relevant.GetColumn(agg_attr));
+  if (agg_col->type() == DataType::kString && !SupportsCategorical(agg)) {
+    return Status::InvalidArgument(
+        StrFormat("%s is not defined on categorical attribute %s",
+                  AggFunctionName(agg), agg_attr.c_str()));
+  }
+  for (const Predicate& p : predicates) {
+    if (p.IsTrivial()) continue;
+    FEAT_ASSIGN_OR_RETURN(const Column* col, relevant.GetColumn(p.attr));
+    const bool range_type = IsRangeType(col->type());
+    if (p.kind == Predicate::Kind::kRange && !range_type) {
+      return Status::InvalidArgument("range predicate on categorical attribute " +
+                                     p.attr);
+    }
+    if (p.kind == Predicate::Kind::kEquals && range_type &&
+        col->type() != DataType::kInt64) {
+      return Status::InvalidArgument(
+          "equality predicate on continuous attribute " + p.attr);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace featlib

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file agg_query.h
+/// \brief The predicate-aware group-by aggregation query of Def. 2:
+///
+///   SELECT k, agg(a) AS feature FROM R
+///   WHERE pred(p1) AND ... AND pred(pw)
+///   GROUP BY k
+
+#include <string>
+#include <vector>
+
+#include "query/aggregate.h"
+#include "query/predicate.h"
+#include "table/table.h"
+
+namespace featlib {
+
+/// \brief A fully-specified predicate-aware SQL query q in a query pool Q_T.
+struct AggQuery {
+  AggFunction agg = AggFunction::kCount;
+  /// Attribute aggregated over (a in Def. 2).
+  std::string agg_attr;
+  /// Group-by / join keys (k, a non-empty subset of the FK attributes).
+  std::vector<std::string> group_keys;
+  /// Conjunctive WHERE clause (may be empty = no predicate).
+  std::vector<Predicate> predicates;
+
+  /// SQL text rendering for logging / inspection.
+  std::string ToSql(const std::string& relation_name, const Table& schema_of) const;
+
+  /// Deterministic canonical key for caching and deduplication.
+  std::string CacheKey() const;
+
+  /// Basic validation against the relevant table's schema.
+  Status Validate(const Table& relevant) const;
+};
+
+}  // namespace featlib

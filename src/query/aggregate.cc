@@ -1,0 +1,197 @@
+#include "query/aggregate.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace featlib {
+
+namespace {
+
+const char* const kAggNames[kNumAggFunctions] = {
+    "SUM",  "MIN",        "MAX",      "COUNT", "AVG",
+    "COUNT_DISTINCT",     "VAR",      "VAR_SAMPLE",
+    "STD",  "STD_SAMPLE", "ENTROPY",  "KURTOSIS",
+    "MODE", "MAD",        "MEDIAN"};
+
+double Nan() { return std::nan(""); }
+
+double Median(std::vector<double>* values) {
+  const size_t n = values->size();
+  if (n == 0) return Nan();
+  const size_t mid = n / 2;
+  std::nth_element(values->begin(), values->begin() + static_cast<ptrdiff_t>(mid),
+                   values->end());
+  const double upper = (*values)[mid];
+  if (n % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(values->begin(), values->begin() + static_cast<ptrdiff_t>(mid));
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace
+
+const char* AggFunctionName(AggFunction fn) {
+  const int i = static_cast<int>(fn);
+  FEAT_CHECK(i >= 0 && i < kNumAggFunctions, "bad AggFunction");
+  return kAggNames[i];
+}
+
+Result<AggFunction> ParseAggFunction(const std::string& name) {
+  const std::string upper = [&] {
+    std::string s = name;
+    for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return s;
+  }();
+  for (int i = 0; i < kNumAggFunctions; ++i) {
+    if (upper == kAggNames[i]) return static_cast<AggFunction>(i);
+  }
+  return Status::InvalidArgument("unknown aggregation function: " + name);
+}
+
+std::vector<AggFunction> AllAggFunctions() {
+  std::vector<AggFunction> out;
+  out.reserve(kNumAggFunctions);
+  for (int i = 0; i < kNumAggFunctions; ++i) out.push_back(static_cast<AggFunction>(i));
+  return out;
+}
+
+bool SupportsCategorical(AggFunction fn) {
+  switch (fn) {
+    case AggFunction::kCount:
+    case AggFunction::kCountDistinct:
+    case AggFunction::kEntropy:
+    case AggFunction::kMode:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double ComputeAggregate(AggFunction fn, const std::vector<double>& values) {
+  const size_t n = values.size();
+  switch (fn) {
+    case AggFunction::kCount:
+      return static_cast<double>(n);
+    case AggFunction::kSum: {
+      if (n == 0) return Nan();
+      double s = 0.0;
+      for (double v : values) s += v;
+      return s;
+    }
+    case AggFunction::kMin:
+      return n == 0 ? Nan() : *std::min_element(values.begin(), values.end());
+    case AggFunction::kMax:
+      return n == 0 ? Nan() : *std::max_element(values.begin(), values.end());
+    case AggFunction::kAvg: {
+      if (n == 0) return Nan();
+      double s = 0.0;
+      for (double v : values) s += v;
+      return s / static_cast<double>(n);
+    }
+    case AggFunction::kCountDistinct: {
+      std::unordered_set<double> seen(values.begin(), values.end());
+      return static_cast<double>(seen.size());
+    }
+    case AggFunction::kVar:
+    case AggFunction::kVarSample:
+    case AggFunction::kStd:
+    case AggFunction::kStdSample: {
+      const bool sample =
+          fn == AggFunction::kVarSample || fn == AggFunction::kStdSample;
+      const bool std_dev = fn == AggFunction::kStd || fn == AggFunction::kStdSample;
+      if (n == 0 || (sample && n < 2)) return Nan();
+      double mean = 0.0;
+      for (double v : values) mean += v;
+      mean /= static_cast<double>(n);
+      double ss = 0.0;
+      for (double v : values) ss += (v - mean) * (v - mean);
+      const double denom = sample ? static_cast<double>(n - 1) : static_cast<double>(n);
+      const double var = ss / denom;
+      return std_dev ? std::sqrt(var) : var;
+    }
+    case AggFunction::kEntropy: {
+      if (n == 0) return Nan();
+      std::unordered_map<double, size_t> counts;
+      for (double v : values) ++counts[v];
+      double h = 0.0;
+      for (const auto& [v, c] : counts) {
+        const double p = static_cast<double>(c) / static_cast<double>(n);
+        h -= p * std::log(p);
+      }
+      return h;
+    }
+    case AggFunction::kKurtosis: {
+      if (n < 2) return Nan();
+      double mean = 0.0;
+      for (double v : values) mean += v;
+      mean /= static_cast<double>(n);
+      double m2 = 0.0;
+      double m4 = 0.0;
+      for (double v : values) {
+        const double d = v - mean;
+        m2 += d * d;
+        m4 += d * d * d * d;
+      }
+      m2 /= static_cast<double>(n);
+      m4 /= static_cast<double>(n);
+      if (m2 <= 0.0) return Nan();
+      return m4 / (m2 * m2) - 3.0;  // excess kurtosis
+    }
+    case AggFunction::kMode: {
+      if (n == 0) return Nan();
+      // std::map gives deterministic ties-toward-smallest.
+      std::map<double, size_t> counts;
+      for (double v : values) ++counts[v];
+      double best = counts.begin()->first;
+      size_t best_count = 0;
+      for (const auto& [v, c] : counts) {
+        if (c > best_count) {
+          best = v;
+          best_count = c;
+        }
+      }
+      return best;
+    }
+    case AggFunction::kMad: {
+      if (n == 0) return Nan();
+      std::vector<double> copy = values;
+      const double med = Median(&copy);
+      std::vector<double> dev(n);
+      for (size_t i = 0; i < n; ++i) dev[i] = std::fabs(values[i] - med);
+      return Median(&dev);
+    }
+    case AggFunction::kMedian: {
+      if (n == 0) return Nan();
+      std::vector<double> copy = values;
+      return Median(&copy);
+    }
+  }
+  return Nan();
+}
+
+double ComputeAggregate(AggFunction fn, const Column& col,
+                        const std::vector<uint32_t>& rows) {
+  // COUNT over an index set never needs the values materialized.
+  if (fn == AggFunction::kCount) {
+    size_t c = 0;
+    for (uint32_t r : rows) {
+      if (!col.IsNull(r)) ++c;
+    }
+    return static_cast<double>(c);
+  }
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (uint32_t r : rows) {
+    if (!col.IsNull(r)) values.push_back(col.AsDouble(r));
+  }
+  return ComputeAggregate(fn, values);
+}
+
+}  // namespace featlib

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file aggregate.h
+/// \brief The 15 aggregation functions used by FeatAug (Table II of the
+/// paper): SUM, MIN, MAX, COUNT, AVG, COUNT DISTINCT, VAR, VAR_SAMPLE, STD,
+/// STD_SAMPLE, ENTROPY, KURTOSIS, MODE, MAD, MEDIAN.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/column.h"
+
+namespace featlib {
+
+enum class AggFunction {
+  kSum = 0,
+  kMin,
+  kMax,
+  kCount,
+  kAvg,
+  kCountDistinct,
+  kVar,        // population variance
+  kVarSample,  // sample variance (n-1 denominator)
+  kStd,        // population standard deviation
+  kStdSample,
+  kEntropy,    // Shannon entropy (nats) of the value distribution
+  kKurtosis,   // excess kurtosis (Fisher definition)
+  kMode,       // most frequent value; ties break toward the smallest
+  kMad,        // median absolute deviation around the median
+  kMedian,
+};
+
+inline constexpr int kNumAggFunctions = 15;
+
+/// Canonical SQL-ish name, e.g. "AVG" or "COUNT_DISTINCT".
+const char* AggFunctionName(AggFunction fn);
+
+/// Parses a name produced by AggFunctionName (case-insensitive).
+Result<AggFunction> ParseAggFunction(const std::string& name);
+
+/// All 15 functions in enum order.
+std::vector<AggFunction> AllAggFunctions();
+
+/// True when the function is order-statistic/frequency based and therefore
+/// well-defined on categorical (string) aggregation attributes as well.
+bool SupportsCategorical(AggFunction fn);
+
+/// \brief Computes `fn` over the numeric view of `col` restricted to `rows`.
+///
+/// Null cells are skipped (SQL semantics); COUNT counts non-null cells.
+/// Returns NaN when the aggregate is undefined for the group (empty group;
+/// sample variance of a single value; kurtosis of a constant group).
+double ComputeAggregate(AggFunction fn, const Column& col,
+                        const std::vector<uint32_t>& rows);
+
+/// Convenience overload over a dense vector of values (no nulls).
+double ComputeAggregate(AggFunction fn, const std::vector<double>& values);
+
+}  // namespace featlib

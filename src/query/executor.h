@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file executor.h
+/// \brief Execution of predicate-aware aggregation queries and the LEFT JOIN
+/// augmentation of Def. 3.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/agg_query.h"
+#include "table/table.h"
+
+namespace featlib {
+
+/// \brief Executes `q` against the relevant table.
+///
+/// Result schema: the group-key columns (taken from R, first-seen group
+/// order) followed by a kDouble column named "feature". Rows whose group key
+/// contains NULL are dropped (they can never join back to D).
+Result<Table> ExecuteAggQuery(const AggQuery& q, const Table& relevant);
+
+/// \brief Computes the augmented feature aligned to the training table.
+///
+/// Semantically `D LEFT JOIN q(R) ON D.k = q(R).k` projected to the feature
+/// column: returns one double per row of `D`, NaN where the entity has no
+/// qualifying rows in `R` (or a NULL join key). This is the hot path of the
+/// whole framework — it avoids materializing the join.
+Result<std::vector<double>> ComputeFeatureColumn(const AggQuery& q,
+                                                 const Table& training,
+                                                 const Table& relevant);
+
+/// \brief Materializes the augmented training table D^q of Def. 3.
+///
+/// Appends the computed feature as a nullable kDouble column named
+/// `feature_name` (error if the name already exists).
+Result<Table> AugmentTable(const Table& training, const Table& relevant,
+                           const AggQuery& q, const std::string& feature_name);
+
+}  // namespace featlib

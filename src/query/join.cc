@@ -1,0 +1,160 @@
+#include "query/join.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace featlib {
+
+namespace {
+
+// Table-independent composite key: strings contribute length + bytes,
+// numeric types their 8-byte pattern. Returns false when any key cell is
+// NULL (SQL join semantics: NULL matches nothing).
+bool EncodeKey(const std::vector<const Column*>& cols, size_t row,
+               std::string* out) {
+  out->clear();
+  for (const Column* col : cols) {
+    if (col->IsNull(row)) return false;
+    switch (col->type()) {
+      case DataType::kString: {
+        const std::string& s = col->StringAt(row);
+        const uint32_t len = static_cast<uint32_t>(s.size());
+        out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+        out->append(s);
+        break;
+      }
+      case DataType::kInt64:
+      case DataType::kDatetime:
+      case DataType::kBool: {
+        const int64_t v = col->IntAt(row);
+        out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kDouble: {
+        const double v = col->DoubleAt(row);
+        out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+struct JoinPlan {
+  std::vector<const Column*> left_keys;
+  std::vector<const Column*> right_keys;
+  // Right columns carried into the output, with their output names.
+  std::vector<std::pair<std::string, const Column*>> payload;
+};
+
+Result<JoinPlan> PlanJoin(const Table& left, const Table& right,
+                          const std::vector<std::string>& keys,
+                          const std::string& right_prefix) {
+  if (keys.empty()) return Status::InvalidArgument("join needs key columns");
+  JoinPlan plan;
+  for (const auto& key : keys) {
+    FEAT_ASSIGN_OR_RETURN(const Column* l, left.GetColumn(key));
+    FEAT_ASSIGN_OR_RETURN(const Column* r, right.GetColumn(key));
+    const bool l_int = l->type() == DataType::kInt64 ||
+                       l->type() == DataType::kDatetime ||
+                       l->type() == DataType::kBool;
+    const bool r_int = r->type() == DataType::kInt64 ||
+                       r->type() == DataType::kDatetime ||
+                       r->type() == DataType::kBool;
+    const bool compatible = l->type() == r->type() || (l_int && r_int);
+    if (!compatible) {
+      return Status::InvalidArgument("join key type mismatch on " + key);
+    }
+    plan.left_keys.push_back(l);
+    plan.right_keys.push_back(r);
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    const std::string& name = right.NameAt(c);
+    bool is_key = false;
+    for (const auto& key : keys) {
+      if (key == name) is_key = true;
+    }
+    if (is_key) continue;
+    std::string out_name = left.HasColumn(name) ? right_prefix + name : name;
+    if (left.HasColumn(out_name)) {
+      return Status::InvalidArgument("output column name collision: " + out_name);
+    }
+    plan.payload.emplace_back(std::move(out_name), &right.ColumnAt(c));
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<Table> LeftJoinUnique(const Table& left, const Table& right,
+                             const std::vector<std::string>& keys,
+                             const std::string& right_prefix) {
+  FEAT_ASSIGN_OR_RETURN(JoinPlan plan, PlanJoin(left, right, keys, right_prefix));
+
+  std::unordered_map<std::string, uint32_t> index;
+  index.reserve(right.num_rows());
+  std::string key;
+  for (size_t row = 0; row < right.num_rows(); ++row) {
+    if (!EncodeKey(plan.right_keys, row, &key)) continue;
+    auto [it, inserted] = index.emplace(key, static_cast<uint32_t>(row));
+    if (!inserted) {
+      return Status::InvalidArgument(
+          "LeftJoinUnique: duplicate right-side key (use InnerJoinExpand)");
+    }
+  }
+
+  Table out = left;
+  for (const auto& [name, col] : plan.payload) {
+    Column joined(col->type());
+    joined.Reserve(left.num_rows());
+    for (size_t row = 0; row < left.num_rows(); ++row) {
+      if (!EncodeKey(plan.left_keys, row, &key)) {
+        joined.AppendNull();
+        continue;
+      }
+      auto it = index.find(key);
+      if (it == index.end()) {
+        joined.AppendNull();
+      } else {
+        FEAT_RETURN_NOT_OK(joined.AppendValue(col->ValueAt(it->second)));
+      }
+    }
+    FEAT_RETURN_NOT_OK(out.AddColumn(name, std::move(joined)));
+  }
+  return out;
+}
+
+Result<Table> InnerJoinExpand(const Table& left, const Table& right,
+                              const std::vector<std::string>& keys,
+                              const std::string& right_prefix) {
+  FEAT_ASSIGN_OR_RETURN(JoinPlan plan, PlanJoin(left, right, keys, right_prefix));
+
+  std::unordered_map<std::string, std::vector<uint32_t>> index;
+  std::string key;
+  for (size_t row = 0; row < right.num_rows(); ++row) {
+    if (!EncodeKey(plan.right_keys, row, &key)) continue;
+    index[key].push_back(static_cast<uint32_t>(row));
+  }
+
+  std::vector<uint32_t> left_rows;
+  std::vector<uint32_t> right_rows;
+  for (size_t row = 0; row < left.num_rows(); ++row) {
+    if (!EncodeKey(plan.left_keys, row, &key)) continue;
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (uint32_t r : it->second) {
+      left_rows.push_back(static_cast<uint32_t>(row));
+      right_rows.push_back(r);
+    }
+  }
+
+  Table out = left.Take(left_rows);
+  for (const auto& [name, col] : plan.payload) {
+    FEAT_RETURN_NOT_OK(out.AddColumn(name, col->Take(right_rows)));
+  }
+  return out;
+}
+
+}  // namespace featlib

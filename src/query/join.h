@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file join.h
+/// \brief Hash joins for preparing relevant tables.
+///
+/// §III of the paper reduces richer schemas to the (D, R) scenario: deep-
+/// layer relationships are handled "by joining all the tables into one
+/// relevant table" (e.g. Instacart's order/product/department tables), and
+/// many-to-one lookups (product -> department) are direct joins. These
+/// helpers implement that preparation step.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace featlib {
+
+/// \brief Left join: every `left` row, extended with the matching `right`
+/// row's non-key columns (NULL when unmatched).
+///
+/// `right` must be unique on the key columns (many-to-one / one-to-one
+/// lookup join); duplicate right keys are an error — for one-to-many
+/// expansion use InnerJoinExpand. Key columns must exist on both sides with
+/// compatible types; right-side columns whose names collide with left-side
+/// ones get a `right_prefix`.
+Result<Table> LeftJoinUnique(const Table& left, const Table& right,
+                             const std::vector<std::string>& keys,
+                             const std::string& right_prefix = "r_");
+
+/// \brief Inner join producing one output row per matching (left, right)
+/// pair — the one-to-many expansion used to flatten log tables against
+/// dimension tables before FeatAug runs.
+Result<Table> InnerJoinExpand(const Table& left, const Table& right,
+                              const std::vector<std::string>& keys,
+                              const std::string& right_prefix = "r_");
+
+}  // namespace featlib

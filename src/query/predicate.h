@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file predicate.h
+/// \brief WHERE-clause predicates over relevant-table attributes (Def. 2).
+///
+/// Categorical attributes take equality predicates `p = d`; numeric and
+/// datetime attributes take (possibly one-sided) range predicates
+/// `dlow <= p <= dhigh`.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace featlib {
+
+/// \brief One conjunct of a WHERE clause.
+struct Predicate {
+  enum class Kind { kEquals, kRange };
+
+  std::string attr;
+  Kind kind = Kind::kEquals;
+
+  /// Equality operand (kEquals). Strings compare by value.
+  Value equals_value;
+
+  /// Range bounds over the numeric view (kRange). Either side may be open.
+  bool has_lo = false;
+  bool has_hi = false;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// Builds `attr = value`.
+  static Predicate Equals(std::string attr, Value value);
+  /// Builds `lo <= attr <= hi`; pass std::nullopt for an open side.
+  static Predicate Range(std::string attr, std::optional<double> lo,
+                         std::optional<double> hi);
+
+  /// True when the predicate constrains nothing (open range).
+  bool IsTrivial() const { return kind == Kind::kRange && !has_lo && !has_hi; }
+
+  /// SQL rendering, e.g. `department = 'Electronics'` or `ts >= 17000`.
+  std::string ToSql(DataType attr_type) const;
+};
+
+/// \brief A compiled conjunctive filter bound to one table.
+///
+/// Compilation resolves column pointers and dictionary codes once so that
+/// per-row evaluation is branch-light; the same filter is reusable across
+/// repeated executions in the search loop.
+class CompiledFilter {
+ public:
+  /// Binds predicates to `table`'s columns. Fails on unknown attributes or
+  /// type mismatches (e.g. a range predicate on a string column).
+  static Result<CompiledFilter> Compile(const std::vector<Predicate>& predicates,
+                                        const Table& table);
+
+  /// True when row `row` satisfies every conjunct. Null attribute values
+  /// never satisfy a predicate (SQL three-valued logic collapses to false).
+  bool Matches(size_t row) const;
+
+  /// Returns all matching row indices.
+  std::vector<uint32_t> Apply() const;
+
+ private:
+  struct BoundPredicate {
+    const Column* column;
+    Predicate::Kind kind;
+    // Equality: either a code (string columns) or a numeric value.
+    int32_t code = -1;          // -1 means "value absent from dictionary"
+    bool is_string = false;
+    double equals_numeric = 0.0;
+    bool has_lo = false, has_hi = false;
+    double lo = 0.0, hi = 0.0;
+  };
+
+  size_t num_rows_ = 0;
+  std::vector<BoundPredicate> bound_;
+};
+
+}  // namespace featlib

@@ -1,0 +1,148 @@
+#include "query/relation_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "query/join.h"
+
+namespace featlib {
+
+Result<size_t> RelationGraph::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return Status::NotFound("table not registered: " + name);
+}
+
+Result<const Table*> RelationGraph::GetTable(const std::string& name) const {
+  FEAT_ASSIGN_OR_RETURN(size_t i, IndexOf(name));
+  return &tables_[i];
+}
+
+Status RelationGraph::AddTable(const std::string& name, Table table) {
+  if (name.empty()) return Status::InvalidArgument("table name must be non-empty");
+  if (IndexOf(name).ok()) {
+    return Status::InvalidArgument("table already registered: " + name);
+  }
+  names_.push_back(name);
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Status RelationGraph::AddLookup(const std::string& from, const std::string& to,
+                                const std::vector<std::string>& keys) {
+  if (keys.empty()) return Status::InvalidArgument("lookup edge needs key columns");
+  if (from == to) {
+    return Status::InvalidArgument("lookup edge cannot be a self-loop: " + from);
+  }
+  FEAT_ASSIGN_OR_RETURN(const Table* from_table, GetTable(from));
+  FEAT_ASSIGN_OR_RETURN(const Table* to_table, GetTable(to));
+  for (const std::string& k : keys) {
+    if (!from_table->HasColumn(k)) {
+      return Status::InvalidArgument("lookup key " + k + " missing from " + from);
+    }
+    if (!to_table->HasColumn(k)) {
+      return Status::InvalidArgument("lookup key " + k + " missing from " + to);
+    }
+  }
+  for (const LookupEdge& e : lookups_) {
+    if (e.from == from && e.to == to) {
+      return Status::InvalidArgument("duplicate lookup edge " + from + " -> " + to);
+    }
+  }
+  lookups_.push_back(LookupEdge{from, to, keys});
+  return Status::OK();
+}
+
+Status RelationGraph::AddFact(const std::string& base, const std::string& fact,
+                              const std::vector<std::string>& fk_attrs) {
+  if (fk_attrs.empty()) return Status::InvalidArgument("fact edge needs FK columns");
+  FEAT_ASSIGN_OR_RETURN(const Table* base_table, GetTable(base));
+  FEAT_ASSIGN_OR_RETURN(const Table* fact_table, GetTable(fact));
+  for (const std::string& k : fk_attrs) {
+    if (!base_table->HasColumn(k)) {
+      return Status::InvalidArgument("FK " + k + " missing from base " + base);
+    }
+    if (!fact_table->HasColumn(k)) {
+      return Status::InvalidArgument("FK " + k + " missing from fact " + fact);
+    }
+  }
+  for (const FactEdge& e : facts_) {
+    if (e.base == base && e.fact == fact) {
+      return Status::InvalidArgument("duplicate fact edge " + base + " -> " + fact);
+    }
+  }
+  facts_.push_back(FactEdge{base, fact, fk_attrs});
+  return Status::OK();
+}
+
+Result<Table> RelationGraph::FlattenRelevant(
+    const std::string& fact, std::vector<std::string>* join_keys_out) const {
+  FEAT_ASSIGN_OR_RETURN(const Table* fact_table, GetTable(fact));
+  Table out = *fact_table;
+
+  // Breadth-first over lookup edges starting at the fact table. `visited`
+  // carries the logical tables already folded in, so diamond shapes join a
+  // dimension once and cycles are detected rather than looping.
+  std::deque<std::string> frontier{fact};
+  std::unordered_set<std::string> visited{fact};
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    for (const LookupEdge& e : lookups_) {
+      if (e.from != current) continue;
+      if (visited.count(e.to) > 0) {
+        // Either a diamond (fine, already joined) or a cycle back to the
+        // fact table (an error: the fact cannot be its own dimension).
+        if (e.to == fact) {
+          return Status::InvalidArgument("lookup cycle back to fact table " + fact);
+        }
+        continue;
+      }
+      FEAT_ASSIGN_OR_RETURN(const Table* dim, GetTable(e.to));
+      // Keys resolved against `out`: a second-hop dimension's keys come
+      // from the previously joined dimension's columns.
+      for (const std::string& k : e.keys) {
+        if (!out.HasColumn(k)) {
+          return Status::InvalidArgument("lookup key " + k +
+                                         " not present in flattened table when joining " +
+                                         e.to);
+        }
+      }
+      FEAT_ASSIGN_OR_RETURN(out, LeftJoinUnique(out, *dim, e.keys, e.to + "_"));
+      if (join_keys_out != nullptr) {
+        for (const std::string& k : e.keys) {
+          if (std::find(join_keys_out->begin(), join_keys_out->end(), k) ==
+              join_keys_out->end()) {
+            join_keys_out->push_back(k);
+          }
+        }
+      }
+      visited.insert(e.to);
+      frontier.push_back(e.to);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<RelevantScenario>> RelationGraph::BuildScenarios(
+    const std::string& base) const {
+  FEAT_RETURN_NOT_OK(GetTable(base).status());
+  std::vector<RelevantScenario> out;
+  for (const FactEdge& e : facts_) {
+    if (e.base != base) continue;
+    RelevantScenario scenario;
+    scenario.name = e.fact;
+    scenario.fk_attrs = e.fk_attrs;
+    FEAT_ASSIGN_OR_RETURN(scenario.relevant,
+                          FlattenRelevant(e.fact, &scenario.join_keys));
+    out.push_back(std::move(scenario));
+  }
+  if (out.empty()) {
+    return Status::NotFound("no fact tables declared for base " + base);
+  }
+  return out;
+}
+
+}  // namespace featlib

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file relation_graph.h
+/// \brief Multi-table schema declaration and the §III reductions to the
+/// (D, R) scenario.
+///
+/// The paper reduces richer schemas to one base table plus one-to-many
+/// relevant tables:
+///  - *Deep-layer relationships* are handled "by joining all the tables
+///    into one relevant table": a fact table (one-to-many from the base)
+///    is flattened with its transitive many-to-one lookup closure, e.g.
+///    Instacart's order_items -> products -> departments.
+///  - *Multiple relevant tables* become multiple (D, R) scenarios.
+///  - *Many-to-many* relationships (future work in the paper's conclusion)
+///    decompose into one-to-many plus many-to-one through the bridge
+///    table: declare the bridge as a fact and the far side as a lookup.
+///
+/// A RelationGraph owns the tables, validates the declared edges, and
+/// produces flattened relevant tables.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace featlib {
+
+/// One flattened (D, R) scenario produced from the graph.
+struct RelevantScenario {
+  /// Fact table name the scenario came from.
+  std::string name;
+  /// Flattened relevant table (fact + transitive lookups).
+  Table relevant;
+  /// FK attributes joining back to the base table.
+  std::vector<std::string> fk_attrs;
+  /// Lookup keys consumed by the flatten (e.g. product_id): structural
+  /// columns, not features — template inference should skip them.
+  std::vector<std::string> join_keys;
+};
+
+/// \brief A schema graph of tables with lookup (many-to-one) and fact
+/// (one-to-many w.r.t. a base) edges.
+class RelationGraph {
+ public:
+  /// Registers a table under a unique name.
+  Status AddTable(const std::string& name, Table table);
+
+  /// Declares a many-to-one lookup edge: every `from` row references at
+  /// most one `to` row through equal-named `keys` (present on both sides;
+  /// `to` must be unique on them — verified at flatten time by the join).
+  /// One-to-one edges are the special case where `from` is also unique.
+  Status AddLookup(const std::string& from, const std::string& to,
+                   const std::vector<std::string>& keys);
+
+  /// Declares `fact` one-to-many with respect to `base` via `fk_attrs`
+  /// (columns of both `fact` and `base`).
+  Status AddFact(const std::string& base, const std::string& fact,
+                 const std::vector<std::string>& fk_attrs);
+
+  /// Flattens `fact` with its transitive lookup closure into one relevant
+  /// table (the deep-layer preparation). Lookups are applied breadth-first
+  /// from the fact table; columns of a joined dimension that collide with
+  /// an existing name get a "<table>_" prefix. Lookup cycles are an error.
+  /// If `join_keys_out` is non-null it receives the distinct lookup keys
+  /// the flatten consumed (structural columns, not features).
+  Result<Table> FlattenRelevant(const std::string& fact,
+                                std::vector<std::string>* join_keys_out = nullptr) const;
+
+  /// Builds one flattened scenario per fact table declared for `base`,
+  /// in declaration order — the "multiple relevant tables" reduction.
+  Result<std::vector<RelevantScenario>> BuildScenarios(const std::string& base) const;
+
+  /// Borrowing accessor for a registered table.
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  struct LookupEdge {
+    std::string from;
+    std::string to;
+    std::vector<std::string> keys;
+  };
+  struct FactEdge {
+    std::string base;
+    std::string fact;
+    std::vector<std::string> fk_attrs;
+  };
+
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  std::vector<std::string> names_;
+  std::vector<Table> tables_;
+  std::vector<LookupEdge> lookups_;
+  std::vector<FactEdge> facts_;
+};
+
+}  // namespace featlib

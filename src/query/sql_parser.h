@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file sql_parser.h
+/// \brief Parser for the predicate-aware aggregation dialect of Def. 2.
+///
+/// Accepts exactly the query class FeatAug generates (and that
+/// AggQuery::ToSql renders), so that queries can round-trip through SQL
+/// text — users can persist an AugmentationPlan as SQL, edit it, and load
+/// it back:
+///
+///   SELECT k1, k2, AGG(attr) AS alias
+///   FROM relation
+///   WHERE p = 'v' AND q BETWEEN 1 AND 5 AND r >= 3
+///   GROUP BY k1, k2
+///
+/// Keywords are case-insensitive; string literals use single quotes with
+/// `''` escaping. Only the Def. 2 predicate forms are accepted: equality on
+/// categorical attributes and inclusive (one- or two-sided) ranges on
+/// numeric/datetime attributes. Anything outside the dialect (strict
+/// comparisons, OR, IS NULL, expressions) fails with a position-annotated
+/// error rather than being silently reinterpreted.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/agg_query.h"
+#include "table/table.h"
+
+namespace featlib {
+
+/// \brief A parsed query plus the identifiers the grammar cannot bind on
+/// its own (relation name, feature alias).
+struct ParsedAggQuery {
+  AggQuery query;
+  /// The FROM relation identifier.
+  std::string relation;
+  /// The `AS` alias of the aggregate item ("feature" when omitted).
+  std::string feature_alias = "feature";
+};
+
+/// \brief Parses a single query. The text may end with an optional ';'.
+Result<ParsedAggQuery> ParseAggQuerySql(const std::string& sql);
+
+/// \brief Parses and validates against the relevant table's schema.
+///
+/// On top of the grammar checks this verifies attribute existence, that
+/// equality literals match the column type (string literal for string
+/// columns, numeric otherwise), and AggQuery::Validate's typing rules.
+Result<ParsedAggQuery> ParseAggQuerySql(const std::string& sql,
+                                        const Table& relevant);
+
+/// \brief Parses a script of ';'-separated queries (a persisted
+/// AugmentationPlan). Empty statements are skipped.
+Result<std::vector<ParsedAggQuery>> ParseAggQueryScript(const std::string& sql);
+
+}  // namespace featlib

@@ -1,0 +1,295 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace featlib {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double m = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(v.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  FEAT_CHECK(x.size() == y.size(), "Pearson: size mismatch");
+  const size_t n = x.size();
+  if (n == 0) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> RankData(const std::vector<double>& v) {
+  const size_t n = v.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  FEAT_CHECK(x.size() == y.size(), "Spearman: size mismatch");
+  if (x.size() < 2) return 0.0;
+  return PearsonCorrelation(RankData(x), RankData(y));
+}
+
+std::vector<int> Discretize(const std::vector<double>& v, int bins) {
+  FEAT_CHECK(bins >= 1, "Discretize needs bins >= 1");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double x : v) {
+    if (std::isnan(x)) continue;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  std::vector<int> out(v.size(), 0);
+  const bool degenerate = !(lo < hi);
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (std::isnan(v[i])) {
+      out[i] = bins;  // NaN gets its own bucket
+    } else if (degenerate) {
+      out[i] = 0;
+    } else {
+      int b = static_cast<int>((v[i] - lo) / (hi - lo) * bins);
+      if (b >= bins) b = bins - 1;
+      if (b < 0) b = 0;
+      out[i] = b;
+    }
+  }
+  return out;
+}
+
+std::vector<int> DiscretizeQuantile(const std::vector<double>& v, int bins) {
+  FEAT_CHECK(bins >= 1, "DiscretizeQuantile needs bins >= 1");
+  const size_t n = v.size();
+  std::vector<int> out(n, 0);
+  std::vector<size_t> valid_rows;
+  valid_rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (std::isnan(v[i])) {
+      out[i] = bins;
+    } else {
+      valid_rows.push_back(i);
+    }
+  }
+  if (valid_rows.empty()) return out;
+  std::vector<double> values;
+  values.reserve(valid_rows.size());
+  for (size_t i : valid_rows) values.push_back(v[i]);
+  const std::vector<double> ranks = RankData(values);  // 1-based, tie-averaged
+  const double scale = static_cast<double>(bins) / static_cast<double>(values.size());
+  for (size_t j = 0; j < valid_rows.size(); ++j) {
+    int b = static_cast<int>((ranks[j] - 1.0) * scale);
+    if (b >= bins) b = bins - 1;
+    if (b < 0) b = 0;
+    out[valid_rows[j]] = b;
+  }
+  return out;
+}
+
+double DiscreteEntropy(const std::vector<int>& x) {
+  if (x.empty()) return 0.0;
+  std::unordered_map<int, size_t> counts;
+  for (int v : x) ++counts[v];
+  const double n = static_cast<double>(x.size());
+  double h = 0.0;
+  for (const auto& [v, c] : counts) {
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double DiscreteMutualInformation(const std::vector<int>& x,
+                                 const std::vector<int>& y) {
+  FEAT_CHECK(x.size() == y.size(), "MI: size mismatch");
+  if (x.empty()) return 0.0;
+  const double n = static_cast<double>(x.size());
+  std::unordered_map<int, size_t> cx;
+  std::unordered_map<int, size_t> cy;
+  std::unordered_map<int64_t, size_t> cxy;
+  for (size_t i = 0; i < x.size(); ++i) {
+    ++cx[x[i]];
+    ++cy[y[i]];
+    ++cxy[(static_cast<int64_t>(x[i]) << 32) ^
+          static_cast<int64_t>(static_cast<uint32_t>(y[i]))];
+  }
+  double mi = 0.0;
+  for (const auto& [key, c] : cxy) {
+    const int xi = static_cast<int>(key >> 32);
+    const int yi = static_cast<int>(static_cast<uint32_t>(key & 0xffffffffLL));
+    const double pxy = static_cast<double>(c) / n;
+    const double px = static_cast<double>(cx[xi]) / n;
+    const double py = static_cast<double>(cy[yi]) / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+namespace {
+
+int DefaultBins(size_t n) {
+  const int by_sqrt = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  return std::max(2, std::min(32, by_sqrt));
+}
+
+std::vector<int> LabelBuckets(const std::vector<double>& label,
+                              bool label_is_discrete, int bins) {
+  if (label_is_discrete) {
+    std::vector<int> out(label.size());
+    for (size_t i = 0; i < label.size(); ++i) {
+      out[i] = static_cast<int>(std::llround(label[i]));
+    }
+    return out;
+  }
+  return Discretize(label, bins);
+}
+
+}  // namespace
+
+double MutualInformation(const std::vector<double>& feature,
+                         const std::vector<double>& label,
+                         bool label_is_discrete) {
+  FEAT_CHECK(feature.size() == label.size(), "MI: size mismatch");
+  if (feature.size() < 2) return 0.0;
+  const int bins = DefaultBins(feature.size());
+  // Quantile bins on the feature: missing rows keep their own bucket so the
+  // predicate's coverage pattern itself can carry information.
+  const std::vector<int> fx = DiscretizeQuantile(feature, bins);
+  const std::vector<int> fy = LabelBuckets(label, label_is_discrete, bins);
+  return DiscreteMutualInformation(fx, fy);
+}
+
+double ChiSquareScore(const std::vector<double>& feature,
+                      const std::vector<double>& label) {
+  FEAT_CHECK(feature.size() == label.size(), "Chi2: size mismatch");
+  const size_t n = feature.size();
+  if (n < 2) return 0.0;
+  const int bins = DefaultBins(n);
+  const std::vector<int> fx = Discretize(ImputeNanWithMean(feature), bins);
+  const std::vector<int> fy = LabelBuckets(label, /*label_is_discrete=*/true, bins);
+  std::unordered_map<int, double> row_tot;
+  std::unordered_map<int, double> col_tot;
+  std::unordered_map<int64_t, double> cell;
+  for (size_t i = 0; i < n; ++i) {
+    row_tot[fx[i]] += 1.0;
+    col_tot[fy[i]] += 1.0;
+    cell[(static_cast<int64_t>(fx[i]) << 32) ^
+         static_cast<int64_t>(static_cast<uint32_t>(fy[i]))] += 1.0;
+  }
+  double chi2 = 0.0;
+  const double total = static_cast<double>(n);
+  for (const auto& [rx, rc] : row_tot) {
+    for (const auto& [cy, cc] : col_tot) {
+      const double expected = rc * cc / total;
+      if (expected <= 0.0) continue;
+      const int64_t key = (static_cast<int64_t>(rx) << 32) ^
+                          static_cast<int64_t>(static_cast<uint32_t>(cy));
+      auto it = cell.find(key);
+      const double observed = it == cell.end() ? 0.0 : it->second;
+      const double d = observed - expected;
+      chi2 += d * d / expected;
+    }
+  }
+  return chi2;
+}
+
+namespace {
+
+double GiniImpurityOfCounts(const std::unordered_map<int, size_t>& counts,
+                            double n) {
+  if (n <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (const auto& [cls, c] : counts) {
+    const double p = static_cast<double>(c) / n;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+double GiniScore(const std::vector<double>& feature,
+                 const std::vector<double>& label) {
+  FEAT_CHECK(feature.size() == label.size(), "Gini: size mismatch");
+  const size_t n = feature.size();
+  if (n < 2) return 0.0;
+  const int bins = DefaultBins(n);
+  const std::vector<int> fx = Discretize(ImputeNanWithMean(feature), bins);
+  std::unordered_map<int, size_t> overall;
+  std::unordered_map<int, std::unordered_map<int, size_t>> per_bin;
+  std::unordered_map<int, size_t> bin_sizes;
+  for (size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(std::llround(label[i]));
+    ++overall[cls];
+    ++per_bin[fx[i]][cls];
+    ++bin_sizes[fx[i]];
+  }
+  const double base = GiniImpurityOfCounts(overall, static_cast<double>(n));
+  double weighted = 0.0;
+  for (const auto& [bin, counts] : per_bin) {
+    const double bn = static_cast<double>(bin_sizes[bin]);
+    weighted += bn / static_cast<double>(n) * GiniImpurityOfCounts(counts, bn);
+  }
+  const double reduction = base - weighted;
+  return reduction < 0.0 ? 0.0 : reduction;
+}
+
+std::vector<double> ImputeNanWithMean(const std::vector<double>& v) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (double x : v) {
+    if (!std::isnan(x)) {
+      sum += x;
+      ++count;
+    }
+  }
+  const double mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  std::vector<double> out = v;
+  for (double& x : out) {
+    if (std::isnan(x)) x = mean;
+  }
+  return out;
+}
+
+double SpearmanProxy(const std::vector<double>& feature,
+                     const std::vector<double>& label) {
+  return std::fabs(SpearmanCorrelation(ImputeNanWithMean(feature), label));
+}
+
+}  // namespace featlib

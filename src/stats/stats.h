@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file stats.h
+/// \brief Statistical scores used as low-cost proxies (§V.C, §VI.C Opt. 1,
+/// Table VIII) and as feature-selector criteria (Featuretools+X baselines).
+///
+/// All feature/label scores follow the convention "higher = stronger
+/// dependence". Rows where the feature is NaN are imputed to the feature's
+/// non-NaN mean before scoring (matching the treatment in the ML pipeline).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace featlib {
+
+/// Arithmetic mean of `v` (0 for empty).
+double Mean(const std::vector<double>& v);
+
+/// Population variance of `v` (0 for empty).
+double Variance(const std::vector<double>& v);
+
+/// Pearson correlation in [-1, 1]; 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Average ranks (ties share the mean rank), 1-based.
+std::vector<double> RankData(const std::vector<double>& v);
+
+/// Spearman's rank correlation (Pearson over ranks).
+double SpearmanCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Equi-width discretization of `v` into `bins` buckets (NaN -> own bucket
+/// `bins`). Constant vectors map to bucket 0.
+std::vector<int> Discretize(const std::vector<double>& v, int bins);
+
+/// Equi-frequency (rank-based) discretization: bucket = floor(rank * bins /
+/// n), ties share the bucket of their average rank, NaN -> bucket `bins`.
+/// Robust to the heavy-tailed aggregates SUM/VAR produce, where equi-width
+/// binning collapses most rows into one bucket and flattens MI.
+std::vector<int> DiscretizeQuantile(const std::vector<double>& v, int bins);
+
+/// \brief Mutual information (nats) between a continuous feature and a label.
+///
+/// The feature is *quantile*-binned into min(32, ceil(sqrt(n))) buckets
+/// (NaN rows keep their own bucket so predicate coverage itself can carry
+/// signal); a classification label is used as-is, a regression label is
+/// equi-width binned (set `label_is_discrete = false`). This is the
+/// low-cost proxy the paper plugs into the warm-up phase and QTI
+/// Optimization 1. See bench_ablation_design for the quantile-vs-equi-width
+/// comparison behind this choice.
+double MutualInformation(const std::vector<double>& feature,
+                         const std::vector<double>& label,
+                         bool label_is_discrete);
+
+/// Mutual information between two pre-discretized variables.
+double DiscreteMutualInformation(const std::vector<int>& x, const std::vector<int>& y);
+
+/// Shannon entropy (nats) of a discrete variable.
+double DiscreteEntropy(const std::vector<int>& x);
+
+/// \brief Chi-square statistic between a (binned) feature and a discrete
+/// class label; higher means stronger association. Classification only.
+double ChiSquareScore(const std::vector<double>& feature,
+                      const std::vector<double>& label);
+
+/// \brief Gini-impurity reduction of the class label from binning the
+/// feature (weighted impurity decrease). Classification only.
+double GiniScore(const std::vector<double>& feature, const std::vector<double>& label);
+
+/// Replaces NaNs in `v` with the mean of the non-NaN entries (0 if all NaN).
+std::vector<double> ImputeNanWithMean(const std::vector<double>& v);
+
+/// |Spearman| wrapper with NaN imputation; the "SC" proxy of Table VIII.
+double SpearmanProxy(const std::vector<double>& feature,
+                     const std::vector<double>& label);
+
+}  // namespace featlib

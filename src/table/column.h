@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file column.h
+/// \brief Nullable, typed columnar storage with dictionary-encoded strings.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "table/value.h"
+
+namespace featlib {
+
+/// \brief A single nullable column.
+///
+/// Storage layout by type:
+///  - kInt64 / kDatetime / kBool : vector<int64_t>
+///  - kDouble                    : vector<double>
+///  - kString                    : vector<int32_t> codes + shared dictionary
+/// Validity is a per-row byte vector (favoring simplicity over bit packing;
+/// the engine's workloads are algorithm-bound, not memory-bound).
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+  size_t null_count() const { return null_count_; }
+  bool IsNull(size_t row) const { return valid_[row] == 0; }
+
+  /// \name Appending
+  /// @{
+  void AppendNull();
+  /// Appends to an int-backed column (kInt64/kDatetime/kBool).
+  void AppendInt(int64_t v);
+  /// Appends to a kDouble column.
+  void AppendDouble(double v);
+  /// Appends to a kString column; dictionary-encodes the value.
+  void AppendString(const std::string& v);
+  /// Appends a dictionary code directly (must be valid for this column).
+  void AppendCode(int32_t code);
+  /// Type-dispatched append from a dynamic Value (used by CSV and builders).
+  Status AppendValue(const Value& v);
+  void Reserve(size_t n);
+  /// @}
+
+  /// \name Row access (row must be non-null unless stated otherwise)
+  /// @{
+  int64_t IntAt(size_t row) const;
+  double DoubleAt(size_t row) const;
+  int32_t CodeAt(size_t row) const;
+  const std::string& StringAt(size_t row) const;
+  /// Dynamic cell access; returns Value::Null() for null rows.
+  Value ValueAt(size_t row) const;
+  /// Numeric view used by ML/stats: ints and doubles convert, strings map to
+  /// their dictionary code, nulls are NaN.
+  double AsDouble(size_t row) const;
+  /// @}
+
+  /// \name Dictionary (kString only)
+  /// @{
+  const std::vector<std::string>& dictionary() const { return dict_; }
+  /// Returns the code for `s`, inserting it if absent.
+  int32_t GetOrAddCode(const std::string& s);
+  /// Returns the code for `s`, or -1 if `s` is not in the dictionary.
+  int32_t FindCode(const std::string& s) const;
+  /// @}
+
+  /// Min/max over non-null rows as doubles. Error if the column is empty,
+  /// all-null, or a string column.
+  Result<std::pair<double, double>> MinMaxAsDouble() const;
+
+  /// Number of distinct non-null values (exact; hashes the numeric view).
+  size_t CountDistinct() const;
+
+  /// Gathers the given rows into a new column (dictionary shared by copy).
+  Column Take(const std::vector<uint32_t>& indices) const;
+
+  /// Builds an all-valid int column.
+  static Column FromInts(DataType type, const std::vector<int64_t>& values);
+  /// Builds an all-valid double column.
+  static Column FromDoubles(const std::vector<double>& values);
+  /// Builds an all-valid string column.
+  static Column FromStrings(const std::vector<std::string>& values);
+
+ private:
+  bool IsIntBacked() const {
+    return type_ == DataType::kInt64 || type_ == DataType::kDatetime ||
+           type_ == DataType::kBool;
+  }
+
+  DataType type_;
+  std::vector<uint8_t> valid_;
+  size_t null_count_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int32_t> dict_index_;
+};
+
+}  // namespace featlib

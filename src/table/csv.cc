@@ -1,0 +1,191 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace featlib {
+
+namespace {
+
+// Splits one CSV record honoring quotes. `pos` advances past the record.
+std::vector<std::string> ParseRecord(const std::string& text, size_t* pos,
+                                     char delim) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c == '\r') {
+      // swallow; newline handled next iteration
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+bool NeedsQuoting(const std::string& s) {
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvFromString(const std::string& text,
+                                const CsvReadOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    auto rec = ParseRecord(text, &pos, options.delimiter);
+    if (rec.size() == 1 && rec[0].empty()) continue;  // blank line
+    records.push_back(std::move(rec));
+  }
+  if (records.empty()) return Status::InvalidArgument("empty CSV input");
+
+  std::vector<std::string> names;
+  size_t first_data = 0;
+  if (options.has_header) {
+    names = records[0];
+    first_data = 1;
+  } else {
+    for (size_t c = 0; c < records[0].size(); ++c) {
+      names.push_back(StrFormat("c%zu", c));
+    }
+  }
+  const size_t ncols = names.size();
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != ncols) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu fields, expected %zu", r,
+                    records[r].size(), ncols));
+    }
+  }
+
+  // Infer types: int64 unless any field needs double, string as fallback.
+  std::vector<DataType> types(ncols, DataType::kInt64);
+  for (size_t c = 0; c < ncols; ++c) {
+    for (size_t r = first_data; r < records.size(); ++r) {
+      const std::string& f = records[r][c];
+      if (f.empty()) continue;
+      int64_t iv;
+      double dv;
+      if (ParseInt64(f, &iv)) continue;
+      if (ParseDouble(f, &dv)) {
+        if (types[c] == DataType::kInt64) types[c] = DataType::kDouble;
+        continue;
+      }
+      types[c] = DataType::kString;
+      break;
+    }
+  }
+
+  Table out;
+  for (size_t c = 0; c < ncols; ++c) {
+    Column col(types[c]);
+    col.Reserve(records.size() - first_data);
+    for (size_t r = first_data; r < records.size(); ++r) {
+      const std::string& f = records[r][c];
+      if (f.empty()) {
+        col.AppendNull();
+      } else if (types[c] == DataType::kInt64) {
+        int64_t iv = 0;
+        ParseInt64(f, &iv);
+        col.AppendInt(iv);
+      } else if (types[c] == DataType::kDouble) {
+        double dv = 0.0;
+        ParseDouble(f, &dv);
+        col.AppendDouble(dv);
+      } else {
+        col.AppendString(f);
+      }
+    }
+    FEAT_RETURN_NOT_OK(out.AddColumn(names[c], std::move(col)));
+  }
+  return out;
+}
+
+Result<Table> ReadCsv(const std::string& path, const CsvReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvFromString(buf.str(), options);
+}
+
+std::string WriteCsvToString(const Table& table) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += QuoteField(table.NameAt(c));
+  }
+  out += "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ",";
+      const Column& col = table.ColumnAt(c);
+      if (col.IsNull(r)) continue;
+      switch (col.type()) {
+        case DataType::kInt64:
+        case DataType::kDatetime:
+        case DataType::kBool:
+          out += StrFormat("%lld", static_cast<long long>(col.IntAt(r)));
+          break;
+        case DataType::kDouble:
+          out += StrFormat("%.17g", col.DoubleAt(r));
+          break;
+        case DataType::kString:
+          out += QuoteField(col.StringAt(r));
+          break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteCsvToString(table);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace featlib

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file csv.h
+/// \brief Minimal CSV reader/writer with type inference.
+///
+/// Supports quoted fields with embedded commas and doubled quotes. Type
+/// inference promotes int64 -> double -> string per column; empty fields are
+/// nulls. Intended for loading user datasets and round-tripping benchmark
+/// artifacts, not for adversarial inputs.
+
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace featlib {
+
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// When true, the first row provides column names; otherwise columns are
+  /// named c0, c1, ...
+  bool has_header = true;
+};
+
+/// Reads a CSV file into a Table, inferring per-column types.
+Result<Table> ReadCsv(const std::string& path, const CsvReadOptions& options = {});
+
+/// Parses CSV text (same semantics as ReadCsv).
+Result<Table> ReadCsvFromString(const std::string& text,
+                                const CsvReadOptions& options = {});
+
+/// Writes a table as RFC-4180-ish CSV (header row, quoted when needed).
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Serializes a table to CSV text.
+std::string WriteCsvToString(const Table& table);
+
+}  // namespace featlib

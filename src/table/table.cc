@@ -1,0 +1,105 @@
+#include "table/table.h"
+
+#include <numeric>
+
+#include "common/str_util.h"
+
+namespace featlib {
+
+Status Table::AddColumn(const std::string& name, Column column) {
+  if (index_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate column name: " + name);
+  }
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("column '%s' has %zu rows, table has %zu", name.c_str(),
+                  column.size(), num_rows()));
+  }
+  index_.emplace(name, columns_.size());
+  names_.push_back(name);
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Status Table::ReplaceColumn(const std::string& name, Column column) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("no column named " + name);
+  if (column.size() != num_rows()) {
+    return Status::InvalidArgument("replacement column size mismatch for " + name);
+  }
+  columns_[it->second] = std::move(column);
+  return Status::OK();
+}
+
+Status Table::DropColumn(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("no column named " + name);
+  const size_t pos = it->second;
+  columns_.erase(columns_.begin() + static_cast<ptrdiff_t>(pos));
+  names_.erase(names_.begin() + static_cast<ptrdiff_t>(pos));
+  index_.erase(it);
+  for (auto& [k, v] : index_) {
+    if (v > pos) --v;
+  }
+  return Status::OK();
+}
+
+Result<const Column*> Table::GetColumn(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("no column named " + name);
+  return &columns_[it->second];
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("no column named " + name);
+  return it->second;
+}
+
+Result<Table> Table::Select(const std::vector<std::string>& names) const {
+  Table out;
+  for (const auto& name : names) {
+    FEAT_ASSIGN_OR_RETURN(const Column* col, GetColumn(name));
+    FEAT_RETURN_NOT_OK(out.AddColumn(name, *col));
+  }
+  return out;
+}
+
+Table Table::Take(const std::vector<uint32_t>& indices) const {
+  Table out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    Status st = out.AddColumn(names_[i], columns_[i].Take(indices));
+    FEAT_CHECK(st.ok(), "Take: internal AddColumn failure");
+  }
+  return out;
+}
+
+Table Table::Head(size_t n) const {
+  const size_t take = n < num_rows() ? n : num_rows();
+  std::vector<uint32_t> idx(take);
+  std::iota(idx.begin(), idx.end(), 0u);
+  return Take(idx);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t c = 0; c < names_.size(); ++c) {
+    if (c > 0) out += "\t";
+    out += names_[c];
+  }
+  out += "\n";
+  const size_t rows = num_rows() < max_rows ? num_rows() : max_rows;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += "\t";
+      out += columns_[c].ValueAt(r).ToSqlLiteral();
+    }
+    out += "\n";
+  }
+  if (rows < num_rows()) {
+    out += StrFormat("... (%zu rows total)\n", num_rows());
+  }
+  return out;
+}
+
+}  // namespace featlib

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file table.h
+/// \brief Named-column table: the unit the whole framework operates on.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "table/column.h"
+
+namespace featlib {
+
+/// \brief An ordered collection of equally-sized named columns.
+///
+/// Tables are value types; Take/Select copy the referenced data. The engine
+/// targets datasets in the 10^4..10^7 row range where this is cheap relative
+/// to model training, which dominates FeatAug's runtime.
+class Table {
+ public:
+  Table() = default;
+
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends a column. Fails if the name exists or sizes mismatch.
+  Status AddColumn(const std::string& name, Column column);
+
+  /// Replaces an existing column (same size required).
+  Status ReplaceColumn(const std::string& name, Column column);
+
+  /// Removes a column by name.
+  Status DropColumn(const std::string& name);
+
+  bool HasColumn(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// Borrowing accessor; the pointer is invalidated by column mutations.
+  Result<const Column*> GetColumn(const std::string& name) const;
+
+  /// Column position, or error if absent.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  const Column& ColumnAt(size_t i) const { return columns_[i]; }
+  Column* MutableColumnAt(size_t i) { return &columns_[i]; }
+  const std::string& NameAt(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& column_names() const { return names_; }
+
+  /// Projects the named columns into a new table (in the given order).
+  Result<Table> Select(const std::vector<std::string>& names) const;
+
+  /// Gathers rows by index into a new table.
+  Table Take(const std::vector<uint32_t>& indices) const;
+
+  /// First min(n, num_rows) rows.
+  Table Head(size_t n) const;
+
+  /// Renders up to `max_rows` rows as an aligned-ish text block (debugging).
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace featlib

@@ -1,0 +1,78 @@
+#include "table/value.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace featlib {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kDatetime:
+      return "datetime";
+    case DataType::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+bool IsRangeType(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble ||
+         type == DataType::kDatetime;
+}
+
+double Value::AsDouble() const {
+  switch (tag_) {
+    case Tag::kInt:
+      return static_cast<double>(int_);
+    case Tag::kDouble:
+      return double_;
+    default:
+      return std::nan("");
+  }
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (tag_) {
+    case Tag::kNull:
+      return "NULL";
+    case Tag::kInt:
+      return StrFormat("%lld", static_cast<long long>(int_));
+    case Tag::kDouble:
+      return StrFormat("%g", double_);
+    case Tag::kString: {
+      // Standard SQL escaping: embedded quotes double.
+      std::string quoted = "'";
+      for (char c : str_) {
+        quoted += c;
+        if (c == '\'') quoted += '\'';
+      }
+      quoted += '\'';
+      return quoted;
+    }
+  }
+  return "NULL";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (tag_ != other.tag_) return false;
+  switch (tag_) {
+    case Tag::kNull:
+      return true;
+    case Tag::kInt:
+      return int_ == other.int_;
+    case Tag::kDouble:
+      return double_ == other.double_;
+    case Tag::kString:
+      return str_ == other.str_;
+  }
+  return false;
+}
+
+}  // namespace featlib

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file value.h
+/// \brief Scalar values and logical data types for the table engine.
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace featlib {
+
+/// Logical column types. DATETIME is stored as int64 seconds since epoch;
+/// BOOL as int64 0/1. STRING columns are dictionary-encoded.
+enum class DataType {
+  kInt64 = 0,
+  kDouble,
+  kString,
+  kDatetime,
+  kBool,
+};
+
+/// \brief Returns the canonical lowercase name of a data type.
+const char* DataTypeToString(DataType type);
+
+/// True for types whose predicates are range predicates (Def. 2 of the
+/// paper): numeric and datetime. STRING and BOOL take equality predicates.
+bool IsRangeType(DataType type);
+
+/// \brief A dynamically-typed nullable scalar.
+///
+/// Used at API boundaries (predicates, cell access, CSV parsing); the hot
+/// paths work directly on column storage.
+class Value {
+ public:
+  enum class Tag { kNull, kInt, kDouble, kString };
+
+  Value() : tag_(Tag::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value out;
+    out.tag_ = Tag::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.tag_ = Tag::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    out.tag_ = Tag::kString;
+    out.str_ = std::move(v);
+    return out;
+  }
+  static Value Bool(bool v) { return Int(v ? 1 : 0); }
+
+  Tag tag() const { return tag_; }
+  bool is_null() const { return tag_ == Tag::kNull; }
+
+  int64_t int_value() const {
+    FEAT_CHECK(tag_ == Tag::kInt, "Value is not an int");
+    return int_;
+  }
+  double double_value() const {
+    FEAT_CHECK(tag_ == Tag::kDouble, "Value is not a double");
+    return double_;
+  }
+  const std::string& string_value() const {
+    FEAT_CHECK(tag_ == Tag::kString, "Value is not a string");
+    return str_;
+  }
+
+  /// Numeric view: ints and doubles convert; null and strings are NaN.
+  double AsDouble() const;
+
+  /// Renders the value for SQL text and debugging (strings are quoted).
+  std::string ToSqlLiteral() const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  Tag tag_;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+};
+
+}  // namespace featlib

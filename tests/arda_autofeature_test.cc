@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/arda.h"
+#include "baselines/autofeature.h"
+#include "baselines/featuretools.h"
+#include "baselines/random_aug.h"
+#include "data/synthetic.h"
+
+namespace featlib {
+namespace {
+
+struct Fixture {
+  DatasetBundle bundle;
+  FeatureEvaluator evaluator;
+  std::vector<AggQuery> candidates;
+};
+
+// One-to-one fixture (the scenario ARDA / AutoFeature target in the paper).
+Fixture MakeOneToOneFixture() {
+  SyntheticOptions data_options;
+  data_options.n_train = 300;
+  data_options.seed = 11;
+  DatasetBundle bundle = MakeCovtype(data_options);
+  EvaluatorOptions eval_options;
+  eval_options.model = ModelKind::kLogisticRegression;
+  eval_options.metric = MetricKind::kF1Macro;
+  auto evaluator = FeatureEvaluator::Create(bundle.training, bundle.label_col,
+                                            bundle.base_features, bundle.relevant,
+                                            bundle.task, eval_options);
+  EXPECT_TRUE(evaluator.ok());
+  // Identity features: AVG(attr) per data_index row.
+  std::vector<AggQuery> candidates;
+  for (const auto& attr : bundle.agg_attrs) {
+    AggQuery q;
+    q.agg = AggFunction::kAvg;
+    q.agg_attr = attr;
+    q.group_keys = bundle.fk_attrs;
+    candidates.push_back(std::move(q));
+  }
+  return Fixture{std::move(bundle), std::move(evaluator).ValueOrDie(),
+                 std::move(candidates)};
+}
+
+TEST(ArdaTest, SelectsRequestedCount) {
+  Fixture fx = MakeOneToOneFixture();
+  ArdaOptions options;
+  options.rounds = 2;
+  auto selected = ArdaSelect(&fx.evaluator, fx.candidates, 6, options);
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+  EXPECT_EQ(selected.value().size(), 6u);
+}
+
+TEST(ArdaTest, SignalAttributesRankAboveNoise) {
+  // attr_0 and attr_1 carry the label signal in the one-to-one generators.
+  Fixture fx = MakeOneToOneFixture();
+  ArdaOptions options;
+  options.rounds = 3;
+  auto selected = ArdaSelect(&fx.evaluator, fx.candidates, 4, options);
+  ASSERT_TRUE(selected.ok());
+  bool has_signal = false;
+  for (const auto& q : selected.value()) {
+    if (q.agg_attr == "attr_0" || q.agg_attr == "attr_1") has_signal = true;
+  }
+  EXPECT_TRUE(has_signal);
+}
+
+TEST(ArdaTest, EmptyCandidates) {
+  Fixture fx = MakeOneToOneFixture();
+  auto selected = ArdaSelect(&fx.evaluator, {}, 4, ArdaOptions{});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_TRUE(selected.value().empty());
+}
+
+TEST(AutoFeatureTest, MabSelectsK) {
+  Fixture fx = MakeOneToOneFixture();
+  AutoFeatureOptions options;
+  options.policy = AutoFeaturePolicy::kMab;
+  options.budget = 25;
+  auto selected = AutoFeatureSelect(&fx.evaluator, fx.candidates, 5, options);
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+  EXPECT_EQ(selected.value().size(), 5u);
+}
+
+TEST(AutoFeatureTest, DqnSelectsK) {
+  Fixture fx = MakeOneToOneFixture();
+  AutoFeatureOptions options;
+  options.policy = AutoFeaturePolicy::kDqn;
+  options.budget = 25;
+  auto selected = AutoFeatureSelect(&fx.evaluator, fx.candidates, 5, options);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected.value().size(), 5u);
+}
+
+TEST(AutoFeatureTest, SelectionsAreDistinctCandidates) {
+  Fixture fx = MakeOneToOneFixture();
+  AutoFeatureOptions options;
+  options.budget = 20;
+  auto selected = AutoFeatureSelect(&fx.evaluator, fx.candidates, 6, options);
+  ASSERT_TRUE(selected.ok());
+  std::vector<std::string> keys;
+  for (const auto& q : selected.value()) keys.push_back(q.CacheKey());
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(AutoFeatureTest, RespectsModelBudget) {
+  Fixture fx = MakeOneToOneFixture();
+  AutoFeatureOptions options;
+  options.budget = 10;
+  const size_t evals_before = fx.evaluator.num_model_evals();
+  auto selected = AutoFeatureSelect(&fx.evaluator, fx.candidates, 5, options);
+  ASSERT_TRUE(selected.ok());
+  // budget steps + at most one baseline evaluation.
+  EXPECT_LE(fx.evaluator.num_model_evals() - evals_before, 11u);
+}
+
+TEST(RandomAugTest, GeneratesBudgetedQueries) {
+  SyntheticOptions data_options;
+  data_options.n_train = 200;
+  DatasetBundle bundle = MakeTmall(data_options);
+  QueryTemplate base = bundle.golden_template;
+  base.where_attrs.clear();
+  RandomAugOptions options;
+  options.n_templates = 4;
+  options.queries_per_template = 3;
+  auto queries = RandomAugmentation(bundle.relevant, base,
+                                    bundle.where_candidates, options);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  EXPECT_GT(queries.value().size(), 0u);
+  EXPECT_LE(queries.value().size(), 12u);
+  for (const auto& q : queries.value()) {
+    EXPECT_TRUE(q.Validate(bundle.relevant).ok());
+  }
+}
+
+TEST(RandomAugTest, DeterministicBySeed) {
+  SyntheticOptions data_options;
+  data_options.n_train = 200;
+  DatasetBundle bundle = MakeTmall(data_options);
+  QueryTemplate base = bundle.golden_template;
+  base.where_attrs.clear();
+  RandomAugOptions options;
+  options.seed = 77;
+  auto a = RandomAugmentation(bundle.relevant, base, bundle.where_candidates,
+                              options);
+  auto b = RandomAugmentation(bundle.relevant, base, bundle.where_candidates,
+                              options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i].CacheKey(), b.value()[i].CacheKey());
+  }
+}
+
+TEST(RandomAugTest, QueriesComeWithPredicates) {
+  // With five candidate attributes, random queries should regularly carry
+  // at least one predicate.
+  SyntheticOptions data_options;
+  data_options.n_train = 200;
+  DatasetBundle bundle = MakeTmall(data_options);
+  QueryTemplate base = bundle.golden_template;
+  base.where_attrs.clear();
+  RandomAugOptions options;
+  options.n_templates = 8;
+  options.queries_per_template = 5;
+  auto queries = RandomAugmentation(bundle.relevant, base,
+                                    bundle.where_candidates, options);
+  ASSERT_TRUE(queries.ok());
+  size_t with_predicates = 0;
+  for (const auto& q : queries.value()) {
+    if (!q.predicates.empty()) ++with_predicates;
+  }
+  EXPECT_GT(with_predicates, 0u);
+}
+
+}  // namespace
+}  // namespace featlib

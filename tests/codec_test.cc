@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/codec.h"
+
+namespace featlib {
+namespace {
+
+Table MakeLogs() {
+  Table t;
+  EXPECT_TRUE(t.AddColumn("uid", Column::FromInts(DataType::kInt64, {1, 1, 2})).ok());
+  EXPECT_TRUE(t.AddColumn("mid", Column::FromInts(DataType::kInt64, {7, 8, 7})).ok());
+  EXPECT_TRUE(t.AddColumn("price", Column::FromDoubles({10, 20, 30})).ok());
+  EXPECT_TRUE(t.AddColumn("qty", Column::FromInts(DataType::kInt64, {1, 2, 3})).ok());
+  EXPECT_TRUE(
+      t.AddColumn("dept", Column::FromStrings({"a", "b", "a"})).ok());
+  EXPECT_TRUE(t.AddColumn("ts", Column::FromInts(DataType::kDatetime,
+                                                 {100, 200, 300}))
+                  .ok());
+  Column flag(DataType::kBool);
+  flag.AppendInt(0);
+  flag.AppendInt(1);
+  flag.AppendInt(1);
+  EXPECT_TRUE(t.AddColumn("flag", std::move(flag)).ok());
+  return t;
+}
+
+QueryTemplate MakeTemplate() {
+  QueryTemplate t;
+  t.agg_functions = {AggFunction::kSum, AggFunction::kAvg, AggFunction::kMax};
+  t.agg_attrs = {"price", "qty"};
+  t.where_attrs = {"dept", "ts", "flag"};
+  t.fk_attrs = {"uid", "mid"};
+  return t;
+}
+
+TEST(CodecTest, SpaceLayout) {
+  Table logs = MakeLogs();
+  auto codec = QueryVectorCodec::Create(MakeTemplate(), logs);
+  ASSERT_TRUE(codec.ok());
+  const SearchSpace& space = codec.value().space();
+  // agg_fn, agg_attr, dept(1), ts(2), flag(1), fk(2) = 8 dims.
+  EXPECT_EQ(space.NumDims(), 8u);
+  EXPECT_EQ(space.dim(0).n_choices, 3);  // three agg functions
+  EXPECT_EQ(space.dim(1).n_choices, 2);  // two agg attrs
+  EXPECT_EQ(space.dim(2).n_choices, 3);  // {a, b, None}
+  EXPECT_EQ(space.dim(3).kind, ParamDomain::Kind::kOptionalNumeric);
+  EXPECT_TRUE(space.dim(3).integer);  // datetime snaps to integers
+  EXPECT_EQ(space.dim(5).n_choices, 3);  // bool {0, 1, None}
+  EXPECT_EQ(space.dim(6).n_choices, 2);  // fk bits
+}
+
+TEST(CodecTest, DecodeFullVector) {
+  Table logs = MakeLogs();
+  auto codec = QueryVectorCodec::Create(MakeTemplate(), logs);
+  ASSERT_TRUE(codec.ok());
+  // AVG(qty) WHERE dept='b' AND 150<=ts<=250 AND flag=1 GROUP BY uid,mid.
+  ParamVector v = {1, 1, 1, 150, 250, 1, 1, 1};
+  auto q = codec.value().Decode(v);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().agg, AggFunction::kAvg);
+  EXPECT_EQ(q.value().agg_attr, "qty");
+  ASSERT_EQ(q.value().predicates.size(), 3u);
+  EXPECT_EQ(q.value().predicates[0].equals_value, Value::Str("b"));
+  EXPECT_DOUBLE_EQ(q.value().predicates[1].lo, 150.0);
+  EXPECT_DOUBLE_EQ(q.value().predicates[1].hi, 250.0);
+  EXPECT_EQ(q.value().predicates[2].equals_value, Value::Int(1));
+  EXPECT_EQ(q.value().group_keys, (std::vector<std::string>{"uid", "mid"}));
+}
+
+TEST(CodecTest, NoneSlotsDropPredicates) {
+  Table logs = MakeLogs();
+  auto codec = QueryVectorCodec::Create(MakeTemplate(), logs);
+  ASSERT_TRUE(codec.ok());
+  // dept=None (index 2), ts both None, flag None (index 2).
+  ParamVector v = {0, 0, 2, NoneValue(), NoneValue(), 2, 0, 1};
+  auto q = codec.value().Decode(v);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value().predicates.empty());
+  EXPECT_EQ(q.value().group_keys, (std::vector<std::string>{"mid"}));
+}
+
+TEST(CodecTest, InvertedBoundsSwapped) {
+  Table logs = MakeLogs();
+  auto codec = QueryVectorCodec::Create(MakeTemplate(), logs);
+  ASSERT_TRUE(codec.ok());
+  ParamVector v = {0, 0, 2, 250, 150, 2, 1, 0};
+  auto q = codec.value().Decode(v);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q.value().predicates.size(), 1u);
+  EXPECT_LE(q.value().predicates[0].lo, q.value().predicates[0].hi);
+}
+
+TEST(CodecTest, EmptyFkSelectionFallsBackToFirstKey) {
+  Table logs = MakeLogs();
+  auto codec = QueryVectorCodec::Create(MakeTemplate(), logs);
+  ASSERT_TRUE(codec.ok());
+  ParamVector v = {0, 0, 2, NoneValue(), NoneValue(), 2, 0, 0};
+  auto q = codec.value().Decode(v);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().group_keys, (std::vector<std::string>{"uid"}));
+}
+
+TEST(CodecTest, OneSidedRangeDecodes) {
+  Table logs = MakeLogs();
+  auto codec = QueryVectorCodec::Create(MakeTemplate(), logs);
+  ASSERT_TRUE(codec.ok());
+  ParamVector v = {0, 0, 2, 150, NoneValue(), 2, 1, 0};
+  auto q = codec.value().Decode(v);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q.value().predicates.size(), 1u);
+  EXPECT_TRUE(q.value().predicates[0].has_lo);
+  EXPECT_FALSE(q.value().predicates[0].has_hi);
+}
+
+TEST(CodecTest, EncodeDecodeRoundTrip) {
+  Table logs = MakeLogs();
+  auto codec = QueryVectorCodec::Create(MakeTemplate(), logs);
+  ASSERT_TRUE(codec.ok());
+  AggQuery q;
+  q.agg = AggFunction::kMax;
+  q.agg_attr = "price";
+  q.group_keys = {"uid"};
+  q.predicates = {Predicate::Equals("dept", Value::Str("a")),
+                  Predicate::Range("ts", 120.0, std::nullopt)};
+  auto v = codec.value().Encode(q);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  auto back = codec.value().Decode(v.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().CacheKey(), q.CacheKey());
+}
+
+TEST(CodecTest, EncodeRejectsOutOfTemplate) {
+  Table logs = MakeLogs();
+  auto codec = QueryVectorCodec::Create(MakeTemplate(), logs);
+  ASSERT_TRUE(codec.ok());
+  AggQuery q;
+  q.agg = AggFunction::kEntropy;  // not in F
+  q.agg_attr = "price";
+  q.group_keys = {"uid"};
+  EXPECT_FALSE(codec.value().Encode(q).ok());
+
+  q.agg = AggFunction::kSum;
+  q.agg_attr = "dept";  // not in A
+  EXPECT_FALSE(codec.value().Encode(q).ok());
+
+  q.agg_attr = "price";
+  q.predicates = {Predicate::Equals("qty", Value::Int(1))};  // qty not in P
+  EXPECT_FALSE(codec.value().Encode(q).ok());
+
+  q.predicates = {Predicate::Equals("dept", Value::Str("zzz"))};  // bad value
+  EXPECT_FALSE(codec.value().Encode(q).ok());
+}
+
+TEST(CodecTest, CategoricalAggAttrRepairsToCount) {
+  Table logs = MakeLogs();
+  QueryTemplate t = MakeTemplate();
+  t.agg_attrs = {"price", "dept"};  // dept is categorical
+  auto codec = QueryVectorCodec::Create(t, logs);
+  ASSERT_TRUE(codec.ok());
+  ParamVector v = {0 /*SUM*/, 1 /*dept*/, 2, NoneValue(), NoneValue(), 2, 1, 0};
+  ASSERT_EQ(codec.value().space().NumDims(), 8u);
+  auto q = codec.value().Decode(v);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().agg, AggFunction::kCount);  // SUM(dept) repaired
+}
+
+TEST(CodecTest, CreateErrors) {
+  Table logs = MakeLogs();
+  QueryTemplate t = MakeTemplate();
+  t.agg_attrs = {"missing"};
+  EXPECT_FALSE(QueryVectorCodec::Create(t, logs).ok());
+  t = MakeTemplate();
+  t.fk_attrs = {};
+  EXPECT_FALSE(QueryVectorCodec::Create(t, logs).ok());
+}
+
+class CodecPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecPropertyTest, RandomVectorsAlwaysDecodeToValidQueries) {
+  Table logs = MakeLogs();
+  auto codec = QueryVectorCodec::Create(MakeTemplate(), logs);
+  ASSERT_TRUE(codec.ok());
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const ParamVector v = codec.value().space().Sample(&rng);
+    auto q = codec.value().Decode(v);
+    ASSERT_TRUE(q.ok());
+    EXPECT_TRUE(q.value().Validate(logs).ok())
+        << q.value().ToSql("R", logs);
+    EXPECT_FALSE(q.value().group_keys.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest,
+                         testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace featlib

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "table/csv.h"
+
+namespace featlib {
+namespace {
+
+TEST(CsvTest, ParsesTypedColumns) {
+  auto result = ReadCsvFromString("a,b,c\n1,2.5,x\n2,3.5,y\n");
+  ASSERT_TRUE(result.ok());
+  const Table& t = result.value();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.GetColumn("a").value()->type(), DataType::kInt64);
+  EXPECT_EQ(t.GetColumn("b").value()->type(), DataType::kDouble);
+  EXPECT_EQ(t.GetColumn("c").value()->type(), DataType::kString);
+  EXPECT_EQ(t.GetColumn("c").value()->StringAt(1), "y");
+}
+
+TEST(CsvTest, IntPromotesToDouble) {
+  auto result = ReadCsvFromString("x\n1\n2.5\n3\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().GetColumn("x").value()->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(result.value().GetColumn("x").value()->DoubleAt(0), 1.0);
+}
+
+TEST(CsvTest, EmptyFieldsAreNull) {
+  auto result = ReadCsvFromString("a,b\n1,\n,2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().GetColumn("b").value()->IsNull(0));
+  EXPECT_TRUE(result.value().GetColumn("a").value()->IsNull(1));
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  auto result = ReadCsvFromString("s\n\"a,b\"\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(result.ok());
+  const Column* col = result.value().GetColumn("s").value();
+  EXPECT_EQ(col->StringAt(0), "a,b");
+  EXPECT_EQ(col->StringAt(1), "he said \"hi\"");
+}
+
+TEST(CsvTest, CrlfHandled) {
+  auto result = ReadCsvFromString("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 1u);
+  EXPECT_EQ(result.value().GetColumn("b").value()->IntAt(0), 2);
+}
+
+TEST(CsvTest, NoHeaderNamesColumns) {
+  CsvReadOptions options;
+  options.has_header = false;
+  auto result = ReadCsvFromString("1,2\n3,4\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().HasColumn("c0"));
+  EXPECT_EQ(result.value().num_rows(), 2u);
+}
+
+TEST(CsvTest, RaggedRowRejected) {
+  EXPECT_FALSE(ReadCsvFromString("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  EXPECT_FALSE(ReadCsvFromString("").ok());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto result = ReadCsv("/nonexistent/path.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  Table t;
+  ASSERT_TRUE(t.AddColumn("i", Column::FromInts(DataType::kInt64, {1, -2})).ok());
+  ASSERT_TRUE(t.AddColumn("d", Column::FromDoubles({0.25, 1e-3})).ok());
+  ASSERT_TRUE(t.AddColumn("s", Column::FromStrings({"plain", "with,comma"})).ok());
+  Column with_null(DataType::kDouble);
+  with_null.AppendNull();
+  with_null.AppendDouble(7.0);
+  ASSERT_TRUE(t.AddColumn("n", std::move(with_null)).ok());
+
+  const std::string text = WriteCsvToString(t);
+  auto back = ReadCsvFromString(text);
+  ASSERT_TRUE(back.ok());
+  const Table& u = back.value();
+  EXPECT_EQ(u.num_rows(), 2u);
+  EXPECT_EQ(u.GetColumn("i").value()->IntAt(1), -2);
+  EXPECT_DOUBLE_EQ(u.GetColumn("d").value()->DoubleAt(0), 0.25);
+  EXPECT_EQ(u.GetColumn("s").value()->StringAt(1), "with,comma");
+  EXPECT_TRUE(u.GetColumn("n").value()->IsNull(0));
+  EXPECT_DOUBLE_EQ(u.GetColumn("n").value()->AsDouble(1), 7.0);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t;
+  ASSERT_TRUE(t.AddColumn("x", Column::FromInts(DataType::kInt64, {5, 6})).ok());
+  const std::string path = testing::TempDir() + "/featlib_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().GetColumn("x").value()->IntAt(1), 6);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace featlib

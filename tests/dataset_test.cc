@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ml/dataset.h"
+
+namespace featlib {
+namespace {
+
+TEST(DatasetTest, WithLabelsAndAddFeature) {
+  Dataset ds = Dataset::WithLabels({0, 1, 0}, TaskKind::kBinaryClassification);
+  EXPECT_EQ(ds.n, 3u);
+  EXPECT_EQ(ds.d, 0u);
+  ASSERT_TRUE(ds.AddFeature("f0", {1.0, 2.0, 3.0}).ok());
+  ASSERT_TRUE(ds.AddFeature("f1", {4.0, 5.0, 6.0}).ok());
+  EXPECT_EQ(ds.d, 2u);
+  EXPECT_DOUBLE_EQ(ds.At(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ds.At(2, 1), 6.0);
+  EXPECT_EQ(ds.feature_names[1], "f1");
+  EXPECT_FALSE(ds.AddFeature("bad", {1.0}).ok());
+}
+
+TEST(DatasetTest, FeatureColumnAndSelect) {
+  Dataset ds = Dataset::WithLabels({0, 1}, TaskKind::kBinaryClassification);
+  ASSERT_TRUE(ds.AddFeature("a", {1, 2}).ok());
+  ASSERT_TRUE(ds.AddFeature("b", {3, 4}).ok());
+  ASSERT_TRUE(ds.AddFeature("c", {5, 6}).ok());
+  EXPECT_EQ(ds.FeatureColumn(1), (std::vector<double>{3, 4}));
+  Dataset sel = ds.SelectFeatures({2, 0});
+  EXPECT_EQ(sel.d, 2u);
+  EXPECT_DOUBLE_EQ(sel.At(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sel.At(0, 1), 1.0);
+  EXPECT_EQ(sel.feature_names[0], "c");
+  EXPECT_EQ(sel.y, ds.y);
+}
+
+TEST(DatasetTest, GatherRows) {
+  Dataset ds = Dataset::WithLabels({10, 20, 30}, TaskKind::kRegression);
+  ASSERT_TRUE(ds.AddFeature("a", {1, 2, 3}).ok());
+  Dataset g = ds.GatherRows({2, 0});
+  EXPECT_EQ(g.n, 2u);
+  EXPECT_DOUBLE_EQ(g.y[0], 30.0);
+  EXPECT_DOUBLE_EQ(g.At(1, 0), 1.0);
+}
+
+TEST(DatasetTest, FromTable) {
+  Table t;
+  ASSERT_TRUE(t.AddColumn("y", Column::FromInts(DataType::kInt64, {0, 1, 2})).ok());
+  ASSERT_TRUE(t.AddColumn("x", Column::FromDoubles({1.5, 2.5, 3.5})).ok());
+  ASSERT_TRUE(t.AddColumn("s", Column::FromStrings({"a", "b", "a"})).ok());
+  auto ds = Dataset::FromTable(t, "y", {"x", "s"}, TaskKind::kMultiClassification);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().num_classes, 3);
+  EXPECT_DOUBLE_EQ(ds.value().At(0, 0), 1.5);
+  // String features map to dictionary codes.
+  EXPECT_DOUBLE_EQ(ds.value().At(0, 1), ds.value().At(2, 1));
+}
+
+TEST(DatasetTest, FromTableErrors) {
+  Table t;
+  ASSERT_TRUE(t.AddColumn("y", Column::FromInts(DataType::kInt64, {0, 1})).ok());
+  EXPECT_FALSE(
+      Dataset::FromTable(t, "missing", {}, TaskKind::kBinaryClassification).ok());
+  Table with_null;
+  Column y(DataType::kInt64);
+  y.AppendNull();
+  ASSERT_TRUE(with_null.AddColumn("y", std::move(y)).ok());
+  EXPECT_FALSE(
+      Dataset::FromTable(with_null, "y", {}, TaskKind::kBinaryClassification).ok());
+}
+
+TEST(DatasetTest, SplitRatiosAndDisjointness) {
+  const SplitIndices split = MakeSplit(1000, 0.6, 0.2, 7);
+  EXPECT_EQ(split.train.size(), 600u);
+  EXPECT_EQ(split.valid.size(), 200u);
+  EXPECT_EQ(split.test.size(), 200u);
+  std::set<uint32_t> all;
+  for (auto v : split.train) all.insert(v);
+  for (auto v : split.valid) all.insert(v);
+  for (auto v : split.test) all.insert(v);
+  EXPECT_EQ(all.size(), 1000u);
+}
+
+TEST(DatasetTest, SplitDeterministicBySeed) {
+  const SplitIndices a = MakeSplit(100, 0.5, 0.25, 3);
+  const SplitIndices b = MakeSplit(100, 0.5, 0.25, 3);
+  const SplitIndices c = MakeSplit(100, 0.5, 0.25, 4);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(DatasetTest, ImputeUsesReferenceMeans) {
+  Dataset ref = Dataset::WithLabels({0, 0, 0}, TaskKind::kBinaryClassification);
+  ASSERT_TRUE(ref.AddFeature("a", {1.0, 3.0, std::nan("")}).ok());
+  Dataset target = Dataset::WithLabels({0}, TaskKind::kBinaryClassification);
+  ASSERT_TRUE(target.AddFeature("a", {std::nan("")}).ok());
+  ImputeNanInPlace(&target, ref);
+  EXPECT_DOUBLE_EQ(target.At(0, 0), 2.0);  // mean of non-NaN reference values
+  // Reference untouched; all-NaN reference imputes 0.
+  Dataset all_nan_ref = Dataset::WithLabels({0}, TaskKind::kBinaryClassification);
+  ASSERT_TRUE(all_nan_ref.AddFeature("a", {std::nan("")}).ok());
+  Dataset t2 = Dataset::WithLabels({0}, TaskKind::kBinaryClassification);
+  ASSERT_TRUE(t2.AddFeature("a", {std::nan("")}).ok());
+  ImputeNanInPlace(&t2, all_nan_ref);
+  EXPECT_DOUBLE_EQ(t2.At(0, 0), 0.0);
+}
+
+TEST(DatasetTest, StandardizerZeroMeanUnitVar) {
+  Dataset ds = Dataset::WithLabels({0, 0, 0, 0}, TaskKind::kBinaryClassification);
+  ASSERT_TRUE(ds.AddFeature("a", {1, 2, 3, 4}).ok());
+  ASSERT_TRUE(ds.AddFeature("const", {7, 7, 7, 7}).ok());
+  Standardizer std_;
+  std_.Fit(ds);
+  Dataset copy = ds;
+  std_.Apply(&copy);
+  double mean = 0;
+  double var = 0;
+  for (size_t r = 0; r < copy.n; ++r) mean += copy.At(r, 0);
+  mean /= 4.0;
+  for (size_t r = 0; r < copy.n; ++r) var += copy.At(r, 0) * copy.At(r, 0);
+  var /= 4.0;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+  // Constant columns are left centered but not blown up.
+  EXPECT_DOUBLE_EQ(copy.At(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace featlib

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/deepfm.h"
+#include "ml/metrics.h"
+
+namespace featlib {
+namespace {
+
+Dataset MakeInteractionData(size_t n, uint64_t seed) {
+  // Label depends on a multiplicative interaction — exactly what the FM
+  // component is built to capture.
+  Rng rng(seed);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kBinaryClassification);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<double> x3(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x1[i] = rng.Normal();
+    x2[i] = rng.Normal();
+    x3[i] = rng.Normal();
+    ds.y[i] = (x1[i] * x2[i] + 0.3 * x3[i] > 0) ? 1.0 : 0.0;
+  }
+  ds.n = n;
+  EXPECT_TRUE(ds.AddFeature("x1", x1).ok());
+  EXPECT_TRUE(ds.AddFeature("x2", x2).ok());
+  EXPECT_TRUE(ds.AddFeature("x3", x3).ok());
+  return ds;
+}
+
+TEST(DeepFmTest, LearnsFeatureInteraction) {
+  Dataset train = MakeInteractionData(800, 1);
+  Dataset test = MakeInteractionData(400, 2);
+  DeepFmOptions options;
+  options.epochs = 25;
+  DeepFmModel model(TaskKind::kBinaryClassification, options);
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_GT(Auc(test.y, model.PredictScore(test)), 0.8);
+}
+
+TEST(DeepFmTest, MulticlassRejected) {
+  DeepFmModel multi(TaskKind::kMultiClassification);
+  Dataset ds = Dataset::WithLabels({0, 1, 2}, TaskKind::kMultiClassification, 3);
+  ASSERT_TRUE(ds.AddFeature("x", {1, 2, 3}).ok());
+  EXPECT_FALSE(multi.Fit(ds).ok());
+}
+
+TEST(DeepFmTest, RegressionHeadLearnsLinearTarget) {
+  Rng rng(8);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kRegression);
+  const size_t n = 500;
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x1[i] = rng.Normal();
+    x2[i] = rng.Normal();
+    ds.y[i] = 2.0 * x1[i] - x2[i] + 0.5 * x1[i] * x2[i] + 0.05 * rng.Normal();
+  }
+  ds.n = n;
+  ASSERT_TRUE(ds.AddFeature("x1", x1).ok());
+  ASSERT_TRUE(ds.AddFeature("x2", x2).ok());
+  DeepFmOptions options;
+  options.epochs = 30;
+  DeepFmModel model(TaskKind::kRegression, options);
+  ASSERT_TRUE(model.Fit(ds).ok());
+  EXPECT_LT(Rmse(ds.y, model.PredictScore(ds)), 1.0);
+}
+
+TEST(DeepFmTest, EmptyDataRejected) {
+  DeepFmModel model(TaskKind::kBinaryClassification);
+  Dataset empty = Dataset::WithLabels({}, TaskKind::kBinaryClassification);
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+TEST(DeepFmTest, ScoresAreProbabilities) {
+  Dataset train = MakeInteractionData(300, 3);
+  DeepFmOptions options;
+  options.epochs = 5;
+  DeepFmModel model(TaskKind::kBinaryClassification, options);
+  ASSERT_TRUE(model.Fit(train).ok());
+  for (double p : model.PredictScore(train)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(DeepFmTest, PredictClassThresholds) {
+  Dataset train = MakeInteractionData(300, 4);
+  DeepFmOptions options;
+  options.epochs = 10;
+  DeepFmModel model(TaskKind::kBinaryClassification, options);
+  ASSERT_TRUE(model.Fit(train).ok());
+  const auto scores = model.PredictScore(train);
+  const auto classes = model.PredictClass(train);
+  for (size_t i = 0; i < train.n; ++i) {
+    EXPECT_EQ(classes[i], scores[i] >= 0.5 ? 1 : 0);
+  }
+}
+
+TEST(DeepFmTest, DeterministicBySeed) {
+  Dataset train = MakeInteractionData(200, 5);
+  DeepFmOptions options;
+  options.epochs = 3;
+  options.seed = 17;
+  DeepFmModel a(TaskKind::kBinaryClassification, options);
+  DeepFmModel b(TaskKind::kBinaryClassification, options);
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  EXPECT_EQ(a.PredictScore(train), b.PredictScore(train));
+}
+
+TEST(DeepFmTest, MoreEpochsImproveTrainingFit) {
+  Dataset train = MakeInteractionData(500, 6);
+  DeepFmOptions quick;
+  quick.epochs = 1;
+  DeepFmModel small(TaskKind::kBinaryClassification, quick);
+  ASSERT_TRUE(small.Fit(train).ok());
+  DeepFmOptions longer;
+  longer.epochs = 20;
+  DeepFmModel large(TaskKind::kBinaryClassification, longer);
+  ASSERT_TRUE(large.Fit(train).ok());
+  EXPECT_GT(Auc(train.y, large.PredictScore(train)),
+            Auc(train.y, small.PredictScore(train)));
+}
+
+}  // namespace
+}  // namespace featlib

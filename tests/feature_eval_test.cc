@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/feature_eval.h"
+#include "data/synthetic.h"
+
+namespace featlib {
+namespace {
+
+SyntheticOptions SmallOptions() {
+  SyntheticOptions options;
+  options.n_train = 300;
+  options.avg_logs_per_entity = 10;
+  options.seed = 7;
+  return options;
+}
+
+FeatureEvaluator MakeEvaluator(const DatasetBundle& bundle,
+                               ModelKind model = ModelKind::kLogisticRegression) {
+  EvaluatorOptions options;
+  options.model = model;
+  options.metric = bundle.task == TaskKind::kRegression ? MetricKind::kRmse
+                                                        : MetricKind::kAuc;
+  auto evaluator =
+      FeatureEvaluator::Create(bundle.training, bundle.label_col,
+                               bundle.base_features, bundle.relevant, bundle.task,
+                               options);
+  EXPECT_TRUE(evaluator.ok());
+  return std::move(evaluator).ValueOrDie();
+}
+
+TEST(FeatureEvalTest, FeatureMaterializationAndCaching) {
+  DatasetBundle bundle = MakeTmall(SmallOptions());
+  FeatureEvaluator evaluator = MakeEvaluator(bundle);
+  auto f1 = evaluator.Feature(bundle.golden_query);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(f1.value()->size(), bundle.training.num_rows());
+  EXPECT_EQ(evaluator.num_feature_materializations(), 1u);
+  // Same query again: cache hit, same pointer.
+  auto f2 = evaluator.Feature(bundle.golden_query);
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(f1.value(), f2.value());
+  EXPECT_EQ(evaluator.num_feature_materializations(), 1u);
+}
+
+TEST(FeatureEvalTest, ProxyRanksGoldenAboveNoise) {
+  DatasetBundle bundle = MakeTmall(SmallOptions());
+  FeatureEvaluator evaluator = MakeEvaluator(bundle);
+
+  AggQuery noise_query;
+  noise_query.agg = AggFunction::kAvg;
+  noise_query.agg_attr = "discount";  // uninformative by construction
+  noise_query.group_keys = {"user_id"};
+
+  for (ProxyKind proxy : {ProxyKind::kMutualInformation, ProxyKind::kSpearman}) {
+    auto golden = evaluator.ProxyScore(bundle.golden_query, proxy);
+    auto noise = evaluator.ProxyScore(noise_query, proxy);
+    ASSERT_TRUE(golden.ok());
+    ASSERT_TRUE(noise.ok());
+    EXPECT_GT(golden.value(), noise.value())
+        << ProxyKindToString(proxy);
+  }
+}
+
+TEST(FeatureEvalTest, LrProxyRuns) {
+  DatasetBundle bundle = MakeTmall(SmallOptions());
+  FeatureEvaluator evaluator = MakeEvaluator(bundle);
+  auto score =
+      evaluator.ProxyScore(bundle.golden_query, ProxyKind::kLogisticRegression);
+  ASSERT_TRUE(score.ok());
+  EXPECT_TRUE(std::isfinite(score.value()));
+}
+
+TEST(FeatureEvalTest, GoldenFeatureImprovesModelScore) {
+  DatasetBundle bundle = MakeTmall(SmallOptions());
+  FeatureEvaluator evaluator = MakeEvaluator(bundle);
+  auto baseline = evaluator.BaselineModelScore();
+  auto with_golden = evaluator.ModelScoreSingle(bundle.golden_query);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(with_golden.ok());
+  EXPECT_GT(with_golden.value(), baseline.value() + 0.03);
+}
+
+TEST(FeatureEvalTest, BaselineCached) {
+  DatasetBundle bundle = MakeTmall(SmallOptions());
+  FeatureEvaluator evaluator = MakeEvaluator(bundle);
+  ASSERT_TRUE(evaluator.BaselineModelScore().ok());
+  const size_t evals = evaluator.num_model_evals();
+  ASSERT_TRUE(evaluator.BaselineModelScore().ok());
+  EXPECT_EQ(evaluator.num_model_evals(), evals);
+}
+
+TEST(FeatureEvalTest, MultiQueryModelScore) {
+  DatasetBundle bundle = MakeTmall(SmallOptions());
+  FeatureEvaluator evaluator = MakeEvaluator(bundle);
+  AggQuery second;
+  second.agg = AggFunction::kCount;
+  second.agg_attr = "pprice";
+  second.group_keys = {"user_id"};
+  auto score = evaluator.ModelScore({bundle.golden_query, second});
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(score.value(), 0.5);
+}
+
+TEST(FeatureEvalTest, TestScoreUsesHeldOutSplit) {
+  DatasetBundle bundle = MakeTmall(SmallOptions());
+  FeatureEvaluator evaluator = MakeEvaluator(bundle);
+  auto test_score = evaluator.TestScore({bundle.golden_query});
+  ASSERT_TRUE(test_score.ok());
+  EXPECT_GT(test_score.value(), 0.5);  // golden feature generalizes
+}
+
+TEST(FeatureEvalTest, ScoreToLossOrientation) {
+  DatasetBundle classification = MakeTmall(SmallOptions());
+  FeatureEvaluator auc_eval = MakeEvaluator(classification);
+  EXPECT_DOUBLE_EQ(auc_eval.ScoreToLoss(0.8), -0.8);  // AUC negated
+
+  DatasetBundle regression = MakeMerchant(SmallOptions());
+  FeatureEvaluator rmse_eval = MakeEvaluator(regression);
+  EXPECT_DOUBLE_EQ(rmse_eval.ScoreToLoss(2.0), 2.0);  // RMSE already a loss
+}
+
+TEST(FeatureEvalTest, RegressionTaskEndToEnd) {
+  DatasetBundle bundle = MakeMerchant(SmallOptions());
+  FeatureEvaluator evaluator = MakeEvaluator(bundle);
+  auto baseline = evaluator.BaselineModelScore();
+  auto with_golden = evaluator.ModelScoreSingle(bundle.golden_query);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(with_golden.ok());
+  // RMSE is lower with the golden feature.
+  EXPECT_LT(with_golden.value(), baseline.value());
+}
+
+TEST(FeatureEvalTest, InvalidQueryPropagatesError) {
+  DatasetBundle bundle = MakeTmall(SmallOptions());
+  FeatureEvaluator evaluator = MakeEvaluator(bundle);
+  AggQuery bad;
+  bad.agg = AggFunction::kAvg;
+  bad.agg_attr = "no_such_column";
+  bad.group_keys = {"user_id"};
+  EXPECT_FALSE(evaluator.Feature(bad).ok());
+  EXPECT_FALSE(evaluator.ModelScoreSingle(bad).ok());
+}
+
+TEST(FeatureEvalTest, CreateRejectsBadInputs) {
+  DatasetBundle bundle = MakeTmall(SmallOptions());
+  EvaluatorOptions options;
+  EXPECT_FALSE(FeatureEvaluator::Create(bundle.training, "missing_label",
+                                        bundle.base_features, bundle.relevant,
+                                        bundle.task, options)
+                   .ok());
+  EXPECT_FALSE(FeatureEvaluator::Create(bundle.training, bundle.label_col,
+                                        {"missing_feature"}, bundle.relevant,
+                                        bundle.task, options)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace featlib

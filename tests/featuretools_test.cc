@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "baselines/featuretools.h"
+#include "data/synthetic.h"
+
+namespace featlib {
+namespace {
+
+Table MakeLogs() {
+  Table t;
+  EXPECT_TRUE(t.AddColumn("uid", Column::FromInts(DataType::kInt64, {1, 2})).ok());
+  EXPECT_TRUE(t.AddColumn("price", Column::FromDoubles({1.0, 2.0})).ok());
+  EXPECT_TRUE(t.AddColumn("qty", Column::FromInts(DataType::kInt64, {3, 4})).ok());
+  EXPECT_TRUE(t.AddColumn("dept", Column::FromStrings({"a", "b"})).ok());
+  return t;
+}
+
+TEST(FeaturetoolsTest, EnumeratesAggByAttrGrid) {
+  Table logs = MakeLogs();
+  const auto queries = GenerateFeaturetoolsQueries(
+      logs, {AggFunction::kSum, AggFunction::kAvg}, {"price", "qty"}, {"uid"});
+  // 2 functions x 2 attributes, no predicates anywhere.
+  EXPECT_EQ(queries.size(), 4u);
+  for (const auto& q : queries) {
+    EXPECT_TRUE(q.predicates.empty());
+    EXPECT_EQ(q.group_keys, (std::vector<std::string>{"uid"}));
+    EXPECT_TRUE(q.Validate(logs).ok());
+  }
+}
+
+TEST(FeaturetoolsTest, CountEmittedOnce) {
+  Table logs = MakeLogs();
+  const auto queries = GenerateFeaturetoolsQueries(
+      logs, {AggFunction::kCount, AggFunction::kSum}, {"price", "qty"}, {"uid"});
+  size_t count_queries = 0;
+  for (const auto& q : queries) {
+    if (q.agg == AggFunction::kCount) ++count_queries;
+  }
+  EXPECT_EQ(count_queries, 1u);
+  EXPECT_EQ(queries.size(), 3u);  // COUNT once + SUM x 2
+}
+
+TEST(FeaturetoolsTest, SkipsNumericOnlyFunctionsOnCategoricalAttrs) {
+  Table logs = MakeLogs();
+  const auto queries = GenerateFeaturetoolsQueries(
+      logs, {AggFunction::kSum, AggFunction::kMode}, {"dept"}, {"uid"});
+  ASSERT_EQ(queries.size(), 1u);  // SUM(dept) skipped, MODE(dept) kept
+  EXPECT_EQ(queries[0].agg, AggFunction::kMode);
+}
+
+TEST(FeaturetoolsTest, MaxFeaturesCap) {
+  Table logs = MakeLogs();
+  FeaturetoolsOptions options;
+  options.max_features = 3;
+  const auto queries = GenerateFeaturetoolsQueries(
+      logs, AllAggFunctions(), {"price", "qty"}, {"uid"}, options);
+  EXPECT_EQ(queries.size(), 3u);
+}
+
+TEST(FeaturetoolsTest, FullGridOnSyntheticDataset) {
+  SyntheticOptions options;
+  options.n_train = 100;
+  DatasetBundle bundle = MakeTmall(options);
+  const auto queries = GenerateFeaturetoolsQueries(
+      bundle.relevant, bundle.agg_functions, bundle.agg_attrs, bundle.fk_attrs);
+  // 15 functions x 6 numeric attrs, COUNT collapsed to one = 14*6 + 1.
+  EXPECT_EQ(queries.size(), 14u * 6u + 1u);
+  for (const auto& q : queries) {
+    EXPECT_TRUE(q.Validate(bundle.relevant).ok());
+  }
+}
+
+TEST(FeaturetoolsTest, UnknownAttrsSkippedSilently) {
+  Table logs = MakeLogs();
+  const auto queries = GenerateFeaturetoolsQueries(
+      logs, {AggFunction::kSum}, {"price", "does_not_exist"}, {"uid"});
+  EXPECT_EQ(queries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace featlib

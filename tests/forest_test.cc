@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/forest.h"
+#include "ml/metrics.h"
+
+namespace featlib {
+namespace {
+
+Dataset MakeNonlinearBinary(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kBinaryClassification);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x1[i] = rng.Normal();
+    x2[i] = rng.Normal();
+    // Ring pattern: positive inside the annulus.
+    const double r = x1[i] * x1[i] + x2[i] * x2[i];
+    ds.y[i] = (r > 0.5 && r < 2.5) ? 1.0 : 0.0;
+  }
+  ds.n = n;
+  EXPECT_TRUE(ds.AddFeature("x1", x1).ok());
+  EXPECT_TRUE(ds.AddFeature("x2", x2).ok());
+  return ds;
+}
+
+TEST(RandomForestTest, BeatsChanceOnNonlinearPattern) {
+  Dataset train = MakeNonlinearBinary(600, 1);
+  Dataset test = MakeNonlinearBinary(300, 2);
+  RandomForestOptions options;
+  options.n_trees = 30;
+  RandomForestModel model(TaskKind::kBinaryClassification, options);
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_GT(Auc(test.y, model.PredictScore(test)), 0.85);
+}
+
+TEST(RandomForestTest, RegressionPredictsMeans) {
+  Rng rng(3);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kRegression);
+  const size_t n = 400;
+  std::vector<double> x(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.UniformReal(-3, 3);
+    ds.y[i] = std::sin(x[i]) * 3.0 + 0.1 * rng.Normal();
+  }
+  ds.n = n;
+  ASSERT_TRUE(ds.AddFeature("x", x).ok());
+  RandomForestModel model(TaskKind::kRegression);
+  ASSERT_TRUE(model.Fit(ds).ok());
+  EXPECT_LT(Rmse(ds.y, model.PredictScore(ds)), 1.0);
+}
+
+TEST(RandomForestTest, MulticlassPredictsClasses) {
+  Rng rng(5);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kMultiClassification, 3);
+  const size_t n = 450;
+  std::vector<double> x(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.UniformInt(3));
+    x[i] = 4.0 * cls + rng.Normal();
+    ds.y[i] = cls;
+  }
+  ds.n = n;
+  ds.num_classes = 3;
+  ASSERT_TRUE(ds.AddFeature("x", x).ok());
+  RandomForestModel model(TaskKind::kMultiClassification);
+  ASSERT_TRUE(model.Fit(ds).ok());
+  const auto pred = model.PredictClass(ds);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(ds.y[i]);
+  EXPECT_GT(F1Macro(labels, pred, 3), 0.9);
+}
+
+TEST(RandomForestTest, DeterministicBySeed) {
+  Dataset train = MakeNonlinearBinary(200, 7);
+  RandomForestOptions options;
+  options.n_trees = 10;
+  options.seed = 99;
+  RandomForestModel a(TaskKind::kBinaryClassification, options);
+  RandomForestModel b(TaskKind::kBinaryClassification, options);
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  EXPECT_EQ(a.PredictScore(train), b.PredictScore(train));
+}
+
+TEST(RandomForestTest, ImportancesFavorSignal) {
+  Rng rng(9);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kBinaryClassification);
+  const size_t n = 400;
+  std::vector<double> signal(n);
+  std::vector<double> noise(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = rng.Normal();
+    noise[i] = rng.Normal();
+    ds.y[i] = signal[i] + 0.2 * rng.Normal() > 0 ? 1.0 : 0.0;
+  }
+  ds.n = n;
+  ASSERT_TRUE(ds.AddFeature("noise", noise).ok());
+  ASSERT_TRUE(ds.AddFeature("signal", signal).ok());
+  RandomForestModel model(TaskKind::kBinaryClassification);
+  ASSERT_TRUE(model.Fit(ds).ok());
+  const auto imp = model.FeatureImportances();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[1], 2.0 * imp[0]);
+}
+
+TEST(RandomForestTest, EmptyDataRejected) {
+  RandomForestModel model(TaskKind::kBinaryClassification);
+  Dataset empty = Dataset::WithLabels({}, TaskKind::kBinaryClassification);
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+}  // namespace
+}  // namespace featlib

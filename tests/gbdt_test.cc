@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/gbdt.h"
+#include "ml/metrics.h"
+
+namespace featlib {
+namespace {
+
+TEST(GbdtTest, BinaryClassificationOnInteraction) {
+  Rng rng(1);
+  Dataset train = Dataset::WithLabels({}, TaskKind::kBinaryClassification);
+  const size_t n = 600;
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  train.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x1[i] = rng.Normal();
+    x2[i] = rng.Normal();
+    train.y[i] = (x1[i] * x2[i] > 0) ? 1.0 : 0.0;  // XOR-like quadrant rule
+  }
+  train.n = n;
+  ASSERT_TRUE(train.AddFeature("x1", x1).ok());
+  ASSERT_TRUE(train.AddFeature("x2", x2).ok());
+  GbdtModel model(TaskKind::kBinaryClassification);
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_GT(Auc(train.y, model.PredictScore(train)), 0.95);
+}
+
+TEST(GbdtTest, RegressionFitsSmoothFunction) {
+  Rng rng(2);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kRegression);
+  const size_t n = 500;
+  std::vector<double> x(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.UniformReal(-3, 3);
+    ds.y[i] = x[i] * x[i] + 0.1 * rng.Normal();
+  }
+  ds.n = n;
+  ASSERT_TRUE(ds.AddFeature("x", x).ok());
+  GbdtModel model(TaskKind::kRegression);
+  ASSERT_TRUE(model.Fit(ds).ok());
+  EXPECT_LT(Rmse(ds.y, model.PredictScore(ds)), 0.6);
+}
+
+TEST(GbdtTest, RegressionBaseScoreIsMean) {
+  Dataset ds = Dataset::WithLabels({10, 10, 10, 10}, TaskKind::kRegression);
+  ASSERT_TRUE(ds.AddFeature("x", {1, 2, 3, 4}).ok());
+  GbdtOptions options;
+  options.n_rounds = 1;
+  GbdtModel model(TaskKind::kRegression, options);
+  ASSERT_TRUE(model.Fit(ds).ok());
+  EXPECT_NEAR(model.PredictScore(ds)[0], 10.0, 0.5);
+}
+
+TEST(GbdtTest, MulticlassOneVsRest) {
+  Rng rng(3);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kMultiClassification, 4);
+  const size_t n = 600;
+  std::vector<double> x(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.UniformInt(4));
+    x[i] = 3.0 * cls + rng.Normal() * 0.7;
+    ds.y[i] = cls;
+  }
+  ds.n = n;
+  ds.num_classes = 4;
+  ASSERT_TRUE(ds.AddFeature("x", x).ok());
+  GbdtOptions options;
+  options.n_rounds = 20;
+  GbdtModel model(TaskKind::kMultiClassification, options);
+  ASSERT_TRUE(model.Fit(ds).ok());
+  const auto pred = model.PredictClass(ds);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(ds.y[i]);
+  EXPECT_GT(F1Macro(labels, pred, 4), 0.85);
+}
+
+TEST(GbdtTest, ImportancesFavorSignal) {
+  Rng rng(4);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kBinaryClassification);
+  const size_t n = 400;
+  std::vector<double> signal(n);
+  std::vector<double> noise(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = rng.Normal();
+    noise[i] = rng.Normal();
+    ds.y[i] = signal[i] > 0 ? 1.0 : 0.0;
+  }
+  ds.n = n;
+  ASSERT_TRUE(ds.AddFeature("noise", noise).ok());
+  ASSERT_TRUE(ds.AddFeature("signal", signal).ok());
+  GbdtModel model(TaskKind::kBinaryClassification);
+  ASSERT_TRUE(model.Fit(ds).ok());
+  const auto imp = model.FeatureImportances();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[1], 5.0 * imp[0]);
+}
+
+TEST(GbdtTest, MoreRoundsReduceTrainingLoss) {
+  Rng rng(5);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kRegression);
+  const size_t n = 300;
+  std::vector<double> x(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    ds.y[i] = 2.0 * x[i] + rng.Normal() * 0.1;
+  }
+  ds.n = n;
+  ASSERT_TRUE(ds.AddFeature("x", x).ok());
+
+  GbdtOptions few;
+  few.n_rounds = 3;
+  GbdtModel small(TaskKind::kRegression, few);
+  ASSERT_TRUE(small.Fit(ds).ok());
+  GbdtOptions many;
+  many.n_rounds = 40;
+  GbdtModel large(TaskKind::kRegression, many);
+  ASSERT_TRUE(large.Fit(ds).ok());
+  EXPECT_LT(Rmse(ds.y, large.PredictScore(ds)), Rmse(ds.y, small.PredictScore(ds)));
+}
+
+TEST(GbdtTest, DeterministicBySeed) {
+  Rng rng(6);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kBinaryClassification);
+  const size_t n = 200;
+  std::vector<double> x(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    ds.y[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+  }
+  ds.n = n;
+  ASSERT_TRUE(ds.AddFeature("x", x).ok());
+  GbdtOptions options;
+  options.subsample = 0.7;  // exercises the stochastic path
+  GbdtModel a(TaskKind::kBinaryClassification, options);
+  GbdtModel b(TaskKind::kBinaryClassification, options);
+  ASSERT_TRUE(a.Fit(ds).ok());
+  ASSERT_TRUE(b.Fit(ds).ok());
+  EXPECT_EQ(a.PredictScore(ds), b.PredictScore(ds));
+}
+
+TEST(GbdtTest, EmptyDataRejected) {
+  GbdtModel model(TaskKind::kRegression);
+  Dataset empty = Dataset::WithLabels({}, TaskKind::kRegression);
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+}  // namespace
+}  // namespace featlib

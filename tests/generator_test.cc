@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/generator.h"
+#include "data/synthetic.h"
+
+namespace featlib {
+namespace {
+
+struct Fixture {
+  DatasetBundle bundle;
+  FeatureEvaluator evaluator;
+};
+
+Fixture MakeFixture(uint64_t seed = 7) {
+  SyntheticOptions data_options;
+  data_options.n_train = 300;
+  data_options.avg_logs_per_entity = 10;
+  data_options.seed = seed;
+  DatasetBundle bundle = MakeTmall(data_options);
+  EvaluatorOptions eval_options;
+  eval_options.model = ModelKind::kLogisticRegression;
+  eval_options.metric = MetricKind::kAuc;
+  auto evaluator = FeatureEvaluator::Create(bundle.training, bundle.label_col,
+                                            bundle.base_features, bundle.relevant,
+                                            bundle.task, eval_options);
+  EXPECT_TRUE(evaluator.ok());
+  return Fixture{std::move(bundle), std::move(evaluator).ValueOrDie()};
+}
+
+GeneratorOptions FastOptions() {
+  GeneratorOptions options;
+  options.warmup_iterations = 30;
+  options.warmup_top_k = 6;
+  options.generation_iterations = 10;
+  options.n_queries = 5;
+  options.seed = 11;
+  return options;
+}
+
+TEST(GeneratorTest, ProducesSortedDedupedQueries) {
+  Fixture fx = MakeFixture();
+  SqlQueryGenerator generator(&fx.evaluator, FastOptions());
+  auto result = generator.Run(fx.bundle.golden_template);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const GenerationResult& gen = result.value();
+  ASSERT_GT(gen.queries.size(), 0u);
+  ASSERT_LE(gen.queries.size(), 5u);
+  for (size_t i = 1; i < gen.queries.size(); ++i) {
+    EXPECT_LE(gen.queries[i - 1].loss, gen.queries[i].loss);
+  }
+  // Dedup by cache key.
+  for (size_t i = 0; i < gen.queries.size(); ++i) {
+    for (size_t j = i + 1; j < gen.queries.size(); ++j) {
+      EXPECT_NE(gen.queries[i].query.CacheKey(), gen.queries[j].query.CacheKey());
+    }
+  }
+}
+
+TEST(GeneratorTest, BestQueryBeatsBaseline) {
+  Fixture fx = MakeFixture();
+  SqlQueryGenerator generator(&fx.evaluator, FastOptions());
+  auto result = generator.Run(fx.bundle.golden_template);
+  ASSERT_TRUE(result.ok());
+  auto baseline = fx.evaluator.BaselineModelScore();
+  ASSERT_TRUE(baseline.ok());
+  // Searching the golden template's pool should find a feature that improves
+  // on the no-augmentation baseline.
+  EXPECT_GT(result.value().queries.front().model_metric, baseline.value());
+}
+
+TEST(GeneratorTest, WarmupSpendsProxyEvals) {
+  Fixture fx = MakeFixture();
+  GeneratorOptions options = FastOptions();
+  SqlQueryGenerator generator(&fx.evaluator, options);
+  auto result = generator.Run(fx.bundle.golden_template);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().proxy_evals,
+            static_cast<size_t>(options.warmup_iterations));
+  // Model evals <= top_k + generation iterations (dedup may reduce).
+  EXPECT_LE(result.value().model_evals,
+            static_cast<size_t>(options.warmup_top_k +
+                                options.generation_iterations));
+  EXPECT_GT(result.value().model_evals, 0u);
+}
+
+TEST(GeneratorTest, NoWarmupUsesFairBudget) {
+  Fixture fx = MakeFixture();
+  GeneratorOptions options = FastOptions();
+  options.enable_warmup = false;
+  SqlQueryGenerator generator(&fx.evaluator, options);
+  auto result = generator.Run(fx.bundle.golden_template);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().proxy_evals, 0u);
+  EXPECT_DOUBLE_EQ(result.value().warmup_seconds, 0.0);
+  EXPECT_LE(result.value().model_evals,
+            static_cast<size_t>(options.warmup_top_k +
+                                options.generation_iterations));
+}
+
+TEST(GeneratorTest, DeterministicBySeed) {
+  Fixture fx1 = MakeFixture();
+  Fixture fx2 = MakeFixture();
+  SqlQueryGenerator g1(&fx1.evaluator, FastOptions());
+  SqlQueryGenerator g2(&fx2.evaluator, FastOptions());
+  auto r1 = g1.Run(fx1.bundle.golden_template);
+  auto r2 = g2.Run(fx2.bundle.golden_template);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1.value().queries.size(), r2.value().queries.size());
+  for (size_t i = 0; i < r1.value().queries.size(); ++i) {
+    EXPECT_EQ(r1.value().queries[i].query.CacheKey(),
+              r2.value().queries[i].query.CacheKey());
+  }
+}
+
+TEST(GeneratorTest, SpearmanProxyAlsoWorks) {
+  Fixture fx = MakeFixture();
+  GeneratorOptions options = FastOptions();
+  options.proxy = ProxyKind::kSpearman;
+  SqlQueryGenerator generator(&fx.evaluator, options);
+  auto result = generator.Run(fx.bundle.golden_template);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().queries.size(), 0u);
+}
+
+TEST(GeneratorTest, EmptyWhereTemplateStillSearches) {
+  // A template with no WHERE attributes degenerates to Featuretools' space
+  // plus FK-subset choice; the generator must still work.
+  Fixture fx = MakeFixture();
+  QueryTemplate t = fx.bundle.golden_template;
+  t.where_attrs.clear();
+  SqlQueryGenerator generator(&fx.evaluator, FastOptions());
+  auto result = generator.Run(t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().queries.size(), 0u);
+  for (const auto& gq : result.value().queries) {
+    EXPECT_TRUE(gq.query.predicates.empty());
+  }
+}
+
+TEST(GeneratorTest, InvalidTemplateRejected) {
+  Fixture fx = MakeFixture();
+  QueryTemplate t = fx.bundle.golden_template;
+  t.agg_attrs = {"missing"};
+  SqlQueryGenerator generator(&fx.evaluator, FastOptions());
+  EXPECT_FALSE(generator.Run(t).ok());
+}
+
+}  // namespace
+}  // namespace featlib

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpo/random_search.h"
+#include "hpo/tpe.h"
+
+namespace featlib {
+namespace {
+
+TEST(SpaceTest, DomainConstruction) {
+  auto cat = ParamDomain::Categorical("c", 4);
+  EXPECT_EQ(cat.kind, ParamDomain::Kind::kCategorical);
+  EXPECT_EQ(cat.n_choices, 4);
+  auto num = ParamDomain::Numeric("n", -1.0, 1.0);
+  EXPECT_EQ(num.kind, ParamDomain::Kind::kNumeric);
+  auto opt = ParamDomain::OptionalNumeric("o", 0.0, 10.0, true);
+  EXPECT_EQ(opt.kind, ParamDomain::Kind::kOptionalNumeric);
+  EXPECT_TRUE(opt.integer);
+}
+
+TEST(SpaceTest, SampleRespectsDomains) {
+  SearchSpace space;
+  space.Add(ParamDomain::Categorical("c", 3));
+  space.Add(ParamDomain::Numeric("n", 5.0, 6.0));
+  space.Add(ParamDomain::OptionalNumeric("o", 0.0, 1.0));
+  Rng rng(1);
+  int none_seen = 0;
+  for (int i = 0; i < 200; ++i) {
+    const ParamVector v = space.Sample(&rng);
+    ASSERT_TRUE(space.Validate(v).ok());
+    EXPECT_GE(v[0], 0.0);
+    EXPECT_LE(v[0], 2.0);
+    EXPECT_GE(v[1], 5.0);
+    EXPECT_LE(v[1], 6.0);
+    if (IsNone(v[2])) ++none_seen;
+  }
+  // Optional dims take None roughly half the time.
+  EXPECT_GT(none_seen, 50);
+  EXPECT_LT(none_seen, 150);
+}
+
+TEST(SpaceTest, IntegerSnapping) {
+  SearchSpace space;
+  space.Add(ParamDomain::Numeric("i", 0.0, 10.0, true));
+  Rng rng(2);
+  for (int k = 0; k < 50; ++k) {
+    const ParamVector v = space.Sample(&rng);
+    EXPECT_DOUBLE_EQ(v[0], std::round(v[0]));
+  }
+}
+
+TEST(SpaceTest, ValidateRejectsBadVectors) {
+  SearchSpace space;
+  space.Add(ParamDomain::Categorical("c", 3));
+  space.Add(ParamDomain::Numeric("n", 0.0, 1.0));
+  EXPECT_FALSE(space.Validate({0.0}).ok());            // wrong arity
+  EXPECT_FALSE(space.Validate({5.0, 0.5}).ok());       // out-of-range category
+  EXPECT_FALSE(space.Validate({1.0, 2.0}).ok());       // numeric out of range
+  EXPECT_FALSE(space.Validate({NoneValue(), 0.5}).ok());  // None on required dim
+  EXPECT_TRUE(space.Validate({2.0, 1.0}).ok());
+}
+
+TEST(SpaceTest, ClipBehaviour) {
+  auto cat = ParamDomain::Categorical("c", 3);
+  EXPECT_DOUBLE_EQ(cat.Clip(7.0), 2.0);
+  EXPECT_DOUBLE_EQ(cat.Clip(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cat.Clip(NoneValue()), 0.0);
+  auto num = ParamDomain::Numeric("n", 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(num.Clip(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(num.Clip(NoneValue()), 0.5);
+  auto opt = ParamDomain::OptionalNumeric("o", 0.0, 1.0);
+  EXPECT_TRUE(IsNone(opt.Clip(NoneValue())));
+}
+
+double Quadratic(const ParamVector& v) {
+  // Minimum at (0.3, 0.7); categorical dim adds a penalty except choice 2.
+  const double a = v[1] - 0.3;
+  const double b = v[2] - 0.7;
+  const double cat_penalty = v[0] == 2.0 ? 0.0 : 0.5;
+  return a * a + b * b + cat_penalty;
+}
+
+SearchSpace QuadraticSpace() {
+  SearchSpace space;
+  space.Add(ParamDomain::Categorical("c", 4));
+  space.Add(ParamDomain::Numeric("x", 0.0, 1.0));
+  space.Add(ParamDomain::Numeric("y", 0.0, 1.0));
+  return space;
+}
+
+double RunOptimizer(Optimizer* optimizer, int iters) {
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    const ParamVector v = optimizer->Suggest();
+    const double loss = Quadratic(v);
+    optimizer->Observe(v, loss);
+    best = std::min(best, loss);
+  }
+  return best;
+}
+
+class TpeVsRandomTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(TpeVsRandomTest, TpeAtLeastMatchesRandomOnQuadratic) {
+  const uint64_t seed = GetParam();
+  TpeOptions tpe_options;
+  tpe_options.seed = seed;
+  Tpe tpe(QuadraticSpace(), tpe_options);
+  RandomSearch random(QuadraticSpace(), seed);
+  const double tpe_best = RunOptimizer(&tpe, 80);
+  const double random_best = RunOptimizer(&random, 80);
+  // TPE should essentially never lose badly to random on a smooth bowl.
+  EXPECT_LE(tpe_best, random_best + 0.05) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TpeVsRandomTest,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(TpeTest, ConvergesToGoodRegion) {
+  // Across several seeds, the average best loss should be small and the
+  // categorical penalty avoided most of the time.
+  double total = 0.0;
+  int good_cat = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    TpeOptions options;
+    options.seed = seed;
+    Tpe tpe(QuadraticSpace(), options);
+    total += RunOptimizer(&tpe, 100);
+    if (tpe.best()->params[0] == 2.0) ++good_cat;
+  }
+  EXPECT_LT(total / 5.0, 0.08);
+  EXPECT_GE(good_cat, 4);
+}
+
+TEST(TpeTest, HistoryAndBestTracked) {
+  TpeOptions options;
+  Tpe tpe(QuadraticSpace(), options);
+  EXPECT_EQ(tpe.best(), nullptr);
+  RunOptimizer(&tpe, 20);
+  EXPECT_EQ(tpe.history().size(), 20u);
+  const Trial* best = tpe.best();
+  ASSERT_NE(best, nullptr);
+  for (const Trial& t : tpe.history()) EXPECT_LE(best->loss, t.loss);
+}
+
+TEST(TpeTest, WarmStartSeedsSurrogate) {
+  // Give TPE oracle-quality warm trials; its first post-warm-up suggestions
+  // should concentrate near the optimum faster than cold TPE.
+  const int kBudget = 15;
+  TpeOptions options;
+  options.seed = 9;
+  options.n_startup = 5;
+
+  Tpe cold(QuadraticSpace(), options);
+  const double cold_best = RunOptimizer(&cold, kBudget);
+
+  Tpe warm(QuadraticSpace(), options);
+  std::vector<Trial> prior;
+  for (int i = 0; i < 30; ++i) {
+    const double x = 0.3 + 0.01 * i / 30.0;
+    prior.push_back(Trial{{2.0, x, 0.7}, Quadratic({2.0, x, 0.7})});
+    prior.push_back(Trial{{0.0, 0.9, 0.1}, Quadratic({0.0, 0.9, 0.1})});
+  }
+  warm.WarmStart(prior);
+  const double warm_best = RunOptimizer(&warm, kBudget);
+  EXPECT_LE(warm_best, cold_best + 1e-9);
+}
+
+TEST(TpeTest, OptionalDimsLearnNonePreference) {
+  // Loss is low only when the optional dim IS None: TPE should propose None
+  // increasingly often.
+  SearchSpace space;
+  space.Add(ParamDomain::OptionalNumeric("o", 0.0, 1.0));
+  TpeOptions options;
+  options.seed = 4;
+  options.n_startup = 8;
+  Tpe tpe(space, options);
+  for (int i = 0; i < 60; ++i) {
+    const ParamVector v = tpe.Suggest();
+    tpe.Observe(v, IsNone(v[0]) ? 0.0 : 1.0);
+  }
+  int none_late = 0;
+  const auto& history = tpe.history();
+  for (size_t i = history.size() - 20; i < history.size(); ++i) {
+    if (IsNone(history[i].params[0])) ++none_late;
+  }
+  EXPECT_GE(none_late, 12);
+}
+
+TEST(TpeTest, DeterministicBySeed) {
+  TpeOptions options;
+  options.seed = 11;
+  Tpe a(QuadraticSpace(), options);
+  Tpe b(QuadraticSpace(), options);
+  for (int i = 0; i < 30; ++i) {
+    const ParamVector va = a.Suggest();
+    const ParamVector vb = b.Suggest();
+    for (size_t d = 0; d < va.size(); ++d) {
+      if (IsNone(va[d])) {
+        EXPECT_TRUE(IsNone(vb[d]));
+      } else {
+        EXPECT_DOUBLE_EQ(va[d], vb[d]);
+      }
+    }
+    a.Observe(va, Quadratic(va));
+    b.Observe(vb, Quadratic(vb));
+  }
+}
+
+TEST(RandomSearchTest, RecordsHistory) {
+  RandomSearch rs(QuadraticSpace(), 3);
+  RunOptimizer(&rs, 10);
+  EXPECT_EQ(rs.history().size(), 10u);
+  EXPECT_NE(rs.best(), nullptr);
+}
+
+}  // namespace
+}  // namespace featlib

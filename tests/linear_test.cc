@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/linear.h"
+#include "ml/metrics.h"
+
+namespace featlib {
+namespace {
+
+Dataset MakeSeparable(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kBinaryClassification);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool pos = rng.Bernoulli(0.5);
+    x1[i] = rng.Normal() + (pos ? 2.0 : -2.0);
+    x2[i] = rng.Normal();
+    y[i] = pos ? 1.0 : 0.0;
+  }
+  ds.n = n;
+  ds.y = y;
+  EXPECT_TRUE(ds.AddFeature("x1", x1).ok());
+  EXPECT_TRUE(ds.AddFeature("x2", x2).ok());
+  return ds;
+}
+
+TEST(SolveRidgeTest, SolvesKnownSystem) {
+  // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11].
+  std::vector<double> a = {4, 1, 1, 3};
+  std::vector<double> b = {1, 2};
+  ASSERT_TRUE(SolveRidgeSystem(&a, &b, 2, 0.0).ok());
+  EXPECT_NEAR(b[0], 1.0 / 11.0, 1e-10);
+  EXPECT_NEAR(b[1], 7.0 / 11.0, 1e-10);
+}
+
+TEST(SolveRidgeTest, SingularMatrixRejectedWithoutRidge) {
+  std::vector<double> a = {1, 1, 1, 1};
+  std::vector<double> b = {1, 1};
+  EXPECT_FALSE(SolveRidgeSystem(&a, &b, 2, 0.0).ok());
+  // A ridge term fixes it.
+  std::vector<double> a2 = {1, 1, 1, 1};
+  std::vector<double> b2 = {1, 1};
+  EXPECT_TRUE(SolveRidgeSystem(&a2, &b2, 2, 0.1).ok());
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  Dataset train = MakeSeparable(400, 1);
+  Dataset test = MakeSeparable(200, 2);
+  LogisticRegressionModel model(TaskKind::kBinaryClassification);
+  ASSERT_TRUE(model.Fit(train).ok());
+  const auto scores = model.PredictScore(test);
+  EXPECT_GT(Auc(test.y, scores), 0.95);
+}
+
+TEST(LogisticRegressionTest, PredictClassThresholds) {
+  Dataset train = MakeSeparable(300, 3);
+  LogisticRegressionModel model(TaskKind::kBinaryClassification);
+  ASSERT_TRUE(model.Fit(train).ok());
+  const auto classes = model.PredictClass(train);
+  size_t correct = 0;
+  for (size_t i = 0; i < train.n; ++i) {
+    if (classes[i] == static_cast<int>(train.y[i])) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / train.n, 0.9);
+}
+
+TEST(LogisticRegressionTest, ImportancesFavorInformativeFeature) {
+  Dataset train = MakeSeparable(400, 4);
+  LogisticRegressionModel model(TaskKind::kBinaryClassification);
+  ASSERT_TRUE(model.Fit(train).ok());
+  const auto imp = model.FeatureImportances();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[0], 3.0 * imp[1]);
+}
+
+TEST(LogisticRegressionTest, MulticlassOneVsRest) {
+  Rng rng(5);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kMultiClassification, 3);
+  const size_t n = 600;
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.UniformInt(3));
+    const double angle = 2.0943951023931953 * cls;  // 120 degrees apart
+    x1[i] = 3.0 * std::cos(angle) + rng.Normal() * 0.6;
+    x2[i] = 3.0 * std::sin(angle) + rng.Normal() * 0.6;
+    y[i] = cls;
+  }
+  ds.n = n;
+  ds.y = y;
+  ds.num_classes = 3;
+  ASSERT_TRUE(ds.AddFeature("x1", x1).ok());
+  ASSERT_TRUE(ds.AddFeature("x2", x2).ok());
+  LogisticRegressionModel model(TaskKind::kMultiClassification);
+  ASSERT_TRUE(model.Fit(ds).ok());
+  const auto pred = model.PredictClass(ds);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(y[i]);
+  EXPECT_GT(Accuracy(labels, pred), 0.85);
+}
+
+TEST(LogisticRegressionTest, RejectsRegressionTask) {
+  LogisticRegressionModel model(TaskKind::kRegression);
+  Dataset ds = Dataset::WithLabels({1.0, 2.0}, TaskKind::kRegression);
+  ASSERT_TRUE(ds.AddFeature("x", {1, 2}).ok());
+  EXPECT_FALSE(model.Fit(ds).ok());
+}
+
+TEST(LinearRegressionTest, RecoversLinearFunction) {
+  Rng rng(6);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kRegression);
+  const size_t n = 300;
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x1[i] = rng.Normal();
+    x2[i] = rng.Normal();
+    y[i] = 3.0 * x1[i] - 2.0 * x2[i] + 5.0 + 0.01 * rng.Normal();
+  }
+  ds.n = n;
+  ds.y = y;
+  ASSERT_TRUE(ds.AddFeature("x1", x1).ok());
+  ASSERT_TRUE(ds.AddFeature("x2", x2).ok());
+  LinearRegressionModel model;
+  ASSERT_TRUE(model.Fit(ds).ok());
+  const auto pred = model.PredictScore(ds);
+  EXPECT_LT(Rmse(y, pred), 0.05);
+  const auto imp = model.FeatureImportances();
+  EXPECT_GT(imp[0], imp[1]);  // |3| vs |-2| on standardized scale
+}
+
+TEST(LinearRegressionTest, HandlesConstantFeature) {
+  Dataset ds = Dataset::WithLabels({1, 2, 3, 4}, TaskKind::kRegression);
+  ASSERT_TRUE(ds.AddFeature("x", {1, 2, 3, 4}).ok());
+  ASSERT_TRUE(ds.AddFeature("const", {5, 5, 5, 5}).ok());
+  LinearRegressionModel model;
+  ASSERT_TRUE(model.Fit(ds).ok());
+  EXPECT_LT(Rmse(ds.y, model.PredictScore(ds)), 0.1);
+}
+
+}  // namespace
+}  // namespace featlib

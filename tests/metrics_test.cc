@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.h"
+
+namespace featlib {
+namespace {
+
+TEST(MetricsTest, AucPerfectAndInverted) {
+  const std::vector<double> y = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Auc(y, {0.1, 0.2, 0.8, 0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(Auc(y, {0.9, 0.8, 0.2, 0.1}), 0.0);
+}
+
+TEST(MetricsTest, AucRandomScoresNearHalf) {
+  const std::vector<double> y = {0, 1, 0, 1, 0, 1, 0, 1};
+  const std::vector<double> s = {0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(Auc(y, s), 0.5);  // all ties
+}
+
+TEST(MetricsTest, AucSingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(Auc({1, 1, 1}, {0.1, 0.5, 0.9}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({0, 0}, {0.1, 0.9}), 0.5);
+}
+
+TEST(MetricsTest, AucKnownPartialValue) {
+  // One inversion among 2x2 pairs -> AUC = 3/4.
+  EXPECT_DOUBLE_EQ(Auc({0, 1, 0, 1}, {0.1, 0.4, 0.5, 0.9}), 0.75);
+}
+
+TEST(MetricsTest, F1BinaryKnown) {
+  // tp=2, fp=1, fn=1 -> F1 = 2*2/(4+1+1) = 2/3.
+  const std::vector<int> y = {1, 1, 1, 0, 0};
+  const std::vector<int> p = {1, 1, 0, 1, 0};
+  EXPECT_NEAR(F1Binary(y, p), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, F1BinaryDegenerate) {
+  EXPECT_DOUBLE_EQ(F1Binary({0, 0}, {0, 0}), 0.0);
+}
+
+TEST(MetricsTest, F1MacroPerfect) {
+  const std::vector<int> y = {0, 1, 2, 0, 1, 2};
+  EXPECT_DOUBLE_EQ(F1Macro(y, y, 3), 1.0);
+}
+
+TEST(MetricsTest, F1MacroAveragesPresentClasses) {
+  // Class 2 absent from labels: excluded from the average.
+  const std::vector<int> y = {0, 0, 1, 1};
+  const std::vector<int> p = {0, 0, 1, 0};
+  // class0: tp=2, fp=1, fn=0 -> 4/5; class1: tp=1, fp=0, fn=1 -> 2/3.
+  EXPECT_NEAR(F1Macro(y, p, 3), 0.5 * (0.8 + 2.0 / 3.0), 1e-12);
+}
+
+TEST(MetricsTest, Accuracy) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(MetricsTest, Rmse) {
+  EXPECT_DOUBLE_EQ(Rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(Rmse({0, 0}, {3, 4}), std::sqrt(12.5));
+}
+
+TEST(MetricsTest, LogLossClipsProbabilities) {
+  const double loss = LogLoss({1, 0}, {1.0, 0.0});
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_LT(loss, 1e-9);
+  EXPECT_GT(LogLoss({1}, {0.1}), LogLoss({1}, {0.9}));
+}
+
+TEST(MetricsTest, OrientationFlags) {
+  EXPECT_TRUE(MetricHigherIsBetter(MetricKind::kAuc));
+  EXPECT_TRUE(MetricHigherIsBetter(MetricKind::kF1Macro));
+  EXPECT_TRUE(MetricHigherIsBetter(MetricKind::kAccuracy));
+  EXPECT_FALSE(MetricHigherIsBetter(MetricKind::kRmse));
+  EXPECT_FALSE(MetricHigherIsBetter(MetricKind::kLogLoss));
+}
+
+TEST(MetricsTest, Names) {
+  EXPECT_STREQ(MetricKindToString(MetricKind::kAuc), "AUC");
+  EXPECT_STREQ(MetricKindToString(MetricKind::kRmse), "RMSE");
+  EXPECT_STREQ(MetricKindToString(MetricKind::kF1Macro), "F1");
+}
+
+}  // namespace
+}  // namespace featlib

@@ -1,0 +1,127 @@
+#include "core/plan_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <gtest/gtest.h>
+
+namespace featlib {
+namespace {
+
+Table MakeLogs() {
+  Table t;
+  EXPECT_TRUE(t.AddColumn("cname", Column::FromStrings({"u1", "u2"})).ok());
+  EXPECT_TRUE(t.AddColumn("pprice", Column::FromDoubles({10, 20})).ok());
+  EXPECT_TRUE(
+      t.AddColumn("department", Column::FromStrings({"Electronics", "Toys"})).ok());
+  EXPECT_TRUE(
+      t.AddColumn("ts", Column::FromInts(DataType::kDatetime, {100, 200})).ok());
+  return t;
+}
+
+AugmentationPlan MakePlan() {
+  AugmentationPlan plan;
+  AggQuery q1;
+  q1.agg = AggFunction::kAvg;
+  q1.agg_attr = "pprice";
+  q1.group_keys = {"cname"};
+  q1.predicates = {Predicate::Equals("department", Value::Str("Electronics")),
+                   Predicate::Range("ts", 150.0, std::nullopt)};
+  AggQuery q2;
+  q2.agg = AggFunction::kCountDistinct;
+  q2.agg_attr = "pprice";
+  q2.group_keys = {"cname"};
+  plan.queries = {q1, q2};
+  plan.feature_names = {"avg_electronics_recent", "n_distinct_prices"};
+  plan.valid_metrics = {0.7421, 0.6513};
+  return plan;
+}
+
+TEST(PlanIoTest, RoundTripPreservesQueriesNamesAndMetrics) {
+  Table logs = MakeLogs();
+  AugmentationPlan plan = MakePlan();
+  const std::string text = SerializeAugmentationPlan(plan, "logs", logs);
+  auto loaded = ParseAugmentationPlan(text, logs);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString() << "\n" << text;
+  ASSERT_EQ(loaded.value().queries.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(loaded.value().queries[i].CacheKey(), plan.queries[i].CacheKey());
+    EXPECT_EQ(loaded.value().feature_names[i], plan.feature_names[i]);
+    EXPECT_NEAR(loaded.value().valid_metrics[i], plan.valid_metrics[i], 1e-6);
+  }
+}
+
+TEST(PlanIoTest, SerializedFormHasHeaderAndComments) {
+  const std::string text =
+      SerializeAugmentationPlan(MakePlan(), "logs", MakeLogs());
+  EXPECT_NE(text.find("-- feataug plan v1"), std::string::npos);
+  EXPECT_NE(text.find("-- queries: 2"), std::string::npos);
+  EXPECT_NE(text.find("-- feature: avg_electronics_recent"), std::string::npos);
+  EXPECT_NE(text.find("-- valid_metric: 0.742100"), std::string::npos);
+}
+
+TEST(PlanIoTest, HandEditedPlanWithoutMetadataLoads) {
+  // A reviewer deleted the comments and one query, and edited a predicate.
+  const std::string text =
+      "SELECT cname, AVG(pprice) AS recent_avg FROM logs\n"
+      "WHERE department = 'Toys' AND ts >= 120\n"
+      "GROUP BY cname;\n";
+  auto loaded = ParseAugmentationPlan(text, MakeLogs());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().queries.size(), 1u);
+  // Name falls back to the SQL alias; metric is NaN (unknown).
+  EXPECT_EQ(loaded.value().feature_names[0], "recent_avg");
+  EXPECT_TRUE(std::isnan(loaded.value().valid_metrics[0]));
+}
+
+TEST(PlanIoTest, AliaslessStatementsGetGeneratedNames) {
+  const std::string text =
+      "SELECT cname, SUM(pprice) FROM logs GROUP BY cname;\n"
+      "SELECT cname, MAX(pprice) FROM logs GROUP BY cname;\n";
+  auto loaded = ParseAugmentationPlan(text);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().feature_names[0], "feature_0");
+  EXPECT_EQ(loaded.value().feature_names[1], "feature_1");
+}
+
+TEST(PlanIoTest, MalformedSqlFails) {
+  EXPECT_FALSE(ParseAugmentationPlan("-- feataug plan v1\nSELECT oops;").ok());
+}
+
+TEST(PlanIoTest, SchemaValidationCatchesEditsAgainstWrongColumns) {
+  const std::string text =
+      "SELECT cname, AVG(pprice) FROM logs WHERE nope >= 1 GROUP BY cname;";
+  EXPECT_TRUE(ParseAugmentationPlan(text).ok());  // grammar-valid
+  EXPECT_FALSE(ParseAugmentationPlan(text, MakeLogs()).ok());  // schema-invalid
+}
+
+TEST(PlanIoTest, FileRoundTrip) {
+  Table logs = MakeLogs();
+  AugmentationPlan plan = MakePlan();
+  const std::string path = ::testing::TempDir() + "/plan_io_test.sql";
+  ASSERT_TRUE(WriteAugmentationPlan(plan, "logs", logs, path).ok());
+  auto loaded = ReadAugmentationPlan(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().queries.size(), 2u);
+  EXPECT_EQ(loaded.value().queries[0].CacheKey(), plan.queries[0].CacheKey());
+  std::remove(path.c_str());
+}
+
+TEST(PlanIoTest, MissingFileIsNotFound) {
+  auto loaded = ReadAugmentationPlan("/nonexistent/plan.sql");
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(PlanIoTest, CommentsInsideScriptsAreIgnoredByTheParser) {
+  const std::string text =
+      "-- a stray remark\n"
+      "SELECT cname, AVG(pprice) -- trailing comment\n"
+      "FROM logs\n"
+      "-- mid-query comment\n"
+      "GROUP BY cname;\n";
+  auto loaded = ParseAugmentationPlan(text, MakeLogs());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().queries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace featlib

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "query/predicate.h"
+
+namespace featlib {
+namespace {
+
+Table MakeLogs() {
+  Table t;
+  EXPECT_TRUE(t.AddColumn("price", Column::FromDoubles({10, 20, 30, 40})).ok());
+  EXPECT_TRUE(
+      t.AddColumn("dept", Column::FromStrings({"a", "b", "a", "c"})).ok());
+  EXPECT_TRUE(
+      t.AddColumn("ts", Column::FromInts(DataType::kDatetime, {100, 200, 300, 400}))
+          .ok());
+  return t;
+}
+
+TEST(PredicateTest, EqualsOnString) {
+  Table t = MakeLogs();
+  auto filter = CompiledFilter::Compile(
+      {Predicate::Equals("dept", Value::Str("a"))}, t);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(filter.value().Apply(), (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(PredicateTest, EqualsOnMissingDictionaryValueMatchesNothing) {
+  Table t = MakeLogs();
+  auto filter = CompiledFilter::Compile(
+      {Predicate::Equals("dept", Value::Str("zzz"))}, t);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_TRUE(filter.value().Apply().empty());
+}
+
+TEST(PredicateTest, TwoSidedRange) {
+  Table t = MakeLogs();
+  auto filter =
+      CompiledFilter::Compile({Predicate::Range("price", 15.0, 35.0)}, t);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(filter.value().Apply(), (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(PredicateTest, OneSidedRanges) {
+  Table t = MakeLogs();
+  auto ge = CompiledFilter::Compile(
+      {Predicate::Range("ts", 300.0, std::nullopt)}, t);
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ(ge.value().Apply(), (std::vector<uint32_t>{2, 3}));
+  auto le = CompiledFilter::Compile(
+      {Predicate::Range("ts", std::nullopt, 200.0)}, t);
+  ASSERT_TRUE(le.ok());
+  EXPECT_EQ(le.value().Apply(), (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(PredicateTest, ConjunctionIntersects) {
+  Table t = MakeLogs();
+  auto filter = CompiledFilter::Compile(
+      {Predicate::Equals("dept", Value::Str("a")),
+       Predicate::Range("price", 15.0, std::nullopt)},
+      t);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(filter.value().Apply(), (std::vector<uint32_t>{2}));
+}
+
+TEST(PredicateTest, TrivialPredicateSkipped) {
+  Table t = MakeLogs();
+  Predicate trivial = Predicate::Range("price", std::nullopt, std::nullopt);
+  EXPECT_TRUE(trivial.IsTrivial());
+  auto filter = CompiledFilter::Compile({trivial}, t);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(filter.value().Apply().size(), 4u);
+}
+
+TEST(PredicateTest, NullNeverMatches) {
+  Table t;
+  Column price(DataType::kDouble);
+  price.AppendDouble(5.0);
+  price.AppendNull();
+  ASSERT_TRUE(t.AddColumn("price", std::move(price)).ok());
+  auto filter = CompiledFilter::Compile(
+      {Predicate::Range("price", 0.0, std::nullopt)}, t);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(filter.value().Apply(), (std::vector<uint32_t>{0}));
+}
+
+TEST(PredicateTest, CompileErrors) {
+  Table t = MakeLogs();
+  // Unknown attribute.
+  EXPECT_FALSE(CompiledFilter::Compile(
+                   {Predicate::Equals("nope", Value::Int(1))}, t)
+                   .ok());
+  // Range on string column.
+  EXPECT_FALSE(
+      CompiledFilter::Compile({Predicate::Range("dept", 0.0, 1.0)}, t).ok());
+  // String operand against numeric column.
+  EXPECT_FALSE(CompiledFilter::Compile(
+                   {Predicate::Equals("price", Value::Str("x"))}, t)
+                   .ok());
+  // Non-string operand against string column.
+  EXPECT_FALSE(CompiledFilter::Compile(
+                   {Predicate::Equals("dept", Value::Int(1))}, t)
+                   .ok());
+  // Inverted bounds.
+  EXPECT_FALSE(
+      CompiledFilter::Compile({Predicate::Range("price", 10.0, 5.0)}, t).ok());
+}
+
+TEST(PredicateTest, NumericEquality) {
+  Table t = MakeLogs();
+  auto filter = CompiledFilter::Compile(
+      {Predicate::Equals("ts", Value::Int(200))}, t);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(filter.value().Apply(), (std::vector<uint32_t>{1}));
+}
+
+TEST(PredicateTest, SqlRendering) {
+  EXPECT_EQ(Predicate::Equals("dept", Value::Str("a")).ToSql(DataType::kString),
+            "dept = 'a'");
+  EXPECT_EQ(Predicate::Range("ts", 100.0, std::nullopt).ToSql(DataType::kDatetime),
+            "ts >= 100");
+  EXPECT_EQ(Predicate::Range("p", std::nullopt, 2.5).ToSql(DataType::kDouble),
+            "p <= 2.5");
+  EXPECT_EQ(Predicate::Range("p", 1.0, 2.0).ToSql(DataType::kDouble),
+            "p BETWEEN 1 AND 2");
+  EXPECT_EQ(Predicate::Range("p", std::nullopt, std::nullopt).ToSql(DataType::kDouble),
+            "TRUE");
+}
+
+}  // namespace
+}  // namespace featlib

@@ -1,0 +1,219 @@
+#include "query/relation_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace featlib {
+namespace {
+
+/// fact(user_id, product_id, price) -> products(product_id, department_id)
+/// -> departments(department_id, dname); base(user_id, label).
+struct GraphFixture {
+  RelationGraph graph;
+
+  GraphFixture() {
+    Table base;
+    EXPECT_TRUE(base.AddColumn("user_id", Column::FromInts(DataType::kInt64,
+                                                           {0, 1, 2}))
+                    .ok());
+    EXPECT_TRUE(
+        base.AddColumn("label", Column::FromInts(DataType::kInt64, {0, 1, 0})).ok());
+
+    Table fact;
+    EXPECT_TRUE(fact.AddColumn("user_id", Column::FromInts(DataType::kInt64,
+                                                           {0, 0, 1, 2, 2}))
+                    .ok());
+    EXPECT_TRUE(fact.AddColumn("product_id", Column::FromInts(DataType::kInt64,
+                                                              {10, 11, 10, 12, 99}))
+                    .ok());
+    EXPECT_TRUE(
+        fact.AddColumn("price", Column::FromDoubles({1.5, 2.0, 3.0, 4.0, 5.0})).ok());
+
+    Table products;
+    EXPECT_TRUE(products.AddColumn("product_id", Column::FromInts(DataType::kInt64,
+                                                                  {10, 11, 12}))
+                    .ok());
+    EXPECT_TRUE(products.AddColumn("department_id",
+                                   Column::FromInts(DataType::kInt64, {100, 100, 200}))
+                    .ok());
+    // Column name colliding with the fact table.
+    EXPECT_TRUE(products.AddColumn("price", Column::FromDoubles({9.0, 8.0, 7.0})).ok());
+
+    Table departments;
+    EXPECT_TRUE(departments.AddColumn("department_id",
+                                      Column::FromInts(DataType::kInt64, {100, 200}))
+                    .ok());
+    EXPECT_TRUE(
+        departments.AddColumn("dname", Column::FromStrings({"dairy", "toys"})).ok());
+
+    EXPECT_TRUE(graph.AddTable("base", std::move(base)).ok());
+    EXPECT_TRUE(graph.AddTable("fact", std::move(fact)).ok());
+    EXPECT_TRUE(graph.AddTable("products", std::move(products)).ok());
+    EXPECT_TRUE(graph.AddTable("departments", std::move(departments)).ok());
+    EXPECT_TRUE(graph.AddFact("base", "fact", {"user_id"}).ok());
+    EXPECT_TRUE(graph.AddLookup("fact", "products", {"product_id"}).ok());
+    EXPECT_TRUE(graph.AddLookup("products", "departments", {"department_id"}).ok());
+  }
+};
+
+TEST(RelationGraphTest, FlattenJoinsTheTwoHopChain) {
+  GraphFixture fx;
+  auto flat = fx.graph.FlattenRelevant("fact");
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  const Table& t = flat.value();
+  // Row count preserved (left joins never drop fact rows).
+  EXPECT_EQ(t.num_rows(), 5u);
+  // Fact columns survive, dimension attributes are folded in, the colliding
+  // `price` from products is prefixed, the second-hop name column arrives.
+  ASSERT_TRUE(t.HasColumn("price"));
+  ASSERT_TRUE(t.HasColumn("products_price"));
+  ASSERT_TRUE(t.HasColumn("department_id"));
+  ASSERT_TRUE(t.HasColumn("dname"));
+
+  auto dname = t.GetColumn("dname");
+  ASSERT_TRUE(dname.ok());
+  // Row 0: product 10 -> dept 100 -> dairy. Row 3: product 12 -> toys.
+  EXPECT_EQ(dname.value()->StringAt(0), "dairy");
+  EXPECT_EQ(dname.value()->StringAt(3), "toys");
+  // Row 4: product 99 unmatched -> NULL chain.
+  EXPECT_TRUE(dname.value()->IsNull(4));
+  auto pprice = t.GetColumn("products_price");
+  ASSERT_TRUE(pprice.ok());
+  EXPECT_DOUBLE_EQ(pprice.value()->DoubleAt(0), 9.0);
+  EXPECT_TRUE(pprice.value()->IsNull(4));
+}
+
+TEST(RelationGraphTest, BuildScenariosReturnsFactsInDeclarationOrder) {
+  GraphFixture fx;
+  // Add a second fact table.
+  Table clicks;
+  ASSERT_TRUE(clicks
+                  .AddColumn("user_id", Column::FromInts(DataType::kInt64, {0, 1}))
+                  .ok());
+  ASSERT_TRUE(clicks.AddColumn("n", Column::FromInts(DataType::kInt64, {7, 8})).ok());
+  ASSERT_TRUE(fx.graph.AddTable("clicks", std::move(clicks)).ok());
+  ASSERT_TRUE(fx.graph.AddFact("base", "clicks", {"user_id"}).ok());
+
+  auto scenarios = fx.graph.BuildScenarios("base");
+  ASSERT_TRUE(scenarios.ok()) << scenarios.status().ToString();
+  ASSERT_EQ(scenarios.value().size(), 2u);
+  EXPECT_EQ(scenarios.value()[0].name, "fact");
+  EXPECT_EQ(scenarios.value()[1].name, "clicks");
+  EXPECT_EQ(scenarios.value()[0].fk_attrs, (std::vector<std::string>{"user_id"}));
+  EXPECT_EQ(scenarios.value()[0].relevant.num_rows(), 5u);
+  EXPECT_EQ(scenarios.value()[1].relevant.num_rows(), 2u);
+}
+
+TEST(RelationGraphTest, NoFactsForBaseIsNotFound) {
+  GraphFixture fx;
+  auto scenarios = fx.graph.BuildScenarios("products");
+  ASSERT_FALSE(scenarios.ok());
+}
+
+TEST(RelationGraphTest, DiamondJoinsDimensionOnce) {
+  // fact -> a -> shared and fact -> b -> shared: `shared` must fold in once.
+  RelationGraph graph;
+  Table fact, a, b, shared;
+  ASSERT_TRUE(fact.AddColumn("ka", Column::FromInts(DataType::kInt64, {1})).ok());
+  ASSERT_TRUE(fact.AddColumn("kb", Column::FromInts(DataType::kInt64, {2})).ok());
+  ASSERT_TRUE(a.AddColumn("ka", Column::FromInts(DataType::kInt64, {1})).ok());
+  ASSERT_TRUE(a.AddColumn("ks", Column::FromInts(DataType::kInt64, {5})).ok());
+  ASSERT_TRUE(b.AddColumn("kb", Column::FromInts(DataType::kInt64, {2})).ok());
+  ASSERT_TRUE(b.AddColumn("ks", Column::FromInts(DataType::kInt64, {5})).ok());
+  ASSERT_TRUE(b.AddColumn("kb_payload", Column::FromDoubles({0.5})).ok());
+  ASSERT_TRUE(shared.AddColumn("ks", Column::FromInts(DataType::kInt64, {5})).ok());
+  ASSERT_TRUE(shared.AddColumn("payload", Column::FromDoubles({42.0})).ok());
+  ASSERT_TRUE(graph.AddTable("fact", std::move(fact)).ok());
+  ASSERT_TRUE(graph.AddTable("a", std::move(a)).ok());
+  ASSERT_TRUE(graph.AddTable("b", std::move(b)).ok());
+  ASSERT_TRUE(graph.AddTable("shared", std::move(shared)).ok());
+  ASSERT_TRUE(graph.AddLookup("fact", "a", {"ka"}).ok());
+  ASSERT_TRUE(graph.AddLookup("fact", "b", {"kb"}).ok());
+  ASSERT_TRUE(graph.AddLookup("a", "shared", {"ks"}).ok());
+  ASSERT_TRUE(graph.AddLookup("b", "shared", {"ks"}).ok());
+
+  auto flat = graph.FlattenRelevant("fact");
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  size_t payload_columns = 0;
+  for (size_t c = 0; c < flat.value().num_columns(); ++c) {
+    if (flat.value().NameAt(c).find("payload") != std::string::npos) {
+      ++payload_columns;
+    }
+  }
+  // One from `b` (kb_payload) and exactly one from `shared`.
+  EXPECT_EQ(payload_columns, 2u);
+}
+
+TEST(RelationGraphTest, CycleBackToFactIsAnError) {
+  RelationGraph graph;
+  Table fact, dim;
+  ASSERT_TRUE(fact.AddColumn("k", Column::FromInts(DataType::kInt64, {1})).ok());
+  ASSERT_TRUE(fact.AddColumn("j", Column::FromInts(DataType::kInt64, {9})).ok());
+  ASSERT_TRUE(dim.AddColumn("k", Column::FromInts(DataType::kInt64, {1})).ok());
+  ASSERT_TRUE(dim.AddColumn("j", Column::FromInts(DataType::kInt64, {9})).ok());
+  ASSERT_TRUE(graph.AddTable("fact", std::move(fact)).ok());
+  ASSERT_TRUE(graph.AddTable("dim", std::move(dim)).ok());
+  ASSERT_TRUE(graph.AddLookup("fact", "dim", {"k"}).ok());
+  ASSERT_TRUE(graph.AddLookup("dim", "fact", {"j"}).ok());
+  auto flat = graph.FlattenRelevant("fact");
+  ASSERT_FALSE(flat.ok());
+  EXPECT_NE(flat.status().ToString().find("cycle"), std::string::npos);
+}
+
+TEST(RelationGraphTest, RegistrationErrors) {
+  RelationGraph graph;
+  Table t;
+  ASSERT_TRUE(t.AddColumn("k", Column::FromInts(DataType::kInt64, {1})).ok());
+  EXPECT_FALSE(graph.AddTable("", t).ok());
+  ASSERT_TRUE(graph.AddTable("t", t).ok());
+  EXPECT_FALSE(graph.AddTable("t", t).ok());  // duplicate
+  EXPECT_FALSE(graph.AddLookup("t", "missing", {"k"}).ok());
+  EXPECT_FALSE(graph.AddLookup("t", "t", {"k"}).ok());  // self-loop
+  Table other;
+  ASSERT_TRUE(other.AddColumn("x", Column::FromInts(DataType::kInt64, {1})).ok());
+  ASSERT_TRUE(graph.AddTable("other", std::move(other)).ok());
+  EXPECT_FALSE(graph.AddLookup("t", "other", {"k"}).ok());   // key missing on `to`
+  EXPECT_FALSE(graph.AddLookup("t", "other", {}).ok());      // empty keys
+  EXPECT_FALSE(graph.AddFact("t", "other", {"k"}).ok());     // FK missing on fact
+  EXPECT_FALSE(graph.AddFact("missing", "t", {"k"}).ok());   // unknown base
+}
+
+TEST(RelationGraphTest, DuplicateEdgesRejected) {
+  GraphFixture fx;
+  EXPECT_FALSE(fx.graph.AddLookup("fact", "products", {"product_id"}).ok());
+  EXPECT_FALSE(fx.graph.AddFact("base", "fact", {"user_id"}).ok());
+}
+
+TEST(RelationGraphTest, ManyToManyDecomposesThroughBridge) {
+  // base 1-* bridge *-1 far: declaring the bridge as fact and far as lookup
+  // implements the paper's many-to-many future-work reduction.
+  RelationGraph graph;
+  Table base, bridge, far;
+  ASSERT_TRUE(base.AddColumn("uid", Column::FromInts(DataType::kInt64, {0, 1})).ok());
+  ASSERT_TRUE(base.AddColumn("label", Column::FromInts(DataType::kInt64, {0, 1})).ok());
+  ASSERT_TRUE(
+      bridge.AddColumn("uid", Column::FromInts(DataType::kInt64, {0, 0, 1})).ok());
+  ASSERT_TRUE(
+      bridge.AddColumn("gid", Column::FromInts(DataType::kInt64, {7, 8, 7})).ok());
+  ASSERT_TRUE(far.AddColumn("gid", Column::FromInts(DataType::kInt64, {7, 8})).ok());
+  ASSERT_TRUE(far.AddColumn("size", Column::FromDoubles({10.0, 20.0})).ok());
+  ASSERT_TRUE(graph.AddTable("base", std::move(base)).ok());
+  ASSERT_TRUE(graph.AddTable("bridge", std::move(bridge)).ok());
+  ASSERT_TRUE(graph.AddTable("far", std::move(far)).ok());
+  ASSERT_TRUE(graph.AddFact("base", "bridge", {"uid"}).ok());
+  ASSERT_TRUE(graph.AddLookup("bridge", "far", {"gid"}).ok());
+
+  auto scenarios = graph.BuildScenarios("base");
+  ASSERT_TRUE(scenarios.ok());
+  ASSERT_EQ(scenarios.value().size(), 1u);
+  const Table& rel = scenarios.value()[0].relevant;
+  EXPECT_EQ(rel.num_rows(), 3u);
+  ASSERT_TRUE(rel.HasColumn("size"));
+  auto size = rel.GetColumn("size");
+  ASSERT_TRUE(size.ok());
+  EXPECT_DOUBLE_EQ(size.value()->DoubleAt(0), 10.0);
+  EXPECT_DOUBLE_EQ(size.value()->DoubleAt(1), 20.0);
+  EXPECT_DOUBLE_EQ(size.value()->DoubleAt(2), 10.0);
+}
+
+}  // namespace
+}  // namespace featlib

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/featuretools.h"
+#include "baselines/selectors.h"
+#include "data/synthetic.h"
+
+namespace featlib {
+namespace {
+
+struct Fixture {
+  DatasetBundle bundle;
+  FeatureEvaluator evaluator;
+  std::vector<AggQuery> candidates;
+};
+
+Fixture MakeFixture(ModelKind model = ModelKind::kLogisticRegression) {
+  SyntheticOptions data_options;
+  data_options.n_train = 250;
+  data_options.avg_logs_per_entity = 10;
+  data_options.seed = 33;
+  DatasetBundle bundle = MakeTmall(data_options);
+  EvaluatorOptions eval_options;
+  eval_options.model = model;
+  eval_options.metric = MetricKind::kAuc;
+  auto evaluator = FeatureEvaluator::Create(bundle.training, bundle.label_col,
+                                            bundle.base_features, bundle.relevant,
+                                            bundle.task, eval_options);
+  EXPECT_TRUE(evaluator.ok());
+  auto candidates = GenerateFeaturetoolsQueries(
+      bundle.relevant, bundle.agg_functions, bundle.agg_attrs, bundle.fk_attrs);
+  return Fixture{std::move(bundle), std::move(evaluator).ValueOrDie(),
+                 std::move(candidates)};
+}
+
+TEST(SelectorsTest, NamesAndTaskSupport) {
+  EXPECT_STREQ(SelectorKindToString(SelectorKind::kNone), "FT");
+  EXPECT_STREQ(SelectorKindToString(SelectorKind::kForward), "FT+Forward");
+  EXPECT_TRUE(SelectorSupportsTask(SelectorKind::kMi, TaskKind::kRegression));
+  EXPECT_FALSE(SelectorSupportsTask(SelectorKind::kChi2, TaskKind::kRegression));
+  EXPECT_FALSE(SelectorSupportsTask(SelectorKind::kGini, TaskKind::kRegression));
+  EXPECT_TRUE(
+      SelectorSupportsTask(SelectorKind::kChi2, TaskKind::kBinaryClassification));
+}
+
+TEST(SelectorsTest, NoneKeepsFirstK) {
+  Fixture fx = MakeFixture();
+  auto selected = SelectQueries(&fx.evaluator, fx.candidates, SelectorKind::kNone, 5);
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected.value().size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(selected.value()[i].CacheKey(), fx.candidates[i].CacheKey());
+  }
+}
+
+class FilterSelectorTest : public testing::TestWithParam<SelectorKind> {};
+
+TEST_P(FilterSelectorTest, ReturnsKDistinctCandidates) {
+  Fixture fx = MakeFixture();
+  auto selected = SelectQueries(&fx.evaluator, fx.candidates, GetParam(), 6);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected.value().size(), 6u);
+  std::vector<std::string> keys;
+  for (const auto& q : selected.value()) keys.push_back(q.CacheKey());
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+  // Every selection came from the candidate pool.
+  for (const auto& key : keys) {
+    EXPECT_TRUE(std::any_of(fx.candidates.begin(), fx.candidates.end(),
+                            [&](const AggQuery& q) { return q.CacheKey() == key; }));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSelectors, FilterSelectorTest,
+    testing::Values(SelectorKind::kLr, SelectorKind::kGbdt, SelectorKind::kMi,
+                    SelectorKind::kChi2, SelectorKind::kGini,
+                    SelectorKind::kForward, SelectorKind::kBackward),
+    [](const testing::TestParamInfo<SelectorKind>& info) {
+      std::string name = SelectorKindToString(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '+'), name.end());
+      return name;
+    });
+
+TEST(SelectorsTest, MiSelectorPrefersInformativeAggregates) {
+  // COUNT-family features recover the weak latent by construction; the MI
+  // selector should rank at least one of them into its picks.
+  Fixture fx = MakeFixture();
+  auto selected = SelectQueries(&fx.evaluator, fx.candidates, SelectorKind::kMi, 8);
+  ASSERT_TRUE(selected.ok());
+  bool has_informative = false;
+  for (const auto& q : selected.value()) {
+    if (q.agg == AggFunction::kCount || q.agg == AggFunction::kAvg ||
+        q.agg == AggFunction::kSum || q.agg == AggFunction::kMedian) {
+      has_informative = true;
+    }
+  }
+  EXPECT_TRUE(has_informative);
+}
+
+TEST(SelectorsTest, ForwardSelectionImprovesOverFirstK) {
+  Fixture fx = MakeFixture();
+  auto forward =
+      SelectQueries(&fx.evaluator, fx.candidates, SelectorKind::kForward, 4);
+  auto none = SelectQueries(&fx.evaluator, fx.candidates, SelectorKind::kNone, 4);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(none.ok());
+  auto forward_score = fx.evaluator.ModelScore(forward.value());
+  auto none_score = fx.evaluator.ModelScore(none.value());
+  ASSERT_TRUE(forward_score.ok());
+  ASSERT_TRUE(none_score.ok());
+  EXPECT_GE(forward_score.value(), none_score.value() - 0.02);
+}
+
+TEST(SelectorsTest, RegressionTaskSelectors) {
+  SyntheticOptions data_options;
+  data_options.n_train = 250;
+  data_options.seed = 17;
+  DatasetBundle bundle = MakeMerchant(data_options);
+  EvaluatorOptions eval_options;
+  eval_options.model = ModelKind::kLogisticRegression;  // ridge for regression
+  eval_options.metric = MetricKind::kRmse;
+  auto evaluator = FeatureEvaluator::Create(bundle.training, bundle.label_col,
+                                            bundle.base_features, bundle.relevant,
+                                            bundle.task, eval_options);
+  ASSERT_TRUE(evaluator.ok());
+  auto candidates = GenerateFeaturetoolsQueries(
+      bundle.relevant, bundle.agg_functions, bundle.agg_attrs, bundle.fk_attrs);
+  FeatureEvaluator eval = std::move(evaluator).ValueOrDie();
+  for (SelectorKind kind : {SelectorKind::kMi, SelectorKind::kLr,
+                            SelectorKind::kGbdt}) {
+    auto selected = SelectQueries(&eval, candidates, kind, 5);
+    ASSERT_TRUE(selected.ok()) << SelectorKindToString(kind);
+    EXPECT_EQ(selected.value().size(), 5u);
+  }
+  // Chi2/Gini rejected for regression.
+  EXPECT_FALSE(SelectQueries(&eval, candidates, SelectorKind::kChi2, 5).ok());
+  EXPECT_FALSE(SelectQueries(&eval, candidates, SelectorKind::kGini, 5).ok());
+}
+
+TEST(SelectorsTest, SmallCandidatePoolShortCircuits) {
+  Fixture fx = MakeFixture();
+  std::vector<AggQuery> two(fx.candidates.begin(), fx.candidates.begin() + 2);
+  auto selected = SelectQueries(&fx.evaluator, two, SelectorKind::kMi, 10);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected.value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace featlib

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generator.h"
+#include "data/synthetic.h"
+#include "hpo/random_search.h"
+#include "hpo/smac.h"
+
+namespace featlib {
+namespace {
+
+double Quadratic(const ParamVector& v) {
+  const double a = v[1] - 0.3;
+  const double b = v[2] - 0.7;
+  const double cat_penalty = v[0] == 2.0 ? 0.0 : 0.5;
+  return a * a + b * b + cat_penalty;
+}
+
+SearchSpace QuadraticSpace() {
+  SearchSpace space;
+  space.Add(ParamDomain::Categorical("c", 4));
+  space.Add(ParamDomain::Numeric("x", 0.0, 1.0));
+  space.Add(ParamDomain::Numeric("y", 0.0, 1.0));
+  return space;
+}
+
+double RunOptimizer(Optimizer* optimizer, int iters) {
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    const ParamVector v = optimizer->Suggest();
+    const double loss = Quadratic(v);
+    optimizer->Observe(v, loss);
+    best = std::min(best, loss);
+  }
+  return best;
+}
+
+class SmacVsRandomTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SmacVsRandomTest, AtLeastMatchesRandomOnQuadratic) {
+  const uint64_t seed = GetParam();
+  SmacOptions options;
+  options.seed = seed;
+  Smac smac(QuadraticSpace(), options);
+  RandomSearch random(QuadraticSpace(), seed);
+  EXPECT_LE(RunOptimizer(&smac, 80), RunOptimizer(&random, 80) + 0.05)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmacVsRandomTest,
+                         testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(SmacTest, ConvergesToGoodRegion) {
+  double total = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SmacOptions options;
+    options.seed = seed;
+    Smac smac(QuadraticSpace(), options);
+    total += RunOptimizer(&smac, 100);
+  }
+  EXPECT_LT(total / 5.0, 0.15);
+}
+
+TEST(SmacTest, HandlesOptionalDims) {
+  SearchSpace space;
+  space.Add(ParamDomain::OptionalNumeric("o", 0.0, 1.0));
+  SmacOptions options;
+  options.seed = 3;
+  Smac smac(space, options);
+  // Loss favors None; SMAC must handle NaN configurations throughout.
+  for (int i = 0; i < 50; ++i) {
+    const ParamVector v = smac.Suggest();
+    smac.Observe(v, IsNone(v[0]) ? 0.0 : 1.0 + v[0]);
+  }
+  const Trial* best = smac.best();
+  ASSERT_NE(best, nullptr);
+  EXPECT_TRUE(IsNone(best->params[0]));
+}
+
+TEST(SmacTest, DeterministicBySeed) {
+  SmacOptions options;
+  options.seed = 11;
+  Smac a(QuadraticSpace(), options);
+  Smac b(QuadraticSpace(), options);
+  for (int i = 0; i < 30; ++i) {
+    const ParamVector va = a.Suggest();
+    const ParamVector vb = b.Suggest();
+    for (size_t d = 0; d < va.size(); ++d) {
+      if (IsNone(va[d])) {
+        EXPECT_TRUE(IsNone(vb[d]));
+      } else {
+        EXPECT_DOUBLE_EQ(va[d], vb[d]);
+      }
+    }
+    a.Observe(va, Quadratic(va));
+    b.Observe(vb, Quadratic(vb));
+  }
+}
+
+TEST(SmacTest, WarmStartAccepted) {
+  SmacOptions options;
+  options.seed = 7;
+  options.n_startup = 2;
+  Smac smac(QuadraticSpace(), options);
+  std::vector<Trial> prior;
+  for (int i = 0; i < 20; ++i) {
+    prior.push_back(Trial{{2.0, 0.3, 0.7}, 0.0});
+  }
+  smac.WarmStart(prior);
+  EXPECT_EQ(smac.history().size(), 20u);
+  // Post-warm-start suggestions are in-domain.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(smac.space().Validate(smac.Suggest()).ok());
+  }
+}
+
+TEST(SmacBackendTest, GeneratorRunsWithSmac) {
+  SyntheticOptions data_options;
+  data_options.n_train = 300;
+  data_options.avg_logs_per_entity = 10;
+  data_options.seed = 7;
+  DatasetBundle bundle = MakeTmall(data_options);
+  EvaluatorOptions eval_options;
+  eval_options.model = ModelKind::kLogisticRegression;
+  eval_options.metric = MetricKind::kAuc;
+  auto evaluator = FeatureEvaluator::Create(bundle.training, bundle.label_col,
+                                            bundle.base_features, bundle.relevant,
+                                            bundle.task, eval_options);
+  ASSERT_TRUE(evaluator.ok());
+  FeatureEvaluator eval = std::move(evaluator).ValueOrDie();
+
+  GeneratorOptions options;
+  options.backend = HpoBackend::kSmac;
+  options.warmup_iterations = 30;
+  options.warmup_top_k = 5;
+  options.generation_iterations = 10;
+  options.seed = 11;
+  SqlQueryGenerator generator(&eval, options);
+  auto result = generator.Run(bundle.golden_template);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().queries.size(), 0u);
+}
+
+TEST(SmacBackendTest, BackendNames) {
+  EXPECT_STREQ(HpoBackendToString(HpoBackend::kTpe), "TPE");
+  EXPECT_STREQ(HpoBackendToString(HpoBackend::kSmac), "SMAC");
+  EXPECT_STREQ(HpoBackendToString(HpoBackend::kRandom), "Random");
+}
+
+}  // namespace
+}  // namespace featlib

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "stats/stats.h"
+
+namespace featlib {
+namespace {
+
+TEST(StatsTest, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectAndConstant) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, RankDataWithTies) {
+  const auto ranks = RankData({10, 20, 20, 30});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(StatsTest, SpearmanMonotone) {
+  // Monotone non-linear relation: Spearman 1, Pearson < 1.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.5 * i));
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 0.95);
+}
+
+TEST(StatsTest, DiscretizeBins) {
+  const auto bins = Discretize({0.0, 0.5, 1.0}, 2);
+  EXPECT_EQ(bins[0], 0);
+  EXPECT_EQ(bins[2], 1);  // max clamps into last bin
+  // NaN gets its own bucket.
+  const auto with_nan = Discretize({0.0, std::nan(""), 1.0}, 4);
+  EXPECT_EQ(with_nan[1], 4);
+  // Constant vector maps to bucket 0.
+  const auto constant = Discretize({5, 5, 5}, 8);
+  EXPECT_EQ(constant[0], 0);
+  EXPECT_EQ(constant[2], 0);
+}
+
+TEST(StatsTest, DiscreteEntropy) {
+  EXPECT_DOUBLE_EQ(DiscreteEntropy({1, 1, 1}), 0.0);
+  EXPECT_NEAR(DiscreteEntropy({0, 1, 2, 3}), std::log(4.0), 1e-12);
+}
+
+TEST(StatsTest, DiscreteMiIdenticalEqualsEntropy) {
+  const std::vector<int> x = {0, 1, 0, 1, 2, 2, 0, 1};
+  EXPECT_NEAR(DiscreteMutualInformation(x, x), DiscreteEntropy(x), 1e-12);
+}
+
+TEST(StatsTest, DiscreteMiIndependentNearZero) {
+  Rng rng(5);
+  std::vector<int> x(4000);
+  std::vector<int> y(4000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<int>(rng.UniformInt(4));
+    y[i] = static_cast<int>(rng.UniformInt(4));
+  }
+  EXPECT_LT(DiscreteMutualInformation(x, y), 0.01);
+}
+
+TEST(StatsTest, MutualInformationDetectsDependence) {
+  Rng rng(7);
+  std::vector<double> strong(2000);
+  std::vector<double> noise(2000);
+  std::vector<double> label(2000);
+  for (size_t i = 0; i < strong.size(); ++i) {
+    const double latent = rng.Normal();
+    strong[i] = latent + 0.3 * rng.Normal();
+    noise[i] = rng.Normal();
+    label[i] = latent > 0.0 ? 1.0 : 0.0;
+  }
+  const double mi_strong = MutualInformation(strong, label, true);
+  const double mi_noise = MutualInformation(noise, label, true);
+  EXPECT_GT(mi_strong, 5.0 * mi_noise + 0.05);
+}
+
+TEST(StatsTest, MutualInformationRegressionLabels) {
+  Rng rng(9);
+  std::vector<double> x(2000);
+  std::vector<double> y(2000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = 2.0 * x[i] + 0.2 * rng.Normal();
+  }
+  EXPECT_GT(MutualInformation(x, y, false), 0.5);
+}
+
+TEST(StatsTest, MutualInformationHandlesNaN) {
+  std::vector<double> x = {1.0, std::nan(""), 3.0, 4.0, std::nan(""), 6.0};
+  std::vector<double> y = {0, 0, 1, 1, 0, 1};
+  const double mi = MutualInformation(x, y, true);
+  EXPECT_GE(mi, 0.0);
+  EXPECT_TRUE(std::isfinite(mi));
+}
+
+TEST(StatsTest, ChiSquareDetectsAssociation) {
+  Rng rng(11);
+  std::vector<double> dependent(3000);
+  std::vector<double> independent(3000);
+  std::vector<double> label(3000);
+  for (size_t i = 0; i < label.size(); ++i) {
+    label[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    dependent[i] = label[i] * 2.0 + rng.Normal() * 0.5;
+    independent[i] = rng.Normal();
+  }
+  EXPECT_GT(ChiSquareScore(dependent, label), 3.0 * ChiSquareScore(independent, label));
+}
+
+TEST(StatsTest, GiniScoreDetectsAssociation) {
+  Rng rng(13);
+  std::vector<double> dependent(3000);
+  std::vector<double> independent(3000);
+  std::vector<double> label(3000);
+  for (size_t i = 0; i < label.size(); ++i) {
+    label[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    dependent[i] = label[i] * 2.0 + rng.Normal() * 0.5;
+    independent[i] = rng.Normal();
+  }
+  EXPECT_GT(GiniScore(dependent, label), 0.1);
+  EXPECT_LT(GiniScore(independent, label), GiniScore(dependent, label));
+}
+
+TEST(StatsTest, ImputeNanWithMean) {
+  const auto out = ImputeNanWithMean({1.0, std::nan(""), 3.0});
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  const auto all_nan = ImputeNanWithMean({std::nan(""), std::nan("")});
+  EXPECT_DOUBLE_EQ(all_nan[0], 0.0);
+}
+
+TEST(StatsTest, SpearmanProxyIsAbsolute) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y_up = {1, 2, 3, 4, 5};
+  std::vector<double> y_down = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(SpearmanProxy(x, y_up), 1.0, 1e-12);
+  EXPECT_NEAR(SpearmanProxy(x, y_down), 1.0, 1e-12);
+}
+
+
+TEST(StatsTest, DiscretizeQuantileBalancedBuckets) {
+  // 100 distinct values into 4 buckets: exactly 25 per bucket.
+  std::vector<double> v(100);
+  for (size_t i = 0; i < 100; ++i) v[i] = static_cast<double>(i * i);  // skewed
+  const auto bins = DiscretizeQuantile(v, 4);
+  std::vector<int> counts(4, 0);
+  for (int b : bins) {
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, 4);
+    ++counts[b];
+  }
+  for (int c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(StatsTest, DiscretizeQuantileMonotone) {
+  std::vector<double> v = {5, 1, 9, 3, 7};
+  const auto bins = DiscretizeQuantile(v, 5);
+  // Rank order preserved: smaller values get smaller bucket ids.
+  EXPECT_LT(bins[1], bins[3]);
+  EXPECT_LT(bins[3], bins[0]);
+  EXPECT_LT(bins[0], bins[4]);
+  EXPECT_LT(bins[4], bins[2]);
+}
+
+TEST(StatsTest, DiscretizeQuantileNaNOwnBucket) {
+  std::vector<double> v = {1.0, std::nan(""), 2.0};
+  const auto bins = DiscretizeQuantile(v, 3);
+  EXPECT_EQ(bins[1], 3);
+  EXPECT_NE(bins[0], 3);
+}
+
+TEST(StatsTest, DiscretizeQuantileTiesShareBucket) {
+  std::vector<double> v = {7, 7, 7, 7};
+  const auto bins = DiscretizeQuantile(v, 2);
+  EXPECT_EQ(bins[0], bins[1]);
+  EXPECT_EQ(bins[1], bins[2]);
+  EXPECT_EQ(bins[2], bins[3]);
+}
+
+TEST(StatsTest, DiscretizeQuantileRobustToOutliers) {
+  // One huge outlier: equi-width packs everything else into bucket 0,
+  // quantile binning keeps the bulk distinguishable.
+  std::vector<double> v;
+  for (int i = 0; i < 99; ++i) v.push_back(static_cast<double>(i));
+  v.push_back(1e12);
+  const auto widths = Discretize(v, 10);
+  const auto quantiles = DiscretizeQuantile(v, 10);
+  std::set<int> width_buckets(widths.begin(), widths.end());
+  std::set<int> quantile_buckets(quantiles.begin(), quantiles.end());
+  EXPECT_LE(width_buckets.size(), 2u);
+  EXPECT_EQ(quantile_buckets.size(), 10u);
+}
+
+}  // namespace
+}  // namespace featlib

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/template_id.h"
+#include "data/synthetic.h"
+
+namespace featlib {
+namespace {
+
+struct Fixture {
+  DatasetBundle bundle;
+  FeatureEvaluator evaluator;
+};
+
+Fixture MakeFixture(uint64_t seed = 9) {
+  SyntheticOptions data_options;
+  data_options.n_train = 300;
+  data_options.avg_logs_per_entity = 10;
+  data_options.seed = seed;
+  DatasetBundle bundle = MakeTmall(data_options);
+  EvaluatorOptions eval_options;
+  eval_options.model = ModelKind::kLogisticRegression;
+  eval_options.metric = MetricKind::kAuc;
+  auto evaluator = FeatureEvaluator::Create(bundle.training, bundle.label_col,
+                                            bundle.base_features, bundle.relevant,
+                                            bundle.task, eval_options);
+  EXPECT_TRUE(evaluator.ok());
+  return Fixture{std::move(bundle), std::move(evaluator).ValueOrDie()};
+}
+
+TemplateIdOptions FastOptions() {
+  TemplateIdOptions options;
+  options.beam_width = 2;
+  options.max_depth = 2;
+  options.n_templates = 4;
+  options.node_iterations = 8;
+  options.seed = 3;
+  return options;
+}
+
+QueryTemplate BaseTemplate(const DatasetBundle& bundle) {
+  QueryTemplate base;
+  base.agg_functions = bundle.agg_functions;
+  base.agg_attrs = bundle.agg_attrs;
+  base.fk_attrs = bundle.fk_attrs;
+  return base;
+}
+
+TEST(TemplateIdTest, ReturnsRequestedTemplates) {
+  Fixture fx = MakeFixture();
+  TemplateIdentifier identifier(&fx.evaluator, FastOptions());
+  auto result = identifier.Run(BaseTemplate(fx.bundle), fx.bundle.where_candidates);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().templates.size(), 4u);
+  // Scores sorted best-first.
+  for (size_t i = 1; i < result.value().templates.size(); ++i) {
+    EXPECT_GE(result.value().templates[i - 1].score,
+              result.value().templates[i].score);
+  }
+}
+
+TEST(TemplateIdTest, GoldenAttributesSurfaceInTopTemplates) {
+  // The golden predicate uses {action, ts}; at least one of the recommended
+  // templates should contain a golden attribute.
+  Fixture fx = MakeFixture();
+  TemplateIdOptions options = FastOptions();
+  options.node_iterations = 14;
+  TemplateIdentifier identifier(&fx.evaluator, options);
+  auto result = identifier.Run(BaseTemplate(fx.bundle), fx.bundle.where_candidates);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const auto& scored : result.value().templates) {
+    for (const auto& attr : scored.tmpl.where_attrs) {
+      if (attr == "action" || attr == "ts") found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TemplateIdTest, NodeBudgetRespectsLayerStructure) {
+  Fixture fx = MakeFixture();
+  TemplateIdOptions options = FastOptions();
+  TemplateIdentifier identifier(&fx.evaluator, options);
+  auto result = identifier.Run(BaseTemplate(fx.bundle), fx.bundle.where_candidates);
+  ASSERT_TRUE(result.ok());
+  const size_t n_attrs = fx.bundle.where_candidates.size();
+  // Layer 1 evaluates all singletons (plus the beam-inheritance root);
+  // with Opt. 2 each further layer evaluates at most beam_width nodes.
+  const size_t max_nodes =
+      1 + n_attrs + static_cast<size_t>(options.beam_width) *
+                        static_cast<size_t>(options.max_depth - 1);
+  EXPECT_LE(result.value().nodes_evaluated, max_nodes);
+  EXPECT_GE(result.value().nodes_evaluated, n_attrs);
+}
+
+TEST(TemplateIdTest, WithoutPredictorEvaluatesMoreNodes) {
+  Fixture with = MakeFixture();
+  Fixture without = MakeFixture();
+  TemplateIdOptions options = FastOptions();
+  TemplateIdentifier pruned(&with.evaluator, options);
+  auto pruned_result =
+      pruned.Run(BaseTemplate(with.bundle), with.bundle.where_candidates);
+  options.use_predictor = false;
+  TemplateIdentifier full(&without.evaluator, options);
+  auto full_result =
+      full.Run(BaseTemplate(without.bundle), without.bundle.where_candidates);
+  ASSERT_TRUE(pruned_result.ok());
+  ASSERT_TRUE(full_result.ok());
+  EXPECT_GT(full_result.value().nodes_evaluated,
+            pruned_result.value().nodes_evaluated);
+  EXPECT_GT(pruned_result.value().nodes_pruned_by_predictor, 0u);
+}
+
+TEST(TemplateIdTest, WithoutProxyUsesModelEvaluations) {
+  Fixture fx = MakeFixture();
+  TemplateIdOptions options = FastOptions();
+  options.use_low_cost_proxy = false;
+  options.node_iterations = 3;
+  options.max_depth = 1;
+  TemplateIdentifier identifier(&fx.evaluator, options);
+  const size_t model_evals_before = fx.evaluator.num_model_evals();
+  auto result = identifier.Run(BaseTemplate(fx.bundle), fx.bundle.where_candidates);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(fx.evaluator.num_model_evals(), model_evals_before);
+}
+
+TEST(TemplateIdTest, TemplatesAreDistinctCombinations) {
+  Fixture fx = MakeFixture();
+  TemplateIdentifier identifier(&fx.evaluator, FastOptions());
+  auto result = identifier.Run(BaseTemplate(fx.bundle), fx.bundle.where_candidates);
+  ASSERT_TRUE(result.ok());
+  std::vector<std::string> keys;
+  for (const auto& scored : result.value().templates) {
+    keys.push_back(scored.tmpl.WhereKey());
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(TemplateIdTest, EmptyCandidatesRejected) {
+  Fixture fx = MakeFixture();
+  TemplateIdentifier identifier(&fx.evaluator, FastOptions());
+  EXPECT_FALSE(identifier.Run(BaseTemplate(fx.bundle), {}).ok());
+}
+
+TEST(TemplateIdTest, DepthOneEvaluatesOnlySingletons) {
+  Fixture fx = MakeFixture();
+  TemplateIdOptions options = FastOptions();
+  options.max_depth = 1;
+  TemplateIdentifier identifier(&fx.evaluator, options);
+  auto result = identifier.Run(BaseTemplate(fx.bundle), fx.bundle.where_candidates);
+  ASSERT_TRUE(result.ok());
+  // All singletons plus the beam-inheritance root node.
+  EXPECT_EQ(result.value().nodes_evaluated, fx.bundle.where_candidates.size() + 1);
+  for (const auto& scored : result.value().templates) {
+    EXPECT_LE(scored.tmpl.where_attrs.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace featlib

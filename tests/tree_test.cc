@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+#include "ml/tree.h"
+
+namespace featlib {
+namespace {
+
+std::vector<uint32_t> AllRows(size_t n) {
+  std::vector<uint32_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0u);
+  return rows;
+}
+
+TEST(GradientTreeTest, SingleSplitStepFunction) {
+  // y = 0 for x<0, 10 for x>=0; grad=-y, hess=1 -> leaves predict means.
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kRegression);
+  const size_t n = 100;
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i) - 50.0;
+    y[i] = x[i] >= 0 ? 10.0 : 0.0;
+  }
+  ds.n = n;
+  ds.y = y;
+  ASSERT_TRUE(ds.AddFeature("x", x).ok());
+  std::vector<double> grad(n);
+  std::vector<double> hess(n, 1.0);
+  for (size_t i = 0; i < n; ++i) grad[i] = -y[i];
+
+  TreeOptions options;
+  options.max_depth = 2;
+  options.lambda = 1e-6;
+  Rng rng(1);
+  GradientTree tree;
+  tree.Fit(ds, AllRows(n), grad, hess, options, &rng);
+  EXPECT_NEAR(tree.PredictRow(ds, 10), 0.0, 0.2);
+  EXPECT_NEAR(tree.PredictRow(ds, 90), 10.0, 0.2);
+  EXPECT_GT(tree.num_nodes(), 1u);
+}
+
+TEST(GradientTreeTest, RespectsMaxDepthZero) {
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kRegression);
+  ds.n = 4;
+  ds.y = {1, 2, 3, 4};
+  ASSERT_TRUE(ds.AddFeature("x", {1, 2, 3, 4}).ok());
+  std::vector<double> grad = {-1, -2, -3, -4};
+  std::vector<double> hess(4, 1.0);
+  TreeOptions options;
+  options.max_depth = 0;
+  options.lambda = 0.0;
+  Rng rng(1);
+  GradientTree tree;
+  tree.Fit(ds, AllRows(4), grad, hess, options, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_NEAR(tree.PredictRow(ds, 0), 2.5, 1e-9);  // mean of y
+}
+
+TEST(GradientTreeTest, LambdaShrinksLeaves) {
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kRegression);
+  ds.n = 2;
+  ds.y = {4, 4};
+  ASSERT_TRUE(ds.AddFeature("x", {1, 2}).ok());
+  std::vector<double> grad = {-4, -4};
+  std::vector<double> hess = {1, 1};
+  TreeOptions options;
+  options.max_depth = 0;
+  options.lambda = 2.0;  // leaf = 8 / (2 + 2) = 2 instead of 4
+  Rng rng(1);
+  GradientTree tree;
+  tree.Fit(ds, AllRows(2), grad, hess, options, &rng);
+  EXPECT_NEAR(tree.PredictRow(ds, 0), 2.0, 1e-9);
+}
+
+TEST(GradientTreeTest, FeatureGainsIdentifySignal) {
+  Rng rng(3);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kRegression);
+  const size_t n = 300;
+  std::vector<double> signal(n);
+  std::vector<double> noise(n);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n, 1.0);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = rng.Normal();
+    noise[i] = rng.Normal();
+    ds.y[i] = signal[i] > 0 ? 5.0 : -5.0;
+    grad[i] = -ds.y[i];
+  }
+  ds.n = n;
+  ASSERT_TRUE(ds.AddFeature("noise", noise).ok());
+  ASSERT_TRUE(ds.AddFeature("signal", signal).ok());
+  GradientTree tree;
+  TreeOptions options;
+  options.max_depth = 3;
+  tree.Fit(ds, AllRows(n), grad, hess, options, &rng);
+  const auto& gains = tree.feature_gains();
+  EXPECT_GT(gains[1], gains[0]);
+}
+
+TEST(ClassificationTreeTest, LearnsXor) {
+  // XOR is the canonical single-split-impossible pattern; depth 2 solves it.
+  Rng rng(7);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kBinaryClassification);
+  const size_t n = 400;
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x1[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    x2[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    ds.y[i] = (x1[i] != x2[i]) ? 1.0 : 0.0;
+  }
+  ds.n = n;
+  ASSERT_TRUE(ds.AddFeature("x1", x1).ok());
+  ASSERT_TRUE(ds.AddFeature("x2", x2).ok());
+  ClassificationTree tree;
+  TreeOptions options;
+  options.max_depth = 3;
+  options.min_samples_leaf = 1;
+  options.min_samples_split = 2;
+  Rng tree_rng(1);
+  tree.Fit(ds, AllRows(n), 2, options, &tree_rng);
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto& dist = tree.PredictDistribution(ds, i);
+    const int pred = dist[1] > dist[0] ? 1 : 0;
+    if (pred == static_cast<int>(ds.y[i])) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / n, 0.98);
+}
+
+TEST(ClassificationTreeTest, PureNodeStopsSplitting) {
+  Dataset ds = Dataset::WithLabels({1, 1, 1, 1}, TaskKind::kBinaryClassification);
+  ASSERT_TRUE(ds.AddFeature("x", {1, 2, 3, 4}).ok());
+  ClassificationTree tree;
+  TreeOptions options;
+  Rng rng(1);
+  tree.Fit(ds, AllRows(4), 2, options, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.PredictDistribution(ds, 0)[1], 1.0);
+}
+
+TEST(ClassificationTreeTest, DistributionSumsToOne) {
+  Rng rng(9);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kMultiClassification, 3);
+  const size_t n = 200;
+  std::vector<double> x(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    ds.y[i] = static_cast<double>(rng.UniformInt(3));
+  }
+  ds.n = n;
+  ds.num_classes = 3;
+  ASSERT_TRUE(ds.AddFeature("x", x).ok());
+  ClassificationTree tree;
+  TreeOptions options;
+  Rng tree_rng(2);
+  tree.Fit(ds, AllRows(n), 3, options, &tree_rng);
+  for (size_t i = 0; i < 20; ++i) {
+    const auto& dist = tree.PredictDistribution(ds, i);
+    double total = 0;
+    for (double p : dist) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(ClassificationTreeTest, GiniGainsTracked) {
+  Rng rng(11);
+  Dataset ds = Dataset::WithLabels({}, TaskKind::kBinaryClassification);
+  const size_t n = 200;
+  std::vector<double> signal(n);
+  std::vector<double> noise(n);
+  ds.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = rng.Normal();
+    noise[i] = rng.Normal();
+    ds.y[i] = signal[i] > 0 ? 1.0 : 0.0;
+  }
+  ds.n = n;
+  ASSERT_TRUE(ds.AddFeature("noise", noise).ok());
+  ASSERT_TRUE(ds.AddFeature("signal", signal).ok());
+  ClassificationTree tree;
+  TreeOptions options;
+  options.max_depth = 4;
+  Rng tree_rng(3);
+  tree.Fit(ds, AllRows(n), 2, options, &tree_rng);
+  const auto& gains = tree.feature_gains();
+  ASSERT_EQ(gains.size(), 2u);
+  EXPECT_GT(gains[1], gains[0]);
+}
+
+}  // namespace
+}  // namespace featlib
