@@ -6,10 +6,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/harness.h"
+#include "common/timer.h"
 #include "core/codec.h"
 #include "data/synthetic.h"
 #include "data/multi_table_data.h"
 #include "hpo/tpe.h"
+#include "query/batch_executor.h"
 #include "query/sql_parser.h"
 #include "query/executor.h"
 #include "stats/stats.h"
@@ -69,6 +76,56 @@ void BM_FeatureMaterialization(benchmark::State& state) {
                           static_cast<int64_t>(b.relevant.num_rows()));
 }
 BENCHMARK(BM_FeatureMaterialization);
+
+// The candidate pool of a template search: every agg function crossed with
+// predicate variants of the golden query, all sharing one set of group keys
+// — the repeated-template workload the BatchExecutor amortizes.
+std::vector<AggQuery> TemplateCandidates(const DatasetBundle& b) {
+  std::vector<std::vector<Predicate>> pred_sets;
+  pred_sets.push_back({});
+  if (!b.golden_query.predicates.empty()) {
+    pred_sets.push_back(b.golden_query.predicates);
+    pred_sets.push_back({b.golden_query.predicates.front()});
+  }
+  std::vector<AggQuery> out;
+  for (AggFunction fn : AllAggFunctions()) {
+    for (const auto& preds : pred_sets) {
+      AggQuery q = b.golden_query;
+      q.agg = fn;
+      q.predicates = preds;
+      if (q.Validate(b.relevant).ok()) out.push_back(std::move(q));
+    }
+  }
+  return out;
+}
+
+void BM_LegacyCandidateEvaluation(benchmark::State& state) {
+  const DatasetBundle& b = SharedBundle();
+  const std::vector<AggQuery> candidates = TemplateCandidates(b);
+  for (auto _ : state) {
+    for (const AggQuery& q : candidates) {
+      benchmark::DoNotOptimize(ComputeFeatureColumnLegacy(q, b.training, b.relevant));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(candidates.size()));
+}
+BENCHMARK(BM_LegacyCandidateEvaluation);
+
+void BM_BatchedCandidateEvaluation(benchmark::State& state) {
+  const DatasetBundle& b = SharedBundle();
+  const std::vector<AggQuery> candidates = TemplateCandidates(b);
+  for (auto _ : state) {
+    // Fresh executor per iteration: the group-index build is charged to the
+    // batch, as in a real search over a new template.
+    BatchExecutor executor;
+    benchmark::DoNotOptimize(
+        executor.EvaluateMany(candidates, b.training, b.relevant));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(candidates.size()));
+}
+BENCHMARK(BM_BatchedCandidateEvaluation);
 
 void BM_MutualInformation(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -144,6 +201,99 @@ void BM_FlattenRelevant(benchmark::State& state) {
 BENCHMARK(BM_FlattenRelevant)->Arg(1000)->Arg(5000);
 
 }  // namespace
+
+// Times the repeated-template candidate-evaluation workload on the legacy
+// per-candidate path vs the batched executor, verifies the feature columns
+// are bit-identical, and emits a machine-readable speedup record.
+int WriteExecutorSpeedupRecord(const char* path) {
+  const DatasetBundle& b = SharedBundle();
+  const std::vector<AggQuery> candidates = TemplateCandidates(b);
+  constexpr int kRepeats = 3;
+
+  // Warm-up + equivalence check (outside the timed sections).
+  bool bit_identical = true;
+  {
+    BatchExecutor executor;
+    auto batched = executor.EvaluateMany(candidates, b.training, b.relevant);
+    if (!batched.ok()) {
+      std::fprintf(stderr, "batched evaluation failed: %s\n",
+                   batched.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < candidates.size() && bit_identical; ++i) {
+      auto legacy =
+          ComputeFeatureColumnLegacy(candidates[i], b.training, b.relevant);
+      if (!legacy.ok() ||
+          legacy.value().size() != batched.value()[i].size()) {
+        bit_identical = false;
+        break;
+      }
+      for (size_t r = 0; r < legacy.value().size(); ++r) {
+        const double x = legacy.value()[r];
+        const double y = batched.value()[i][r];
+        if (std::isnan(x) && std::isnan(y)) continue;
+        if (std::memcmp(&x, &y, sizeof(x)) != 0) {
+          bit_identical = false;
+          break;
+        }
+      }
+    }
+  }
+
+  WallTimer timer;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (const AggQuery& q : candidates) {
+      benchmark::DoNotOptimize(
+          ComputeFeatureColumnLegacy(q, b.training, b.relevant));
+    }
+  }
+  const double legacy_seconds = timer.Seconds();
+
+  timer.Restart();
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    BatchExecutor executor;
+    benchmark::DoNotOptimize(
+        executor.EvaluateMany(candidates, b.training, b.relevant));
+  }
+  const double batched_seconds = timer.Seconds();
+
+  const double speedup =
+      batched_seconds > 0.0 ? legacy_seconds / batched_seconds : 0.0;
+  bench::JsonRecord record;
+  record.Add("bench", std::string("executor_batch_vs_legacy"))
+      .Add("dataset", b.name)
+      .Add("relevant_rows", static_cast<double>(b.relevant.num_rows()))
+      .Add("training_rows", static_cast<double>(b.training.num_rows()))
+      .Add("candidates", static_cast<double>(candidates.size()))
+      .Add("repeats", static_cast<double>(kRepeats))
+      .Add("legacy_seconds", legacy_seconds)
+      .Add("batched_seconds", batched_seconds)
+      .Add("speedup", speedup)
+      .Add("bit_identical", bit_identical);
+  Status write_status = record.WriteTo(path);
+  if (!write_status.ok()) {
+    std::fprintf(stderr, "%s\n", write_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", record.ToString().c_str());
+  return bit_identical ? 0 : 1;
+}
+
 }  // namespace featlib
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Listing runs must not execute (or overwrite the record of) the speedup
+  // comparison; tooling wraps --benchmark_list_tests around every binary.
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_list_tests", 22) == 0) {
+      list_only = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (list_only) return 0;
+  return featlib::WriteExecutorSpeedupRecord("BENCH_executor.json");
+}

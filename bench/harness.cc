@@ -260,6 +260,55 @@ const char* MetricNameFor(const DatasetBundle& bundle) {
   return MetricKindToString(DefaultMetricFor(bundle.task));
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonRecord& JsonRecord::Add(const std::string& key, double value) {
+  fields_.emplace_back(key, StrFormat("%.9g", value));
+  return *this;
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+std::string JsonRecord::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+Status JsonRecord::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const std::string body = ToString() + "\n";
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
 Result<DatasetBundle> MakeBundle(const std::string& name, const BenchConfig& config,
                                  uint64_t seed_offset) {
   SyntheticOptions options;

@@ -13,6 +13,7 @@
 /// target (EXPERIMENTS.md records both).
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/arda.h"
@@ -120,6 +121,25 @@ const char* MetricNameFor(const DatasetBundle& bundle);
 /// Builds a dataset bundle for the config.
 Result<DatasetBundle> MakeBundle(const std::string& name, const BenchConfig& config,
                                  uint64_t seed_offset = 0);
+
+/// \brief Minimal flat JSON record for machine-readable bench output
+/// (speedup records like BENCH_executor.json; no nesting, no escapes beyond
+/// quotes/backslashes).
+class JsonRecord {
+ public:
+  JsonRecord& Add(const std::string& key, double value);
+  JsonRecord& Add(const std::string& key, const std::string& value);
+  JsonRecord& Add(const std::string& key, bool value);
+
+  /// One-line JSON object, fields in insertion order.
+  std::string ToString() const;
+
+  /// Writes ToString() plus a trailing newline; overwrites `path`.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> rendered
+};
 
 }  // namespace bench
 }  // namespace featlib

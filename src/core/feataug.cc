@@ -5,6 +5,7 @@
 
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "query/batch_executor.h"
 
 namespace featlib {
 
@@ -75,11 +76,16 @@ Result<AugmentationPlan> FeatAug::Fit() {
 
 Result<Table> FeatAug::Apply(const AugmentationPlan& plan,
                              const Table& training) const {
+  // One BatchExecutor per target table: plan queries share group keys, so
+  // the join/group structure is built once and streamed for every feature.
+  BatchExecutor executor;
+  FEAT_ASSIGN_OR_RETURN(
+      std::vector<std::vector<double>> columns,
+      executor.EvaluateMany(plan.queries, training, problem_.relevant));
   Table out = training;
   for (size_t i = 0; i < plan.queries.size(); ++i) {
-    FEAT_ASSIGN_OR_RETURN(
-        out, AugmentTable(out, problem_.relevant, plan.queries[i],
-                          plan.feature_names[i]));
+    FEAT_RETURN_NOT_OK(out.AddColumn(plan.feature_names[i],
+                                     Column::FromDoubles(columns[i])));
   }
   return out;
 }
@@ -89,11 +95,12 @@ Result<Dataset> FeatAug::ApplyToDataset(const AugmentationPlan& plan,
   FEAT_ASSIGN_OR_RETURN(
       Dataset ds, Dataset::FromTable(training, problem_.label_col,
                                      problem_.base_feature_cols, problem_.task));
+  BatchExecutor executor;
+  FEAT_ASSIGN_OR_RETURN(
+      std::vector<std::vector<double>> columns,
+      executor.EvaluateMany(plan.queries, training, problem_.relevant));
   for (size_t i = 0; i < plan.queries.size(); ++i) {
-    FEAT_ASSIGN_OR_RETURN(
-        std::vector<double> feature,
-        ComputeFeatureColumn(plan.queries[i], training, problem_.relevant));
-    FEAT_RETURN_NOT_OK(ds.AddFeature(plan.feature_names[i], feature));
+    FEAT_RETURN_NOT_OK(ds.AddFeature(plan.feature_names[i], columns[i]));
   }
   return ds;
 }

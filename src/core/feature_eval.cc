@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "common/str_util.h"
 #include "ml/linear.h"
@@ -51,12 +52,41 @@ Result<const std::vector<double>*> FeatureEvaluator::Feature(const AggQuery& q) 
   const std::string key = q.CacheKey();
   auto it = feature_cache_.find(key);
   if (it != feature_cache_.end()) return &it->second;
-  FEAT_ASSIGN_OR_RETURN(std::vector<double> values,
-                        ComputeFeatureColumn(q, training_, relevant_));
+  FEAT_ASSIGN_OR_RETURN(
+      std::vector<double> values,
+      batch_executor_.ComputeFeatureColumn(q, training_, relevant_));
   ++num_materializations_;
   auto [inserted, ok] = feature_cache_.emplace(key, std::move(values));
   (void)ok;
   return &inserted->second;
+}
+
+Result<std::vector<const std::vector<double>*>> FeatureEvaluator::Features(
+    const std::vector<AggQuery>& queries) {
+  std::vector<AggQuery> missing;
+  std::vector<std::string> missing_keys;
+  std::unordered_set<std::string> missing_seen;
+  for (const AggQuery& q : queries) {
+    std::string key = q.CacheKey();
+    if (feature_cache_.count(key) || !missing_seen.insert(key).second) continue;
+    missing.push_back(q);
+    missing_keys.push_back(std::move(key));
+  }
+  if (!missing.empty()) {
+    FEAT_ASSIGN_OR_RETURN(
+        std::vector<std::vector<double>> columns,
+        batch_executor_.EvaluateMany(missing, training_, relevant_));
+    for (size_t i = 0; i < missing.size(); ++i) {
+      feature_cache_.emplace(missing_keys[i], std::move(columns[i]));
+      ++num_materializations_;
+    }
+  }
+  std::vector<const std::vector<double>*> out;
+  out.reserve(queries.size());
+  for (const AggQuery& q : queries) {
+    out.push_back(&feature_cache_.at(q.CacheKey()));
+  }
+  return out;
 }
 
 Result<double> FeatureEvaluator::ProxyScore(const AggQuery& q, ProxyKind proxy) {
@@ -91,13 +121,9 @@ Result<double> FeatureEvaluator::ProxyScore(const AggQuery& q, ProxyKind proxy) 
 
 Result<Dataset> FeatureEvaluator::BuildDataset(const std::vector<AggQuery>& queries,
                                                const std::vector<uint32_t>& rows) {
-  // Materialize all query features first (full-length, cached).
-  std::vector<const std::vector<double>*> features;
-  features.reserve(queries.size());
-  for (const AggQuery& q : queries) {
-    FEAT_ASSIGN_OR_RETURN(const std::vector<double>* f, Feature(q));
-    features.push_back(f);
-  }
+  // Materialize all query features first (full-length, cached, batched).
+  FEAT_ASSIGN_OR_RETURN(std::vector<const std::vector<double>*> features,
+                        Features(queries));
   Dataset full = base_;
   for (size_t i = 0; i < queries.size(); ++i) {
     FEAT_RETURN_NOT_OK(

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/str_util.h"
+#include "query/batch_executor.h"
 
 namespace featlib {
 
@@ -242,12 +243,15 @@ Result<Dataset> MultiTableFeatAug::ApplyToDataset(const MultiTablePlan& plan,
     if (input == nullptr) {
       return Status::InvalidArgument("plan references unknown table " + tp.name);
     }
+    // One executor per relevant table: all of its plan queries share the
+    // same join, so the group index is built once, not per feature.
+    BatchExecutor executor;
+    FEAT_ASSIGN_OR_RETURN(
+        std::vector<std::vector<double>> columns,
+        executor.EvaluateMany(tp.plan.queries, training, input->relevant));
     for (size_t i = 0; i < tp.plan.queries.size(); ++i) {
-      FEAT_ASSIGN_OR_RETURN(
-          std::vector<double> feature,
-          ComputeFeatureColumn(tp.plan.queries[i], training, input->relevant));
       FEAT_RETURN_NOT_OK(
-          ds.AddFeature(tp.name + "__" + tp.plan.feature_names[i], feature));
+          ds.AddFeature(tp.name + "__" + tp.plan.feature_names[i], columns[i]));
     }
   }
   return ds;
@@ -267,10 +271,13 @@ Result<Table> MultiTableFeatAug::Apply(const MultiTablePlan& plan,
     if (input == nullptr) {
       return Status::InvalidArgument("plan references unknown table " + tp.name);
     }
+    BatchExecutor executor;
+    FEAT_ASSIGN_OR_RETURN(
+        std::vector<std::vector<double>> columns,
+        executor.EvaluateMany(tp.plan.queries, training, input->relevant));
     for (size_t i = 0; i < tp.plan.queries.size(); ++i) {
-      FEAT_ASSIGN_OR_RETURN(
-          out, AugmentTable(out, input->relevant, tp.plan.queries[i],
-                            tp.name + "__" + tp.plan.feature_names[i]));
+      FEAT_RETURN_NOT_OK(out.AddColumn(tp.name + "__" + tp.plan.feature_names[i],
+                                       Column::FromDoubles(columns[i])));
     }
   }
   return out;

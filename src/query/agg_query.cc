@@ -31,13 +31,7 @@ std::string AggQuery::CacheKey() const {
   out += "(" + agg_attr + ")|k=" + StrJoin(group_keys, ",") + "|";
   for (const Predicate& p : predicates) {
     if (p.IsTrivial()) continue;
-    out += p.attr;
-    if (p.kind == Predicate::Kind::kEquals) {
-      out += "=" + p.equals_value.ToSqlLiteral();
-    } else {
-      out += StrFormat("[%s,%s]", p.has_lo ? StrFormat("%.9g", p.lo).c_str() : "-inf",
-                       p.has_hi ? StrFormat("%.9g", p.hi).c_str() : "+inf");
-    }
+    out += p.CacheKey();
     out += ";";
   }
   return out;

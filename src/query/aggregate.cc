@@ -4,9 +4,6 @@
 #include <cctype>
 #include <cmath>
 #include <cstddef>
-#include <map>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/str_util.h"
 
@@ -75,29 +72,48 @@ bool SupportsCategorical(AggFunction fn) {
 }
 
 double ComputeAggregate(AggFunction fn, const std::vector<double>& values) {
-  const size_t n = values.size();
+  return ComputeAggregate(fn, values.data(), values.size());
+}
+
+double ComputeAggregate(AggFunction fn, const double* values, size_t n) {
   switch (fn) {
     case AggFunction::kCount:
       return static_cast<double>(n);
     case AggFunction::kSum: {
       if (n == 0) return Nan();
       double s = 0.0;
-      for (double v : values) s += v;
+      for (size_t i = 0; i < n; ++i) s += values[i];
       return s;
     }
     case AggFunction::kMin:
-      return n == 0 ? Nan() : *std::min_element(values.begin(), values.end());
+      return n == 0 ? Nan() : *std::min_element(values, values + n);
     case AggFunction::kMax:
-      return n == 0 ? Nan() : *std::max_element(values.begin(), values.end());
+      return n == 0 ? Nan() : *std::max_element(values, values + n);
     case AggFunction::kAvg: {
       if (n == 0) return Nan();
       double s = 0.0;
-      for (double v : values) s += v;
+      for (size_t i = 0; i < n; ++i) s += values[i];
       return s / static_cast<double>(n);
     }
     case AggFunction::kCountDistinct: {
-      std::unordered_set<double> seen(values.begin(), values.end());
-      return static_cast<double>(seen.size());
+      // NaN never compares equal to itself (and is unordered, so it cannot
+      // go through std::sort); fold all NaNs into one distinct value.
+      std::vector<double> copy;
+      copy.reserve(n);
+      bool has_nan = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (std::isnan(values[i])) {
+          has_nan = true;
+        } else {
+          copy.push_back(values[i]);
+        }
+      }
+      std::sort(copy.begin(), copy.end());
+      size_t distinct = has_nan ? 1 : 0;
+      for (size_t i = 0; i < copy.size(); ++i) {
+        if (i == 0 || copy[i] != copy[i - 1]) ++distinct;
+      }
+      return static_cast<double>(distinct);
     }
     case AggFunction::kVar:
     case AggFunction::kVarSample:
@@ -108,34 +124,43 @@ double ComputeAggregate(AggFunction fn, const std::vector<double>& values) {
       const bool std_dev = fn == AggFunction::kStd || fn == AggFunction::kStdSample;
       if (n == 0 || (sample && n < 2)) return Nan();
       double mean = 0.0;
-      for (double v : values) mean += v;
+      for (size_t i = 0; i < n; ++i) mean += values[i];
       mean /= static_cast<double>(n);
       double ss = 0.0;
-      for (double v : values) ss += (v - mean) * (v - mean);
+      for (size_t i = 0; i < n; ++i) ss += (values[i] - mean) * (values[i] - mean);
       const double denom = sample ? static_cast<double>(n - 1) : static_cast<double>(n);
       const double var = ss / denom;
       return std_dev ? std::sqrt(var) : var;
     }
     case AggFunction::kEntropy: {
       if (n == 0) return Nan();
-      std::unordered_map<double, size_t> counts;
-      for (double v : values) ++counts[v];
+      // Sorted run-length counting: no per-group hash map, and the terms
+      // accumulate in ascending-value order, which keeps the result
+      // deterministic regardless of input order.
+      std::vector<double> copy(values, values + n);
+      std::sort(copy.begin(), copy.end());
       double h = 0.0;
-      for (const auto& [v, c] : counts) {
-        const double p = static_cast<double>(c) / static_cast<double>(n);
+      size_t run = 1;
+      for (size_t i = 1; i <= n; ++i) {
+        if (i < n && copy[i] == copy[i - 1]) {
+          ++run;
+          continue;
+        }
+        const double p = static_cast<double>(run) / static_cast<double>(n);
         h -= p * std::log(p);
+        run = 1;
       }
       return h;
     }
     case AggFunction::kKurtosis: {
       if (n < 2) return Nan();
       double mean = 0.0;
-      for (double v : values) mean += v;
+      for (size_t i = 0; i < n; ++i) mean += values[i];
       mean /= static_cast<double>(n);
       double m2 = 0.0;
       double m4 = 0.0;
-      for (double v : values) {
-        const double d = v - mean;
+      for (size_t i = 0; i < n; ++i) {
+        const double d = values[i] - mean;
         m2 += d * d;
         m4 += d * d * d * d;
       }
@@ -146,22 +171,29 @@ double ComputeAggregate(AggFunction fn, const std::vector<double>& values) {
     }
     case AggFunction::kMode: {
       if (n == 0) return Nan();
-      // std::map gives deterministic ties-toward-smallest.
-      std::map<double, size_t> counts;
-      for (double v : values) ++counts[v];
-      double best = counts.begin()->first;
+      // Ascending run scan; requiring a strictly greater count breaks ties
+      // toward the smallest value, as the old std::map pass did.
+      std::vector<double> copy(values, values + n);
+      std::sort(copy.begin(), copy.end());
+      double best = copy[0];
       size_t best_count = 0;
-      for (const auto& [v, c] : counts) {
-        if (c > best_count) {
-          best = v;
-          best_count = c;
+      size_t run = 1;
+      for (size_t i = 1; i <= n; ++i) {
+        if (i < n && copy[i] == copy[i - 1]) {
+          ++run;
+          continue;
         }
+        if (run > best_count) {
+          best = copy[i - 1];
+          best_count = run;
+        }
+        run = 1;
       }
       return best;
     }
     case AggFunction::kMad: {
       if (n == 0) return Nan();
-      std::vector<double> copy = values;
+      std::vector<double> copy(values, values + n);
       const double med = Median(&copy);
       std::vector<double> dev(n);
       for (size_t i = 0; i < n; ++i) dev[i] = std::fabs(values[i] - med);
@@ -169,7 +201,7 @@ double ComputeAggregate(AggFunction fn, const std::vector<double>& values) {
     }
     case AggFunction::kMedian: {
       if (n == 0) return Nan();
-      std::vector<double> copy = values;
+      std::vector<double> copy(values, values + n);
       return Median(&copy);
     }
   }

@@ -57,4 +57,8 @@ double ComputeAggregate(AggFunction fn, const Column& col,
 /// Convenience overload over a dense vector of values (no nulls).
 double ComputeAggregate(AggFunction fn, const std::vector<double>& values);
 
+/// Dense core over a contiguous slice (no nulls). The batch executor
+/// aggregates group slices of one flat array through this without copying.
+double ComputeAggregate(AggFunction fn, const double* values, size_t n);
+
 }  // namespace featlib

@@ -1,0 +1,443 @@
+#include "query/batch_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/str_util.h"
+#include "query/predicate.h"
+
+namespace featlib {
+
+namespace {
+
+constexpr uint32_t kNoGroup = GroupIndex::kNoGroup;
+
+// Mass-evict the predicate-mask cache past this many bytes. Range-predicate
+// operands from the continuous search space rarely repeat, so the cache
+// would otherwise grow with every candidate.
+constexpr size_t kMaskCacheByteCap = 64u << 20;
+
+// Byte cap for cached per-bucket materializations (flat grouped values).
+constexpr size_t kMatCacheByteCap = 128u << 20;
+
+double Nan() { return std::nan(""); }
+
+// Aggregates whose one-pass streaming kernel accumulates directly into
+// per-group arrays; the rest materialize per-group value vectors.
+bool IsStreamingAgg(AggFunction fn) {
+  switch (fn) {
+    case AggFunction::kCount:
+    case AggFunction::kSum:
+    case AggFunction::kMin:
+    case AggFunction::kMax:
+    case AggFunction::kAvg:
+    case AggFunction::kVar:
+    case AggFunction::kVarSample:
+    case AggFunction::kStd:
+    case AggFunction::kStdSample:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Candidates differing only in agg function share all grouped values.
+std::string BucketKey(const AggQuery& q) {
+  std::string out = StrJoin(q.group_keys, "\x1f");
+  out += "\x1e";
+  out += q.agg_attr;
+  for (const Predicate& p : q.predicates) {
+    if (p.IsTrivial()) continue;
+    out += "\x1e";
+    out += p.CacheKey();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BatchExecutor::GroupEntry*> BatchExecutor::GetGroupEntry(
+    const std::vector<std::string>& group_keys, const Table& relevant) {
+  const std::string key = StrJoin(group_keys, "\x1f");
+  auto it = group_cache_.find(key);
+  if (it == group_cache_.end()) {
+    FEAT_ASSIGN_OR_RETURN(GroupIndex index, GroupIndex::Build(relevant, group_keys));
+    ++group_builds_;
+    it = group_cache_.emplace(key, GroupEntry{std::move(index), false, {}}).first;
+  }
+  return &it->second;
+}
+
+Result<const std::vector<uint8_t>*> BatchExecutor::GetPredicateMask(
+    const Predicate& p, const Table& relevant) {
+  const std::string key = p.CacheKey();
+  auto it = mask_cache_.find(key);
+  if (it != mask_cache_.end()) return &it->second;
+  if (mask_cache_bytes_ + relevant.num_rows() > kMaskCacheByteCap) {
+    mask_cache_.clear();
+    mask_cache_bytes_ = 0;
+  }
+  FEAT_ASSIGN_OR_RETURN(CompiledFilter filter,
+                        CompiledFilter::Compile({p}, relevant));
+  std::vector<uint8_t> mask(relevant.num_rows());
+  for (size_t row = 0; row < mask.size(); ++row) {
+    mask[row] = filter.Matches(row) ? 1 : 0;
+  }
+  ++mask_builds_;
+  mask_cache_bytes_ += mask.size();
+  return &mask_cache_.emplace(key, std::move(mask)).first->second;
+}
+
+Result<const uint8_t*> BatchExecutor::BuildSelectionMask(const AggQuery& q,
+                                                         const Table& relevant) {
+  std::vector<const Predicate*> active;
+  for (const Predicate& p : q.predicates) {
+    if (!p.IsTrivial()) active.push_back(&p);
+  }
+  if (active.empty()) return static_cast<const uint8_t*>(nullptr);
+  if (active.size() == 1) {
+    // The common one-predicate query uses the cached mask directly; the
+    // pointer stays valid until the next GetPredicateMask (which no caller
+    // issues before consuming the mask).
+    FEAT_ASSIGN_OR_RETURN(const std::vector<uint8_t>* mask,
+                          GetPredicateMask(*active[0], relevant));
+    return mask->data();
+  }
+  // Conjunctions snapshot the first mask, then AND each further one in as
+  // soon as it is fetched (a fetch may evict earlier cache pointers).
+  FEAT_ASSIGN_OR_RETURN(const std::vector<uint8_t>* first,
+                        GetPredicateMask(*active[0], relevant));
+  combined_mask_.assign(first->begin(), first->end());
+  for (size_t i = 1; i < active.size(); ++i) {
+    FEAT_ASSIGN_OR_RETURN(const std::vector<uint8_t>* mask,
+                          GetPredicateMask(*active[i], relevant));
+    for (size_t row = 0; row < combined_mask_.size(); ++row) {
+      combined_mask_[row] &= (*mask)[row];
+    }
+  }
+  return combined_mask_.data();
+}
+
+Result<const std::vector<double>*> BatchExecutor::GetValueView(
+    const std::string& attr, const Table& relevant) {
+  auto it = view_cache_.find(attr);
+  if (it != view_cache_.end()) return &it->second;
+  FEAT_ASSIGN_OR_RETURN(const Column* col, relevant.GetColumn(attr));
+  std::vector<double> view(relevant.num_rows());
+  // NaN encodes null: stored doubles are never NaN (AppendDouble maps NaN
+  // to null) and int/string numeric views cannot produce one.
+  for (size_t row = 0; row < view.size(); ++row) {
+    view[row] = col->AsDouble(row);
+  }
+  return &view_cache_.emplace(attr, std::move(view)).first->second;
+}
+
+Result<std::vector<double>> BatchExecutor::AggregatePerGroup(
+    const AggQuery& q, const GroupIndex& index, const uint8_t* mask,
+    const Table& relevant, std::vector<uint32_t>* first_selected_row) {
+  FEAT_ASSIGN_OR_RETURN(const std::vector<double>* view_ptr,
+                        GetValueView(q.agg_attr, relevant));
+  const double* view = view_ptr->data();
+  const std::vector<uint32_t>& row_groups = index.row_groups();
+  const size_t n = row_groups.size();
+  const size_t n_groups = index.num_groups();
+  std::vector<double> feature(n_groups, Nan());
+  if (first_selected_row) first_selected_row->assign(n_groups, kNoGroup);
+  if (n_groups == 0) return feature;
+
+  // Rows passing the filter per group; groups left at 0 are "absent" (the
+  // legacy path never entered them into its hash map) and stay NaN even for
+  // COUNT. value_count tracks non-null aggregation cells.
+  std::vector<uint32_t> present(n_groups, 0);
+  std::vector<uint32_t> value_count(n_groups, 0);
+
+  // Streams the selected rows in ascending order — the same order the
+  // legacy path appended group row vectors in — so every accumulation below
+  // performs bit-identical arithmetic to the materializing reference.
+  auto stream = [&](auto&& on_value) {
+    for (size_t row = 0; row < n; ++row) {
+      const uint32_t g = row_groups[row];
+      if (g == kNoGroup) continue;
+      if (mask != nullptr && mask[row] == 0) continue;
+      if (present[g] == 0 && first_selected_row) {
+        (*first_selected_row)[g] = static_cast<uint32_t>(row);
+      }
+      ++present[g];
+      const double v = view[row];
+      if (std::isnan(v)) continue;  // null cell
+      ++value_count[g];
+      on_value(g, v);
+    }
+  };
+
+  switch (q.agg) {
+    case AggFunction::kCount: {
+      stream([](uint32_t, double) {});
+      for (size_t g = 0; g < n_groups; ++g) {
+        if (present[g] > 0) feature[g] = static_cast<double>(value_count[g]);
+      }
+      return feature;
+    }
+    case AggFunction::kSum:
+    case AggFunction::kAvg: {
+      std::vector<double> sum(n_groups, 0.0);
+      stream([&](uint32_t g, double v) { sum[g] += v; });
+      for (size_t g = 0; g < n_groups; ++g) {
+        if (present[g] == 0 || value_count[g] == 0) continue;
+        feature[g] = q.agg == AggFunction::kSum
+                         ? sum[g]
+                         : sum[g] / static_cast<double>(value_count[g]);
+      }
+      return feature;
+    }
+    case AggFunction::kMin:
+    case AggFunction::kMax: {
+      const bool is_min = q.agg == AggFunction::kMin;
+      std::vector<double> best(n_groups, 0.0);
+      stream([&](uint32_t g, double v) {
+        if (value_count[g] == 1 || (is_min ? v < best[g] : v > best[g])) {
+          best[g] = v;
+        }
+      });
+      for (size_t g = 0; g < n_groups; ++g) {
+        if (present[g] > 0 && value_count[g] > 0) feature[g] = best[g];
+      }
+      return feature;
+    }
+    case AggFunction::kVar:
+    case AggFunction::kVarSample:
+    case AggFunction::kStd:
+    case AggFunction::kStdSample: {
+      const bool sample =
+          q.agg == AggFunction::kVarSample || q.agg == AggFunction::kStdSample;
+      const bool std_dev =
+          q.agg == AggFunction::kStd || q.agg == AggFunction::kStdSample;
+      std::vector<double> mean(n_groups, 0.0);
+      stream([&](uint32_t g, double v) { mean[g] += v; });
+      for (size_t g = 0; g < n_groups; ++g) {
+        if (value_count[g] > 0) mean[g] /= static_cast<double>(value_count[g]);
+      }
+      // Second value pass accumulates squared deviations in the same row
+      // order as the reference's two-pass variance.
+      std::vector<double> ss(n_groups, 0.0);
+      for (size_t row = 0; row < n; ++row) {
+        const uint32_t g = row_groups[row];
+        if (g == kNoGroup) continue;
+        if (mask != nullptr && mask[row] == 0) continue;
+        const double v = view[row];
+        if (std::isnan(v)) continue;
+        const double d = v - mean[g];
+        ss[g] += d * d;
+      }
+      for (size_t g = 0; g < n_groups; ++g) {
+        const size_t cnt = value_count[g];
+        if (present[g] == 0 || cnt == 0 || (sample && cnt < 2)) continue;
+        const double denom =
+            sample ? static_cast<double>(cnt - 1) : static_cast<double>(cnt);
+        const double var = ss[g] / denom;
+        feature[g] = std_dev ? std::sqrt(var) : var;
+      }
+      return feature;
+    }
+    default:
+      break;
+  }
+
+  // Materializing fallback for order-statistic / frequency aggregates:
+  // bucket the selected non-null values into one flat array (preserving row
+  // order), then delegate each group's slice to the shared ComputeAggregate.
+  stream([](uint32_t, double) {});
+  std::vector<size_t> offsets(n_groups + 1, 0);
+  for (size_t g = 0; g < n_groups; ++g) {
+    offsets[g + 1] = offsets[g] + value_count[g];
+  }
+  std::vector<double> flat(offsets[n_groups]);
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t row = 0; row < n; ++row) {
+    const uint32_t g = row_groups[row];
+    if (g == kNoGroup) continue;
+    if (mask != nullptr && mask[row] == 0) continue;
+    const double v = view[row];
+    if (std::isnan(v)) continue;
+    flat[cursor[g]++] = v;
+  }
+  for (size_t g = 0; g < n_groups; ++g) {
+    if (present[g] == 0) continue;
+    feature[g] = ComputeAggregate(q.agg, flat.data() + offsets[g],
+                                  offsets[g + 1] - offsets[g]);
+  }
+  return feature;
+}
+
+Result<const BatchExecutor::MaterializedValues*> BatchExecutor::GetMaterialized(
+    const std::string& bucket, const GroupIndex& index, const uint8_t* mask,
+    const std::string& agg_attr, const Table& relevant) {
+  auto it = mat_cache_.find(bucket);
+  if (it != mat_cache_.end()) return &it->second;
+
+  FEAT_ASSIGN_OR_RETURN(const std::vector<double>* view_ptr,
+                        GetValueView(agg_attr, relevant));
+  const double* view = view_ptr->data();
+  const std::vector<uint32_t>& row_groups = index.row_groups();
+  const size_t n = row_groups.size();
+  const size_t n_groups = index.num_groups();
+
+  MaterializedValues m;
+  m.present.assign(n_groups, 0);
+  std::vector<uint32_t> value_count(n_groups, 0);
+  for (size_t row = 0; row < n; ++row) {
+    const uint32_t g = row_groups[row];
+    if (g == kNoGroup) continue;
+    if (mask != nullptr && mask[row] == 0) continue;
+    ++m.present[g];
+    if (!std::isnan(view[row])) ++value_count[g];
+  }
+  m.offsets.assign(n_groups + 1, 0);
+  for (size_t g = 0; g < n_groups; ++g) {
+    m.offsets[g + 1] = m.offsets[g] + value_count[g];
+  }
+  m.flat.resize(m.offsets[n_groups]);
+  std::vector<size_t> cursor(m.offsets.begin(), m.offsets.end() - 1);
+  for (size_t row = 0; row < n; ++row) {
+    const uint32_t g = row_groups[row];
+    if (g == kNoGroup) continue;
+    if (mask != nullptr && mask[row] == 0) continue;
+    const double v = view[row];
+    if (std::isnan(v)) continue;
+    m.flat[cursor[g]++] = v;
+  }
+
+  const size_t bytes = m.flat.size() * sizeof(double) +
+                       m.offsets.size() * sizeof(size_t) +
+                       m.present.size() * sizeof(uint32_t);
+  if (mat_cache_bytes_ + bytes > kMatCacheByteCap) {
+    mat_cache_.clear();
+    mat_cache_bytes_ = 0;
+  }
+  mat_cache_bytes_ += bytes;
+  ++materializations_;
+  return &mat_cache_.emplace(bucket, std::move(m)).first->second;
+}
+
+std::vector<double> BatchExecutor::AggregateFromMaterialized(
+    AggFunction fn, const MaterializedValues& m) {
+  const size_t n_groups = m.present.size();
+  std::vector<double> feature(n_groups, Nan());
+  for (size_t g = 0; g < n_groups; ++g) {
+    if (m.present[g] == 0) continue;
+    feature[g] = ComputeAggregate(fn, m.flat.data() + m.offsets[g],
+                                  m.offsets[g + 1] - m.offsets[g]);
+  }
+  return feature;
+}
+
+Result<std::vector<double>> BatchExecutor::ComputeFeatureColumn(
+    const AggQuery& q, const Table& training, const Table& relevant) {
+  return EvaluateOne(q, training, relevant, /*prefer_materialized=*/false);
+}
+
+Result<std::vector<double>> BatchExecutor::EvaluateOne(
+    const AggQuery& q, const Table& training, const Table& relevant,
+    bool prefer_materialized) {
+  FEAT_RETURN_NOT_OK(q.Validate(relevant));
+  FEAT_ASSIGN_OR_RETURN(GroupEntry * entry, GetGroupEntry(q.group_keys, relevant));
+  if (!entry->has_train_map || entry->train_map.size() != training.num_rows()) {
+    FEAT_ASSIGN_OR_RETURN(entry->train_map,
+                          entry->index.MapTrainingRows(training, relevant));
+    entry->has_train_map = true;
+  }
+  // Candidates that differ only in agg function share one materialization;
+  // until a bucket is materialized, streaming-family aggregates take the
+  // one-pass kernel (no flat array needed).
+  const std::string bucket = BucketKey(q);
+  std::vector<double> per_group;
+  auto mat_it = mat_cache_.find(bucket);
+  if (mat_it != mat_cache_.end()) {
+    per_group = AggregateFromMaterialized(q.agg, mat_it->second);
+  } else {
+    FEAT_ASSIGN_OR_RETURN(const uint8_t* mask, BuildSelectionMask(q, relevant));
+    if (IsStreamingAgg(q.agg) && !prefer_materialized) {
+      FEAT_ASSIGN_OR_RETURN(
+          per_group, AggregatePerGroup(q, entry->index, mask, relevant, nullptr));
+    } else {
+      FEAT_ASSIGN_OR_RETURN(
+          const MaterializedValues* m,
+          GetMaterialized(bucket, entry->index, mask, q.agg_attr, relevant));
+      per_group = AggregateFromMaterialized(q.agg, *m);
+    }
+  }
+
+  std::vector<double> out(training.num_rows(), Nan());
+  for (size_t row = 0; row < out.size(); ++row) {
+    const uint32_t g = entry->train_map[row];
+    if (g != kNoGroup) out[row] = per_group[g];
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<double>>> BatchExecutor::EvaluateMany(
+    const std::vector<AggQuery>& queries, const Table& training,
+    const Table& relevant) {
+  // Buckets shared by several candidates pay one materialization and serve
+  // every member from flat slices; singleton buckets keep the cheaper
+  // streaming kernel for streaming-family aggregates.
+  std::unordered_map<std::string, int> bucket_counts;
+  for (const AggQuery& q : queries) ++bucket_counts[BucketKey(q)];
+  std::vector<std::vector<double>> out;
+  out.reserve(queries.size());
+  for (const AggQuery& q : queries) {
+    const bool shared_bucket = bucket_counts[BucketKey(q)] > 1;
+    FEAT_ASSIGN_OR_RETURN(std::vector<double> column,
+                          EvaluateOne(q, training, relevant, shared_bucket));
+    out.push_back(std::move(column));
+  }
+  return out;
+}
+
+Result<Table> BatchExecutor::ExecuteAggQuery(const AggQuery& q,
+                                             const Table& relevant) {
+  FEAT_RETURN_NOT_OK(q.Validate(relevant));
+  FEAT_ASSIGN_OR_RETURN(GroupEntry * entry, GetGroupEntry(q.group_keys, relevant));
+  FEAT_ASSIGN_OR_RETURN(const uint8_t* mask, BuildSelectionMask(q, relevant));
+  std::vector<uint32_t> first_selected;
+  FEAT_ASSIGN_OR_RETURN(
+      std::vector<double> per_group,
+      AggregatePerGroup(q, entry->index, mask, relevant, &first_selected));
+
+  // The legacy path emitted groups in first-seen order among *filtered*
+  // rows with the first matching row as representative; sorting surviving
+  // groups by their first selected row reproduces both exactly.
+  std::vector<uint32_t> survivors;
+  survivors.reserve(first_selected.size());
+  for (uint32_t g = 0; g < first_selected.size(); ++g) {
+    if (first_selected[g] != kNoGroup) survivors.push_back(g);
+  }
+  std::sort(survivors.begin(), survivors.end(),
+            [&](uint32_t a, uint32_t b) {
+              return first_selected[a] < first_selected[b];
+            });
+
+  std::vector<uint32_t> representatives;
+  representatives.reserve(survivors.size());
+  Column feature(DataType::kDouble);
+  feature.Reserve(survivors.size());
+  for (uint32_t g : survivors) {
+    representatives.push_back(first_selected[g]);
+    if (std::isnan(per_group[g])) {
+      feature.AppendNull();
+    } else {
+      feature.AppendDouble(per_group[g]);
+    }
+  }
+
+  Table out;
+  for (const auto& k : q.group_keys) {
+    FEAT_ASSIGN_OR_RETURN(const Column* col, relevant.GetColumn(k));
+    FEAT_RETURN_NOT_OK(out.AddColumn(k, col->Take(representatives)));
+  }
+  FEAT_RETURN_NOT_OK(out.AddColumn("feature", std::move(feature)));
+  return out;
+}
+
+}  // namespace featlib

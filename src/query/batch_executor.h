@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file batch_executor.h
+/// \brief Batched template executor for the candidate-evaluation hot loop.
+///
+/// FeatAug's search evaluates thousands of candidate queries (predicate
+/// combo x agg function x agg attribute) that share the same one-to-many
+/// join. BatchExecutor amortizes everything shareable across candidates:
+///
+///  1. a GroupIndex per group-key set (dense group ids; built once),
+///  2. a cached selection bitmask per WHERE predicate, so a predicate
+///     combination is an AND of cached masks instead of a fresh
+///     compile-and-scan,
+///  3. one-pass streaming aggregates (COUNT/SUM/MIN/MAX/AVG/VAR/STD
+///     families) accumulated directly into per-group-id arrays; only
+///     order-statistic / frequency aggregates (COUNT_DISTINCT, ENTROPY,
+///     KURTOSIS, MODE, MAD, MEDIAN) fall back to materializing per-group
+///     value vectors.
+///
+/// Outputs are bit-identical to the legacy per-candidate path (pinned by
+/// tests/batch_executor_test.cc).
+///
+/// An instance is bound by content to one (training, relevant) table pair:
+/// its caches key off group-key names and predicate operands, so feeding it
+/// a different table with the same schema would silently reuse stale
+/// structures. Callers that augment multiple tables create one executor per
+/// pair (cheap — caches fill lazily).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "query/agg_query.h"
+#include "query/group_index.h"
+#include "table/table.h"
+
+namespace featlib {
+
+class BatchExecutor {
+ public:
+  BatchExecutor() = default;
+
+  /// Feature column of `q` aligned to `training` (NaN where the entity has
+  /// no qualifying rows). Equivalent to the legacy ComputeFeatureColumn but
+  /// reuses the GroupIndex and predicate masks across calls.
+  Result<std::vector<double>> ComputeFeatureColumn(const AggQuery& q,
+                                                   const Table& training,
+                                                   const Table& relevant);
+
+  /// Evaluates N candidates in one call, returning N feature columns.
+  /// Candidates sharing group keys reuse one GroupIndex; predicates repeated
+  /// across candidates hit the mask cache.
+  Result<std::vector<std::vector<double>>> EvaluateMany(
+      const std::vector<AggQuery>& queries, const Table& training,
+      const Table& relevant);
+
+  /// Grouped result table of Def. 2 (key columns + "feature"), identical to
+  /// the legacy ExecuteAggQuery including first-seen group order.
+  Result<Table> ExecuteAggQuery(const AggQuery& q, const Table& relevant);
+
+  /// \name Cache introspection (tests and benches).
+  /// @{
+  size_t num_group_index_builds() const { return group_builds_; }
+  size_t num_mask_builds() const { return mask_builds_; }
+  size_t num_materializations() const { return materializations_; }
+  /// @}
+
+ private:
+  struct GroupEntry {
+    GroupIndex index;
+    bool has_train_map = false;
+    std::vector<uint32_t> train_map;  // training row -> group id
+  };
+
+  /// Grouped non-null values of one (group-key set, predicate set, agg
+  /// attribute) bucket, bucketed into one flat array in row order. Built at
+  /// most once per bucket: candidates that vary only the agg function (the
+  /// common shape of a template's pool) aggregate contiguous slices of the
+  /// same flat array.
+  struct MaterializedValues {
+    std::vector<uint32_t> present;  // selected rows per group (incl. nulls)
+    std::vector<size_t> offsets;    // group id -> slice bounds (size G+1)
+    std::vector<double> flat;       // non-null selected values, row order
+  };
+
+  /// Single-candidate evaluation. With `prefer_materialized`, streaming
+  /// aggregates also go through the bucket materialization (worth it when
+  /// other candidates are known to share the bucket, as in EvaluateMany).
+  Result<std::vector<double>> EvaluateOne(const AggQuery& q,
+                                          const Table& training,
+                                          const Table& relevant,
+                                          bool prefer_materialized);
+
+  Result<GroupEntry*> GetGroupEntry(const std::vector<std::string>& group_keys,
+                                    const Table& relevant);
+
+  /// Selection mask (1 byte per relevant row) for one non-trivial predicate.
+  Result<const std::vector<uint8_t>*> GetPredicateMask(const Predicate& p,
+                                                       const Table& relevant);
+
+  /// ANDs the cached masks of `q`'s predicates into `combined_mask_`;
+  /// returns nullptr when the query has no non-trivial predicate (all rows
+  /// selected).
+  Result<const uint8_t*> BuildSelectionMask(const AggQuery& q,
+                                            const Table& relevant);
+
+  /// The streaming kernel: per-group aggregate values for one candidate.
+  /// Groups with no selected row get NaN. When `first_selected_row` is
+  /// non-null it receives, per group, the first row index passing the
+  /// filter (GroupIndex::kNoGroup when none does).
+  Result<std::vector<double>> AggregatePerGroup(
+      const AggQuery& q, const GroupIndex& index, const uint8_t* mask,
+      const Table& relevant, std::vector<uint32_t>* first_selected_row);
+
+  /// Numeric view of a column (NaN iff null), cached per attribute so the
+  /// streaming kernels read contiguous doubles instead of dispatching on
+  /// column type per row.
+  Result<const std::vector<double>*> GetValueView(const std::string& attr,
+                                                  const Table& relevant);
+
+  Result<const MaterializedValues*> GetMaterialized(const std::string& bucket,
+                                                    const GroupIndex& index,
+                                                    const uint8_t* mask,
+                                                    const std::string& agg_attr,
+                                                    const Table& relevant);
+
+  static std::vector<double> AggregateFromMaterialized(
+      AggFunction fn, const MaterializedValues& m);
+
+  std::unordered_map<std::string, GroupEntry> group_cache_;
+  std::unordered_map<std::string, std::vector<uint8_t>> mask_cache_;
+  size_t mask_cache_bytes_ = 0;
+  std::unordered_map<std::string, std::vector<double>> view_cache_;
+  std::unordered_map<std::string, MaterializedValues> mat_cache_;
+  size_t mat_cache_bytes_ = 0;
+  std::vector<uint8_t> combined_mask_;
+  size_t group_builds_ = 0;
+  size_t mask_builds_ = 0;
+  size_t materializations_ = 0;
+};
+
+}  // namespace featlib

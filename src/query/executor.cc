@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "common/str_util.h"
+#include "query/batch_executor.h"
+#include "query/group_index.h"
 
 namespace featlib {
 
@@ -38,7 +40,9 @@ bool EncodeKeyFromColumns(const std::vector<const Column*>& cols, size_t row,
         break;
       case DataType::kDouble: {
         int64_t bits;
-        const double v = col->DoubleAt(row);
+        // Signed zeros compare equal but differ bitwise; normalize so the
+        // byte-string keys agree (mirrors GroupIndex).
+        const double v = NormalizeSignedZero(col->DoubleAt(row));
         std::memcpy(&bits, &v, sizeof(bits));
         AppendComponent(bits, out);
         break;
@@ -77,7 +81,7 @@ bool EncodeKeyFromTraining(const std::vector<KeyColumnPair>& pairs, size_t row,
       }
       case DataType::kDouble: {
         int64_t bits;
-        const double v = p.d_col->DoubleAt(row);
+        const double v = NormalizeSignedZero(p.d_col->DoubleAt(row));
         std::memcpy(&bits, &v, sizeof(bits));
         AppendComponent(bits, out);
         break;
@@ -104,12 +108,19 @@ Result<GroupedRows> GroupFilteredRows(const AggQuery& q, const Table& relevant) 
     key_cols.push_back(col);
   }
   GroupedRows out;
+  // Sized for the common one-to-many shape (a handful of rows per group);
+  // rehashing the group map mid-scan dominated small-table grouping.
+  out.groups.reserve(relevant.num_rows() / 4 + 1);
+  out.order.reserve(relevant.num_rows() / 4 + 1);
   std::string key;
   for (size_t row = 0; row < relevant.num_rows(); ++row) {
     if (!filter.Matches(row)) continue;
     if (!EncodeKeyFromColumns(key_cols, row, &key)) continue;
     auto [it, inserted] = out.groups.try_emplace(key);
-    if (inserted) out.order.push_back(&it->first);
+    if (inserted) {
+      out.order.push_back(&it->first);
+      it->second.reserve(8);
+    }
     it->second.push_back(static_cast<uint32_t>(row));
   }
   return out;
@@ -118,6 +129,18 @@ Result<GroupedRows> GroupFilteredRows(const AggQuery& q, const Table& relevant) 
 }  // namespace
 
 Result<Table> ExecuteAggQuery(const AggQuery& q, const Table& relevant) {
+  BatchExecutor executor;
+  return executor.ExecuteAggQuery(q, relevant);
+}
+
+Result<std::vector<double>> ComputeFeatureColumn(const AggQuery& q,
+                                                 const Table& training,
+                                                 const Table& relevant) {
+  BatchExecutor executor;
+  return executor.ComputeFeatureColumn(q, training, relevant);
+}
+
+Result<Table> ExecuteAggQueryLegacy(const AggQuery& q, const Table& relevant) {
   FEAT_ASSIGN_OR_RETURN(GroupedRows grouped, GroupFilteredRows(q, relevant));
   FEAT_ASSIGN_OR_RETURN(const Column* agg_col, relevant.GetColumn(q.agg_attr));
 
@@ -146,9 +169,9 @@ Result<Table> ExecuteAggQuery(const AggQuery& q, const Table& relevant) {
   return out;
 }
 
-Result<std::vector<double>> ComputeFeatureColumn(const AggQuery& q,
-                                                 const Table& training,
-                                                 const Table& relevant) {
+Result<std::vector<double>> ComputeFeatureColumnLegacy(const AggQuery& q,
+                                                       const Table& training,
+                                                       const Table& relevant) {
   FEAT_ASSIGN_OR_RETURN(GroupedRows grouped, GroupFilteredRows(q, relevant));
   FEAT_ASSIGN_OR_RETURN(const Column* agg_col, relevant.GetColumn(q.agg_attr));
 
@@ -193,11 +216,9 @@ Result<Table> AugmentTable(const Table& training, const Table& relevant,
                            const AggQuery& q, const std::string& feature_name) {
   FEAT_ASSIGN_OR_RETURN(std::vector<double> values,
                         ComputeFeatureColumn(q, training, relevant));
-  Column col(DataType::kDouble);
-  col.Reserve(values.size());
-  for (double v : values) col.AppendDouble(v);  // AppendDouble maps NaN->null
   Table out = training;
-  FEAT_RETURN_NOT_OK(out.AddColumn(feature_name, std::move(col)));
+  FEAT_RETURN_NOT_OK(
+      out.AddColumn(feature_name, Column::FromDoubles(values)));
   return out;
 }
 

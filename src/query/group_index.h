@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file group_index.h
+/// \brief Dense group-id index shared by every candidate query over the same
+/// group-key set.
+///
+/// The candidate-evaluation hot loop evaluates thousands of query templates
+/// (predicate combo x agg function x agg attribute) against the *same*
+/// one-to-many join. The legacy executor re-encoded composite byte-string
+/// keys and re-hashed every row for every candidate; a GroupIndex performs
+/// that work exactly once per (relevant table, group-key set): each relevant
+/// row gets a dense uint32 group id, and training rows are mapped to group
+/// ids through the same canonical encoding. Candidates then aggregate into
+/// flat per-group-id arrays with no hashing at all.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace featlib {
+
+/// Normalizes IEEE negative zero so `-0.0` and `0.0` — equal as doubles but
+/// distinct as bit patterns — encode to the same composite key bytes.
+inline double NormalizeSignedZero(double v) { return v == 0.0 ? 0.0 : v; }
+
+/// \brief Immutable mapping from rows to dense group ids for one group-key
+/// set over one relevant table.
+///
+/// Group ids are assigned in first-seen row order over all rows whose key
+/// cells are non-NULL, which makes downstream group orderings deterministic.
+class GroupIndex {
+ public:
+  /// Sentinel for rows that belong to no group (a NULL key cell, or — for
+  /// training rows — a key value that never occurs in the relevant table).
+  static constexpr uint32_t kNoGroup = UINT32_MAX;
+
+  /// Scans `relevant` once and assigns every row a group id.
+  static Result<GroupIndex> Build(const Table& relevant,
+                                  const std::vector<std::string>& group_keys);
+
+  size_t num_groups() const { return num_groups_; }
+  size_t num_rows() const { return row_groups_.size(); }
+  const std::vector<std::string>& group_keys() const { return group_keys_; }
+
+  /// Group id per relevant row (kNoGroup where the key has a NULL cell).
+  const std::vector<uint32_t>& row_groups() const { return row_groups_; }
+
+  /// Maps each training row to its group id via the relevant table's
+  /// canonical encoding (string key cells are translated through the
+  /// relevant table's dictionary). kNoGroup where the row cannot join.
+  Result<std::vector<uint32_t>> MapTrainingRows(const Table& training,
+                                                const Table& relevant) const;
+
+ private:
+  GroupIndex() = default;
+
+  std::vector<std::string> group_keys_;
+  std::vector<uint32_t> row_groups_;
+  /// Canonical key bytes -> dense group id (kept for training-row mapping).
+  std::unordered_map<std::string, uint32_t> group_of_key_;
+  size_t num_groups_ = 0;
+};
+
+}  // namespace featlib

@@ -48,6 +48,17 @@ std::string Predicate::ToSql(DataType attr_type) const {
   return "TRUE";
 }
 
+std::string Predicate::CacheKey() const {
+  std::string out = attr;
+  if (kind == Kind::kEquals) {
+    out += "=" + equals_value.ToSqlLiteral();
+  } else {
+    out += StrFormat("[%s,%s]", has_lo ? StrFormat("%.9g", lo).c_str() : "-inf",
+                     has_hi ? StrFormat("%.9g", hi).c_str() : "+inf");
+  }
+  return out;
+}
+
 Result<CompiledFilter> CompiledFilter::Compile(
     const std::vector<Predicate>& predicates, const Table& table) {
   CompiledFilter out;

@@ -43,6 +43,11 @@ struct Predicate {
 
   /// SQL rendering, e.g. `department = 'Electronics'` or `ts >= 17000`.
   std::string ToSql(DataType attr_type) const;
+
+  /// Deterministic canonical key identifying this predicate's semantics;
+  /// the unit of AggQuery::CacheKey and of the batch executor's
+  /// selection-mask cache.
+  std::string CacheKey() const;
 };
 
 /// \brief A compiled conjunctive filter bound to one table.

@@ -81,7 +81,7 @@ class Column {
 
   /// Builds an all-valid int column.
   static Column FromInts(DataType type, const std::vector<int64_t>& values);
-  /// Builds an all-valid double column.
+  /// Builds a double column; NaN values map to null (AppendDouble rule).
   static Column FromDoubles(const std::vector<double>& values);
   /// Builds an all-valid string column.
   static Column FromStrings(const std::vector<std::string>& values);

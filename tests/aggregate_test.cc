@@ -36,6 +36,17 @@ TEST(AggregateTest, KnownValues) {
   EXPECT_DOUBLE_EQ(ComputeAggregate(AggFunction::kMedian, v), 2.0);
 }
 
+TEST(AggregateTest, CountDistinctIsNanSafe) {
+  // NaN != NaN, so a naive hash set counts every NaN separately; all NaNs
+  // must collapse into a single distinct value.
+  const double nan = std::nan("");
+  EXPECT_DOUBLE_EQ(
+      ComputeAggregate(AggFunction::kCountDistinct, {nan, nan, nan}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ComputeAggregate(AggFunction::kCountDistinct, {1.0, nan, 2.0, nan}), 3.0);
+  EXPECT_DOUBLE_EQ(ComputeAggregate(AggFunction::kCountDistinct, {}), 0.0);
+}
+
 TEST(AggregateTest, VarianceFamilies) {
   const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
   EXPECT_DOUBLE_EQ(ComputeAggregate(AggFunction::kVar, v), 4.0);
