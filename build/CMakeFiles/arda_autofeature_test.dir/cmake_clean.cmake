@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_autofeature_test.dir/tests/arda_autofeature_test.cc.o"
+  "CMakeFiles/arda_autofeature_test.dir/tests/arda_autofeature_test.cc.o.d"
+  "arda_autofeature_test"
+  "arda_autofeature_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_autofeature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_executor_test.dir/tests/batch_executor_test.cc.o"
+  "CMakeFiles/batch_executor_test.dir/tests/batch_executor_test.cc.o.d"
+  "batch_executor_test"
+  "batch_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

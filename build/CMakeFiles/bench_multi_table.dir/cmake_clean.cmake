@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_table.dir/bench/bench_multi_table.cc.o"
+  "CMakeFiles/bench_multi_table.dir/bench/bench_multi_table.cc.o.d"
+  "bench_multi_table"
+  "bench_multi_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

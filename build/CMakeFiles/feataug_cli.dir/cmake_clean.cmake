@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feataug_cli.dir/examples/feataug_cli.cpp.o"
+  "CMakeFiles/feataug_cli.dir/examples/feataug_cli.cpp.o.d"
+  "feataug_cli"
+  "feataug_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feataug_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

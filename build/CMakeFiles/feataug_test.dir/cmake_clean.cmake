@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feataug_test.dir/tests/feataug_test.cc.o"
+  "CMakeFiles/feataug_test.dir/tests/feataug_test.cc.o.d"
+  "feataug_test"
+  "feataug_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feataug_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

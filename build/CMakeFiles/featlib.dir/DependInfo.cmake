@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/arda.cc" "CMakeFiles/featlib.dir/src/baselines/arda.cc.o" "gcc" "CMakeFiles/featlib.dir/src/baselines/arda.cc.o.d"
+  "/root/repo/src/baselines/autofeature.cc" "CMakeFiles/featlib.dir/src/baselines/autofeature.cc.o" "gcc" "CMakeFiles/featlib.dir/src/baselines/autofeature.cc.o.d"
+  "/root/repo/src/baselines/featuretools.cc" "CMakeFiles/featlib.dir/src/baselines/featuretools.cc.o" "gcc" "CMakeFiles/featlib.dir/src/baselines/featuretools.cc.o.d"
+  "/root/repo/src/baselines/random_aug.cc" "CMakeFiles/featlib.dir/src/baselines/random_aug.cc.o" "gcc" "CMakeFiles/featlib.dir/src/baselines/random_aug.cc.o.d"
+  "/root/repo/src/baselines/selectors.cc" "CMakeFiles/featlib.dir/src/baselines/selectors.cc.o" "gcc" "CMakeFiles/featlib.dir/src/baselines/selectors.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/featlib.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/featlib.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/featlib.dir/src/common/status.cc.o" "gcc" "CMakeFiles/featlib.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "CMakeFiles/featlib.dir/src/common/str_util.cc.o" "gcc" "CMakeFiles/featlib.dir/src/common/str_util.cc.o.d"
+  "/root/repo/src/core/codec.cc" "CMakeFiles/featlib.dir/src/core/codec.cc.o" "gcc" "CMakeFiles/featlib.dir/src/core/codec.cc.o.d"
+  "/root/repo/src/core/feataug.cc" "CMakeFiles/featlib.dir/src/core/feataug.cc.o" "gcc" "CMakeFiles/featlib.dir/src/core/feataug.cc.o.d"
+  "/root/repo/src/core/feature_eval.cc" "CMakeFiles/featlib.dir/src/core/feature_eval.cc.o" "gcc" "CMakeFiles/featlib.dir/src/core/feature_eval.cc.o.d"
+  "/root/repo/src/core/generator.cc" "CMakeFiles/featlib.dir/src/core/generator.cc.o" "gcc" "CMakeFiles/featlib.dir/src/core/generator.cc.o.d"
+  "/root/repo/src/core/multi_table.cc" "CMakeFiles/featlib.dir/src/core/multi_table.cc.o" "gcc" "CMakeFiles/featlib.dir/src/core/multi_table.cc.o.d"
+  "/root/repo/src/core/plan_io.cc" "CMakeFiles/featlib.dir/src/core/plan_io.cc.o" "gcc" "CMakeFiles/featlib.dir/src/core/plan_io.cc.o.d"
+  "/root/repo/src/core/query_template.cc" "CMakeFiles/featlib.dir/src/core/query_template.cc.o" "gcc" "CMakeFiles/featlib.dir/src/core/query_template.cc.o.d"
+  "/root/repo/src/core/template_id.cc" "CMakeFiles/featlib.dir/src/core/template_id.cc.o" "gcc" "CMakeFiles/featlib.dir/src/core/template_id.cc.o.d"
+  "/root/repo/src/data/multi_table_data.cc" "CMakeFiles/featlib.dir/src/data/multi_table_data.cc.o" "gcc" "CMakeFiles/featlib.dir/src/data/multi_table_data.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "CMakeFiles/featlib.dir/src/data/synthetic.cc.o" "gcc" "CMakeFiles/featlib.dir/src/data/synthetic.cc.o.d"
+  "/root/repo/src/hpo/hyperband.cc" "CMakeFiles/featlib.dir/src/hpo/hyperband.cc.o" "gcc" "CMakeFiles/featlib.dir/src/hpo/hyperband.cc.o.d"
+  "/root/repo/src/hpo/smac.cc" "CMakeFiles/featlib.dir/src/hpo/smac.cc.o" "gcc" "CMakeFiles/featlib.dir/src/hpo/smac.cc.o.d"
+  "/root/repo/src/hpo/space.cc" "CMakeFiles/featlib.dir/src/hpo/space.cc.o" "gcc" "CMakeFiles/featlib.dir/src/hpo/space.cc.o.d"
+  "/root/repo/src/hpo/tpe.cc" "CMakeFiles/featlib.dir/src/hpo/tpe.cc.o" "gcc" "CMakeFiles/featlib.dir/src/hpo/tpe.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "CMakeFiles/featlib.dir/src/ml/dataset.cc.o" "gcc" "CMakeFiles/featlib.dir/src/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/deepfm.cc" "CMakeFiles/featlib.dir/src/ml/deepfm.cc.o" "gcc" "CMakeFiles/featlib.dir/src/ml/deepfm.cc.o.d"
+  "/root/repo/src/ml/evaluator.cc" "CMakeFiles/featlib.dir/src/ml/evaluator.cc.o" "gcc" "CMakeFiles/featlib.dir/src/ml/evaluator.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "CMakeFiles/featlib.dir/src/ml/forest.cc.o" "gcc" "CMakeFiles/featlib.dir/src/ml/forest.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "CMakeFiles/featlib.dir/src/ml/gbdt.cc.o" "gcc" "CMakeFiles/featlib.dir/src/ml/gbdt.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "CMakeFiles/featlib.dir/src/ml/linear.cc.o" "gcc" "CMakeFiles/featlib.dir/src/ml/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "CMakeFiles/featlib.dir/src/ml/metrics.cc.o" "gcc" "CMakeFiles/featlib.dir/src/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/model.cc" "CMakeFiles/featlib.dir/src/ml/model.cc.o" "gcc" "CMakeFiles/featlib.dir/src/ml/model.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "CMakeFiles/featlib.dir/src/ml/tree.cc.o" "gcc" "CMakeFiles/featlib.dir/src/ml/tree.cc.o.d"
+  "/root/repo/src/query/agg_query.cc" "CMakeFiles/featlib.dir/src/query/agg_query.cc.o" "gcc" "CMakeFiles/featlib.dir/src/query/agg_query.cc.o.d"
+  "/root/repo/src/query/aggregate.cc" "CMakeFiles/featlib.dir/src/query/aggregate.cc.o" "gcc" "CMakeFiles/featlib.dir/src/query/aggregate.cc.o.d"
+  "/root/repo/src/query/batch_executor.cc" "CMakeFiles/featlib.dir/src/query/batch_executor.cc.o" "gcc" "CMakeFiles/featlib.dir/src/query/batch_executor.cc.o.d"
+  "/root/repo/src/query/executor.cc" "CMakeFiles/featlib.dir/src/query/executor.cc.o" "gcc" "CMakeFiles/featlib.dir/src/query/executor.cc.o.d"
+  "/root/repo/src/query/group_index.cc" "CMakeFiles/featlib.dir/src/query/group_index.cc.o" "gcc" "CMakeFiles/featlib.dir/src/query/group_index.cc.o.d"
+  "/root/repo/src/query/join.cc" "CMakeFiles/featlib.dir/src/query/join.cc.o" "gcc" "CMakeFiles/featlib.dir/src/query/join.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "CMakeFiles/featlib.dir/src/query/predicate.cc.o" "gcc" "CMakeFiles/featlib.dir/src/query/predicate.cc.o.d"
+  "/root/repo/src/query/relation_graph.cc" "CMakeFiles/featlib.dir/src/query/relation_graph.cc.o" "gcc" "CMakeFiles/featlib.dir/src/query/relation_graph.cc.o.d"
+  "/root/repo/src/query/sql_parser.cc" "CMakeFiles/featlib.dir/src/query/sql_parser.cc.o" "gcc" "CMakeFiles/featlib.dir/src/query/sql_parser.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "CMakeFiles/featlib.dir/src/stats/stats.cc.o" "gcc" "CMakeFiles/featlib.dir/src/stats/stats.cc.o.d"
+  "/root/repo/src/table/column.cc" "CMakeFiles/featlib.dir/src/table/column.cc.o" "gcc" "CMakeFiles/featlib.dir/src/table/column.cc.o.d"
+  "/root/repo/src/table/csv.cc" "CMakeFiles/featlib.dir/src/table/csv.cc.o" "gcc" "CMakeFiles/featlib.dir/src/table/csv.cc.o.d"
+  "/root/repo/src/table/table.cc" "CMakeFiles/featlib.dir/src/table/table.cc.o" "gcc" "CMakeFiles/featlib.dir/src/table/table.cc.o.d"
+  "/root/repo/src/table/value.cc" "CMakeFiles/featlib.dir/src/table/value.cc.o" "gcc" "CMakeFiles/featlib.dir/src/table/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for featlib.
+# This may be replaced when dependencies are built.

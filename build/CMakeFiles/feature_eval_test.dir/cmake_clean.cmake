@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_eval_test.dir/tests/feature_eval_test.cc.o"
+  "CMakeFiles/feature_eval_test.dir/tests/feature_eval_test.cc.o.d"
+  "feature_eval_test"
+  "feature_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/featuretools_test.dir/tests/featuretools_test.cc.o"
+  "CMakeFiles/featuretools_test.dir/tests/featuretools_test.cc.o.d"
+  "featuretools_test"
+  "featuretools_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/featuretools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpo_test.dir/tests/hpo_test.cc.o"
+  "CMakeFiles/hpo_test.dir/tests/hpo_test.cc.o.d"
+  "hpo_test"
+  "hpo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperband_test.dir/tests/hyperband_test.cc.o"
+  "CMakeFiles/hyperband_test.dir/tests/hyperband_test.cc.o.d"
+  "hyperband_test"
+  "hyperband_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperband_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

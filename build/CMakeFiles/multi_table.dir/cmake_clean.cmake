@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_table.dir/examples/multi_table.cpp.o"
+  "CMakeFiles/multi_table.dir/examples/multi_table.cpp.o.d"
+  "multi_table"
+  "multi_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

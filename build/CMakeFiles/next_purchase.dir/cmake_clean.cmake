@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/next_purchase.dir/examples/next_purchase.cpp.o"
+  "CMakeFiles/next_purchase.dir/examples/next_purchase.cpp.o.d"
+  "next_purchase"
+  "next_purchase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/next_purchase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

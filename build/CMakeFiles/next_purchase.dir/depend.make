@@ -1,0 +1,2 @@
+# Empty dependencies file for next_purchase.
+# This may be replaced when dependencies are built.

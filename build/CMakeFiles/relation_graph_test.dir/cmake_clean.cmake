@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_graph_test.dir/tests/relation_graph_test.cc.o"
+  "CMakeFiles/relation_graph_test.dir/tests/relation_graph_test.cc.o.d"
+  "relation_graph_test"
+  "relation_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

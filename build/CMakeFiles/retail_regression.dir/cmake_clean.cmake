@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_regression.dir/examples/retail_regression.cpp.o"
+  "CMakeFiles/retail_regression.dir/examples/retail_regression.cpp.o.d"
+  "retail_regression"
+  "retail_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

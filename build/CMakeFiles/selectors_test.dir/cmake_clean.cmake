@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selectors_test.dir/tests/selectors_test.cc.o"
+  "CMakeFiles/selectors_test.dir/tests/selectors_test.cc.o.d"
+  "selectors_test"
+  "selectors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smac_test.dir/tests/smac_test.cc.o"
+  "CMakeFiles/smac_test.dir/tests/smac_test.cc.o.d"
+  "smac_test"
+  "smac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

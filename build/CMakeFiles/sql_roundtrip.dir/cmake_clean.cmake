@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_roundtrip.dir/examples/sql_roundtrip.cpp.o"
+  "CMakeFiles/sql_roundtrip.dir/examples/sql_roundtrip.cpp.o.d"
+  "sql_roundtrip"
+  "sql_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

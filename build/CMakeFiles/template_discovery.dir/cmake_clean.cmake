@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_discovery.dir/examples/template_discovery.cpp.o"
+  "CMakeFiles/template_discovery.dir/examples/template_discovery.cpp.o.d"
+  "template_discovery"
+  "template_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

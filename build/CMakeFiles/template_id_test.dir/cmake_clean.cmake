@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_id_test.dir/tests/template_id_test.cc.o"
+  "CMakeFiles/template_id_test.dir/tests/template_id_test.cc.o.d"
+  "template_id_test"
+  "template_id_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
