@@ -6,20 +6,33 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/harness.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/codec.h"
 #include "data/synthetic.h"
 #include "data/multi_table_data.h"
 #include "hpo/tpe.h"
 #include "query/batch_executor.h"
+#include "query/bitset.h"
 #include "query/sql_parser.h"
 #include "query/executor.h"
 #include "stats/stats.h"
+
+// The executor speedup record lands at the repo root (set by CMake) so it is
+// found in one place regardless of where the binary runs.
+#ifndef FEATLIB_REPO_ROOT
+#define FEATLIB_REPO_ROOT "."
+#endif
 
 namespace featlib {
 namespace {
@@ -127,6 +140,37 @@ void BM_BatchedCandidateEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedCandidateEvaluation);
 
+// The same batch fanned out over a pool of Arg(0) threads.
+void BM_ParallelCandidateEvaluation(benchmark::State& state) {
+  const DatasetBundle& b = SharedBundle();
+  const std::vector<AggQuery> candidates = TemplateCandidates(b);
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    BatchExecutor executor;
+    executor.set_thread_pool(&pool);
+    benchmark::DoNotOptimize(
+        executor.EvaluateMany(candidates, b.training, b.relevant));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(candidates.size()));
+}
+BENCHMARK(BM_ParallelCandidateEvaluation)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Word-packed predicate-mask AND (the per-candidate conjunction step).
+void BM_BitsetAnd(benchmark::State& state) {
+  const size_t n = SharedBundle().relevant.num_rows();
+  Bitset a(n), mask(n);
+  for (size_t i = 0; i < n; i += 3) a.Set(i);
+  for (size_t i = 0; i < n; i += 2) mask.Set(i);
+  for (auto _ : state) {
+    a.AndWith(mask);
+    benchmark::DoNotOptimize(const_cast<uint64_t*>(a.words()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitsetAnd);
+
 void BM_MutualInformation(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Rng rng(1);
@@ -202,40 +246,58 @@ BENCHMARK(BM_FlattenRelevant)->Arg(1000)->Arg(5000);
 
 }  // namespace
 
+// True when every (row, candidate) cell matches bit for bit (NaN == NaN).
+static bool ColumnsBitIdentical(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t r = 0; r < a.size(); ++r) {
+    if (std::isnan(a[r]) && std::isnan(b[r])) continue;
+    if (std::memcmp(&a[r], &b[r], sizeof(double)) != 0) return false;
+  }
+  return true;
+}
+
 // Times the repeated-template candidate-evaluation workload on the legacy
-// per-candidate path vs the batched executor, verifies the feature columns
-// are bit-identical, and emits a machine-readable speedup record.
-int WriteExecutorSpeedupRecord(const char* path) {
+// per-candidate path vs the batched executor at every thread count of the
+// sweep, verifies the feature columns are bit-identical at each count, and
+// emits a machine-readable speedup record (with per-phase timings and the
+// word-packed vs byte-per-row mask-AND micro-timing).
+int WriteExecutorSpeedupRecord(const char* path,
+                               const std::vector<int>& thread_counts) {
   const DatasetBundle& b = SharedBundle();
   const std::vector<AggQuery> candidates = TemplateCandidates(b);
   constexpr int kRepeats = 3;
 
-  // Warm-up + equivalence check (outside the timed sections).
-  bool bit_identical = true;
-  {
-    BatchExecutor executor;
-    auto batched = executor.EvaluateMany(candidates, b.training, b.relevant);
-    if (!batched.ok()) {
-      std::fprintf(stderr, "batched evaluation failed: %s\n",
-                   batched.status().ToString().c_str());
+  // Legacy reference columns, reused for the per-thread-count equivalence
+  // checks (all outside the timed sections; also warms the allocator).
+  std::vector<std::vector<double>> legacy_columns;
+  legacy_columns.reserve(candidates.size());
+  for (const AggQuery& q : candidates) {
+    auto legacy = ComputeFeatureColumnLegacy(q, b.training, b.relevant);
+    if (!legacy.ok()) {
+      std::fprintf(stderr, "legacy evaluation failed: %s\n",
+                   legacy.status().ToString().c_str());
       return 1;
     }
-    for (size_t i = 0; i < candidates.size() && bit_identical; ++i) {
-      auto legacy =
-          ComputeFeatureColumnLegacy(candidates[i], b.training, b.relevant);
-      if (!legacy.ok() ||
-          legacy.value().size() != batched.value()[i].size()) {
+    legacy_columns.push_back(std::move(legacy).ValueOrDie());
+  }
+  bool bit_identical = true;
+  for (int threads : thread_counts) {
+    ThreadPool pool(threads);
+    BatchExecutor executor;
+    executor.set_thread_pool(&pool);
+    auto batched = executor.EvaluateMany(candidates, b.training, b.relevant);
+    if (!batched.ok()) {
+      std::fprintf(stderr, "batched evaluation (%d threads) failed: %s\n",
+                   threads, batched.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (!ColumnsBitIdentical(legacy_columns[i], batched.value()[i])) {
+        std::fprintf(stderr, "divergence at %d threads, candidate %zu (%s)\n",
+                     threads, i, candidates[i].CacheKey().c_str());
         bit_identical = false;
         break;
-      }
-      for (size_t r = 0; r < legacy.value().size(); ++r) {
-        const double x = legacy.value()[r];
-        const double y = batched.value()[i][r];
-        if (std::isnan(x) && std::isnan(y)) continue;
-        if (std::memcmp(&x, &y, sizeof(x)) != 0) {
-          bit_identical = false;
-          break;
-        }
       }
     }
   }
@@ -249,16 +311,56 @@ int WriteExecutorSpeedupRecord(const char* path) {
   }
   const double legacy_seconds = timer.Seconds();
 
-  timer.Restart();
-  for (int rep = 0; rep < kRepeats; ++rep) {
-    BatchExecutor executor;
-    benchmark::DoNotOptimize(
-        executor.EvaluateMany(candidates, b.training, b.relevant));
+  // Thread sweep. A fresh executor per repeat charges the group-index and
+  // mask builds to every batch, as in a real search over a new template.
+  std::vector<double> sweep_seconds(thread_counts.size(), 0.0);
+  std::vector<double> sweep_prepare(thread_counts.size(), 0.0);
+  std::vector<double> sweep_aggregate(thread_counts.size(), 0.0);
+  for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+    ThreadPool pool(thread_counts[ti]);
+    timer.Restart();
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      BatchExecutor executor;
+      executor.set_thread_pool(&pool);
+      benchmark::DoNotOptimize(
+          executor.EvaluateMany(candidates, b.training, b.relevant));
+      // Summed over repeats so the phase fields decompose threads_N_seconds.
+      sweep_prepare[ti] += executor.last_prepare_seconds();
+      sweep_aggregate[ti] += executor.last_aggregate_seconds();
+    }
+    sweep_seconds[ti] = timer.Seconds();
   }
-  const double batched_seconds = timer.Seconds();
 
-  const double speedup =
-      batched_seconds > 0.0 ? legacy_seconds / batched_seconds : 0.0;
+  // Word-packed vs byte-per-row mask AND over the relevant table's rows.
+  const size_t n_rows = b.relevant.num_rows();
+  constexpr int kAndReps = 4000;
+  Bitset bits_a(n_rows), bits_b(n_rows);
+  std::vector<uint8_t> bytes_a(n_rows, 0), bytes_b(n_rows, 0);
+  for (size_t i = 0; i < n_rows; i += 3) {
+    bits_a.Set(i);
+    bytes_a[i] = 1;
+  }
+  for (size_t i = 0; i < n_rows; i += 2) {
+    bits_b.Set(i);
+    bytes_b[i] = 1;
+  }
+  timer.Restart();
+  for (int rep = 0; rep < kAndReps; ++rep) {
+    bits_a.AndWith(bits_b);
+    benchmark::DoNotOptimize(const_cast<uint64_t*>(bits_a.words()));
+  }
+  const double bitset_and_seconds = timer.Seconds() / kAndReps;
+  timer.Restart();
+  for (int rep = 0; rep < kAndReps; ++rep) {
+    for (size_t i = 0; i < n_rows; ++i) bytes_a[i] &= bytes_b[i];
+    benchmark::DoNotOptimize(bytes_a.data());
+  }
+  const double bytemask_and_seconds = timer.Seconds() / kAndReps;
+
+  const double batched_seconds = sweep_seconds.front();  // 1-thread batched
+  const double best_seconds =
+      *std::min_element(sweep_seconds.begin(), sweep_seconds.end());
+  const double max_threads_seconds = sweep_seconds.back();
   bench::JsonRecord record;
   record.Add("bench", std::string("executor_batch_vs_legacy"))
       .Add("dataset", b.name)
@@ -266,9 +368,32 @@ int WriteExecutorSpeedupRecord(const char* path) {
       .Add("training_rows", static_cast<double>(b.training.num_rows()))
       .Add("candidates", static_cast<double>(candidates.size()))
       .Add("repeats", static_cast<double>(kRepeats))
+      .Add("hardware_concurrency",
+           static_cast<double>(std::thread::hardware_concurrency()))
       .Add("legacy_seconds", legacy_seconds)
       .Add("batched_seconds", batched_seconds)
-      .Add("speedup", speedup)
+      .Add("speedup",
+           batched_seconds > 0.0 ? legacy_seconds / batched_seconds : 0.0);
+  std::string threads_list;
+  for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+    if (ti > 0) threads_list += ",";
+    threads_list += std::to_string(thread_counts[ti]);
+    const std::string prefix = "threads_" + std::to_string(thread_counts[ti]);
+    record.Add(prefix + "_seconds", sweep_seconds[ti])
+        .Add(prefix + "_prepare_seconds", sweep_prepare[ti])
+        .Add(prefix + "_aggregate_seconds", sweep_aggregate[ti]);
+  }
+  record.Add("threads", threads_list)
+      .Add("parallel_speedup_max_threads_vs_1",
+           max_threads_seconds > 0.0 ? batched_seconds / max_threads_seconds
+                                     : 0.0)
+      .Add("speedup_at_max_threads",
+           max_threads_seconds > 0.0 ? legacy_seconds / max_threads_seconds
+                                     : 0.0)
+      .Add("speedup_at_best",
+           best_seconds > 0.0 ? legacy_seconds / best_seconds : 0.0)
+      .Add("bitset_and_seconds", bitset_and_seconds)
+      .Add("bytemask_and_seconds", bytemask_and_seconds)
       .Add("bit_identical", bit_identical);
   Status write_status = record.WriteTo(path);
   if (!write_status.ok()) {
@@ -285,15 +410,49 @@ int main(int argc, char** argv) {
   // Listing runs must not execute (or overwrite the record of) the speedup
   // comparison; tooling wraps --benchmark_list_tests around every binary.
   bool list_only = false;
+  // --threads=a,b,c sets the EvaluateMany sweep of the speedup record
+  // (ascending; the last entry is reported as "max threads").
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  int out_argc = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--benchmark_list_tests", 22) == 0) {
+    if (std::strcmp(argv[i], "--benchmark_list_tests") == 0 ||
+        std::strcmp(argv[i], "--benchmark_list_tests=true") == 0) {
       list_only = true;
     }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      thread_counts.clear();
+      const char* p = argv[i] + 10;
+      while (*p != '\0') {
+        char* end = nullptr;
+        const long t = std::strtol(p, &end, 10);
+        if (end == p || t <= 0) {
+          std::fprintf(stderr, "bad --threads list: %s\n", argv[i]);
+          return 1;
+        }
+        thread_counts.push_back(static_cast<int>(t));
+        p = (*end == ',') ? end + 1 : end;
+      }
+      if (thread_counts.empty()) {
+        std::fprintf(stderr, "bad --threads list: %s\n", argv[i]);
+        return 1;
+      }
+      // The record's baseline and "max threads" fields assume a sorted,
+      // deduplicated sweep that starts at the 1-thread batched path.
+      thread_counts.push_back(1);
+      std::sort(thread_counts.begin(), thread_counts.end());
+      thread_counts.erase(
+          std::unique(thread_counts.begin(), thread_counts.end()),
+          thread_counts.end());
+      continue;  // strip the flag: google-benchmark would reject it
+    }
+    argv[out_argc++] = argv[i];
   }
+  argc = out_argc;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (list_only) return 0;
-  return featlib::WriteExecutorSpeedupRecord("BENCH_executor.json");
+  return featlib::WriteExecutorSpeedupRecord(
+      FEATLIB_REPO_ROOT "/BENCH_executor.json", thread_counts);
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entry point: Release build + full ctest suite, then a ThreadSanitizer
+# build of the executor concurrency tests (the EvaluateMany fan-out is the
+# only multi-threaded code; TSan pins the "no locks needed" cache design).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc)"
+
+# ---- Release: build everything, run the whole suite ------------------------
+cmake -B "$ROOT/build" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$ROOT/build" -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+
+# ---- TSan: the executor + parallel determinism tests ------------------------
+# (Benches/examples are skipped: TSan only needs the threaded paths, and the
+# instrumented build is slow.)
+cmake -B "$ROOT/build-tsan" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFEATLIB_SANITIZE=thread \
+  -DFEATLIB_BUILD_BENCHES=OFF \
+  -DFEATLIB_BUILD_EXAMPLES=OFF
+cmake --build "$ROOT/build-tsan" -j "$JOBS" \
+  --target batch_executor_test executor_parallel_test
+"$ROOT/build-tsan/batch_executor_test"
+"$ROOT/build-tsan/executor_parallel_test"
+
+echo "ci.sh: all green"

@@ -1,0 +1,29 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace featlib {
+
+FeatAugConfig& FeatAugConfig::Global() {
+  static FeatAugConfig config;
+  return config;
+}
+
+int FeatAugConfig::ResolvedNumThreads() const {
+  if (const char* env = std::getenv("FEATLIB_NUM_THREADS")) {
+    // Malformed or non-positive values fall through to the config/auto path
+    // rather than silently serializing a deployment.
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<int>(parsed);
+    }
+  }
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace featlib

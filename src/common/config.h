@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file config.h
+/// \brief Process-wide FeatAug runtime configuration.
+///
+/// The first knob is the candidate-evaluation thread count. Resolution
+/// order: the FEATLIB_NUM_THREADS environment variable (operators override
+/// deployments without a rebuild), then FeatAugConfig::num_threads (embedders
+/// set it programmatically before the first use of GlobalThreadPool()), then
+/// the hardware concurrency. The shared pool is sized exactly once at first
+/// use; later changes only affect pools the caller constructs explicitly.
+
+namespace featlib {
+
+struct FeatAugConfig {
+  /// Threads for BatchExecutor::EvaluateMany fan-out. 0 = auto (hardware
+  /// concurrency); 1 = serial (the exact single-threaded code path).
+  int num_threads = 0;
+
+  /// The mutable process-wide instance.
+  static FeatAugConfig& Global();
+
+  /// Applies the FEATLIB_NUM_THREADS override and the auto default; always
+  /// returns >= 1.
+  int ResolvedNumThreads() const;
+};
+
+}  // namespace featlib

@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+#include "common/config.h"
+
+namespace featlib {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this](std::stop_token stop) { WorkerLoop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // jthread destructors request stop and join; work_cv_ is a
+  // condition_variable_any waiting on the stop token, so workers wake.
+}
+
+void ThreadPool::RunClaimLoop(Job* job) {
+  for (;;) {
+    if (job->failed.load(std::memory_order_relaxed)) return;
+    const size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->n) return;
+    try {
+      (*job->fn)(i);
+    } catch (...) {
+      // Poison the job: everyone abandons the remaining indices, and the
+      // caller rethrows the first captured exception once all workers have
+      // let go of it (the serial path propagates the same way).
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job->error == nullptr) job->error = std::current_exception();
+      job->failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(std::stop_token stop) {
+  uint64_t last_job_id = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, stop, [&] {
+        return job_ != nullptr && job_->id != last_job_id;
+      });
+      if (stop.stop_requested()) return;
+      job = job_;
+      last_job_id = job->id;
+    }
+    RunClaimLoop(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++job->acked;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // The exact single-threaded code path: plain loop, ascending order.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // One batch owns the workers at a time: a second caller publishing its
+  // job before every worker observed the first would strand the first
+  // caller waiting for acks that can never arrive.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job.id = ++next_job_id_;
+    job_ = &job;
+  }
+  work_cv_.notify_all();
+  // The caller claims indices alongside the workers; its exceptions are
+  // captured like a worker's so the job outlives every reference to it.
+  RunClaimLoop(&job);
+  // Wait until every worker acknowledged (stopped touching `job`) before the
+  // stack frame holding it unwinds. Acks imply all indices completed or
+  // were abandoned: a worker acks only after its claim loop returned.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job.acked == static_cast<int>(workers_.size());
+    });
+    job_ = nullptr;
+  }
+  if (job.error != nullptr) std::rethrow_exception(job.error);
+}
+
+ThreadPool* GlobalThreadPool() {
+  static ThreadPool pool(FeatAugConfig::Global().ResolvedNumThreads());
+  return &pool;
+}
+
+}  // namespace featlib

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file thread_pool.h
+/// \brief Fixed-size thread pool for the parallel candidate-evaluation
+/// fan-out. No external dependencies: std::jthread workers + one shared
+/// work-index counter per ParallelFor.
+///
+/// Design constraints (see docs/ARCHITECTURE.md, "Parallel execution"):
+///  - ParallelFor(n, fn) runs fn(0..n-1) exactly once each and blocks until
+///    every call returned. Tasks write disjoint pre-sized output slots, so
+///    results are deterministic regardless of scheduling.
+///  - A pool constructed with num_threads <= 1 spawns no workers at all;
+///    ParallelFor then degenerates to a plain inline loop on the caller
+///    thread — the exact single-threaded code path, byte for byte.
+///  - The caller thread participates in the fan-out (a pool of T threads
+///    spawns T-1 workers), so ThreadPool(2) really uses 2 cores, not 3.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace featlib {
+
+class ThreadPool {
+ public:
+  /// `num_threads` <= 1 means serial (no workers). The pool is fixed-size
+  /// for its lifetime.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute work, caller included.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, n); returns after all calls completed.
+  /// Indices are claimed dynamically (atomic counter), so per-index cost may
+  /// vary freely. Concurrent ParallelFor calls from different threads are
+  /// serialized (one batch owns the workers at a time — relevant because
+  /// GlobalThreadPool() is shared by every library entry point). Not
+  /// reentrant: do not call ParallelFor from inside fn.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  /// One fan-out, published to the workers by pointer; lives on the
+  /// ParallelFor caller's stack. Workers acknowledge completion so the
+  /// caller knows when the job may be destroyed. A throwing fn poisons the
+  /// job: remaining indices are abandoned, the first exception is captured
+  /// and rethrown on the caller thread after every worker detached.
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    uint64_t id = 0;
+    std::atomic<size_t> next{0};    // next unclaimed index
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;       // first failure (guarded by mu_)
+    int acked = 0;                  // workers done claiming (guarded by mu_)
+  };
+
+  /// Claims and runs indices of `job` until it is exhausted or poisoned;
+  /// captures the first exception into the job. Returns normally always.
+  void RunClaimLoop(Job* job);
+
+  void WorkerLoop(std::stop_token stop);
+
+  std::mutex run_mu_;  // serializes concurrent ParallelFor callers
+  std::mutex mu_;
+  std::condition_variable_any work_cv_;  // workers wait for a new job
+  std::condition_variable done_cv_;      // caller waits for all acks
+  Job* job_ = nullptr;                   // guarded by mu_
+  uint64_t next_job_id_ = 0;
+  std::vector<std::jthread> workers_;
+};
+
+/// The process-wide shared pool, sized once at first use from
+/// FeatAugConfig::Global() (see common/config.h). Never returns nullptr; a
+/// 1-thread configuration yields a workerless pool that runs inline.
+ThreadPool* GlobalThreadPool();
+
+}  // namespace featlib

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "query/batch_executor.h"
 
@@ -79,6 +80,7 @@ Result<Table> FeatAug::Apply(const AugmentationPlan& plan,
   // One BatchExecutor per target table: plan queries share group keys, so
   // the join/group structure is built once and streamed for every feature.
   BatchExecutor executor;
+  executor.set_thread_pool(GlobalThreadPool());
   FEAT_ASSIGN_OR_RETURN(
       std::vector<std::vector<double>> columns,
       executor.EvaluateMany(plan.queries, training, problem_.relevant));
@@ -96,6 +98,7 @@ Result<Dataset> FeatAug::ApplyToDataset(const AugmentationPlan& plan,
       Dataset ds, Dataset::FromTable(training, problem_.label_col,
                                      problem_.base_feature_cols, problem_.task));
   BatchExecutor executor;
+  executor.set_thread_pool(GlobalThreadPool());
   FEAT_ASSIGN_OR_RETURN(
       std::vector<std::vector<double>> columns,
       executor.EvaluateMany(plan.queries, training, problem_.relevant));

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "ml/linear.h"
 #include "stats/stats.h"
 
@@ -43,6 +44,9 @@ Result<FeatureEvaluator> FeatureEvaluator::Create(
       out.base_, Dataset::FromTable(training, label_col, base_feature_cols, task));
   out.split_ = MakeSplit(training.num_rows(), options.train_ratio,
                          options.valid_ratio, options.split_seed);
+  // The whole search shares the process-wide pool: batched candidate
+  // evaluation fans out across cores (FEATLIB_NUM_THREADS / FeatAugConfig).
+  out.batch_executor_.set_thread_pool(GlobalThreadPool());
   out.train_labels_.reserve(out.split_.train.size());
   for (uint32_t r : out.split_.train) out.train_labels_.push_back(out.base_.y[r]);
   return out;

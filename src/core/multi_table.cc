@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "query/batch_executor.h"
 
 namespace featlib {
@@ -246,6 +247,7 @@ Result<Dataset> MultiTableFeatAug::ApplyToDataset(const MultiTablePlan& plan,
     // One executor per relevant table: all of its plan queries share the
     // same join, so the group index is built once, not per feature.
     BatchExecutor executor;
+    executor.set_thread_pool(GlobalThreadPool());
     FEAT_ASSIGN_OR_RETURN(
         std::vector<std::vector<double>> columns,
         executor.EvaluateMany(tp.plan.queries, training, input->relevant));
@@ -272,6 +274,7 @@ Result<Table> MultiTableFeatAug::Apply(const MultiTablePlan& plan,
       return Status::InvalidArgument("plan references unknown table " + tp.name);
     }
     BatchExecutor executor;
+    executor.set_thread_pool(GlobalThreadPool());
     FEAT_ASSIGN_OR_RETURN(
         std::vector<std::vector<double>> columns,
         executor.EvaluateMany(tp.plan.queries, training, input->relevant));

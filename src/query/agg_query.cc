@@ -9,8 +9,11 @@ namespace featlib {
 std::string AggQuery::ToSql(const std::string& relation_name,
                             const Table& schema_of) const {
   std::string keys = StrJoin(group_keys, ", ");
+  // An empty agg attribute renders as COUNT(*) (row counting, Validate
+  // restricts it to kCount).
+  const std::string attr = agg_attr.empty() ? "*" : agg_attr;
   std::string out = "SELECT " + keys + ", " + AggFunctionName(agg) + "(" +
-                    agg_attr + ") AS feature\nFROM " + relation_name;
+                    attr + ") AS feature\nFROM " + relation_name;
   std::vector<std::string> conjuncts;
   for (const Predicate& p : predicates) {
     if (p.IsTrivial()) continue;
@@ -41,20 +44,31 @@ Status AggQuery::Validate(const Table& relevant) const {
   if (group_keys.empty()) {
     return Status::InvalidArgument("query has no group-by keys");
   }
-  if (!relevant.HasColumn(agg_attr)) {
-    return Status::InvalidArgument("aggregation attribute not in relevant table: " +
-                                   agg_attr);
+  if (agg_attr.empty()) {
+    // COUNT(*): row counting needs no attribute; every other aggregate does.
+    if (agg != AggFunction::kCount) {
+      return Status::InvalidArgument(
+          StrFormat("%s requires an aggregation attribute (only COUNT "
+                    "supports the attribute-less COUNT(*) form)",
+                    AggFunctionName(agg)));
+    }
+  } else {
+    auto agg_col = relevant.GetColumn(agg_attr);
+    if (!agg_col.ok()) {
+      return Status::InvalidArgument(
+          "aggregation attribute not in relevant table: " + agg_attr);
+    }
+    if (agg_col.value()->type() == DataType::kString &&
+        !SupportsCategorical(agg)) {
+      return Status::InvalidArgument(
+          StrFormat("%s is not defined on categorical attribute %s",
+                    AggFunctionName(agg), agg_attr.c_str()));
+    }
   }
   for (const auto& k : group_keys) {
     if (!relevant.HasColumn(k)) {
       return Status::InvalidArgument("group key not in relevant table: " + k);
     }
-  }
-  FEAT_ASSIGN_OR_RETURN(const Column* agg_col, relevant.GetColumn(agg_attr));
-  if (agg_col->type() == DataType::kString && !SupportsCategorical(agg)) {
-    return Status::InvalidArgument(
-        StrFormat("%s is not defined on categorical attribute %s",
-                  AggFunctionName(agg), agg_attr.c_str()));
   }
   for (const Predicate& p : predicates) {
     if (p.IsTrivial()) continue;

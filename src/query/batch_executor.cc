@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "query/predicate.h"
 
 namespace featlib {
@@ -12,14 +14,6 @@ namespace featlib {
 namespace {
 
 constexpr uint32_t kNoGroup = GroupIndex::kNoGroup;
-
-// Mass-evict the predicate-mask cache past this many bytes. Range-predicate
-// operands from the continuous search space rarely repeat, so the cache
-// would otherwise grow with every candidate.
-constexpr size_t kMaskCacheByteCap = 64u << 20;
-
-// Byte cap for cached per-bucket materializations (flat grouped values).
-constexpr size_t kMatCacheByteCap = 128u << 20;
 
 double Nan() { return std::nan(""); }
 
@@ -55,6 +49,17 @@ std::string BucketKey(const AggQuery& q) {
   return out;
 }
 
+// Cache key of a predicate conjunction's combined bitset. The "&\x1d"
+// prefix keeps combos disjoint from single-predicate keys.
+std::string ComboKey(const std::vector<const Predicate*>& active) {
+  std::string out = "&\x1d";
+  for (const Predicate* p : active) {
+    out += p->CacheKey();
+    out += "\x1d";
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<BatchExecutor::GroupEntry*> BatchExecutor::GetGroupEntry(
@@ -69,54 +74,91 @@ Result<BatchExecutor::GroupEntry*> BatchExecutor::GetGroupEntry(
   return &it->second;
 }
 
-Result<const std::vector<uint8_t>*> BatchExecutor::GetPredicateMask(
-    const Predicate& p, const Table& relevant) {
+void BatchExecutor::EvictMasksFor(size_t incoming) {
+  if (mask_cache_bytes_ + incoming <= mask_cache_cap_bytes_) return;
+  // Evict only entries no candidate of the current batch referenced: the
+  // mask pointers held by in-flight PlannedCandidates must stay valid, and
+  // mass-clearing mid-EvaluateMany would rebuild masks the very next
+  // candidate needs (cache thrash). Range-predicate operands from the
+  // continuous search space rarely repeat, so unpinned entries are cheap to
+  // drop.
+  for (auto it = mask_cache_.begin(); it != mask_cache_.end();) {
+    if (mask_cache_bytes_ + incoming <= mask_cache_cap_bytes_) return;
+    if (it->second.used_epoch == epoch_) {
+      ++it;
+      continue;
+    }
+    mask_cache_bytes_ -= it->second.bits.SizeBytes();
+    it = mask_cache_.erase(it);
+    ++num_evictions_;
+  }
+}
+
+void BatchExecutor::EvictMaterializedFor(size_t incoming) {
+  if (mat_cache_bytes_ + incoming <= mat_cache_cap_bytes_) return;
+  for (auto it = mat_cache_.begin(); it != mat_cache_.end();) {
+    if (mat_cache_bytes_ + incoming <= mat_cache_cap_bytes_) return;
+    if (it->second.used_epoch == epoch_) {
+      ++it;
+      continue;
+    }
+    mat_cache_bytes_ -= it->second.bytes;
+    it = mat_cache_.erase(it);
+    ++num_evictions_;
+  }
+}
+
+Result<const Bitset*> BatchExecutor::GetPredicateMask(const Predicate& p,
+                                                      const Table& relevant) {
   const std::string key = p.CacheKey();
   auto it = mask_cache_.find(key);
-  if (it != mask_cache_.end()) return &it->second;
-  if (mask_cache_bytes_ + relevant.num_rows() > kMaskCacheByteCap) {
-    mask_cache_.clear();
-    mask_cache_bytes_ = 0;
+  if (it != mask_cache_.end()) {
+    it->second.used_epoch = epoch_;
+    return &it->second.bits;
   }
   FEAT_ASSIGN_OR_RETURN(CompiledFilter filter,
                         CompiledFilter::Compile({p}, relevant));
-  std::vector<uint8_t> mask(relevant.num_rows());
-  for (size_t row = 0; row < mask.size(); ++row) {
-    mask[row] = filter.Matches(row) ? 1 : 0;
+  Bitset bits(relevant.num_rows());
+  for (size_t row = 0; row < relevant.num_rows(); ++row) {
+    if (filter.Matches(row)) bits.Set(row);
   }
   ++mask_builds_;
-  mask_cache_bytes_ += mask.size();
-  return &mask_cache_.emplace(key, std::move(mask)).first->second;
+  EvictMasksFor(bits.SizeBytes());
+  mask_cache_bytes_ += bits.SizeBytes();
+  MaskEntry entry{std::move(bits), epoch_};
+  return &mask_cache_.emplace(key, std::move(entry)).first->second.bits;
 }
 
-Result<const uint8_t*> BatchExecutor::BuildSelectionMask(const AggQuery& q,
-                                                         const Table& relevant) {
+Result<const Bitset*> BatchExecutor::BuildSelectionMask(const AggQuery& q,
+                                                        const Table& relevant) {
   std::vector<const Predicate*> active;
   for (const Predicate& p : q.predicates) {
     if (!p.IsTrivial()) active.push_back(&p);
   }
-  if (active.empty()) return static_cast<const uint8_t*>(nullptr);
-  if (active.size() == 1) {
-    // The common one-predicate query uses the cached mask directly; the
-    // pointer stays valid until the next GetPredicateMask (which no caller
-    // issues before consuming the mask).
-    FEAT_ASSIGN_OR_RETURN(const std::vector<uint8_t>* mask,
-                          GetPredicateMask(*active[0], relevant));
-    return mask->data();
+  if (active.empty()) return static_cast<const Bitset*>(nullptr);
+  if (active.size() == 1) return GetPredicateMask(*active[0], relevant);
+
+  // Conjunctions get their own cached bitset: one word-wise AND on first
+  // sight, a lookup afterwards. Constituents fetched below are stamped with
+  // the current epoch, so the eviction pass cannot drop them mid-build.
+  const std::string key = ComboKey(active);
+  auto it = mask_cache_.find(key);
+  if (it != mask_cache_.end()) {
+    it->second.used_epoch = epoch_;
+    return &it->second.bits;
   }
-  // Conjunctions snapshot the first mask, then AND each further one in as
-  // soon as it is fetched (a fetch may evict earlier cache pointers).
-  FEAT_ASSIGN_OR_RETURN(const std::vector<uint8_t>* first,
+  FEAT_ASSIGN_OR_RETURN(const Bitset* first,
                         GetPredicateMask(*active[0], relevant));
-  combined_mask_.assign(first->begin(), first->end());
+  Bitset combined = *first;
   for (size_t i = 1; i < active.size(); ++i) {
-    FEAT_ASSIGN_OR_RETURN(const std::vector<uint8_t>* mask,
+    FEAT_ASSIGN_OR_RETURN(const Bitset* mask,
                           GetPredicateMask(*active[i], relevant));
-    for (size_t row = 0; row < combined_mask_.size(); ++row) {
-      combined_mask_[row] &= (*mask)[row];
-    }
+    combined.AndWith(*mask);
   }
-  return combined_mask_.data();
+  EvictMasksFor(combined.SizeBytes());
+  mask_cache_bytes_ += combined.SizeBytes();
+  MaskEntry entry{std::move(combined), epoch_};
+  return &mask_cache_.emplace(key, std::move(entry)).first->second.bits;
 }
 
 Result<const std::vector<double>*> BatchExecutor::GetValueView(
@@ -133,18 +175,17 @@ Result<const std::vector<double>*> BatchExecutor::GetValueView(
   return &view_cache_.emplace(attr, std::move(view)).first->second;
 }
 
-Result<std::vector<double>> BatchExecutor::AggregatePerGroup(
-    const AggQuery& q, const GroupIndex& index, const uint8_t* mask,
-    const Table& relevant, std::vector<uint32_t>* first_selected_row) {
-  FEAT_ASSIGN_OR_RETURN(const std::vector<double>* view_ptr,
-                        GetValueView(q.agg_attr, relevant));
-  const double* view = view_ptr->data();
+std::vector<double> BatchExecutor::AggregateStreaming(
+    AggFunction fn, const GroupIndex& index, const Bitset* mask,
+    const double* view, std::vector<uint32_t>* first_selected_row) {
   const std::vector<uint32_t>& row_groups = index.row_groups();
   const size_t n = row_groups.size();
   const size_t n_groups = index.num_groups();
   std::vector<double> feature(n_groups, Nan());
   if (first_selected_row) first_selected_row->assign(n_groups, kNoGroup);
   if (n_groups == 0) return feature;
+  // Empty selection detected by popcount: every group is absent, all NaN.
+  if (mask != nullptr && mask->Count() == 0) return feature;
 
   // Rows passing the filter per group; groups left at 0 are "absent" (the
   // legacy path never entered them into its hash map) and stay NaN even for
@@ -152,30 +193,50 @@ Result<std::vector<double>> BatchExecutor::AggregatePerGroup(
   std::vector<uint32_t> present(n_groups, 0);
   std::vector<uint32_t> value_count(n_groups, 0);
 
-  // Streams the selected rows in ascending order — the same order the
-  // legacy path appended group row vectors in — so every accumulation below
-  // performs bit-identical arithmetic to the materializing reference.
+  // Visits the selected rows in ascending order — a word scan over the
+  // packed bitset, or all rows when there is no predicate.
+  auto for_each_selected = [&](auto&& body) {
+    if (mask == nullptr) {
+      for (size_t row = 0; row < n; ++row) body(row);
+    } else {
+      mask->ForEachSetBit(body);
+    }
+  };
+
+  // Streams the selected rows' values in ascending row order — the same
+  // order the legacy path appended group row vectors in — so every
+  // accumulation below performs bit-identical arithmetic to the
+  // materializing reference. A null `view` (COUNT(*) without an agg
+  // attribute) tallies row presence and reads no values at all.
   auto stream = [&](auto&& on_value) {
-    for (size_t row = 0; row < n; ++row) {
+    for_each_selected([&](size_t row) {
       const uint32_t g = row_groups[row];
-      if (g == kNoGroup) continue;
-      if (mask != nullptr && mask[row] == 0) continue;
+      if (g == kNoGroup) return;
       if (present[g] == 0 && first_selected_row) {
         (*first_selected_row)[g] = static_cast<uint32_t>(row);
       }
       ++present[g];
+      if (view == nullptr) return;
       const double v = view[row];
-      if (std::isnan(v)) continue;  // null cell
+      if (std::isnan(v)) return;  // null cell
       ++value_count[g];
       on_value(g, v);
-    }
+    });
   };
 
-  switch (q.agg) {
+  switch (fn) {
     case AggFunction::kCount: {
       stream([](uint32_t, double) {});
-      for (size_t g = 0; g < n_groups; ++g) {
-        if (present[g] > 0) feature[g] = static_cast<double>(value_count[g]);
+      if (view == nullptr) {
+        // COUNT(*): selected rows per group, straight from the presence
+        // tally (groups with any selected row are by construction > 0).
+        for (size_t g = 0; g < n_groups; ++g) {
+          if (present[g] > 0) feature[g] = static_cast<double>(present[g]);
+        }
+      } else {
+        for (size_t g = 0; g < n_groups; ++g) {
+          if (present[g] > 0) feature[g] = static_cast<double>(value_count[g]);
+        }
       }
       return feature;
     }
@@ -185,7 +246,7 @@ Result<std::vector<double>> BatchExecutor::AggregatePerGroup(
       stream([&](uint32_t g, double v) { sum[g] += v; });
       for (size_t g = 0; g < n_groups; ++g) {
         if (present[g] == 0 || value_count[g] == 0) continue;
-        feature[g] = q.agg == AggFunction::kSum
+        feature[g] = fn == AggFunction::kSum
                          ? sum[g]
                          : sum[g] / static_cast<double>(value_count[g]);
       }
@@ -193,7 +254,7 @@ Result<std::vector<double>> BatchExecutor::AggregatePerGroup(
     }
     case AggFunction::kMin:
     case AggFunction::kMax: {
-      const bool is_min = q.agg == AggFunction::kMin;
+      const bool is_min = fn == AggFunction::kMin;
       std::vector<double> best(n_groups, 0.0);
       stream([&](uint32_t g, double v) {
         if (value_count[g] == 1 || (is_min ? v < best[g] : v > best[g])) {
@@ -210,9 +271,9 @@ Result<std::vector<double>> BatchExecutor::AggregatePerGroup(
     case AggFunction::kStd:
     case AggFunction::kStdSample: {
       const bool sample =
-          q.agg == AggFunction::kVarSample || q.agg == AggFunction::kStdSample;
+          fn == AggFunction::kVarSample || fn == AggFunction::kStdSample;
       const bool std_dev =
-          q.agg == AggFunction::kStd || q.agg == AggFunction::kStdSample;
+          fn == AggFunction::kStd || fn == AggFunction::kStdSample;
       std::vector<double> mean(n_groups, 0.0);
       stream([&](uint32_t g, double v) { mean[g] += v; });
       for (size_t g = 0; g < n_groups; ++g) {
@@ -221,15 +282,14 @@ Result<std::vector<double>> BatchExecutor::AggregatePerGroup(
       // Second value pass accumulates squared deviations in the same row
       // order as the reference's two-pass variance.
       std::vector<double> ss(n_groups, 0.0);
-      for (size_t row = 0; row < n; ++row) {
+      for_each_selected([&](size_t row) {
         const uint32_t g = row_groups[row];
-        if (g == kNoGroup) continue;
-        if (mask != nullptr && mask[row] == 0) continue;
+        if (g == kNoGroup) return;
         const double v = view[row];
-        if (std::isnan(v)) continue;
+        if (std::isnan(v)) return;
         const double d = v - mean[g];
         ss[g] += d * d;
-      }
+      });
       for (size_t g = 0; g < n_groups; ++g) {
         const size_t cnt = value_count[g];
         if (present[g] == 0 || cnt == 0 || (sample && cnt < 2)) continue;
@@ -247,6 +307,7 @@ Result<std::vector<double>> BatchExecutor::AggregatePerGroup(
   // Materializing fallback for order-statistic / frequency aggregates:
   // bucket the selected non-null values into one flat array (preserving row
   // order), then delegate each group's slice to the shared ComputeAggregate.
+  // These aggregates always carry an agg attribute, so `view` is non-null.
   stream([](uint32_t, double) {});
   std::vector<size_t> offsets(n_groups + 1, 0);
   for (size_t g = 0; g < n_groups; ++g) {
@@ -254,27 +315,29 @@ Result<std::vector<double>> BatchExecutor::AggregatePerGroup(
   }
   std::vector<double> flat(offsets[n_groups]);
   std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
-  for (size_t row = 0; row < n; ++row) {
+  for_each_selected([&](size_t row) {
     const uint32_t g = row_groups[row];
-    if (g == kNoGroup) continue;
-    if (mask != nullptr && mask[row] == 0) continue;
+    if (g == kNoGroup) return;
     const double v = view[row];
-    if (std::isnan(v)) continue;
+    if (std::isnan(v)) return;
     flat[cursor[g]++] = v;
-  }
+  });
   for (size_t g = 0; g < n_groups; ++g) {
     if (present[g] == 0) continue;
-    feature[g] = ComputeAggregate(q.agg, flat.data() + offsets[g],
+    feature[g] = ComputeAggregate(fn, flat.data() + offsets[g],
                                   offsets[g + 1] - offsets[g]);
   }
   return feature;
 }
 
 Result<const BatchExecutor::MaterializedValues*> BatchExecutor::GetMaterialized(
-    const std::string& bucket, const GroupIndex& index, const uint8_t* mask,
+    const std::string& bucket, const GroupIndex& index, const Bitset* mask,
     const std::string& agg_attr, const Table& relevant) {
   auto it = mat_cache_.find(bucket);
-  if (it != mat_cache_.end()) return &it->second;
+  if (it != mat_cache_.end()) {
+    it->second.used_epoch = epoch_;
+    return &it->second.values;
+  }
 
   FEAT_ASSIGN_OR_RETURN(const std::vector<double>* view_ptr,
                         GetValueView(agg_attr, relevant));
@@ -283,41 +346,45 @@ Result<const BatchExecutor::MaterializedValues*> BatchExecutor::GetMaterialized(
   const size_t n = row_groups.size();
   const size_t n_groups = index.num_groups();
 
+  auto for_each_selected = [&](auto&& body) {
+    if (mask == nullptr) {
+      for (size_t row = 0; row < n; ++row) body(row);
+    } else {
+      mask->ForEachSetBit(body);
+    }
+  };
+
   MaterializedValues m;
   m.present.assign(n_groups, 0);
   std::vector<uint32_t> value_count(n_groups, 0);
-  for (size_t row = 0; row < n; ++row) {
+  for_each_selected([&](size_t row) {
     const uint32_t g = row_groups[row];
-    if (g == kNoGroup) continue;
-    if (mask != nullptr && mask[row] == 0) continue;
+    if (g == kNoGroup) return;
     ++m.present[g];
     if (!std::isnan(view[row])) ++value_count[g];
-  }
+  });
   m.offsets.assign(n_groups + 1, 0);
   for (size_t g = 0; g < n_groups; ++g) {
     m.offsets[g + 1] = m.offsets[g] + value_count[g];
   }
   m.flat.resize(m.offsets[n_groups]);
   std::vector<size_t> cursor(m.offsets.begin(), m.offsets.end() - 1);
-  for (size_t row = 0; row < n; ++row) {
+  for_each_selected([&](size_t row) {
     const uint32_t g = row_groups[row];
-    if (g == kNoGroup) continue;
-    if (mask != nullptr && mask[row] == 0) continue;
+    if (g == kNoGroup) return;
     const double v = view[row];
-    if (std::isnan(v)) continue;
+    if (std::isnan(v)) return;
     m.flat[cursor[g]++] = v;
-  }
+  });
 
   const size_t bytes = m.flat.size() * sizeof(double) +
                        m.offsets.size() * sizeof(size_t) +
                        m.present.size() * sizeof(uint32_t);
-  if (mat_cache_bytes_ + bytes > kMatCacheByteCap) {
-    mat_cache_.clear();
-    mat_cache_bytes_ = 0;
-  }
+  EvictMaterializedFor(bytes);
   mat_cache_bytes_ += bytes;
   ++materializations_;
-  return &mat_cache_.emplace(bucket, std::move(m)).first->second;
+  MatEntry entry{std::move(m), bytes, epoch_};
+  return &mat_cache_.emplace(bucket, std::move(entry)).first->second.values;
 }
 
 std::vector<double> BatchExecutor::AggregateFromMaterialized(
@@ -332,78 +399,133 @@ std::vector<double> BatchExecutor::AggregateFromMaterialized(
   return feature;
 }
 
-Result<std::vector<double>> BatchExecutor::ComputeFeatureColumn(
-    const AggQuery& q, const Table& training, const Table& relevant) {
-  return EvaluateOne(q, training, relevant, /*prefer_materialized=*/false);
-}
-
-Result<std::vector<double>> BatchExecutor::EvaluateOne(
+Result<BatchExecutor::PlannedCandidate> BatchExecutor::Prepare(
     const AggQuery& q, const Table& training, const Table& relevant,
-    bool prefer_materialized) {
+    const std::string& bucket_key, bool shared_bucket) {
   FEAT_RETURN_NOT_OK(q.Validate(relevant));
+  PlannedCandidate p;
+  p.query = &q;
   FEAT_ASSIGN_OR_RETURN(GroupEntry * entry, GetGroupEntry(q.group_keys, relevant));
   if (!entry->has_train_map || entry->train_map.size() != training.num_rows()) {
     FEAT_ASSIGN_OR_RETURN(entry->train_map,
                           entry->index.MapTrainingRows(training, relevant));
     entry->has_train_map = true;
   }
+  p.entry = entry;
+
   // Candidates that differ only in agg function share one materialization;
-  // until a bucket is materialized, streaming-family aggregates take the
-  // one-pass kernel (no flat array needed).
-  const std::string bucket = BucketKey(q);
-  std::vector<double> per_group;
-  auto mat_it = mat_cache_.find(bucket);
-  if (mat_it != mat_cache_.end()) {
-    per_group = AggregateFromMaterialized(q.agg, mat_it->second);
-  } else {
-    FEAT_ASSIGN_OR_RETURN(const uint8_t* mask, BuildSelectionMask(q, relevant));
-    if (IsStreamingAgg(q.agg) && !prefer_materialized) {
-      FEAT_ASSIGN_OR_RETURN(
-          per_group, AggregatePerGroup(q, entry->index, mask, relevant, nullptr));
-    } else {
-      FEAT_ASSIGN_OR_RETURN(
-          const MaterializedValues* m,
-          GetMaterialized(bucket, entry->index, mask, q.agg_attr, relevant));
-      per_group = AggregateFromMaterialized(q.agg, *m);
+  // a bucket hit carries the selection baked in, so the kernel needs
+  // neither mask nor view (resolved before the mask to spare a mask
+  // rebuild when the mask cache evicted it in the meantime).
+  if (!q.agg_attr.empty()) {
+    auto mat_it = mat_cache_.find(bucket_key);
+    if (mat_it != mat_cache_.end()) {
+      mat_it->second.used_epoch = epoch_;
+      p.mat = &mat_it->second.values;
+      return p;
     }
   }
+  FEAT_ASSIGN_OR_RETURN(p.mask, BuildSelectionMask(q, relevant));
 
-  std::vector<double> out(training.num_rows(), Nan());
+  // COUNT(*) candidates have no agg attribute: they stream presence counts
+  // off the bitset and group ids alone, reading no value view at all.
+  if (q.agg_attr.empty()) return p;
+
+  // Until a bucket is materialized, streaming-family aggregates take the
+  // one-pass kernel (no flat array needed).
+  if (IsStreamingAgg(q.agg) && !shared_bucket) {
+    FEAT_ASSIGN_OR_RETURN(const std::vector<double>* view,
+                          GetValueView(q.agg_attr, relevant));
+    p.view = view->data();
+    return p;
+  }
+  FEAT_ASSIGN_OR_RETURN(p.mat, GetMaterialized(bucket_key, entry->index, p.mask,
+                                               q.agg_attr, relevant));
+  return p;
+}
+
+std::vector<double> BatchExecutor::ComputeColumn(const PlannedCandidate& p) {
+  const std::vector<double> per_group =
+      p.mat != nullptr
+          ? AggregateFromMaterialized(p.query->agg, *p.mat)
+          : AggregateStreaming(p.query->agg, p.entry->index, p.mask, p.view,
+                               nullptr);
+  const std::vector<uint32_t>& train_map = p.entry->train_map;
+  std::vector<double> out(train_map.size(), Nan());
   for (size_t row = 0; row < out.size(); ++row) {
-    const uint32_t g = entry->train_map[row];
+    const uint32_t g = train_map[row];
     if (g != kNoGroup) out[row] = per_group[g];
   }
   return out;
 }
 
+Result<std::vector<double>> BatchExecutor::ComputeFeatureColumn(
+    const AggQuery& q, const Table& training, const Table& relevant) {
+  ++epoch_;
+  FEAT_ASSIGN_OR_RETURN(PlannedCandidate p,
+                        Prepare(q, training, relevant, BucketKey(q),
+                                /*shared_bucket=*/false));
+  return ComputeColumn(p);
+}
+
 Result<std::vector<std::vector<double>>> BatchExecutor::EvaluateMany(
     const std::vector<AggQuery>& queries, const Table& training,
     const Table& relevant) {
+  ++epoch_;
+  WallTimer timer;
+
+  // ---- Sequential prepare phase: every cache write happens here, on one
+  // thread, before any kernel runs — the fan-out below is read-only. ----
   // Buckets shared by several candidates pay one materialization and serve
   // every member from flat slices; singleton buckets keep the cheaper
   // streaming kernel for streaming-family aggregates.
+  std::vector<std::string> bucket_keys;
+  bucket_keys.reserve(queries.size());
   std::unordered_map<std::string, int> bucket_counts;
-  for (const AggQuery& q : queries) ++bucket_counts[BucketKey(q)];
-  std::vector<std::vector<double>> out;
-  out.reserve(queries.size());
   for (const AggQuery& q : queries) {
-    const bool shared_bucket = bucket_counts[BucketKey(q)] > 1;
-    FEAT_ASSIGN_OR_RETURN(std::vector<double> column,
-                          EvaluateOne(q, training, relevant, shared_bucket));
-    out.push_back(std::move(column));
+    bucket_keys.push_back(BucketKey(q));
+    ++bucket_counts[bucket_keys.back()];
   }
+  std::vector<PlannedCandidate> planned;
+  planned.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const bool shared_bucket = bucket_counts[bucket_keys[i]] > 1;
+    FEAT_ASSIGN_OR_RETURN(
+        PlannedCandidate p,
+        Prepare(queries[i], training, relevant, bucket_keys[i], shared_bucket));
+    planned.push_back(p);
+  }
+  prepare_seconds_ = timer.Seconds();
+
+  // ---- Fan-out phase: independent pure kernels into pre-sized slots, so
+  // results are deterministic and thread-count-independent. ----
+  timer.Restart();
+  std::vector<std::vector<double>> out(queries.size());
+  auto run_one = [&](size_t i) { out[i] = ComputeColumn(planned[i]); };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(planned.size(), run_one);
+  } else {
+    for (size_t i = 0; i < planned.size(); ++i) run_one(i);
+  }
+  aggregate_seconds_ = timer.Seconds();
   return out;
 }
 
 Result<Table> BatchExecutor::ExecuteAggQuery(const AggQuery& q,
                                              const Table& relevant) {
+  ++epoch_;
   FEAT_RETURN_NOT_OK(q.Validate(relevant));
   FEAT_ASSIGN_OR_RETURN(GroupEntry * entry, GetGroupEntry(q.group_keys, relevant));
-  FEAT_ASSIGN_OR_RETURN(const uint8_t* mask, BuildSelectionMask(q, relevant));
+  FEAT_ASSIGN_OR_RETURN(const Bitset* mask, BuildSelectionMask(q, relevant));
+  const double* view = nullptr;
+  if (!q.agg_attr.empty()) {
+    FEAT_ASSIGN_OR_RETURN(const std::vector<double>* view_ptr,
+                          GetValueView(q.agg_attr, relevant));
+    view = view_ptr->data();
+  }
   std::vector<uint32_t> first_selected;
-  FEAT_ASSIGN_OR_RETURN(
-      std::vector<double> per_group,
-      AggregatePerGroup(q, entry->index, mask, relevant, &first_selected));
+  std::vector<double> per_group =
+      AggregateStreaming(q.agg, entry->index, mask, view, &first_selected);
 
   // The legacy path emitted groups in first-seen order among *filtered*
   // rows with the first matching row as representative; sorting surviving

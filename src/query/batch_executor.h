@@ -8,23 +8,36 @@
 /// join. BatchExecutor amortizes everything shareable across candidates:
 ///
 ///  1. a GroupIndex per group-key set (dense group ids; built once),
-///  2. a cached selection bitmask per WHERE predicate, so a predicate
-///     combination is an AND of cached masks instead of a fresh
-///     compile-and-scan,
+///  2. a cached word-packed selection bitset per WHERE predicate (and per
+///     predicate conjunction), so a predicate combination is a word-wise AND
+///     of cached bitsets instead of a fresh compile-and-scan, and the
+///     streaming kernels visit selected rows via word scan + countr_zero
+///     instead of a per-row byte test,
 ///  3. one-pass streaming aggregates (COUNT/SUM/MIN/MAX/AVG/VAR/STD
 ///     families) accumulated directly into per-group-id arrays; only
 ///     order-statistic / frequency aggregates (COUNT_DISTINCT, ENTROPY,
 ///     KURTOSIS, MODE, MAD, MEDIAN) fall back to materializing per-group
 ///     value vectors.
 ///
+/// EvaluateMany splits into a sequential *prepare* phase that builds/caches
+/// every shared structure (single-writer caches, no locks) and a *fan-out*
+/// phase that runs the per-candidate aggregate kernels — pure functions over
+/// const inputs writing pre-sized output slots — on a ThreadPool. Results
+/// are byte-identical at every thread count; 1 thread takes the exact
+/// single-threaded code path (plain loop, no pool machinery).
+///
 /// Outputs are bit-identical to the legacy per-candidate path (pinned by
-/// tests/batch_executor_test.cc).
+/// tests/batch_executor_test.cc and tests/executor_parallel_test.cc).
 ///
 /// An instance is bound by content to one (training, relevant) table pair:
 /// its caches key off group-key names and predicate operands, so feeding it
 /// a different table with the same schema would silently reuse stale
 /// structures. Callers that augment multiple tables create one executor per
 /// pair (cheap — caches fill lazily).
+///
+/// Thread-compatibility: an instance may be used from one thread at a time
+/// (its internal pool parallelism is self-contained); concurrent calls on
+/// the same instance require external synchronization.
 
 #include <cstdint>
 #include <string>
@@ -33,25 +46,33 @@
 
 #include "common/status.h"
 #include "query/agg_query.h"
+#include "query/bitset.h"
 #include "query/group_index.h"
 #include "table/table.h"
 
 namespace featlib {
 
+class ThreadPool;
+
 class BatchExecutor {
  public:
   BatchExecutor() = default;
 
+  /// Pool used by EvaluateMany's fan-out phase. nullptr (the default) means
+  /// serial evaluation. Not owned; must outlive the executor's use.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
   /// Feature column of `q` aligned to `training` (NaN where the entity has
   /// no qualifying rows). Equivalent to the legacy ComputeFeatureColumn but
-  /// reuses the GroupIndex and predicate masks across calls.
+  /// reuses the GroupIndex and predicate bitsets across calls.
   Result<std::vector<double>> ComputeFeatureColumn(const AggQuery& q,
                                                    const Table& training,
                                                    const Table& relevant);
 
   /// Evaluates N candidates in one call, returning N feature columns.
   /// Candidates sharing group keys reuse one GroupIndex; predicates repeated
-  /// across candidates hit the mask cache.
+  /// across candidates hit the bitset cache; the per-candidate kernels fan
+  /// out over the configured ThreadPool.
   Result<std::vector<std::vector<double>>> EvaluateMany(
       const std::vector<AggQuery>& queries, const Table& training,
       const Table& relevant);
@@ -65,6 +86,21 @@ class BatchExecutor {
   size_t num_group_index_builds() const { return group_builds_; }
   size_t num_mask_builds() const { return mask_builds_; }
   size_t num_materializations() const { return materializations_; }
+  /// Cache entries evicted so far (mask + materialization caches). Entries
+  /// referenced by the current batch are pinned and never evicted mid-batch.
+  size_t num_evictions() const { return num_evictions_; }
+  /// @}
+
+  /// \name Cache caps (tests shrink them to force eviction).
+  /// @{
+  void set_mask_cache_cap_bytes(size_t cap) { mask_cache_cap_bytes_ = cap; }
+  void set_mat_cache_cap_bytes(size_t cap) { mat_cache_cap_bytes_ = cap; }
+  /// @}
+
+  /// \name Phase timings of the last EvaluateMany call (bench reporting).
+  /// @{
+  double last_prepare_seconds() const { return prepare_seconds_; }
+  double last_aggregate_seconds() const { return aggregate_seconds_; }
   /// @}
 
  private:
@@ -85,34 +121,66 @@ class BatchExecutor {
     std::vector<double> flat;       // non-null selected values, row order
   };
 
-  /// Single-candidate evaluation. With `prefer_materialized`, streaming
-  /// aggregates also go through the bucket materialization (worth it when
-  /// other candidates are known to share the bucket, as in EvaluateMany).
-  Result<std::vector<double>> EvaluateOne(const AggQuery& q,
-                                          const Table& training,
-                                          const Table& relevant,
-                                          bool prefer_materialized);
+  struct MaskEntry {
+    Bitset bits;
+    uint64_t used_epoch = 0;  // == epoch_ => pinned by the current batch
+  };
+
+  struct MatEntry {
+    MaterializedValues values;
+    size_t bytes = 0;
+    uint64_t used_epoch = 0;
+  };
+
+  /// Everything one candidate's kernel needs, resolved in the sequential
+  /// prepare phase. All pointers are to cache-owned (pinned) or const data;
+  /// the fan-out phase reads them without touching any cache.
+  struct PlannedCandidate {
+    const AggQuery* query = nullptr;
+    const GroupEntry* entry = nullptr;
+    const double* view = nullptr;             // null iff COUNT(*) (no attr)
+    const Bitset* mask = nullptr;             // null = all rows selected
+    const MaterializedValues* mat = nullptr;  // aggregate from slices if set
+  };
+
+  /// Sequential per-candidate preparation: validation, group index + train
+  /// map, selection bitset, value view or shared-bucket materialization.
+  /// `bucket_key` is the candidate's precomputed materialization-bucket key;
+  /// `shared_bucket` requests materialization even for streaming aggregates
+  /// (worth it when other candidates share the bucket, as in EvaluateMany).
+  Result<PlannedCandidate> Prepare(const AggQuery& q, const Table& training,
+                                   const Table& relevant,
+                                   const std::string& bucket_key,
+                                   bool shared_bucket);
+
+  /// The pure fan-out kernel: per-group aggregation + scatter to training
+  /// rows. Touches no executor state.
+  static std::vector<double> ComputeColumn(const PlannedCandidate& p);
 
   Result<GroupEntry*> GetGroupEntry(const std::vector<std::string>& group_keys,
                                     const Table& relevant);
 
-  /// Selection mask (1 byte per relevant row) for one non-trivial predicate.
-  Result<const std::vector<uint8_t>*> GetPredicateMask(const Predicate& p,
-                                                       const Table& relevant);
+  /// Cached word-packed selection bitset for one non-trivial predicate.
+  Result<const Bitset*> GetPredicateMask(const Predicate& p,
+                                         const Table& relevant);
 
-  /// ANDs the cached masks of `q`'s predicates into `combined_mask_`;
-  /// returns nullptr when the query has no non-trivial predicate (all rows
-  /// selected).
-  Result<const uint8_t*> BuildSelectionMask(const AggQuery& q,
-                                            const Table& relevant);
+  /// Resolves `q`'s WHERE conjunction to a cached bitset: the predicate's
+  /// own bitset for a single conjunct, a cached word-wise AND for longer
+  /// conjunctions; nullptr when the query has no non-trivial predicate (all
+  /// rows selected).
+  Result<const Bitset*> BuildSelectionMask(const AggQuery& q,
+                                           const Table& relevant);
 
-  /// The streaming kernel: per-group aggregate values for one candidate.
-  /// Groups with no selected row get NaN. When `first_selected_row` is
-  /// non-null it receives, per group, the first row index passing the
-  /// filter (GroupIndex::kNoGroup when none does).
-  Result<std::vector<double>> AggregatePerGroup(
-      const AggQuery& q, const GroupIndex& index, const uint8_t* mask,
-      const Table& relevant, std::vector<uint32_t>* first_selected_row);
+  /// The streaming kernel: per-group aggregate values for one candidate,
+  /// visiting selected rows in ascending order (word scan when `mask` is
+  /// set). `view` is the candidate's numeric value view; null only for
+  /// COUNT(*) candidates without an agg attribute, which then read no
+  /// values at all. Groups with no selected row get NaN. When
+  /// `first_selected_row` is non-null it receives, per group, the first row
+  /// index passing the filter (GroupIndex::kNoGroup when none does).
+  static std::vector<double> AggregateStreaming(
+      AggFunction fn, const GroupIndex& index, const Bitset* mask,
+      const double* view, std::vector<uint32_t>* first_selected_row);
 
   /// Numeric view of a column (NaN iff null), cached per attribute so the
   /// streaming kernels read contiguous doubles instead of dispatching on
@@ -122,23 +190,41 @@ class BatchExecutor {
 
   Result<const MaterializedValues*> GetMaterialized(const std::string& bucket,
                                                     const GroupIndex& index,
-                                                    const uint8_t* mask,
+                                                    const Bitset* mask,
                                                     const std::string& agg_attr,
                                                     const Table& relevant);
 
   static std::vector<double> AggregateFromMaterialized(
       AggFunction fn, const MaterializedValues& m);
 
+  /// Evict unpinned (not used this epoch) mask-cache entries until
+  /// `incoming` more bytes fit under the cap, or only pinned entries remain
+  /// (the cache may then temporarily exceed the cap rather than thrash the
+  /// running batch).
+  void EvictMasksFor(size_t incoming);
+  void EvictMaterializedFor(size_t incoming);
+
   std::unordered_map<std::string, GroupEntry> group_cache_;
-  std::unordered_map<std::string, std::vector<uint8_t>> mask_cache_;
+  std::unordered_map<std::string, MaskEntry> mask_cache_;
   size_t mask_cache_bytes_ = 0;
+  size_t mask_cache_cap_bytes_ = 64u << 20;
   std::unordered_map<std::string, std::vector<double>> view_cache_;
-  std::unordered_map<std::string, MaterializedValues> mat_cache_;
+  std::unordered_map<std::string, MatEntry> mat_cache_;
   size_t mat_cache_bytes_ = 0;
-  std::vector<uint8_t> combined_mask_;
+  size_t mat_cache_cap_bytes_ = 128u << 20;
+
+  /// Bumped at every public entry point; cache hits stamp their entry, so
+  /// "used_epoch == epoch_" marks entries the in-flight batch depends on.
+  uint64_t epoch_ = 0;
+
+  ThreadPool* pool_ = nullptr;
+  double prepare_seconds_ = 0.0;
+  double aggregate_seconds_ = 0.0;
+
   size_t group_builds_ = 0;
   size_t mask_builds_ = 0;
   size_t materializations_ = 0;
+  size_t num_evictions_ = 0;
 };
 
 }  // namespace featlib

@@ -142,7 +142,13 @@ Result<std::vector<double>> ComputeFeatureColumn(const AggQuery& q,
 
 Result<Table> ExecuteAggQueryLegacy(const AggQuery& q, const Table& relevant) {
   FEAT_ASSIGN_OR_RETURN(GroupedRows grouped, GroupFilteredRows(q, relevant));
-  FEAT_ASSIGN_OR_RETURN(const Column* agg_col, relevant.GetColumn(q.agg_attr));
+  // COUNT(*) (empty agg attribute, Validate restricts it to kCount) counts
+  // the group's selected rows; no aggregation column is read.
+  const bool count_star = q.agg_attr.empty();
+  const Column* agg_col = nullptr;
+  if (!count_star) {
+    FEAT_ASSIGN_OR_RETURN(agg_col, relevant.GetColumn(q.agg_attr));
+  }
 
   // Representative row per group, in first-seen order.
   std::vector<uint32_t> representatives;
@@ -152,7 +158,8 @@ Result<Table> ExecuteAggQueryLegacy(const AggQuery& q, const Table& relevant) {
   for (const std::string* key : grouped.order) {
     const auto& rows = grouped.groups.at(*key);
     representatives.push_back(rows.front());
-    const double v = ComputeAggregate(q.agg, *agg_col, rows);
+    const double v = count_star ? static_cast<double>(rows.size())
+                                : ComputeAggregate(q.agg, *agg_col, rows);
     if (std::isnan(v)) {
       feature.AppendNull();
     } else {
@@ -173,12 +180,18 @@ Result<std::vector<double>> ComputeFeatureColumnLegacy(const AggQuery& q,
                                                        const Table& training,
                                                        const Table& relevant) {
   FEAT_ASSIGN_OR_RETURN(GroupedRows grouped, GroupFilteredRows(q, relevant));
-  FEAT_ASSIGN_OR_RETURN(const Column* agg_col, relevant.GetColumn(q.agg_attr));
+  const bool count_star = q.agg_attr.empty();
+  const Column* agg_col = nullptr;
+  if (!count_star) {
+    FEAT_ASSIGN_OR_RETURN(agg_col, relevant.GetColumn(q.agg_attr));
+  }
 
   std::unordered_map<std::string, double> feature_by_key;
   feature_by_key.reserve(grouped.groups.size());
   for (const auto& [key, rows] : grouped.groups) {
-    feature_by_key.emplace(key, ComputeAggregate(q.agg, *agg_col, rows));
+    feature_by_key.emplace(key, count_star
+                                    ? static_cast<double>(rows.size())
+                                    : ComputeAggregate(q.agg, *agg_col, rows));
   }
 
   std::vector<KeyColumnPair> pairs;

@@ -19,6 +19,7 @@ enum class TokenKind {
   kComma,
   kLParen,
   kRParen,
+  kStar,
   kEquals,
   kGreaterEquals,
   kLessEquals,
@@ -94,6 +95,10 @@ class Lexer {
       case ')':
         ++pos_;
         t.kind = TokenKind::kRParen;
+        return t;
+      case '*':
+        ++pos_;
+        t.kind = TokenKind::kStar;
         return t;
       case ';':
         ++pos_;
@@ -291,6 +296,8 @@ class Parser {
         return "(";
       case TokenKind::kRParen:
         return ")";
+      case TokenKind::kStar:
+        return "*";
       case TokenKind::kEquals:
         return "=";
       case TokenKind::kGreaterEquals:
@@ -348,8 +355,20 @@ class Parser {
         out->query.agg = fn.value();
         Advance();  // name
         Advance();  // (
-        FEAT_ASSIGN_OR_RETURN(out->query.agg_attr,
-                              ExpectIdent("aggregation attribute"));
+        if (Peek().kind == TokenKind::kStar) {
+          // COUNT(*): attribute-less row counting (AggQuery::Validate
+          // rejects the '*' form for every other aggregate).
+          if (out->query.agg != AggFunction::kCount) {
+            return ErrorAt(Peek(),
+                           "'*' is only valid in COUNT(*); " + name.text +
+                               " needs an attribute");
+          }
+          out->query.agg_attr.clear();
+          Advance();
+        } else {
+          FEAT_ASSIGN_OR_RETURN(out->query.agg_attr,
+                                ExpectIdent("aggregation attribute"));
+        }
         if (Peek().kind != TokenKind::kRParen) {
           return ErrorAt(Peek(), "expected ')'");
         }

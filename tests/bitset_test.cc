@@ -1,0 +1,93 @@
+#include "query/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace featlib {
+namespace {
+
+std::vector<size_t> SetBits(const Bitset& b) {
+  std::vector<size_t> out;
+  b.ForEachSetBit([&](size_t i) { out.push_back(i); });
+  return out;
+}
+
+TEST(BitsetTest, EmptyAndSizing) {
+  Bitset empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.num_words(), 0u);
+  EXPECT_EQ(empty.Count(), 0u);
+  EXPECT_TRUE(SetBits(empty).empty());
+
+  // Word-boundary sizes: 63/64 fit one word, 65 spills into a second.
+  EXPECT_EQ(Bitset(63).num_words(), 1u);
+  EXPECT_EQ(Bitset(64).num_words(), 1u);
+  EXPECT_EQ(Bitset(65).num_words(), 2u);
+  EXPECT_EQ(Bitset(64).SizeBytes(), 8u);
+  EXPECT_EQ(Bitset(65).SizeBytes(), 16u);
+}
+
+TEST(BitsetTest, SetTestAndCountAcrossWordBoundaries) {
+  // 130 bits = two full words + a 2-bit tail.
+  Bitset b(130);
+  EXPECT_EQ(b.Count(), 0u);
+  const size_t positions[] = {0, 1, 62, 63, 64, 65, 127, 128, 129};
+  for (size_t p : positions) b.Set(p);
+  for (size_t p : positions) EXPECT_TRUE(b.Test(p)) << p;
+  EXPECT_FALSE(b.Test(2));
+  EXPECT_FALSE(b.Test(61));
+  EXPECT_FALSE(b.Test(126));
+  EXPECT_EQ(b.Count(), 9u);
+  EXPECT_EQ(SetBits(b),
+            (std::vector<size_t>{0, 1, 62, 63, 64, 65, 127, 128, 129}));
+}
+
+TEST(BitsetTest, ForEachSetBitVisitsAscendingRowOrder) {
+  Bitset b(200);
+  for (size_t i = 0; i < 200; i += 7) b.Set(i);
+  const std::vector<size_t> seen = SetBits(b);
+  ASSERT_FALSE(seen.empty());
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LT(seen[i - 1], seen[i]);
+  }
+  EXPECT_EQ(seen.size(), b.Count());
+}
+
+TEST(BitsetTest, AndIsIntersectionAndPreservesTailInvariant) {
+  const size_t n = 100;  // 36 tail bits in the last word
+  Bitset a(n), b(n);
+  for (size_t i = 0; i < n; i += 2) a.Set(i);
+  for (size_t i = 0; i < n; i += 3) b.Set(i);
+  a.AndWith(b);
+  // Intersection = multiples of 6.
+  std::vector<size_t> expected;
+  for (size_t i = 0; i < n; i += 6) expected.push_back(i);
+  EXPECT_EQ(SetBits(a), expected);
+  EXPECT_EQ(a.Count(), expected.size());
+  // Tail bits beyond size() stay zero (Count would overreport otherwise).
+  EXPECT_EQ(a.words()[1] >> (n - 64), 0u);
+}
+
+TEST(BitsetTest, AndWithEmptySelectionClearsEverything) {
+  Bitset a(70), none(70);
+  for (size_t i = 0; i < 70; ++i) a.Set(i);
+  a.AndWith(none);
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_TRUE(SetBits(a).empty());
+}
+
+TEST(BitsetTest, FromBytesMatchesBytePerRowMask) {
+  std::vector<uint8_t> bytes(77, 0);
+  for (size_t i = 0; i < bytes.size(); i += 5) bytes[i] = 1;
+  bytes[76] = 255;  // any non-zero byte counts as selected
+  const Bitset b = Bitset::FromBytes(bytes.data(), bytes.size());
+  ASSERT_EQ(b.size(), bytes.size());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    EXPECT_EQ(b.Test(i), bytes[i] != 0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace featlib

@@ -1,0 +1,329 @@
+/// \file executor_parallel_test.cc
+/// \brief Pins the parallel EvaluateMany fan-out: byte-identical columns at
+/// every thread count, the COUNT(*) no-value-view path, the eviction
+/// pinning of in-batch cache entries, and the ThreadPool contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "query/batch_executor.h"
+#include "query/executor.h"
+#include "query/sql_parser.h"
+
+namespace featlib {
+namespace {
+
+bool SameBits(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  int64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+void ExpectColumnsBitIdentical(const std::vector<double>& batched,
+                               const std::vector<double>& legacy,
+                               const std::string& context) {
+  ASSERT_EQ(batched.size(), legacy.size()) << context;
+  for (size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_TRUE(SameBits(batched[i], legacy[i]))
+        << context << " row " << i << ": batched=" << batched[i]
+        << " legacy=" << legacy[i];
+  }
+}
+
+// Random (relevant, training) pair: compound keys, NULL-heavy values,
+// predicate attributes — the same shape batch_executor_test uses.
+struct RandomPair {
+  Table relevant;
+  Table training;
+};
+
+RandomPair MakeRandomPair(Rng* rng) {
+  const char* cities[] = {"ber", "nyc", "sfo", "tok"};
+  const char* depts[] = {"a", "b", "c"};
+
+  RandomPair out;
+  const size_t n_rel = 80 + rng->UniformInt(120);
+  Column uid(DataType::kInt64), city(DataType::kString);
+  Column value(DataType::kDouble), level(DataType::kInt64), dept(DataType::kString);
+  for (size_t i = 0; i < n_rel; ++i) {
+    if (rng->Bernoulli(0.05)) {
+      uid.AppendNull();
+    } else {
+      uid.AppendInt(static_cast<int64_t>(rng->UniformInt(10)));
+    }
+    city.AppendString(cities[rng->UniformInt(4)]);
+    if (rng->Bernoulli(0.3)) {
+      value.AppendNull();
+    } else {
+      value.AppendDouble(rng->Normal(0, 10));
+    }
+    level.AppendInt(static_cast<int64_t>(rng->UniformInt(5)));
+    dept.AppendString(depts[rng->UniformInt(3)]);
+  }
+  EXPECT_TRUE(out.relevant.AddColumn("uid", std::move(uid)).ok());
+  EXPECT_TRUE(out.relevant.AddColumn("city", std::move(city)).ok());
+  EXPECT_TRUE(out.relevant.AddColumn("value", std::move(value)).ok());
+  EXPECT_TRUE(out.relevant.AddColumn("level", std::move(level)).ok());
+  EXPECT_TRUE(out.relevant.AddColumn("dept", std::move(dept)).ok());
+
+  const size_t n_train = 40 + rng->UniformInt(30);
+  Column d_uid(DataType::kInt64), d_city(DataType::kString);
+  for (size_t i = 0; i < n_train; ++i) {
+    if (rng->Bernoulli(0.05)) {
+      d_uid.AppendNull();
+    } else {
+      d_uid.AppendInt(static_cast<int64_t>(rng->UniformInt(12)));
+    }
+    d_city.AppendString(cities[rng->UniformInt(4)]);
+  }
+  EXPECT_TRUE(out.training.AddColumn("uid", std::move(d_uid)).ok());
+  EXPECT_TRUE(out.training.AddColumn("city", std::move(d_city)).ok());
+  return out;
+}
+
+// A template-shaped pool: every agg function crossed with predicate combos
+// (none / single / conjunction / empty selection), plus COUNT(*) variants.
+std::vector<AggQuery> MakeCandidatePool() {
+  std::vector<std::vector<Predicate>> pred_sets;
+  pred_sets.push_back({});
+  pred_sets.push_back({Predicate::Equals("dept", Value::Str("a"))});
+  pred_sets.push_back({Predicate::Equals("dept", Value::Str("b")),
+                       Predicate::Range("level", std::nullopt, 3.0)});
+  pred_sets.push_back({Predicate::Equals("dept", Value::Str("zz"))});  // empty
+
+  std::vector<AggQuery> out;
+  for (const auto& preds : pred_sets) {
+    for (AggFunction fn : AllAggFunctions()) {
+      AggQuery q;
+      q.agg = fn;
+      q.agg_attr = "value";
+      q.group_keys = {"uid"};
+      q.predicates = preds;
+      out.push_back(std::move(q));
+    }
+    AggQuery count_star;
+    count_star.agg = AggFunction::kCount;
+    count_star.group_keys = {"uid", "city"};
+    count_star.predicates = preds;
+    out.push_back(std::move(count_star));
+  }
+  return out;
+}
+
+// --- Determinism across thread counts ---------------------------------------
+
+TEST(ExecutorParallelTest, EvaluateManyByteIdenticalAcrossThreadCounts) {
+  Rng rng(501);
+  const RandomPair tables = MakeRandomPair(&rng);
+  const std::vector<AggQuery> queries = MakeCandidatePool();
+
+  std::vector<std::vector<double>> legacy;
+  legacy.reserve(queries.size());
+  for (const AggQuery& q : queries) {
+    auto column = ComputeFeatureColumnLegacy(q, tables.training, tables.relevant);
+    ASSERT_TRUE(column.ok()) << column.status().ToString();
+    legacy.push_back(std::move(column).ValueOrDie());
+  }
+
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    ASSERT_EQ(pool.num_threads(), threads);
+    BatchExecutor executor;
+    executor.set_thread_pool(&pool);
+    auto many = executor.EvaluateMany(queries, tables.training, tables.relevant);
+    ASSERT_TRUE(many.ok()) << many.status().ToString();
+    ASSERT_EQ(many.value().size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectColumnsBitIdentical(many.value()[i], legacy[i],
+                                std::to_string(threads) + " threads, " +
+                                    queries[i].CacheKey());
+    }
+  }
+}
+
+TEST(ExecutorParallelTest, RepeatedParallelRunsAreDeterministic) {
+  Rng rng(733);
+  const RandomPair tables = MakeRandomPair(&rng);
+  const std::vector<AggQuery> queries = MakeCandidatePool();
+
+  ThreadPool pool(8);
+  BatchExecutor first_executor;
+  first_executor.set_thread_pool(&pool);
+  auto first =
+      first_executor.EvaluateMany(queries, tables.training, tables.relevant);
+  ASSERT_TRUE(first.ok());
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    BatchExecutor executor;
+    executor.set_thread_pool(&pool);
+    auto again = executor.EvaluateMany(queries, tables.training, tables.relevant);
+    ASSERT_TRUE(again.ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectColumnsBitIdentical(again.value()[i], first.value()[i],
+                                "repeat " + std::to_string(repeat));
+    }
+  }
+}
+
+// --- COUNT(*) ----------------------------------------------------------------
+
+TEST(ExecutorParallelTest, CountStarMatchesLegacyAndCountsAllSelectedRows) {
+  Table relevant;
+  ASSERT_TRUE(relevant
+                  .AddColumn("k", Column::FromDoubles({1.0, 1.0, 1.0, 2.0, 2.0}))
+                  .ok());
+  Column v(DataType::kDouble);
+  v.AppendDouble(10.0);
+  v.AppendNull();  // COUNT(value) skips this row, COUNT(*) keeps it
+  v.AppendDouble(30.0);
+  v.AppendNull();
+  v.AppendNull();
+  ASSERT_TRUE(relevant.AddColumn("value", std::move(v)).ok());
+  Table training;
+  ASSERT_TRUE(training.AddColumn("k", Column::FromDoubles({1.0, 2.0, 3.0})).ok());
+
+  AggQuery count_star;
+  count_star.agg = AggFunction::kCount;
+  count_star.group_keys = {"k"};
+  auto batched = ComputeFeatureColumn(count_star, training, relevant);
+  auto legacy = ComputeFeatureColumnLegacy(count_star, training, relevant);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  ExpectColumnsBitIdentical(batched.value(), legacy.value(), "COUNT(*)");
+  EXPECT_DOUBLE_EQ(batched.value()[0], 3.0);  // nulls counted
+  EXPECT_DOUBLE_EQ(batched.value()[1], 2.0);
+  EXPECT_TRUE(std::isnan(batched.value()[2]));  // entity absent from R
+
+  // COUNT(value) counts non-null cells only: 2 and 0 — distinct from above.
+  AggQuery count_value = count_star;
+  count_value.agg_attr = "value";
+  auto value_counts = ComputeFeatureColumn(count_value, training, relevant);
+  ASSERT_TRUE(value_counts.ok());
+  EXPECT_DOUBLE_EQ(value_counts.value()[0], 2.0);
+  EXPECT_DOUBLE_EQ(value_counts.value()[1], 0.0);
+
+  // COUNT(*) is the only attribute-less form.
+  AggQuery sum_star;
+  sum_star.agg = AggFunction::kSum;
+  sum_star.group_keys = {"k"};
+  EXPECT_FALSE(ComputeFeatureColumn(sum_star, training, relevant).ok());
+  EXPECT_FALSE(ComputeFeatureColumnLegacy(sum_star, training, relevant).ok());
+
+  // The COUNT(*) rendering round-trips through the SQL parser.
+  const std::string sql = count_star.ToSql("relevant", relevant);
+  EXPECT_NE(sql.find("COUNT(*)"), std::string::npos) << sql;
+  auto parsed = ParseAggQuerySql(sql);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().query.CacheKey(), count_star.CacheKey());
+  EXPECT_FALSE(ParseAggQuerySql("SELECT k, SUM(*) AS feature FROM r GROUP BY k")
+                   .ok());
+}
+
+// --- Eviction pinning --------------------------------------------------------
+
+TEST(ExecutorParallelTest, BatchPinnedMaskEntriesSurviveTinyCap) {
+  Rng rng(42);
+  const RandomPair tables = MakeRandomPair(&rng);
+  const std::vector<AggQuery> queries = MakeCandidatePool();
+
+  BatchExecutor executor;
+  // A cap below a single mask's footprint: every insertion would previously
+  // mass-evict the whole cache, invalidating masks the in-flight batch still
+  // references. Pinning keeps current-batch entries alive instead.
+  executor.set_mask_cache_cap_bytes(1);
+  executor.set_mat_cache_cap_bytes(1);
+  auto many = executor.EvaluateMany(queries, tables.training, tables.relevant);
+  ASSERT_TRUE(many.ok()) << many.status().ToString();
+  // Nothing is evictable mid-batch — all entries belong to the current one.
+  EXPECT_EQ(executor.num_evictions(), 0u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto legacy =
+        ComputeFeatureColumnLegacy(queries[i], tables.training, tables.relevant);
+    ASSERT_TRUE(legacy.ok());
+    ExpectColumnsBitIdentical(many.value()[i], legacy.value(),
+                              queries[i].CacheKey());
+  }
+
+  // A second batch over *different* predicates unpins the first batch's
+  // entries; the over-cap cache now evicts them (and only them).
+  std::vector<AggQuery> second;
+  for (AggFunction fn : AllAggFunctions()) {
+    AggQuery q;
+    q.agg = fn;
+    q.agg_attr = "value";
+    q.group_keys = {"uid"};
+    q.predicates = {Predicate::Range("level", 1.0, 4.0)};
+    second.push_back(std::move(q));
+  }
+  auto second_result =
+      executor.EvaluateMany(second, tables.training, tables.relevant);
+  ASSERT_TRUE(second_result.ok()) << second_result.status().ToString();
+  EXPECT_GT(executor.num_evictions(), 0u);
+  for (size_t i = 0; i < second.size(); ++i) {
+    auto legacy =
+        ComputeFeatureColumnLegacy(second[i], tables.training, tables.relevant);
+    ASSERT_TRUE(legacy.ok());
+    ExpectColumnsBitIdentical(second_result.value()[i], legacy.value(),
+                              second[i].CacheKey());
+  }
+}
+
+// --- ThreadPool contract -----------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, HandlesEdgeSizesAndSerialPool) {
+  ThreadPool serial(1);
+  EXPECT_EQ(serial.num_threads(), 1);
+  std::atomic<size_t> count{0};
+  serial.ParallelFor(0, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0u);
+  serial.ParallelFor(5, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 5u);
+
+  ThreadPool pool(8);
+  count.store(0);
+  pool.ParallelFor(1, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1u);
+  // Many small jobs in sequence: exercises the job-id handshake.
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(3, [&](size_t) { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 1u + 150u);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCallerAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t i) {
+                         if (i == 13) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The poisoned job is fully drained: the pool accepts later batches.
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(50, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50u);
+}
+
+}  // namespace
+}  // namespace featlib
