@@ -22,7 +22,7 @@
 #include "data/synthetic.h"
 #include "data/multi_table_data.h"
 #include "hpo/tpe.h"
-#include "query/batch_executor.h"
+#include "query/query_planner.h"
 #include "query/bitset.h"
 #include "query/sql_parser.h"
 #include "query/executor.h"
@@ -92,7 +92,7 @@ BENCHMARK(BM_FeatureMaterialization);
 
 // The candidate pool of a template search: every agg function crossed with
 // predicate variants of the golden query, all sharing one set of group keys
-// — the repeated-template workload the BatchExecutor amortizes.
+// — the repeated-template workload the QueryPlanner amortizes.
 std::vector<AggQuery> TemplateCandidates(const DatasetBundle& b) {
   std::vector<std::vector<Predicate>> pred_sets;
   pred_sets.push_back({});
@@ -112,18 +112,23 @@ std::vector<AggQuery> TemplateCandidates(const DatasetBundle& b) {
   return out;
 }
 
-void BM_LegacyCandidateEvaluation(benchmark::State& state) {
+// Unamortized baseline: a fresh planner per candidate pays the full group
+// index / mask / view build cost every time, like the retired legacy
+// per-candidate executor did.
+void BM_PerCandidateEvaluation(benchmark::State& state) {
   const DatasetBundle& b = SharedBundle();
   const std::vector<AggQuery> candidates = TemplateCandidates(b);
   for (auto _ : state) {
     for (const AggQuery& q : candidates) {
-      benchmark::DoNotOptimize(ComputeFeatureColumnLegacy(q, b.training, b.relevant));
+      QueryPlanner fresh;
+      benchmark::DoNotOptimize(
+          fresh.ComputeFeatureColumn(q, b.training, b.relevant));
     }
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(candidates.size()));
 }
-BENCHMARK(BM_LegacyCandidateEvaluation);
+BENCHMARK(BM_PerCandidateEvaluation);
 
 void BM_BatchedCandidateEvaluation(benchmark::State& state) {
   const DatasetBundle& b = SharedBundle();
@@ -131,7 +136,7 @@ void BM_BatchedCandidateEvaluation(benchmark::State& state) {
   for (auto _ : state) {
     // Fresh executor per iteration: the group-index build is charged to the
     // batch, as in a real search over a new template.
-    BatchExecutor executor;
+    QueryPlanner executor;
     benchmark::DoNotOptimize(
         executor.EvaluateMany(candidates, b.training, b.relevant));
   }
@@ -146,7 +151,7 @@ void BM_ParallelCandidateEvaluation(benchmark::State& state) {
   const std::vector<AggQuery> candidates = TemplateCandidates(b);
   ThreadPool pool(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    BatchExecutor executor;
+    QueryPlanner executor;
     executor.set_thread_pool(&pool);
     benchmark::DoNotOptimize(
         executor.EvaluateMany(candidates, b.training, b.relevant));
@@ -257,34 +262,38 @@ static bool ColumnsBitIdentical(const std::vector<double>& a,
   return true;
 }
 
-// Times the repeated-template candidate-evaluation workload on the legacy
-// per-candidate path vs the batched executor at every thread count of the
-// sweep, verifies the feature columns are bit-identical at each count, and
-// emits a machine-readable speedup record (with per-phase timings and the
-// word-packed vs byte-per-row mask-AND micro-timing).
+// Times the repeated-template candidate-evaluation workload on the
+// unamortized per-candidate baseline (fresh planner each call — the cost
+// model of the retired legacy executor) vs the batched planner at every
+// thread count of the sweep, verifies the feature columns are bit-identical
+// at each count, and emits a machine-readable speedup record with per-phase
+// (prepare vs fan-out) timings — prepare now runs on the pool too — and the
+// word-packed vs byte-per-row mask-AND micro-timing.
 int WriteExecutorSpeedupRecord(const char* path,
                                const std::vector<int>& thread_counts) {
   const DatasetBundle& b = SharedBundle();
   const std::vector<AggQuery> candidates = TemplateCandidates(b);
   constexpr int kRepeats = 3;
 
-  // Legacy reference columns, reused for the per-thread-count equivalence
-  // checks (all outside the timed sections; also warms the allocator).
-  std::vector<std::vector<double>> legacy_columns;
-  legacy_columns.reserve(candidates.size());
+  // Per-candidate reference columns, reused for the per-thread-count
+  // equivalence checks (all outside the timed sections; also warms the
+  // allocator).
+  std::vector<std::vector<double>> reference_columns;
+  reference_columns.reserve(candidates.size());
   for (const AggQuery& q : candidates) {
-    auto legacy = ComputeFeatureColumnLegacy(q, b.training, b.relevant);
-    if (!legacy.ok()) {
-      std::fprintf(stderr, "legacy evaluation failed: %s\n",
-                   legacy.status().ToString().c_str());
+    QueryPlanner fresh;
+    auto reference = fresh.ComputeFeatureColumn(q, b.training, b.relevant);
+    if (!reference.ok()) {
+      std::fprintf(stderr, "per-candidate evaluation failed: %s\n",
+                   reference.status().ToString().c_str());
       return 1;
     }
-    legacy_columns.push_back(std::move(legacy).ValueOrDie());
+    reference_columns.push_back(std::move(reference).ValueOrDie());
   }
   bool bit_identical = true;
   for (int threads : thread_counts) {
     ThreadPool pool(threads);
-    BatchExecutor executor;
+    QueryPlanner executor;
     executor.set_thread_pool(&pool);
     auto batched = executor.EvaluateMany(candidates, b.training, b.relevant);
     if (!batched.ok()) {
@@ -293,7 +302,7 @@ int WriteExecutorSpeedupRecord(const char* path,
       return 1;
     }
     for (size_t i = 0; i < candidates.size(); ++i) {
-      if (!ColumnsBitIdentical(legacy_columns[i], batched.value()[i])) {
+      if (!ColumnsBitIdentical(reference_columns[i], batched.value()[i])) {
         std::fprintf(stderr, "divergence at %d threads, candidate %zu (%s)\n",
                      threads, i, candidates[i].CacheKey().c_str());
         bit_identical = false;
@@ -305,11 +314,12 @@ int WriteExecutorSpeedupRecord(const char* path,
   WallTimer timer;
   for (int rep = 0; rep < kRepeats; ++rep) {
     for (const AggQuery& q : candidates) {
+      QueryPlanner fresh;
       benchmark::DoNotOptimize(
-          ComputeFeatureColumnLegacy(q, b.training, b.relevant));
+          fresh.ComputeFeatureColumn(q, b.training, b.relevant));
     }
   }
-  const double legacy_seconds = timer.Seconds();
+  const double per_candidate_seconds = timer.Seconds();
 
   // Thread sweep. A fresh executor per repeat charges the group-index and
   // mask builds to every batch, as in a real search over a new template.
@@ -320,7 +330,7 @@ int WriteExecutorSpeedupRecord(const char* path,
     ThreadPool pool(thread_counts[ti]);
     timer.Restart();
     for (int rep = 0; rep < kRepeats; ++rep) {
-      BatchExecutor executor;
+      QueryPlanner executor;
       executor.set_thread_pool(&pool);
       benchmark::DoNotOptimize(
           executor.EvaluateMany(candidates, b.training, b.relevant));
@@ -361,8 +371,10 @@ int WriteExecutorSpeedupRecord(const char* path,
   const double best_seconds =
       *std::min_element(sweep_seconds.begin(), sweep_seconds.end());
   const double max_threads_seconds = sweep_seconds.back();
+  const double prepare_1 = sweep_prepare.front();
+  const double prepare_max = sweep_prepare.back();
   bench::JsonRecord record;
-  record.Add("bench", std::string("executor_batch_vs_legacy"))
+  record.Add("bench", std::string("executor_batch_vs_per_candidate"))
       .Add("dataset", b.name)
       .Add("relevant_rows", static_cast<double>(b.relevant.num_rows()))
       .Add("training_rows", static_cast<double>(b.training.num_rows()))
@@ -370,10 +382,11 @@ int WriteExecutorSpeedupRecord(const char* path,
       .Add("repeats", static_cast<double>(kRepeats))
       .Add("hardware_concurrency",
            static_cast<double>(std::thread::hardware_concurrency()))
-      .Add("legacy_seconds", legacy_seconds)
+      .Add("per_candidate_seconds", per_candidate_seconds)
       .Add("batched_seconds", batched_seconds)
-      .Add("speedup",
-           batched_seconds > 0.0 ? legacy_seconds / batched_seconds : 0.0);
+      .Add("speedup", batched_seconds > 0.0
+                          ? per_candidate_seconds / batched_seconds
+                          : 0.0);
   std::string threads_list;
   for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
     if (ti > 0) threads_list += ",";
@@ -387,11 +400,17 @@ int WriteExecutorSpeedupRecord(const char* path,
       .Add("parallel_speedup_max_threads_vs_1",
            max_threads_seconds > 0.0 ? batched_seconds / max_threads_seconds
                                      : 0.0)
+      // Artifact builds (group index, masks, views, materializations) now
+      // fan out on the pool too; this isolates the prepare-phase scaling.
+      .Add("prepare_parallel", true)
+      .Add("prepare_parallel_speedup_max_threads_vs_1",
+           prepare_max > 0.0 ? prepare_1 / prepare_max : 0.0)
       .Add("speedup_at_max_threads",
-           max_threads_seconds > 0.0 ? legacy_seconds / max_threads_seconds
-                                     : 0.0)
+           max_threads_seconds > 0.0
+               ? per_candidate_seconds / max_threads_seconds
+               : 0.0)
       .Add("speedup_at_best",
-           best_seconds > 0.0 ? legacy_seconds / best_seconds : 0.0)
+           best_seconds > 0.0 ? per_candidate_seconds / best_seconds : 0.0)
       .Add("bitset_and_seconds", bitset_and_seconds)
       .Add("bytemask_and_seconds", bytemask_and_seconds)
       .Add("bit_identical", bit_identical);

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: Release build + full ctest suite, then a ThreadSanitizer
-# build of the executor concurrency tests (the EvaluateMany fan-out is the
-# only multi-threaded code; TSan pins the "no locks needed" cache design).
+# build of the concurrency tests. The planner's parallel prepare
+# (build-then-publish into the ArtifactStore) and the EvaluateMany fan-out
+# are the multi-threaded code; TSan pins the "no locks needed" design of
+# both phases.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -12,17 +14,23 @@ cmake -B "$ROOT/build" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-# ---- TSan: the executor + parallel determinism tests ------------------------
+# ---- TSan: planner / artifact-store / executor concurrency tests ------------
 # (Benches/examples are skipped: TSan only needs the threaded paths, and the
 # instrumented build is slow.)
+TSAN_TESTS=(
+  executor_golden_test
+  executor_parallel_test
+  query_planner_test
+  artifact_store_test
+)
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DFEATLIB_SANITIZE=thread \
   -DFEATLIB_BUILD_BENCHES=OFF \
   -DFEATLIB_BUILD_EXAMPLES=OFF
-cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-  --target batch_executor_test executor_parallel_test
-"$ROOT/build-tsan/batch_executor_test"
-"$ROOT/build-tsan/executor_parallel_test"
+cmake --build "$ROOT/build-tsan" -j "$JOBS" --target "${TSAN_TESTS[@]}"
+for test in "${TSAN_TESTS[@]}"; do
+  "$ROOT/build-tsan/$test"
+done
 
 echo "ci.sh: all green"

@@ -13,7 +13,7 @@
 namespace featlib {
 
 struct FeatAugConfig {
-  /// Threads for BatchExecutor::EvaluateMany fan-out. 0 = auto (hardware
+  /// Threads for QueryPlanner::EvaluateMany prepare/fan-out. 0 = auto (hardware
   /// concurrency); 1 = serial (the exact single-threaded code path).
   int num_threads = 0;
 

@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+
 #include "common/config.h"
 
 namespace featlib {
@@ -18,20 +20,25 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RunClaimLoop(Job* job) {
+  const size_t chunk = job->chunk;
   for (;;) {
     if (job->failed.load(std::memory_order_relaxed)) return;
-    const size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= job->n) return;
-    try {
-      (*job->fn)(i);
-    } catch (...) {
-      // Poison the job: everyone abandons the remaining indices, and the
-      // caller rethrows the first captured exception once all workers have
-      // let go of it (the serial path propagates the same way).
-      std::lock_guard<std::mutex> lock(mu_);
-      if (job->error == nullptr) job->error = std::current_exception();
-      job->failed.store(true, std::memory_order_relaxed);
-      return;
+    const size_t begin = job->next.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= job->n) return;
+    const size_t end = std::min(begin + chunk, job->n);
+    for (size_t i = begin; i < end; ++i) {
+      if (job->failed.load(std::memory_order_relaxed)) return;
+      try {
+        (*job->fn)(i);
+      } catch (...) {
+        // Poison the job: everyone abandons the remaining indices, and the
+        // caller rethrows the first captured exception once all workers have
+        // let go of it (the serial path propagates the same way).
+        std::lock_guard<std::mutex> lock(mu_);
+        if (job->error == nullptr) job->error = std::current_exception();
+        job->failed.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
   }
 }
@@ -58,12 +65,20 @@ void ThreadPool::WorkerLoop(std::stop_token stop) {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             size_t chunk) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
     // The exact single-threaded code path: plain loop, ascending order.
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
+  }
+  if (chunk == 0) {
+    // Several chunks per thread: large pools stop hammering the shared
+    // counter, while slow indices can still be balanced across threads.
+    constexpr size_t kChunksPerThread = 4;
+    chunk = std::max<size_t>(
+        1, n / (static_cast<size_t>(num_threads()) * kChunksPerThread));
   }
   // One batch owns the workers at a time: a second caller publishing its
   // job before every worker observed the first would strand the first
@@ -72,13 +87,14 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   Job job;
   job.fn = &fn;
   job.n = n;
+  job.chunk = chunk;
   {
     std::lock_guard<std::mutex> lock(mu_);
     job.id = ++next_job_id_;
     job_ = &job;
   }
   work_cv_.notify_all();
-  // The caller claims indices alongside the workers; its exceptions are
+  // The caller claims chunks alongside the workers; its exceptions are
   // captured like a worker's so the job outlives every reference to it.
   RunClaimLoop(&job);
   // Wait until every worker acknowledged (stopped touching `job`) before the
@@ -92,6 +108,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     job_ = nullptr;
   }
   if (job.error != nullptr) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::ParallelForStages(const std::vector<Stage>& stages) {
+  for (const Stage& stage : stages) {
+    if (stage.n > 0) ParallelFor(stage.n, stage.run);
+    // ParallelFor's completion handshake ordered every task write before
+    // this point; publish runs alone on the caller thread.
+    if (stage.publish) stage.publish();
+  }
 }
 
 ThreadPool* GlobalThreadPool() {

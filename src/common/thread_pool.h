@@ -2,18 +2,27 @@
 
 /// \file thread_pool.h
 /// \brief Fixed-size thread pool for the parallel candidate-evaluation
-/// fan-out. No external dependencies: std::jthread workers + one shared
-/// work-index counter per ParallelFor.
+/// fan-out and the staged artifact-prepare phase. No external dependencies:
+/// std::jthread workers + one shared work-index counter per ParallelFor.
 ///
 /// Design constraints (see docs/ARCHITECTURE.md, "Parallel execution"):
 ///  - ParallelFor(n, fn) runs fn(0..n-1) exactly once each and blocks until
 ///    every call returned. Tasks write disjoint pre-sized output slots, so
 ///    results are deterministic regardless of scheduling.
+///  - Workers claim *chunks* of consecutive indices, not single indices: one
+///    atomic RMW buys chunk_size tasks, so candidate pools much larger than
+///    the thread count do not serialize on the counter. The chunk size only
+///    changes which thread runs an index, never what the index computes, so
+///    output bytes are identical at every chunk size.
 ///  - A pool constructed with num_threads <= 1 spawns no workers at all;
 ///    ParallelFor then degenerates to a plain inline loop on the caller
 ///    thread — the exact single-threaded code path, byte for byte.
 ///  - The caller thread participates in the fan-out (a pool of T threads
 ///    spawns T-1 workers), so ThreadPool(2) really uses 2 cores, not 3.
+///  - ParallelForStages runs dependency layers: within a stage tasks are
+///    independent and fan out in parallel; between stages the caller thread
+///    runs a sequential `publish` callback (a barrier), which is where the
+///    ArtifactStore commits built artifacts before dependents read them.
 
 #include <atomic>
 #include <condition_variable>
@@ -40,12 +49,35 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
   /// Runs fn(i) for every i in [0, n); returns after all calls completed.
-  /// Indices are claimed dynamically (atomic counter), so per-index cost may
-  /// vary freely. Concurrent ParallelFor calls from different threads are
-  /// serialized (one batch owns the workers at a time — relevant because
+  /// Chunks of consecutive indices are claimed dynamically (atomic counter);
+  /// `chunk` 0 picks an automatic size from n and the thread count (several
+  /// chunks per thread, so per-index cost may vary freely without stragglers
+  /// idling the pool). Concurrent ParallelFor calls from different threads
+  /// are serialized (one batch owns the workers at a time — relevant because
   /// GlobalThreadPool() is shared by every library entry point). Not
   /// reentrant: do not call ParallelFor from inside fn.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t chunk = 0);
+
+  /// One dependency layer of a staged computation.
+  struct Stage {
+    /// Number of independent tasks in this stage.
+    size_t n = 0;
+    /// Task body; invoked exactly once per index in [0, n), possibly in
+    /// parallel. Must only read state published by earlier stages.
+    std::function<void(size_t)> run;
+    /// Sequential barrier step, executed on the caller thread after every
+    /// `run` of this stage returned and before the next stage starts. May be
+    /// null. This is where single-writer caches commit built artifacts.
+    std::function<void()> publish;
+  };
+
+  /// Runs the stages in order: all tasks of stage k complete (parallel,
+  /// chunk-claimed) before its publish runs, and publish completes before
+  /// stage k+1 starts. The completion handshake of each ParallelFor provides
+  /// the happens-before edge from every task write to the publish step and
+  /// from the publish to the next stage's tasks.
+  void ParallelForStages(const std::vector<Stage>& stages);
 
  private:
   /// One fan-out, published to the workers by pointer; lives on the
@@ -56,6 +88,7 @@ class ThreadPool {
   struct Job {
     const std::function<void(size_t)>* fn = nullptr;
     size_t n = 0;
+    size_t chunk = 1;               // indices claimed per atomic RMW
     uint64_t id = 0;
     std::atomic<size_t> next{0};    // next unclaimed index
     std::atomic<bool> failed{false};
@@ -63,7 +96,7 @@ class ThreadPool {
     int acked = 0;                  // workers done claiming (guarded by mu_)
   };
 
-  /// Claims and runs indices of `job` until it is exhausted or poisoned;
+  /// Claims and runs chunks of `job` until it is exhausted or poisoned;
   /// captures the first exception into the job. Returns normally always.
   void RunClaimLoop(Job* job);
 

@@ -6,7 +6,7 @@
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
-#include "query/batch_executor.h"
+#include "query/query_planner.h"
 
 namespace featlib {
 
@@ -77,9 +77,9 @@ Result<AugmentationPlan> FeatAug::Fit() {
 
 Result<Table> FeatAug::Apply(const AugmentationPlan& plan,
                              const Table& training) const {
-  // One BatchExecutor per target table: plan queries share group keys, so
+  // One QueryPlanner per target table: plan queries share group keys, so
   // the join/group structure is built once and streamed for every feature.
-  BatchExecutor executor;
+  QueryPlanner executor;
   executor.set_thread_pool(GlobalThreadPool());
   FEAT_ASSIGN_OR_RETURN(
       std::vector<std::vector<double>> columns,
@@ -97,7 +97,7 @@ Result<Dataset> FeatAug::ApplyToDataset(const AugmentationPlan& plan,
   FEAT_ASSIGN_OR_RETURN(
       Dataset ds, Dataset::FromTable(training, problem_.label_col,
                                      problem_.base_feature_cols, problem_.task));
-  BatchExecutor executor;
+  QueryPlanner executor;
   executor.set_thread_pool(GlobalThreadPool());
   FEAT_ASSIGN_OR_RETURN(
       std::vector<std::vector<double>> columns,

@@ -46,7 +46,7 @@ Result<FeatureEvaluator> FeatureEvaluator::Create(
                          options.valid_ratio, options.split_seed);
   // The whole search shares the process-wide pool: batched candidate
   // evaluation fans out across cores (FEATLIB_NUM_THREADS / FeatAugConfig).
-  out.batch_executor_.set_thread_pool(GlobalThreadPool());
+  out.planner_.set_thread_pool(GlobalThreadPool());
   out.train_labels_.reserve(out.split_.train.size());
   for (uint32_t r : out.split_.train) out.train_labels_.push_back(out.base_.y[r]);
   return out;
@@ -58,7 +58,7 @@ Result<const std::vector<double>*> FeatureEvaluator::Feature(const AggQuery& q) 
   if (it != feature_cache_.end()) return &it->second;
   FEAT_ASSIGN_OR_RETURN(
       std::vector<double> values,
-      batch_executor_.ComputeFeatureColumn(q, training_, relevant_));
+      planner_.ComputeFeatureColumn(q, training_, relevant_));
   ++num_materializations_;
   auto [inserted, ok] = feature_cache_.emplace(key, std::move(values));
   (void)ok;
@@ -79,7 +79,7 @@ Result<std::vector<const std::vector<double>*>> FeatureEvaluator::Features(
   if (!missing.empty()) {
     FEAT_ASSIGN_OR_RETURN(
         std::vector<std::vector<double>> columns,
-        batch_executor_.EvaluateMany(missing, training_, relevant_));
+        planner_.EvaluateMany(missing, training_, relevant_));
     for (size_t i = 0; i < missing.size(); ++i) {
       feature_cache_.emplace(missing_keys[i], std::move(columns[i]));
       ++num_materializations_;

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "ml/evaluator.h"
-#include "query/batch_executor.h"
+#include "query/query_planner.h"
 #include "query/executor.h"
 
 namespace featlib {
@@ -47,12 +47,12 @@ class FeatureEvaluator {
                                          EvaluatorOptions options);
 
   /// Materializes (and caches) the feature column of `q` aligned to D.
-  /// Uncached candidates run through the shared BatchExecutor, so the
+  /// Uncached candidates run through the shared QueryPlanner, so the
   /// group index and predicate masks are built once across the search.
   Result<const std::vector<double>*> Feature(const AggQuery& q);
 
   /// Batched variant: materializes every uncached query in one
-  /// BatchExecutor::EvaluateMany pass. Returned pointers stay valid for the
+  /// QueryPlanner::EvaluateMany pass. Returned pointers stay valid for the
   /// evaluator's lifetime (they point into the feature cache).
   Result<std::vector<const std::vector<double>*>> Features(
       const std::vector<AggQuery>& queries);
@@ -117,9 +117,10 @@ class FeatureEvaluator {
   SplitIndices split_;
   EvaluatorOptions options_;
 
-  /// Shared candidate-evaluation engine; caches the group index and
-  /// per-predicate selection masks across all Feature() calls.
-  BatchExecutor batch_executor_;
+  /// Shared candidate-evaluation engine; its artifact store caches the
+  /// group index and per-predicate selection masks across all Feature()
+  /// calls, and its prepare/fan-out phases run on the global thread pool.
+  QueryPlanner planner_;
   std::unordered_map<std::string, std::vector<double>> feature_cache_;
   // Labels restricted to the train split (proxy scoring).
   std::vector<double> train_labels_;

@@ -5,7 +5,7 @@
 
 #include "common/str_util.h"
 #include "common/thread_pool.h"
-#include "query/batch_executor.h"
+#include "query/query_planner.h"
 
 namespace featlib {
 
@@ -246,7 +246,7 @@ Result<Dataset> MultiTableFeatAug::ApplyToDataset(const MultiTablePlan& plan,
     }
     // One executor per relevant table: all of its plan queries share the
     // same join, so the group index is built once, not per feature.
-    BatchExecutor executor;
+    QueryPlanner executor;
     executor.set_thread_pool(GlobalThreadPool());
     FEAT_ASSIGN_OR_RETURN(
         std::vector<std::vector<double>> columns,
@@ -273,7 +273,7 @@ Result<Table> MultiTableFeatAug::Apply(const MultiTablePlan& plan,
     if (input == nullptr) {
       return Status::InvalidArgument("plan references unknown table " + tp.name);
     }
-    BatchExecutor executor;
+    QueryPlanner executor;
     executor.set_thread_pool(GlobalThreadPool());
     FEAT_ASSIGN_OR_RETURN(
         std::vector<std::vector<double>> columns,

@@ -1,228 +1,19 @@
 #include "query/executor.h"
 
-#include <cmath>
-#include <cstring>
-#include <unordered_map>
-
-#include "common/str_util.h"
-#include "query/batch_executor.h"
-#include "query/group_index.h"
+#include "query/query_planner.h"
 
 namespace featlib {
 
-namespace {
-
-// Composite group keys are encoded as raw byte strings: 8 bytes per
-// component. Int-backed columns contribute the value, string columns the
-// dictionary code (canonicalized to the relevant table's dictionary), double
-// columns the bit pattern.
-void AppendComponent(int64_t v, std::string* out) {
-  char buf[sizeof(int64_t)];
-  std::memcpy(buf, &v, sizeof(v));
-  out->append(buf, sizeof(buf));
-}
-
-// Encodes row `row` of the given key columns; returns false when any key
-// cell is NULL (such rows never participate in the join).
-bool EncodeKeyFromColumns(const std::vector<const Column*>& cols, size_t row,
-                          std::string* out) {
-  out->clear();
-  for (const Column* col : cols) {
-    if (col->IsNull(row)) return false;
-    switch (col->type()) {
-      case DataType::kInt64:
-      case DataType::kDatetime:
-      case DataType::kBool:
-        AppendComponent(col->IntAt(row), out);
-        break;
-      case DataType::kString:
-        AppendComponent(col->CodeAt(row), out);
-        break;
-      case DataType::kDouble: {
-        int64_t bits;
-        // Signed zeros compare equal but differ bitwise; normalize so the
-        // byte-string keys agree (mirrors GroupIndex).
-        const double v = NormalizeSignedZero(col->DoubleAt(row));
-        std::memcpy(&bits, &v, sizeof(bits));
-        AppendComponent(bits, out);
-        break;
-      }
-    }
-  }
-  return true;
-}
-
-// Per-key-column translator from the training table's representation to the
-// relevant table's canonical one (string codes differ across tables).
-struct KeyColumnPair {
-  const Column* d_col;
-  const Column* r_col;
-  // For string columns: d_code -> r_code (-1 when absent from R).
-  std::vector<int32_t> code_map;
-};
-
-bool EncodeKeyFromTraining(const std::vector<KeyColumnPair>& pairs, size_t row,
-                           std::string* out) {
-  out->clear();
-  for (const KeyColumnPair& p : pairs) {
-    if (p.d_col->IsNull(row)) return false;
-    switch (p.r_col->type()) {
-      case DataType::kInt64:
-      case DataType::kDatetime:
-      case DataType::kBool:
-        AppendComponent(p.d_col->IntAt(row), out);
-        break;
-      case DataType::kString: {
-        const int32_t d_code = p.d_col->CodeAt(row);
-        const int32_t r_code = p.code_map[static_cast<size_t>(d_code)];
-        if (r_code < 0) return false;  // key value never occurs in R
-        AppendComponent(r_code, out);
-        break;
-      }
-      case DataType::kDouble: {
-        int64_t bits;
-        const double v = NormalizeSignedZero(p.d_col->DoubleAt(row));
-        std::memcpy(&bits, &v, sizeof(bits));
-        AppendComponent(bits, out);
-        break;
-      }
-    }
-  }
-  return true;
-}
-
-struct GroupedRows {
-  // key bytes -> rows of R in that group
-  std::unordered_map<std::string, std::vector<uint32_t>> groups;
-  // first-seen order for deterministic output
-  std::vector<const std::string*> order;
-};
-
-Result<GroupedRows> GroupFilteredRows(const AggQuery& q, const Table& relevant) {
-  FEAT_RETURN_NOT_OK(q.Validate(relevant));
-  FEAT_ASSIGN_OR_RETURN(CompiledFilter filter,
-                        CompiledFilter::Compile(q.predicates, relevant));
-  std::vector<const Column*> key_cols;
-  for (const auto& k : q.group_keys) {
-    FEAT_ASSIGN_OR_RETURN(const Column* col, relevant.GetColumn(k));
-    key_cols.push_back(col);
-  }
-  GroupedRows out;
-  // Sized for the common one-to-many shape (a handful of rows per group);
-  // rehashing the group map mid-scan dominated small-table grouping.
-  out.groups.reserve(relevant.num_rows() / 4 + 1);
-  out.order.reserve(relevant.num_rows() / 4 + 1);
-  std::string key;
-  for (size_t row = 0; row < relevant.num_rows(); ++row) {
-    if (!filter.Matches(row)) continue;
-    if (!EncodeKeyFromColumns(key_cols, row, &key)) continue;
-    auto [it, inserted] = out.groups.try_emplace(key);
-    if (inserted) {
-      out.order.push_back(&it->first);
-      it->second.reserve(8);
-    }
-    it->second.push_back(static_cast<uint32_t>(row));
-  }
-  return out;
-}
-
-}  // namespace
-
 Result<Table> ExecuteAggQuery(const AggQuery& q, const Table& relevant) {
-  BatchExecutor executor;
+  QueryPlanner executor;
   return executor.ExecuteAggQuery(q, relevant);
 }
 
 Result<std::vector<double>> ComputeFeatureColumn(const AggQuery& q,
                                                  const Table& training,
                                                  const Table& relevant) {
-  BatchExecutor executor;
+  QueryPlanner executor;
   return executor.ComputeFeatureColumn(q, training, relevant);
-}
-
-Result<Table> ExecuteAggQueryLegacy(const AggQuery& q, const Table& relevant) {
-  FEAT_ASSIGN_OR_RETURN(GroupedRows grouped, GroupFilteredRows(q, relevant));
-  // COUNT(*) (empty agg attribute, Validate restricts it to kCount) counts
-  // the group's selected rows; no aggregation column is read.
-  const bool count_star = q.agg_attr.empty();
-  const Column* agg_col = nullptr;
-  if (!count_star) {
-    FEAT_ASSIGN_OR_RETURN(agg_col, relevant.GetColumn(q.agg_attr));
-  }
-
-  // Representative row per group, in first-seen order.
-  std::vector<uint32_t> representatives;
-  representatives.reserve(grouped.order.size());
-  Column feature(DataType::kDouble);
-  feature.Reserve(grouped.order.size());
-  for (const std::string* key : grouped.order) {
-    const auto& rows = grouped.groups.at(*key);
-    representatives.push_back(rows.front());
-    const double v = count_star ? static_cast<double>(rows.size())
-                                : ComputeAggregate(q.agg, *agg_col, rows);
-    if (std::isnan(v)) {
-      feature.AppendNull();
-    } else {
-      feature.AppendDouble(v);
-    }
-  }
-
-  Table out;
-  for (const auto& k : q.group_keys) {
-    FEAT_ASSIGN_OR_RETURN(const Column* col, relevant.GetColumn(k));
-    FEAT_RETURN_NOT_OK(out.AddColumn(k, col->Take(representatives)));
-  }
-  FEAT_RETURN_NOT_OK(out.AddColumn("feature", std::move(feature)));
-  return out;
-}
-
-Result<std::vector<double>> ComputeFeatureColumnLegacy(const AggQuery& q,
-                                                       const Table& training,
-                                                       const Table& relevant) {
-  FEAT_ASSIGN_OR_RETURN(GroupedRows grouped, GroupFilteredRows(q, relevant));
-  const bool count_star = q.agg_attr.empty();
-  const Column* agg_col = nullptr;
-  if (!count_star) {
-    FEAT_ASSIGN_OR_RETURN(agg_col, relevant.GetColumn(q.agg_attr));
-  }
-
-  std::unordered_map<std::string, double> feature_by_key;
-  feature_by_key.reserve(grouped.groups.size());
-  for (const auto& [key, rows] : grouped.groups) {
-    feature_by_key.emplace(key, count_star
-                                    ? static_cast<double>(rows.size())
-                                    : ComputeAggregate(q.agg, *agg_col, rows));
-  }
-
-  std::vector<KeyColumnPair> pairs;
-  for (const auto& k : q.group_keys) {
-    auto d_col = training.GetColumn(k);
-    if (!d_col.ok()) {
-      return Status::InvalidArgument("group key missing from training table: " + k);
-    }
-    FEAT_ASSIGN_OR_RETURN(const Column* r_col, relevant.GetColumn(k));
-    KeyColumnPair p{d_col.value(), r_col, {}};
-    if (r_col->type() == DataType::kString) {
-      if (p.d_col->type() != DataType::kString) {
-        return Status::InvalidArgument("join key type mismatch on " + k);
-      }
-      const auto& d_dict = p.d_col->dictionary();
-      p.code_map.resize(d_dict.size());
-      for (size_t i = 0; i < d_dict.size(); ++i) {
-        p.code_map[i] = r_col->FindCode(d_dict[i]);
-      }
-    }
-    pairs.push_back(std::move(p));
-  }
-
-  std::vector<double> out(training.num_rows(), std::nan(""));
-  std::string key;
-  for (size_t row = 0; row < training.num_rows(); ++row) {
-    if (!EncodeKeyFromTraining(pairs, row, &key)) continue;
-    auto it = feature_by_key.find(key);
-    if (it != feature_by_key.end()) out[row] = it->second;
-  }
-  return out;
 }
 
 Result<Table> AugmentTable(const Table& training, const Table& relevant,

@@ -3,6 +3,18 @@
 /// \file executor.h
 /// \brief Execution of predicate-aware aggregation queries and the LEFT JOIN
 /// augmentation of Def. 3.
+///
+/// These are convenience wrappers over a transient QueryPlanner (see
+/// query/query_planner.h for the planner / ArtifactStore / kernel layering).
+/// Callers evaluating many candidates over the same tables should hold a
+/// QueryPlanner to reuse its group index, predicate masks, and bucket
+/// materializations across calls.
+///
+/// The pre-planner per-candidate reference implementations
+/// (ExecuteAggQueryLegacy / ComputeFeatureColumnLegacy) are retired: their
+/// validated outputs are frozen as recorded goldens under tests/golden/
+/// (see tests/golden_util.h and scripts/regen_goldens.sh), which now pin
+/// the planner path byte for byte.
 
 #include <string>
 #include <vector>
@@ -18,10 +30,6 @@ namespace featlib {
 /// Result schema: the group-key columns (taken from R, first-seen group
 /// order) followed by a kDouble column named "feature". Rows whose group key
 /// contains NULL are dropped (they can never join back to D).
-///
-/// Thin wrapper over BatchExecutor; callers evaluating many candidates over
-/// the same tables should hold a BatchExecutor to reuse its group index and
-/// predicate-mask caches across calls.
 Result<Table> ExecuteAggQuery(const AggQuery& q, const Table& relevant);
 
 /// \brief Computes the augmented feature aligned to the training table.
@@ -40,19 +48,5 @@ Result<std::vector<double>> ComputeFeatureColumn(const AggQuery& q,
 /// `feature_name` (error if the name already exists).
 Result<Table> AugmentTable(const Table& training, const Table& relevant,
                            const AggQuery& q, const std::string& feature_name);
-
-/// \name Reference (pre-BatchExecutor) implementations
-///
-/// The original per-candidate path: every call re-encodes byte-string group
-/// keys, re-hashes every row and re-materializes per-group value vectors.
-/// Kept as the bit-identical oracle for the batch executor's equivalence
-/// tests and as the baseline of the bench_micro speedup comparison. New code
-/// should use BatchExecutor (or the wrappers above).
-/// @{
-Result<Table> ExecuteAggQueryLegacy(const AggQuery& q, const Table& relevant);
-Result<std::vector<double>> ComputeFeatureColumnLegacy(const AggQuery& q,
-                                                       const Table& training,
-                                                       const Table& relevant);
-/// @}
 
 }  // namespace featlib

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file kernels.h
+/// \brief The pure per-candidate aggregation kernels of the candidate-
+/// evaluation fan-out.
+///
+/// This is the bottom layer of the planner / store / kernel split (see
+/// docs/ARCHITECTURE.md): every function here is a pure function of const
+/// inputs — no caches, no locks, no executor state — so the QueryPlanner can
+/// run any number of them concurrently once the ArtifactStore has published
+/// the shared artifacts they read. A `PlannedCandidate` is the complete,
+/// resolved input of one candidate's kernel: raw pointers to store-owned
+/// (epoch-pinned) or caller-owned const data.
+///
+/// Bit-identity contract: every accumulation visits selected rows in
+/// ascending row order — the same order the original per-candidate executor
+/// appended group row vectors in — so kernel outputs are byte-identical to
+/// the recorded goldens (tests/golden/) at every thread count.
+
+#include <cstdint>
+#include <vector>
+
+#include "query/agg_query.h"
+#include "query/bitset.h"
+#include "query/group_index.h"
+
+namespace featlib {
+
+/// Grouped non-null values of one (group-key set, predicate set, agg
+/// attribute) bucket, bucketed into one flat array in row order. Built at
+/// most once per bucket: candidates that vary only the agg function (the
+/// common shape of a template's pool) aggregate contiguous slices of the
+/// same flat array.
+struct MaterializedValues {
+  std::vector<uint32_t> present;  // selected rows per group (incl. nulls)
+  std::vector<size_t> offsets;    // group id -> slice bounds (size G+1)
+  std::vector<double> flat;       // non-null selected values, row order
+
+  /// Heap footprint (ArtifactStore byte accounting).
+  size_t SizeBytes() const {
+    return flat.size() * sizeof(double) + offsets.size() * sizeof(size_t) +
+           present.size() * sizeof(uint32_t);
+  }
+};
+
+/// Everything one candidate's kernel needs, resolved by the QueryPlanner's
+/// prepare phase. All pointers are to store-owned (pinned) or const data;
+/// the fan-out phase reads them without touching any cache.
+struct PlannedCandidate {
+  const AggQuery* query = nullptr;
+  const GroupIndex* index = nullptr;
+  const std::vector<uint32_t>* train_map = nullptr;  // training row -> group
+  const double* view = nullptr;             // null iff COUNT(*) (no attr)
+  const Bitset* mask = nullptr;             // null = all rows selected
+  const MaterializedValues* mat = nullptr;  // aggregate from slices if set
+};
+
+/// The streaming kernel: per-group aggregate values for one candidate,
+/// visiting selected rows in ascending order (word scan when `mask` is
+/// set). `view` is the candidate's numeric value view; null only for
+/// COUNT(*) candidates without an agg attribute, which then read no values
+/// at all. Groups with no selected row get NaN. When `first_selected_row`
+/// is non-null it receives, per group, the first row index passing the
+/// filter (GroupIndex::kNoGroup when none does).
+std::vector<double> AggregateStreaming(
+    AggFunction fn, const GroupIndex& index, const Bitset* mask,
+    const double* view, std::vector<uint32_t>* first_selected_row);
+
+/// Per-group aggregates over a materialized bucket's flat slices.
+std::vector<double> AggregateFromMaterialized(AggFunction fn,
+                                              const MaterializedValues& m);
+
+/// Builds one bucket materialization: the selected non-null values of
+/// `view`, bucketed by group id into one flat array in ascending row order.
+/// Pure — safe to run concurrently with other artifact builds.
+MaterializedValues BuildMaterializedValues(const GroupIndex& index,
+                                           const Bitset* mask,
+                                           const double* view);
+
+/// The full per-candidate fan-out kernel: per-group aggregation (from the
+/// materialized bucket when `p.mat` is set, streaming otherwise) plus the
+/// scatter through the training-row map. Requires `p.train_map`.
+std::vector<double> ComputeFeatureKernel(const PlannedCandidate& p);
+
+}  // namespace featlib

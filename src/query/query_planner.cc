@@ -1,0 +1,573 @@
+#include "query/query_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "query/predicate.h"
+
+namespace featlib {
+
+namespace {
+
+constexpr uint32_t kNoGroup = GroupIndex::kNoGroup;
+
+// Aggregates whose one-pass streaming kernel accumulates directly into
+// per-group arrays; the rest materialize per-group value vectors.
+bool IsStreamingAgg(AggFunction fn) {
+  switch (fn) {
+    case AggFunction::kCount:
+    case AggFunction::kSum:
+    case AggFunction::kMin:
+    case AggFunction::kMax:
+    case AggFunction::kAvg:
+    case AggFunction::kVar:
+    case AggFunction::kVarSample:
+    case AggFunction::kStd:
+    case AggFunction::kStdSample:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Candidates differing only in agg function share all grouped values.
+std::string BucketKey(const AggQuery& q) {
+  std::string out = StrJoin(q.group_keys, "\x1f");
+  out += "\x1e";
+  out += q.agg_attr;
+  for (const Predicate& p : q.predicates) {
+    if (p.IsTrivial()) continue;
+    out += "\x1e";
+    out += p.CacheKey();
+  }
+  return out;
+}
+
+// Cache key of a predicate conjunction's combined bitset. The "&\x1d"
+// prefix keeps combos disjoint from single-predicate keys.
+std::string ComboKey(const std::vector<const Predicate*>& active) {
+  std::string out = "&\x1d";
+  for (const Predicate* p : active) {
+    out += p->CacheKey();
+    out += "\x1d";
+  }
+  return out;
+}
+
+// ---- Compile-time artifact request graph -----------------------------------
+//
+// One request per *distinct* artifact the batch needs; candidates reference
+// requests by index. Each request carries a resolved store pointer (cached
+// artifacts) or a build slot the prepare stages fill in parallel and the
+// publish steps commit. Request vectors double as the deterministic publish
+// order.
+
+struct GroupReq {
+  std::string key;
+  const std::vector<std::string>* group_keys = nullptr;
+  ArtifactStore::GroupArtifact* artifact = nullptr;  // cached or published
+  bool need_build = false;
+  bool need_train_map = false;  // (re)build the training-row map in stage B
+  std::optional<GroupIndex> built;
+  Status error;
+  std::optional<std::vector<uint32_t>> built_map;
+  Status map_error;
+};
+
+struct MaskReq {  // one non-trivial WHERE predicate
+  std::string key;
+  const Predicate* pred = nullptr;
+  const Bitset* bits = nullptr;  // cached or published
+  std::optional<Bitset> built;
+  Status error;
+};
+
+struct ComboReq {  // conjunction of >= 2 predicates (depends on MaskReqs)
+  std::string key;
+  std::vector<size_t> parts;  // MaskReq indices; empty when cached
+  const Bitset* bits = nullptr;
+  std::optional<Bitset> built;
+};
+
+struct ViewReq {  // numeric value view of one agg attribute
+  std::string attr;
+  const Column* col = nullptr;
+  size_t n_rows = 0;
+  const std::vector<double>* view = nullptr;
+  std::optional<std::vector<double>> built;
+};
+
+struct MatReq {  // bucket materialization (depends on group + mask + view)
+  std::string key;
+  size_t group = 0;
+  int mask_single = -1;
+  int mask_combo = -1;
+  size_t view = 0;
+  const MaterializedValues* values = nullptr;
+  std::optional<MaterializedValues> built;
+};
+
+/// A candidate resolved to artifact-request indices (-1 = not needed).
+struct CandidateSpec {
+  const AggQuery* query = nullptr;
+  size_t group = 0;
+  bool has_mask = false;
+  int mask_single = -1;
+  int mask_combo = -1;
+  int view = -1;
+  int mat = -1;                               // MatReq to build/join
+  const MaterializedValues* mat_hit = nullptr;  // store hit, no request
+};
+
+}  // namespace
+
+Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
+    const std::vector<AggQuery>& queries, const Table* training,
+    const Table& relevant, bool for_grouped_result) {
+  plan_stats_ = PlanStats{};
+  plan_stats_.candidates = queries.size();
+
+  // ---- Compile: one sequential pass dedups artifact requests and resolves
+  // what the store already holds (hits are epoch-stamped, pinning them for
+  // the whole batch). ----
+  for (const AggQuery& q : queries) {
+    FEAT_RETURN_NOT_OK(q.Validate(relevant));
+  }
+
+  // Buckets shared by several candidates pay one materialization and serve
+  // every member from flat slices; singleton buckets keep the cheaper
+  // streaming kernel for streaming-family aggregates.
+  std::vector<std::string> bucket_keys;
+  std::unordered_map<std::string, int> bucket_counts;
+  if (!for_grouped_result) {
+    bucket_keys.reserve(queries.size());
+    for (const AggQuery& q : queries) {
+      bucket_keys.push_back(BucketKey(q));
+      ++bucket_counts[bucket_keys.back()];
+    }
+  }
+
+  std::vector<GroupReq> groups;
+  std::vector<MaskReq> masks;
+  std::vector<ComboReq> combos;
+  std::vector<ViewReq> views;
+  std::vector<MatReq> mats;
+  std::unordered_map<std::string, size_t> group_idx, mask_idx, combo_idx,
+      view_idx, mat_idx;
+
+  auto intern_group = [&](const AggQuery& q) -> size_t {
+    const std::string key = StrJoin(q.group_keys, "\x1f");
+    auto [it, inserted] = group_idx.emplace(key, groups.size());
+    if (inserted) {
+      GroupReq req;
+      req.key = key;
+      req.group_keys = &q.group_keys;
+      req.artifact = store_.FindGroup(key);
+      req.need_build = req.artifact == nullptr;
+      groups.push_back(std::move(req));
+    }
+    return it->second;
+  };
+
+  auto intern_mask = [&](const Predicate& p) -> size_t {
+    const std::string key = p.CacheKey();
+    auto [it, inserted] = mask_idx.emplace(key, masks.size());
+    if (inserted) {
+      MaskReq req;
+      req.key = key;
+      req.pred = &p;
+      req.bits = store_.FindMask(key);
+      masks.push_back(std::move(req));
+    }
+    return it->second;
+  };
+
+  auto intern_view = [&](const std::string& attr) -> Result<size_t> {
+    auto [it, inserted] = view_idx.emplace(attr, views.size());
+    if (inserted) {
+      ViewReq req;
+      req.attr = attr;
+      req.view = store_.FindView(attr);
+      if (req.view == nullptr) {
+        FEAT_ASSIGN_OR_RETURN(req.col, relevant.GetColumn(attr));
+        req.n_rows = relevant.num_rows();
+      }
+      views.push_back(std::move(req));
+    }
+    return it->second;
+  };
+
+  std::vector<CandidateSpec> specs(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const AggQuery& q = queries[i];
+    CandidateSpec& spec = specs[i];
+    spec.query = &q;
+    spec.group = intern_group(q);
+    if (training != nullptr) groups[spec.group].need_train_map = true;
+
+    // A bucket hit (or a bucket another candidate already requested)
+    // carries the selection baked in: the kernel needs neither mask nor
+    // view. ExecuteAggQuery never takes this path — it streams so it can
+    // recover first-selected-row group order.
+    if (!for_grouped_result && !q.agg_attr.empty()) {
+      auto pending = mat_idx.find(bucket_keys[i]);
+      if (pending != mat_idx.end()) {
+        spec.mat = static_cast<int>(pending->second);
+        continue;
+      }
+      spec.mat_hit = store_.FindMaterialized(bucket_keys[i]);
+      if (spec.mat_hit != nullptr) continue;
+    }
+
+    // Selection mask: the predicate's own bitset for a single conjunct, a
+    // dedicated conjunction bitset (word-wise AND of the constituents) for
+    // longer ones. A cached conjunction needs no constituent requests.
+    std::vector<const Predicate*> active;
+    for (const Predicate& p : q.predicates) {
+      if (!p.IsTrivial()) active.push_back(&p);
+    }
+    if (!active.empty()) {
+      spec.has_mask = true;
+      if (active.size() == 1) {
+        spec.mask_single = static_cast<int>(intern_mask(*active[0]));
+      } else {
+        const std::string key = ComboKey(active);
+        auto [it, inserted] = combo_idx.emplace(key, combos.size());
+        if (inserted) {
+          ComboReq req;
+          req.key = key;
+          req.bits = store_.FindMask(key);
+          if (req.bits == nullptr) {
+            for (const Predicate* p : active) {
+              req.parts.push_back(intern_mask(*p));
+            }
+          }
+          combos.push_back(std::move(req));
+        }
+        spec.mask_combo = static_cast<int>(it->second);
+      }
+    }
+
+    // COUNT(*) candidates have no agg attribute: they stream presence
+    // counts off the bitset and group ids alone, reading no value view.
+    if (q.agg_attr.empty()) continue;
+
+    FEAT_ASSIGN_OR_RETURN(size_t view, intern_view(q.agg_attr));
+    spec.view = static_cast<int>(view);
+    const bool shared_bucket =
+        !for_grouped_result && bucket_counts[bucket_keys[i]] > 1;
+    if (for_grouped_result || (IsStreamingAgg(q.agg) && !shared_bucket)) {
+      continue;
+    }
+    auto [it, inserted] = mat_idx.emplace(bucket_keys[i], mats.size());
+    if (inserted) {
+      MatReq req;
+      req.key = bucket_keys[i];
+      req.group = spec.group;
+      req.mask_single = spec.mask_single;
+      req.mask_combo = spec.mask_combo;
+      req.view = view;
+      mats.push_back(std::move(req));
+    }
+    spec.mat = static_cast<int>(it->second);
+  }
+
+  // ---- Stage membership (computable at compile time: a group built this
+  // batch always needs a fresh training-row map; cached ones only when the
+  // map is absent or sized for a different training table). ----
+  std::vector<size_t> a_groups, a_masks, a_views;
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    if (groups[gi].need_build) a_groups.push_back(gi);
+  }
+  for (size_t mi = 0; mi < masks.size(); ++mi) {
+    if (masks[mi].bits == nullptr) a_masks.push_back(mi);
+  }
+  for (size_t vi = 0; vi < views.size(); ++vi) {
+    if (views[vi].view == nullptr) a_views.push_back(vi);
+  }
+  std::vector<size_t> b_maps, b_combos;
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    GroupReq& req = groups[gi];
+    if (!req.need_train_map) continue;
+    const bool stale = req.need_build || !req.artifact->has_train_map ||
+                       req.artifact->train_map.size() != training->num_rows();
+    if (stale) b_maps.push_back(gi);
+  }
+  for (size_t ci = 0; ci < combos.size(); ++ci) {
+    if (combos[ci].bits == nullptr) b_combos.push_back(ci);
+  }
+  std::vector<size_t> c_mats(mats.size());
+  for (size_t i = 0; i < mats.size(); ++i) c_mats[i] = i;
+
+  plan_stats_.group_requests = groups.size();
+  plan_stats_.mask_requests = masks.size();
+  plan_stats_.conjunction_requests = combos.size();
+  plan_stats_.view_requests = views.size();
+  plan_stats_.mat_requests = mats.size();
+  plan_stats_.train_map_requests = b_maps.size();
+  plan_stats_.builds_run = a_groups.size() + a_masks.size() + a_views.size() +
+                           b_maps.size() + b_combos.size() + c_mats.size();
+  const size_t n_a = a_groups.size() + a_masks.size() + a_views.size();
+  const size_t n_b = b_maps.size() + b_combos.size();
+  const size_t n_c = c_mats.size();
+  plan_stats_.stages_run =
+      (n_a > 0 ? 1 : 0) + (n_b > 0 ? 1 : 0) + (n_c > 0 ? 1 : 0);
+
+  // ---- Prepare: build-then-publish, stage by stage. Builds run on the
+  // pool into per-request slots; each publish commits them into the store
+  // in request order on this thread (deterministic at every thread count).
+  // `stage_error` is written only inside publish steps and read by later
+  // stages' tasks — ordered by the ParallelFor barrier between stages. ----
+  Status stage_error;
+  auto note_error = [&stage_error](const Status& s) {
+    if (stage_error.ok() && !s.ok()) stage_error = s;
+  };
+
+  auto run_stage_a = [&](size_t t) {
+    if (t < a_groups.size()) {
+      GroupReq& req = groups[a_groups[t]];
+      auto built = GroupIndex::Build(relevant, *req.group_keys);
+      if (built.ok()) {
+        req.built.emplace(std::move(built).ValueOrDie());
+      } else {
+        req.error = built.status();
+      }
+      return;
+    }
+    t -= a_groups.size();
+    if (t < a_masks.size()) {
+      MaskReq& req = masks[a_masks[t]];
+      auto filter = CompiledFilter::Compile({*req.pred}, relevant);
+      if (!filter.ok()) {
+        req.error = filter.status();
+        return;
+      }
+      Bitset bits(relevant.num_rows());
+      for (size_t row = 0; row < relevant.num_rows(); ++row) {
+        if (filter.value().Matches(row)) bits.Set(row);
+      }
+      req.built.emplace(std::move(bits));
+      return;
+    }
+    ViewReq& req = views[a_views[t - a_masks.size()]];
+    // NaN encodes null: stored doubles are never NaN (AppendDouble maps NaN
+    // to null) and int/string numeric views cannot produce one.
+    std::vector<double> view(req.n_rows);
+    for (size_t row = 0; row < req.n_rows; ++row) {
+      view[row] = req.col->AsDouble(row);
+    }
+    req.built.emplace(std::move(view));
+  };
+  auto publish_stage_a = [&]() {
+    for (size_t gi : a_groups) {
+      GroupReq& req = groups[gi];
+      if (!req.error.ok()) {
+        note_error(req.error);
+        continue;
+      }
+      req.artifact = store_.PublishGroup(req.key, std::move(*req.built));
+    }
+    for (size_t mi : a_masks) {
+      MaskReq& req = masks[mi];
+      if (!req.error.ok()) {
+        note_error(req.error);
+        continue;
+      }
+      req.bits = store_.PublishMask(req.key, std::move(*req.built),
+                                    /*is_conjunction=*/false);
+    }
+    for (size_t vi : a_views) {
+      ViewReq& req = views[vi];
+      req.view = store_.PublishView(req.attr, std::move(*req.built));
+    }
+  };
+
+  auto run_stage_b = [&](size_t t) {
+    if (!stage_error.ok()) return;  // a dependency failed; abandon builds
+    if (t < b_maps.size()) {
+      GroupReq& req = groups[b_maps[t]];
+      auto built = req.artifact->index.MapTrainingRows(*training, relevant);
+      if (built.ok()) {
+        req.built_map.emplace(std::move(built).ValueOrDie());
+      } else {
+        req.map_error = built.status();
+      }
+      return;
+    }
+    ComboReq& req = combos[b_combos[t - b_maps.size()]];
+    Bitset combined = *masks[req.parts[0]].bits;
+    for (size_t k = 1; k < req.parts.size(); ++k) {
+      combined.AndWith(*masks[req.parts[k]].bits);
+    }
+    req.built.emplace(std::move(combined));
+  };
+  auto publish_stage_b = [&]() {
+    if (!stage_error.ok()) return;
+    for (size_t gi : b_maps) {
+      GroupReq& req = groups[gi];
+      if (!req.map_error.ok()) {
+        note_error(req.map_error);
+        continue;
+      }
+      store_.PublishTrainMap(req.artifact, std::move(*req.built_map));
+    }
+    for (size_t ci : b_combos) {
+      ComboReq& req = combos[ci];
+      req.bits = store_.PublishMask(req.key, std::move(*req.built),
+                                    /*is_conjunction=*/true);
+    }
+  };
+
+  auto run_stage_c = [&](size_t t) {
+    if (!stage_error.ok()) return;
+    MatReq& req = mats[c_mats[t]];
+    const Bitset* mask = req.mask_single >= 0
+                             ? masks[static_cast<size_t>(req.mask_single)].bits
+                         : req.mask_combo >= 0
+                             ? combos[static_cast<size_t>(req.mask_combo)].bits
+                             : nullptr;
+    req.built.emplace(BuildMaterializedValues(groups[req.group].artifact->index,
+                                              mask,
+                                              views[req.view].view->data()));
+  };
+  auto publish_stage_c = [&]() {
+    if (!stage_error.ok()) return;
+    for (size_t mi : c_mats) {
+      MatReq& req = mats[mi];
+      req.values = store_.PublishMaterialized(req.key, std::move(*req.built));
+    }
+  };
+
+  const std::vector<ThreadPool::Stage> stages = {
+      {n_a, run_stage_a, publish_stage_a},
+      {n_b, run_stage_b, publish_stage_b},
+      {n_c, run_stage_c, publish_stage_c},
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelForStages(stages);
+  } else {
+    for (const ThreadPool::Stage& stage : stages) {
+      for (size_t t = 0; t < stage.n; ++t) stage.run(t);
+      if (stage.publish) stage.publish();
+    }
+  }
+  FEAT_RETURN_NOT_OK(stage_error);
+
+  // ---- Resolve: every candidate's kernel inputs are now store-owned
+  // pointers, pinned for this epoch. ----
+  std::vector<PlannedCandidate> planned(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const CandidateSpec& spec = specs[i];
+    PlannedCandidate& p = planned[i];
+    p.query = spec.query;
+    ArtifactStore::GroupArtifact* g = groups[spec.group].artifact;
+    p.index = &g->index;
+    if (training != nullptr) p.train_map = &g->train_map;
+    if (spec.mat >= 0) {
+      p.mat = mats[static_cast<size_t>(spec.mat)].values;
+      continue;
+    }
+    if (spec.mat_hit != nullptr) {
+      p.mat = spec.mat_hit;
+      continue;
+    }
+    if (spec.has_mask) {
+      p.mask = spec.mask_single >= 0
+                   ? masks[static_cast<size_t>(spec.mask_single)].bits
+                   : combos[static_cast<size_t>(spec.mask_combo)].bits;
+    }
+    if (spec.view >= 0) {
+      p.view = views[static_cast<size_t>(spec.view)].view->data();
+    }
+  }
+  return planned;
+}
+
+Result<std::vector<double>> QueryPlanner::ComputeFeatureColumn(
+    const AggQuery& q, const Table& training, const Table& relevant) {
+  store_.BeginEpoch();
+  const std::vector<AggQuery> one(1, q);
+  FEAT_ASSIGN_OR_RETURN(std::vector<PlannedCandidate> planned,
+                        Prepare(one, &training, relevant,
+                                /*for_grouped_result=*/false));
+  return ComputeFeatureKernel(planned[0]);
+}
+
+Result<std::vector<std::vector<double>>> QueryPlanner::EvaluateMany(
+    const std::vector<AggQuery>& queries, const Table& training,
+    const Table& relevant) {
+  store_.BeginEpoch();
+  WallTimer timer;
+  FEAT_ASSIGN_OR_RETURN(std::vector<PlannedCandidate> planned,
+                        Prepare(queries, &training, relevant,
+                                /*for_grouped_result=*/false));
+  prepare_seconds_ = timer.Seconds();
+
+  // ---- Fan-out phase: independent pure kernels into pre-sized slots, so
+  // results are deterministic and thread- and chunk-count-independent. ----
+  timer.Restart();
+  std::vector<std::vector<double>> out(queries.size());
+  auto run_one = [&](size_t i) { out[i] = ComputeFeatureKernel(planned[i]); };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(planned.size(), run_one);
+  } else {
+    for (size_t i = 0; i < planned.size(); ++i) run_one(i);
+  }
+  aggregate_seconds_ = timer.Seconds();
+  return out;
+}
+
+Result<Table> QueryPlanner::ExecuteAggQuery(const AggQuery& q,
+                                            const Table& relevant) {
+  store_.BeginEpoch();
+  const std::vector<AggQuery> one(1, q);
+  FEAT_ASSIGN_OR_RETURN(std::vector<PlannedCandidate> planned,
+                        Prepare(one, /*training=*/nullptr, relevant,
+                                /*for_grouped_result=*/true));
+  const PlannedCandidate& p = planned[0];
+  std::vector<uint32_t> first_selected;
+  std::vector<double> per_group =
+      AggregateStreaming(q.agg, *p.index, p.mask, p.view, &first_selected);
+
+  // Groups are emitted in first-seen order among *filtered* rows with the
+  // first matching row as representative; sorting surviving groups by their
+  // first selected row reproduces both exactly.
+  std::vector<uint32_t> survivors;
+  survivors.reserve(first_selected.size());
+  for (uint32_t g = 0; g < first_selected.size(); ++g) {
+    if (first_selected[g] != kNoGroup) survivors.push_back(g);
+  }
+  std::sort(survivors.begin(), survivors.end(),
+            [&](uint32_t a, uint32_t b) {
+              return first_selected[a] < first_selected[b];
+            });
+
+  std::vector<uint32_t> representatives;
+  representatives.reserve(survivors.size());
+  Column feature(DataType::kDouble);
+  feature.Reserve(survivors.size());
+  for (uint32_t g : survivors) {
+    representatives.push_back(first_selected[g]);
+    if (std::isnan(per_group[g])) {
+      feature.AppendNull();
+    } else {
+      feature.AppendDouble(per_group[g]);
+    }
+  }
+
+  Table out;
+  for (const auto& k : q.group_keys) {
+    FEAT_ASSIGN_OR_RETURN(const Column* col, relevant.GetColumn(k));
+    FEAT_RETURN_NOT_OK(out.AddColumn(k, col->Take(representatives)));
+  }
+  FEAT_RETURN_NOT_OK(out.AddColumn("feature", std::move(feature)));
+  return out;
+}
+
+}  // namespace featlib

@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file query_planner.h
+/// \brief Batch query planner: compiles a candidate pool into a deduplicated
+/// DAG of shared artifacts, prepares the artifacts in parallel through a
+/// build-then-publish ArtifactStore, and fans the pure per-candidate kernels
+/// out over a ThreadPool.
+///
+/// FeatAug's search evaluates thousands of candidate queries (predicate
+/// combo x agg function x agg attribute) that share the same one-to-many
+/// join. The planner is the top layer of the planner / store / kernel split
+/// (see docs/ARCHITECTURE.md):
+///
+///  1. **Compile** — one sequential pass over the batch resolves every
+///     candidate to the set of artifacts it needs (group index, training-row
+///     map, predicate/conjunction bitsets, numeric value view, bucket
+///     materialization), deduplicating requests across candidates and
+///     looking up what the ArtifactStore already holds. The result is a
+///     three-stage dependency DAG: conjunction masks depend on their
+///     constituent predicate masks, training-row maps on their group index,
+///     and materializations on group index + mask + view.
+///
+///  2. **Prepare (parallel)** — missing artifacts are built *off to the
+///     side* on the ThreadPool, independent artifacts of a stage in
+///     parallel, stages in topological order; after each stage the finished
+///     values are published into the store sequentially on the calling
+///     thread (ThreadPool::ParallelForStages). Publish order is request
+///     order, so the store's contents — and every downstream byte — are
+///     identical at every thread and chunk count.
+///
+///  3. **Fan-out (parallel)** — the per-candidate kernels (query/kernels.h)
+///     are pure functions over published const artifacts writing pre-sized
+///     output slots; they run on the pool with chunk-claimed scheduling.
+///
+/// An instance is bound by content to one (training, relevant) table pair:
+/// its store keys off group-key names and predicate operands, so feeding it
+/// a different table with the same schema would silently reuse stale
+/// artifacts. Callers that augment multiple tables create one planner per
+/// pair (cheap — the store fills lazily).
+///
+/// Thread-compatibility: an instance may be used from one thread at a time
+/// (its internal pool parallelism is self-contained); concurrent calls on
+/// the same instance require external synchronization.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/agg_query.h"
+#include "query/artifact_store.h"
+#include "query/kernels.h"
+#include "table/table.h"
+
+namespace featlib {
+
+class ThreadPool;
+
+class QueryPlanner {
+ public:
+  QueryPlanner() = default;
+
+  /// Pool used for both the parallel prepare and the fan-out phase. nullptr
+  /// (the default) means serial evaluation. Not owned; must outlive the
+  /// planner's use.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Feature column of `q` aligned to `training` (NaN where the entity has
+  /// no qualifying rows), reusing the store's artifacts across calls.
+  Result<std::vector<double>> ComputeFeatureColumn(const AggQuery& q,
+                                                   const Table& training,
+                                                   const Table& relevant);
+
+  /// Evaluates N candidates in one call, returning N feature columns.
+  /// Candidates sharing group keys reuse one GroupIndex; predicates repeated
+  /// across candidates hit the mask shard; candidates differing only in agg
+  /// function share one bucket materialization; artifact builds and the
+  /// per-candidate kernels both run on the configured ThreadPool.
+  Result<std::vector<std::vector<double>>> EvaluateMany(
+      const std::vector<AggQuery>& queries, const Table& training,
+      const Table& relevant);
+
+  /// Grouped result table of Def. 2 (key columns + "feature"), in
+  /// first-seen group order among filtered rows.
+  Result<Table> ExecuteAggQuery(const AggQuery& q, const Table& relevant);
+
+  /// The artifact store backing this planner (cap tuning, introspection).
+  ArtifactStore& store() { return store_; }
+  const ArtifactStore& store() const { return store_; }
+
+  /// \name Store shortcuts (tests and benches).
+  /// @{
+  size_t num_group_index_builds() const { return store_.num_group_builds(); }
+  size_t num_mask_builds() const { return store_.num_mask_builds(); }
+  size_t num_materializations() const { return store_.num_materializations(); }
+  size_t num_evictions() const { return store_.num_evictions(); }
+  void set_mask_cache_cap_bytes(size_t cap) {
+    store_.set_mask_cache_cap_bytes(cap);
+  }
+  void set_mat_cache_cap_bytes(size_t cap) {
+    store_.set_mat_cache_cap_bytes(cap);
+  }
+  /// @}
+
+  /// Compile-time shape of the last prepared batch (tests pin DAG dedup and
+  /// topology through this).
+  struct PlanStats {
+    size_t candidates = 0;
+    /// Deduplicated artifact requests by kind (cached or built).
+    size_t group_requests = 0;
+    /// Training-row maps scheduled for (re)build this batch — unlike the
+    /// request counts above, cached up-to-date maps are not counted.
+    size_t train_map_requests = 0;
+    size_t mask_requests = 0;
+    size_t conjunction_requests = 0;
+    size_t view_requests = 0;
+    size_t mat_requests = 0;
+    /// Artifact builds actually executed (requests that missed the store).
+    size_t builds_run = 0;
+    /// Dependency stages that ran at least one build (<= 3).
+    size_t stages_run = 0;
+  };
+  const PlanStats& last_plan_stats() const { return plan_stats_; }
+
+  /// \name Phase timings of the last EvaluateMany call (bench reporting).
+  /// @{
+  double last_prepare_seconds() const { return prepare_seconds_; }
+  double last_aggregate_seconds() const { return aggregate_seconds_; }
+  /// @}
+
+ private:
+  /// Compiles `queries` into the artifact DAG, executes the missing builds
+  /// stage-parallel on the pool, publishes them, and resolves one
+  /// PlannedCandidate per query. `training` may be null only when
+  /// `for_grouped_result` is set (no training-row maps are built then, and
+  /// candidates always take the streaming path: view instead of bucket
+  /// materialization). Streaming-family aggregates materialize only when
+  /// several candidates of the batch share their bucket.
+  Result<std::vector<PlannedCandidate>> Prepare(
+      const std::vector<AggQuery>& queries, const Table* training,
+      const Table& relevant, bool for_grouped_result);
+
+  ArtifactStore store_;
+  ThreadPool* pool_ = nullptr;
+  PlanStats plan_stats_;
+  double prepare_seconds_ = 0.0;
+  double aggregate_seconds_ = 0.0;
+};
+
+}  // namespace featlib

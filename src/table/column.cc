@@ -43,7 +43,8 @@ void Column::AppendString(const std::string& v) {
 
 void Column::AppendCode(int32_t code) {
   FEAT_CHECK(type_ == DataType::kString, "AppendCode on non-string column");
-  FEAT_CHECK(code >= 0 && code < static_cast<int32_t>(dict_.size()),
+  FEAT_CHECK(code >= 0 && dict_ != nullptr &&
+                 code < static_cast<int32_t>(dict_->values.size()),
              "dictionary code out of range");
   valid_.push_back(1);
   codes_.push_back(code);
@@ -113,8 +114,9 @@ int32_t Column::CodeAt(size_t row) const {
 }
 
 const std::string& Column::StringAt(size_t row) const {
-  FEAT_CHECK(type_ == DataType::kString, "StringAt on non-string column");
-  return dict_[static_cast<size_t>(codes_[row])];
+  FEAT_CHECK(type_ == DataType::kString && dict_ != nullptr,
+             "StringAt on non-string column");
+  return dict_->values[static_cast<size_t>(codes_[row])];
 }
 
 Value Column::ValueAt(size_t row) const {
@@ -147,18 +149,33 @@ double Column::AsDouble(size_t row) const {
   return std::nan("");
 }
 
+Column::Dictionary* Column::MutableDictionary() {
+  if (dict_ == nullptr) {
+    dict_ = std::make_shared<Dictionary>();
+  } else if (dict_.use_count() > 1) {
+    // Copy-on-write: another column shares this dictionary (e.g. via
+    // Take); clone before mutating so siblings never see the append.
+    dict_ = std::make_shared<Dictionary>(*dict_);
+  }
+  return dict_.get();
+}
+
 int32_t Column::GetOrAddCode(const std::string& s) {
-  auto it = dict_index_.find(s);
-  if (it != dict_index_.end()) return it->second;
-  const int32_t code = static_cast<int32_t>(dict_.size());
-  dict_.push_back(s);
-  dict_index_.emplace(s, code);
+  if (dict_ != nullptr) {
+    auto it = dict_->index.find(s);
+    if (it != dict_->index.end()) return it->second;
+  }
+  Dictionary* dict = MutableDictionary();
+  const int32_t code = static_cast<int32_t>(dict->values.size());
+  dict->values.push_back(s);
+  dict->index.emplace(s, code);
   return code;
 }
 
 int32_t Column::FindCode(const std::string& s) const {
-  auto it = dict_index_.find(s);
-  return it == dict_index_.end() ? -1 : it->second;
+  if (dict_ == nullptr) return -1;
+  auto it = dict_->index.find(s);
+  return it == dict_->index.end() ? -1 : it->second;
 }
 
 Result<std::pair<double, double>> Column::MinMaxAsDouble() const {
@@ -201,8 +218,11 @@ size_t Column::CountDistinct() const {
 Column Column::Take(const std::vector<uint32_t>& indices) const {
   Column out(type_);
   out.Reserve(indices.size());
+  // O(1): the dictionary is shared, not copied — Take on a string column
+  // used to deep-copy every dictionary string per call (hot in
+  // ExecuteAggQuery's key-column gather). Copy-on-write in GetOrAddCode
+  // keeps later appends to either column private.
   out.dict_ = dict_;
-  out.dict_index_ = dict_index_;
   for (uint32_t idx : indices) {
     FEAT_CHECK(idx < size(), "Take index out of range");
     if (IsNull(idx)) {

@@ -4,6 +4,7 @@
 /// \brief Nullable, typed columnar storage with dictionary-encoded strings.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -61,12 +62,31 @@ class Column {
   /// @}
 
   /// \name Dictionary (kString only)
+  ///
+  /// The dictionary (values + reverse index) lives behind a shared_ptr:
+  /// copying a column — and Take(), which used to deep-copy the whole
+  /// dictionary per call on the ExecuteAggQuery hot path — shares it in
+  /// O(1). Mutation (GetOrAddCode via AppendString) is copy-on-write: a
+  /// column whose dictionary is shared clones it before inserting, so
+  /// sibling columns never observe each other's appends. Sharing is not
+  /// synchronized — concurrent readers are fine, but mutation requires the
+  /// column (not just the dictionary) to be exclusively owned by the
+  /// writing thread, which matches the engine's single-writer table
+  /// construction.
   /// @{
-  const std::vector<std::string>& dictionary() const { return dict_; }
+  const std::vector<std::string>& dictionary() const {
+    static const std::vector<std::string> kEmpty;
+    return dict_ == nullptr ? kEmpty : dict_->values;
+  }
   /// Returns the code for `s`, inserting it if absent.
   int32_t GetOrAddCode(const std::string& s);
   /// Returns the code for `s`, or -1 if `s` is not in the dictionary.
   int32_t FindCode(const std::string& s) const;
+  /// True when this column shares its dictionary storage with `other`
+  /// (introspection for tests pinning the O(1) Take behavior).
+  bool SharesDictionaryWith(const Column& other) const {
+    return dict_ != nullptr && dict_ == other.dict_;
+  }
   /// @}
 
   /// Min/max over non-null rows as doubles. Error if the column is empty,
@@ -87,10 +107,21 @@ class Column {
   static Column FromStrings(const std::vector<std::string>& values);
 
  private:
+  /// Dictionary storage shared across columns (values + reverse index move
+  /// together; they are always mutated as a pair).
+  struct Dictionary {
+    std::vector<std::string> values;
+    std::unordered_map<std::string, int32_t> index;
+  };
+
   bool IsIntBacked() const {
     return type_ == DataType::kInt64 || type_ == DataType::kDatetime ||
            type_ == DataType::kBool;
   }
+
+  /// Returns a dictionary this column may mutate: creates one if absent,
+  /// clones the shared one if another column also points at it.
+  Dictionary* MutableDictionary();
 
   DataType type_;
   std::vector<uint8_t> valid_;
@@ -98,8 +129,7 @@ class Column {
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<int32_t> codes_;
-  std::vector<std::string> dict_;
-  std::unordered_map<std::string, int32_t> dict_index_;
+  std::shared_ptr<Dictionary> dict_;  // null until first string appended
 };
 
 }  // namespace featlib

@@ -1,7 +1,8 @@
 /// \file executor_parallel_test.cc
-/// \brief Pins the parallel EvaluateMany fan-out: byte-identical columns at
-/// every thread count, the COUNT(*) no-value-view path, the eviction
-/// pinning of in-batch cache entries, and the ThreadPool contract.
+/// \brief Pins the parallel EvaluateMany contract: byte-identical columns at
+/// every thread count (against the recorded goldens), the COUNT(*)
+/// no-value-view path, the eviction pinning of in-batch store entries, and
+/// the ThreadPool contract (chunk-claimed fan-out + staged scheduling).
 
 #include <gtest/gtest.h>
 
@@ -13,8 +14,9 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
-#include "query/batch_executor.h"
+#include "golden_util.h"
 #include "query/executor.h"
+#include "query/query_planner.h"
 #include "query/sql_parser.h"
 
 namespace featlib {
@@ -28,19 +30,20 @@ bool SameBits(double a, double b) {
   return ba == bb;
 }
 
-void ExpectColumnsBitIdentical(const std::vector<double>& batched,
-                               const std::vector<double>& legacy,
+void ExpectColumnsBitIdentical(const std::vector<double>& actual,
+                               const std::vector<double>& expected,
                                const std::string& context) {
-  ASSERT_EQ(batched.size(), legacy.size()) << context;
-  for (size_t i = 0; i < batched.size(); ++i) {
-    ASSERT_TRUE(SameBits(batched[i], legacy[i]))
-        << context << " row " << i << ": batched=" << batched[i]
-        << " legacy=" << legacy[i];
+  ASSERT_EQ(actual.size(), expected.size()) << context;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_TRUE(SameBits(actual[i], expected[i]))
+        << context << " row " << i << ": actual=" << actual[i]
+        << " expected=" << expected[i];
   }
 }
 
 // Random (relevant, training) pair: compound keys, NULL-heavy values,
-// predicate attributes — the same shape batch_executor_test uses.
+// predicate attributes — the same shape executor_golden_test uses. The Rng
+// consumption order is part of the golden contract.
 struct RandomPair {
   Table relevant;
   Table training;
@@ -119,33 +122,39 @@ std::vector<AggQuery> MakeCandidatePool() {
   return out;
 }
 
-// --- Determinism across thread counts ---------------------------------------
+// --- Determinism across thread counts, pinned to the recorded goldens -------
 
-TEST(ExecutorParallelTest, EvaluateManyByteIdenticalAcrossThreadCounts) {
+TEST(ExecutorParallelTest, EvaluateManyMatchesGoldensAtEveryThreadCount) {
+  golden::GoldenFile goldens("parallel_pool_columns.golden");
   Rng rng(501);
   const RandomPair tables = MakeRandomPair(&rng);
   const std::vector<AggQuery> queries = MakeCandidatePool();
 
-  std::vector<std::vector<double>> legacy;
-  legacy.reserve(queries.size());
-  for (const AggQuery& q : queries) {
-    auto column = ComputeFeatureColumnLegacy(q, tables.training, tables.relevant);
-    ASSERT_TRUE(column.ok()) << column.status().ToString();
-    legacy.push_back(std::move(column).ValueOrDie());
+  // The serial run records (or is checked against) the goldens; every
+  // parallel-prepare run must reproduce its bytes exactly.
+  QueryPlanner serial;
+  auto reference = serial.EvaluateMany(queries, tables.training, tables.relevant);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_EQ(reference.value().size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    goldens.Check("q" + std::to_string(i),
+                  golden::EncodeColumn(reference.value()[i]));
   }
 
-  for (const int threads : {1, 2, 8}) {
+  for (const int threads : {1, 2, 4, 8}) {
     ThreadPool pool(threads);
     ASSERT_EQ(pool.num_threads(), threads);
-    BatchExecutor executor;
-    executor.set_thread_pool(&pool);
-    auto many = executor.EvaluateMany(queries, tables.training, tables.relevant);
+    QueryPlanner planner;
+    planner.set_thread_pool(&pool);
+    auto many = planner.EvaluateMany(queries, tables.training, tables.relevant);
     ASSERT_TRUE(many.ok()) << many.status().ToString();
     ASSERT_EQ(many.value().size(), queries.size());
     for (size_t i = 0; i < queries.size(); ++i) {
-      ExpectColumnsBitIdentical(many.value()[i], legacy[i],
+      ExpectColumnsBitIdentical(many.value()[i], reference.value()[i],
                                 std::to_string(threads) + " threads, " +
                                     queries[i].CacheKey());
+      goldens.Check("q" + std::to_string(i),
+                    golden::EncodeColumn(many.value()[i]));
     }
   }
 }
@@ -156,15 +165,15 @@ TEST(ExecutorParallelTest, RepeatedParallelRunsAreDeterministic) {
   const std::vector<AggQuery> queries = MakeCandidatePool();
 
   ThreadPool pool(8);
-  BatchExecutor first_executor;
-  first_executor.set_thread_pool(&pool);
+  QueryPlanner first_planner;
+  first_planner.set_thread_pool(&pool);
   auto first =
-      first_executor.EvaluateMany(queries, tables.training, tables.relevant);
+      first_planner.EvaluateMany(queries, tables.training, tables.relevant);
   ASSERT_TRUE(first.ok());
   for (int repeat = 0; repeat < 3; ++repeat) {
-    BatchExecutor executor;
-    executor.set_thread_pool(&pool);
-    auto again = executor.EvaluateMany(queries, tables.training, tables.relevant);
+    QueryPlanner planner;
+    planner.set_thread_pool(&pool);
+    auto again = planner.EvaluateMany(queries, tables.training, tables.relevant);
     ASSERT_TRUE(again.ok());
     for (size_t i = 0; i < queries.size(); ++i) {
       ExpectColumnsBitIdentical(again.value()[i], first.value()[i],
@@ -175,7 +184,7 @@ TEST(ExecutorParallelTest, RepeatedParallelRunsAreDeterministic) {
 
 // --- COUNT(*) ----------------------------------------------------------------
 
-TEST(ExecutorParallelTest, CountStarMatchesLegacyAndCountsAllSelectedRows) {
+TEST(ExecutorParallelTest, CountStarCountsAllSelectedRows) {
   Table relevant;
   ASSERT_TRUE(relevant
                   .AddColumn("k", Column::FromDoubles({1.0, 1.0, 1.0, 2.0, 2.0}))
@@ -193,14 +202,11 @@ TEST(ExecutorParallelTest, CountStarMatchesLegacyAndCountsAllSelectedRows) {
   AggQuery count_star;
   count_star.agg = AggFunction::kCount;
   count_star.group_keys = {"k"};
-  auto batched = ComputeFeatureColumn(count_star, training, relevant);
-  auto legacy = ComputeFeatureColumnLegacy(count_star, training, relevant);
-  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
-  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
-  ExpectColumnsBitIdentical(batched.value(), legacy.value(), "COUNT(*)");
-  EXPECT_DOUBLE_EQ(batched.value()[0], 3.0);  // nulls counted
-  EXPECT_DOUBLE_EQ(batched.value()[1], 2.0);
-  EXPECT_TRUE(std::isnan(batched.value()[2]));  // entity absent from R
+  auto counts = ComputeFeatureColumn(count_star, training, relevant);
+  ASSERT_TRUE(counts.ok()) << counts.status().ToString();
+  EXPECT_DOUBLE_EQ(counts.value()[0], 3.0);  // nulls counted
+  EXPECT_DOUBLE_EQ(counts.value()[1], 2.0);
+  EXPECT_TRUE(std::isnan(counts.value()[2]));  // entity absent from R
 
   // COUNT(value) counts non-null cells only: 2 and 0 — distinct from above.
   AggQuery count_value = count_star;
@@ -215,7 +221,6 @@ TEST(ExecutorParallelTest, CountStarMatchesLegacyAndCountsAllSelectedRows) {
   sum_star.agg = AggFunction::kSum;
   sum_star.group_keys = {"k"};
   EXPECT_FALSE(ComputeFeatureColumn(sum_star, training, relevant).ok());
-  EXPECT_FALSE(ComputeFeatureColumnLegacy(sum_star, training, relevant).ok());
 
   // The COUNT(*) rendering round-trips through the SQL parser.
   const std::string sql = count_star.ToSql("relevant", relevant);
@@ -229,31 +234,33 @@ TEST(ExecutorParallelTest, CountStarMatchesLegacyAndCountsAllSelectedRows) {
 
 // --- Eviction pinning --------------------------------------------------------
 
-TEST(ExecutorParallelTest, BatchPinnedMaskEntriesSurviveTinyCap) {
+TEST(ExecutorParallelTest, BatchPinnedStoreEntriesSurviveTinyCap) {
   Rng rng(42);
   const RandomPair tables = MakeRandomPair(&rng);
   const std::vector<AggQuery> queries = MakeCandidatePool();
 
-  BatchExecutor executor;
-  // A cap below a single mask's footprint: every insertion would previously
-  // mass-evict the whole cache, invalidating masks the in-flight batch still
+  QueryPlanner planner;
+  // A cap below a single mask's footprint: every publish would previously
+  // mass-evict the whole shard, invalidating masks the in-flight batch still
   // references. Pinning keeps current-batch entries alive instead.
-  executor.set_mask_cache_cap_bytes(1);
-  executor.set_mat_cache_cap_bytes(1);
-  auto many = executor.EvaluateMany(queries, tables.training, tables.relevant);
+  planner.set_mask_cache_cap_bytes(1);
+  planner.set_mat_cache_cap_bytes(1);
+  auto many = planner.EvaluateMany(queries, tables.training, tables.relevant);
   ASSERT_TRUE(many.ok()) << many.status().ToString();
   // Nothing is evictable mid-batch — all entries belong to the current one.
-  EXPECT_EQ(executor.num_evictions(), 0u);
+  EXPECT_EQ(planner.num_evictions(), 0u);
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto legacy =
-        ComputeFeatureColumnLegacy(queries[i], tables.training, tables.relevant);
-    ASSERT_TRUE(legacy.ok());
-    ExpectColumnsBitIdentical(many.value()[i], legacy.value(),
+    // Cache-free per-candidate evaluation is the correctness reference.
+    QueryPlanner fresh;
+    auto expected =
+        fresh.ComputeFeatureColumn(queries[i], tables.training, tables.relevant);
+    ASSERT_TRUE(expected.ok());
+    ExpectColumnsBitIdentical(many.value()[i], expected.value(),
                               queries[i].CacheKey());
   }
 
   // A second batch over *different* predicates unpins the first batch's
-  // entries; the over-cap cache now evicts them (and only them).
+  // entries; the over-cap shards now evict them (and only them).
   std::vector<AggQuery> second;
   for (AggFunction fn : AllAggFunctions()) {
     AggQuery q;
@@ -264,14 +271,15 @@ TEST(ExecutorParallelTest, BatchPinnedMaskEntriesSurviveTinyCap) {
     second.push_back(std::move(q));
   }
   auto second_result =
-      executor.EvaluateMany(second, tables.training, tables.relevant);
+      planner.EvaluateMany(second, tables.training, tables.relevant);
   ASSERT_TRUE(second_result.ok()) << second_result.status().ToString();
-  EXPECT_GT(executor.num_evictions(), 0u);
+  EXPECT_GT(planner.num_evictions(), 0u);
   for (size_t i = 0; i < second.size(); ++i) {
-    auto legacy =
-        ComputeFeatureColumnLegacy(second[i], tables.training, tables.relevant);
-    ASSERT_TRUE(legacy.ok());
-    ExpectColumnsBitIdentical(second_result.value()[i], legacy.value(),
+    QueryPlanner fresh;
+    auto expected =
+        fresh.ComputeFeatureColumn(second[i], tables.training, tables.relevant);
+    ASSERT_TRUE(expected.ok());
+    ExpectColumnsBitIdentical(second_result.value()[i], expected.value(),
                               second[i].CacheKey());
   }
 }
@@ -288,6 +296,21 @@ TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
   });
   for (size_t i = 0; i < kN; ++i) {
     ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunkClaimingCoversEveryIndexAtEveryChunkSize) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1003;  // not a multiple of any chunk size below
+  for (const size_t chunk : {size_t{1}, size_t{3}, size_t{16}, size_t{64},
+                             size_t{500}, size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(
+        kN, [&](size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+        chunk);
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "chunk=" << chunk << " i=" << i;
+    }
   }
 }
 
@@ -323,6 +346,32 @@ TEST(ThreadPoolTest, ExceptionsPropagateToCallerAndPoolSurvives) {
   std::atomic<size_t> count{0};
   pool.ParallelFor(50, [&](size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 50u);
+}
+
+TEST(ThreadPoolTest, ParallelForStagesPublishesBetweenStages) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 64;
+  std::vector<int> built_a(kN, 0);
+  std::atomic<int> published_a{0};
+  std::vector<int> observed_publish(kN, 0);
+  std::vector<ThreadPool::Stage> stages;
+  stages.push_back({kN, [&](size_t i) { built_a[i] = 1; },
+                    [&] {
+                      // Barrier: every stage-A task write is visible here.
+                      int sum = 0;
+                      for (int v : built_a) sum += v;
+                      published_a.store(sum);
+                    }});
+  stages.push_back({kN,
+                    [&](size_t i) {
+                      // Stage B tasks observe stage A fully built+published.
+                      observed_publish[i] = published_a.load();
+                    },
+                    nullptr});
+  pool.ParallelForStages(stages);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(observed_publish[i], static_cast<int>(kN)) << i;
+  }
 }
 
 }  // namespace

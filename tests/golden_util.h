@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file golden_util.h
+/// \brief Recorded-golden oracle for the executor equivalence tests.
+///
+/// The legacy per-candidate executor used to serve as the bit-identical
+/// reference for the planner path. It is retired; its validated outputs are
+/// frozen as checked-in fixture files under tests/golden/ instead. Tests
+/// construct a GoldenFile and Check(key, value): in normal runs the value
+/// must equal the recorded one bit for bit; with FEATLIB_REGEN_GOLDENS=1 in
+/// the environment the file is rewritten from the current engine instead
+/// (scripts/regen_goldens.sh). Regenerate only after an *intentional*
+/// output change, and review the fixture diff like code.
+///
+/// Encodings are exact: doubles are serialized as 16-hex-digit IEEE bit
+/// patterns (NaN kept as its canonical quiet pattern via a normalization
+/// step, since "which NaN" is not part of the executor contract).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+#ifndef FEATLIB_SOURCE_DIR
+#define FEATLIB_SOURCE_DIR "."
+#endif
+
+namespace featlib {
+namespace golden {
+
+inline bool RegenMode() {
+  return std::getenv("FEATLIB_REGEN_GOLDENS") != nullptr;
+}
+
+inline std::string GoldenPath(const std::string& name) {
+  return std::string(FEATLIB_SOURCE_DIR) + "/tests/golden/" + name;
+}
+
+/// 16-hex-digit IEEE-754 bit pattern; all NaNs map to one canonical
+/// pattern (NaN payload is not part of the executor contract).
+inline std::string HexDouble(double v) {
+  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return std::string(buf);
+}
+
+inline std::string EncodeColumn(const std::vector<double>& column) {
+  std::string out = std::to_string(column.size());
+  for (double v : column) {
+    out += ' ';
+    out += HexDouble(v);
+  }
+  return out;
+}
+
+/// Deterministic one-line table encoding: schema, then row-major cells.
+/// Null cells render as "_", strings verbatim (fixture tables use simple
+/// identifiers), numerics as exact hex bit patterns of their double view.
+inline std::string EncodeTable(const Table& t) {
+  std::string out = "cols=" + std::to_string(t.num_columns()) +
+                    " rows=" + std::to_string(t.num_rows());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    out += " ";
+    out += t.NameAt(c);
+    out += ":";
+    out += std::to_string(static_cast<int>(t.ColumnAt(c).type()));
+  }
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    out += " |";
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      const Column& col = t.ColumnAt(c);
+      out += " ";
+      if (col.IsNull(r)) {
+        out += "_";
+      } else if (col.type() == DataType::kString) {
+        out += col.StringAt(r);
+      } else {
+        out += HexDouble(col.AsDouble(r));
+      }
+    }
+  }
+  return out;
+}
+
+/// One fixture file of "key<TAB>value" lines. Keys must be unique and
+/// tab/newline-free; values newline-free (the encoders above qualify).
+class GoldenFile {
+ public:
+  explicit GoldenFile(const std::string& name) : path_(GoldenPath(name)) {
+    if (RegenMode()) return;
+    std::ifstream in(path_);
+    EXPECT_TRUE(in.good()) << "missing golden fixture " << path_
+                           << " — run scripts/regen_goldens.sh";
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t tab = line.find('\t');
+      if (tab == std::string::npos) continue;
+      recorded_[line.substr(0, tab)] = line.substr(tab + 1);
+    }
+  }
+
+  ~GoldenFile() {
+    if (!RegenMode()) return;
+    if (::testing::Test::HasFailure()) {
+      // A failed test recorded only a prefix of its keys; truncating the
+      // fixture now would destroy the last known-good recording.
+      std::fprintf(stderr,
+                   "golden: test failed mid-regen, leaving %s untouched\n",
+                   path_.c_str());
+      return;
+    }
+    std::ofstream out(path_, std::ios::trunc);
+    for (const std::string& key : order_) {
+      out << key << '\t' << recorded_.at(key) << '\n';
+    }
+  }
+
+  GoldenFile(const GoldenFile&) = delete;
+  GoldenFile& operator=(const GoldenFile&) = delete;
+
+  /// Regen mode: records. Check mode: exact string (= bit) equality with
+  /// the recorded value.
+  void Check(const std::string& key, const std::string& value) {
+    if (RegenMode()) {
+      if (recorded_.emplace(key, value).second) order_.push_back(key);
+      return;
+    }
+    auto it = recorded_.find(key);
+    ASSERT_TRUE(it != recorded_.end())
+        << "no recorded golden for key '" << key << "' in " << path_
+        << " — run scripts/regen_goldens.sh";
+    EXPECT_EQ(it->second, value) << "golden mismatch at key '" << key << "'";
+  }
+
+ private:
+  std::string path_;
+  std::map<std::string, std::string> recorded_;
+  std::vector<std::string> order_;  // regen: preserve insertion order
+};
+
+}  // namespace golden
+}  // namespace featlib

@@ -78,6 +78,39 @@ TEST(ColumnTest, StringDictionaryEncoding) {
   EXPECT_EQ(col.FindCode("zzz"), -1);
 }
 
+TEST(ColumnTest, TakeSharesDictionaryCopyOnWrite) {
+  Column col(DataType::kString);
+  col.AppendString("a");
+  col.AppendString("b");
+  col.AppendString("a");
+
+  // Take is O(1) on the dictionary: the taken column shares storage
+  // instead of deep-copying every string (the old hot-path cost).
+  Column taken = col.Take({2u, 1u});
+  EXPECT_TRUE(taken.SharesDictionaryWith(col));
+  EXPECT_EQ(taken.StringAt(0), "a");
+  EXPECT_EQ(taken.StringAt(1), "b");
+  EXPECT_EQ(taken.CodeAt(0), col.CodeAt(2));
+
+  // Appending an already-known string needs no mutation: still shared.
+  taken.AppendString("b");
+  EXPECT_TRUE(taken.SharesDictionaryWith(col));
+
+  // A new string clones the shared dictionary (copy-on-write): the
+  // sibling's dictionary is unaffected, codes stay consistent.
+  taken.AppendString("zz");
+  EXPECT_FALSE(taken.SharesDictionaryWith(col));
+  EXPECT_EQ(taken.dictionary().size(), 3u);
+  EXPECT_EQ(col.dictionary().size(), 2u);
+  EXPECT_EQ(col.FindCode("zz"), -1);
+  EXPECT_EQ(taken.StringAt(3), "zz");
+  EXPECT_EQ(taken.StringAt(0), "a");
+
+  // And mutating the original never leaks into the (now detached) copy.
+  col.AppendString("yy");
+  EXPECT_EQ(taken.FindCode("yy"), -1);
+}
+
 TEST(ColumnTest, ValueAtRoundTrip) {
   Column col(DataType::kString);
   col.AppendString("x");
