@@ -18,6 +18,7 @@
 #include "bench/harness.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/augmenter.h"
 #include "core/codec.h"
 #include "data/synthetic.h"
 #include "data/multi_table_data.h"
@@ -160,6 +161,76 @@ void BM_ParallelCandidateEvaluation(benchmark::State& state) {
                           static_cast<int64_t>(candidates.size()));
 }
 BENCHMARK(BM_ParallelCandidateEvaluation)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Slices the training table into `n_batches` contiguous row ranges — the
+// serving workload: the same plan applied to successive incoming batches.
+std::vector<Table> MakeServingBatches(const Table& training, size_t n_batches) {
+  std::vector<Table> out;
+  const size_t rows = training.num_rows();
+  for (size_t b = 0; b < n_batches; ++b) {
+    std::vector<uint32_t> indices;
+    const size_t begin = b * rows / n_batches;
+    const size_t end = (b + 1) * rows / n_batches;
+    indices.reserve(end - begin);
+    for (size_t r = begin; r < end; ++r) {
+      indices.push_back(static_cast<uint32_t>(r));
+    }
+    out.push_back(training.Take(indices));
+  }
+  return out;
+}
+
+std::unique_ptr<FittedAugmenter> MakeWarmHandle(
+    const DatasetBundle& b, const std::vector<AggQuery>& candidates) {
+  FittedAugmenter::Source source;
+  source.relevant = b.relevant;
+  source.queries = candidates;
+  std::vector<FittedAugmenter::Source> sources;
+  sources.push_back(std::move(source));
+  auto fitted = FittedAugmenter::Create(std::move(sources));
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "FittedAugmenter::Create failed: %s\n",
+                 fitted.status().ToString().c_str());
+    return nullptr;
+  }
+  std::unique_ptr<FittedAugmenter> handle = std::move(fitted).ValueOrDie();
+  // Isolate plan-cache reuse: both arms of the comparison run serial.
+  handle->set_thread_pool(nullptr);
+  return handle;
+}
+
+// The cross-batch plan-cache comparison: a fresh planner per batch re-pays
+// every group-index / mask / view / materialization build (the cost model
+// of the pre-handle Apply path), while the warm FittedAugmenter only binds
+// the batch's training-row maps and runs kernels. Arg(0): 0 = cold, 1 = warm.
+void BM_TransformWarmVsCold(benchmark::State& state) {
+  const DatasetBundle& b = SharedBundle();
+  const std::vector<AggQuery> candidates = TemplateCandidates(b);
+  const std::vector<Table> batches = MakeServingBatches(b.training, 8);
+  const bool warm = state.range(0) == 1;
+  std::unique_ptr<FittedAugmenter> handle =
+      warm ? MakeWarmHandle(b, candidates) : nullptr;
+  if (warm && handle == nullptr) {
+    state.SkipWithError("handle creation failed");
+    return;
+  }
+  for (auto _ : state) {
+    for (const Table& batch : batches) {
+      if (warm) {
+        benchmark::DoNotOptimize(handle->ComputeFeatureColumns(batch));
+      } else {
+        QueryPlanner fresh;
+        benchmark::DoNotOptimize(
+            fresh.EvaluateMany(candidates, batch, b.relevant));
+      }
+    }
+  }
+  state.SetLabel(warm ? "warm" : "cold");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batches.size() *
+                                               candidates.size()));
+}
+BENCHMARK(BM_TransformWarmVsCold)->Arg(0)->Arg(1);
 
 // Word-packed predicate-mask AND (the per-candidate conjunction step).
 void BM_BitsetAnd(benchmark::State& state) {
@@ -367,6 +438,51 @@ int WriteExecutorSpeedupRecord(const char* path,
   }
   const double bytemask_and_seconds = timer.Seconds() / kAndReps;
 
+  // Serving: the same plan applied to successive batches, cold (fresh
+  // planner per batch, the pre-handle Apply cost model) vs warm (one
+  // FittedAugmenter compiled once — the cross-batch plan cache). Outputs
+  // are verified bit-identical before timing; both arms run serial.
+  constexpr size_t kServingBatches = 8;
+  constexpr int kServingRepeats = 3;
+  const std::vector<Table> batches =
+      MakeServingBatches(b.training, kServingBatches);
+  std::unique_ptr<FittedAugmenter> handle = MakeWarmHandle(b, candidates);
+  if (handle == nullptr) return 1;
+  bool transform_bit_identical = true;
+  for (const Table& batch : batches) {
+    QueryPlanner fresh;
+    auto cold = fresh.EvaluateMany(candidates, batch, b.relevant);
+    auto warm = handle->ComputeFeatureColumns(batch);
+    if (!cold.ok() || !warm.ok()) {
+      std::fprintf(stderr, "serving comparison failed: %s\n",
+                   (!cold.ok() ? cold : warm).status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (!ColumnsBitIdentical(cold.value()[i], warm.value()[i])) {
+        std::fprintf(stderr, "warm/cold divergence on candidate %zu (%s)\n", i,
+                     candidates[i].CacheKey().c_str());
+        transform_bit_identical = false;
+        break;
+      }
+    }
+  }
+  timer.Restart();
+  for (int rep = 0; rep < kServingRepeats; ++rep) {
+    for (const Table& batch : batches) {
+      QueryPlanner fresh;
+      benchmark::DoNotOptimize(fresh.EvaluateMany(candidates, batch, b.relevant));
+    }
+  }
+  const double transform_cold_seconds = timer.Seconds();
+  timer.Restart();
+  for (int rep = 0; rep < kServingRepeats; ++rep) {
+    for (const Table& batch : batches) {
+      benchmark::DoNotOptimize(handle->ComputeFeatureColumns(batch));
+    }
+  }
+  const double transform_warm_seconds = timer.Seconds();
+
   const double batched_seconds = sweep_seconds.front();  // 1-thread batched
   const double best_seconds =
       *std::min_element(sweep_seconds.begin(), sweep_seconds.end());
@@ -413,6 +529,17 @@ int WriteExecutorSpeedupRecord(const char* path,
            best_seconds > 0.0 ? per_candidate_seconds / best_seconds : 0.0)
       .Add("bitset_and_seconds", bitset_and_seconds)
       .Add("bytemask_and_seconds", bytemask_and_seconds)
+      // The serving comparison: warm FittedAugmenter (plan compiled once,
+      // per-batch work = train maps + kernels) vs a fresh planner per batch.
+      .Add("transform_batches", static_cast<double>(kServingBatches))
+      .Add("transform_repeats", static_cast<double>(kServingRepeats))
+      .Add("transform_cold_seconds", transform_cold_seconds)
+      .Add("transform_warm_seconds", transform_warm_seconds)
+      .Add("transform_warm_vs_cold",
+           transform_warm_seconds > 0.0
+               ? transform_cold_seconds / transform_warm_seconds
+               : 0.0)
+      .Add("transform_bit_identical", transform_bit_identical)
       .Add("bit_identical", bit_identical);
   Status write_status = record.WriteTo(path);
   if (!write_status.ok()) {
@@ -420,7 +547,7 @@ int WriteExecutorSpeedupRecord(const char* path,
     return 1;
   }
   std::printf("%s\n", record.ToString().c_str());
-  return bit_identical ? 0 : 1;
+  return bit_identical && transform_bit_identical ? 0 : 1;
 }
 
 }  // namespace featlib

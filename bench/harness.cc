@@ -84,16 +84,39 @@ MethodBudget MakeBudget(const BenchConfig& config, ModelKind model) {
   return budget;
 }
 
-Result<FeatureEvaluator> MakeEvaluator(const DatasetBundle& bundle,
-                                       ModelKind model, uint64_t seed) {
+EvaluatorOptions MakeEvaluatorOptions(const DatasetBundle& bundle,
+                                      ModelKind model, uint64_t seed) {
   EvaluatorOptions options;
   options.model = model;
   options.metric = DefaultMetricFor(bundle.task);
   options.split_seed = seed;
   options.model_seed = seed + 1;
+  return options;
+}
+
+Result<FeatureEvaluator> MakeEvaluator(const DatasetBundle& bundle,
+                                       ModelKind model, uint64_t seed) {
   return FeatureEvaluator::Create(bundle.training, bundle.label_col,
                                   bundle.base_features, bundle.relevant,
-                                  bundle.task, options);
+                                  bundle.task,
+                                  MakeEvaluatorOptions(bundle, model, seed));
+}
+
+Result<CellResult> RunAugmenterCell(Augmenter* augmenter) {
+  FEAT_ASSIGN_OR_RETURN(std::unique_ptr<FittedAugmenter> fitted,
+                        augmenter->Fit());
+  CellResult cell;
+  FeatureEvaluator* evaluator = augmenter->evaluator();
+  if (evaluator == nullptr) {
+    return Status::Internal("augmenter exposes no evaluator for test scoring");
+  }
+  FEAT_ASSIGN_OR_RETURN(cell.metric, evaluator->TestScore(fitted->AllQueries()));
+  const FitDiagnostics& diag = fitted->diagnostics();
+  cell.qti_seconds = diag.qti_seconds;
+  cell.warmup_seconds = diag.warmup_seconds;
+  cell.generate_seconds = diag.generate_seconds;
+  cell.n_features = fitted->num_features();
+  return cell;
 }
 
 Result<CellResult> RunFeatAug(const DatasetBundle& bundle, ModelKind model,
@@ -117,58 +140,32 @@ Result<CellResult> RunFeatAug(const DatasetBundle& bundle, ModelKind model,
   options.evaluator.model_seed = seed + 1;
   options.seed = seed;
 
-  FeatAug feataug(bundle.ToProblem(), options);
-  FEAT_ASSIGN_OR_RETURN(AugmentationPlan plan, feataug.Fit());
-  CellResult cell;
-  FEAT_ASSIGN_OR_RETURN(cell.metric, feataug.evaluator()->TestScore(plan.queries));
-  cell.qti_seconds = plan.qti_seconds;
-  cell.warmup_seconds = plan.warmup_seconds;
-  cell.generate_seconds = plan.generate_seconds;
-  cell.n_features = plan.queries.size();
-  return cell;
+  std::unique_ptr<Augmenter> augmenter =
+      MakeFeatAugAugmenter(bundle.ToProblem(), options);
+  return RunAugmenterCell(augmenter.get());
 }
 
 Result<CellResult> RunFeaturetools(const DatasetBundle& bundle, ModelKind model,
                                    SelectorKind selector, const MethodBudget& budget,
                                    int n_features, uint64_t seed) {
-  FEAT_ASSIGN_OR_RETURN(FeatureEvaluator evaluator,
-                        MakeEvaluator(bundle, model, seed));
-  auto candidates = GenerateFeaturetoolsQueries(
-      bundle.relevant, bundle.agg_functions, bundle.agg_attrs, bundle.fk_attrs);
-  FEAT_ASSIGN_OR_RETURN(
-      std::vector<AggQuery> selected,
-      SelectQueries(&evaluator, candidates, selector,
-                    static_cast<size_t>(n_features), budget.selector));
-  CellResult cell;
-  FEAT_ASSIGN_OR_RETURN(cell.metric, evaluator.TestScore(selected));
-  cell.n_features = selected.size();
-  return cell;
+  std::unique_ptr<Augmenter> augmenter = MakeFeaturetoolsAugmenter(
+      bundle.ToProblem(), static_cast<size_t>(n_features), selector,
+      budget.selector, MakeEvaluatorOptions(bundle, model, seed));
+  return RunAugmenterCell(augmenter.get());
 }
 
 Result<CellResult> RunRandom(const DatasetBundle& bundle, ModelKind model,
                              const MethodBudget& budget, int n_features,
                              uint64_t seed) {
-  FEAT_ASSIGN_OR_RETURN(FeatureEvaluator evaluator,
-                        MakeEvaluator(bundle, model, seed));
-  QueryTemplate base;
-  base.agg_functions = bundle.agg_functions;
-  base.agg_attrs = bundle.agg_attrs;
-  base.fk_attrs = bundle.fk_attrs;
   RandomAugOptions options;
   options.n_templates = budget.n_templates;
   options.queries_per_template =
       (n_features + budget.n_templates - 1) / budget.n_templates;
   options.seed = seed;
-  FEAT_ASSIGN_OR_RETURN(
-      std::vector<AggQuery> queries,
-      RandomAugmentation(bundle.relevant, base, bundle.where_candidates, options));
-  if (queries.size() > static_cast<size_t>(n_features)) {
-    queries.resize(static_cast<size_t>(n_features));
-  }
-  CellResult cell;
-  FEAT_ASSIGN_OR_RETURN(cell.metric, evaluator.TestScore(queries));
-  cell.n_features = queries.size();
-  return cell;
+  std::unique_ptr<Augmenter> augmenter = MakeRandomAugmenter(
+      bundle.ToProblem(), options, static_cast<size_t>(n_features),
+      MakeEvaluatorOptions(bundle, model, seed));
+  return RunAugmenterCell(augmenter.get());
 }
 
 namespace {
@@ -191,37 +188,25 @@ std::vector<AggQuery> IdentityCandidates(const DatasetBundle& bundle) {
 
 Result<CellResult> RunArda(const DatasetBundle& bundle, ModelKind model,
                            int n_features, uint64_t seed) {
-  FEAT_ASSIGN_OR_RETURN(FeatureEvaluator evaluator,
-                        MakeEvaluator(bundle, model, seed));
   ArdaOptions options;
   options.seed = seed;
-  FEAT_ASSIGN_OR_RETURN(
-      std::vector<AggQuery> selected,
-      ArdaSelect(&evaluator, IdentityCandidates(bundle),
-                 static_cast<size_t>(n_features), options));
-  CellResult cell;
-  FEAT_ASSIGN_OR_RETURN(cell.metric, evaluator.TestScore(selected));
-  cell.n_features = selected.size();
-  return cell;
+  std::unique_ptr<Augmenter> augmenter = MakeArdaAugmenter(
+      bundle.ToProblem(), static_cast<size_t>(n_features), options,
+      IdentityCandidates(bundle), MakeEvaluatorOptions(bundle, model, seed));
+  return RunAugmenterCell(augmenter.get());
 }
 
 Result<CellResult> RunAutoFeature(const DatasetBundle& bundle, ModelKind model,
                                   AutoFeaturePolicy policy, int n_features,
                                   const MethodBudget& budget, uint64_t seed) {
-  FEAT_ASSIGN_OR_RETURN(FeatureEvaluator evaluator,
-                        MakeEvaluator(bundle, model, seed));
   AutoFeatureOptions options;
   options.policy = policy;
   options.budget = budget.autofeature_budget;
   options.seed = seed;
-  FEAT_ASSIGN_OR_RETURN(
-      std::vector<AggQuery> selected,
-      AutoFeatureSelect(&evaluator, IdentityCandidates(bundle),
-                        static_cast<size_t>(n_features), options));
-  CellResult cell;
-  FEAT_ASSIGN_OR_RETURN(cell.metric, evaluator.TestScore(selected));
-  cell.n_features = selected.size();
-  return cell;
+  std::unique_ptr<Augmenter> augmenter = MakeAutoFeatureAugmenter(
+      bundle.ToProblem(), static_cast<size_t>(n_features), options,
+      IdentityCandidates(bundle), MakeEvaluatorOptions(bundle, model, seed));
+  return RunAugmenterCell(augmenter.get());
 }
 
 double MeanMetric(const std::vector<double>& values) {

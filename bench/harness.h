@@ -17,10 +17,12 @@
 #include <vector>
 
 #include "baselines/arda.h"
+#include "baselines/augmenters.h"
 #include "baselines/autofeature.h"
 #include "baselines/featuretools.h"
 #include "baselines/random_aug.h"
 #include "baselines/selectors.h"
+#include "core/augmenter.h"
 #include "core/feataug.h"
 #include "data/synthetic.h"
 
@@ -77,6 +79,16 @@ struct CellResult {
 /// Builds the evaluator for a bundle/model (0.6/0.2/0.2 split as in §VII).
 Result<FeatureEvaluator> MakeEvaluator(const DatasetBundle& bundle,
                                        ModelKind model, uint64_t seed);
+
+/// Evaluator options for a bundle/model (what MakeEvaluator passes through;
+/// the Augmenter adapters take these and build their own evaluator).
+EvaluatorOptions MakeEvaluatorOptions(const DatasetBundle& bundle,
+                                      ModelKind model, uint64_t seed);
+
+/// Shared cell runner: fits through the unified Augmenter interface and
+/// scores the fitted query set on the held-out test split. Every Run*
+/// method below is a thin wrapper building the right adapter.
+Result<CellResult> RunAugmenterCell(Augmenter* augmenter);
 
 /// Runs FeatAug and reports the held-out test metric plus phase timings.
 Result<CellResult> RunFeatAug(const DatasetBundle& bundle, ModelKind model,

@@ -1,12 +1,23 @@
 /// \file feataug_cli.cpp
-/// \brief Command-line FeatAug: augment a CSV training table from a CSV
-/// relevant table and write the augmented CSV plus the discovered SQL.
+/// \brief Command-line FeatAug: fit offline, ship the SQL artifact, serve
+/// online — the two phases are two subcommands.
 ///
-///   feataug_cli --train=D.csv --relevant=R.csv --label=label
+/// Fit (the default subcommand): search for an augmentation plan and write
+/// the augmented CSV plus, optionally, the serialized plan:
+///
+///   feataug_cli [fit] --train=D.csv --relevant=R.csv --label=label
 ///               --fk=user_id[,merchant_id] --out=augmented.csv
+///               [--plan-out=plan.sql]
 ///               [--task=binary|multiclass|regression] [--model=LR|XGB|RF|DeepFM]
 ///               [--features=20] [--templates=4] [--seed=42]
 ///               [--agg-attrs=a,b] [--where-attrs=p,q] [--base-features=x,y]
+///
+/// Transform (the serving phase): load a serialized plan into a warm
+/// FittedAugmenter and augment one or more CSV batches — no search, no
+/// model, no re-planning between batches:
+///
+///   feataug_cli transform --plan=plan.sql --relevant=R.csv
+///               --in=batch.csv[,batch2.csv] --out=augmented.csv
 ///
 /// Column roles default sensibly (InferTemplateIngredients): aggregation
 /// attributes = R's numeric/bool/datetime columns (minus FKs), WHERE
@@ -19,8 +30,10 @@
 #include <string>
 
 #include "common/str_util.h"
+#include "common/timer.h"
 #include "core/feataug.h"
 #include "core/multi_table.h"
+#include "core/plan_io.h"
 #include "table/csv.h"
 
 using namespace featlib;
@@ -31,6 +44,7 @@ struct CliArgs {
   std::string train_path;
   std::string relevant_path;
   std::string out_path = "augmented.csv";
+  std::string plan_out_path;
   std::string label;
   std::vector<std::string> fk;
   std::string task = "binary";
@@ -53,6 +67,7 @@ bool Parse(int argc, char** argv, CliArgs* args) {
     if (const char* v = value_of("--train=")) args->train_path = v;
     else if (const char* v = value_of("--relevant=")) args->relevant_path = v;
     else if (const char* v = value_of("--out=")) args->out_path = v;
+    else if (const char* v = value_of("--plan-out=")) args->plan_out_path = v;
     else if (const char* v = value_of("--label=")) args->label = v;
     else if (const char* v = value_of("--fk=")) args->fk = StrSplit(v, ',');
     else if (const char* v = value_of("--task=")) args->task = v;
@@ -180,9 +195,18 @@ int RunCli(const CliArgs& args) {
                 plan.value().queries[i].ToSql("R", relevant_copy).c_str());
   }
 
-  auto augmented = feataug.Apply(plan.value(), training_copy);
+  // Serving handle: compiled once here, then applied to the training CSV.
+  // The same plan can be shipped and served later via `transform`.
+  auto fitted = feataug.MakeFitted(plan.value());
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "MakeFitted failed: %s\n",
+                 fitted.status().ToString().c_str());
+    return 1;
+  }
+  auto augmented = fitted.value()->Transform(training_copy);
   if (!augmented.ok()) {
-    std::fprintf(stderr, "Apply failed: %s\n", augmented.status().ToString().c_str());
+    std::fprintf(stderr, "Transform failed: %s\n",
+                 augmented.status().ToString().c_str());
     return 1;
   }
   Status st = WriteCsv(augmented.value(), args.out_path);
@@ -193,13 +217,138 @@ int RunCli(const CliArgs& args) {
   }
   std::printf("augmented table (%zu columns) -> %s\n",
               augmented.value().num_columns(), args.out_path.c_str());
+  if (!args.plan_out_path.empty()) {
+    st = WriteAugmentationPlan(plan.value(), "R", relevant_copy,
+                               args.plan_out_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "writing %s: %s\n", args.plan_out_path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("serialized plan (%zu queries) -> %s\n",
+                plan.value().queries.size(), args.plan_out_path.c_str());
+  }
+  return 0;
+}
+
+// ---- The serving phase: `feataug_cli transform` ---------------------------
+
+struct TransformArgs {
+  std::string plan_path;
+  std::string relevant_path;
+  std::vector<std::string> in_paths;
+  std::string out_path = "augmented.csv";
+};
+
+bool ParseTransform(int argc, char** argv, TransformArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--plan=")) args->plan_path = v;
+    else if (const char* v = value_of("--relevant=")) args->relevant_path = v;
+    else if (const char* v = value_of("--in=")) args->in_paths = StrSplit(v, ',');
+    else if (const char* v = value_of("--out=")) args->out_path = v;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (args->plan_path.empty() || args->relevant_path.empty() ||
+      args->in_paths.empty()) {
+    std::fprintf(stderr,
+                 "required: transform --plan=plan.sql --relevant=R.csv "
+                 "--in=batch.csv[,batch2.csv]\n");
+    return false;
+  }
+  return true;
+}
+
+// Derives the per-batch output path: "out.csv" -> "out.1.csv", ... when
+// several inputs are transformed (the first keeps the plain name).
+std::string BatchOutPath(const std::string& out, size_t index) {
+  if (index == 0) return out;
+  const size_t dot = out.find_last_of('.');
+  const size_t slash = out.find_last_of('/');
+  const std::string suffix = "." + std::to_string(index);
+  // A dot inside a directory component is not an extension separator.
+  const bool has_extension =
+      dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  if (!has_extension) return out + suffix;
+  return out.substr(0, dot) + suffix + out.substr(dot);
+}
+
+int RunTransform(const TransformArgs& args) {
+  auto relevant = ReadCsv(args.relevant_path);
+  if (!relevant.ok()) {
+    std::fprintf(stderr, "reading %s: %s\n", args.relevant_path.c_str(),
+                 relevant.status().ToString().c_str());
+    return 1;
+  }
+
+  // Load + validate + compile: the plan's artifacts (group index, masks,
+  // materializations) are built exactly once, before the first batch.
+  WallTimer timer;
+  auto fitted = LoadFittedAugmenter(args.plan_path, relevant.value());
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "loading %s: %s\n", args.plan_path.c_str(),
+                 fitted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded plan %s: %zu features, compiled in %.3fs\n",
+              args.plan_path.c_str(), fitted.value()->num_features(),
+              timer.Seconds());
+
+  std::vector<Table> batches;
+  for (const std::string& path : args.in_paths) {
+    auto batch = ReadCsv(path);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "reading %s: %s\n", path.c_str(),
+                   batch.status().ToString().c_str());
+      return 1;
+    }
+    batches.push_back(std::move(batch).ValueOrDie());
+  }
+
+  timer.Restart();
+  auto augmented = fitted.value()->TransformMany(batches);
+  if (!augmented.ok()) {
+    std::fprintf(stderr, "transform: %s\n",
+                 augmented.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("transformed %zu batch(es) in %.3fs (warm handle, no re-plan)\n",
+              batches.size(), timer.Seconds());
+
+  for (size_t i = 0; i < augmented.value().size(); ++i) {
+    const std::string out_path = BatchOutPath(args.out_path, i);
+    Status st = WriteCsv(augmented.value()[i], out_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "writing %s: %s\n", out_path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("augmented table (%zu rows x %zu columns) -> %s\n",
+                augmented.value()[i].num_rows(),
+                augmented.value()[i].num_columns(), out_path.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Subcommand dispatch: "transform" serves a shipped plan; "fit" (or no
+  // subcommand, for backwards compatibility) runs the search.
+  if (argc > 1 && std::strcmp(argv[1], "transform") == 0) {
+    TransformArgs args;
+    if (!ParseTransform(argc - 1, argv + 1, &args)) return 2;
+    return RunTransform(args);
+  }
+  int offset = (argc > 1 && std::strcmp(argv[1], "fit") == 0) ? 1 : 0;
   CliArgs args;
-  if (!Parse(argc, argv, &args)) return 2;
+  if (!Parse(argc - offset, argv + offset, &args)) return 2;
   return RunCli(args);
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/augmenter.h"
 #include "core/multi_table.h"
 #include "data/multi_table_data.h"
 #include "ml/evaluator.h"
@@ -98,9 +99,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto augmented = feataug.Apply(plan.value(), training);
+  // One serving handle over all relevant tables: every table's artifacts
+  // are compiled once, feature names come out qualified "<table>__<name>".
+  auto fitted = feataug.MakeFitted(plan.value());
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "make fitted: %s\n",
+                 fitted.status().ToString().c_str());
+    return 1;
+  }
+  auto augmented = fitted.value()->Transform(training);
   if (!augmented.ok()) {
-    std::fprintf(stderr, "apply: %s\n", augmented.status().ToString().c_str());
+    std::fprintf(stderr, "transform: %s\n",
+                 augmented.status().ToString().c_str());
     return 1;
   }
   std::printf("Augmented training table: %zu rows x %zu cols (was %zu)\n",

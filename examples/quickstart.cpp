@@ -2,15 +2,24 @@
 /// \brief Minimal end-to-end FeatAug walkthrough on the paper's running
 /// example: a User_Info training table and a one-to-many User_Logs table.
 ///
-/// Builds the two tables inline, runs the SQL Query Generation component on
-/// an explicit query template, prints the best predicate-aware SQL queries
-/// it finds, and materializes the augmented training table (Def. 3).
+/// Builds the two tables inline, fits through the unified Augmenter
+/// interface (fit once), prints the best predicate-aware SQL queries it
+/// finds, and materializes the augmented training table (Def. 3) through
+/// the long-lived FittedAugmenter serving handle (transform many times).
+///
+/// Migration from the pre-Augmenter API (old call -> new call):
+///
+///   FeatAug(problem, opts) + Fit()      -> MakeFeatAugAugmenter(...)->Fit()
+///   feataug.Apply(plan, batch)          -> fitted->Transform(batch)
+///   feataug.ApplyToDataset(plan, batch) -> fitted->TransformToDataset(...)
+///   per-batch loop over Apply           -> fitted->TransformMany(batches)
+///   ReadAugmentationPlan + Apply        -> LoadFittedAugmenter(path, R)
 ///
 ///   ./quickstart
 
 #include <cstdio>
 
-#include "core/feataug.h"
+#include "core/augmenter.h"
 #include "common/rng.h"
 
 using namespace featlib;
@@ -97,27 +106,39 @@ int main() {
   options.evaluator.model = ModelKind::kXgb;
   options.seed = 42;
 
-  FeatAug feataug(std::move(problem), options);
-  auto plan = feataug.Fit();
-  if (!plan.ok()) {
-    std::fprintf(stderr, "Fit failed: %s\n", plan.status().ToString().c_str());
+  // Phase 1: fit once. The Augmenter interface is the same for FeatAug,
+  // MultiTableFeatAug and every baseline (baselines/augmenters.h).
+  std::unique_ptr<Augmenter> augmenter =
+      MakeFeatAugAugmenter(std::move(problem), options);
+  auto fitted = augmenter->Fit();
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "Fit failed: %s\n", fitted.status().ToString().c_str());
     return 1;
   }
+  const FittedAugmenter& handle = *fitted.value();
 
   std::printf("\nDiscovered predicate-aware SQL queries:\n");
-  for (size_t i = 0; i < plan.value().queries.size(); ++i) {
+  const std::vector<AggQuery> queries = handle.AllQueries();
+  for (size_t i = 0; i < queries.size(); ++i) {
     std::printf("\n-- feature %s (validation AUC %.4f)\n%s\n",
-                plan.value().feature_names[i].c_str(),
-                plan.value().valid_metrics[i],
-                plan.value().queries[i].ToSql("User_Logs", s.user_logs).c_str());
+                handle.feature_names()[i].c_str(), handle.valid_metrics()[i],
+                queries[i].ToSql("User_Logs", s.user_logs).c_str());
   }
 
-  auto baseline = feataug.evaluator()->BaselineModelScore();
-  auto augmented_score = feataug.evaluator()->TestScore(plan.value().queries);
+  auto baseline = augmenter->evaluator()->BaselineModelScore();
+  auto augmented_score = augmenter->evaluator()->TestScore(queries);
   std::printf("\nXGB AUC:  base features only %.4f  ->  augmented %.4f\n",
               baseline.value(), augmented_score.value());
 
-  auto augmented = feataug.Apply(plan.value(), s.user_info);
+  // Phase 2: transform many times. The handle holds the compiled plan
+  // (group index, masks, materializations) warm across calls and is safe
+  // to share between serving threads.
+  auto augmented = handle.Transform(s.user_info);
+  if (!augmented.ok()) {
+    std::fprintf(stderr, "Transform failed: %s\n",
+                 augmented.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\nAugmented training table (first rows):\n%s",
               augmented.value().Head(5).ToString().c_str());
   return 0;

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "core/augmenter.h"
 #include "data/synthetic.h"
 #include "table/csv.h"
 
@@ -49,9 +50,17 @@ int main(int argc, char** argv) {
                 plan.value().queries[i].CacheKey().c_str());
   }
 
-  auto augmented = feataug.Apply(plan.value(), bundle.training);
+  // Compile the plan into a serving handle once; Transform is the repeated
+  // cheap phase (replaces the deprecated Apply shim).
+  auto fitted = feataug.MakeFitted(plan.value());
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "MakeFitted failed: %s\n",
+                 fitted.status().ToString().c_str());
+    return 1;
+  }
+  auto augmented = fitted.value()->Transform(bundle.training);
   if (!augmented.ok()) {
-    std::fprintf(stderr, "Apply failed: %s\n",
+    std::fprintf(stderr, "Transform failed: %s\n",
                  augmented.status().ToString().c_str());
     return 1;
   }

@@ -9,13 +9,16 @@
 ///   2. render the plan to a SQL script (AggQuery::ToSql),
 ///   3. parse the script back (ParseAggQueryScript), hand-editing one
 ///      predicate on the way,
-///   4. re-apply the reloaded plan to the training table and compare.
+///   4. re-apply the reloaded plan to the training table and compare,
+///   5. load the shipped SQL artifact straight into a FittedAugmenter
+///      (LoadFittedAugmenter) and serve a batch from the warm handle.
 ///
 ///   ./sql_roundtrip
 
 #include <cstdio>
 #include <string>
 
+#include "core/plan_io.h"
 #include "data/synthetic.h"
 #include "query/executor.h"
 #include "query/sql_parser.h"
@@ -83,6 +86,33 @@ int main() {
                 original.value().size(), mismatches);
     if (mismatches != 0) return 1;
   }
+
+  // Step 5: the first-class serving path — write the plan file, load it
+  // straight into a warm FittedAugmenter, transform a batch.
+  AugmentationPlan shipped;
+  shipped.queries = plan;
+  const std::string plan_path = "/tmp/sql_roundtrip_plan.sql";
+  Status write_status =
+      WriteAugmentationPlan(shipped, "user_logs", bundle.relevant, plan_path);
+  if (!write_status.ok()) {
+    std::fprintf(stderr, "write plan: %s\n", write_status.ToString().c_str());
+    return 1;
+  }
+  auto fitted = LoadFittedAugmenter(plan_path, bundle.relevant);
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "load fitted: %s\n",
+                 fitted.status().ToString().c_str());
+    return 1;
+  }
+  auto served = fitted.value()->Transform(bundle.training);
+  if (!served.ok()) {
+    std::fprintf(stderr, "transform: %s\n", served.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\nServing handle from %s: %zu features appended to a %zu-row batch.\n",
+      plan_path.c_str(), fitted.value()->num_features(),
+      served.value().num_rows());
 
   // A rejected edit: strict comparisons are outside the Def. 2 class, and
   // the parser says so instead of silently reinterpreting.

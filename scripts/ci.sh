@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: Release build + full ctest suite, then a ThreadSanitizer
 # build of the concurrency tests. The planner's parallel prepare
-# (build-then-publish into the ArtifactStore) and the EvaluateMany fan-out
-# are the multi-threaded code; TSan pins the "no locks needed" design of
-# both phases.
+# (build-then-publish into the ArtifactStore), the EvaluateMany fan-out, and
+# concurrent FittedAugmenter::Transform on one shared serving handle are the
+# multi-threaded code; TSan pins the "no locks needed" design of all three.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -14,7 +14,27 @@ cmake -B "$ROOT/build" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-# ---- TSan: planner / artifact-store / executor concurrency tests ------------
+# ---- Bench record: the serving warm-vs-cold comparison must be emitted -----
+# (bench_micro writes BENCH_executor.json at the repo root; the record now
+# carries the transform_warm_vs_cold fields of the FittedAugmenter path and
+# fails on any warm/cold output divergence.)
+if [[ -x "$ROOT/build/bench_micro" ]]; then
+  "$ROOT/build/bench_micro" --benchmark_filter='BM_TransformWarmVsCold' \
+    >/dev/null
+  [[ -f "$ROOT/BENCH_executor.json" ]] || {
+    echo "ci.sh: BENCH_executor.json was not produced" >&2
+    exit 1
+  }
+  grep -q '"transform_warm_vs_cold"' "$ROOT/BENCH_executor.json" || {
+    echo "ci.sh: transform_warm_vs_cold missing from BENCH_executor.json" >&2
+    exit 1
+  }
+else
+  echo "ci.sh: bench_micro not built (google-benchmark missing?)" >&2
+  exit 1
+fi
+
+# ---- TSan: planner / store / executor / serving concurrency tests ----------
 # (Benches/examples are skipped: TSan only needs the threaded paths, and the
 # instrumented build is slow.)
 TSAN_TESTS=(
@@ -22,6 +42,7 @@ TSAN_TESTS=(
   executor_parallel_test
   query_planner_test
   artifact_store_test
+  serving_concurrency_test
 )
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

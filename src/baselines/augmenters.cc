@@ -1,0 +1,201 @@
+#include "baselines/augmenters.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/str_util.h"
+#include "core/query_template.h"
+
+namespace featlib {
+
+namespace {
+
+/// Shared adapter scaffolding: owns the problem, creates the evaluator at
+/// Fit time, and wraps a selected query set into a single-source handle.
+class BaselineAdapter : public Augmenter {
+ public:
+  FeatureEvaluator* evaluator() override {
+    return evaluator_.has_value() ? &*evaluator_ : nullptr;
+  }
+
+ protected:
+  BaselineAdapter(FeatAugProblem problem, EvaluatorOptions eval)
+      : problem_(std::move(problem)), eval_options_(eval) {}
+
+  Status EnsureEvaluator() {
+    if (evaluator_.has_value()) return Status::OK();
+    auto created = FeatureEvaluator::Create(
+        problem_.training, problem_.label_col, problem_.base_feature_cols,
+        problem_.relevant, problem_.task, eval_options_);
+    if (!created.ok()) return created.status();
+    evaluator_.emplace(std::move(created).ValueOrDie());
+    return Status::OK();
+  }
+
+  /// The predicate-free enumeration the selection baselines default to.
+  std::vector<AggQuery> DefaultCandidates() const {
+    return GenerateFeaturetoolsQueries(problem_.relevant,
+                                       problem_.agg_functions,
+                                       problem_.agg_attrs, problem_.fk_attrs);
+  }
+
+  Result<std::unique_ptr<FittedAugmenter>> Finish(
+      std::vector<AggQuery> queries) const {
+    FittedAugmenter::Source source;
+    source.relevant = problem_.relevant;
+    source.feature_names.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      source.feature_names.push_back(
+          StrFormat("%s_%s_%s_q%zu", name(), AggFunctionName(queries[i].agg),
+                    queries[i].agg_attr.c_str(), i));
+    }
+    source.queries = std::move(queries);
+    std::vector<FittedAugmenter::Source> sources;
+    sources.push_back(std::move(source));
+    return FittedAugmenter::Create(std::move(sources));
+  }
+
+  FeatAugProblem problem_;
+  EvaluatorOptions eval_options_;
+  std::optional<FeatureEvaluator> evaluator_;
+};
+
+class RandomAdapter final : public BaselineAdapter {
+ public:
+  RandomAdapter(FeatAugProblem problem, RandomAugOptions options,
+                size_t max_features, EvaluatorOptions eval)
+      : BaselineAdapter(std::move(problem), eval),
+        options_(options),
+        max_features_(max_features) {}
+  const char* name() const override { return "random"; }
+  Result<std::unique_ptr<FittedAugmenter>> Fit() override {
+    FEAT_RETURN_NOT_OK(EnsureEvaluator());
+    QueryTemplate base;
+    base.agg_functions = problem_.agg_functions;
+    base.agg_attrs = problem_.agg_attrs;
+    base.fk_attrs = problem_.fk_attrs;
+    FEAT_ASSIGN_OR_RETURN(
+        std::vector<AggQuery> queries,
+        RandomAugmentation(problem_.relevant, base,
+                           problem_.candidate_where_attrs, options_));
+    if (max_features_ > 0 && queries.size() > max_features_) {
+      queries.resize(max_features_);
+    }
+    return Finish(std::move(queries));
+  }
+
+ private:
+  RandomAugOptions options_;
+  size_t max_features_;
+};
+
+class FeaturetoolsAdapter final : public BaselineAdapter {
+ public:
+  FeaturetoolsAdapter(FeatAugProblem problem, size_t k, SelectorKind selector,
+                      SelectorBudget budget, EvaluatorOptions eval)
+      : BaselineAdapter(std::move(problem), eval),
+        k_(k),
+        selector_(selector),
+        budget_(budget) {}
+  const char* name() const override { return "featuretools"; }
+  Result<std::unique_ptr<FittedAugmenter>> Fit() override {
+    FEAT_RETURN_NOT_OK(EnsureEvaluator());
+    FEAT_ASSIGN_OR_RETURN(
+        std::vector<AggQuery> selected,
+        SelectQueries(&*evaluator_, DefaultCandidates(), selector_, k_,
+                      budget_));
+    return Finish(std::move(selected));
+  }
+
+ private:
+  size_t k_;
+  SelectorKind selector_;
+  SelectorBudget budget_;
+};
+
+class ArdaAdapter final : public BaselineAdapter {
+ public:
+  ArdaAdapter(FeatAugProblem problem, size_t k, ArdaOptions options,
+              std::vector<AggQuery> candidates, EvaluatorOptions eval)
+      : BaselineAdapter(std::move(problem), eval),
+        k_(k),
+        options_(options),
+        candidates_(std::move(candidates)) {}
+  const char* name() const override { return "arda"; }
+  Result<std::unique_ptr<FittedAugmenter>> Fit() override {
+    FEAT_RETURN_NOT_OK(EnsureEvaluator());
+    FEAT_ASSIGN_OR_RETURN(
+        std::vector<AggQuery> selected,
+        ArdaSelect(&*evaluator_,
+                   candidates_.empty() ? DefaultCandidates() : candidates_, k_,
+                   options_));
+    return Finish(std::move(selected));
+  }
+
+ private:
+  size_t k_;
+  ArdaOptions options_;
+  std::vector<AggQuery> candidates_;
+};
+
+class AutoFeatureAdapter final : public BaselineAdapter {
+ public:
+  AutoFeatureAdapter(FeatAugProblem problem, size_t k,
+                     AutoFeatureOptions options,
+                     std::vector<AggQuery> candidates, EvaluatorOptions eval)
+      : BaselineAdapter(std::move(problem), eval),
+        k_(k),
+        options_(options),
+        candidates_(std::move(candidates)) {}
+  const char* name() const override { return "autofeature"; }
+  Result<std::unique_ptr<FittedAugmenter>> Fit() override {
+    FEAT_RETURN_NOT_OK(EnsureEvaluator());
+    FEAT_ASSIGN_OR_RETURN(
+        std::vector<AggQuery> selected,
+        AutoFeatureSelect(&*evaluator_,
+                          candidates_.empty() ? DefaultCandidates() : candidates_,
+                          k_, options_));
+    return Finish(std::move(selected));
+  }
+
+ private:
+  size_t k_;
+  AutoFeatureOptions options_;
+  std::vector<AggQuery> candidates_;
+};
+
+}  // namespace
+
+std::unique_ptr<Augmenter> MakeRandomAugmenter(FeatAugProblem problem,
+                                               RandomAugOptions options,
+                                               size_t max_features,
+                                               EvaluatorOptions eval) {
+  return std::make_unique<RandomAdapter>(std::move(problem), options,
+                                         max_features, eval);
+}
+
+std::unique_ptr<Augmenter> MakeFeaturetoolsAugmenter(FeatAugProblem problem,
+                                                     size_t k,
+                                                     SelectorKind selector,
+                                                     SelectorBudget budget,
+                                                     EvaluatorOptions eval) {
+  return std::make_unique<FeaturetoolsAdapter>(std::move(problem), k, selector,
+                                               budget, eval);
+}
+
+std::unique_ptr<Augmenter> MakeArdaAugmenter(FeatAugProblem problem, size_t k,
+                                             ArdaOptions options,
+                                             std::vector<AggQuery> candidates,
+                                             EvaluatorOptions eval) {
+  return std::make_unique<ArdaAdapter>(std::move(problem), k, options,
+                                       std::move(candidates), eval);
+}
+
+std::unique_ptr<Augmenter> MakeAutoFeatureAugmenter(
+    FeatAugProblem problem, size_t k, AutoFeatureOptions options,
+    std::vector<AggQuery> candidates, EvaluatorOptions eval) {
+  return std::make_unique<AutoFeatureAdapter>(std::move(problem), k, options,
+                                              std::move(candidates), eval);
+}
+
+}  // namespace featlib

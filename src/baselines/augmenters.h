@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file augmenters.h
+/// \brief The four baseline methods behind the unified Augmenter interface
+/// (core/augmenter.h): Random, Featuretools (+selectors), ARDA and
+/// AutoFeature each fit into the same Fit() -> FittedAugmenter contract the
+/// FeatAug drivers use, so the evaluation harness, examples and CLI program
+/// against one API.
+///
+/// Every factory takes the same FeatAugProblem the FeatAug driver does —
+/// the baselines read the subset they need (template ingredients, FKs,
+/// candidate attributes) — plus the method's own options. `eval` configures
+/// the FeatureEvaluator the adapter creates during Fit (the search loop for
+/// ARDA/AutoFeature/wrapper selectors, test-split scoring for the benches);
+/// it is exposed through Augmenter::evaluator() after Fit.
+
+#include <memory>
+#include <vector>
+
+#include "baselines/arda.h"
+#include "baselines/autofeature.h"
+#include "baselines/featuretools.h"
+#include "baselines/random_aug.h"
+#include "baselines/selectors.h"
+#include "core/augmenter.h"
+
+namespace featlib {
+
+/// Random baseline: uniform templates + uniform queries, no evaluation in
+/// the fitting loop (the evaluator is still created for scoring).
+/// `max_features` > 0 truncates the sampled set to the budget.
+std::unique_ptr<Augmenter> MakeRandomAugmenter(FeatAugProblem problem,
+                                               RandomAugOptions options,
+                                               size_t max_features = 0,
+                                               EvaluatorOptions eval = {});
+
+/// Featuretools-style enumeration, optionally trimmed to `k` by one of the
+/// seven selectors (SelectorKind::kNone keeps the first k enumerated).
+std::unique_ptr<Augmenter> MakeFeaturetoolsAugmenter(
+    FeatAugProblem problem, size_t k,
+    SelectorKind selector = SelectorKind::kNone, SelectorBudget budget = {},
+    EvaluatorOptions eval = {});
+
+/// ARDA random-injection selection over `candidates` (empty = the
+/// predicate-free Featuretools enumeration of the problem).
+std::unique_ptr<Augmenter> MakeArdaAugmenter(FeatAugProblem problem, size_t k,
+                                             ArdaOptions options = {},
+                                             std::vector<AggQuery> candidates = {},
+                                             EvaluatorOptions eval = {});
+
+/// AutoFeature RL selection over `candidates` (empty = the predicate-free
+/// Featuretools enumeration of the problem).
+std::unique_ptr<Augmenter> MakeAutoFeatureAugmenter(
+    FeatAugProblem problem, size_t k, AutoFeatureOptions options = {},
+    std::vector<AggQuery> candidates = {}, EvaluatorOptions eval = {});
+
+}  // namespace featlib

@@ -80,4 +80,13 @@ bool ParseInt64(const std::string& s, int64_t* out) {
   return true;
 }
 
+std::string UniquifyName(const std::string& base,
+                         const std::function<bool(const std::string&)>& taken) {
+  if (!taken(base)) return base;
+  for (size_t i = 2;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (!taken(candidate)) return candidate;
+  }
+}
+
 }  // namespace featlib

@@ -4,6 +4,7 @@
 /// \brief Small string helpers shared across modules.
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -29,5 +30,12 @@ bool ParseDouble(const std::string& s, double* out);
 
 /// True when `s` parses fully as an int64; writes the value to *out.
 bool ParseInt64(const std::string& s, int64_t* out);
+
+/// Deterministic name deduplication: returns `base` when `taken(base)` is
+/// false, otherwise the first of "base_2", "base_3", ... that is free. The
+/// shared collision rule of feature-column naming (FittedAugmenter::Transform,
+/// ParseAugmentationPlan's regenerated names).
+std::string UniquifyName(const std::string& base,
+                         const std::function<bool(const std::string&)>& taken);
 
 }  // namespace featlib

@@ -6,6 +6,7 @@
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/augmenter.h"
 #include "query/query_planner.h"
 
 namespace featlib {
@@ -75,37 +76,32 @@ Result<AugmentationPlan> FeatAug::Fit() {
   return plan;
 }
 
+Result<std::unique_ptr<FittedAugmenter>> FeatAug::FitAugmenter() {
+  FEAT_ASSIGN_OR_RETURN(AugmentationPlan plan, Fit());
+  return MakeFitted(plan);
+}
+
+Result<std::unique_ptr<FittedAugmenter>> FeatAug::MakeFitted(
+    const AugmentationPlan& plan) const {
+  return MakeFittedAugmenter(plan, problem_.relevant);
+}
+
 Result<Table> FeatAug::Apply(const AugmentationPlan& plan,
                              const Table& training) const {
-  // One QueryPlanner per target table: plan queries share group keys, so
-  // the join/group structure is built once and streamed for every feature.
-  QueryPlanner executor;
-  executor.set_thread_pool(GlobalThreadPool());
-  FEAT_ASSIGN_OR_RETURN(
-      std::vector<std::vector<double>> columns,
-      executor.EvaluateMany(plan.queries, training, problem_.relevant));
-  Table out = training;
-  for (size_t i = 0; i < plan.queries.size(); ++i) {
-    FEAT_RETURN_NOT_OK(out.AddColumn(plan.feature_names[i],
-                                     Column::FromDoubles(columns[i])));
-  }
-  return out;
+  // Deprecated shim: builds a transient serving handle per call. The handle
+  // compiles the plan's shared artifacts once and is the path to hold on to
+  // for repeated application.
+  FEAT_ASSIGN_OR_RETURN(std::unique_ptr<FittedAugmenter> fitted,
+                        MakeFitted(plan));
+  return fitted->Transform(training);
 }
 
 Result<Dataset> FeatAug::ApplyToDataset(const AugmentationPlan& plan,
                                         const Table& training) const {
-  FEAT_ASSIGN_OR_RETURN(
-      Dataset ds, Dataset::FromTable(training, problem_.label_col,
-                                     problem_.base_feature_cols, problem_.task));
-  QueryPlanner executor;
-  executor.set_thread_pool(GlobalThreadPool());
-  FEAT_ASSIGN_OR_RETURN(
-      std::vector<std::vector<double>> columns,
-      executor.EvaluateMany(plan.queries, training, problem_.relevant));
-  for (size_t i = 0; i < plan.queries.size(); ++i) {
-    FEAT_RETURN_NOT_OK(ds.AddFeature(plan.feature_names[i], columns[i]));
-  }
-  return ds;
+  FEAT_ASSIGN_OR_RETURN(std::unique_ptr<FittedAugmenter> fitted,
+                        MakeFitted(plan));
+  return fitted->TransformToDataset(training, problem_.label_col,
+                                    problem_.base_feature_cols, problem_.task);
 }
 
 }  // namespace featlib

@@ -6,6 +6,7 @@
 /// an augmentation plan of predicate-aware queries that Apply() joins onto
 /// the training table.
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,6 +16,8 @@
 #include "core/template_id.h"
 
 namespace featlib {
+
+class FittedAugmenter;  // core/augmenter.h
 
 struct FeatAugOptions {
   /// Number of promising templates used (paper default 8).
@@ -70,11 +73,25 @@ class FeatAug {
   /// Runs QTI (unless disabled) + query generation; returns the plan.
   Result<AugmentationPlan> Fit();
 
+  /// Fit() + MakeFitted(): the Augmenter-interface path. Runs the search
+  /// and returns the long-lived, thread-safe serving handle.
+  Result<std::unique_ptr<FittedAugmenter>> FitAugmenter();
+
+  /// Wraps a plan (from Fit or plan_io) in a serving handle bound to this
+  /// problem's relevant table. The handle owns a warm QueryPlanner whose
+  /// artifacts are compiled once here and reused by every Transform.
+  Result<std::unique_ptr<FittedAugmenter>> MakeFitted(
+      const AugmentationPlan& plan) const;
+
   /// Appends the plan's features to a table with the same schema as D.
+  /// \deprecated Shim over MakeFitted()->Transform(): copies the relevant
+  /// table and re-compiles the plan's artifacts per call. Hold a
+  /// FittedAugmenter for repeated application.
   Result<Table> Apply(const AugmentationPlan& plan, const Table& training) const;
 
   /// Builds the augmented Dataset (base features + plan features) for
   /// downstream training, aligned to `training` rows.
+  /// \deprecated Shim over MakeFitted()->TransformToDataset().
   Result<Dataset> ApplyToDataset(const AugmentationPlan& plan,
                                  const Table& training) const;
 

@@ -5,6 +5,7 @@
 
 #include "common/str_util.h"
 #include "common/thread_pool.h"
+#include "core/augmenter.h"
 #include "query/query_planner.h"
 
 namespace featlib {
@@ -228,11 +229,15 @@ Result<MultiTablePlan> MultiTableFeatAug::Fit() {
   return result;
 }
 
-Result<Dataset> MultiTableFeatAug::ApplyToDataset(const MultiTablePlan& plan,
-                                                  const Table& training) const {
-  FEAT_ASSIGN_OR_RETURN(
-      Dataset ds, Dataset::FromTable(training, problem_.label_col,
-                                     problem_.base_feature_cols, problem_.task));
+Result<std::unique_ptr<FittedAugmenter>> MultiTableFeatAug::FitAugmenter() {
+  FEAT_ASSIGN_OR_RETURN(MultiTablePlan plan, Fit());
+  return MakeFitted(plan);
+}
+
+Result<std::unique_ptr<FittedAugmenter>> MultiTableFeatAug::MakeFitted(
+    const MultiTablePlan& plan) const {
+  std::vector<FittedAugmenter::Source> sources;
+  FitDiagnostics diag;
   for (const MultiTablePlan::TablePlan& tp : plan.tables) {
     const RelevantInput* input = nullptr;
     for (const RelevantInput& candidate : problem_.relevants) {
@@ -244,46 +249,36 @@ Result<Dataset> MultiTableFeatAug::ApplyToDataset(const MultiTablePlan& plan,
     if (input == nullptr) {
       return Status::InvalidArgument("plan references unknown table " + tp.name);
     }
-    // One executor per relevant table: all of its plan queries share the
-    // same join, so the group index is built once, not per feature.
-    QueryPlanner executor;
-    executor.set_thread_pool(GlobalThreadPool());
-    FEAT_ASSIGN_OR_RETURN(
-        std::vector<std::vector<double>> columns,
-        executor.EvaluateMany(tp.plan.queries, training, input->relevant));
-    for (size_t i = 0; i < tp.plan.queries.size(); ++i) {
-      FEAT_RETURN_NOT_OK(
-          ds.AddFeature(tp.name + "__" + tp.plan.feature_names[i], columns[i]));
-    }
+    FittedAugmenter::Source source;
+    source.name = tp.name;
+    source.relevant = input->relevant;
+    source.queries = tp.plan.queries;
+    source.feature_names = tp.plan.feature_names;
+    source.valid_metrics = tp.plan.valid_metrics;
+    sources.push_back(std::move(source));
+    diag.qti_seconds += tp.plan.qti_seconds;
+    diag.warmup_seconds += tp.plan.warmup_seconds;
+    diag.generate_seconds += tp.plan.generate_seconds;
+    diag.templates_considered += tp.plan.templates_considered;
+    diag.model_evals += tp.plan.model_evals;
+    diag.proxy_evals += tp.plan.proxy_evals;
   }
-  return ds;
+  return FittedAugmenter::Create(std::move(sources), diag);
+}
+
+Result<Dataset> MultiTableFeatAug::ApplyToDataset(const MultiTablePlan& plan,
+                                                  const Table& training) const {
+  FEAT_ASSIGN_OR_RETURN(std::unique_ptr<FittedAugmenter> fitted,
+                        MakeFitted(plan));
+  return fitted->TransformToDataset(training, problem_.label_col,
+                                    problem_.base_feature_cols, problem_.task);
 }
 
 Result<Table> MultiTableFeatAug::Apply(const MultiTablePlan& plan,
                                        const Table& training) const {
-  Table out = training;
-  for (const MultiTablePlan::TablePlan& tp : plan.tables) {
-    const RelevantInput* input = nullptr;
-    for (const RelevantInput& candidate : problem_.relevants) {
-      if (candidate.name == tp.name) {
-        input = &candidate;
-        break;
-      }
-    }
-    if (input == nullptr) {
-      return Status::InvalidArgument("plan references unknown table " + tp.name);
-    }
-    QueryPlanner executor;
-    executor.set_thread_pool(GlobalThreadPool());
-    FEAT_ASSIGN_OR_RETURN(
-        std::vector<std::vector<double>> columns,
-        executor.EvaluateMany(tp.plan.queries, training, input->relevant));
-    for (size_t i = 0; i < tp.plan.queries.size(); ++i) {
-      FEAT_RETURN_NOT_OK(out.AddColumn(tp.name + "__" + tp.plan.feature_names[i],
-                                       Column::FromDoubles(columns[i])));
-    }
-  }
-  return out;
+  FEAT_ASSIGN_OR_RETURN(std::unique_ptr<FittedAugmenter> fitted,
+                        MakeFitted(plan));
+  return fitted->Transform(training);
 }
 
 }  // namespace featlib

@@ -11,6 +11,7 @@
 /// probe), fits one FeatAug per table, and merges the plans into a single
 /// augmentation with table-qualified feature names.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -110,12 +111,23 @@ class MultiTableFeatAug {
   /// Allocates the budget, fits one FeatAug per relevant table.
   Result<MultiTablePlan> Fit();
 
+  /// Fit() + MakeFitted(): the Augmenter-interface path.
+  Result<std::unique_ptr<FittedAugmenter>> FitAugmenter();
+
+  /// Wraps a merged plan in a serving handle with one source per relevant
+  /// table (features qualified "<table>__<feature>"); all tables' artifacts
+  /// are compiled once and reused by every Transform.
+  Result<std::unique_ptr<FittedAugmenter>> MakeFitted(
+      const MultiTablePlan& plan) const;
+
   /// Appends every table's plan features to `training` (names qualified as
   /// "<table>__<feature>").
+  /// \deprecated Shim over MakeFitted()->Transform(): re-plans per call.
   Result<Table> Apply(const MultiTablePlan& plan, const Table& training) const;
 
   /// Builds the augmented Dataset (base features + every table's plan
   /// features) aligned to `training` rows, ready for downstream training.
+  /// \deprecated Shim over MakeFitted()->TransformToDataset().
   Result<Dataset> ApplyToDataset(const MultiTablePlan& plan,
                                  const Table& training) const;
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/str_util.h"
 #include "query/sql_parser.h"
@@ -77,6 +78,7 @@ Result<AugmentationPlan> ParseAugmentationPlan(const std::string& text) {
                         ParseAggQueryScript(text));
   const std::vector<StatementMeta> meta = CollectMetadata(text);
   AugmentationPlan plan;
+  std::unordered_set<std::string> used;
   for (size_t i = 0; i < parsed.size(); ++i) {
     plan.queries.push_back(std::move(parsed[i].query));
     std::string name;
@@ -91,6 +93,11 @@ Result<AugmentationPlan> ParseAugmentationPlan(const std::string& text) {
                  ? parsed[i].feature_alias
                  : StrFormat("feature_%zu", i);
     }
+    // Hand edits and regenerated "feature_<i>" names may collide; the
+    // suffix rule keeps every feature column addressable.
+    name = UniquifyName(
+        name, [&](const std::string& n) { return used.count(n) > 0; });
+    used.insert(name);
     plan.feature_names.push_back(std::move(name));
     plan.valid_metrics.push_back(metric);
   }
@@ -122,6 +129,14 @@ Result<AugmentationPlan> ReadAugmentationPlan(const std::string& path) {
   std::stringstream buf;
   buf << in.rdbuf();
   return ParseAugmentationPlan(buf.str());
+}
+
+Result<std::unique_ptr<FittedAugmenter>> LoadFittedAugmenter(
+    const std::string& path, const Table& relevant) {
+  FEAT_ASSIGN_OR_RETURN(AugmentationPlan plan, ReadAugmentationPlan(path));
+  // Schema validation happens in the handle's compile step (every query is
+  // Validate()d against `relevant` before any artifact is built).
+  return MakeFittedAugmenter(std::move(plan), relevant);
 }
 
 }  // namespace featlib

@@ -20,8 +20,10 @@
 /// missing metadata comments (names are regenerated, metrics become NaN).
 /// Loaded plans re-validate against the relevant table before use.
 
+#include <memory>
 #include <string>
 
+#include "core/augmenter.h"
 #include "core/feataug.h"
 
 namespace featlib {
@@ -34,7 +36,9 @@ std::string SerializeAugmentationPlan(const AugmentationPlan& plan,
 
 /// Parses a serialized plan. Timing/counter fields are zero; missing
 /// feature names are regenerated as "feature_<i>"; missing metrics load as
-/// NaN. Fails on malformed SQL.
+/// NaN. Names are deduplicated within the plan (suffix rule "_2", "_3", ...)
+/// so hand edits can never produce colliding feature columns. Fails on
+/// malformed SQL.
 Result<AugmentationPlan> ParseAugmentationPlan(const std::string& text);
 
 /// Parses and validates every query against the relevant table's schema.
@@ -46,5 +50,11 @@ Status WriteAugmentationPlan(const AugmentationPlan& plan,
                              const std::string& relation, const Table& schema_of,
                              const std::string& path);
 Result<AugmentationPlan> ReadAugmentationPlan(const std::string& path);
+
+/// The first-class serving path: reads a serialized plan, validates every
+/// query against `relevant`'s schema, and compiles it straight into a warm
+/// FittedAugmenter — "fit offline, ship the SQL artifact, serve online".
+Result<std::unique_ptr<FittedAugmenter>> LoadFittedAugmenter(
+    const std::string& path, const Table& relevant);
 
 }  // namespace featlib

@@ -523,6 +523,54 @@ Result<std::vector<std::vector<double>>> QueryPlanner::EvaluateMany(
   return out;
 }
 
+Result<ServingPlan> QueryPlanner::CompileServingPlan(
+    const std::vector<AggQuery>& queries, const Table& relevant) {
+  store_.BeginEpoch();
+  ServingPlan plan;
+  plan.relevant = &relevant;
+  FEAT_ASSIGN_OR_RETURN(plan.candidates,
+                        Prepare(queries, /*training=*/nullptr, relevant,
+                                /*for_grouped_result=*/false));
+  std::unordered_map<const GroupIndex*, size_t> distinct;
+  plan.candidate_group.reserve(plan.candidates.size());
+  for (const PlannedCandidate& p : plan.candidates) {
+    auto [it, inserted] = distinct.emplace(p.index, plan.group_indexes.size());
+    if (inserted) plan.group_indexes.push_back(p.index);
+    plan.candidate_group.push_back(it->second);
+  }
+  return plan;
+}
+
+Result<std::vector<std::vector<double>>> ExecuteServingPlan(
+    const ServingPlan& plan, const Table& batch, ThreadPool* pool) {
+  if (plan.relevant == nullptr) {
+    return Status::InvalidArgument("serving plan was never compiled");
+  }
+  // The only batch-dependent artifacts: one training-row map per distinct
+  // group index, built into call-local storage (the shared store is never
+  // touched, which is what makes concurrent execution safe).
+  std::vector<std::vector<uint32_t>> train_maps;
+  train_maps.reserve(plan.group_indexes.size());
+  for (const GroupIndex* index : plan.group_indexes) {
+    FEAT_ASSIGN_OR_RETURN(std::vector<uint32_t> map,
+                          index->MapTrainingRows(batch, *plan.relevant));
+    train_maps.push_back(std::move(map));
+  }
+
+  std::vector<std::vector<double>> out(plan.candidates.size());
+  auto run_one = [&](size_t i) {
+    PlannedCandidate p = plan.candidates[i];
+    p.train_map = &train_maps[plan.candidate_group[i]];
+    out[i] = ComputeFeatureKernel(p);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(plan.candidates.size(), run_one);
+  } else {
+    for (size_t i = 0; i < plan.candidates.size(); ++i) run_one(i);
+  }
+  return out;
+}
+
 Result<Table> QueryPlanner::ExecuteAggQuery(const AggQuery& q,
                                             const Table& relevant) {
   store_.BeginEpoch();

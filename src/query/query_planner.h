@@ -54,7 +54,45 @@
 
 namespace featlib {
 
+class GroupIndex;
 class ThreadPool;
+
+/// \brief A frozen, batch-independent query plan for repeated serving.
+///
+/// Every candidate is resolved to store-owned const artifacts (group index,
+/// selection mask, value view or bucket materialization) — everything that
+/// depends only on the *relevant* table. The one batch-dependent artifact,
+/// the training-row map, is deliberately left unbound: ExecuteServingPlan
+/// builds it per incoming batch into call-local storage, so any number of
+/// threads can execute the same ServingPlan concurrently without touching
+/// the planner or its store.
+///
+/// Validity: the pointers live in the compiling QueryPlanner's store and in
+/// the caller's query vector. They stay valid while (a) the planner and the
+/// query vector outlive the plan and (b) no further Prepare/Evaluate call
+/// runs on that planner (a later publish may evict byte-capped entries).
+/// FittedAugmenter (core/augmenter.h) owns exactly this pairing.
+struct ServingPlan {
+  /// Per-candidate kernel inputs; `train_map` is null until execution.
+  std::vector<PlannedCandidate> candidates;
+  /// Distinct group indexes referenced by the candidates (first-use order).
+  std::vector<const GroupIndex*> group_indexes;
+  /// candidates[i] reads its training-row map from group_indexes[candidate_group[i]].
+  std::vector<size_t> candidate_group;
+  /// The relevant table the plan was compiled against (not owned). Bound at
+  /// compile time: executing against any other table — even one with the
+  /// same schema — would translate batch keys through the wrong dictionary.
+  const Table* relevant = nullptr;
+};
+
+/// Executes a frozen serving plan against one batch: builds the batch's
+/// training-row maps locally (one per distinct group index, no store
+/// mutation), then runs the pure per-candidate kernels — on `pool` when
+/// non-null, inline otherwise. Const over the compiling planner and its
+/// store, so concurrent calls on the same plan are thread-safe and
+/// byte-identical to serial execution at every thread count.
+Result<std::vector<std::vector<double>>> ExecuteServingPlan(
+    const ServingPlan& plan, const Table& batch, ThreadPool* pool = nullptr);
 
 class QueryPlanner {
  public:
@@ -83,6 +121,16 @@ class QueryPlanner {
   /// Grouped result table of Def. 2 (key columns + "feature"), in
   /// first-seen group order among filtered rows.
   Result<Table> ExecuteAggQuery(const AggQuery& q, const Table& relevant);
+
+  /// Compiles `queries` into a frozen ServingPlan: prepares every
+  /// relevant-side artifact (group indexes, predicate masks, value views,
+  /// bucket materializations) through the store, but binds no training-row
+  /// maps — those are per-batch and built by ExecuteServingPlan. `queries`
+  /// must outlive the returned plan (candidates point into it), and no
+  /// further Prepare/Evaluate call may run on this planner while the plan
+  /// is in use.
+  Result<ServingPlan> CompileServingPlan(const std::vector<AggQuery>& queries,
+                                         const Table& relevant);
 
   /// The artifact store backing this planner (cap tuning, introspection).
   ArtifactStore& store() { return store_; }

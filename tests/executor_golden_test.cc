@@ -24,15 +24,7 @@
 namespace featlib {
 namespace {
 
-// Bit-level equality with NaN treated as one value: non-NaN cells must match
-// exactly (no tolerance), NaN cells must be NaN on both sides.
-bool SameBits(double a, double b) {
-  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
-  int64_t ba, bb;
-  std::memcpy(&ba, &a, sizeof(ba));
-  std::memcpy(&bb, &b, sizeof(bb));
-  return ba == bb;
-}
+using golden::SameBits;
 
 void ExpectColumnsBitIdentical(const std::vector<double>& actual,
                                const std::vector<double>& expected,

@@ -22,13 +22,7 @@
 namespace featlib {
 namespace {
 
-bool SameBits(double a, double b) {
-  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
-  int64_t ba, bb;
-  std::memcpy(&ba, &a, sizeof(ba));
-  std::memcpy(&bb, &b, sizeof(bb));
-  return ba == bb;
-}
+using golden::SameBits;
 
 void ExpectColumnsBitIdentical(const std::vector<double>& actual,
                                const std::vector<double>& expected,

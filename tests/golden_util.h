@@ -46,6 +46,18 @@ inline std::string GoldenPath(const std::string& name) {
   return std::string(FEATLIB_SOURCE_DIR) + "/tests/golden/" + name;
 }
 
+/// The repo's canonical bit-identical double comparison: exact IEEE bit
+/// equality, with every NaN treated as equal to every NaN (the payload is
+/// not part of the executor contract). Shared by the golden, planner,
+/// parallel-executor and serving tests.
+inline bool SameBits(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  int64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
 /// 16-hex-digit IEEE-754 bit pattern; all NaNs map to one canonical
 /// pattern (NaN payload is not part of the executor contract).
 inline std::string HexDouble(double v) {

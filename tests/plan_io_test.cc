@@ -83,6 +83,33 @@ TEST(PlanIoTest, AliaslessStatementsGetGeneratedNames) {
   EXPECT_EQ(loaded.value().feature_names[1], "feature_1");
 }
 
+TEST(PlanIoTest, CollidingNamesDedupeWithSuffixRule) {
+  // An explicit name colliding with a regenerated "feature_<i>" (and an
+  // exact duplicate of an explicit name) must come out unique.
+  const std::string text =
+      "-- feature: feature_1\n"
+      "SELECT cname, SUM(pprice) FROM logs GROUP BY cname;\n"
+      "SELECT cname, MAX(pprice) FROM logs GROUP BY cname;\n"
+      "-- feature: feature_1\n"
+      "SELECT cname, MIN(pprice) FROM logs GROUP BY cname;\n";
+  auto loaded = ParseAugmentationPlan(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().feature_names.size(), 3u);
+  EXPECT_EQ(loaded.value().feature_names[0], "feature_1");
+  EXPECT_EQ(loaded.value().feature_names[1], "feature_1_2");
+  EXPECT_EQ(loaded.value().feature_names[2], "feature_1_3");
+}
+
+TEST(PlanIoTest, DuplicateSqlAliasesDedupe) {
+  const std::string text =
+      "SELECT cname, SUM(pprice) AS spend FROM logs GROUP BY cname;\n"
+      "SELECT cname, MAX(pprice) AS spend FROM logs GROUP BY cname;\n";
+  auto loaded = ParseAugmentationPlan(text);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().feature_names[0], "spend");
+  EXPECT_EQ(loaded.value().feature_names[1], "spend_2");
+}
+
 TEST(PlanIoTest, MalformedSqlFails) {
   EXPECT_FALSE(ParseAugmentationPlan("-- feataug plan v1\nSELECT oops;").ok());
 }

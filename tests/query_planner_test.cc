@@ -14,18 +14,13 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "golden_util.h"
 #include "query/query_planner.h"
 
 namespace featlib {
 namespace {
 
-bool SameBits(double a, double b) {
-  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
-  int64_t ba, bb;
-  std::memcpy(&ba, &a, sizeof(ba));
-  std::memcpy(&bb, &b, sizeof(bb));
-  return ba == bb;
-}
+using golden::SameBits;
 
 void ExpectColumnsBitIdentical(const std::vector<double>& actual,
                                const std::vector<double>& expected,
