@@ -13,6 +13,8 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "bench/harness.h"
@@ -20,6 +22,7 @@
 #include "common/timer.h"
 #include "core/augmenter.h"
 #include "core/codec.h"
+#include "core/generator.h"
 #include "data/synthetic.h"
 #include "data/multi_table_data.h"
 #include "hpo/tpe.h"
@@ -231,6 +234,132 @@ void BM_TransformWarmVsCold(benchmark::State& state) {
                                                candidates.size()));
 }
 BENCHMARK(BM_TransformWarmVsCold)->Arg(0)->Arg(1);
+
+// ---- The search-pipeline comparison -----------------------------------------
+//
+// Both arms run the same seed-pinned TPE trajectory over the golden
+// template: suggest_batch_size=1 reproduces the retired sequential loop
+// proposal-for-proposal (pinned by generator_test), so the arms differ only
+// in the *pipeline* — singleton ProxyScore / ModelScoreSingle calls with
+// every repeat proposal recomputed (the pre-batching search side) vs the
+// SearchSession pipeline (pooled Features evaluation + proxy/model score
+// caches). TPE's exploitation phase re-proposes heavily, so the session
+// caches absorb a large share of the warm-up's proxy computations. This is
+// the conservative single-thread lower bound: larger batch sizes change the
+// trajectory (they explore more distinct candidates per budget), and the
+// pooled EvaluateMany fan-out adds multi-core scaling on top.
+
+GeneratorOptions SearchArmOptions() {
+  GeneratorOptions options;
+  options.backend = HpoBackend::kTpe;
+  options.warmup_iterations = 400;
+  options.warmup_top_k = 3;
+  options.generation_iterations = 3;
+  options.n_queries = 5;
+  options.seed = 17;
+  options.suggest_batch_size = 1;  // trajectory-identical to the reference
+  return options;
+}
+
+Result<FeatureEvaluator> MakeSearchEvaluator(const DatasetBundle& b) {
+  EvaluatorOptions options;
+  options.model = ModelKind::kLogisticRegression;
+  options.metric = MetricKind::kAuc;
+  return FeatureEvaluator::Create(b.training, b.label_col, b.base_features,
+                                  b.relevant, b.task, options);
+}
+
+// The retired per-candidate search loop: one suggest/evaluate/observe
+// round-trip at a time through the evaluator's singleton entry points.
+Status RunSequentialSearchReference(FeatureEvaluator* evaluator,
+                                    const QueryTemplate& tmpl,
+                                    const GeneratorOptions& options) {
+  FEAT_ASSIGN_OR_RETURN(QueryVectorCodec codec,
+                        QueryVectorCodec::Create(tmpl, evaluator->relevant()));
+  std::vector<Trial> warm_trials;
+  std::unordered_map<std::string, double> evaluated;
+  auto model_eval = [&](const ParamVector& v, bool warm) -> Status {
+    FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
+    const std::string key = q.CacheKey();
+    auto it = evaluated.find(key);
+    double loss;
+    if (it != evaluated.end()) {
+      loss = it->second;
+    } else {
+      FEAT_ASSIGN_OR_RETURN(double metric, evaluator->ModelScoreSingle(q));
+      loss = evaluator->ScoreToLoss(metric);
+      evaluated.emplace(key, loss);
+    }
+    if (warm) warm_trials.push_back(Trial{v, loss});
+    return Status::OK();
+  };
+
+  TpeOptions proxy_tpe = options.tpe;
+  proxy_tpe.seed = options.seed;
+  Tpe proxy_search(codec.space(), proxy_tpe);
+  std::vector<std::pair<ParamVector, double>> proxy_history;
+  std::unordered_set<std::string> proxy_seen;
+  for (int i = 0; i < options.warmup_iterations; ++i) {
+    ParamVector v = proxy_search.Suggest();
+    FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
+    FEAT_ASSIGN_OR_RETURN(double score,
+                          evaluator->ProxyScore(q, options.proxy));
+    proxy_search.Observe(v, -score);
+    if (proxy_seen.insert(q.CacheKey()).second) {
+      proxy_history.emplace_back(std::move(v), -score);
+    }
+  }
+  std::sort(proxy_history.begin(), proxy_history.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  const size_t top_k = std::min<size_t>(
+      proxy_history.size(), static_cast<size_t>(options.warmup_top_k));
+  for (size_t i = 0; i < top_k; ++i) {
+    FEAT_RETURN_NOT_OK(model_eval(proxy_history[i].first, /*warm=*/true));
+  }
+
+  TpeOptions gen_tpe = options.tpe;
+  gen_tpe.seed = options.seed + 1;
+  Tpe generation_search(codec.space(), gen_tpe);
+  generation_search.WarmStart(warm_trials);
+  for (int i = 0; i < options.generation_iterations; ++i) {
+    ParamVector v = generation_search.Suggest();
+    FEAT_RETURN_NOT_OK(model_eval(v, /*warm=*/false));
+    FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
+    generation_search.Observe(v, evaluated.at(q.CacheKey()));
+  }
+  return Status::OK();
+}
+
+void BM_SearchBatchedVsSequential(benchmark::State& state) {
+  const DatasetBundle& b = SharedBundle();
+  const bool batched = state.range(0) == 1;
+  GeneratorOptions options = SearchArmOptions();
+  options.warmup_iterations = 120;  // keep the registered benchmark light
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto evaluator = MakeSearchEvaluator(b);
+    if (!evaluator.ok()) {
+      state.SkipWithError("evaluator creation failed");
+      return;
+    }
+    FeatureEvaluator eval = std::move(evaluator).ValueOrDie();
+    state.ResumeTiming();
+    if (batched) {
+      SqlQueryGenerator generator(&eval, options);
+      benchmark::DoNotOptimize(generator.Run(b.golden_template));
+    } else {
+      Status st = RunSequentialSearchReference(&eval, b.golden_template, options);
+      benchmark::DoNotOptimize(st);
+    }
+  }
+  state.SetLabel(batched ? "batched" : "sequential");
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(options.warmup_iterations +
+                           options.warmup_top_k +
+                           options.generation_iterations));
+}
+BENCHMARK(BM_SearchBatchedVsSequential)->Arg(0)->Arg(1);
 
 // Word-packed predicate-mask AND (the per-candidate conjunction step).
 void BM_BitsetAnd(benchmark::State& state) {
@@ -483,6 +612,77 @@ int WriteExecutorSpeedupRecord(const char* path,
   }
   const double transform_warm_seconds = timer.Seconds();
 
+  // Search side: the retired sequential per-candidate loop vs the batched
+  // suggest -> pooled-evaluate -> observe-all pipeline, on the same
+  // seed-pinned trajectory (see BM_SearchBatchedVsSequential).
+  constexpr int kSearchRepeats = 3;
+  const GeneratorOptions search_options = SearchArmOptions();
+  std::vector<FeatureEvaluator> sequential_evals, batched_evals;
+  for (int rep = 0; rep < 2 * kSearchRepeats; ++rep) {
+    auto evaluator = MakeSearchEvaluator(b);
+    if (!evaluator.ok()) {
+      std::fprintf(stderr, "search evaluator creation failed: %s\n",
+                   evaluator.status().ToString().c_str());
+      return 1;
+    }
+    (rep < kSearchRepeats ? sequential_evals : batched_evals)
+        .push_back(std::move(evaluator).ValueOrDie());
+  }
+  timer.Restart();
+  for (FeatureEvaluator& eval : sequential_evals) {
+    Status st =
+        RunSequentialSearchReference(&eval, b.golden_template, search_options);
+    if (!st.ok()) {
+      std::fprintf(stderr, "sequential search failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  const double search_sequential_seconds = timer.Seconds();
+  size_t search_proxy_cache_hits = 0;
+  timer.Restart();
+  for (FeatureEvaluator& eval : batched_evals) {
+    SqlQueryGenerator generator(&eval, search_options);
+    auto gen = generator.Run(b.golden_template);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "batched search failed: %s\n",
+                   gen.status().ToString().c_str());
+      return 1;
+    }
+    search_proxy_cache_hits = gen.value().proxy_cache_hits;
+  }
+  const double search_batched_seconds = timer.Seconds();
+
+  // The repeated-pool compile-memoization workload: successive HPO rounds
+  // re-plan heavily overlapping pools through one warm planner; the overlap
+  // resolves from the compile memo instead of re-validating and re-deriving
+  // artifact keys.
+  QueryPlanner repeated_pool_planner;
+  constexpr size_t kMemoRounds = 6;
+  const size_t window = (candidates.size() * 2) / 3;
+  const size_t stride = std::max<size_t>(1, candidates.size() / 4);
+  for (size_t round = 0; round < kMemoRounds; ++round) {
+    std::vector<AggQuery> pool;
+    pool.reserve(window);
+    for (size_t k = 0; k < window; ++k) {
+      pool.push_back(candidates[(round * stride + k) % candidates.size()]);
+    }
+    auto result =
+        repeated_pool_planner.EvaluateMany(pool, b.training, b.relevant);
+    if (!result.ok()) {
+      std::fprintf(stderr, "repeated-pool round %zu failed: %s\n", round,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const size_t compile_hits = repeated_pool_planner.compile_cache_hits();
+  const size_t compile_misses = repeated_pool_planner.compile_cache_misses();
+  const double plan_compile_hit_rate =
+      compile_hits + compile_misses > 0
+          ? static_cast<double>(compile_hits) /
+                static_cast<double>(compile_hits + compile_misses)
+          : 0.0;
+
   const double batched_seconds = sweep_seconds.front();  // 1-thread batched
   const double best_seconds =
       *std::min_element(sweep_seconds.begin(), sweep_seconds.end());
@@ -540,6 +740,23 @@ int WriteExecutorSpeedupRecord(const char* path,
                ? transform_cold_seconds / transform_warm_seconds
                : 0.0)
       .Add("transform_bit_identical", transform_bit_identical)
+      // The search-pipeline comparison: identical seed-pinned TPE
+      // trajectories, sequential per-candidate loop vs the SearchSession
+      // pipeline (pooled evaluation + score caches) at batch size 1.
+      .Add("search_repeats", static_cast<double>(kSearchRepeats))
+      .Add("search_sequential_seconds", search_sequential_seconds)
+      .Add("search_batched_seconds", search_batched_seconds)
+      .Add("search_batched_speedup",
+           search_batched_seconds > 0.0
+               ? search_sequential_seconds / search_batched_seconds
+               : 0.0)
+      .Add("search_proxy_cache_hits",
+           static_cast<double>(search_proxy_cache_hits))
+      // The repeated-pool benchmark: overlapping pools re-planned through
+      // one warm planner resolve from the compile memo.
+      .Add("plan_compile_hits", static_cast<double>(compile_hits))
+      .Add("plan_compile_misses", static_cast<double>(compile_misses))
+      .Add("plan_compile_hit_rate", plan_compile_hit_rate)
       .Add("bit_identical", bit_identical);
   Status write_status = record.WriteTo(path);
   if (!write_status.ok()) {

@@ -14,10 +14,12 @@ cmake -B "$ROOT/build" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-# ---- Bench record: the serving warm-vs-cold comparison must be emitted -----
-# (bench_micro writes BENCH_executor.json at the repo root; the record now
-# carries the transform_warm_vs_cold fields of the FittedAugmenter path and
-# fails on any warm/cold output divergence.)
+# ---- Bench record: serving warm-vs-cold + the search-pipeline comparison ---
+# (bench_micro writes BENCH_executor.json at the repo root; the record
+# carries the transform_warm_vs_cold fields of the FittedAugmenter path, the
+# search_batched_* fields of the batched suggest -> pooled evaluate ->
+# observe-all pipeline, and the plan_compile_* fields of the repeated-pool
+# compile-memoization workload. It fails on any output divergence.)
 if [[ -x "$ROOT/build/bench_micro" ]]; then
   "$ROOT/build/bench_micro" --benchmark_filter='BM_TransformWarmVsCold' \
     >/dev/null
@@ -25,10 +27,14 @@ if [[ -x "$ROOT/build/bench_micro" ]]; then
     echo "ci.sh: BENCH_executor.json was not produced" >&2
     exit 1
   }
-  grep -q '"transform_warm_vs_cold"' "$ROOT/BENCH_executor.json" || {
-    echo "ci.sh: transform_warm_vs_cold missing from BENCH_executor.json" >&2
-    exit 1
-  }
+  for field in transform_warm_vs_cold search_sequential_seconds \
+               search_batched_seconds search_batched_speedup \
+               plan_compile_hit_rate; do
+    grep -q "\"$field\"" "$ROOT/BENCH_executor.json" || {
+      echo "ci.sh: $field missing from BENCH_executor.json" >&2
+      exit 1
+    }
+  done
 else
   echo "ci.sh: bench_micro not built (google-benchmark missing?)" >&2
   exit 1
@@ -36,13 +42,18 @@ fi
 
 # ---- TSan: planner / store / executor / serving concurrency tests ----------
 # (Benches/examples are skipped: TSan only needs the threaded paths, and the
-# instrumented build is slow.)
+# instrumented build is slow. generator_test and search_session_test drive
+# the batched search pipeline end to end — SuggestBatch pools through
+# FeatureEvaluator::Features into the parallel EvaluateMany prepare/fan-out —
+# so they pin the pipeline's thread-safety claims too.)
 TSAN_TESTS=(
   executor_golden_test
   executor_parallel_test
   query_planner_test
   artifact_store_test
   serving_concurrency_test
+  generator_test
+  search_session_test
 )
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

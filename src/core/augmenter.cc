@@ -149,6 +149,13 @@ Result<std::unique_ptr<FittedAugmenter>> MakeFittedAugmenter(
   diag.templates_considered = plan.templates_considered;
   diag.model_evals = plan.model_evals;
   diag.proxy_evals = plan.proxy_evals;
+  diag.qti_proxy_evals = plan.qti_proxy_evals;
+  diag.qti_model_evals = plan.qti_model_evals;
+  diag.warmup_proxy_evals = plan.warmup_proxy_evals;
+  diag.warmup_model_evals = plan.warmup_model_evals;
+  diag.generation_model_evals = plan.generation_model_evals;
+  diag.proxy_cache_hits = plan.proxy_cache_hits;
+  diag.model_cache_hits = plan.model_cache_hits;
   std::vector<FittedAugmenter::Source> sources;
   sources.push_back(std::move(source));
   return FittedAugmenter::Create(std::move(sources), diag);

@@ -52,6 +52,14 @@ struct FitDiagnostics {
   size_t templates_considered = 0;
   size_t model_evals = 0;
   size_t proxy_evals = 0;
+  /// Per-stage split + SearchSession cache reuse (see AugmentationPlan).
+  size_t qti_proxy_evals = 0;
+  size_t qti_model_evals = 0;
+  size_t warmup_proxy_evals = 0;
+  size_t warmup_model_evals = 0;
+  size_t generation_model_evals = 0;
+  size_t proxy_cache_hits = 0;
+  size_t model_cache_hits = 0;
 };
 
 /// \brief Long-lived serving handle for a fitted augmentation plan.

@@ -70,6 +70,17 @@ Result<QueryVectorCodec> QueryVectorCodec::Create(const QueryTemplate& tmpl,
   return codec;
 }
 
+Result<std::vector<AggQuery>> QueryVectorCodec::DecodeAll(
+    const std::vector<ParamVector>& vs) const {
+  std::vector<AggQuery> pool;
+  pool.reserve(vs.size());
+  for (const ParamVector& v : vs) {
+    FEAT_ASSIGN_OR_RETURN(AggQuery q, Decode(v));
+    pool.push_back(std::move(q));
+  }
+  return pool;
+}
+
 Result<AggQuery> QueryVectorCodec::Decode(const ParamVector& v) const {
   FEAT_RETURN_NOT_OK(space_.Validate(v));
   AggQuery q;

@@ -40,6 +40,11 @@ class QueryVectorCodec {
   /// Vector -> SQL query. Never fails for vectors valid in space().
   Result<AggQuery> Decode(const ParamVector& v) const;
 
+  /// Decodes a proposal pool in order (the suggest-batch pipeline's
+  /// vector-pool -> query-pool step).
+  Result<std::vector<AggQuery>> DecodeAll(
+      const std::vector<ParamVector>& vs) const;
+
   /// SQL query -> vector (used by tests and warm-start transfer).
   /// Fails when the query is not expressible under this template.
   Result<ParamVector> Encode(const AggQuery& q) const;

@@ -29,6 +29,12 @@ Result<AugmentationPlan> FeatAug::Fit() {
   base.fk_attrs = problem_.fk_attrs;
   FEAT_RETURN_NOT_OK(base.Validate(problem_.relevant));
 
+  // One session spans the whole Fit: QTI nodes, warm-up rounds, and
+  // generation rounds of every template share the proxy/model score caches
+  // and accrue per-stage counters (template pools overlap heavily under
+  // beam inheritance, so the cross-template reuse is substantial).
+  SearchSession session(&*evaluator_);
+
   // ---- Stage 1: Query Template Identification (optional). ----
   std::vector<QueryTemplate> templates;
   if (options_.enable_qti && !problem_.candidate_where_attrs.empty()) {
@@ -36,7 +42,7 @@ Result<AugmentationPlan> FeatAug::Fit() {
     qti_options.n_templates = options_.n_templates;
     qti_options.proxy = options_.proxy;
     qti_options.seed = options_.seed;
-    TemplateIdentifier identifier(&*evaluator_, qti_options);
+    TemplateIdentifier identifier(&session, qti_options);
     FEAT_ASSIGN_OR_RETURN(TemplateIdResult qti,
                           identifier.Run(base, problem_.candidate_where_attrs));
     plan.qti_seconds = qti.seconds;
@@ -57,7 +63,7 @@ Result<AugmentationPlan> FeatAug::Fit() {
   std::unordered_set<std::string> dedup;
   for (size_t t = 0; t < templates.size(); ++t) {
     gen_options.seed = options_.seed + 1000 * (t + 1);
-    SqlQueryGenerator generator(&*evaluator_, gen_options);
+    SqlQueryGenerator generator(&session, gen_options);
     FEAT_ASSIGN_OR_RETURN(GenerationResult gen, generator.Run(templates[t]));
     plan.warmup_seconds += gen.warmup_seconds;
     plan.generate_seconds += gen.generate_seconds;
@@ -73,6 +79,20 @@ Result<AugmentationPlan> FeatAug::Fit() {
   }
   plan.model_evals = evaluator_->num_model_evals();
   plan.proxy_evals = evaluator_->num_proxy_evals();
+  const SearchSession::StageCounters& qti_c = session.stage(SearchStage::kQti);
+  const SearchSession::StageCounters& warm_c =
+      session.stage(SearchStage::kWarmup);
+  const SearchSession::StageCounters& gen_c =
+      session.stage(SearchStage::kGeneration);
+  plan.qti_proxy_evals = qti_c.proxy_evals;
+  plan.qti_model_evals = qti_c.model_evals;
+  plan.warmup_proxy_evals = warm_c.proxy_evals;
+  plan.warmup_model_evals = warm_c.model_evals;
+  plan.generation_model_evals = gen_c.model_evals;
+  plan.proxy_cache_hits =
+      qti_c.proxy_cache_hits + warm_c.proxy_cache_hits + gen_c.proxy_cache_hits;
+  plan.model_cache_hits =
+      qti_c.model_cache_hits + warm_c.model_cache_hits + gen_c.model_cache_hits;
   return plan;
 }
 

@@ -48,6 +48,17 @@ struct AugmentationPlan {
   size_t templates_considered = 0;
   size_t model_evals = 0;
   size_t proxy_evals = 0;
+  /// Per-stage split of the totals above (SearchSession stage counters):
+  /// QTI node scoring, warm-up rounds + top-k promotion, generation rounds.
+  size_t qti_proxy_evals = 0;
+  size_t qti_model_evals = 0;
+  size_t warmup_proxy_evals = 0;
+  size_t warmup_model_evals = 0;
+  size_t generation_model_evals = 0;
+  /// Proposals served from the fit-wide SearchSession score caches
+  /// (repeat proposals within and across templates).
+  size_t proxy_cache_hits = 0;
+  size_t model_cache_hits = 0;
 };
 
 /// \brief Problem inputs: tables, label, task and template ingredients.

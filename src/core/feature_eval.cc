@@ -52,27 +52,61 @@ Result<FeatureEvaluator> FeatureEvaluator::Create(
   return out;
 }
 
+void FeatureEvaluator::EvictFeaturesFor(size_t incoming) {
+  if (feature_cache_bytes_ + incoming <= feature_cache_cap_bytes_) return;
+  for (auto it = feature_cache_.begin();
+       it != feature_cache_.end() &&
+       feature_cache_bytes_ + incoming > feature_cache_cap_bytes_;) {
+    if (it->second.used_epoch == feature_epoch_) {  // pinned by this call
+      ++it;
+      continue;
+    }
+    feature_cache_bytes_ -= FeatureEntryBytes(it->first, it->second.values);
+    it = feature_cache_.erase(it);
+    ++feature_cache_evictions_;
+  }
+}
+
+const std::vector<double>* FeatureEvaluator::InsertFeature(
+    std::string key, std::vector<double> values) {
+  const size_t bytes = FeatureEntryBytes(key, values);
+  EvictFeaturesFor(bytes);
+  feature_cache_bytes_ += bytes;
+  auto [it, inserted] = feature_cache_.emplace(
+      std::move(key), FeatureEntry{std::move(values), feature_epoch_});
+  (void)inserted;
+  ++num_materializations_;
+  return &it->second.values;
+}
+
 Result<const std::vector<double>*> FeatureEvaluator::Feature(const AggQuery& q) {
-  const std::string key = q.CacheKey();
+  ++feature_epoch_;
+  std::string key = q.CacheKey();
   auto it = feature_cache_.find(key);
-  if (it != feature_cache_.end()) return &it->second;
+  if (it != feature_cache_.end()) {
+    it->second.used_epoch = feature_epoch_;
+    return &it->second.values;
+  }
   FEAT_ASSIGN_OR_RETURN(
       std::vector<double> values,
       planner_.ComputeFeatureColumn(q, training_, relevant_));
-  ++num_materializations_;
-  auto [inserted, ok] = feature_cache_.emplace(key, std::move(values));
-  (void)ok;
-  return &inserted->second;
+  return InsertFeature(std::move(key), std::move(values));
 }
 
 Result<std::vector<const std::vector<double>*>> FeatureEvaluator::Features(
     const std::vector<AggQuery>& queries) {
+  ++feature_epoch_;
   std::vector<AggQuery> missing;
   std::vector<std::string> missing_keys;
   std::unordered_set<std::string> missing_seen;
   for (const AggQuery& q : queries) {
     std::string key = q.CacheKey();
-    if (feature_cache_.count(key) || !missing_seen.insert(key).second) continue;
+    auto it = feature_cache_.find(key);
+    if (it != feature_cache_.end()) {
+      it->second.used_epoch = feature_epoch_;  // pin for this batch
+      continue;
+    }
+    if (!missing_seen.insert(key).second) continue;
     missing.push_back(q);
     missing_keys.push_back(std::move(key));
   }
@@ -81,14 +115,13 @@ Result<std::vector<const std::vector<double>*>> FeatureEvaluator::Features(
         std::vector<std::vector<double>> columns,
         planner_.EvaluateMany(missing, training_, relevant_));
     for (size_t i = 0; i < missing.size(); ++i) {
-      feature_cache_.emplace(missing_keys[i], std::move(columns[i]));
-      ++num_materializations_;
+      InsertFeature(std::move(missing_keys[i]), std::move(columns[i]));
     }
   }
   std::vector<const std::vector<double>*> out;
   out.reserve(queries.size());
   for (const AggQuery& q : queries) {
-    out.push_back(&feature_cache_.at(q.CacheKey()));
+    out.push_back(&feature_cache_.at(q.CacheKey()).values);
   }
   return out;
 }

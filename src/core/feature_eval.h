@@ -49,11 +49,15 @@ class FeatureEvaluator {
   /// Materializes (and caches) the feature column of `q` aligned to D.
   /// Uncached candidates run through the shared QueryPlanner, so the
   /// group index and predicate masks are built once across the search.
+  /// The returned pointer stays valid until a later Feature/Features call
+  /// evicts the entry (the cache is byte-capped; entries touched by the
+  /// current call are epoch-pinned and never evicted by it).
   Result<const std::vector<double>*> Feature(const AggQuery& q);
 
   /// Batched variant: materializes every uncached query in one
-  /// QueryPlanner::EvaluateMany pass. Returned pointers stay valid for the
-  /// evaluator's lifetime (they point into the feature cache).
+  /// QueryPlanner::EvaluateMany pass. Returned pointers point into the
+  /// feature cache, with the same validity contract as Feature() — all
+  /// entries of one call are pinned against eviction by that call.
   Result<std::vector<const std::vector<double>*>> Features(
       const std::vector<AggQuery>& queries);
 
@@ -103,6 +107,26 @@ class FeatureEvaluator {
   size_t num_proxy_evals() const { return num_proxy_evals_; }
   size_t num_model_evals() const { return num_model_evals_; }
 
+  /// \name Feature-cache accounting. The cache is byte-capped with the
+  /// ArtifactStore's epoch-pinning idiom: every Feature/Features call opens
+  /// an epoch, entries it touches are stamped, and eviction only removes
+  /// entries from older epochs — an in-flight batch can never evict its own
+  /// working set (the cache may temporarily exceed the cap instead).
+  /// Evicted columns re-materialize through the planner's memoized compile.
+  /// @{
+  void set_feature_cache_cap_bytes(size_t cap) {
+    feature_cache_cap_bytes_ = cap;
+  }
+  size_t feature_cache_bytes() const { return feature_cache_bytes_; }
+  size_t num_feature_cache_evictions() const {
+    return feature_cache_evictions_;
+  }
+  /// @}
+
+  /// The shared candidate-evaluation engine (introspection: PlanStats,
+  /// compile-memo hit counters, store counters).
+  const QueryPlanner& planner() const { return planner_; }
+
  private:
   FeatureEvaluator() = default;
 
@@ -117,11 +141,35 @@ class FeatureEvaluator {
   SplitIndices split_;
   EvaluatorOptions options_;
 
+  struct FeatureEntry {
+    std::vector<double> values;
+    uint64_t used_epoch = 0;  // == feature_epoch_ => pinned by this call
+  };
+
+  /// Approximate heap bytes of one cache entry (map-node overhead folded
+  /// into a constant).
+  static size_t FeatureEntryBytes(const std::string& key,
+                                  const std::vector<double>& values) {
+    return key.size() + values.capacity() * sizeof(double) + 64;
+  }
+
+  /// Evicts unpinned entries until `incoming` more bytes fit under the cap
+  /// (or only pinned entries remain).
+  void EvictFeaturesFor(size_t incoming);
+
+  /// Inserts under the byte cap; returns the stable cache-owned pointer.
+  const std::vector<double>* InsertFeature(std::string key,
+                                           std::vector<double> values);
+
   /// Shared candidate-evaluation engine; its artifact store caches the
   /// group index and per-predicate selection masks across all Feature()
   /// calls, and its prepare/fan-out phases run on the global thread pool.
   QueryPlanner planner_;
-  std::unordered_map<std::string, std::vector<double>> feature_cache_;
+  std::unordered_map<std::string, FeatureEntry> feature_cache_;
+  uint64_t feature_epoch_ = 0;
+  size_t feature_cache_bytes_ = 0;
+  size_t feature_cache_cap_bytes_ = 256u << 20;
+  size_t feature_cache_evictions_ = 0;
   // Labels restricted to the train split (proxy scoring).
   std::vector<double> train_labels_;
   double baseline_score_ = 0.0;

@@ -60,66 +60,91 @@ const char* HpoBackendToString(HpoBackend backend) {
 }
 
 Result<GenerationResult> SqlQueryGenerator::Run(const QueryTemplate& tmpl) {
+  FeatureEvaluator* evaluator = session_->evaluator();
   FEAT_ASSIGN_OR_RETURN(QueryVectorCodec codec,
-                        QueryVectorCodec::Create(tmpl, evaluator_->relevant()));
+                        QueryVectorCodec::Create(tmpl, evaluator->relevant()));
   GenerationResult result;
-  const size_t proxy_evals_before = evaluator_->num_proxy_evals();
-  const size_t model_evals_before = evaluator_->num_model_evals();
+  const size_t proxy_evals_before = evaluator->num_proxy_evals();
+  const size_t model_evals_before = evaluator->num_model_evals();
+  const SearchSession::StageCounters warmup_before =
+      session_->stage(SearchStage::kWarmup);
+  const SearchSession::StageCounters generation_before =
+      session_->stage(SearchStage::kGeneration);
+  const int batch = std::max(1, options_.suggest_batch_size);
 
   // Best (vector, model loss) observations that seed and fill round two.
   std::vector<Trial> warm_trials;
   // All real-model-evaluated queries, keyed for dedup.
   std::unordered_map<std::string, GeneratedQuery> evaluated;
 
-  auto evaluate_with_model = [&](const ParamVector& v) -> Status {
-    FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
-    const std::string key = q.CacheKey();
-    auto it = evaluated.find(key);
-    double loss;
-    if (it != evaluated.end()) {
-      loss = it->second.loss;
-    } else {
-      FEAT_ASSIGN_OR_RETURN(double metric, evaluator_->ModelScoreSingle(q));
-      loss = evaluator_->ScoreToLoss(metric);
-      evaluated.emplace(key, GeneratedQuery{std::move(q), metric, loss});
+  // Pooled real-model evaluation: one Features/EvaluateMany pass, one
+  // (session-cached) training per distinct member; outcomes land in
+  // `evaluated`, and in `warm_trials` when requested.
+  std::vector<std::string> pool_keys;
+  auto evaluate_pool_with_model = [&](const std::vector<ParamVector>& vs,
+                                      const std::vector<AggQuery>& pool,
+                                      Optimizer* observer,
+                                      bool record_warm) -> Status {
+    FEAT_ASSIGN_OR_RETURN(std::vector<SearchSession::ModelOutcome> outcomes,
+                          session_->ModelScores(pool, &pool_keys));
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (evaluated.find(pool_keys[i]) == evaluated.end()) {
+        evaluated.emplace(pool_keys[i],
+                          GeneratedQuery{pool[i], outcomes[i].metric,
+                                         outcomes[i].loss});
+      }
+      if (observer != nullptr) observer->Observe(vs[i], outcomes[i].loss);
+      if (record_warm) warm_trials.push_back(Trial{vs[i], outcomes[i].loss});
     }
-    warm_trials.push_back(Trial{v, loss});
     return Status::OK();
   };
 
   WallTimer timer;
   if (options_.enable_warmup) {
-    // ---- Round one: TPE against the low-cost proxy. ----
+    // ---- Round one: suggest-batch TPE pools against the low-cost proxy. ----
+    session_->BeginStage(SearchStage::kWarmup);
     auto proxy_search_ptr =
         MakeOptimizer(options_.backend, codec.space(), options_.tpe, options_.seed);
     Optimizer& proxy_search = *proxy_search_ptr;
     // (vector, proxy) pairs; proxy losses are -score (minimize convention).
     std::vector<std::pair<ParamVector, double>> proxy_history;
     std::unordered_set<std::string> proxy_seen;
-    for (int i = 0; i < options_.warmup_iterations; ++i) {
-      ParamVector v = proxy_search.Suggest();
-      FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
-      FEAT_ASSIGN_OR_RETURN(double score,
-                            evaluator_->ProxyScore(q, options_.proxy));
-      proxy_search.Observe(v, -score);
-      if (proxy_seen.insert(q.CacheKey()).second) {
-        proxy_history.emplace_back(std::move(v), -score);
+    for (int done = 0; done < options_.warmup_iterations;) {
+      const int b = std::min(batch, options_.warmup_iterations - done);
+      std::vector<ParamVector> vs = proxy_search.SuggestBatch(b);
+      FEAT_ASSIGN_OR_RETURN(std::vector<AggQuery> pool, codec.DecodeAll(vs));
+      FEAT_ASSIGN_OR_RETURN(
+          std::vector<double> scores,
+          session_->ProxyScores(pool, options_.proxy, &pool_keys));
+      for (size_t i = 0; i < pool.size(); ++i) {
+        proxy_search.Observe(vs[i], -scores[i]);
+        if (proxy_seen.insert(std::move(pool_keys[i])).second) {
+          proxy_history.emplace_back(std::move(vs[i]), -scores[i]);
+        }
       }
+      done += b;
     }
     // Top-k distinct proxy queries get real-model evaluations that
-    // initialize the surrogate of round two (knowledge transfer).
+    // initialize the surrogate of round two (knowledge transfer); the
+    // promotion pool is evaluated in one pass.
     std::sort(proxy_history.begin(), proxy_history.end(),
               [](const auto& a, const auto& b) { return a.second < b.second; });
     const size_t top_k = std::min<size_t>(
         proxy_history.size(), static_cast<size_t>(options_.warmup_top_k));
-    for (size_t i = 0; i < top_k; ++i) {
-      FEAT_RETURN_NOT_OK(evaluate_with_model(proxy_history[i].first));
-    }
+    std::vector<ParamVector> promoted;
+    promoted.reserve(top_k);
+    for (size_t i = 0; i < top_k; ++i) promoted.push_back(proxy_history[i].first);
+    FEAT_ASSIGN_OR_RETURN(std::vector<AggQuery> promoted_pool,
+                          codec.DecodeAll(promoted));
+    FEAT_RETURN_NOT_OK(evaluate_pool_with_model(promoted, promoted_pool,
+                                                /*observer=*/nullptr,
+                                                /*record_warm=*/true));
   }
   result.warmup_seconds = options_.enable_warmup ? timer.Seconds() : 0.0;
 
   // ---- Round two: search against the real validation loss. ----
   timer.Restart();
+  session_->BeginStage(SearchStage::kGeneration);
   int iterations = options_.generation_iterations;
   if (!options_.enable_warmup) {
     // Fair-comparison protocol: the dropped warm-up's model evaluations are
@@ -129,54 +154,52 @@ Result<GenerationResult> SqlQueryGenerator::Run(const QueryTemplate& tmpl) {
 
   if (IsMultiFidelity(options_.backend)) {
     // Bracketed successive halving at equal model-training budget: the cost
-    // ledger counts a fidelity-f evaluation as f full evaluations.
+    // ledger counts a fidelity-f evaluation as f full evaluations. Each
+    // rung is evaluated as one pool.
     HyperbandOptions hb = options_.hyperband;
     hb.seed = options_.seed + 1;
     hb.model_based = options_.backend == HpoBackend::kBohb;
     hb.max_total_cost = static_cast<double>(iterations);
     Hyperband driver(codec.space(), hb);
     driver.WarmStart(warm_trials);
-    auto objective = [&](const ParamVector& v,
-                         double fidelity) -> Result<double> {
-      FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
+    auto objective = [&](const std::vector<ParamVector>& vs,
+                         double fidelity) -> Result<std::vector<double>> {
+      FEAT_ASSIGN_OR_RETURN(std::vector<AggQuery> pool, codec.DecodeAll(vs));
       if (fidelity >= 1.0) {
         // Only full-fidelity losses are reliable enough for the final
-        // ranking; they flow into `evaluated` like round-two TPE losses.
-        const std::string key = q.CacheKey();
-        auto it = evaluated.find(key);
-        if (it != evaluated.end()) return it->second.loss;
-        FEAT_ASSIGN_OR_RETURN(double metric, evaluator_->ModelScoreSingle(q));
-        const double loss = evaluator_->ScoreToLoss(metric);
-        evaluated.emplace(key, GeneratedQuery{std::move(q), metric, loss});
-        return loss;
+        // ranking; they flow into `evaluated` like round-two losses.
+        FEAT_ASSIGN_OR_RETURN(std::vector<SearchSession::ModelOutcome> outcomes,
+                              session_->ModelScores(pool, &pool_keys));
+        std::vector<double> losses(pool.size());
+        for (size_t i = 0; i < pool.size(); ++i) {
+          if (evaluated.find(pool_keys[i]) == evaluated.end()) {
+            evaluated.emplace(pool_keys[i],
+                              GeneratedQuery{pool[i], outcomes[i].metric,
+                                             outcomes[i].loss});
+          }
+          losses[i] = outcomes[i].loss;
+        }
+        return losses;
       }
-      FEAT_ASSIGN_OR_RETURN(double metric,
-                            evaluator_->ModelScoreAtFidelity({q}, fidelity));
-      return evaluator_->ScoreToLoss(metric);
+      return session_->FidelityLosses(pool, fidelity);
     };
-    FEAT_RETURN_NOT_OK(driver.Run(objective).status());
+    FEAT_RETURN_NOT_OK(driver.RunBatched(objective).status());
   } else {
     auto generation_search_ptr = MakeOptimizer(options_.backend, codec.space(),
                                                options_.tpe, options_.seed + 1);
     Optimizer& generation_search = *generation_search_ptr;
     generation_search.WarmStart(warm_trials);
-    for (int i = 0; i < iterations; ++i) {
-      ParamVector v = generation_search.Suggest();
-      FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
-      const std::string key = q.CacheKey();
-      double loss;
-      auto it = evaluated.find(key);
-      if (it != evaluated.end()) {
-        loss = it->second.loss;
-      } else {
-        FEAT_ASSIGN_OR_RETURN(double metric, evaluator_->ModelScoreSingle(q));
-        loss = evaluator_->ScoreToLoss(metric);
-        evaluated.emplace(key, GeneratedQuery{std::move(q), metric, loss});
-      }
-      generation_search.Observe(v, loss);
+    for (int done = 0; done < iterations;) {
+      const int b = std::min(batch, iterations - done);
+      std::vector<ParamVector> vs = generation_search.SuggestBatch(b);
+      FEAT_ASSIGN_OR_RETURN(std::vector<AggQuery> pool, codec.DecodeAll(vs));
+      FEAT_RETURN_NOT_OK(evaluate_pool_with_model(vs, pool, &generation_search,
+                                                  /*record_warm=*/false));
+      done += b;
     }
   }
   result.generate_seconds = timer.Seconds();
+  session_->BeginStage(SearchStage::kOther);
 
   result.queries.reserve(evaluated.size());
   for (auto& [key, gq] : evaluated) result.queries.push_back(std::move(gq));
@@ -187,8 +210,23 @@ Result<GenerationResult> SqlQueryGenerator::Run(const QueryTemplate& tmpl) {
   if (result.queries.size() > static_cast<size_t>(options_.n_queries)) {
     result.queries.resize(static_cast<size_t>(options_.n_queries));
   }
-  result.proxy_evals = evaluator_->num_proxy_evals() - proxy_evals_before;
-  result.model_evals = evaluator_->num_model_evals() - model_evals_before;
+  result.proxy_evals = evaluator->num_proxy_evals() - proxy_evals_before;
+  result.model_evals = evaluator->num_model_evals() - model_evals_before;
+  const SearchSession::StageCounters& warmup_after =
+      session_->stage(SearchStage::kWarmup);
+  const SearchSession::StageCounters& generation_after =
+      session_->stage(SearchStage::kGeneration);
+  result.warmup_model_evals = warmup_after.model_evals - warmup_before.model_evals;
+  result.generation_model_evals =
+      generation_after.model_evals - generation_before.model_evals;
+  result.proxy_cache_hits = (warmup_after.proxy_cache_hits -
+                             warmup_before.proxy_cache_hits) +
+                            (generation_after.proxy_cache_hits -
+                             generation_before.proxy_cache_hits);
+  result.model_cache_hits = (warmup_after.model_cache_hits -
+                             warmup_before.model_cache_hits) +
+                            (generation_after.model_cache_hits -
+                             generation_before.model_cache_hits);
   return result;
 }
 

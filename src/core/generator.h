@@ -7,10 +7,12 @@
 /// real model and seed the surrogate of round two, which optimizes the real
 /// validation metric.
 
+#include <memory>
 #include <vector>
 
 #include "core/codec.h"
 #include "core/feature_eval.h"
+#include "core/search_session.h"
 #include "hpo/hyperband.h"
 #include "hpo/random_search.h"
 #include "hpo/smac.h"
@@ -38,12 +40,22 @@ const char* HpoBackendToString(HpoBackend backend);
 struct GeneratorOptions {
   /// Search engine for both the warm-up and generation rounds.
   HpoBackend backend = HpoBackend::kTpe;
-  /// Round-one (proxy) TPE iterations (paper default).
+  /// Round-one (proxy) TPE iterations (paper default 200; repro default
+  /// matches it).
   int warmup_iterations = 200;
-  /// Top-k proxy queries promoted to real evaluation. Paper default: 50.
+  /// Top-k proxy queries promoted to real evaluation. Paper value: 50;
+  /// repro default: 15 (the synthetic bundles are far smaller than the
+  /// paper's datasets, so fewer promotions saturate the surrogate).
   int warmup_top_k = 15;
-  /// Round-two (model) TPE iterations. Paper default: 40.
+  /// Round-two (model) iterations. Paper value: 40; repro default: 30
+  /// (same scaling rationale as warmup_top_k).
   int generation_iterations = 30;
+  /// Pool size of one suggest-batch -> pooled-evaluate -> observe-all
+  /// round. Every optimizer proposes this many configurations from one
+  /// posterior (Optimizer::SuggestBatch) and the pool's features
+  /// materialize in one EvaluateMany pass. 1 reproduces the sequential
+  /// suggest/observe trajectory seed-for-seed (pinned by tests).
+  int suggest_batch_size = 8;
   /// Disable for the NoWU ablation; round two then runs
   /// warmup_top_k + generation_iterations model-evaluated iterations,
   /// matching the paper's fair-comparison protocol (§VII.D.1).
@@ -72,21 +84,43 @@ struct GenerationResult {
   std::vector<GeneratedQuery> queries;
   double warmup_seconds = 0.0;
   double generate_seconds = 0.0;
+  /// Distinct evaluations actually computed during this run (proposals
+  /// served from the session's score caches are counted as cache hits
+  /// below, not here). proxy_evals + proxy_cache_hits equals the number of
+  /// warm-up proposals.
   size_t proxy_evals = 0;
   size_t model_evals = 0;
+  /// Per-stage split of model_evals: top-k promotion vs generation round.
+  size_t warmup_model_evals = 0;
+  size_t generation_model_evals = 0;
+  /// Proposals served from the SearchSession score caches.
+  size_t proxy_cache_hits = 0;
+  size_t model_cache_hits = 0;
 };
 
 /// \brief Generates effective predicate-aware SQL queries for one template.
+///
+/// Both rounds run the batched pipeline: SuggestBatch(suggest_batch_size)
+/// -> one pooled Features/EvaluateMany pass through the SearchSession ->
+/// observe-all. Construct with a SearchSession to share score caches and
+/// per-stage counters across templates (FeatAug::Fit does); the
+/// evaluator-only constructor owns a private single-template session.
 class SqlQueryGenerator {
  public:
   SqlQueryGenerator(FeatureEvaluator* evaluator, GeneratorOptions options)
-      : evaluator_(evaluator), options_(options) {}
+      : owned_session_(std::make_unique<SearchSession>(evaluator)),
+        session_(owned_session_.get()),
+        options_(options) {}
+
+  SqlQueryGenerator(SearchSession* session, GeneratorOptions options)
+      : session_(session), options_(options) {}
 
   /// Runs the two-phase search over Q_T.
   Result<GenerationResult> Run(const QueryTemplate& tmpl);
 
  private:
-  FeatureEvaluator* evaluator_;
+  std::unique_ptr<SearchSession> owned_session_;
+  SearchSession* session_;
   GeneratorOptions options_;
 };
 

@@ -262,6 +262,13 @@ Result<std::unique_ptr<FittedAugmenter>> MultiTableFeatAug::MakeFitted(
     diag.templates_considered += tp.plan.templates_considered;
     diag.model_evals += tp.plan.model_evals;
     diag.proxy_evals += tp.plan.proxy_evals;
+    diag.qti_proxy_evals += tp.plan.qti_proxy_evals;
+    diag.qti_model_evals += tp.plan.qti_model_evals;
+    diag.warmup_proxy_evals += tp.plan.warmup_proxy_evals;
+    diag.warmup_model_evals += tp.plan.warmup_model_evals;
+    diag.generation_model_evals += tp.plan.generation_model_evals;
+    diag.proxy_cache_hits += tp.plan.proxy_cache_hits;
+    diag.model_cache_hits += tp.plan.model_cache_hits;
   }
   return FittedAugmenter::Create(std::move(sources), diag);
 }

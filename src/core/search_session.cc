@@ -1,0 +1,133 @@
+#include "core/search_session.h"
+
+namespace featlib {
+
+namespace {
+
+std::string ProxyKey(ProxyKind proxy, const std::string& content_key) {
+  std::string out = ProxyKindToString(proxy);
+  out += '|';
+  out += content_key;
+  return out;
+}
+
+}  // namespace
+
+const char* SearchStageToString(SearchStage stage) {
+  switch (stage) {
+    case SearchStage::kQti:
+      return "qti";
+    case SearchStage::kWarmup:
+      return "warmup";
+    case SearchStage::kGeneration:
+      return "generation";
+    case SearchStage::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+Result<std::vector<double>> SearchSession::ProxyScores(
+    const std::vector<AggQuery>& pool, ProxyKind proxy,
+    std::vector<std::string>* content_keys) {
+  StageCounters& counters = current();
+  std::vector<double> out(pool.size());
+  std::vector<std::string> keys(pool.size());
+  std::vector<size_t> missing;
+  if (content_keys != nullptr) {
+    content_keys->clear();
+    content_keys->reserve(pool.size());
+  }
+  for (size_t i = 0; i < pool.size(); ++i) {
+    std::string content_key = pool[i].CacheKey();
+    keys[i] = ProxyKey(proxy, content_key);
+    if (content_keys != nullptr) content_keys->push_back(std::move(content_key));
+    auto it = proxy_cache_.find(keys[i]);
+    if (it != proxy_cache_.end()) {
+      out[i] = it->second;
+      ++counters.proxy_cache_hits;
+    } else {
+      missing.push_back(i);
+    }
+  }
+  if (missing.empty()) return out;
+
+  // One EvaluateMany pass materializes every uncached member's feature
+  // column; the per-member ProxyScore calls below then hit the feature
+  // cache and only pay the statistic.
+  std::vector<AggQuery> uncached;
+  uncached.reserve(missing.size());
+  for (size_t i : missing) uncached.push_back(pool[i]);
+  const size_t proxy_before = evaluator_->num_proxy_evals();
+  FEAT_RETURN_NOT_OK(evaluator_->Features(uncached).status());
+  for (size_t i : missing) {
+    auto it = proxy_cache_.find(keys[i]);
+    if (it != proxy_cache_.end()) {  // duplicate earlier in this pool
+      out[i] = it->second;
+      ++counters.proxy_cache_hits;
+      continue;
+    }
+    FEAT_ASSIGN_OR_RETURN(double score, evaluator_->ProxyScore(pool[i], proxy));
+    proxy_cache_.emplace(keys[i], score);
+    out[i] = score;
+  }
+  counters.proxy_evals += evaluator_->num_proxy_evals() - proxy_before;
+  return out;
+}
+
+Result<std::vector<SearchSession::ModelOutcome>> SearchSession::ModelScores(
+    const std::vector<AggQuery>& pool, std::vector<std::string>* content_keys) {
+  StageCounters& counters = current();
+  std::vector<ModelOutcome> out(pool.size());
+  std::vector<std::string> keys(pool.size());
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    keys[i] = pool[i].CacheKey();
+    auto it = model_cache_.find(keys[i]);
+    if (it != model_cache_.end()) {
+      out[i] = it->second;
+      ++counters.model_cache_hits;
+    } else {
+      missing.push_back(i);
+    }
+  }
+  if (content_keys != nullptr) *content_keys = keys;
+  if (missing.empty()) return out;
+
+  std::vector<AggQuery> uncached;
+  uncached.reserve(missing.size());
+  for (size_t i : missing) uncached.push_back(pool[i]);
+  const size_t model_before = evaluator_->num_model_evals();
+  FEAT_RETURN_NOT_OK(evaluator_->Features(uncached).status());
+  for (size_t i : missing) {
+    auto it = model_cache_.find(keys[i]);
+    if (it != model_cache_.end()) {  // duplicate earlier in this pool
+      out[i] = it->second;
+      ++counters.model_cache_hits;
+      continue;
+    }
+    FEAT_ASSIGN_OR_RETURN(double metric, evaluator_->ModelScoreSingle(pool[i]));
+    const ModelOutcome outcome{metric, evaluator_->ScoreToLoss(metric)};
+    model_cache_.emplace(keys[i], outcome);
+    out[i] = outcome;
+  }
+  counters.model_evals += evaluator_->num_model_evals() - model_before;
+  return out;
+}
+
+Result<std::vector<double>> SearchSession::FidelityLosses(
+    const std::vector<AggQuery>& pool, double fidelity) {
+  StageCounters& counters = current();
+  const size_t model_before = evaluator_->num_model_evals();
+  FEAT_RETURN_NOT_OK(evaluator_->Features(pool).status());
+  std::vector<double> out(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    FEAT_ASSIGN_OR_RETURN(double metric,
+                          evaluator_->ModelScoreAtFidelity({pool[i]}, fidelity));
+    out[i] = evaluator_->ScoreToLoss(metric);
+  }
+  counters.model_evals += evaluator_->num_model_evals() - model_before;
+  return out;
+}
+
+}  // namespace featlib

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file search_session.h
+/// \brief Cross-round, cross-template state of one search (Fit) run.
+///
+/// The search pipeline is suggest-batch -> pooled evaluate -> observe-all:
+/// every optimizer proposes a *pool* of configurations
+/// (Optimizer::SuggestBatch), the pool's feature columns are materialized in
+/// one FeatureEvaluator::Features / QueryPlanner::EvaluateMany pass, and the
+/// scores are observed back in proposal order. The SearchSession owns what
+/// must persist *across* those rounds — and across the templates of one Fit:
+///
+///   - the proxy-score cache (a query's MI/SC/LR proxy is a pure function of
+///     its feature column and the split, so QTI nodes and warm-up rounds
+///     that re-propose a query pay nothing),
+///   - the model-outcome cache (TrainAndScore is deterministic given the
+///     model seed, so generation rounds and overlapping template pools reuse
+///     trainings),
+///   - per-stage evaluation counters (qti / warmup / generation), which flow
+///     back into GenerationResult and AugmentationPlan.
+///
+/// Reduced-fidelity losses (Hyperband/BOHB rungs) are deliberately *not*
+/// cached: they are rung-specific training subsets and the sequential driver
+/// recomputed repeats too — caching them would change no trajectory but
+/// would misstate the cost ledger.
+///
+/// A session holds no table data itself; feature columns live in the
+/// evaluator's byte-capped feature cache, and evicted columns re-materialize
+/// through the planner's memoized compile step.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/feature_eval.h"
+
+namespace featlib {
+
+/// Search stages the session attributes evaluation work to.
+enum class SearchStage {
+  kQti,         // template-identification node scoring
+  kWarmup,      // proxy round + top-k promotion of one template's search
+  kGeneration,  // real-metric round of one template's search
+  kOther,       // anything outside the three named stages
+};
+
+const char* SearchStageToString(SearchStage stage);
+
+/// \brief One Fit run's shared search state. Not thread-safe; one search
+/// drives it from one thread (its pooled evaluations parallelize internally
+/// through the evaluator's planner).
+class SearchSession {
+ public:
+  explicit SearchSession(FeatureEvaluator* evaluator) : evaluator_(evaluator) {}
+
+  /// Evaluation work attributed to one stage. "evals" count distinct
+  /// computations at the evaluator (cache hits excluded); "cache_hits"
+  /// count pool members served from the session caches.
+  struct StageCounters {
+    size_t proxy_evals = 0;
+    size_t model_evals = 0;
+    size_t proxy_cache_hits = 0;
+    size_t model_cache_hits = 0;
+  };
+
+  /// Routes subsequent counter accrual to `stage`.
+  void BeginStage(SearchStage stage) { stage_ = stage; }
+  SearchStage current_stage() const { return stage_; }
+  const StageCounters& stage(SearchStage s) const {
+    return counters_[StageIndex(s)];
+  }
+
+  /// Result of one real-model evaluation (metric per the evaluator's
+  /// MetricKind; loss in the minimize convention).
+  struct ModelOutcome {
+    double metric = 0.0;
+    double loss = 0.0;
+  };
+
+  /// Proxy scores of a pool, in pool order. Uncached members are
+  /// materialized through one Features()/EvaluateMany pass, then scored;
+  /// results are cached by (proxy kind, query content key). Duplicates in
+  /// the pool are scored once. When `keys` is non-null it receives each
+  /// member's content key (CacheKey) in pool order — the session computes
+  /// them anyway, so callers deduplicating by key need not re-serialize.
+  Result<std::vector<double>> ProxyScores(const std::vector<AggQuery>& pool,
+                                          ProxyKind proxy,
+                                          std::vector<std::string>* keys = nullptr);
+
+  /// Real-model outcomes of a pool, in pool order. Uncached members share
+  /// one Features() pass; each then pays exactly one model training, cached
+  /// by query content key (TrainAndScore is deterministic by seed). `keys`
+  /// as in ProxyScores.
+  Result<std::vector<ModelOutcome>> ModelScores(
+      const std::vector<AggQuery>& pool,
+      std::vector<std::string>* keys = nullptr);
+
+  /// Reduced-fidelity losses of a rung pool (Hyperband/BOHB), in pool
+  /// order. One Features() pass for the pool; per-member subsample
+  /// trainings are never cached (see file comment).
+  Result<std::vector<double>> FidelityLosses(const std::vector<AggQuery>& pool,
+                                             double fidelity);
+
+  FeatureEvaluator* evaluator() { return evaluator_; }
+  const FeatureEvaluator* evaluator() const { return evaluator_; }
+
+  /// \name Session-cache introspection (tests and benches).
+  /// @{
+  size_t proxy_cache_size() const { return proxy_cache_.size(); }
+  size_t model_cache_size() const { return model_cache_.size(); }
+  /// @}
+
+ private:
+  static size_t StageIndex(SearchStage s) { return static_cast<size_t>(s); }
+  StageCounters& current() { return counters_[StageIndex(stage_)]; }
+
+  FeatureEvaluator* evaluator_;
+  SearchStage stage_ = SearchStage::kOther;
+  StageCounters counters_[4];
+  /// "<proxy>|<query CacheKey>" -> proxy score.
+  std::unordered_map<std::string, double> proxy_cache_;
+  /// query CacheKey -> (metric, loss).
+  std::unordered_map<std::string, ModelOutcome> model_cache_;
+};
+
+}  // namespace featlib

@@ -92,8 +92,9 @@ class TemplatePredictor {
 Result<NodeEvaluation> TemplateIdentifier::EvaluateNode(
     const QueryTemplate& tmpl,
     const std::vector<std::pair<AggQuery, double>>& seeds) {
+  FeatureEvaluator* evaluator = session_->evaluator();
   FEAT_ASSIGN_OR_RETURN(QueryVectorCodec codec,
-                        QueryVectorCodec::Create(tmpl, evaluator_->relevant()));
+                        QueryVectorCodec::Create(tmpl, evaluator->relevant()));
   TpeOptions tpe_options;
   tpe_options.seed = options_.seed ^ std::hash<std::string>{}(tmpl.WhereKey());
   tpe_options.n_startup = std::max(2, options_.node_iterations / 3);
@@ -125,20 +126,28 @@ Result<NodeEvaluation> TemplateIdentifier::EvaluateNode(
     record(q, score);
   }
 
-  for (int i = 0; i < options_.node_iterations; ++i) {
-    ParamVector v = search.Suggest();
-    FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
-    double score;
+  // Batched node search: each round proposes a pool, materializes its
+  // features in one EvaluateMany pass, then observes every member.
+  const int batch = std::max(1, options_.suggest_batch_size);
+  for (int done = 0; done < options_.node_iterations;) {
+    const int b = std::min(batch, options_.node_iterations - done);
+    std::vector<ParamVector> vs = search.SuggestBatch(b);
+    FEAT_ASSIGN_OR_RETURN(std::vector<AggQuery> pool, codec.DecodeAll(vs));
+    std::vector<double> scores(pool.size());
     if (options_.use_low_cost_proxy) {
-      FEAT_ASSIGN_OR_RETURN(score, evaluator_->ProxyScore(q, options_.proxy));
+      FEAT_ASSIGN_OR_RETURN(scores, session_->ProxyScores(pool, options_.proxy));
     } else {
       // Without Opt. 1, effectiveness is the real validation metric
-      // (expensive: one model training per iteration).
-      FEAT_ASSIGN_OR_RETURN(double metric, evaluator_->ModelScoreSingle(q));
-      score = -evaluator_->ScoreToLoss(metric);
+      // (expensive: one model training per pool member).
+      FEAT_ASSIGN_OR_RETURN(std::vector<SearchSession::ModelOutcome> outcomes,
+                            session_->ModelScores(pool));
+      for (size_t i = 0; i < outcomes.size(); ++i) scores[i] = -outcomes[i].loss;
     }
-    search.Observe(v, -score);
-    record(q, score);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      search.Observe(vs[i], -scores[i]);
+      record(pool[i], scores[i]);
+    }
+    done += b;
   }
   return node;
 }
@@ -152,6 +161,7 @@ Result<TemplateIdResult> TemplateIdentifier::Run(
     return Status::InvalidArgument("QTI supports at most 63 candidate attributes");
   }
   WallTimer timer;
+  session_->BeginStage(SearchStage::kQti);
   TemplateIdResult result;
   TemplatePredictor predictor(candidate_attrs.size());
 
@@ -303,6 +313,7 @@ Result<TemplateIdResult> TemplateIdentifier::Run(
     }
   }
   result.seconds = timer.Seconds();
+  session_->BeginStage(SearchStage::kOther);
   return result;
 }
 

@@ -7,10 +7,12 @@
 /// (a ridge performance predictor over one-hot template encodings that
 /// prunes each layer to beta nodes before any proxy evaluation).
 
+#include <memory>
 #include <vector>
 
 #include "core/feature_eval.h"
 #include "core/query_template.h"
+#include "core/search_session.h"
 
 namespace featlib {
 
@@ -24,6 +26,10 @@ struct TemplateIdOptions {
   /// Proxy-TPE iterations used to estimate a node's effectiveness (Def. 5
   /// approximated by the best proxy value found in its pool).
   int node_iterations = 20;
+  /// Pool size of one suggest-batch -> pooled-evaluate -> observe-all round
+  /// of a node's search (see GeneratorOptions::suggest_batch_size). 1
+  /// reproduces the sequential trajectory seed-for-seed.
+  int suggest_batch_size = 8;
   /// Optimization 1: score nodes with the low-cost proxy instead of real
   /// model training. Disabling makes every node evaluation train models.
   bool use_low_cost_proxy = true;
@@ -68,10 +74,22 @@ struct TemplateIdResult {
 
 /// \brief Identifies promising query templates for given candidate WHERE
 /// attributes (Problem 2).
+///
+/// Node scoring runs the batched pipeline (SuggestBatch -> one pooled
+/// Features/EvaluateMany pass -> observe-all). Construct with a
+/// SearchSession to share the proxy-score cache with the rest of a Fit run
+/// — lattice nodes overlap heavily, so sibling and child nodes re-proposing
+/// a parent's queries are session-cache hits; the evaluator-only
+/// constructor owns a private session.
 class TemplateIdentifier {
  public:
   TemplateIdentifier(FeatureEvaluator* evaluator, TemplateIdOptions options)
-      : evaluator_(evaluator), options_(options) {}
+      : owned_session_(std::make_unique<SearchSession>(evaluator)),
+        session_(owned_session_.get()),
+        options_(options) {}
+
+  TemplateIdentifier(SearchSession* session, TemplateIdOptions options)
+      : session_(session), options_(options) {}
 
   /// `base` supplies F, A and K; its where_attrs are ignored — `candidate_attrs`
   /// is the attr set of Problem 2 from which combinations P are drawn.
@@ -86,7 +104,8 @@ class TemplateIdentifier {
       const QueryTemplate& tmpl,
       const std::vector<std::pair<AggQuery, double>>& seeds);
 
-  FeatureEvaluator* evaluator_;
+  std::unique_ptr<SearchSession> owned_session_;
+  SearchSession* session_;
   TemplateIdOptions options_;
 };
 

@@ -46,23 +46,51 @@ const std::vector<Trial>* Hyperband::ModelPool() const {
   return nullptr;
 }
 
-ParamVector Hyperband::Propose() {
-  if (!options_.model_based || rng_.Uniform() < options_.random_fraction) {
-    return space_.Sample(&rng_);
+std::vector<ParamVector> Hyperband::ProposeBatch(int n) {
+  std::vector<ParamVector> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    if (!options_.model_based || rng_.Uniform() < options_.random_fraction) {
+      out.push_back(space_.Sample(&rng_));
+      continue;
+    }
+    const std::vector<Trial>* pool = ModelPool();
+    if (pool == nullptr) {
+      out.push_back(space_.Sample(&rng_));
+      continue;
+    }
+    // BOHB: a one-shot TPE proposal per slot, each with a fresh seed.
+    // Deliberately *not* one shared SuggestBatch over the bracket:
+    // independent samplers keep the initial configurations diverse, which
+    // the successive-halving guarantee leans on; the batching win lives in
+    // the rung evaluation, where a pool already exists naturally.
+    TpeOptions tpe_options = options_.tpe;
+    tpe_options.seed = rng_.NextU64();
+    tpe_options.n_startup = 0;             // the pool *is* the startup data
+    tpe_options.exploration_fraction = 0;  // random_fraction already covers it
+    Tpe sampler(space_, tpe_options);
+    sampler.WarmStart(*pool);
+    out.push_back(sampler.Suggest());
   }
-  const std::vector<Trial>* pool = ModelPool();
-  if (pool == nullptr) return space_.Sample(&rng_);
-  // BOHB: one-shot TPE proposal from the deepest informative pool.
-  TpeOptions tpe_options = options_.tpe;
-  tpe_options.seed = rng_.NextU64();
-  tpe_options.n_startup = 0;             // the pool *is* the startup data
-  tpe_options.exploration_fraction = 0;  // random_fraction already covers it
-  Tpe sampler(space_, tpe_options);
-  sampler.WarmStart(*pool);
-  return sampler.Suggest();
+  return out;
 }
 
 Result<HyperbandResult> Hyperband::Run(const MultiFidelityObjective& objective) {
+  return RunBatched(
+      [&objective](const std::vector<ParamVector>& pool,
+                   double fidelity) -> Result<std::vector<double>> {
+        std::vector<double> losses;
+        losses.reserve(pool.size());
+        for (const ParamVector& v : pool) {
+          FEAT_ASSIGN_OR_RETURN(double loss, objective(v, fidelity));
+          losses.push_back(loss);
+        }
+        return losses;
+      });
+}
+
+Result<HyperbandResult> Hyperband::RunBatched(
+    const MultiFidelityBatchObjective& objective) {
   HyperbandResult result;
   const double eta = options_.eta;
 
@@ -79,16 +107,28 @@ Result<HyperbandResult> Hyperband::Run(const MultiFidelityObjective& objective) 
                                               (s + 1) * std::pow(eta, s)));
     std::vector<FidelityTrial> rung;
     rung.reserve(static_cast<size_t>(n0));
-    for (int i = 0; i < n0; ++i) {
-      rung.push_back(FidelityTrial{Propose(), 0.0, 0.0});
+    for (ParamVector& v : ProposeBatch(n0)) {
+      rung.push_back(FidelityTrial{std::move(v), 0.0, 0.0});
     }
 
-    // Successive halving: evaluate, keep the best 1/eta, raise fidelity.
+    // Successive halving: evaluate each rung as one pool, keep the best
+    // 1/eta, raise fidelity. No observation lands between members of a
+    // rung, so pooled evaluation is trajectory-identical to the sequential
+    // loop it replaced.
     for (int i = 0; i <= s; ++i) {
       const double fidelity = std::min(1.0, std::pow(eta, i - s));
       const int rung_index = s_max_ - (s - i);  // 0 = smallest fidelity rung
-      for (FidelityTrial& t : rung) {
-        FEAT_ASSIGN_OR_RETURN(t.loss, objective(t.params, fidelity));
+      std::vector<ParamVector> pool;
+      pool.reserve(rung.size());
+      for (const FidelityTrial& t : rung) pool.push_back(t.params);
+      FEAT_ASSIGN_OR_RETURN(std::vector<double> losses,
+                            objective(pool, fidelity));
+      if (losses.size() != rung.size()) {
+        return Status::Internal("batch objective returned wrong pool size");
+      }
+      for (size_t k = 0; k < rung.size(); ++k) {
+        FidelityTrial& t = rung[k];
+        t.loss = losses[k];
         // Non-finite losses would corrupt the promotion sort; demote them.
         if (!std::isfinite(t.loss)) t.loss = kWorstLoss;
         t.fidelity = fidelity;

@@ -30,6 +30,14 @@ namespace featlib {
 using MultiFidelityObjective =
     std::function<Result<double>(const ParamVector& params, double fidelity)>;
 
+/// Losses of a whole rung's configurations at one fidelity. A rung is
+/// evaluated with no intermediate observations, so handing the driver the
+/// pool at once lets the objective share work across members (one
+/// `EvaluateMany` pass over the pool's features) without changing the
+/// successive-halving trajectory at all.
+using MultiFidelityBatchObjective = std::function<Result<std::vector<double>>(
+    const std::vector<ParamVector>& pool, double fidelity)>;
+
 struct HyperbandOptions {
   /// Downsampling rate between successive rungs (>1; paper default 3).
   double eta = 3.0;
@@ -85,8 +93,14 @@ class Hyperband {
   void WarmStart(const std::vector<Trial>& trials);
 
   /// Runs outer-loop brackets (s = s_max .. 0, cycling) until the cost
-  /// budget is exhausted. Objective errors abort the run.
+  /// budget is exhausted. Objective errors abort the run. Thin wrapper over
+  /// RunBatched that evaluates each rung member individually.
   Result<HyperbandResult> Run(const MultiFidelityObjective& objective);
+
+  /// The batched driver: every rung — already a natural pool — is handed to
+  /// the objective in one call. Identical trajectory to Run() when the
+  /// batched objective returns the same per-member losses.
+  Result<HyperbandResult> RunBatched(const MultiFidelityBatchObjective& objective);
 
   /// Rung fidelities, smallest first (exposed for tests).
   std::vector<double> RungFidelities() const;
@@ -94,9 +108,12 @@ class Hyperband {
   int s_max() const { return s_max_; }
 
  private:
-  /// Draws one configuration: uniform (Hyperband / cold model) or from a
-  /// TPE fit on the deepest informative fidelity pool (BOHB).
-  ParamVector Propose();
+  /// Draws a bracket's initial pool of `n` configurations: uniform
+  /// (Hyperband / random_fraction / cold model) or, per model-based slot, a
+  /// one-shot TPE proposal fit on the deepest informative fidelity pool
+  /// (BOHB). Slots stay independently seeded so the bracket's initial pool
+  /// keeps its diversity; the batching win is in the rung evaluation.
+  std::vector<ParamVector> ProposeBatch(int n);
 
   /// Pool lookup for the BOHB model: observations at the largest fidelity
   /// with at least min_model_points entries; nullptr when all are cold.

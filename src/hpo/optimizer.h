@@ -22,13 +22,77 @@ struct Trial {
   double loss = 0.0;
 };
 
-/// \brief Sequential model-based optimizer interface.
+/// Exact equality of two configurations (None == None; everything else
+/// bitwise-comparable doubles). Batched proposers use this to keep a pool's
+/// members distinct.
+inline bool SameParamVector(const ParamVector& a, const ParamVector& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t d = 0; d < a.size(); ++d) {
+    if (IsNone(a[d]) != IsNone(b[d])) return false;
+    if (!IsNone(a[d]) && a[d] != b[d]) return false;
+  }
+  return true;
+}
+
+/// Scatters the best `exploit_slots.size()` *distinct* members of a ranked
+/// candidate pool (best-first; ties already broken toward the
+/// first-sampled, so slot 0 of a 1-slot batch is exactly the sequential
+/// argmax) into their slots of `*out`. Duplicates rank next only when the
+/// pool has fewer distinct members than slots. Shared by the model-based
+/// SuggestBatch overrides (TPE, SMAC) so the two backends' batch-selection
+/// semantics stay in lockstep.
+inline void ScatterTopDistinct(std::vector<ParamVector> ranked_pool,
+                               const std::vector<size_t>& exploit_slots,
+                               std::vector<ParamVector>* out) {
+  std::vector<ParamVector> picked;
+  picked.reserve(exploit_slots.size());
+  for (const ParamVector& v : ranked_pool) {
+    if (picked.size() == exploit_slots.size()) break;
+    bool duplicate = false;
+    for (const ParamVector& taken : picked) {
+      if (SameParamVector(taken, v)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) picked.push_back(v);
+  }
+  for (size_t i = 0; picked.size() < exploit_slots.size(); ++i) {
+    picked.push_back(ranked_pool[i % ranked_pool.size()]);
+  }
+  for (size_t k = 0; k < exploit_slots.size(); ++k) {
+    (*out)[exploit_slots[k]] = std::move(picked[k]);
+  }
+}
+
+/// \brief Suggest/observe optimizer interface.
+///
+/// The batched entry point `SuggestBatch(n)` proposes a *pool* of n
+/// configurations from the current posterior, letting callers evaluate the
+/// whole pool in one pass (the search pipeline funnels a pool through one
+/// `FeatureEvaluator::Features` / `QueryPlanner::EvaluateMany` call).
+/// Contract: SuggestBatch(1) is exactly one Suggest() — same proposal, same
+/// RNG consumption — so batch=1 loops reproduce sequential trajectories
+/// seed-for-seed.
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
 
   /// Proposes the next configuration to evaluate.
   virtual ParamVector Suggest() = 0;
+
+  /// Proposes a pool of `n` configurations without intermediate
+  /// observations. Default: n sequential Suggest() calls (history does not
+  /// change between them, so the pool is drawn from one posterior either
+  /// way); model-based optimizers override this to amortize surrogate
+  /// construction and rank one shared candidate set.
+  virtual std::vector<ParamVector> SuggestBatch(int n) {
+    FEAT_CHECK(n > 0, "SuggestBatch needs a positive pool size");
+    std::vector<ParamVector> out;
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) out.push_back(Suggest());
+    return out;
+  }
 
   /// Records an evaluated configuration.
   virtual void Observe(const ParamVector& params, double loss) = 0;

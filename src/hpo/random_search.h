@@ -15,6 +15,10 @@ class RandomSearch : public Optimizer {
 
   ParamVector Suggest() override { return space_.Sample(&rng_); }
 
+  // SuggestBatch: the inherited default (n sequential Suggests) already *is*
+  // the correct batched proposal here — batching costs random search
+  // nothing, and the base default draws the identical sample sequence.
+
   void Observe(const ParamVector& params, double loss) override {
     history_.push_back(Trial{params, loss});
   }

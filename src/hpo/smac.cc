@@ -57,15 +57,27 @@ ParamVector Smac::Perturb(const ParamVector& base) {
   return out;
 }
 
-ParamVector Smac::Suggest() {
-  const size_t n = history_.size();
-  if (n < static_cast<size_t>(options_.n_startup) ||
-      rng_.Bernoulli(options_.exploration_fraction)) {
-    return space_.Sample(&rng_);
-  }
+ParamVector Smac::Suggest() { return SuggestBatch(1).front(); }
 
-  // Fit the surrogate forest on the full history (histories are small:
-  // hundreds of configurations).
+std::vector<ParamVector> Smac::SuggestBatch(int n_batch) {
+  FEAT_CHECK(n_batch > 0, "SuggestBatch needs a positive pool size");
+  std::vector<ParamVector> out(static_cast<size_t>(n_batch));
+  const size_t n = history_.size();
+  // Per-slot exploration decision in sequential order, so the RNG stream of
+  // a size-1 batch is byte-for-byte the old Suggest() stream.
+  std::vector<size_t> exploit_slots;
+  for (int s = 0; s < n_batch; ++s) {
+    if (n < static_cast<size_t>(options_.n_startup) ||
+        rng_.Bernoulli(options_.exploration_fraction)) {
+      out[static_cast<size_t>(s)] = space_.Sample(&rng_);
+    } else {
+      exploit_slots.push_back(static_cast<size_t>(s));
+    }
+  }
+  if (exploit_slots.empty()) return out;
+
+  // Fit the surrogate forest once per batch on the full history (histories
+  // are small: hundreds of configurations).
   Dataset train = Dataset::WithLabels({}, TaskKind::kRegression);
   train.n = n;
   train.y.resize(n);
@@ -109,14 +121,23 @@ ParamVector Smac::Suggest() {
   const Trial* incumbent = best();
   FEAT_CHECK(incumbent != nullptr, "Suggest after startup needs history");
 
-  // Candidate pool: half uniform, half local around the incumbent.
-  ParamVector best_candidate;
-  double best_acq = std::numeric_limits<double>::infinity();
+  // Shared candidate pool — n_candidates per exploit slot, alternating
+  // uniform draws and incumbent perturbations — ranked by the LCB
+  // acquisition. stable_sort keeps the first-sampled of any tie first,
+  // matching the strict "<" argmin of the sequential path.
+  struct Scored {
+    double acq;
+    ParamVector v;
+  };
+  const size_t pool_size = exploit_slots.size() *
+                           static_cast<size_t>(std::max(1, options_.n_candidates));
+  std::vector<Scored> pool;
+  pool.reserve(pool_size);
   Dataset probe = Dataset::WithLabels({0.0}, TaskKind::kRegression);
   probe.n = 1;
   probe.d = enc_d;
   probe.x.resize(enc_d);
-  for (int c = 0; c < options_.n_candidates; ++c) {
+  for (size_t c = 0; c < pool_size; ++c) {
     ParamVector candidate =
         c % 2 == 0 ? space_.Sample(&rng_) : Perturb(incumbent->params);
     const auto enc = EncodeConfig(candidate);
@@ -132,12 +153,17 @@ ParamVector Smac::Suggest() {
     const double var =
         std::max(0.0, sq / static_cast<double>(forest.size()) - mean * mean);
     const double acq = mean - options_.kappa * std::sqrt(var);  // LCB, minimize
-    if (acq < best_acq) {
-      best_acq = acq;
-      best_candidate = std::move(candidate);
-    }
+    pool.push_back(Scored{acq, std::move(candidate)});
   }
-  return best_candidate;
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.acq < b.acq;
+                   });
+  std::vector<ParamVector> ranked;
+  ranked.reserve(pool.size());
+  for (Scored& s : pool) ranked.push_back(std::move(s.v));
+  ScatterTopDistinct(std::move(ranked), exploit_slots, &out);
+  return out;
 }
 
 }  // namespace featlib

@@ -39,6 +39,15 @@ class Smac : public Optimizer {
   Smac(SearchSpace space, SmacOptions options);
 
   ParamVector Suggest() override;
+
+  /// Batched proposal: per-slot exploration draws happen in sequential
+  /// order, then the surrogate forest is fit *once* and a shared candidate
+  /// pool of n_candidates x (exploit slots) configurations (alternating
+  /// uniform / incumbent perturbations) is ranked by the LCB acquisition;
+  /// the top-n distinct candidates fill the exploit slots. SuggestBatch(1)
+  /// consumes the RNG exactly like Suggest().
+  std::vector<ParamVector> SuggestBatch(int n) override;
+
   void Observe(const ParamVector& params, double loss) override;
   const std::vector<Trial>& history() const override { return history_; }
 

@@ -167,22 +167,34 @@ void Tpe::Observe(const ParamVector& params, double loss) {
   history_.push_back(Trial{params, loss});
 }
 
-ParamVector Tpe::Suggest() {
-  const size_t n = history_.size();
-  if (n < static_cast<size_t>(options_.n_startup) ||
-      rng_.Bernoulli(options_.exploration_fraction)) {
-    return space_.Sample(&rng_);
+ParamVector Tpe::Suggest() { return SuggestBatch(1).front(); }
+
+std::vector<ParamVector> Tpe::SuggestBatch(int n) {
+  FEAT_CHECK(n > 0, "SuggestBatch needs a positive pool size");
+  std::vector<ParamVector> out(static_cast<size_t>(n));
+  const size_t hist = history_.size();
+  // Per-slot exploration decision in sequential order, so the RNG stream of
+  // a size-1 batch is byte-for-byte the old Suggest() stream.
+  std::vector<size_t> exploit_slots;
+  for (int s = 0; s < n; ++s) {
+    if (hist < static_cast<size_t>(options_.n_startup) ||
+        rng_.Bernoulli(options_.exploration_fraction)) {
+      out[static_cast<size_t>(s)] = space_.Sample(&rng_);
+    } else {
+      exploit_slots.push_back(static_cast<size_t>(s));
+    }
   }
+  if (exploit_slots.empty()) return out;
 
   // Split at the gamma quantile of losses.
-  std::vector<size_t> order(n);
+  std::vector<size_t> order(hist);
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return history_[a].loss < history_[b].loss;
   });
   const size_t n_good = std::max<size_t>(
       1, static_cast<size_t>(
-             std::ceil(options_.gamma * static_cast<double>(n))));
+             std::ceil(options_.gamma * static_cast<double>(hist))));
 
   const size_t n_dims = space_.NumDims();
   std::vector<DimEstimator> good_est;
@@ -194,7 +206,7 @@ ParamVector Tpe::Suggest() {
   for (size_t d = 0; d < n_dims; ++d) {
     good_vals.clear();
     bad_vals.clear();
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = 0; i < hist; ++i) {
       const double v = history_[order[i]].params[d];
       if (i < n_good) {
         good_vals.push_back(v);
@@ -206,22 +218,35 @@ ParamVector Tpe::Suggest() {
     bad_est.emplace_back(space_.dim(d), bad_vals, options_.prior_weight);
   }
 
-  // Sample candidates from l(x), rank by log l - log g.
-  ParamVector best;
-  double best_score = -std::numeric_limits<double>::infinity();
-  for (int c = 0; c < options_.n_candidates; ++c) {
+  // One shared candidate pool — n_candidates samples from l(x) per exploit
+  // slot — ranked by log l - log g. stable_sort keeps the first-sampled of
+  // any EI tie first, matching the strict ">" argmax of the sequential path.
+  struct Scored {
+    double score;
+    ParamVector v;
+  };
+  const size_t pool_size = exploit_slots.size() *
+                           static_cast<size_t>(std::max(1, options_.n_candidates));
+  std::vector<Scored> pool;
+  pool.reserve(pool_size);
+  for (size_t c = 0; c < pool_size; ++c) {
     ParamVector candidate(n_dims);
     double score = 0.0;
     for (size_t d = 0; d < n_dims; ++d) {
       candidate[d] = good_est[d].Sample(&rng_);
       score += good_est[d].LogPdf(candidate[d]) - bad_est[d].LogPdf(candidate[d]);
     }
-    if (score > best_score) {
-      best_score = score;
-      best = std::move(candidate);
-    }
+    pool.push_back(Scored{score, std::move(candidate)});
   }
-  return best;
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<ParamVector> ranked;
+  ranked.reserve(pool.size());
+  for (Scored& s : pool) ranked.push_back(std::move(s.v));
+  ScatterTopDistinct(std::move(ranked), exploit_slots, &out);
+  return out;
 }
 
 }  // namespace featlib

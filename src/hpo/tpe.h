@@ -39,6 +39,14 @@ class Tpe : public Optimizer {
   Tpe(SearchSpace space, TpeOptions options);
 
   ParamVector Suggest() override;
+
+  /// Batched proposal: per-slot exploration draws happen in sequential
+  /// order, then the Parzen estimators are built *once* and a shared pool of
+  /// n_candidates x (exploit slots) samples from l(x) is ranked by the EI
+  /// surrogate; the top-n distinct candidates fill the exploit slots.
+  /// SuggestBatch(1) consumes the RNG exactly like Suggest().
+  std::vector<ParamVector> SuggestBatch(int n) override;
+
   void Observe(const ParamVector& params, double loss) override;
   const std::vector<Trial>& history() const override { return history_; }
 

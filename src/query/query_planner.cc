@@ -36,26 +36,28 @@ bool IsStreamingAgg(AggFunction fn) {
   }
 }
 
-// Candidates differing only in agg function share all grouped values.
-std::string BucketKey(const AggQuery& q) {
-  std::string out = StrJoin(q.group_keys, "\x1f");
-  out += "\x1e";
-  out += q.agg_attr;
-  for (const Predicate& p : q.predicates) {
-    if (p.IsTrivial()) continue;
-    out += "\x1e";
-    out += p.CacheKey();
+// Cache key of a predicate conjunction's combined bitset, from the
+// predicates' own cache keys. The "&\x1d" prefix keeps combos disjoint from
+// single-predicate keys.
+std::string ComboKey(const std::vector<std::string>& pred_keys) {
+  std::string out = "&\x1d";
+  for (const std::string& key : pred_keys) {
+    out += key;
+    out += "\x1d";
   }
   return out;
 }
 
-// Cache key of a predicate conjunction's combined bitset. The "&\x1d"
-// prefix keeps combos disjoint from single-predicate keys.
-std::string ComboKey(const std::vector<const Predicate*>& active) {
-  std::string out = "&\x1d";
-  for (const Predicate* p : active) {
-    out += p->CacheKey();
-    out += "\x1d";
+// Bucket key (candidates differing only in agg function share all grouped
+// values), from precomputed parts.
+std::string BucketKey(const std::string& group_key, const std::string& agg_attr,
+                      const std::vector<std::string>& pred_keys) {
+  std::string out = group_key;
+  out += "\x1e";
+  out += agg_attr;
+  for (const std::string& key : pred_keys) {
+    out += "\x1e";
+    out += key;
   }
   return out;
 }
@@ -127,29 +129,65 @@ struct CandidateSpec {
 
 }  // namespace
 
+Result<const QueryPlanner::CompiledShape*> QueryPlanner::ResolveShape(
+    const AggQuery& q, const Table& relevant) {
+  std::string content_key = q.CacheKey();
+  auto it = compile_cache_.find(content_key);
+  if (it != compile_cache_.end()) {
+    ++plan_stats_.compile_hits;
+    ++compile_cache_hits_;
+    return &it->second;
+  }
+  FEAT_RETURN_NOT_OK(q.Validate(relevant));
+  CompiledShape shape;
+  shape.group_key = StrJoin(q.group_keys, "\x1f");
+  for (size_t j = 0; j < q.predicates.size(); ++j) {
+    if (q.predicates[j].IsTrivial()) continue;
+    shape.active_preds.push_back(static_cast<uint32_t>(j));
+    shape.pred_keys.push_back(q.predicates[j].CacheKey());
+  }
+  if (shape.active_preds.size() >= 2) {
+    shape.combo_key = ComboKey(shape.pred_keys);
+  }
+  shape.bucket_key = BucketKey(shape.group_key, q.agg_attr, shape.pred_keys);
+  ++plan_stats_.compile_misses;
+  ++compile_cache_misses_;
+  auto [inserted_it, inserted] =
+      compile_cache_.emplace(std::move(content_key), std::move(shape));
+  (void)inserted;
+  return &inserted_it->second;
+}
+
 Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     const std::vector<AggQuery>& queries, const Table* training,
     const Table& relevant, bool for_grouped_result) {
   plan_stats_ = PlanStats{};
   plan_stats_.candidates = queries.size();
 
-  // ---- Compile: one sequential pass dedups artifact requests and resolves
-  // what the store already holds (hits are epoch-stamped, pinning them for
-  // the whole batch). ----
-  for (const AggQuery& q : queries) {
-    FEAT_RETURN_NOT_OK(q.Validate(relevant));
+  // Over-cap memo is flushed between batches only: shape pointers resolved
+  // below stay valid for the whole Prepare.
+  if (compile_cache_.size() > compile_cache_cap_entries_) {
+    compile_cache_.clear();
+    ++compile_cache_flushes_;
+  }
+
+  // ---- Compile: resolve every candidate's memoized shape — validation and
+  // artifact-key derivation run only for content keys never seen by this
+  // planner — then one sequential pass dedups artifact requests and
+  // resolves what the store already holds (hits are epoch-stamped, pinning
+  // them for the whole batch). ----
+  std::vector<const CompiledShape*> shapes(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    FEAT_ASSIGN_OR_RETURN(shapes[i], ResolveShape(queries[i], relevant));
   }
 
   // Buckets shared by several candidates pay one materialization and serve
   // every member from flat slices; singleton buckets keep the cheaper
   // streaming kernel for streaming-family aggregates.
-  std::vector<std::string> bucket_keys;
   std::unordered_map<std::string, int> bucket_counts;
   if (!for_grouped_result) {
-    bucket_keys.reserve(queries.size());
-    for (const AggQuery& q : queries) {
-      bucket_keys.push_back(BucketKey(q));
-      ++bucket_counts[bucket_keys.back()];
+    for (const CompiledShape* shape : shapes) {
+      ++bucket_counts[shape->bucket_key];
     }
   }
 
@@ -161,8 +199,7 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
   std::unordered_map<std::string, size_t> group_idx, mask_idx, combo_idx,
       view_idx, mat_idx;
 
-  auto intern_group = [&](const AggQuery& q) -> size_t {
-    const std::string key = StrJoin(q.group_keys, "\x1f");
+  auto intern_group = [&](const AggQuery& q, const std::string& key) -> size_t {
     auto [it, inserted] = group_idx.emplace(key, groups.size());
     if (inserted) {
       GroupReq req;
@@ -175,8 +212,7 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     return it->second;
   };
 
-  auto intern_mask = [&](const Predicate& p) -> size_t {
-    const std::string key = p.CacheKey();
+  auto intern_mask = [&](const Predicate& p, const std::string& key) -> size_t {
     auto [it, inserted] = mask_idx.emplace(key, masks.size());
     if (inserted) {
       MaskReq req;
@@ -206,9 +242,10 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
   std::vector<CandidateSpec> specs(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     const AggQuery& q = queries[i];
+    const CompiledShape& shape = *shapes[i];
     CandidateSpec& spec = specs[i];
     spec.query = &q;
-    spec.group = intern_group(q);
+    spec.group = intern_group(q, shape.group_key);
     if (training != nullptr) groups[spec.group].need_train_map = true;
 
     // A bucket hit (or a bucket another candidate already requested)
@@ -216,36 +253,33 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     // view. ExecuteAggQuery never takes this path — it streams so it can
     // recover first-selected-row group order.
     if (!for_grouped_result && !q.agg_attr.empty()) {
-      auto pending = mat_idx.find(bucket_keys[i]);
+      auto pending = mat_idx.find(shape.bucket_key);
       if (pending != mat_idx.end()) {
         spec.mat = static_cast<int>(pending->second);
         continue;
       }
-      spec.mat_hit = store_.FindMaterialized(bucket_keys[i]);
+      spec.mat_hit = store_.FindMaterialized(shape.bucket_key);
       if (spec.mat_hit != nullptr) continue;
     }
 
     // Selection mask: the predicate's own bitset for a single conjunct, a
     // dedicated conjunction bitset (word-wise AND of the constituents) for
     // longer ones. A cached conjunction needs no constituent requests.
-    std::vector<const Predicate*> active;
-    for (const Predicate& p : q.predicates) {
-      if (!p.IsTrivial()) active.push_back(&p);
-    }
-    if (!active.empty()) {
+    if (!shape.active_preds.empty()) {
       spec.has_mask = true;
-      if (active.size() == 1) {
-        spec.mask_single = static_cast<int>(intern_mask(*active[0]));
+      if (shape.active_preds.size() == 1) {
+        spec.mask_single = static_cast<int>(intern_mask(
+            q.predicates[shape.active_preds[0]], shape.pred_keys[0]));
       } else {
-        const std::string key = ComboKey(active);
-        auto [it, inserted] = combo_idx.emplace(key, combos.size());
+        auto [it, inserted] = combo_idx.emplace(shape.combo_key, combos.size());
         if (inserted) {
           ComboReq req;
-          req.key = key;
-          req.bits = store_.FindMask(key);
+          req.key = shape.combo_key;
+          req.bits = store_.FindMask(shape.combo_key);
           if (req.bits == nullptr) {
-            for (const Predicate* p : active) {
-              req.parts.push_back(intern_mask(*p));
+            for (size_t k = 0; k < shape.active_preds.size(); ++k) {
+              req.parts.push_back(intern_mask(
+                  q.predicates[shape.active_preds[k]], shape.pred_keys[k]));
             }
           }
           combos.push_back(std::move(req));
@@ -261,14 +295,14 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     FEAT_ASSIGN_OR_RETURN(size_t view, intern_view(q.agg_attr));
     spec.view = static_cast<int>(view);
     const bool shared_bucket =
-        !for_grouped_result && bucket_counts[bucket_keys[i]] > 1;
+        !for_grouped_result && bucket_counts[shape.bucket_key] > 1;
     if (for_grouped_result || (IsStreamingAgg(q.agg) && !shared_bucket)) {
       continue;
     }
-    auto [it, inserted] = mat_idx.emplace(bucket_keys[i], mats.size());
+    auto [it, inserted] = mat_idx.emplace(shape.bucket_key, mats.size());
     if (inserted) {
       MatReq req;
-      req.key = bucket_keys[i];
+      req.key = shape.bucket_key;
       req.group = spec.group;
       req.mask_single = spec.mask_single;
       req.mask_combo = spec.mask_combo;

@@ -20,6 +20,18 @@
 ///     constituent predicate masks, training-row maps on their group index,
 ///     and materializations on group index + mask + view.
 ///
+///     Per-candidate resolution is **memoized across batches**: the first
+///     time a candidate content key (AggQuery::CacheKey) is seen, its
+///     validation and artifact-key derivation (group key, predicate keys,
+///     conjunction key, bucket key) run and the result is cached; a pool
+///     that overlaps a previous pool — the HPO-loop pattern, where
+///     successive search rounds re-plan nearly identical pools — skips
+///     re-resolution for the overlap and goes straight to the
+///     missing-artifact DAG. Memo entries are pure content (strings and
+///     indices, no artifact pointers), so store eviction never invalidates
+///     them; like every store shard they are bound to the planner's
+///     (training, relevant) pair.
+///
 ///  2. **Prepare (parallel)** — missing artifacts are built *off to the
 ///     side* on the ThreadPool, independent artifacts of a stage in
 ///     parallel, stages in topological order; after each stage the finished
@@ -43,7 +55,9 @@
 /// the same instance require external synchronization.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -167,8 +181,32 @@ class QueryPlanner {
     size_t builds_run = 0;
     /// Dependency stages that ran at least one build (<= 3).
     size_t stages_run = 0;
+    /// Candidates whose compiled resolution was served from the memo
+    /// (compile_hits) vs derived fresh (compile_misses); duplicates within
+    /// the batch count as hits after the first occurrence.
+    size_t compile_hits = 0;
+    size_t compile_misses = 0;
   };
   const PlanStats& last_plan_stats() const { return plan_stats_; }
+
+  /// \name Cumulative compile-memo counters across all batches (the bench's
+  /// plan_compile_hit_rate).
+  /// @{
+  size_t compile_cache_hits() const { return compile_cache_hits_; }
+  size_t compile_cache_misses() const { return compile_cache_misses_; }
+  size_t compile_cache_size() const { return compile_cache_.size(); }
+  size_t compile_cache_flushes() const { return compile_cache_flushes_; }
+  /// @}
+
+  /// Entry cap of the compile memo. Shapes are tiny (a handful of strings)
+  /// but content-keyed, so a long-lived planner must not grow without bound
+  /// — the same concern the byte-capped shards and feature cache address.
+  /// When a batch *starts* above the cap the memo is flushed wholesale
+  /// (never mid-batch: resolved shape pointers stay valid for the whole
+  /// Prepare); the next searches simply re-miss.
+  void set_compile_cache_cap_entries(size_t cap) {
+    compile_cache_cap_entries_ = cap;
+  }
 
   /// \name Phase timings of the last EvaluateMany call (bench reporting).
   /// @{
@@ -177,6 +215,28 @@ class QueryPlanner {
   /// @}
 
  private:
+  /// Memoized per-candidate compile resolution: everything derivable from
+  /// the query content alone — validation outcome and the artifact cache
+  /// keys the compile pass interns. Batch-dependent choices (shared-bucket
+  /// materialization, store hits) are *not* cached here; they re-resolve
+  /// each batch against the memoized keys.
+  struct CompiledShape {
+    std::string group_key;
+    /// Indices of non-trivial predicates in the query's predicate list,
+    /// with their cache keys (parallel vectors).
+    std::vector<uint32_t> active_preds;
+    std::vector<std::string> pred_keys;
+    /// Conjunction cache key; empty unless active_preds.size() >= 2.
+    std::string combo_key;
+    /// Bucket key (group keys + agg attribute + predicates).
+    std::string bucket_key;
+  };
+
+  /// Looks up / derives the compiled shape of `q` (validating on a miss)
+  /// and updates the hit/miss counters.
+  Result<const CompiledShape*> ResolveShape(const AggQuery& q,
+                                            const Table& relevant);
+
   /// Compiles `queries` into the artifact DAG, executes the missing builds
   /// stage-parallel on the pool, publishes them, and resolves one
   /// PlannedCandidate per query. `training` may be null only when
@@ -191,6 +251,11 @@ class QueryPlanner {
   ArtifactStore store_;
   ThreadPool* pool_ = nullptr;
   PlanStats plan_stats_;
+  std::unordered_map<std::string, CompiledShape> compile_cache_;
+  size_t compile_cache_cap_entries_ = 1u << 16;
+  size_t compile_cache_hits_ = 0;
+  size_t compile_cache_misses_ = 0;
+  size_t compile_cache_flushes_ = 0;
   double prepare_seconds_ = 0.0;
   double aggregate_seconds_ = 0.0;
 };

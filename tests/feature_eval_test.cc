@@ -132,6 +132,62 @@ TEST(FeatureEvalTest, RegressionTaskEndToEnd) {
   EXPECT_LT(with_golden.value(), baseline.value());
 }
 
+TEST(FeatureEvalTest, FeatureCacheIsByteCappedWithInBatchPinning) {
+  DatasetBundle bundle = MakeTmall(SmallOptions());
+  FeatureEvaluator evaluator = MakeEvaluator(bundle);
+  EXPECT_EQ(evaluator.feature_cache_bytes(), 0u);
+
+  std::vector<AggQuery> pool;
+  for (AggFunction fn : AllAggFunctions()) {
+    AggQuery q = bundle.golden_query;
+    q.agg = fn;
+    if (q.Validate(bundle.relevant).ok()) pool.push_back(std::move(q));
+  }
+  ASSERT_GT(pool.size(), 4u);
+
+  // A cap far below the pool's footprint: the batch still completes — its
+  // own entries are epoch-pinned, so the cache temporarily exceeds the cap
+  // instead of thrashing the in-flight batch.
+  evaluator.set_feature_cache_cap_bytes(1);
+  auto features = evaluator.Features(pool);
+  ASSERT_TRUE(features.ok()) << features.status().ToString();
+  EXPECT_EQ(evaluator.num_feature_cache_evictions(), 0u);
+  EXPECT_GT(evaluator.feature_cache_bytes(),
+            pool.size() * bundle.training.num_rows() * sizeof(double));
+  for (const std::vector<double>* f : features.value()) {
+    ASSERT_EQ(f->size(), bundle.training.num_rows());
+  }
+
+  // The next materializing call unpins the previous epoch and evicts it.
+  AggQuery fresh = bundle.golden_query;
+  fresh.agg_attr = "discount";
+  ASSERT_TRUE(fresh.Validate(bundle.relevant).ok());
+  const size_t bytes_before = evaluator.feature_cache_bytes();
+  ASSERT_TRUE(evaluator.Feature(fresh).ok());
+  EXPECT_GE(evaluator.num_feature_cache_evictions(), pool.size());
+  EXPECT_LT(evaluator.feature_cache_bytes(), bytes_before);
+
+  // Evicted columns recompute to the same values (bit-for-bit).
+  FeatureEvaluator reference = MakeEvaluator(bundle);
+  auto recomputed = evaluator.Features(pool);
+  auto expected = reference.Features(pool);
+  ASSERT_TRUE(recomputed.ok());
+  ASSERT_TRUE(expected.ok());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const std::vector<double>& a = *recomputed.value()[i];
+    const std::vector<double>& e = *expected.value()[i];
+    ASSERT_EQ(a.size(), e.size());
+    for (size_t r = 0; r < a.size(); ++r) {
+      if (std::isnan(a[r]) && std::isnan(e[r])) continue;
+      EXPECT_EQ(a[r], e[r]) << "query " << i << " row " << r;
+    }
+  }
+
+  // An uncapped evaluator never evicts.
+  EXPECT_EQ(reference.num_feature_cache_evictions(), 0u);
+  EXPECT_GT(reference.feature_cache_bytes(), 0u);
+}
+
 TEST(FeatureEvalTest, InvalidQueryPropagatesError) {
   DatasetBundle bundle = MakeTmall(SmallOptions());
   FeatureEvaluator evaluator = MakeEvaluator(bundle);

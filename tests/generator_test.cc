@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
 #include "core/generator.h"
 #include "data/synthetic.h"
 
@@ -74,13 +78,21 @@ TEST(GeneratorTest, WarmupSpendsProxyEvals) {
   SqlQueryGenerator generator(&fx.evaluator, options);
   auto result = generator.Run(fx.bundle.golden_template);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result.value().proxy_evals,
+  // Every warm-up proposal is either a fresh proxy computation or a
+  // session-cache hit (repeat proposal); together they account for the
+  // full iteration budget.
+  EXPECT_EQ(result.value().proxy_evals + result.value().proxy_cache_hits,
             static_cast<size_t>(options.warmup_iterations));
+  EXPECT_GT(result.value().proxy_evals, 0u);
   // Model evals <= top_k + generation iterations (dedup may reduce).
   EXPECT_LE(result.value().model_evals,
             static_cast<size_t>(options.warmup_top_k +
                                 options.generation_iterations));
   EXPECT_GT(result.value().model_evals, 0u);
+  // The per-stage split decomposes the total.
+  EXPECT_EQ(result.value().warmup_model_evals +
+                result.value().generation_model_evals,
+            result.value().model_evals);
 }
 
 TEST(GeneratorTest, NoWarmupUsesFairBudget) {
@@ -110,6 +122,135 @@ TEST(GeneratorTest, DeterministicBySeed) {
   for (size_t i = 0; i < r1.value().queries.size(); ++i) {
     EXPECT_EQ(r1.value().queries[i].query.CacheKey(),
               r2.value().queries[i].query.CacheKey());
+  }
+}
+
+// Reference implementation of the pre-batching search loop: one candidate
+// per suggest/observe round-trip, evaluated through the evaluator's
+// singleton entry points. Pins that suggest_batch_size=1 reproduces the
+// sequential trajectory seed-for-seed.
+Result<std::vector<GeneratedQuery>> RunSequentialReference(
+    FeatureEvaluator* evaluator, const QueryTemplate& tmpl,
+    const GeneratorOptions& options) {
+  FEAT_ASSIGN_OR_RETURN(QueryVectorCodec codec,
+                        QueryVectorCodec::Create(tmpl, evaluator->relevant()));
+  std::vector<Trial> warm_trials;
+  std::unordered_map<std::string, GeneratedQuery> evaluated;
+  auto evaluate_with_model = [&](const ParamVector& v) -> Status {
+    FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
+    const std::string key = q.CacheKey();
+    auto it = evaluated.find(key);
+    double loss;
+    if (it != evaluated.end()) {
+      loss = it->second.loss;
+    } else {
+      FEAT_ASSIGN_OR_RETURN(double metric, evaluator->ModelScoreSingle(q));
+      loss = evaluator->ScoreToLoss(metric);
+      evaluated.emplace(key, GeneratedQuery{std::move(q), metric, loss});
+    }
+    warm_trials.push_back(Trial{v, loss});
+    return Status::OK();
+  };
+
+  TpeOptions proxy_tpe = options.tpe;
+  proxy_tpe.seed = options.seed;
+  Tpe proxy_search(codec.space(), proxy_tpe);
+  std::vector<std::pair<ParamVector, double>> proxy_history;
+  std::unordered_set<std::string> proxy_seen;
+  for (int i = 0; i < options.warmup_iterations; ++i) {
+    ParamVector v = proxy_search.Suggest();
+    FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
+    FEAT_ASSIGN_OR_RETURN(double score,
+                          evaluator->ProxyScore(q, options.proxy));
+    proxy_search.Observe(v, -score);
+    if (proxy_seen.insert(q.CacheKey()).second) {
+      proxy_history.emplace_back(std::move(v), -score);
+    }
+  }
+  std::sort(proxy_history.begin(), proxy_history.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  const size_t top_k = std::min<size_t>(
+      proxy_history.size(), static_cast<size_t>(options.warmup_top_k));
+  for (size_t i = 0; i < top_k; ++i) {
+    FEAT_RETURN_NOT_OK(evaluate_with_model(proxy_history[i].first));
+  }
+
+  TpeOptions gen_tpe = options.tpe;
+  gen_tpe.seed = options.seed + 1;
+  Tpe generation_search(codec.space(), gen_tpe);
+  generation_search.WarmStart(warm_trials);
+  for (int i = 0; i < options.generation_iterations; ++i) {
+    ParamVector v = generation_search.Suggest();
+    FEAT_ASSIGN_OR_RETURN(AggQuery q, codec.Decode(v));
+    const std::string key = q.CacheKey();
+    double loss;
+    auto it = evaluated.find(key);
+    if (it != evaluated.end()) {
+      loss = it->second.loss;
+    } else {
+      FEAT_ASSIGN_OR_RETURN(double metric, evaluator->ModelScoreSingle(q));
+      loss = evaluator->ScoreToLoss(metric);
+      evaluated.emplace(key, GeneratedQuery{std::move(q), metric, loss});
+    }
+    generation_search.Observe(v, loss);
+  }
+
+  std::vector<GeneratedQuery> queries;
+  queries.reserve(evaluated.size());
+  for (auto& [key, gq] : evaluated) queries.push_back(std::move(gq));
+  std::sort(queries.begin(), queries.end(),
+            [](const GeneratedQuery& a, const GeneratedQuery& b) {
+              return a.loss < b.loss;
+            });
+  if (queries.size() > static_cast<size_t>(options.n_queries)) {
+    queries.resize(static_cast<size_t>(options.n_queries));
+  }
+  return queries;
+}
+
+TEST(GeneratorTest, BatchOfOneReproducesSequentialTrajectory) {
+  Fixture reference_fx = MakeFixture();
+  Fixture batched_fx = MakeFixture();
+  GeneratorOptions options = FastOptions();
+
+  auto reference = RunSequentialReference(
+      &reference_fx.evaluator, reference_fx.bundle.golden_template, options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  options.suggest_batch_size = 1;
+  SqlQueryGenerator generator(&batched_fx.evaluator, options);
+  auto batched = generator.Run(batched_fx.bundle.golden_template);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+
+  const std::vector<GeneratedQuery>& expected = reference.value();
+  const std::vector<GeneratedQuery>& actual = batched.value().queries;
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].query.CacheKey(), expected[i].query.CacheKey())
+        << "rank " << i;
+    EXPECT_DOUBLE_EQ(actual[i].model_metric, expected[i].model_metric);
+    EXPECT_DOUBLE_EQ(actual[i].loss, expected[i].loss);
+  }
+  // The reference loop spent one model training per distinct promoted /
+  // generated query; the batched pipeline must match it exactly.
+  EXPECT_EQ(batched.value().model_evals,
+            reference_fx.evaluator.num_model_evals());
+}
+
+TEST(GeneratorTest, BatchSizesAgreeOnEvaluationBudget) {
+  // Different pool sizes explore differently (the whole point of batching)
+  // but must spend the same proposal budget and stay deterministic.
+  for (int batch : {2, 8}) {
+    Fixture fx = MakeFixture();
+    GeneratorOptions options = FastOptions();
+    options.suggest_batch_size = batch;
+    SqlQueryGenerator generator(&fx.evaluator, options);
+    auto result = generator.Run(fx.bundle.golden_template);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().proxy_evals + result.value().proxy_cache_hits,
+              static_cast<size_t>(options.warmup_iterations))
+        << "batch " << batch;
+    EXPECT_GT(result.value().queries.size(), 0u);
   }
 }
 

@@ -98,6 +98,54 @@ TEST(SmacTest, DeterministicBySeed) {
   }
 }
 
+TEST(SmacTest, SuggestBatchOfOneMatchesSequentialTrajectory) {
+  // The batch=1 contract (see hpo_test): identical proposals and RNG
+  // consumption, seed-for-seed.
+  SmacOptions options;
+  options.seed = 17;
+  options.n_startup = 6;
+  Smac sequential(QuadraticSpace(), options);
+  Smac batched(QuadraticSpace(), options);
+  for (int i = 0; i < 25; ++i) {
+    const ParamVector a = sequential.Suggest();
+    const std::vector<ParamVector> pool = batched.SuggestBatch(1);
+    ASSERT_EQ(pool.size(), 1u);
+    ASSERT_EQ(a.size(), pool[0].size());
+    for (size_t d = 0; d < a.size(); ++d) {
+      if (IsNone(a[d])) {
+        EXPECT_TRUE(IsNone(pool[0][d])) << "iter " << i << " dim " << d;
+      } else {
+        EXPECT_DOUBLE_EQ(a[d], pool[0][d]) << "iter " << i << " dim " << d;
+      }
+    }
+    sequential.Observe(a, Quadratic(a));
+    batched.Observe(pool[0], Quadratic(pool[0]));
+  }
+}
+
+TEST(SmacTest, SuggestBatchProposesDistinctConfigurations) {
+  SmacOptions options;
+  options.seed = 23;
+  options.n_startup = 5;
+  options.exploration_fraction = 0.0;  // all slots exploit the surrogate
+  Smac smac(QuadraticSpace(), options);
+  Rng rng(9);
+  const SearchSpace space = QuadraticSpace();
+  for (int i = 0; i < 20; ++i) {
+    const ParamVector v = space.Sample(&rng);
+    smac.Observe(v, Quadratic(v));
+  }
+  const std::vector<ParamVector> pool = smac.SuggestBatch(5);
+  ASSERT_EQ(pool.size(), 5u);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    ASSERT_TRUE(space.Validate(pool[i]).ok());
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      EXPECT_FALSE(SameParamVector(pool[i], pool[j]))
+          << "slots " << i << "," << j;
+    }
+  }
+}
+
 TEST(SmacTest, WarmStartAccepted) {
   SmacOptions options;
   options.seed = 7;
