@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "common/exec_context.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/augmenter.h"
@@ -649,6 +650,16 @@ int WriteExecutorSpeedupRecord(const char* path,
                    gen.status().ToString().c_str());
       return 1;
     }
+    // A search that silently skipped candidates (partial-failure isolation)
+    // would time a smaller workload than the sequential arm — refuse to
+    // write a record comparing different search spaces.
+    if (gen.value().failed_candidates > 0) {
+      std::fprintf(stderr,
+                   "batched search skipped %zu failed candidate(s); "
+                   "refusing to write a biased record\n",
+                   gen.value().failed_candidates);
+      return 1;
+    }
     search_proxy_cache_hits = gen.value().proxy_cache_hits;
   }
   const double search_batched_seconds = timer.Seconds();
@@ -682,6 +693,45 @@ int WriteExecutorSpeedupRecord(const char* path,
           ? static_cast<double>(compile_hits) /
                 static_cast<double>(compile_hits + compile_misses)
           : 0.0;
+
+  // ExecContext overhead: the cooperative limit checks (cancellation /
+  // deadline probes at chunk and stage boundaries, budget CAS charges) must
+  // be invisible when no limit is set. Both arms run the same warm-planner
+  // batch; best-of-k interleaved repeats cancel drift, and the CI gate
+  // (scripts/ci.sh) asserts the ratio stays under 2%.
+  constexpr int kCtxReps = 7;
+  constexpr int kCtxCallsPerRep = 3;
+  double ctx_off_seconds = 0.0, ctx_on_seconds = 0.0;
+  {
+    QueryPlanner warm_off, warm_on;
+    ExecContext unlimited;  // no deadline, no budget: checks always pass
+    // Warm both stores outside the timed region.
+    benchmark::DoNotOptimize(
+        warm_off.EvaluateMany(candidates, b.training, b.relevant));
+    benchmark::DoNotOptimize(
+        warm_on.EvaluateMany(candidates, b.training, b.relevant, &unlimited));
+    double off_best = 0.0, on_best = 0.0;
+    for (int rep = 0; rep < kCtxReps; ++rep) {
+      timer.Restart();
+      for (int c = 0; c < kCtxCallsPerRep; ++c) {
+        benchmark::DoNotOptimize(
+            warm_off.EvaluateMany(candidates, b.training, b.relevant));
+      }
+      const double off = timer.Seconds();
+      timer.Restart();
+      for (int c = 0; c < kCtxCallsPerRep; ++c) {
+        benchmark::DoNotOptimize(warm_on.EvaluateMany(candidates, b.training,
+                                                      b.relevant, &unlimited));
+      }
+      const double on = timer.Seconds();
+      if (rep == 0 || off < off_best) off_best = off;
+      if (rep == 0 || on < on_best) on_best = on;
+    }
+    ctx_off_seconds = off_best;
+    ctx_on_seconds = on_best;
+  }
+  const double exec_context_overhead =
+      ctx_off_seconds > 0.0 ? ctx_on_seconds / ctx_off_seconds : 1.0;
 
   const double batched_seconds = sweep_seconds.front();  // 1-thread batched
   const double best_seconds =
@@ -757,6 +807,11 @@ int WriteExecutorSpeedupRecord(const char* path,
       .Add("plan_compile_hits", static_cast<double>(compile_hits))
       .Add("plan_compile_misses", static_cast<double>(compile_misses))
       .Add("plan_compile_hit_rate", plan_compile_hit_rate)
+      // Cost of the cooperative execution-limit checks when no limit is set
+      // (ratio of the with-context arm over the no-context arm; 1.0 = free).
+      .Add("exec_context_off_seconds", ctx_off_seconds)
+      .Add("exec_context_on_seconds", ctx_on_seconds)
+      .Add("exec_context_overhead", exec_context_overhead)
       .Add("bit_identical", bit_identical);
   Status write_status = record.WriteTo(path);
   if (!write_status.ok()) {

@@ -116,6 +116,15 @@ Result<CellResult> RunAugmenterCell(Augmenter* augmenter) {
   cell.warmup_seconds = diag.warmup_seconds;
   cell.generate_seconds = diag.generate_seconds;
   cell.n_features = fitted->num_features();
+  cell.failed_candidates = diag.failed_candidates.size();
+  if (cell.failed_candidates > 0) {
+    // Loud, not fatal: the fit is still valid (isolation skipped the failed
+    // candidates), but the cell explored a smaller space than its peers.
+    std::fprintf(stderr,
+                 "WARNING: %s fit skipped %zu failed candidate(s); first: %s\n",
+                 augmenter->name(), cell.failed_candidates,
+                 diag.failed_candidates.front().status.ToString().c_str());
+  }
   return cell;
 }
 

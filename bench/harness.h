@@ -74,6 +74,11 @@ struct CellResult {
   double warmup_seconds = 0.0;
   double generate_seconds = 0.0;
   size_t n_features = 0;
+  /// Candidates the search skipped-and-recorded instead of failing the fit
+  /// (partial-failure isolation). Non-zero counts are reported loudly by
+  /// RunAugmenterCell — a bench comparing methods on a cell where one
+  /// silently lost candidates would be comparing different search spaces.
+  size_t failed_candidates = 0;
 };
 
 /// Builds the evaluator for a bundle/model (0.6/0.2/0.2 split as in §VII).

@@ -18,6 +18,12 @@
 ///
 ///   feataug_cli transform --plan=plan.sql --relevant=R.csv
 ///               --in=batch.csv[,batch2.csv] --out=augmented.csv
+///               [--deadline-ms=N] [--memory-budget-mb=N]
+///
+/// --deadline-ms / --memory-budget-mb impose cooperative execution limits
+/// (ExecContext) on the transform: past the deadline (or over the budget)
+/// the run stops within one chunk of work and exits with a clean
+/// DeadlineExceeded / ResourceExhausted error instead of running away.
 ///
 /// Column roles default sensibly (InferTemplateIngredients): aggregation
 /// attributes = R's numeric/bool/datetime columns (minus FKs), WHERE
@@ -25,10 +31,12 @@
 /// features = D's numeric columns (minus label and FKs).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "common/exec_context.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "core/feataug.h"
@@ -238,6 +246,8 @@ struct TransformArgs {
   std::string relevant_path;
   std::vector<std::string> in_paths;
   std::string out_path = "augmented.csv";
+  long long deadline_ms = 0;       // 0 = no deadline
+  long long memory_budget_mb = 0;  // 0 = unlimited
 };
 
 bool ParseTransform(int argc, char** argv, TransformArgs* args) {
@@ -251,6 +261,8 @@ bool ParseTransform(int argc, char** argv, TransformArgs* args) {
     else if (const char* v = value_of("--relevant=")) args->relevant_path = v;
     else if (const char* v = value_of("--in=")) args->in_paths = StrSplit(v, ',');
     else if (const char* v = value_of("--out=")) args->out_path = v;
+    else if (const char* v = value_of("--deadline-ms=")) args->deadline_ms = std::atoll(v);
+    else if (const char* v = value_of("--memory-budget-mb=")) args->memory_budget_mb = std::atoll(v);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -312,8 +324,20 @@ int RunTransform(const TransformArgs& args) {
     batches.push_back(std::move(batch).ValueOrDie());
   }
 
+  // Cooperative limits for the whole serving run: the deadline clock starts
+  // here (after load/compile), the budget covers the transform's output
+  // columns across every batch.
+  ExecContext ctx;
+  if (args.deadline_ms > 0) {
+    ctx.set_deadline_after(std::chrono::milliseconds(args.deadline_ms));
+  }
+  if (args.memory_budget_mb > 0) {
+    ctx.set_memory_budget_bytes(static_cast<size_t>(args.memory_budget_mb) << 20);
+  }
+  const bool limited = args.deadline_ms > 0 || args.memory_budget_mb > 0;
+
   timer.Restart();
-  auto augmented = fitted.value()->TransformMany(batches);
+  auto augmented = fitted.value()->TransformMany(batches, limited ? &ctx : nullptr);
   if (!augmented.ok()) {
     std::fprintf(stderr, "transform: %s\n",
                  augmented.status().ToString().c_str());

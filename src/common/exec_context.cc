@@ -1,0 +1,43 @@
+#include "common/exec_context.h"
+
+#include "common/str_util.h"
+
+namespace featlib {
+
+Status ExecContext::ChargeMemory(size_t bytes) const {
+  const size_t budget = budget_bytes_.load(std::memory_order_relaxed);
+  if (budget == 0) {
+    charged_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  // CAS loop so concurrent chargers never overshoot the budget and a
+  // rejected charge leaves the total untouched.
+  size_t current = charged_bytes_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (bytes > budget || current > budget - bytes) {
+      return Status::ResourceExhausted(StrFormat(
+          "memory budget exceeded: charged %zu + requested %zu > budget "
+          "%zu bytes",
+          current, bytes, budget));
+    }
+    if (charged_bytes_.compare_exchange_weak(current, current + bytes,
+                                             std::memory_order_relaxed)) {
+      return Status::OK();
+    }
+  }
+}
+
+void ExecContext::ReleaseMemory(size_t bytes) const {
+  // Clamp at zero: releasing more than was charged (possible when a caller
+  // releases a conservative estimate) must not wrap the counter.
+  size_t current = charged_bytes_.load(std::memory_order_relaxed);
+  for (;;) {
+    const size_t next = bytes > current ? 0 : current - bytes;
+    if (charged_bytes_.compare_exchange_weak(current, next,
+                                             std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace featlib

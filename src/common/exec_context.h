@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file exec_context.h
+/// \brief Per-request execution context: deadline, cooperative cancellation,
+/// and a memory budget, threaded through the execution stack.
+///
+/// An ExecContext is created by the caller of a fallible entry point
+/// (EvaluateMany, Transform*, Fit) and passed down by pointer; a null pointer
+/// means "no limits" and costs nothing. The context is checked *between*
+/// units of work — at ThreadPool chunk boundaries, between planner DAG
+/// stages, between search-loop candidates — never inside a kernel, so a trip
+/// is honored within one chunk of work, and a unit either runs to completion
+/// or does not run at all (no torn artifacts; see docs/ARCHITECTURE.md,
+/// "Failure semantics").
+///
+/// Thread-safety: all members are atomics. Cancel() may be called from any
+/// thread (including a signal-adjacent watchdog) while workers concurrently
+/// Check(); ChargeMemory/ReleaseMemory may race freely across workers.
+/// The object itself must outlive every call it was passed to; it is
+/// neither copyable nor movable (share it by pointer).
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace featlib {
+
+class ExecContext {
+ public:
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// \name Limits (set before dispatch; resettable between requests).
+  /// @{
+
+  /// Absolute deadline on the steady clock. Work observed past this instant
+  /// fails with kDeadlineExceeded at the next check point.
+  void set_deadline(std::chrono::steady_clock::time_point tp) {
+    deadline_ns_.store(tp.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+  /// Convenience: deadline = now + budget.
+  void set_deadline_after(std::chrono::nanoseconds budget) {
+    set_deadline(std::chrono::steady_clock::now() + budget);
+  }
+  void clear_deadline() {
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  /// Caps the bytes chargeable through ChargeMemory. 0 means unlimited.
+  void set_memory_budget_bytes(size_t bytes) {
+    budget_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  size_t memory_budget_bytes() const {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+  /// \name Cancellation (any thread).
+  /// @{
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+  /// OK while the request may keep running; kCancelled after Cancel(),
+  /// kDeadlineExceeded past the deadline. Cancellation wins when both
+  /// tripped. Cheap: one relaxed load, plus a clock read only when a
+  /// deadline is set.
+  Status Check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("execution cancelled");
+    }
+    const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != kNoDeadline &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            deadline) {
+      return Status::DeadlineExceeded("execution deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// Records `bytes` of planned allocation against the budget. Fails with
+  /// kResourceExhausted when the running total would exceed the budget (the
+  /// charge is then *not* recorded, so an isolated failing candidate does
+  /// not eat budget its siblings could use). Accounting is advisory: callers
+  /// charge size *estimates* before building, so the budget bounds planned
+  /// footprint, not malloc bytes.
+  /// (Const because accounting is execution-side bookkeeping, not logical
+  /// object state — downstream layers hold `const ExecContext*` uniformly.)
+  Status ChargeMemory(size_t bytes) const;
+
+  /// Returns previously charged bytes to the budget (e.g. when a build is
+  /// abandoned after its charge).
+  void ReleaseMemory(size_t bytes) const;
+
+  size_t charged_bytes() const {
+    return charged_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// \name Null-tolerant helpers: the idiom for optional contexts.
+  /// @{
+  static Status CheckFor(const ExecContext* ctx) {
+    return ctx == nullptr ? Status::OK() : ctx->Check();
+  }
+  static Status ChargeFor(const ExecContext* ctx, size_t bytes) {
+    return ctx == nullptr ? Status::OK() : ctx->ChargeMemory(bytes);
+  }
+  static void ReleaseFor(const ExecContext* ctx, size_t bytes) {
+    if (ctx != nullptr) ctx->ReleaseMemory(bytes);
+  }
+  /// @}
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};  // steady-clock epoch ns
+  std::atomic<size_t> budget_bytes_{0};            // 0 = unlimited
+  mutable std::atomic<size_t> charged_bytes_{0};
+};
+
+}  // namespace featlib

@@ -1,0 +1,131 @@
+#include "common/fault_injection.h"
+
+#ifdef FEATLIB_FAULT_INJECTION
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace featlib {
+namespace {
+
+/// SplitMix64 finalizer: a cheap, well-mixed pure hash. The fault decision
+/// for (seed, site, call k) depends on nothing else, so a seed reproduces
+/// the same fault pattern wherever the per-site call order is deterministic.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(const char* site) {
+  // FNV-1a over the site name.
+  uint64_t h = 1469598103934665603ull;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<uint8_t>(*p)) * 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();  // never destroyed
+  return *injector;
+}
+
+void FaultInjector::EnableRandom(uint64_t seed, double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  random_mode_ = true;
+  seed_ = seed;
+  const double p = probability < 0.0 ? 0.0 : probability > 1.0 ? 1.0
+                                                               : probability;
+  // Map p onto [0, 2^64): compare the mixed hash against p * 2^64.
+  fail_threshold_ = p >= 1.0
+                        ? UINT64_MAX
+                        : static_cast<uint64_t>(std::ldexp(p, 64));
+  armings_.clear();
+  calls_.clear();
+  faults_.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::ArmSite(const std::string& site, uint64_t nth,
+                            uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  random_mode_ = false;
+  armings_.push_back(Arming{site, nth, count, nullptr});
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::ArmHook(const std::string& site, uint64_t nth,
+                            std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  random_mode_ = false;
+  armings_.push_back(Arming{site, nth, 1, std::move(hook)});
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  random_mode_ = false;
+  armings_.clear();
+  calls_.clear();
+  faults_.store(0, std::memory_order_relaxed);
+  armed_.store(false, std::memory_order_release);
+}
+
+Status FaultInjector::MaybeFail(const char* site) {
+  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+  std::function<void()> hook;  // run outside the lock
+  uint64_t fail_index = 0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+    const uint64_t k = calls_[site]++;
+    if (random_mode_) {
+      const uint64_t h = Mix64(seed_ ^ Mix64(HashSite(site) ^ Mix64(k)));
+      fail = fail_threshold_ == UINT64_MAX || h < fail_threshold_;
+    } else {
+      for (const Arming& arming : armings_) {
+        if (arming.site != site) continue;
+        if (arming.hook != nullptr) {
+          if (k == arming.nth) hook = arming.hook;
+        } else if (k >= arming.nth && k - arming.nth < arming.count) {
+          fail = true;
+        }
+      }
+    }
+    if (fail) {
+      fail_index = k;
+      faults_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (hook) hook();
+  if (fail) {
+    return Status::Internal(
+        StrFormat("injected fault at %s #%llu", site,
+                  static_cast<unsigned long long>(fail_index)));
+  }
+  return Status::OK();
+}
+
+uint64_t FaultInjector::faults_injected() const {
+  return faults_.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::calls(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = calls_.find(site);
+  return it == calls_.end() ? 0 : it->second;
+}
+
+Status FaultPoint(const char* site) {
+  return FaultInjector::Global().MaybeFail(site);
+}
+
+}  // namespace featlib
+
+#endif  // FEATLIB_FAULT_INJECTION

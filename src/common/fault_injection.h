@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file fault_injection.h
+/// \brief Deterministic, seeded fault-injection harness for robustness tests.
+///
+/// Library code marks fallible operations with named *sites*
+/// (`FaultPoint("prepare.mask")`); a site returns OK in production and can be
+/// made to fail — deterministically — in tests and CI sweeps. Two arming
+/// modes:
+///
+///   - **Targeted** (ArmSite / ArmHook): fail (or run a hook, e.g.
+///     ExecContext::Cancel) at exactly the nth call of one site. The per-site
+///     call counters are deterministic in *count*, but which logical artifact
+///     observes call #n depends on scheduling when builds run on the
+///     ThreadPool — targeted tests therefore drive a serial planner.
+///   - **Random sweep** (EnableRandom): every site call fails with
+///     probability p, decided by a pure hash of (seed, site name, per-site
+///     call index). The same seed reproduces the same fault pattern on a
+///     serial run; CI sweeps across seeds assert every injected fault
+///     surfaces as a clean typed Status (scripts/ci.sh).
+///
+/// Compiled in via the FEATLIB_FAULT_INJECTION CMake option (default ON for
+/// this research build). When compiled out, FaultPoint/FaultHookPoint are
+/// empty inlines and the harness costs literally nothing; when compiled in
+/// but disarmed, a site costs one relaxed atomic load.
+///
+/// Thread-safety: sites are hit concurrently from pool workers; counters are
+/// mutex-guarded behind the atomic fast path. Arm*/Reset must not race with
+/// in-flight work (tests arm before dispatch, reset after join).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace featlib {
+
+#ifdef FEATLIB_FAULT_INJECTION
+
+class FaultInjector {
+ public:
+  /// Process-wide injector (test-only state; the library never arms it).
+  static FaultInjector& Global();
+
+  /// Random mode: each site call fails with `probability`, decided by
+  /// hash(seed, site, call index). Replaces any previous arming.
+  void EnableRandom(uint64_t seed, double probability);
+
+  /// Targeted mode: the `nth` call (0-based) of `site` fails; other sites
+  /// and calls pass. `count` consecutive calls fail starting at nth (so a
+  /// retry test can exhaust all attempts with count >= max_attempts).
+  void ArmSite(const std::string& site, uint64_t nth, uint64_t count = 1);
+
+  /// Targeted hook: runs `hook` at the `nth` call of `site` without failing
+  /// it (the mechanism for "cancel mid-stage" tests: the hook flips an
+  /// ExecContext). Coexists with ArmSite on a different site.
+  void ArmHook(const std::string& site, uint64_t nth,
+               std::function<void()> hook);
+
+  /// Disarms everything and zeroes counters and stats.
+  void Reset();
+
+  /// The instrumented check: OK unless the current arming says this call
+  /// fails, in which case a kInternal "injected fault at <site> #<k>"
+  /// Status is returned. Hot path when disarmed: one relaxed atomic load.
+  Status MaybeFail(const char* site);
+
+  /// Total faults injected since the last Reset.
+  uint64_t faults_injected() const;
+  /// Calls observed at `site` since the last Reset (0 if never hit).
+  uint64_t calls(const std::string& site) const;
+
+ private:
+  FaultInjector() = default;
+
+  /// One targeted arming: fail calls [nth, nth+count) of `site`, or run
+  /// `hook` at call nth when `hook` is set (hook armings never fail).
+  struct Arming {
+    std::string site;
+    uint64_t nth = 0;
+    uint64_t count = 1;
+    std::function<void()> hook;
+  };
+
+  /// True (disarmed fast path short-circuits before the mutex) iff any
+  /// arming is live.
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> faults_{0};
+
+  mutable std::mutex mu_;
+  bool random_mode_ = false;              // guarded by mu_
+  uint64_t seed_ = 0;                     // guarded by mu_
+  uint64_t fail_threshold_ = 0;           // p mapped onto [0, 2^64)
+  std::vector<Arming> armings_;           // guarded by mu_
+  std::unordered_map<std::string, uint64_t> calls_;  // per-site call counts
+};
+
+/// Returns OK or an injected failure for this named site.
+Status FaultPoint(const char* site);
+
+#else  // !FEATLIB_FAULT_INJECTION
+
+/// Compiled-out stub: the optimizer deletes the call entirely.
+inline Status FaultPoint(const char* /*site*/) { return Status::OK(); }
+
+#endif  // FEATLIB_FAULT_INJECTION
+
+}  // namespace featlib

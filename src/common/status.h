@@ -24,6 +24,9 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// \brief Returns the canonical lowercase name of a status code.
@@ -56,6 +59,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -48,13 +48,14 @@ Result<std::unique_ptr<FittedAugmenter>> FittedAugmenter::Create(
 }
 
 Result<Table> FittedAugmenter::TransformWith(const Table& batch,
-                                             ThreadPool* pool) const {
+                                             ThreadPool* pool,
+                                             const ExecContext* ctx) const {
   Table out = batch;
   size_t f = 0;
   for (const auto& per : sources_) {
     FEAT_ASSIGN_OR_RETURN(
         std::vector<std::vector<double>> columns,
-        ExecuteServingPlan(per->serving, batch, pool));
+        ExecuteServingPlan(per->serving, batch, pool, ctx));
     for (size_t i = 0; i < columns.size(); ++i, ++f) {
       const std::string name =
           UniquifyName(feature_names_[f],
@@ -65,44 +66,70 @@ Result<Table> FittedAugmenter::TransformWith(const Table& batch,
   return out;
 }
 
-Result<Table> FittedAugmenter::Transform(const Table& batch) const {
-  return TransformWith(batch, pool_);
+Result<Table> FittedAugmenter::Transform(const Table& batch,
+                                         const ExecContext* ctx) const {
+  return TransformWith(batch, pool_, ctx);
 }
 
-Result<std::vector<Table>> FittedAugmenter::TransformMany(
-    const std::vector<Table>& batches) const {
-  std::vector<Table> out(batches.size());
-  std::vector<Status> errors(batches.size());
+Result<std::vector<FittedAugmenter::BatchResult>>
+FittedAugmenter::TransformManyIsolated(const std::vector<Table>& batches,
+                                       const ExecContext* ctx) const {
+  std::vector<BatchResult> out(batches.size());
   // Across-batch fan-out with inline per-batch execution (ParallelFor does
   // not nest); each slot is written by exactly one task. With a single
   // batch (or no pool) the parallelism moves inside the batch instead.
   const bool fan_out_batches = pool_ != nullptr && batches.size() > 1;
   auto run_one = [&](size_t i) {
     auto transformed =
-        TransformWith(batches[i], fan_out_batches ? nullptr : pool_);
+        TransformWith(batches[i], fan_out_batches ? nullptr : pool_, ctx);
     if (transformed.ok()) {
-      out[i] = std::move(transformed).ValueOrDie();
+      out[i].table = std::move(transformed).ValueOrDie();
     } else {
-      errors[i] = transformed.status();
+      out[i].status = transformed.status();
     }
   };
   if (fan_out_batches) {
-    pool_->ParallelFor(batches.size(), run_one);
+    FEAT_RETURN_NOT_OK(pool_->ParallelFor(batches.size(), run_one, 0, ctx));
   } else {
-    for (size_t i = 0; i < batches.size(); ++i) run_one(i);
+    for (size_t i = 0; i < batches.size(); ++i) {
+      FEAT_RETURN_NOT_OK(ExecContext::CheckFor(ctx));
+      run_one(i);
+    }
   }
-  for (const Status& status : errors) FEAT_RETURN_NOT_OK(status);
+  // A tripped context inside a batch is batch-wide, not a per-slot defect:
+  // the slots it reached carry the same kCancelled/kDeadlineExceeded/
+  // kResourceExhausted status the caller asked for.
+  for (const BatchResult& r : out) {
+    if (!r.status.ok() && (r.status.code() == StatusCode::kCancelled ||
+                           r.status.code() == StatusCode::kDeadlineExceeded ||
+                           r.status.code() == StatusCode::kResourceExhausted)) {
+      return r.status;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Table>> FittedAugmenter::TransformMany(
+    const std::vector<Table>& batches, const ExecContext* ctx) const {
+  FEAT_ASSIGN_OR_RETURN(std::vector<BatchResult> results,
+                        TransformManyIsolated(batches, ctx));
+  std::vector<Table> out;
+  out.reserve(results.size());
+  for (BatchResult& r : results) {
+    FEAT_RETURN_NOT_OK(r.status);
+    out.push_back(std::move(r.table));
+  }
   return out;
 }
 
 Result<std::vector<std::vector<double>>> FittedAugmenter::ComputeFeatureColumns(
-    const Table& batch) const {
+    const Table& batch, const ExecContext* ctx) const {
   std::vector<std::vector<double>> out;
   out.reserve(feature_names_.size());
   for (const auto& per : sources_) {
     FEAT_ASSIGN_OR_RETURN(
         std::vector<std::vector<double>> columns,
-        ExecuteServingPlan(per->serving, batch, pool_));
+        ExecuteServingPlan(per->serving, batch, pool_, ctx));
     for (auto& column : columns) out.push_back(std::move(column));
   }
   return out;
@@ -110,11 +137,12 @@ Result<std::vector<std::vector<double>>> FittedAugmenter::ComputeFeatureColumns(
 
 Result<Dataset> FittedAugmenter::TransformToDataset(
     const Table& batch, const std::string& label_col,
-    const std::vector<std::string>& base_feature_cols, TaskKind task) const {
+    const std::vector<std::string>& base_feature_cols, TaskKind task,
+    const ExecContext* ctx) const {
   FEAT_ASSIGN_OR_RETURN(
       Dataset ds, Dataset::FromTable(batch, label_col, base_feature_cols, task));
   FEAT_ASSIGN_OR_RETURN(std::vector<std::vector<double>> columns,
-                        ComputeFeatureColumns(batch));
+                        ComputeFeatureColumns(batch, ctx));
   std::unordered_set<std::string> used(ds.feature_names.begin(),
                                        ds.feature_names.end());
   for (size_t i = 0; i < columns.size(); ++i) {
@@ -156,6 +184,7 @@ Result<std::unique_ptr<FittedAugmenter>> MakeFittedAugmenter(
   diag.generation_model_evals = plan.generation_model_evals;
   diag.proxy_cache_hits = plan.proxy_cache_hits;
   diag.model_cache_hits = plan.model_cache_hits;
+  diag.failed_candidates = std::move(plan.failed_candidates);
   std::vector<FittedAugmenter::Source> sources;
   sources.push_back(std::move(source));
   return FittedAugmenter::Create(std::move(sources), diag);

@@ -60,6 +60,10 @@ struct FitDiagnostics {
   size_t generation_model_evals = 0;
   size_t proxy_cache_hits = 0;
   size_t model_cache_hits = 0;
+  /// Candidates the search skipped via partial-failure isolation (content
+  /// key + Status). Carried from AugmentationPlan::failed_candidates so
+  /// serving-side monitoring can see the plan was fitted around failures.
+  std::vector<SearchSession::FailedCandidate> failed_candidates;
 };
 
 /// \brief Long-lived serving handle for a fitted augmentation plan.
@@ -91,25 +95,47 @@ class FittedAugmenter {
 
   /// Appends the plan's feature columns to `batch` (any table carrying the
   /// join-key columns). Names colliding with existing batch columns are
-  /// deterministically deduplicated, never an error. Thread-safe.
-  Result<Table> Transform(const Table& batch) const;
+  /// deterministically deduplicated, never an error. Thread-safe. `ctx`
+  /// (optional, not owned) imposes cooperative deadline/cancellation/budget
+  /// limits, checked at chunk boundaries of the kernel fan-out.
+  Result<Table> Transform(const Table& batch,
+                          const ExecContext* ctx = nullptr) const;
 
   /// Transforms each batch independently; equivalent to calling Transform
   /// per batch (artifacts are shared across the whole run) but fans the
-  /// batches out over the thread pool. Thread-safe.
+  /// batches out over the thread pool. Fail-fast: the first batch error
+  /// fails the call (sibling batches still complete; see
+  /// TransformManyIsolated to keep their outputs). Thread-safe.
   Result<std::vector<Table>> TransformMany(
-      const std::vector<Table>& batches) const;
+      const std::vector<Table>& batches,
+      const ExecContext* ctx = nullptr) const;
+
+  /// One batch's outcome under partial-failure isolation: exactly one of
+  /// {table, !status.ok()} holds.
+  struct BatchResult {
+    Status status;
+    Table table;
+  };
+
+  /// Partial-failure-isolated TransformMany: each batch succeeds or fails
+  /// on its own, and surviving outputs are byte-identical to per-batch
+  /// Transform calls. The outer Result fails only batch-wide (a tripped
+  /// `ctx`). Thread-safe.
+  Result<std::vector<BatchResult>> TransformManyIsolated(
+      const std::vector<Table>& batches,
+      const ExecContext* ctx = nullptr) const;
 
   /// Builds the augmented Dataset (base features + plan features) aligned
   /// to `batch` rows, ready for downstream training. Thread-safe.
   Result<Dataset> TransformToDataset(
       const Table& batch, const std::string& label_col,
-      const std::vector<std::string>& base_feature_cols, TaskKind task) const;
+      const std::vector<std::string>& base_feature_cols, TaskKind task,
+      const ExecContext* ctx = nullptr) const;
 
   /// Raw feature columns aligned to `batch`, in feature_names() order
   /// (benches and tests compare these byte-wise). Thread-safe.
   Result<std::vector<std::vector<double>>> ComputeFeatureColumns(
-      const Table& batch) const;
+      const Table& batch, const ExecContext* ctx = nullptr) const;
 
   /// Qualified, plan-level-deduplicated feature names, one per query across
   /// all sources (the names Transform appends, pre batch-collision dedup).
@@ -140,7 +166,8 @@ class FittedAugmenter {
 
   /// Transform with an explicit pool (nullptr inside TransformMany's
   /// fan-out, where ParallelFor must not nest).
-  Result<Table> TransformWith(const Table& batch, ThreadPool* pool) const;
+  Result<Table> TransformWith(const Table& batch, ThreadPool* pool,
+                              const ExecContext* ctx) const;
 
   std::vector<std::unique_ptr<PerSource>> sources_;
   std::vector<std::string> feature_names_;

@@ -21,6 +21,7 @@ Result<AugmentationPlan> FeatAug::Fit() {
       problem_.relevant, problem_.task, eval_options);
   if (!evaluator_result.ok()) return evaluator_result.status();
   evaluator_.emplace(std::move(evaluator_result).ValueOrDie());
+  evaluator_->set_exec_context(options_.exec_context);
 
   AugmentationPlan plan;
   QueryTemplate base;
@@ -93,6 +94,7 @@ Result<AugmentationPlan> FeatAug::Fit() {
       qti_c.proxy_cache_hits + warm_c.proxy_cache_hits + gen_c.proxy_cache_hits;
   plan.model_cache_hits =
       qti_c.model_cache_hits + warm_c.model_cache_hits + gen_c.model_cache_hits;
+  plan.failed_candidates = session.failed_candidates();
   return plan;
 }
 

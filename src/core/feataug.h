@@ -34,6 +34,11 @@ struct FeatAugOptions {
   TemplateIdOptions qti;
   EvaluatorOptions evaluator;
   uint64_t seed = 42;
+  /// Cooperative execution limits for the whole Fit (deadline, cancellation,
+  /// memory budget), checked at chunk/stage boundaries of every evaluation.
+  /// Not owned; must outlive the Fit. A tripped context surfaces as
+  /// kCancelled / kDeadlineExceeded / kResourceExhausted from Fit().
+  const ExecContext* exec_context = nullptr;
 };
 
 /// \brief The fitted augmentation plan: an ordered list of queries plus
@@ -59,6 +64,11 @@ struct AugmentationPlan {
   /// (repeat proposals within and across templates).
   size_t proxy_cache_hits = 0;
   size_t model_cache_hits = 0;
+  /// Candidates skipped by partial-failure isolation during the search
+  /// (content key + the Status that sank each). Skipped candidates score
+  /// worst-possible and never enter `queries`; a nonempty list is the signal
+  /// that the plan was fitted around per-candidate failures.
+  std::vector<SearchSession::FailedCandidate> failed_candidates;
 };
 
 /// \brief Problem inputs: tables, label, task and template ingredients.

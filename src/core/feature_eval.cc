@@ -89,7 +89,7 @@ Result<const std::vector<double>*> FeatureEvaluator::Feature(const AggQuery& q) 
   }
   FEAT_ASSIGN_OR_RETURN(
       std::vector<double> values,
-      planner_.ComputeFeatureColumn(q, training_, relevant_));
+      planner_.ComputeFeatureColumn(q, training_, relevant_, ctx_));
   return InsertFeature(std::move(key), std::move(values));
 }
 
@@ -113,7 +113,7 @@ Result<std::vector<const std::vector<double>*>> FeatureEvaluator::Features(
   if (!missing.empty()) {
     FEAT_ASSIGN_OR_RETURN(
         std::vector<std::vector<double>> columns,
-        planner_.EvaluateMany(missing, training_, relevant_));
+        planner_.EvaluateMany(missing, training_, relevant_, ctx_));
     for (size_t i = 0; i < missing.size(); ++i) {
       InsertFeature(std::move(missing_keys[i]), std::move(columns[i]));
     }
@@ -122,6 +122,58 @@ Result<std::vector<const std::vector<double>*>> FeatureEvaluator::Features(
   out.reserve(queries.size());
   for (const AggQuery& q : queries) {
     out.push_back(&feature_cache_.at(q.CacheKey()).values);
+  }
+  return out;
+}
+
+Result<std::vector<FeatureEvaluator::FeatureSlot>>
+FeatureEvaluator::FeaturesIsolated(const std::vector<AggQuery>& queries) {
+  ++feature_epoch_;
+  // Same dedup-against-cache pass as Features(); cache hits resolve
+  // immediately, each distinct miss occupies one planner slot.
+  std::vector<AggQuery> missing;
+  std::vector<std::string> missing_keys;
+  std::unordered_set<std::string> missing_seen;
+  for (const AggQuery& q : queries) {
+    std::string key = q.CacheKey();
+    auto it = feature_cache_.find(key);
+    if (it != feature_cache_.end()) {
+      it->second.used_epoch = feature_epoch_;  // pin for this batch
+      continue;
+    }
+    if (!missing_seen.insert(key).second) continue;
+    missing.push_back(q);
+    missing_keys.push_back(std::move(key));
+  }
+  // key -> per-candidate outcome of the planner batch. Failed candidates
+  // stay out of the cache so a later call re-attempts them from scratch.
+  std::unordered_map<std::string, Status> batch_errors;
+  if (!missing.empty()) {
+    FEAT_ASSIGN_OR_RETURN(
+        std::vector<QueryPlanner::CandidateResult> results,
+        planner_.EvaluateManyIsolated(missing, training_, relevant_, ctx_));
+    for (size_t i = 0; i < missing.size(); ++i) {
+      if (results[i].status.ok()) {
+        InsertFeature(std::move(missing_keys[i]),
+                      std::move(results[i].values));
+      } else {
+        batch_errors.emplace(std::move(missing_keys[i]),
+                             std::move(results[i].status));
+      }
+    }
+  }
+  std::vector<FeatureSlot> out(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const std::string key = queries[i].CacheKey();
+    auto hit = feature_cache_.find(key);
+    if (hit != feature_cache_.end()) {
+      out[i].values = &hit->second.values;
+    } else {
+      auto err = batch_errors.find(key);
+      FEAT_CHECK(err != batch_errors.end(),
+                 "isolated batch slot neither cached nor failed");
+      out[i].status = err->second;
+    }
   }
   return out;
 }

@@ -61,6 +61,22 @@ class FeatureEvaluator {
   Result<std::vector<const std::vector<double>*>> Features(
       const std::vector<AggQuery>& queries);
 
+  /// One slot of a partial-failure-isolated batch: exactly one of
+  /// {values, !status.ok()} holds.
+  struct FeatureSlot {
+    Status status;
+    const std::vector<double>* values = nullptr;  // cache-owned when ok
+  };
+
+  /// Partial-failure-isolated variant of Features(): one failing candidate
+  /// (bad spec, injected build/kernel fault) fails only its own slot, and the
+  /// surviving columns are byte-identical to a fresh Features() of the
+  /// survivors. Failed candidates are never cached, so a later retry
+  /// re-evaluates them. The outer Result fails only for batch-wide errors —
+  /// a tripped ExecContext or exhausted memory budget.
+  Result<std::vector<FeatureSlot>> FeaturesIsolated(
+      const std::vector<AggQuery>& queries);
+
   /// Proxy score of the single feature on the training split; higher is
   /// better for every proxy kind.
   Result<double> ProxyScore(const AggQuery& q, ProxyKind proxy);
@@ -127,6 +143,12 @@ class FeatureEvaluator {
   /// compile-memo hit counters, store counters).
   const QueryPlanner& planner() const { return planner_; }
 
+  /// Cooperative execution limits (deadline / cancellation / memory budget),
+  /// checked at chunk and stage boundaries of every evaluation below this
+  /// point. Not owned; must outlive the evaluator or be reset to nullptr.
+  void set_exec_context(const ExecContext* ctx) { ctx_ = ctx; }
+  const ExecContext* exec_context() const { return ctx_; }
+
  private:
   FeatureEvaluator() = default;
 
@@ -165,6 +187,7 @@ class FeatureEvaluator {
   /// group index and per-predicate selection masks across all Feature()
   /// calls, and its prepare/fan-out phases run on the global thread pool.
   QueryPlanner planner_;
+  const ExecContext* ctx_ = nullptr;
   std::unordered_map<std::string, FeatureEntry> feature_cache_;
   uint64_t feature_epoch_ = 0;
   size_t feature_cache_bytes_ = 0;

@@ -1,6 +1,7 @@
 #include "core/generator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -70,6 +71,7 @@ Result<GenerationResult> SqlQueryGenerator::Run(const QueryTemplate& tmpl) {
       session_->stage(SearchStage::kWarmup);
   const SearchSession::StageCounters generation_before =
       session_->stage(SearchStage::kGeneration);
+  const size_t failures_before = session_->failed_candidates().size();
   const int batch = std::max(1, options_.suggest_batch_size);
 
   // Best (vector, model loss) observations that seed and fill round two.
@@ -88,7 +90,11 @@ Result<GenerationResult> SqlQueryGenerator::Run(const QueryTemplate& tmpl) {
     FEAT_ASSIGN_OR_RETURN(std::vector<SearchSession::ModelOutcome> outcomes,
                           session_->ModelScores(pool, &pool_keys));
     for (size_t i = 0; i < pool.size(); ++i) {
-      if (evaluated.find(pool_keys[i]) == evaluated.end()) {
+      // Skipped-and-recorded members carry +inf loss: the optimizers may
+      // observe that (it just repels the surrogate), but a failed candidate
+      // must never enter the reportable result set.
+      if (std::isfinite(outcomes[i].loss) &&
+          evaluated.find(pool_keys[i]) == evaluated.end()) {
         evaluated.emplace(pool_keys[i],
                           GeneratedQuery{pool[i], outcomes[i].metric,
                                          outcomes[i].loss});
@@ -172,7 +178,8 @@ Result<GenerationResult> SqlQueryGenerator::Run(const QueryTemplate& tmpl) {
                               session_->ModelScores(pool, &pool_keys));
         std::vector<double> losses(pool.size());
         for (size_t i = 0; i < pool.size(); ++i) {
-          if (evaluated.find(pool_keys[i]) == evaluated.end()) {
+          if (std::isfinite(outcomes[i].loss) &&
+              evaluated.find(pool_keys[i]) == evaluated.end()) {
             evaluated.emplace(pool_keys[i],
                               GeneratedQuery{pool[i], outcomes[i].metric,
                                              outcomes[i].loss});
@@ -227,6 +234,8 @@ Result<GenerationResult> SqlQueryGenerator::Run(const QueryTemplate& tmpl) {
                              warmup_before.model_cache_hits) +
                             (generation_after.model_cache_hits -
                              generation_before.model_cache_hits);
+  result.failed_candidates =
+      session_->failed_candidates().size() - failures_before;
   return result;
 }
 

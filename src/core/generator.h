@@ -96,6 +96,11 @@ struct GenerationResult {
   /// Proposals served from the SearchSession score caches.
   size_t proxy_cache_hits = 0;
   size_t model_cache_hits = 0;
+  /// Distinct candidates skipped-and-recorded (per-candidate build or
+  /// scoring failures) during this run. Skipped candidates score -inf /
+  /// +inf loss in the search and never appear in `queries`; the full list
+  /// with Statuses is on the SearchSession (failed_candidates()).
+  size_t failed_candidates = 0;
 };
 
 /// \brief Generates effective predicate-aware SQL queries for one template.

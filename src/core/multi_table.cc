@@ -269,6 +269,9 @@ Result<std::unique_ptr<FittedAugmenter>> MultiTableFeatAug::MakeFitted(
     diag.generation_model_evals += tp.plan.generation_model_evals;
     diag.proxy_cache_hits += tp.plan.proxy_cache_hits;
     diag.model_cache_hits += tp.plan.model_cache_hits;
+    diag.failed_candidates.insert(diag.failed_candidates.end(),
+                                  tp.plan.failed_candidates.begin(),
+                                  tp.plan.failed_candidates.end());
   }
   return FittedAugmenter::Create(std::move(sources), diag);
 }

@@ -1,10 +1,13 @@
 #include "core/plan_io.h"
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "query/sql_parser.h"
 
@@ -74,6 +77,13 @@ std::string SerializeAugmentationPlan(const AugmentationPlan& plan,
 }
 
 Result<AugmentationPlan> ParseAugmentationPlan(const std::string& text) {
+  FEAT_RETURN_NOT_OK(FaultPoint("plan_io.parse"));
+  // Reject binary junk before tokenizing: a serialized plan is text, so an
+  // embedded NUL can only mean a corrupt or truncated-and-rewritten file.
+  if (text.find('\0') != std::string::npos) {
+    return Status::InvalidArgument(
+        "plan script contains NUL bytes (corrupt or binary file)");
+  }
   FEAT_ASSIGN_OR_RETURN(std::vector<ParsedAggQuery> parsed,
                         ParseAggQueryScript(text));
   const std::vector<StatementMeta> meta = CollectMetadata(text);
@@ -116,18 +126,30 @@ Result<AugmentationPlan> ParseAugmentationPlan(const std::string& text,
 Status WriteAugmentationPlan(const AugmentationPlan& plan,
                              const std::string& relation, const Table& schema_of,
                              const std::string& path) {
+  FEAT_RETURN_NOT_OK(FaultPoint("plan_io.write"));
   std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::InvalidArgument("cannot open for writing: " + path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
   out << SerializeAugmentationPlan(plan, relation, schema_of);
-  if (!out) return Status::InvalidArgument("write failed: " + path);
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
 }
 
 Result<AugmentationPlan> ReadAugmentationPlan(const std::string& path) {
+  FEAT_RETURN_NOT_OK(FaultPoint("plan_io.read"));
+  // ifstream happily "opens" a directory on Linux and then reads as if the
+  // file were empty — catch it before that turns into a silently-empty plan.
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    return Status::IOError("path is a directory: " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open: " + path);
   std::stringstream buf;
   buf << in.rdbuf();
+  // rdbuf() swallows stream errors; bad() distinguishes "short file" from
+  // "the read itself failed" (I/O error, directory, ...).
+  if (in.bad() || buf.bad()) return Status::IOError("read failed: " + path);
   return ParseAugmentationPlan(buf.str());
 }
 

@@ -1,5 +1,7 @@
 #include "core/search_session.h"
 
+#include <limits>
+
 namespace featlib {
 
 namespace {
@@ -11,7 +13,22 @@ std::string ProxyKey(ProxyKind proxy, const std::string& content_key) {
   return out;
 }
 
+/// A tripped ExecContext is a request to stop the whole batch, never a
+/// per-candidate defect to skip around.
+bool IsBatchFatal(const Status& s) {
+  return s.code() == StatusCode::kCancelled ||
+         s.code() == StatusCode::kDeadlineExceeded ||
+         s.code() == StatusCode::kResourceExhausted;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 }  // namespace
+
+void SearchSession::RecordFailure(std::string key, const Status& status) {
+  if (!failed_keys_.insert(key).second) return;
+  failures_.push_back(FailedCandidate{std::move(key), status});
+}
 
 const char* SearchStageToString(SearchStage stage) {
   switch (stage) {
@@ -52,24 +69,41 @@ Result<std::vector<double>> SearchSession::ProxyScores(
   }
   if (missing.empty()) return out;
 
-  // One EvaluateMany pass materializes every uncached member's feature
-  // column; the per-member ProxyScore calls below then hit the feature
-  // cache and only pay the statistic.
+  // One EvaluateManyIsolated pass materializes every uncached member's
+  // feature column; the per-member ProxyScore calls below then hit the
+  // feature cache and only pay the statistic. A member whose build failed
+  // scores -inf and is recorded, without voiding the rest of the pool.
   std::vector<AggQuery> uncached;
   uncached.reserve(missing.size());
   for (size_t i : missing) uncached.push_back(pool[i]);
   const size_t proxy_before = evaluator_->num_proxy_evals();
-  FEAT_RETURN_NOT_OK(evaluator_->Features(uncached).status());
-  for (size_t i : missing) {
+  FEAT_ASSIGN_OR_RETURN(std::vector<FeatureEvaluator::FeatureSlot> slots,
+                        evaluator_->FeaturesIsolated(uncached));
+  for (size_t j = 0; j < missing.size(); ++j) {
+    const size_t i = missing[j];
+    // Deadlines stay honored even when every feature is already cached and
+    // the planner (with its own checks) is never entered.
+    FEAT_RETURN_NOT_OK(ExecContext::CheckFor(evaluator_->exec_context()));
     auto it = proxy_cache_.find(keys[i]);
     if (it != proxy_cache_.end()) {  // duplicate earlier in this pool
       out[i] = it->second;
       ++counters.proxy_cache_hits;
       continue;
     }
-    FEAT_ASSIGN_OR_RETURN(double score, evaluator_->ProxyScore(pool[i], proxy));
-    proxy_cache_.emplace(keys[i], score);
-    out[i] = score;
+    if (!slots[j].status.ok()) {
+      RecordFailure(pool[i].CacheKey(), slots[j].status);
+      out[i] = -kInf;
+      continue;
+    }
+    Result<double> score = evaluator_->ProxyScore(pool[i], proxy);
+    if (!score.ok()) {
+      if (IsBatchFatal(score.status())) return score.status();
+      RecordFailure(pool[i].CacheKey(), score.status());
+      out[i] = -kInf;
+      continue;
+    }
+    proxy_cache_.emplace(keys[i], score.value());
+    out[i] = score.value();
   }
   counters.proxy_evals += evaluator_->num_proxy_evals() - proxy_before;
   return out;
@@ -98,16 +132,36 @@ Result<std::vector<SearchSession::ModelOutcome>> SearchSession::ModelScores(
   uncached.reserve(missing.size());
   for (size_t i : missing) uncached.push_back(pool[i]);
   const size_t model_before = evaluator_->num_model_evals();
-  FEAT_RETURN_NOT_OK(evaluator_->Features(uncached).status());
-  for (size_t i : missing) {
+  FEAT_ASSIGN_OR_RETURN(std::vector<FeatureEvaluator::FeatureSlot> slots,
+                        evaluator_->FeaturesIsolated(uncached));
+  // Skipped members get {NaN metric, +inf loss}: +inf keeps loss-ascending
+  // sorts a strict weak order (NaN there would corrupt std::sort).
+  const ModelOutcome failed{std::numeric_limits<double>::quiet_NaN(), kInf};
+  for (size_t j = 0; j < missing.size(); ++j) {
+    const size_t i = missing[j];
+    // One check per model training: trainings dominate a warm-cache round,
+    // so this is the boundary that keeps deadlines responsive.
+    FEAT_RETURN_NOT_OK(ExecContext::CheckFor(evaluator_->exec_context()));
     auto it = model_cache_.find(keys[i]);
     if (it != model_cache_.end()) {  // duplicate earlier in this pool
       out[i] = it->second;
       ++counters.model_cache_hits;
       continue;
     }
-    FEAT_ASSIGN_OR_RETURN(double metric, evaluator_->ModelScoreSingle(pool[i]));
-    const ModelOutcome outcome{metric, evaluator_->ScoreToLoss(metric)};
+    if (!slots[j].status.ok()) {
+      RecordFailure(keys[i], slots[j].status);
+      out[i] = failed;
+      continue;
+    }
+    Result<double> metric = evaluator_->ModelScoreSingle(pool[i]);
+    if (!metric.ok()) {
+      if (IsBatchFatal(metric.status())) return metric.status();
+      RecordFailure(keys[i], metric.status());
+      out[i] = failed;
+      continue;
+    }
+    const ModelOutcome outcome{metric.value(),
+                               evaluator_->ScoreToLoss(metric.value())};
     model_cache_.emplace(keys[i], outcome);
     out[i] = outcome;
   }
@@ -119,12 +173,26 @@ Result<std::vector<double>> SearchSession::FidelityLosses(
     const std::vector<AggQuery>& pool, double fidelity) {
   StageCounters& counters = current();
   const size_t model_before = evaluator_->num_model_evals();
-  FEAT_RETURN_NOT_OK(evaluator_->Features(pool).status());
+  FEAT_ASSIGN_OR_RETURN(std::vector<FeatureEvaluator::FeatureSlot> slots,
+                        evaluator_->FeaturesIsolated(pool));
   std::vector<double> out(pool.size());
   for (size_t i = 0; i < pool.size(); ++i) {
-    FEAT_ASSIGN_OR_RETURN(double metric,
-                          evaluator_->ModelScoreAtFidelity({pool[i]}, fidelity));
-    out[i] = evaluator_->ScoreToLoss(metric);
+    FEAT_RETURN_NOT_OK(ExecContext::CheckFor(evaluator_->exec_context()));
+    if (!slots[i].status.ok()) {
+      // +inf loss: never promoted by successive halving, never NaN in a
+      // loss-ascending sort.
+      RecordFailure(pool[i].CacheKey(), slots[i].status);
+      out[i] = kInf;
+      continue;
+    }
+    Result<double> metric = evaluator_->ModelScoreAtFidelity({pool[i]}, fidelity);
+    if (!metric.ok()) {
+      if (IsBatchFatal(metric.status())) return metric.status();
+      RecordFailure(pool[i].CacheKey(), metric.status());
+      out[i] = kInf;
+      continue;
+    }
+    out[i] = evaluator_->ScoreToLoss(metric.value());
   }
   counters.model_evals += evaluator_->num_model_evals() - model_before;
   return out;

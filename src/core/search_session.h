@@ -30,6 +30,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/feature_eval.h"
@@ -78,28 +79,54 @@ class SearchSession {
   };
 
   /// Proxy scores of a pool, in pool order. Uncached members are
-  /// materialized through one Features()/EvaluateMany pass, then scored;
-  /// results are cached by (proxy kind, query content key). Duplicates in
-  /// the pool are scored once. When `keys` is non-null it receives each
-  /// member's content key (CacheKey) in pool order — the session computes
-  /// them anyway, so callers deduplicating by key need not re-serialize.
+  /// materialized through one FeaturesIsolated()/EvaluateManyIsolated pass,
+  /// then scored; results are cached by (proxy kind, query content key).
+  /// Duplicates in the pool are scored once. When `keys` is non-null it
+  /// receives each member's content key (CacheKey) in pool order — the
+  /// session computes them anyway, so callers deduplicating by key need not
+  /// re-serialize.
+  ///
+  /// **Partial-failure isolation:** a member whose feature build or scoring
+  /// fails is skipped-and-recorded (see failed_candidates()) and scores
+  /// -infinity — strictly worse than any real proxy, and safe in the
+  /// optimizers' sorts (never NaN). Only batch-fatal statuses (a tripped
+  /// ExecContext: kCancelled / kDeadlineExceeded / kResourceExhausted) fail
+  /// the call. Failures are never cached; a later pool re-attempts them.
   Result<std::vector<double>> ProxyScores(const std::vector<AggQuery>& pool,
                                           ProxyKind proxy,
                                           std::vector<std::string>* keys = nullptr);
 
   /// Real-model outcomes of a pool, in pool order. Uncached members share
-  /// one Features() pass; each then pays exactly one model training, cached
-  /// by query content key (TrainAndScore is deterministic by seed). `keys`
-  /// as in ProxyScores.
+  /// one FeaturesIsolated() pass; each then pays exactly one model training,
+  /// cached by query content key (TrainAndScore is deterministic by seed).
+  /// `keys` as in ProxyScores. Failed members are skipped-and-recorded with
+  /// outcome {metric = NaN, loss = +infinity} — the loss convention keeps
+  /// loss-ascending sorts a strict weak order; batch-fatal statuses as in
+  /// ProxyScores.
   Result<std::vector<ModelOutcome>> ModelScores(
       const std::vector<AggQuery>& pool,
       std::vector<std::string>* keys = nullptr);
 
   /// Reduced-fidelity losses of a rung pool (Hyperband/BOHB), in pool
-  /// order. One Features() pass for the pool; per-member subsample
-  /// trainings are never cached (see file comment).
+  /// order. One FeaturesIsolated() pass for the pool; per-member subsample
+  /// trainings are never cached (see file comment). Failed members are
+  /// skipped-and-recorded with loss +infinity (never promoted by successive
+  /// halving); batch-fatal statuses as in ProxyScores.
   Result<std::vector<double>> FidelityLosses(const std::vector<AggQuery>& pool,
                                              double fidelity);
+
+  /// One candidate the session skipped instead of failing its batch:
+  /// content key (AggQuery::CacheKey) plus the Status that sank it.
+  struct FailedCandidate {
+    std::string key;
+    Status status;
+  };
+
+  /// Every distinct candidate (by content key) skipped-and-recorded so far,
+  /// in first-failure order. Flows into GenerationResult / FitDiagnostics.
+  const std::vector<FailedCandidate>& failed_candidates() const {
+    return failures_;
+  }
 
   FeatureEvaluator* evaluator() { return evaluator_; }
   const FeatureEvaluator* evaluator() const { return evaluator_; }
@@ -114,6 +141,9 @@ class SearchSession {
   static size_t StageIndex(SearchStage s) { return static_cast<size_t>(s); }
   StageCounters& current() { return counters_[StageIndex(stage_)]; }
 
+  /// Records a skipped candidate (deduplicated by content key).
+  void RecordFailure(std::string key, const Status& status);
+
   FeatureEvaluator* evaluator_;
   SearchStage stage_ = SearchStage::kOther;
   StageCounters counters_[4];
@@ -121,6 +151,8 @@ class SearchSession {
   std::unordered_map<std::string, double> proxy_cache_;
   /// query CacheKey -> (metric, loss).
   std::unordered_map<std::string, ModelOutcome> model_cache_;
+  std::vector<FailedCandidate> failures_;
+  std::unordered_set<std::string> failed_keys_;  // dedups failures_
 };
 
 }  // namespace featlib

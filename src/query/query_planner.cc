@@ -1,11 +1,14 @@
 #include "query/query_planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -16,6 +19,35 @@ namespace featlib {
 namespace {
 
 constexpr uint32_t kNoGroup = GroupIndex::kNoGroup;
+
+// Transient failure classes worth re-attempting under the RetryPolicy.
+// kInvalidArgument/kNotFound describe the query shape and can never heal.
+bool IsRetryable(const Status& s) {
+  return s.code() == StatusCode::kInternal || s.code() == StatusCode::kIOError;
+}
+
+// Runs one artifact build (`body` returns its Status, storing the built
+// value on success) behind a named fault-injection site, re-attempting
+// transient failures per `retry`. `*retries` counts the re-attempts taken;
+// it lives in the request struct (workers touch disjoint requests), and the
+// coordinator sums them into PlanStats after the stages join.
+template <typename Body>
+Status BuildWithRetry(const char* site, const QueryPlanner::RetryPolicy& retry,
+                      int* retries, const Body& body) {
+  Status last;
+  for (int attempt = 0;; ++attempt) {
+    Status s = FaultPoint(site);
+    if (s.ok()) s = body();
+    if (s.ok()) return s;
+    last = std::move(s);
+    if (!IsRetryable(last) || attempt + 1 >= retry.max_attempts) return last;
+    ++*retries;
+    if (retry.backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry.backoff_ms << attempt));
+    }
+  }
+}
 
 // Aggregates whose one-pass streaming kernel accumulates directly into
 // per-group arrays; the rest materialize per-group value vectors.
@@ -80,6 +112,7 @@ struct GroupReq {
   Status error;
   std::optional<std::vector<uint32_t>> built_map;
   Status map_error;
+  int retries = 0;
 };
 
 struct MaskReq {  // one non-trivial WHERE predicate
@@ -88,6 +121,7 @@ struct MaskReq {  // one non-trivial WHERE predicate
   const Bitset* bits = nullptr;  // cached or published
   std::optional<Bitset> built;
   Status error;
+  int retries = 0;
 };
 
 struct ComboReq {  // conjunction of >= 2 predicates (depends on MaskReqs)
@@ -95,6 +129,8 @@ struct ComboReq {  // conjunction of >= 2 predicates (depends on MaskReqs)
   std::vector<size_t> parts;  // MaskReq indices; empty when cached
   const Bitset* bits = nullptr;
   std::optional<Bitset> built;
+  Status error;
+  int retries = 0;
 };
 
 struct ViewReq {  // numeric value view of one agg attribute
@@ -103,6 +139,8 @@ struct ViewReq {  // numeric value view of one agg attribute
   size_t n_rows = 0;
   const std::vector<double>* view = nullptr;
   std::optional<std::vector<double>> built;
+  Status error;
+  int retries = 0;
 };
 
 struct MatReq {  // bucket materialization (depends on group + mask + view)
@@ -113,6 +151,8 @@ struct MatReq {  // bucket materialization (depends on group + mask + view)
   size_t view = 0;
   const MaterializedValues* values = nullptr;
   std::optional<MaterializedValues> built;
+  Status error;
+  int retries = 0;
 };
 
 /// A candidate resolved to artifact-request indices (-1 = not needed).
@@ -160,7 +200,16 @@ Result<const QueryPlanner::CompiledShape*> QueryPlanner::ResolveShape(
 
 Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     const std::vector<AggQuery>& queries, const Table* training,
-    const Table& relevant, bool for_grouped_result) {
+    const Table& relevant, bool for_grouped_result, const ExecContext* ctx,
+    std::vector<Status>* slot_errors) {
+  // Isolated mode: per-candidate failures land in slot_errors and the call
+  // only fails batch-wide (tripped ctx / exhausted budget). Fail-fast mode
+  // (slot_errors == nullptr): the first failure fails the call.
+  const bool isolated = slot_errors != nullptr;
+  FEAT_CHECK(!isolated || slot_errors->size() == queries.size(),
+             "slot_errors must be pre-sized to the query batch");
+  FEAT_RETURN_NOT_OK(ExecContext::CheckFor(ctx));
+
   plan_stats_ = PlanStats{};
   plan_stats_.candidates = queries.size();
 
@@ -178,7 +227,17 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
   // them for the whole batch). ----
   std::vector<const CompiledShape*> shapes(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    FEAT_ASSIGN_OR_RETURN(shapes[i], ResolveShape(queries[i], relevant));
+    auto shape = ResolveShape(queries[i], relevant);
+    if (shape.ok()) {
+      shapes[i] = shape.value();
+    } else if (isolated) {
+      // An invalid candidate is its own failure; the rest of the batch
+      // plans as if it were never proposed.
+      (*slot_errors)[i] = shape.status();
+      shapes[i] = nullptr;
+    } else {
+      return shape.status();
+    }
   }
 
   // Buckets shared by several candidates pay one materialization and serve
@@ -187,7 +246,7 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
   std::unordered_map<std::string, int> bucket_counts;
   if (!for_grouped_result) {
     for (const CompiledShape* shape : shapes) {
-      ++bucket_counts[shape->bucket_key];
+      if (shape != nullptr) ++bucket_counts[shape->bucket_key];
     }
   }
 
@@ -231,7 +290,15 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
       req.attr = attr;
       req.view = store_.FindView(attr);
       if (req.view == nullptr) {
-        FEAT_ASSIGN_OR_RETURN(req.col, relevant.GetColumn(attr));
+        auto col = relevant.GetColumn(attr);
+        if (!col.ok()) {
+          // Un-intern so a later candidate naming the same missing column
+          // resolves the same error instead of reading a dangling index
+          // (matters in isolated mode, where planning continues).
+          view_idx.erase(attr);
+          return col.status();
+        }
+        req.col = col.value();
         req.n_rows = relevant.num_rows();
       }
       views.push_back(std::move(req));
@@ -241,6 +308,7 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
 
   std::vector<CandidateSpec> specs(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
+    if (shapes[i] == nullptr) continue;  // isolated compile failure
     const AggQuery& q = queries[i];
     const CompiledShape& shape = *shapes[i];
     CandidateSpec& spec = specs[i];
@@ -292,7 +360,13 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     // counts off the bitset and group ids alone, reading no value view.
     if (q.agg_attr.empty()) continue;
 
-    FEAT_ASSIGN_OR_RETURN(size_t view, intern_view(q.agg_attr));
+    auto view_slot = intern_view(q.agg_attr);
+    if (!view_slot.ok()) {
+      if (!isolated) return view_slot.status();
+      (*slot_errors)[i] = view_slot.status();
+      continue;
+    }
+    const size_t view = view_slot.value();
     spec.view = static_cast<int>(view);
     const bool shared_bucket =
         !for_grouped_result && bucket_counts[shape.bucket_key] > 1;
@@ -353,56 +427,92 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
   plan_stats_.stages_run =
       (n_a > 0 ? 1 : 0) + (n_b > 0 ? 1 : 0) + (n_c > 0 ? 1 : 0);
 
+  // ---- Memory budget: charge conservative size estimates for every build
+  // this batch schedules, before any build allocates. The batch either fits
+  // the budget or fails kResourceExhausted up front — a half-built batch
+  // never trips mid-publish. ----
+  if (ctx != nullptr) {
+    const size_t n_rows = relevant.num_rows();
+    size_t planned_bytes = 0;
+    planned_bytes += a_groups.size() * n_rows * sizeof(uint32_t);
+    planned_bytes += (a_masks.size() + b_combos.size()) * (n_rows / 8 + 16);
+    planned_bytes += a_views.size() * n_rows * sizeof(double);
+    if (training != nullptr) {
+      planned_bytes += b_maps.size() * training->num_rows() * sizeof(uint32_t);
+    }
+    planned_bytes +=
+        c_mats.size() * n_rows * (sizeof(double) + sizeof(uint32_t));
+    FEAT_RETURN_NOT_OK(FaultPoint("planner.budget"));
+    FEAT_RETURN_NOT_OK(ctx->ChargeMemory(planned_bytes));
+  }
+
   // ---- Prepare: build-then-publish, stage by stage. Builds run on the
   // pool into per-request slots; each publish commits them into the store
   // in request order on this thread (deterministic at every thread count).
-  // `stage_error` is written only inside publish steps and read by later
-  // stages' tasks — ordered by the ParallelFor barrier between stages. ----
+  // `stage_error` drives the fail-fast contract: it is written only inside
+  // publish steps and read by later stages' tasks — ordered by the
+  // ParallelFor barrier between stages. In isolated mode it stays OK and
+  // failures travel per-request: a build whose dependency failed inherits
+  // that Status, and only fully-built artifacts are ever published.
   Status stage_error;
   auto note_error = [&stage_error](const Status& s) {
     if (stage_error.ok() && !s.ok()) stage_error = s;
+  };
+  // A dependency hole with an OK Status only arises from abandoned builds,
+  // which never reach a dependent stage (the stage pipeline returns first);
+  // the fallback message is belt and braces.
+  auto inherit = [](const Status& dep, const char* what) -> Status {
+    return dep.ok() ? Status::Internal(std::string(what) + " unavailable")
+                    : dep;
   };
 
   auto run_stage_a = [&](size_t t) {
     if (t < a_groups.size()) {
       GroupReq& req = groups[a_groups[t]];
-      auto built = GroupIndex::Build(relevant, *req.group_keys);
-      if (built.ok()) {
-        req.built.emplace(std::move(built).ValueOrDie());
-      } else {
-        req.error = built.status();
-      }
+      req.error = BuildWithRetry(
+          "prepare.group", retry_, &req.retries, [&]() -> Status {
+            auto built = GroupIndex::Build(relevant, *req.group_keys);
+            if (!built.ok()) return built.status();
+            req.built.emplace(std::move(built).ValueOrDie());
+            return Status::OK();
+          });
       return;
     }
     t -= a_groups.size();
     if (t < a_masks.size()) {
       MaskReq& req = masks[a_masks[t]];
-      auto filter = CompiledFilter::Compile({*req.pred}, relevant);
-      if (!filter.ok()) {
-        req.error = filter.status();
-        return;
-      }
-      Bitset bits(relevant.num_rows());
-      for (size_t row = 0; row < relevant.num_rows(); ++row) {
-        if (filter.value().Matches(row)) bits.Set(row);
-      }
-      req.built.emplace(std::move(bits));
+      req.error = BuildWithRetry(
+          "prepare.mask", retry_, &req.retries, [&]() -> Status {
+            auto filter = CompiledFilter::Compile({*req.pred}, relevant);
+            if (!filter.ok()) return filter.status();
+            Bitset bits(relevant.num_rows());
+            for (size_t row = 0; row < relevant.num_rows(); ++row) {
+              if (filter.value().Matches(row)) bits.Set(row);
+            }
+            req.built.emplace(std::move(bits));
+            return Status::OK();
+          });
       return;
     }
     ViewReq& req = views[a_views[t - a_masks.size()]];
-    // NaN encodes null: stored doubles are never NaN (AppendDouble maps NaN
-    // to null) and int/string numeric views cannot produce one.
-    std::vector<double> view(req.n_rows);
-    for (size_t row = 0; row < req.n_rows; ++row) {
-      view[row] = req.col->AsDouble(row);
-    }
-    req.built.emplace(std::move(view));
+    req.error = BuildWithRetry(
+        "prepare.view", retry_, &req.retries, [&]() -> Status {
+          // NaN encodes null: stored doubles are never NaN (AppendDouble
+          // maps NaN to null) and int/string numeric views cannot produce
+          // one.
+          std::vector<double> view(req.n_rows);
+          for (size_t row = 0; row < req.n_rows; ++row) {
+            view[row] = req.col->AsDouble(row);
+          }
+          req.built.emplace(std::move(view));
+          return Status::OK();
+        });
   };
   auto publish_stage_a = [&]() {
     for (size_t gi : a_groups) {
       GroupReq& req = groups[gi];
       if (!req.error.ok()) {
-        note_error(req.error);
+        if (!isolated) note_error(req.error);
         continue;
       }
       req.artifact = store_.PublishGroup(req.key, std::move(*req.built));
@@ -410,7 +520,7 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     for (size_t mi : a_masks) {
       MaskReq& req = masks[mi];
       if (!req.error.ok()) {
-        note_error(req.error);
+        if (!isolated) note_error(req.error);
         continue;
       }
       req.bits = store_.PublishMask(req.key, std::move(*req.built),
@@ -418,41 +528,65 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     }
     for (size_t vi : a_views) {
       ViewReq& req = views[vi];
+      if (!req.error.ok()) {
+        if (!isolated) note_error(req.error);
+        continue;
+      }
       req.view = store_.PublishView(req.attr, std::move(*req.built));
     }
   };
 
   auto run_stage_b = [&](size_t t) {
-    if (!stage_error.ok()) return;  // a dependency failed; abandon builds
+    if (!stage_error.ok()) return;  // fail-fast: a dependency failed
     if (t < b_maps.size()) {
       GroupReq& req = groups[b_maps[t]];
-      auto built = req.artifact->index.MapTrainingRows(*training, relevant);
-      if (built.ok()) {
-        req.built_map.emplace(std::move(built).ValueOrDie());
-      } else {
-        req.map_error = built.status();
+      if (req.artifact == nullptr) {  // isolated: its group build failed
+        req.map_error = inherit(req.error, "group index");
+        return;
       }
+      req.map_error = BuildWithRetry(
+          "prepare.train_map", retry_, &req.retries, [&]() -> Status {
+            auto built =
+                req.artifact->index.MapTrainingRows(*training, relevant);
+            if (!built.ok()) return built.status();
+            req.built_map.emplace(std::move(built).ValueOrDie());
+            return Status::OK();
+          });
       return;
     }
     ComboReq& req = combos[b_combos[t - b_maps.size()]];
-    Bitset combined = *masks[req.parts[0]].bits;
-    for (size_t k = 1; k < req.parts.size(); ++k) {
-      combined.AndWith(*masks[req.parts[k]].bits);
+    for (size_t k : req.parts) {
+      if (masks[k].bits == nullptr) {  // isolated: constituent failed
+        req.error = inherit(masks[k].error, "conjunction constituent");
+        return;
+      }
     }
-    req.built.emplace(std::move(combined));
+    req.error = BuildWithRetry(
+        "prepare.conjunction", retry_, &req.retries, [&]() -> Status {
+          Bitset combined = *masks[req.parts[0]].bits;
+          for (size_t k = 1; k < req.parts.size(); ++k) {
+            combined.AndWith(*masks[req.parts[k]].bits);
+          }
+          req.built.emplace(std::move(combined));
+          return Status::OK();
+        });
   };
   auto publish_stage_b = [&]() {
     if (!stage_error.ok()) return;
     for (size_t gi : b_maps) {
       GroupReq& req = groups[gi];
       if (!req.map_error.ok()) {
-        note_error(req.map_error);
+        if (!isolated) note_error(req.map_error);
         continue;
       }
       store_.PublishTrainMap(req.artifact, std::move(*req.built_map));
     }
     for (size_t ci : b_combos) {
       ComboReq& req = combos[ci];
+      if (!req.error.ok()) {
+        if (!isolated) note_error(req.error);
+        continue;
+      }
       req.bits = store_.PublishMask(req.key, std::move(*req.built),
                                     /*is_conjunction=*/true);
     }
@@ -461,19 +595,48 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
   auto run_stage_c = [&](size_t t) {
     if (!stage_error.ok()) return;
     MatReq& req = mats[c_mats[t]];
-    const Bitset* mask = req.mask_single >= 0
-                             ? masks[static_cast<size_t>(req.mask_single)].bits
-                         : req.mask_combo >= 0
-                             ? combos[static_cast<size_t>(req.mask_combo)].bits
+    const GroupReq& group = groups[req.group];
+    if (group.artifact == nullptr) {
+      req.error = inherit(group.error, "group index");
+      return;
+    }
+    const MaskReq* single =
+        req.mask_single >= 0 ? &masks[static_cast<size_t>(req.mask_single)]
                              : nullptr;
-    req.built.emplace(BuildMaterializedValues(groups[req.group].artifact->index,
-                                              mask,
-                                              views[req.view].view->data()));
+    const ComboReq* combo =
+        req.mask_combo >= 0 ? &combos[static_cast<size_t>(req.mask_combo)]
+                            : nullptr;
+    if (single != nullptr && single->bits == nullptr) {
+      req.error = inherit(single->error, "mask");
+      return;
+    }
+    if (combo != nullptr && combo->bits == nullptr) {
+      req.error = inherit(combo->error, "conjunction");
+      return;
+    }
+    const ViewReq& view = views[req.view];
+    if (view.view == nullptr) {
+      req.error = inherit(view.error, "value view");
+      return;
+    }
+    const Bitset* mask = single != nullptr ? single->bits
+                         : combo != nullptr ? combo->bits
+                                            : nullptr;
+    req.error = BuildWithRetry(
+        "prepare.mat", retry_, &req.retries, [&]() -> Status {
+          req.built.emplace(BuildMaterializedValues(group.artifact->index,
+                                                    mask, view.view->data()));
+          return Status::OK();
+        });
   };
   auto publish_stage_c = [&]() {
     if (!stage_error.ok()) return;
     for (size_t mi : c_mats) {
       MatReq& req = mats[mi];
+      if (!req.error.ok()) {
+        if (!isolated) note_error(req.error);
+        continue;
+      }
       req.values = store_.PublishMaterialized(req.key, std::move(*req.built));
     }
   };
@@ -484,20 +647,79 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
       {n_c, run_stage_c, publish_stage_c},
   };
   if (pool_ != nullptr) {
-    pool_->ParallelForStages(stages);
+    // A tripped context returns here *before* the failed stage's publish:
+    // the store keeps only fully-published artifacts of completed stages.
+    FEAT_RETURN_NOT_OK(pool_->ParallelForStages(stages, ctx));
   } else {
     for (const ThreadPool::Stage& stage : stages) {
-      for (size_t t = 0; t < stage.n; ++t) stage.run(t);
+      for (size_t t = 0; t < stage.n; ++t) {
+        FEAT_RETURN_NOT_OK(ExecContext::CheckFor(ctx));
+        stage.run(t);
+      }
+      FEAT_RETURN_NOT_OK(ExecContext::CheckFor(ctx));
       if (stage.publish) stage.publish();
     }
   }
+  // Retries are summed before the fail-fast return: even a batch that gave
+  // up reports the re-attempts it burned (tests and benches read this).
+  for (const GroupReq& r : groups) {
+    plan_stats_.build_retries += static_cast<size_t>(r.retries);
+  }
+  for (const MaskReq& r : masks) {
+    plan_stats_.build_retries += static_cast<size_t>(r.retries);
+  }
+  for (const ComboReq& r : combos) {
+    plan_stats_.build_retries += static_cast<size_t>(r.retries);
+  }
+  for (const ViewReq& r : views) {
+    plan_stats_.build_retries += static_cast<size_t>(r.retries);
+  }
+  for (const MatReq& r : mats) {
+    plan_stats_.build_retries += static_cast<size_t>(r.retries);
+  }
   FEAT_RETURN_NOT_OK(stage_error);
 
-  // ---- Resolve: every candidate's kernel inputs are now store-owned
-  // pointers, pinned for this epoch. ----
+  // ---- Resolve: every surviving candidate's kernel inputs are now
+  // store-owned pointers, pinned for this epoch. In isolated mode a
+  // candidate whose dependency chain has a failure takes that Status into
+  // its slot instead (its PlannedCandidate stays empty and is skipped by
+  // the fan-out). ----
+  auto dependency_status = [&](const CandidateSpec& spec) -> Status {
+    const GroupReq& g = groups[spec.group];
+    if (g.artifact == nullptr) return inherit(g.error, "group index");
+    if (training != nullptr && !g.map_error.ok()) return g.map_error;
+    if (spec.mat >= 0) {
+      const MatReq& m = mats[static_cast<size_t>(spec.mat)];
+      if (m.values == nullptr) return inherit(m.error, "materialization");
+      return Status::OK();
+    }
+    if (spec.mat_hit != nullptr) return Status::OK();
+    if (spec.mask_single >= 0) {
+      const MaskReq& m = masks[static_cast<size_t>(spec.mask_single)];
+      if (m.bits == nullptr) return inherit(m.error, "mask");
+    }
+    if (spec.mask_combo >= 0) {
+      const ComboReq& c = combos[static_cast<size_t>(spec.mask_combo)];
+      if (c.bits == nullptr) return inherit(c.error, "conjunction");
+    }
+    if (spec.view >= 0) {
+      const ViewReq& v = views[static_cast<size_t>(spec.view)];
+      if (v.view == nullptr) return inherit(v.error, "value view");
+    }
+    return Status::OK();
+  };
+
   std::vector<PlannedCandidate> planned(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
+    if (isolated && !(*slot_errors)[i].ok()) continue;
     const CandidateSpec& spec = specs[i];
+    if (isolated) {
+      Status dep = dependency_status(spec);
+      if (!dep.ok()) {
+        (*slot_errors)[i] = std::move(dep);
+        continue;
+      }
+    }
     PlannedCandidate& p = planned[i];
     p.query = spec.query;
     ArtifactStore::GroupArtifact* g = groups[spec.group].artifact;
@@ -524,47 +746,104 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
 }
 
 Result<std::vector<double>> QueryPlanner::ComputeFeatureColumn(
-    const AggQuery& q, const Table& training, const Table& relevant) {
+    const AggQuery& q, const Table& training, const Table& relevant,
+    const ExecContext* ctx) {
   store_.BeginEpoch();
   const std::vector<AggQuery> one(1, q);
   FEAT_ASSIGN_OR_RETURN(std::vector<PlannedCandidate> planned,
                         Prepare(one, &training, relevant,
-                                /*for_grouped_result=*/false));
+                                /*for_grouped_result=*/false, ctx));
+  FEAT_RETURN_NOT_OK(FaultPoint("exec.kernel"));
   return ComputeFeatureKernel(planned[0]);
 }
 
 Result<std::vector<std::vector<double>>> QueryPlanner::EvaluateMany(
     const std::vector<AggQuery>& queries, const Table& training,
-    const Table& relevant) {
+    const Table& relevant, const ExecContext* ctx) {
   store_.BeginEpoch();
   WallTimer timer;
+  FEAT_RETURN_NOT_OK(ExecContext::ChargeFor(
+      ctx, queries.size() * training.num_rows() * sizeof(double)));
   FEAT_ASSIGN_OR_RETURN(std::vector<PlannedCandidate> planned,
                         Prepare(queries, &training, relevant,
-                                /*for_grouped_result=*/false));
+                                /*for_grouped_result=*/false, ctx));
   prepare_seconds_ = timer.Seconds();
 
   // ---- Fan-out phase: independent pure kernels into pre-sized slots, so
   // results are deterministic and thread- and chunk-count-independent. ----
   timer.Restart();
   std::vector<std::vector<double>> out(queries.size());
-  auto run_one = [&](size_t i) { out[i] = ComputeFeatureKernel(planned[i]); };
+  std::vector<Status> kernel_errors(queries.size());
+  auto run_one = [&](size_t i) {
+    kernel_errors[i] = FaultPoint("exec.kernel");
+    if (kernel_errors[i].ok()) out[i] = ComputeFeatureKernel(planned[i]);
+  };
   if (pool_ != nullptr) {
-    pool_->ParallelFor(planned.size(), run_one);
+    FEAT_RETURN_NOT_OK(pool_->ParallelFor(planned.size(), run_one, 0, ctx));
   } else {
-    for (size_t i = 0; i < planned.size(); ++i) run_one(i);
+    for (size_t i = 0; i < planned.size(); ++i) {
+      FEAT_RETURN_NOT_OK(ExecContext::CheckFor(ctx));
+      run_one(i);
+    }
+  }
+  for (const Status& s : kernel_errors) FEAT_RETURN_NOT_OK(s);
+  aggregate_seconds_ = timer.Seconds();
+  return out;
+}
+
+Result<std::vector<QueryPlanner::CandidateResult>>
+QueryPlanner::EvaluateManyIsolated(const std::vector<AggQuery>& queries,
+                                   const Table& training,
+                                   const Table& relevant,
+                                   const ExecContext* ctx) {
+  store_.BeginEpoch();
+  WallTimer timer;
+  FEAT_RETURN_NOT_OK(ExecContext::ChargeFor(
+      ctx, queries.size() * training.num_rows() * sizeof(double)));
+  std::vector<Status> slot_errors(queries.size());
+  FEAT_ASSIGN_OR_RETURN(std::vector<PlannedCandidate> planned,
+                        Prepare(queries, &training, relevant,
+                                /*for_grouped_result=*/false, ctx,
+                                &slot_errors));
+  prepare_seconds_ = timer.Seconds();
+
+  timer.Restart();
+  std::vector<CandidateResult> out(queries.size());
+  // Slots are disjoint: each task writes only its own index, so recording a
+  // per-candidate kernel failure is race-free on the pool.
+  auto run_one = [&](size_t i) {
+    if (!slot_errors[i].ok()) return;
+    Status injected = FaultPoint("exec.kernel");
+    if (!injected.ok()) {
+      slot_errors[i] = std::move(injected);
+      return;
+    }
+    out[i].values = ComputeFeatureKernel(planned[i]);
+  };
+  if (pool_ != nullptr) {
+    FEAT_RETURN_NOT_OK(pool_->ParallelFor(planned.size(), run_one, 0, ctx));
+  } else {
+    for (size_t i = 0; i < planned.size(); ++i) {
+      FEAT_RETURN_NOT_OK(ExecContext::CheckFor(ctx));
+      run_one(i);
+    }
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out[i].status = std::move(slot_errors[i]);
   }
   aggregate_seconds_ = timer.Seconds();
   return out;
 }
 
 Result<ServingPlan> QueryPlanner::CompileServingPlan(
-    const std::vector<AggQuery>& queries, const Table& relevant) {
+    const std::vector<AggQuery>& queries, const Table& relevant,
+    const ExecContext* ctx) {
   store_.BeginEpoch();
   ServingPlan plan;
   plan.relevant = &relevant;
   FEAT_ASSIGN_OR_RETURN(plan.candidates,
                         Prepare(queries, /*training=*/nullptr, relevant,
-                                /*for_grouped_result=*/false));
+                                /*for_grouped_result=*/false, ctx));
   std::unordered_map<const GroupIndex*, size_t> distinct;
   plan.candidate_group.reserve(plan.candidates.size());
   for (const PlannedCandidate& p : plan.candidates) {
@@ -576,42 +855,56 @@ Result<ServingPlan> QueryPlanner::CompileServingPlan(
 }
 
 Result<std::vector<std::vector<double>>> ExecuteServingPlan(
-    const ServingPlan& plan, const Table& batch, ThreadPool* pool) {
+    const ServingPlan& plan, const Table& batch, ThreadPool* pool,
+    const ExecContext* ctx) {
   if (plan.relevant == nullptr) {
     return Status::InvalidArgument("serving plan was never compiled");
   }
+  FEAT_RETURN_NOT_OK(ExecContext::ChargeFor(
+      ctx, plan.candidates.size() * batch.num_rows() * sizeof(double)));
   // The only batch-dependent artifacts: one training-row map per distinct
   // group index, built into call-local storage (the shared store is never
   // touched, which is what makes concurrent execution safe).
   std::vector<std::vector<uint32_t>> train_maps;
   train_maps.reserve(plan.group_indexes.size());
   for (const GroupIndex* index : plan.group_indexes) {
+    FEAT_RETURN_NOT_OK(ExecContext::CheckFor(ctx));
+    FEAT_RETURN_NOT_OK(FaultPoint("prepare.train_map"));
     FEAT_ASSIGN_OR_RETURN(std::vector<uint32_t> map,
                           index->MapTrainingRows(batch, *plan.relevant));
     train_maps.push_back(std::move(map));
   }
 
   std::vector<std::vector<double>> out(plan.candidates.size());
+  std::vector<Status> kernel_errors(plan.candidates.size());
   auto run_one = [&](size_t i) {
+    kernel_errors[i] = FaultPoint("exec.kernel");
+    if (!kernel_errors[i].ok()) return;
     PlannedCandidate p = plan.candidates[i];
     p.train_map = &train_maps[plan.candidate_group[i]];
     out[i] = ComputeFeatureKernel(p);
   };
   if (pool != nullptr) {
-    pool->ParallelFor(plan.candidates.size(), run_one);
+    FEAT_RETURN_NOT_OK(pool->ParallelFor(plan.candidates.size(), run_one, 0,
+                                         ctx));
   } else {
-    for (size_t i = 0; i < plan.candidates.size(); ++i) run_one(i);
+    for (size_t i = 0; i < plan.candidates.size(); ++i) {
+      FEAT_RETURN_NOT_OK(ExecContext::CheckFor(ctx));
+      run_one(i);
+    }
   }
+  for (const Status& s : kernel_errors) FEAT_RETURN_NOT_OK(s);
   return out;
 }
 
 Result<Table> QueryPlanner::ExecuteAggQuery(const AggQuery& q,
-                                            const Table& relevant) {
+                                            const Table& relevant,
+                                            const ExecContext* ctx) {
   store_.BeginEpoch();
   const std::vector<AggQuery> one(1, q);
   FEAT_ASSIGN_OR_RETURN(std::vector<PlannedCandidate> planned,
                         Prepare(one, /*training=*/nullptr, relevant,
-                                /*for_grouped_result=*/true));
+                                /*for_grouped_result=*/true, ctx));
   const PlannedCandidate& p = planned[0];
   std::vector<uint32_t> first_selected;
   std::vector<double> per_group =

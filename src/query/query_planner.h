@@ -60,6 +60,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "query/agg_query.h"
 #include "query/artifact_store.h"
@@ -106,7 +107,8 @@ struct ServingPlan {
 /// store, so concurrent calls on the same plan are thread-safe and
 /// byte-identical to serial execution at every thread count.
 Result<std::vector<std::vector<double>>> ExecuteServingPlan(
-    const ServingPlan& plan, const Table& batch, ThreadPool* pool = nullptr);
+    const ServingPlan& plan, const Table& batch, ThreadPool* pool = nullptr,
+    const ExecContext* ctx = nullptr);
 
 class QueryPlanner {
  public:
@@ -117,24 +119,64 @@ class QueryPlanner {
   /// planner's use.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Bounded retry for transiently-failing artifact builds: a build whose
+  /// failure is retryable (kInternal / kIOError — the transient classes; a
+  /// kInvalidArgument query shape never retries) is re-attempted up to
+  /// `max_attempts` total tries, sleeping backoff_ms << attempt between
+  /// tries. Default is one attempt (no retry); retries taken are reported in
+  /// PlanStats::build_retries.
+  struct RetryPolicy {
+    int max_attempts = 1;
+    int backoff_ms = 0;
+  };
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
   /// Feature column of `q` aligned to `training` (NaN where the entity has
   /// no qualifying rows), reusing the store's artifacts across calls.
-  Result<std::vector<double>> ComputeFeatureColumn(const AggQuery& q,
-                                                   const Table& training,
-                                                   const Table& relevant);
+  /// A non-null `ctx` is checked between pipeline phases (and at ThreadPool
+  /// chunk boundaries) and charged with build-size estimates.
+  Result<std::vector<double>> ComputeFeatureColumn(
+      const AggQuery& q, const Table& training, const Table& relevant,
+      const ExecContext* ctx = nullptr);
 
   /// Evaluates N candidates in one call, returning N feature columns.
   /// Candidates sharing group keys reuse one GroupIndex; predicates repeated
   /// across candidates hit the mask shard; candidates differing only in agg
   /// function share one bucket materialization; artifact builds and the
   /// per-candidate kernels both run on the configured ThreadPool.
+  ///
+  /// Fail-fast contract: any candidate failing to compile or build fails
+  /// the whole batch (the store still keeps every artifact that did publish,
+  /// and the planner stays usable). For per-candidate isolation use
+  /// EvaluateManyIsolated.
   Result<std::vector<std::vector<double>>> EvaluateMany(
       const std::vector<AggQuery>& queries, const Table& training,
-      const Table& relevant);
+      const Table& relevant, const ExecContext* ctx = nullptr);
+
+  /// One candidate's outcome under the isolated contract: `values` is
+  /// meaningful iff `status.ok()`.
+  struct CandidateResult {
+    Status status;
+    std::vector<double> values;
+  };
+
+  /// Partial-failure-isolated EvaluateMany: a candidate that fails —
+  /// validation, any artifact build it depends on, or its kernel — yields
+  /// its Status in its own result slot while every other candidate still
+  /// evaluates, byte-identical to a batch that never contained the failing
+  /// one (artifacts are keyed by content, and a failed build is simply
+  /// never published). The outer Result is an error only for batch-level
+  /// failures: a tripped ExecContext (kCancelled / kDeadlineExceeded) or an
+  /// exhausted memory budget (kResourceExhausted).
+  Result<std::vector<CandidateResult>> EvaluateManyIsolated(
+      const std::vector<AggQuery>& queries, const Table& training,
+      const Table& relevant, const ExecContext* ctx = nullptr);
 
   /// Grouped result table of Def. 2 (key columns + "feature"), in
   /// first-seen group order among filtered rows.
-  Result<Table> ExecuteAggQuery(const AggQuery& q, const Table& relevant);
+  Result<Table> ExecuteAggQuery(const AggQuery& q, const Table& relevant,
+                                const ExecContext* ctx = nullptr);
 
   /// Compiles `queries` into a frozen ServingPlan: prepares every
   /// relevant-side artifact (group indexes, predicate masks, value views,
@@ -144,7 +186,8 @@ class QueryPlanner {
   /// further Prepare/Evaluate call may run on this planner while the plan
   /// is in use.
   Result<ServingPlan> CompileServingPlan(const std::vector<AggQuery>& queries,
-                                         const Table& relevant);
+                                         const Table& relevant,
+                                         const ExecContext* ctx = nullptr);
 
   /// The artifact store backing this planner (cap tuning, introspection).
   ArtifactStore& store() { return store_; }
@@ -186,6 +229,8 @@ class QueryPlanner {
     /// the batch count as hits after the first occurrence.
     size_t compile_hits = 0;
     size_t compile_misses = 0;
+    /// Build re-attempts taken under the RetryPolicy (0 without retries).
+    size_t build_retries = 0;
   };
   const PlanStats& last_plan_stats() const { return plan_stats_; }
 
@@ -244,12 +289,22 @@ class QueryPlanner {
   /// candidates always take the streaming path: view instead of bucket
   /// materialization). Streaming-family aggregates materialize only when
   /// several candidates of the batch share their bucket.
+  ///
+  /// `slot_errors` selects the failure contract: nullptr is fail-fast (the
+  /// first compile or build error fails the call); non-null must be sized
+  /// to `queries` and receives each candidate's isolated Status — the call
+  /// itself then only fails batch-wide (tripped ctx, exhausted budget). In
+  /// both modes only fully-built artifacts are ever published, and a failed
+  /// stage never runs its publish step.
   Result<std::vector<PlannedCandidate>> Prepare(
       const std::vector<AggQuery>& queries, const Table* training,
-      const Table& relevant, bool for_grouped_result);
+      const Table& relevant, bool for_grouped_result,
+      const ExecContext* ctx = nullptr,
+      std::vector<Status>* slot_errors = nullptr);
 
   ArtifactStore store_;
   ThreadPool* pool_ = nullptr;
+  RetryPolicy retry_;
   PlanStats plan_stats_;
   std::unordered_map<std::string, CompiledShape> compile_cache_;
   size_t compile_cache_cap_entries_ = 1u << 16;

@@ -1,0 +1,232 @@
+/// \file exec_context_test.cc
+/// \brief Unit tests for ExecContext (deadline / cancellation / memory
+/// budget) and for the ThreadPool contract around it: a tripped context
+/// abandons the unclaimed remainder within one chunk, a pre-tripped context
+/// never publishes a stage, and task failures surface as Status while the
+/// siblings still complete.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/thread_pool.h"
+
+namespace featlib {
+namespace {
+
+TEST(ExecContextTest, DefaultIsUnlimitedAndOk) {
+  ExecContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_EQ(ctx.memory_budget_bytes(), 0u);
+  EXPECT_EQ(ctx.charged_bytes(), 0u);
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(ExecContextTest, CancelTripsCheck) {
+  ExecContext ctx;
+  ctx.Cancel();
+  EXPECT_TRUE(ctx.cancelled());
+  const Status s = ctx.Check();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, ExpiredDeadlineTripsCheck) {
+  ExecContext ctx;
+  ctx.set_deadline_after(std::chrono::nanoseconds(0));
+  EXPECT_TRUE(ctx.has_deadline());
+  const Status s = ctx.Check();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, FutureDeadlineDoesNotTrip) {
+  ExecContext ctx;
+  ctx.set_deadline_after(std::chrono::hours(1));
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.Check().ok());
+  ctx.clear_deadline();
+  EXPECT_FALSE(ctx.has_deadline());
+}
+
+TEST(ExecContextTest, CancellationWinsOverDeadline) {
+  ExecContext ctx;
+  ctx.set_deadline_after(std::chrono::nanoseconds(0));
+  ctx.Cancel();
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, ClearedDeadlineRecovers) {
+  ExecContext ctx;
+  ctx.set_deadline_after(std::chrono::nanoseconds(0));
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+  ctx.clear_deadline();
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(ExecContextTest, MemoryBudgetEnforced) {
+  ExecContext ctx;
+  ctx.set_memory_budget_bytes(100);
+  EXPECT_TRUE(ctx.ChargeMemory(60).ok());
+  EXPECT_EQ(ctx.charged_bytes(), 60u);
+  EXPECT_TRUE(ctx.ChargeMemory(40).ok());
+  EXPECT_EQ(ctx.charged_bytes(), 100u);
+  const Status over = ctx.ChargeMemory(1);
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+  // A rejected charge must not count against the budget.
+  EXPECT_EQ(ctx.charged_bytes(), 100u);
+  ctx.ReleaseMemory(50);
+  EXPECT_EQ(ctx.charged_bytes(), 50u);
+  EXPECT_TRUE(ctx.ChargeMemory(50).ok());
+}
+
+TEST(ExecContextTest, ReleaseClampsAtZero) {
+  ExecContext ctx;
+  ctx.set_memory_budget_bytes(10);
+  EXPECT_TRUE(ctx.ChargeMemory(4).ok());
+  ctx.ReleaseMemory(1000);
+  EXPECT_EQ(ctx.charged_bytes(), 0u);
+}
+
+TEST(ExecContextTest, ZeroBudgetMeansUnlimited) {
+  ExecContext ctx;
+  EXPECT_TRUE(ctx.ChargeMemory(size_t{1} << 40).ok());
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(ExecContextTest, NullToleratedStatics) {
+  EXPECT_TRUE(ExecContext::CheckFor(nullptr).ok());
+  EXPECT_TRUE(ExecContext::ChargeFor(nullptr, 1 << 20).ok());
+  ExecContext::ReleaseFor(nullptr, 1 << 20);  // must not crash
+  ExecContext ctx;
+  ctx.set_memory_budget_bytes(8);
+  EXPECT_EQ(ExecContext::ChargeFor(&ctx, 16).code(),
+            StatusCode::kResourceExhausted);
+  ctx.Cancel();
+  EXPECT_EQ(ExecContext::CheckFor(&ctx).code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool integration: cooperative checks at chunk-claim boundaries.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolExecContextTest, PreCancelledContextRunsNothing) {
+  ThreadPool pool(4);
+  ExecContext ctx;
+  ctx.Cancel();
+  std::atomic<size_t> ran{0};
+  const Status s = pool.ParallelFor(
+      1000, [&](size_t) { ran.fetch_add(1); }, 0, &ctx);
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ThreadPoolExecContextTest, ExpiredDeadlineSurfacesFromParallelFor) {
+  ThreadPool pool(4);
+  ExecContext ctx;
+  ctx.set_deadline_after(std::chrono::nanoseconds(0));
+  std::atomic<size_t> ran{0};
+  const Status s = pool.ParallelFor(
+      1000, [&](size_t) { ran.fetch_add(1); }, 0, &ctx);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ThreadPoolExecContextTest, CancelMidRunAbandonsRemainderOnSerialPool) {
+  // Serial path (no workers) claims indices one at a time, so cancelling
+  // from inside the body gives a deterministic cutoff: exactly the indices
+  // before and including the cancelling one ran.
+  ThreadPool pool(1);
+  ExecContext ctx;
+  size_t ran = 0;
+  const Status s = pool.ParallelFor(
+      100,
+      [&](size_t i) {
+        ++ran;
+        if (i == 9) ctx.Cancel();
+      },
+      0, &ctx);
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_EQ(ran, 10u);
+}
+
+TEST(ThreadPoolExecContextTest, CancelMidRunStopsParallelPoolWithinChunks) {
+  ThreadPool pool(4);
+  ExecContext ctx;
+  std::atomic<size_t> ran{0};
+  const Status s = pool.ParallelFor(
+      10000,
+      [&](size_t) {
+        if (ran.fetch_add(1) == 64) ctx.Cancel();
+      },
+      /*chunk=*/8, &ctx);
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  // Already-claimed chunks finish (cooperative cancellation), but the bulk
+  // of the range must be abandoned.
+  EXPECT_LT(ran.load(), 10000u);
+}
+
+TEST(ThreadPoolExecContextTest, NullContextIsUnlimitedParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<size_t> ran{0};
+  EXPECT_TRUE(pool.ParallelFor(257, [&](size_t) { ran.fetch_add(1); }).ok());
+  EXPECT_EQ(ran.load(), 257u);
+}
+
+TEST(ThreadPoolExecContextTest, TrippedContextSkipsStagePublish) {
+  ThreadPool pool(2);
+  ExecContext ctx;
+  std::atomic<size_t> stage1_ran{0};
+  bool published1 = false;
+  bool stage2_ran = false;
+  std::vector<ThreadPool::Stage> stages;
+  stages.push_back({100,
+                    [&](size_t i) {
+                      stage1_ran.fetch_add(1);
+                      if (i == 0) ctx.Cancel();
+                    },
+                    [&] { published1 = true; }});
+  stages.push_back({10, [&](size_t) { stage2_ran = true; },
+                    [&] { stage2_ran = true; }});
+  const Status s = pool.ParallelForStages(stages, &ctx);
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  // The failed stage never commits and later stages never start: this is the
+  // "cancellation mid-prepare never publishes a half-built artifact" edge.
+  EXPECT_FALSE(published1);
+  EXPECT_FALSE(stage2_ran);
+}
+
+TEST(ThreadPoolExecContextTest, StagesPublishInOrderWhenContextStaysClean) {
+  ThreadPool pool(2);
+  ExecContext ctx;
+  std::vector<int> order;
+  std::vector<ThreadPool::Stage> stages;
+  stages.push_back({4, [](size_t) {}, [&] { order.push_back(1); }});
+  stages.push_back({4, [](size_t) {}, [&] { order.push_back(2); }});
+  EXPECT_TRUE(pool.ParallelForStages(stages, &ctx).ok());
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(ThreadPoolExecContextTest, TaskFailurePreferredOverLaterContextTrip) {
+  // When a task throws and the context trips afterwards, the caller should
+  // see the task's kInternal error, not the context status: the failure is
+  // the root cause.
+  ThreadPool pool(1);
+  ExecContext ctx;
+  const Status s = pool.ParallelFor(
+      10,
+      [&](size_t i) {
+        if (i == 2) throw std::runtime_error("task exploded");
+        if (i == 4) ctx.Cancel();
+      },
+      0, &ctx);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("task exploded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace featlib

@@ -328,18 +328,38 @@ TEST(ThreadPoolTest, HandlesEdgeSizesAndSerialPool) {
   EXPECT_EQ(count.load(), 1u + 150u);
 }
 
-TEST(ThreadPoolTest, ExceptionsPropagateToCallerAndPoolSurvives) {
+TEST(ThreadPoolTest, TaskFailureReturnsStatusAndSiblingsStillComplete) {
   ThreadPool pool(4);
-  EXPECT_THROW(
-      pool.ParallelFor(100,
-                       [&](size_t i) {
-                         if (i == 13) throw std::runtime_error("boom");
-                       }),
-      std::runtime_error);
-  // The poisoned job is fully drained: the pool accepts later batches.
+  std::vector<std::atomic<int>> hits(100);
+  const Status status = pool.ParallelFor(100, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    if (i == 13) throw std::runtime_error("boom");
+  });
+  // Failure = Status, not poison: the first exception is surfaced as
+  // kInternal with the what() text...
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.ToString().find("boom"), std::string::npos)
+      << status.ToString();
+  // ...and every sibling index still ran exactly once.
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+  // The failed job is fully drained: the pool accepts later batches.
   std::atomic<size_t> count{0};
-  pool.ParallelFor(50, [&](size_t) { count.fetch_add(1); });
+  ASSERT_TRUE(pool.ParallelFor(50, [&](size_t) { count.fetch_add(1); }).ok());
   EXPECT_EQ(count.load(), 50u);
+
+  // The serial path mirrors the contract byte for byte.
+  ThreadPool serial(1);
+  std::atomic<size_t> serial_hits{0};
+  const Status serial_status = serial.ParallelFor(10, [&](size_t i) {
+    serial_hits.fetch_add(1);
+    if (i == 3) throw std::runtime_error("serial boom");
+  });
+  ASSERT_FALSE(serial_status.ok());
+  EXPECT_EQ(serial_status.code(), StatusCode::kInternal);
+  EXPECT_EQ(serial_hits.load(), 10u);
 }
 
 TEST(ThreadPoolTest, ParallelForStagesPublishesBetweenStages) {

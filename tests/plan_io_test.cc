@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <gtest/gtest.h>
 
 namespace featlib {
@@ -136,6 +137,114 @@ TEST(PlanIoTest, FileRoundTrip) {
 TEST(PlanIoTest, MissingFileIsNotFound) {
   auto loaded = ReadAugmentationPlan("/nonexistent/plan.sql");
   ASSERT_FALSE(loaded.ok());
+}
+
+// --- Corruption corpus -------------------------------------------------------
+//
+// Every corrupt input must fail with a clean typed Status (kInvalidArgument
+// from the parser, kIOError/kNotFound from the file layer) — never a crash,
+// an uncaught exception, or a silently-wrong plan.
+
+TEST(PlanIoTest, TruncatedMidStatementFailsCleanly) {
+  Table logs = MakeLogs();
+  const std::string full = SerializeAugmentationPlan(MakePlan(), "logs", logs);
+  // Chop the script at every prefix length: each truncation either still
+  // parses (cut between statements) or fails kInvalidArgument.
+  for (size_t cut = 0; cut < full.size(); cut += 7) {
+    auto loaded = ParseAugmentationPlan(full.substr(0, cut));
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+          << "cut=" << cut << ": " << loaded.status().ToString();
+    } else {
+      EXPECT_LE(loaded.value().queries.size(), MakePlan().queries.size())
+          << "cut=" << cut;
+    }
+  }
+}
+
+TEST(PlanIoTest, GarbageBytesFailCleanly) {
+  const std::string garbage_cases[] = {
+      "\xff\xfe\x01\x02 not sql at all",
+      "SELECT cname, AVG(pprice FROM logs GROUP BY cname;",  // unbalanced
+      "SELECT cname, AVG(pprice) FROM logs GROUP BY cname WHERE;",
+      "GROUP BY; SELECT;",
+      std::string(4096, ';'),
+      "SELECT cname, AVG(pprice) FROM logs WHERE ts >= 1e99999 GROUP BY cname;",
+  };
+  for (const std::string& text : garbage_cases) {
+    auto loaded = ParseAugmentationPlan(text);
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+          << loaded.status().ToString();
+    }
+  }
+}
+
+TEST(PlanIoTest, NulBytesAreRejectedAsCorrupt) {
+  std::string text =
+      "SELECT cname, AVG(pprice) FROM logs GROUP BY cname;";
+  text[10] = '\0';
+  auto loaded = ParseAugmentationPlan(text);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("NUL"), std::string::npos);
+}
+
+TEST(PlanIoTest, EmptyAndHeaderlessInputs) {
+  // An empty script is an empty plan, not an error (a fresh file is valid).
+  auto empty = ParseAugmentationPlan("");
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_TRUE(empty.value().queries.empty());
+  // Whitespace/comments only: same.
+  auto comments = ParseAugmentationPlan("-- just a note\n\n  \n");
+  ASSERT_TRUE(comments.ok());
+  EXPECT_TRUE(comments.value().queries.empty());
+}
+
+TEST(PlanIoTest, BadMetadataDegradesToDefaultsNotFailure) {
+  // Unparseable valid_metric and stray metadata keys must not sink a plan
+  // whose SQL is fine.
+  const std::string text =
+      "-- feature: spend\n"
+      "-- valid_metric: not-a-number\n"
+      "-- unknown_key: whatever\n"
+      "SELECT cname, SUM(pprice) FROM logs GROUP BY cname;\n";
+  auto loaded = ParseAugmentationPlan(text, MakeLogs());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().queries.size(), 1u);
+  EXPECT_EQ(loaded.value().feature_names[0], "spend");
+  EXPECT_TRUE(std::isnan(loaded.value().valid_metrics[0]));
+}
+
+TEST(PlanIoTest, CorruptFileOnDiskFailsCleanly) {
+  const std::string path = ::testing::TempDir() + "/plan_io_corrupt.sql";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "SELECT cname, AVG(pp";  // truncated mid-token
+    out << '\0';
+    out << "\xde\xad\xbe\xef";
+  }
+  auto loaded = ReadAugmentationPlan(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(PlanIoTest, ReadingADirectoryIsATypedError) {
+  auto loaded = ReadAugmentationPlan(::testing::TempDir());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().code() == StatusCode::kIOError ||
+              loaded.status().code() == StatusCode::kNotFound ||
+              loaded.status().code() == StatusCode::kInvalidArgument)
+      << loaded.status().ToString();
+}
+
+TEST(PlanIoTest, WriteToUnwritablePathIsIOError) {
+  const Status s = WriteAugmentationPlan(MakePlan(), "logs", MakeLogs(),
+                                         "/nonexistent_dir/plan.sql");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError) << s.ToString();
 }
 
 TEST(PlanIoTest, CommentsInsideScriptsAreIgnoredByTheParser) {

@@ -1,0 +1,98 @@
+/// \file status_test.cc
+/// \brief Pins the Status/StatusCode surface: every code round-trips through
+/// its static constructor, code(), StatusCodeToString and ToString — so a
+/// new code (the execution-limit family: kCancelled, kDeadlineExceeded,
+/// kResourceExhausted) cannot silently miss a switch arm.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace featlib {
+namespace {
+
+TEST(StatusTest, OkIsOkAndEmpty) {
+  const Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_TRUE(ok.message().empty());
+  const Status default_constructed;
+  EXPECT_TRUE(default_constructed.ok());
+}
+
+struct CodeCase {
+  StatusCode code;
+  Status status;
+  const char* name;
+};
+
+std::vector<CodeCase> AllErrorCodes() {
+  return {
+      {StatusCode::kInvalidArgument, Status::InvalidArgument("m"),
+       "InvalidArgument"},
+      {StatusCode::kNotFound, Status::NotFound("m"), "NotFound"},
+      {StatusCode::kOutOfRange, Status::OutOfRange("m"), "OutOfRange"},
+      {StatusCode::kIOError, Status::IOError("m"), "IOError"},
+      {StatusCode::kNotImplemented, Status::NotImplemented("m"),
+       "NotImplemented"},
+      {StatusCode::kInternal, Status::Internal("m"), "Internal"},
+      {StatusCode::kCancelled, Status::Cancelled("m"), "Cancelled"},
+      {StatusCode::kDeadlineExceeded, Status::DeadlineExceeded("m"),
+       "DeadlineExceeded"},
+      {StatusCode::kResourceExhausted, Status::ResourceExhausted("m"),
+       "ResourceExhausted"},
+  };
+}
+
+TEST(StatusTest, EveryCodeRoundTripsThroughConstructorAndToString) {
+  for (const CodeCase& c : AllErrorCodes()) {
+    EXPECT_FALSE(c.status.ok()) << c.name;
+    EXPECT_EQ(c.status.code(), c.code) << c.name;
+    EXPECT_EQ(c.status.message(), "m") << c.name;
+    // StatusCodeToString names the code (no fallthrough to a default arm).
+    EXPECT_STREQ(StatusCodeToString(c.code), c.name);
+    // ToString renders "<code>: <message>".
+    const std::string rendered = c.status.ToString();
+    EXPECT_NE(rendered.find(c.name), std::string::npos) << rendered;
+    EXPECT_NE(rendered.find("m"), std::string::npos) << rendered;
+  }
+}
+
+TEST(StatusTest, EveryCodeIsDistinct) {
+  const std::vector<CodeCase> cases = AllErrorCodes();
+  for (size_t i = 0; i < cases.size(); ++i) {
+    for (size_t j = i + 1; j < cases.size(); ++j) {
+      EXPECT_NE(cases[i].code, cases[j].code)
+          << cases[i].name << " vs " << cases[j].name;
+      EXPECT_NE(std::string(StatusCodeToString(cases[i].code)),
+                std::string(StatusCodeToString(cases[j].code)));
+    }
+  }
+}
+
+TEST(StatusTest, ConstructorFromCodeAndMessageMatchesFactories) {
+  const Status direct(StatusCode::kDeadlineExceeded, "late");
+  EXPECT_EQ(direct.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(direct.message(), "late");
+  // operator== compares codes (message is diagnostic payload).
+  EXPECT_EQ(direct, Status::DeadlineExceeded("different text"));
+  EXPECT_FALSE(direct == Status::Cancelled("late"));
+}
+
+TEST(StatusTest, ResultPropagatesErrorCode) {
+  auto fail = []() -> Result<int> {
+    return Status::ResourceExhausted("budget");
+  };
+  Result<int> r = fail();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  Result<int> ok = 7;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+}
+
+}  // namespace
+}  // namespace featlib
