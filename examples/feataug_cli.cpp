@@ -11,6 +11,13 @@
 ///               [--task=binary|multiclass|regression] [--model=LR|XGB|RF|DeepFM]
 ///               [--features=20] [--templates=4] [--seed=42]
 ///               [--agg-attrs=a,b] [--where-attrs=p,q] [--base-features=x,y]
+///               [--checkpoint-dir=DIR] [--resume]
+///
+/// --checkpoint-dir makes the fit durable: the search snapshots its state
+/// to DIR/fit.ckpt (atomic, checksummed) at round boundaries. A fit killed
+/// at any point is re-run with the same flags plus --resume and produces a
+/// plan byte-identical to an uninterrupted run, paying only the work past
+/// the last snapshot.
 ///
 /// Transform (the serving phase): load a serialized plan into a warm
 /// FittedAugmenter and augment one or more CSV batches — no search, no
@@ -63,6 +70,8 @@ struct CliArgs {
   std::vector<std::string> agg_attrs;
   std::vector<std::string> where_attrs;
   std::vector<std::string> base_features;
+  std::string checkpoint_dir;
+  bool resume = false;
 };
 
 bool Parse(int argc, char** argv, CliArgs* args) {
@@ -86,6 +95,8 @@ bool Parse(int argc, char** argv, CliArgs* args) {
     else if (const char* v = value_of("--agg-attrs=")) args->agg_attrs = StrSplit(v, ',');
     else if (const char* v = value_of("--where-attrs=")) args->where_attrs = StrSplit(v, ',');
     else if (const char* v = value_of("--base-features=")) args->base_features = StrSplit(v, ',');
+    else if (const char* v = value_of("--checkpoint-dir=")) args->checkpoint_dir = v;
+    else if (arg == "--resume") args->resume = true;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -181,6 +192,12 @@ int RunCli(const CliArgs& args) {
   options.evaluator.model = model.value();
   options.evaluator.metric = DefaultMetricFor(problem.task);
   options.seed = args.seed;
+  if (args.resume && args.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 1;
+  }
+  options.checkpoint.dir = args.checkpoint_dir;
+  options.checkpoint.resume = args.resume;
 
   std::printf("FeatAug: D=%zu rows, R=%zu rows, %zu agg attrs, %zu WHERE candidates\n",
               problem.training.num_rows(), problem.relevant.num_rows(),
@@ -201,6 +218,34 @@ int RunCli(const CliArgs& args) {
                 MetricKindToString(options.evaluator.metric),
                 plan.value().valid_metrics[i],
                 plan.value().queries[i].ToSql("R", relevant_copy).c_str());
+  }
+
+  // Fit-health summary: how much of the search was absorbed by caches and
+  // how much friction (skipped candidates, build retries) it ran into.
+  {
+    const AugmentationPlan& p = plan.value();
+    const size_t compile_total = p.compile_cache_hits + p.compile_cache_misses;
+    std::printf(
+        "fit diagnostics: %zu model evals, %zu proxy evals, "
+        "%zu model / %zu proxy cache hits\n",
+        p.model_evals, p.proxy_evals, p.model_cache_hits, p.proxy_cache_hits);
+    std::printf(
+        "                 %zu failed candidates, %zu build retries, "
+        "plan-compile hit rate %.1f%% (%zu/%zu)\n",
+        p.failed_candidates.size(), p.build_retries,
+        compile_total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(p.compile_cache_hits) /
+                                 static_cast<double>(compile_total),
+        p.compile_cache_hits, compile_total);
+    if (!p.failed_candidates.empty()) {
+      std::printf("                 first failure: %s\n",
+                  p.failed_candidates.front().status.ToString().c_str());
+    }
+    if (!args.checkpoint_dir.empty()) {
+      std::printf("                 %zu checkpoint snapshot(s)%s\n",
+                  p.checkpoints_written,
+                  p.resumed_from_checkpoint ? ", resumed from checkpoint" : "");
+    }
   }
 
   // Serving handle: compiled once here, then applied to the training CSV.

@@ -29,21 +29,28 @@ if [[ -x "$ROOT/build/bench_micro" ]]; then
   }
   for field in transform_warm_vs_cold search_sequential_seconds \
                search_batched_seconds search_batched_speedup \
-               plan_compile_hit_rate exec_context_overhead; do
+               plan_compile_hit_rate exec_context_overhead \
+               checkpoint_off_seconds checkpoint_on_seconds \
+               checkpoint_overhead checkpoint_plan_identical; do
     grep -q "\"$field\"" "$ROOT/BENCH_executor.json" || {
       echo "ci.sh: $field missing from BENCH_executor.json" >&2
       exit 1
     }
   done
-  # The cooperative ExecContext checks must stay free when no limit is set:
-  # gate the with-context / no-context ratio at < 1.02 (2% overhead).
+  # The cooperative ExecContext checks must stay free when no limit is set,
+  # and durable fit (atomic snapshot writes at round boundaries) must stay
+  # within noise of an uncheckpointed fit: gate both ratios at < 1.02 (2%).
+  # The durable fit's plan must also be byte-identical to the plain fit's.
   python3 - "$ROOT/BENCH_executor.json" <<'EOF'
 import json, sys
 record = json.load(open(sys.argv[1]))
-overhead = record["exec_context_overhead"]
-if overhead >= 1.02:
-    sys.exit(f"ci.sh: exec_context_overhead {overhead:.4f} >= 1.02")
-print(f"ci.sh: exec_context_overhead {overhead:.4f} (< 1.02)")
+for field in ("exec_context_overhead", "checkpoint_overhead"):
+    overhead = record[field]
+    if overhead >= 1.02:
+        sys.exit(f"ci.sh: {field} {overhead:.4f} >= 1.02")
+    print(f"ci.sh: {field} {overhead:.4f} (< 1.02)")
+if not record["checkpoint_plan_identical"]:
+    sys.exit("ci.sh: durable fit's plan diverged from the plain fit's")
 EOF
 else
   echo "ci.sh: bench_micro not built (google-benchmark missing?)" >&2
@@ -63,6 +70,20 @@ FEATLIB_FAULT_SWEEP_SEEDS="${FEATLIB_FAULT_SWEEP_SEEDS:-16}" \
 FEATLIB_FAULT_PROB="${FEATLIB_FAULT_PROB:-0.08}" \
   "$ROOT/build/fault_sweep_test"
 
+# ---- Kill-resume sweep: durable fit crash-safety invariant ------------------
+# (checkpoint_sweep_test kills a checkpointed fit at injected crash points
+# (checkpoint round boundaries), resumes from whatever the dying run left on
+# disk, and requires the resumed plan to be byte-identical to an
+# uninterrupted run's. The rotation offset follows the date — day N starts
+# the kill-point rotation at a different boundary than day N+1 — so CI
+# coverage accumulates across the whole boundary space while any one run
+# stays reproducible from its printed offset.)
+KILL_OFFSET="${FEATLIB_KILL_OFFSET:-$(( $(date +%s) / 86400 ))}"
+echo "ci.sh: kill-resume sweep rotation offset $KILL_OFFSET"
+FEATLIB_FAULT_SEED="$KILL_OFFSET" \
+FEATLIB_KILL_POINTS="${FEATLIB_KILL_POINTS:-6}" \
+  "$ROOT/build/checkpoint_sweep_test"
+
 # ---- ASan+UBSan: full suite under address + undefined sanitizers ------------
 # (The fault-tolerance paths exercise error unwinding through every layer;
 # ASan/UBSan verifies no leak, use-after-free, or UB hides in the unwind or
@@ -80,7 +101,9 @@ ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$JOBS"
 # instrumented build is slow. generator_test and search_session_test drive
 # the batched search pipeline end to end — SuggestBatch pools through
 # FeatureEvaluator::Features into the parallel EvaluateMany prepare/fan-out —
-# so they pin the pipeline's thread-safety claims too.)
+# so they pin the pipeline's thread-safety claims too. checkpoint_test
+# exercises the async CheckpointWriter: fit-thread enqueue vs background
+# writer vs destructor drain.)
 TSAN_TESTS=(
   executor_golden_test
   executor_parallel_test
@@ -89,6 +112,7 @@ TSAN_TESTS=(
   serving_concurrency_test
   generator_test
   search_session_test
+  checkpoint_test
 )
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -27,6 +27,7 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  kDataLoss,
 };
 
 /// \brief Returns the canonical lowercase name of a status code.
@@ -68,6 +69,11 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Unrecoverable corruption of durable state: a checksum mismatch, a torn
+  /// file, or a checkpoint that no longer matches the fit that wrote it.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

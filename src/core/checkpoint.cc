@@ -1,0 +1,360 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/file_io.h"
+#include "common/str_util.h"
+
+namespace featlib {
+
+namespace {
+
+constexpr const char* kCheckpointHeader = "-- feataug checkpoint v1";
+
+std::string DoubleBitsHex(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return StrFormat("%016llx", static_cast<unsigned long long>(bits));
+}
+
+bool ParseDoubleBitsHex(const std::string& hex, double* out) {
+  if (hex.size() != 16) return false;
+  uint64_t bits = 0;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    bits = (bits << 4) | static_cast<uint64_t>(digit);
+  }
+  std::memcpy(out, &bits, sizeof(*out));
+  return true;
+}
+
+bool ParseHex32(const std::string& hex, uint32_t* out) {
+  if (hex.size() != 8) return false;
+  uint32_t v = 0;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint32_t>(digit);
+  }
+  *out = v;
+  return true;
+}
+
+/// Query cache keys (and failure messages) may contain any byte the user's
+/// predicate values contain. The escape closes over '\n' (line framing),
+/// ' ' (field framing) and '\\' (the escape itself).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case ' ':
+        out += "\\s";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+bool Unescape(const std::string& s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      *out += s[i];
+      continue;
+    }
+    if (++i == s.size()) return false;
+    switch (s[i]) {
+      case '\\':
+        *out += '\\';
+        break;
+      case 'n':
+        *out += '\n';
+        break;
+      case 's':
+        *out += ' ';
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::DataLoss("corrupt checkpoint: " + what);
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(std::string path, uint32_t signature,
+                                   int every_rounds)
+    : path_(std::move(path)),
+      signature_(signature),
+      every_rounds_(every_rounds < 1 ? 1 : every_rounds) {}
+
+CheckpointWriter::~CheckpointWriter() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+void CheckpointWriter::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return pending_.has_value() || stop_; });
+    // Drain before honoring stop: the destructor's guarantee is that the
+    // freshest enqueued snapshot reaches disk even on a dying fit.
+    if (!pending_.has_value()) break;
+    std::string bytes = std::move(*pending_);
+    pending_.reset();
+    in_flight_ = true;
+    lock.unlock();
+    Status st = AtomicWriteFile(path_, bytes);
+    lock.lock();
+    in_flight_ = false;
+    if (!st.ok() && first_error_.ok()) first_error_ = st;
+    drain_cv_.notify_all();
+  }
+}
+
+void CheckpointWriter::Enqueue(std::string bytes) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    pending_ = std::move(bytes);  // latest-wins: supersede an unstarted write
+    if (!writer_.joinable()) {
+      writer_ = std::thread([this] { WriterLoop(); });
+    }
+  }
+  work_cv_.notify_all();
+}
+
+Status CheckpointWriter::MaybeSnapshot(SearchSession* session, bool force) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    FEAT_RETURN_NOT_OK(first_error_);
+  }
+  ++rounds_;
+  const bool due = force || rounds_ % static_cast<uint64_t>(every_rounds_) == 0;
+  if (due && session->revision() != last_revision_) {
+    FEAT_RETURN_NOT_OK(FaultPoint("checkpoint.snapshot"));
+    Enqueue(SerializeCheckpoint(session->ExportSnapshot(), signature_));
+    last_revision_ = session->revision();
+    ++written_;
+  }
+  // The kill site fires *after* the snapshot is enqueued, so a crash
+  // simulated at boundary N finds a checkpoint no older than the last
+  // boundary on disk (the writer drains during unwind) — the sweep then
+  // proves resume-equivalence from every such state.
+  FEAT_RETURN_NOT_OK(FaultPoint("checkpoint.kill"));
+  return Status::OK();
+}
+
+Status CheckpointWriter::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return !pending_.has_value() && !in_flight_; });
+  return first_error_;
+}
+
+std::string SerializeCheckpoint(const SearchSession::Snapshot& snapshot,
+                                uint32_t signature) {
+  std::vector<std::string> lines;
+  lines.reserve(snapshot.proxy.size() + snapshot.model.size() +
+                snapshot.fidelity.size() + snapshot.failures.size() +
+                snapshot.digests.size());
+  for (const auto& [key, score] : snapshot.proxy) {
+    lines.push_back(StrFormat("proxy %s %s", DoubleBitsHex(score).c_str(),
+                              Escape(key).c_str()));
+  }
+  for (const auto& [key, outcome] : snapshot.model) {
+    lines.push_back(StrFormat("model %s %s %s",
+                              DoubleBitsHex(outcome.metric).c_str(),
+                              DoubleBitsHex(outcome.loss).c_str(),
+                              Escape(key).c_str()));
+  }
+  for (const auto& [key, loss] : snapshot.fidelity) {
+    lines.push_back(StrFormat("fidelity %s %s", DoubleBitsHex(loss).c_str(),
+                              Escape(key).c_str()));
+  }
+  for (size_t i = 0; i < snapshot.failures.size(); ++i) {
+    const auto& f = snapshot.failures[i];
+    // The fixed-width index keeps first-failure order through the sort.
+    lines.push_back(StrFormat("failed %08zx %d %s %s", i, f.code,
+                              Escape(f.message).c_str(),
+                              Escape(f.key).c_str()));
+  }
+  for (const auto& [label, crc] : snapshot.digests) {
+    lines.push_back(
+        StrFormat("digest %08x %s", crc, Escape(label).c_str()));
+  }
+  // Sorted lines + sorted snapshot sections = deterministic bytes for a
+  // given state, independent of hash-map iteration order.
+  std::sort(lines.begin(), lines.end());
+
+  std::string out = std::string(kCheckpointHeader) + "\n";
+  out += StrFormat("-- signature: %08x\n", signature);
+  out += StrFormat("-- entries: %zu\n", lines.size());
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  AppendCrcFooter(&out);
+  return out;
+}
+
+Result<SearchSession::Snapshot> ParseCheckpoint(const std::string& text,
+                                                uint32_t* signature) {
+  if (text.find('\0') != std::string::npos) {
+    return Corrupt("contains NUL bytes");
+  }
+  FEAT_RETURN_NOT_OK(CheckCrcFooter(text));
+
+  SearchSession::Snapshot out;
+  std::vector<std::pair<size_t, SearchSession::Snapshot::FailureEntry>>
+      failures;
+  bool saw_header = false;
+  bool saw_signature = false;
+  long declared_entries = -1;
+  size_t entries = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kCheckpointHeader) {
+        return Corrupt("bad header line: " + line);
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line.rfind("-- signature: ", 0) == 0) {
+      uint32_t sig = 0;
+      if (!ParseHex32(StrTrim(line.substr(14)), &sig)) {
+        return Corrupt("bad signature line: " + line);
+      }
+      if (signature != nullptr) *signature = sig;
+      saw_signature = true;
+      continue;
+    }
+    if (line.rfind("-- entries: ", 0) == 0) {
+      int64_t n = 0;
+      if (!ParseInt64(StrTrim(line.substr(12)), &n) || n < 0) {
+        return Corrupt("bad entries line: " + line);
+      }
+      declared_entries = static_cast<long>(n);
+      continue;
+    }
+    if (line.rfind("-- crc32: ", 0) == 0) continue;  // verified above
+    if (line.rfind("--", 0) == 0) continue;          // tolerated comment
+
+    const std::vector<std::string> fields = StrSplit(line, ' ');
+    std::string key;
+    if (fields[0] == "proxy" && fields.size() == 3) {
+      double score = 0.0;
+      if (!ParseDoubleBitsHex(fields[1], &score) || !Unescape(fields[2], &key)) {
+        return Corrupt("bad proxy entry: " + line);
+      }
+      out.proxy.emplace_back(std::move(key), score);
+    } else if (fields[0] == "model" && fields.size() == 4) {
+      SearchSession::ModelOutcome outcome;
+      if (!ParseDoubleBitsHex(fields[1], &outcome.metric) ||
+          !ParseDoubleBitsHex(fields[2], &outcome.loss) ||
+          !Unescape(fields[3], &key)) {
+        return Corrupt("bad model entry: " + line);
+      }
+      out.model.emplace_back(std::move(key), outcome);
+    } else if (fields[0] == "fidelity" && fields.size() == 3) {
+      double loss = 0.0;
+      if (!ParseDoubleBitsHex(fields[1], &loss) || !Unescape(fields[2], &key)) {
+        return Corrupt("bad fidelity entry: " + line);
+      }
+      out.fidelity.emplace_back(std::move(key), loss);
+    } else if (fields[0] == "failed" && fields.size() == 5) {
+      uint32_t index = 0;
+      int64_t code = 0;
+      SearchSession::Snapshot::FailureEntry f;
+      if (!ParseHex32(fields[1], &index) || !ParseInt64(fields[2], &code) ||
+          !Unescape(fields[3], &f.message) || !Unescape(fields[4], &f.key)) {
+        return Corrupt("bad failed entry: " + line);
+      }
+      f.code = static_cast<int>(code);
+      failures.emplace_back(index, std::move(f));
+    } else if (fields[0] == "digest" && fields.size() == 3) {
+      uint32_t crc = 0;
+      std::string label;
+      if (!ParseHex32(fields[1], &crc) || !Unescape(fields[2], &label)) {
+        return Corrupt("bad digest entry: " + line);
+      }
+      out.digests.emplace_back(std::move(label), crc);
+    } else {
+      return Corrupt("unknown entry: " + line);
+    }
+    ++entries;
+  }
+  if (!saw_header) return Corrupt("empty file");
+  if (!saw_signature) return Corrupt("missing signature");
+  if (declared_entries < 0) return Corrupt("missing entries count");
+  if (static_cast<size_t>(declared_entries) != entries) {
+    return Corrupt(StrFormat("declares %ld entries but %zu present",
+                             declared_entries, entries));
+  }
+  std::sort(failures.begin(), failures.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.failures.reserve(failures.size());
+  for (auto& [index, f] : failures) out.failures.push_back(std::move(f));
+  return out;
+}
+
+Status SaveCheckpoint(const std::string& path,
+                      const SearchSession::Snapshot& snapshot,
+                      uint32_t signature) {
+  return AtomicWriteFile(path, SerializeCheckpoint(snapshot, signature));
+}
+
+Result<SearchSession::Snapshot> LoadCheckpoint(const std::string& path,
+                                               uint32_t expected_signature) {
+  FEAT_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  uint32_t signature = 0;
+  FEAT_ASSIGN_OR_RETURN(SearchSession::Snapshot snapshot,
+                        ParseCheckpoint(text, &signature));
+  if (signature != expected_signature) {
+    return Status::DataLoss(StrFormat(
+        "checkpoint signature %08x does not match this fit's %08x — it was "
+        "written by a different seed, options, or problem (%s)",
+        signature, expected_signature, path.c_str()));
+  }
+  return snapshot;
+}
+
+}  // namespace featlib

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file checkpoint.h
+/// \brief Crash-safe checkpointing of one Fit's search state.
+///
+/// The durable-fit design is **replay with memoized evaluations**, not
+/// mid-round state capture: everything expensive in a fit — feature
+/// materialization, proxy statistics, model trainings, rung trainings — is
+/// deterministic and flows through the SearchSession's content-keyed
+/// caches. A checkpoint therefore persists exactly those caches (plus the
+/// failure ledger and per-unit trajectory digests), and resume re-runs the
+/// search from the start: every previously-paid evaluation hits the
+/// restored caches, so the replay costs only surrogate/RNG arithmetic and
+/// the continuation is byte-identical to an uninterrupted same-seed run.
+///
+/// File format (text, line-based, deterministic bytes):
+///
+///   -- feataug checkpoint v1
+///   -- signature: <8 hex>          fit signature; mismatch refuses resume
+///   -- entries: <N>
+///   digest <8 hex> <label>         trajectory digest per search unit
+///   failed <8 hex idx> <code> <msg> <key>
+///   fidelity <16 hex loss> <fidelity-bits|key>
+///   model <16 hex metric> <16 hex loss> <key>
+///   proxy <16 hex score> <proxy|key>
+///   -- crc32: <8 hex>
+///
+/// Entry lines are sorted; doubles are serialized as raw bit patterns (16
+/// hex digits) so every value — including NaN payloads — round-trips
+/// bit-exactly. Variable-text fields (keys, labels, messages) are escaped
+/// ('\\' -> "\\\\", newline -> "\\n", space -> "\\s") and placed last so
+/// lines split unambiguously on spaces. Writes go through AtomicWriteFile
+/// and the file carries the shared CRC32 footer: a kill mid-snapshot leaves
+/// the previous checkpoint intact, and a torn or bit-flipped checkpoint
+/// fails load with kDataLoss.
+///
+/// Fault-injection sites: "checkpoint.snapshot" (fails the write decision),
+/// "checkpoint.kill" (fires at every round boundary after the snapshot —
+/// arming its nth call simulates a kill with checkpoints on disk; the
+/// kill-resume sweeps in tests/ci drive it).
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/search_session.h"
+
+namespace featlib {
+
+/// \brief Snapshots a SearchSession to one checkpoint file at round
+/// boundaries. Attached via SearchSession::set_checkpoint.
+///
+/// Writes happen off the search's critical path: MaybeSnapshot serializes
+/// on the calling thread (the bytes must be a consistent view of the
+/// session) and hands them to a single background writer that runs the
+/// fsync'd AtomicWriteFile. Queued snapshots coalesce latest-wins — if the
+/// search outpaces the disk, intermediate states are superseded, never
+/// reordered. Call Flush() (or let the destructor run) to guarantee the
+/// newest snapshot is durable; a background write failure is sticky and
+/// surfaces, typed, from the next MaybeSnapshot/Flush — a fit that cannot
+/// persist its progress fails loudly rather than running silently
+/// undurable. MaybeSnapshot/Flush themselves must be driven from one
+/// thread (the search thread).
+class CheckpointWriter {
+ public:
+  /// `signature` identifies the fit (seed + options + problem schema);
+  /// LoadCheckpoint refuses a file whose signature differs. `every_rounds`
+  /// rate-limits unforced snapshots (1 = every dirty round boundary).
+  CheckpointWriter(std::string path, uint32_t signature, int every_rounds = 1);
+
+  /// Drains pending writes, then joins the writer thread — the freshest
+  /// enqueued snapshot is on disk (or its failure recorded) before a dying
+  /// fit finishes unwinding.
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Round-boundary hook: counts the round, snapshots when due (or
+  /// `force`d) and the session state changed since the last enqueue, then
+  /// fires the "checkpoint.kill" crash site. Returns any sticky failure
+  /// from an earlier background write.
+  Status MaybeSnapshot(SearchSession* session, bool force);
+
+  /// Blocks until every enqueued snapshot has been written (or failed);
+  /// returns the first background write failure, if any. Fit calls this
+  /// before returning so callers may read the checkpoint file immediately.
+  Status Flush();
+
+  const std::string& path() const { return path_; }
+  /// Snapshots enqueued (a superseded, never-written snapshot counts: it
+  /// was logically taken).
+  size_t snapshots_written() const { return written_; }
+  uint64_t rounds_seen() const { return rounds_; }
+
+ private:
+  void WriterLoop();
+  /// Hands `bytes` to the writer thread (starting it on first use),
+  /// superseding any not-yet-started write.
+  void Enqueue(std::string bytes);
+
+  std::string path_;
+  uint32_t signature_;
+  int every_rounds_;
+  uint64_t rounds_ = 0;
+  uint64_t last_revision_ = ~0ull;  // "nothing enqueued yet"
+  size_t written_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals the writer: work or stop
+  std::condition_variable drain_cv_;  // signals Flush: queue drained
+  std::optional<std::string> pending_;
+  bool in_flight_ = false;
+  bool stop_ = false;
+  Status first_error_;  // sticky first background write failure
+  std::thread writer_;  // joinable iff started
+};
+
+/// Renders a snapshot to the checkpoint file format (deterministic bytes).
+std::string SerializeCheckpoint(const SearchSession::Snapshot& snapshot,
+                                uint32_t signature);
+
+/// Parses a checkpoint. Torn/bit-flipped/malformed files fail kDataLoss;
+/// `signature` (may be null) receives the embedded fit signature.
+Result<SearchSession::Snapshot> ParseCheckpoint(const std::string& text,
+                                                uint32_t* signature);
+
+/// Atomic, checksummed save (AtomicWriteFile under the hood).
+Status SaveCheckpoint(const std::string& path,
+                      const SearchSession::Snapshot& snapshot,
+                      uint32_t signature);
+
+/// Loads and verifies a checkpoint file. kNotFound when absent (a fresh
+/// resume starts empty), kDataLoss on any integrity failure, and kDataLoss
+/// when `expected_signature` differs from the file's — a checkpoint from a
+/// different fit must never silently steer this one.
+Result<SearchSession::Snapshot> LoadCheckpoint(const std::string& path,
+                                               uint32_t expected_signature);
+
+}  // namespace featlib

@@ -34,6 +34,28 @@ struct FeatAugOptions {
   TemplateIdOptions qti;
   EvaluatorOptions evaluator;
   uint64_t seed = 42;
+  /// Durable fit (core/checkpoint.h): when `dir` is set, the search
+  /// snapshots its session state to "<dir>/fit.ckpt" (or "fit_<tag>.ckpt")
+  /// at round boundaries, atomically and checksummed. With `resume` a fit
+  /// killed at any point restarts from the freshest checkpoint and — by
+  /// replaying the deterministic search against the restored evaluation
+  /// caches — produces a plan byte-identical to an uninterrupted run. A
+  /// checkpoint written by a different fit (seed, options, or problem
+  /// schema) is refused with kDataLoss rather than silently steering this
+  /// one; a missing file is simply a fresh start.
+  struct CheckpointConfig {
+    /// Checkpoint directory; empty disables checkpointing. Must exist.
+    std::string dir;
+    /// Restore the existing checkpoint (if any) before searching.
+    bool resume = false;
+    /// Snapshot every N dirty round boundaries (completed search units
+    /// always force one). Raise to trade durability for write volume.
+    int every_rounds = 1;
+    /// Distinguishes fits sharing `dir`; MultiTableFeatAug tags each
+    /// per-table fit with the table name.
+    std::string tag;
+  };
+  CheckpointConfig checkpoint;
   /// Cooperative execution limits for the whole Fit (deadline, cancellation,
   /// memory budget), checked at chunk/stage boundaries of every evaluation.
   /// Not owned; must outlive the Fit. A tripped context surfaces as
@@ -61,9 +83,22 @@ struct AugmentationPlan {
   size_t warmup_model_evals = 0;
   size_t generation_model_evals = 0;
   /// Proposals served from the fit-wide SearchSession score caches
-  /// (repeat proposals within and across templates).
+  /// (repeat proposals within and across templates). A resumed fit's
+  /// pre-crash evaluations reappear here: replay pays them from the
+  /// restored caches, so the eval counters above cover only post-resume
+  /// work while the hit counters absorb the history.
   size_t proxy_cache_hits = 0;
   size_t model_cache_hits = 0;
+  /// Artifact-build re-attempts taken under the planner's RetryPolicy.
+  size_t build_retries = 0;
+  /// Cumulative compile-memo counters of the fit's planner (candidate
+  /// resolutions reused across HPO rounds vs derived fresh).
+  size_t compile_cache_hits = 0;
+  size_t compile_cache_misses = 0;
+  /// Durable fit: snapshots persisted during this run, and whether the
+  /// search started from a restored checkpoint.
+  size_t checkpoints_written = 0;
+  bool resumed_from_checkpoint = false;
   /// Candidates skipped by partial-failure isolation during the search
   /// (content key + the Status that sank each). Skipped candidates score
   /// worst-possible and never enter `queries`; a nonempty list is the signal
@@ -85,6 +120,16 @@ struct FeatAugProblem {
   std::vector<std::string> fk_attrs;
   std::vector<std::string> candidate_where_attrs;
 };
+
+/// Fit signature: CRC32 over everything that determines the search
+/// trajectory — seed, search options, and problem schema (label, column
+/// names, agg functions, attribute sets). A checkpoint stamps this into its
+/// header and resume refuses a mismatch, so a checkpoint can never be
+/// replayed into a fit it was not written by. Table *contents* are
+/// deliberately excluded (hashing every cell would dwarf the snapshot
+/// cost); callers mutating data between fit and resume are out of contract.
+uint32_t FitSignature(const FeatAugProblem& problem,
+                      const FeatAugOptions& options);
 
 /// \brief FeatAug driver.
 class FeatAug {

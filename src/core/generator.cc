@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/file_io.h"
+#include "common/str_util.h"
 #include "common/timer.h"
 
 namespace featlib {
@@ -105,6 +107,11 @@ Result<GenerationResult> SqlQueryGenerator::Run(const QueryTemplate& tmpl) {
     return Status::OK();
   };
 
+  // Canonical encoding of every optimizer observation this run makes; its
+  // CRC becomes the template's trajectory digest (checkpoint divergence
+  // detection — see SearchSession::RecordTrajectoryDigest).
+  std::string observation_state;
+
   WallTimer timer;
   if (options_.enable_warmup) {
     // ---- Round one: suggest-batch TPE pools against the low-cost proxy. ----
@@ -145,6 +152,7 @@ Result<GenerationResult> SqlQueryGenerator::Run(const QueryTemplate& tmpl) {
     FEAT_RETURN_NOT_OK(evaluate_pool_with_model(promoted, promoted_pool,
                                                 /*observer=*/nullptr,
                                                 /*record_warm=*/true));
+    proxy_search.AppendObservationState(&observation_state);
   }
   result.warmup_seconds = options_.enable_warmup ? timer.Seconds() : 0.0;
 
@@ -191,6 +199,7 @@ Result<GenerationResult> SqlQueryGenerator::Run(const QueryTemplate& tmpl) {
       return session_->FidelityLosses(pool, fidelity);
     };
     FEAT_RETURN_NOT_OK(driver.RunBatched(objective).status());
+    driver.AppendObservationState(&observation_state);
   } else {
     auto generation_search_ptr = MakeOptimizer(options_.backend, codec.space(),
                                                options_.tpe, options_.seed + 1);
@@ -204,9 +213,21 @@ Result<GenerationResult> SqlQueryGenerator::Run(const QueryTemplate& tmpl) {
                                                   /*record_warm=*/false));
       done += b;
     }
+    generation_search.AppendObservationState(&observation_state);
   }
   result.generate_seconds = timer.Seconds();
   session_->BeginStage(SearchStage::kOther);
+
+  // Durable fit: a completed template is a natural durable unit. Record its
+  // trajectory digest (a resumed fit whose replay diverges from the
+  // checkpointed digest fails kDataLoss instead of silently emitting a
+  // different plan) and force a snapshot so a kill between templates loses
+  // nothing. The label is unique per template — Fit assigns each template a
+  // distinct generator seed.
+  FEAT_RETURN_NOT_OK(session_->RecordTrajectoryDigest(
+      StrFormat("gen_s%llu", static_cast<unsigned long long>(options_.seed)),
+      Crc32(observation_state)));
+  FEAT_RETURN_NOT_OK(session_->CheckpointNow());
 
   result.queries.reserve(evaluated.size());
   for (auto& [key, gq] : evaluated) result.queries.push_back(std::move(gq));

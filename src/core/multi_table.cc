@@ -213,6 +213,13 @@ Result<MultiTablePlan> MultiTableFeatAug::Fit() {
         1, (budgets[i] + options_.queries_per_template - 1) /
                options_.queries_per_template);
     sub_options.seed = options_.seed + 7919 * (i + 1);
+    // Each per-table fit checkpoints under its own tag so the files in a
+    // shared directory never collide; a killed multi-table fit resumes
+    // table-by-table (completed tables replay from their full caches).
+    if (!sub_options.checkpoint.dir.empty() &&
+        sub_options.checkpoint.tag.empty()) {
+      sub_options.checkpoint.tag = input.name;
+    }
 
     FeatAug feataug(std::move(sub), sub_options);
     FEAT_ASSIGN_OR_RETURN(AugmentationPlan plan, feataug.Fit());
@@ -269,6 +276,9 @@ Result<std::unique_ptr<FittedAugmenter>> MultiTableFeatAug::MakeFitted(
     diag.generation_model_evals += tp.plan.generation_model_evals;
     diag.proxy_cache_hits += tp.plan.proxy_cache_hits;
     diag.model_cache_hits += tp.plan.model_cache_hits;
+    diag.build_retries += tp.plan.build_retries;
+    diag.compile_cache_hits += tp.plan.compile_cache_hits;
+    diag.compile_cache_misses += tp.plan.compile_cache_misses;
     diag.failed_candidates.insert(diag.failed_candidates.end(),
                                   tp.plan.failed_candidates.begin(),
                                   tp.plan.failed_candidates.end());

@@ -1,13 +1,11 @@
 #include "core/plan_io.h"
 
 #include <cmath>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
-#include <system_error>
 #include <unordered_set>
 
 #include "common/fault_injection.h"
+#include "common/file_io.h"
 #include "common/str_util.h"
 #include "query/sql_parser.h"
 
@@ -15,7 +13,36 @@ namespace featlib {
 
 namespace {
 
-constexpr const char* kPlanHeader = "-- feataug plan v1";
+/// v1 files (and headerless hand-written scripts) parse leniently — the
+/// "reviewable, editable SQL" contract. v2 adds the integrity envelope:
+/// a `-- queries: N` count and a CRC32 footer over all preceding bytes,
+/// both mandatory, so torn or bit-flipped files fail load with kDataLoss.
+constexpr const char* kPlanHeaderV1 = "-- feataug plan v1";
+constexpr const char* kPlanHeaderV2 = "-- feataug plan v2";
+constexpr const char* kPlanHeaderPrefix = "-- feataug plan";
+
+/// First line of `text` (without the newline).
+std::string FirstLine(const std::string& text) {
+  const size_t eol = text.find('\n');
+  return eol == std::string::npos ? text : text.substr(0, eol);
+}
+
+/// Extracts the declared query count from a "-- queries: N" line, or -1.
+long DeclaredQueryCount(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::string trimmed = StrTrim(line);
+    if (trimmed.rfind("-- queries:", 0) == 0) {
+      int64_t n = 0;
+      if (ParseInt64(StrTrim(trimmed.substr(11)), &n) && n >= 0) {
+        return static_cast<long>(n);
+      }
+      return -1;
+    }
+  }
+  return -1;
+}
 
 /// Extracts "-- key: value" metadata lines preceding each statement.
 /// Returns per-statement (name, metric) pairs in order of appearance,
@@ -62,7 +89,7 @@ std::vector<StatementMeta> CollectMetadata(const std::string& text) {
 std::string SerializeAugmentationPlan(const AugmentationPlan& plan,
                                       const std::string& relation,
                                       const Table& schema_of) {
-  std::string out = std::string(kPlanHeader) + "\n";
+  std::string out = std::string(kPlanHeaderV2) + "\n";
   out += StrFormat("-- queries: %zu\n\n", plan.queries.size());
   for (size_t i = 0; i < plan.queries.size(); ++i) {
     if (i < plan.feature_names.size()) {
@@ -73,6 +100,10 @@ std::string SerializeAugmentationPlan(const AugmentationPlan& plan,
     }
     out += plan.queries[i].ToSql(relation, schema_of) + ";\n\n";
   }
+  // Integrity footer: CRC32 of every byte above, verified on parse. Hand
+  // editors who break it can drop the header line to fall back to the
+  // lenient legacy format.
+  AppendCrcFooter(&out);
   return out;
 }
 
@@ -84,8 +115,38 @@ Result<AugmentationPlan> ParseAugmentationPlan(const std::string& text) {
     return Status::InvalidArgument(
         "plan script contains NUL bytes (corrupt or binary file)");
   }
+  // Version dispatch on the first line. v2 carries a mandatory integrity
+  // envelope; v1 and headerless scripts stay lenient (hand-editable). A
+  // header line that names no known version is corruption or a future
+  // format — never guess.
+  const std::string first = StrTrim(FirstLine(text));
+  const bool v2 = first == kPlanHeaderV2;
+  if (!v2 && first != kPlanHeaderV1 &&
+      first.rfind(kPlanHeaderPrefix, 0) == 0) {
+    return Status::DataLoss("unrecognized plan header (corrupt file or "
+                            "unsupported version): " +
+                            first);
+  }
+  // Verify the envelope whenever a crc footer is present, not only under a
+  // v2 header: a bit flip inside the header line must not demote the file
+  // to the lenient legacy path and skip its own checksum.
+  const bool has_footer =
+      text.find(std::string("\n") + kCrcFooterPrefix) != std::string::npos;
+  if (v2 || has_footer) FEAT_RETURN_NOT_OK(CheckCrcFooter(text));
   FEAT_ASSIGN_OR_RETURN(std::vector<ParsedAggQuery> parsed,
                         ParseAggQueryScript(text));
+  if (v2) {
+    const long declared = DeclaredQueryCount(text);
+    if (declared < 0) {
+      return Status::DataLoss("v2 plan is missing its '-- queries: N' count");
+    }
+    if (static_cast<size_t>(declared) != parsed.size()) {
+      return Status::DataLoss(
+          StrFormat("v2 plan declares %ld queries but %zu parsed "
+                    "(truncated or edited without re-checksumming)",
+                    declared, parsed.size()));
+    }
+  }
   const std::vector<StatementMeta> meta = CollectMetadata(text);
   AugmentationPlan plan;
   std::unordered_set<std::string> used;
@@ -127,30 +188,16 @@ Status WriteAugmentationPlan(const AugmentationPlan& plan,
                              const std::string& relation, const Table& schema_of,
                              const std::string& path) {
   FEAT_RETURN_NOT_OK(FaultPoint("plan_io.write"));
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out << SerializeAugmentationPlan(plan, relation, schema_of);
-  out.flush();
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  // Atomic: a crash or injected failure anywhere in the save leaves the
+  // previous plan at `path` intact; a reader never sees a torn file.
+  return AtomicWriteFile(path, SerializeAugmentationPlan(plan, relation,
+                                                         schema_of));
 }
 
 Result<AugmentationPlan> ReadAugmentationPlan(const std::string& path) {
   FEAT_RETURN_NOT_OK(FaultPoint("plan_io.read"));
-  // ifstream happily "opens" a directory on Linux and then reads as if the
-  // file were empty — catch it before that turns into a silently-empty plan.
-  std::error_code ec;
-  if (std::filesystem::is_directory(path, ec)) {
-    return Status::IOError("path is a directory: " + path);
-  }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open: " + path);
-  std::stringstream buf;
-  buf << in.rdbuf();
-  // rdbuf() swallows stream errors; bad() distinguishes "short file" from
-  // "the read itself failed" (I/O error, directory, ...).
-  if (in.bad() || buf.bad()) return Status::IOError("read failed: " + path);
-  return ParseAugmentationPlan(buf.str());
+  FEAT_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseAugmentationPlan(text);
 }
 
 Result<std::unique_ptr<FittedAugmenter>> LoadFittedAugmenter(

@@ -8,17 +8,26 @@
 /// data scientist — with the plan metadata (feature names, validation
 /// metrics) carried in `--` line comments the parser ignores:
 ///
-///   -- feataug plan v1
+///   -- feataug plan v2
+///   -- queries: 1
 ///   -- feature: feataug_AVG_pprice_t0_q0
 ///   -- valid_metric: 0.7421
 ///   SELECT cname, AVG(pprice) AS feature
 ///   FROM relevant
 ///   WHERE department = 'Electronics'
 ///   GROUP BY cname;
+///   -- crc32: 1a2b3c4d
 ///
-/// Loading tolerates hand edits: extra/removed queries, changed predicates,
-/// missing metadata comments (names are regenerated, metrics become NaN).
-/// Loaded plans re-validate against the relevant table before use.
+/// v2 files carry an integrity envelope — a mandatory query count and a
+/// CRC32 footer over all preceding bytes — so a torn or bit-flipped file
+/// fails load with kDataLoss instead of yielding a silent partial plan.
+/// Writes are atomic (temp + fsync + rename; see common/file_io.h): a crash
+/// mid-save leaves the previous file intact. Hand editors who change a v2
+/// file without re-checksumming can drop the header+footer to fall back to
+/// the lenient legacy format: v1 and headerless scripts still tolerate
+/// extra/removed queries, changed predicates, and missing metadata comments
+/// (names are regenerated, metrics become NaN). Loaded plans re-validate
+/// against the relevant table before use.
 
 #include <memory>
 #include <string>

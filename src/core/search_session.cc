@@ -1,6 +1,11 @@
 #include "core/search_session.h"
 
+#include <algorithm>
+#include <cstring>
 #include <limits>
+
+#include "common/str_util.h"
+#include "core/checkpoint.h"
 
 namespace featlib {
 
@@ -8,6 +13,18 @@ namespace {
 
 std::string ProxyKey(ProxyKind proxy, const std::string& content_key) {
   std::string out = ProxyKindToString(proxy);
+  out += '|';
+  out += content_key;
+  return out;
+}
+
+/// Replay-cache key for one (fidelity, query) rung evaluation. The fidelity
+/// is keyed by exact bit pattern: rung fidelities are computed, not chosen,
+/// and the replay must never mix adjacent rungs.
+std::string FidelityKey(double fidelity, const std::string& content_key) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &fidelity, sizeof(bits));
+  std::string out = StrFormat("%016llx", static_cast<unsigned long long>(bits));
   out += '|';
   out += content_key;
   return out;
@@ -28,6 +45,70 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 void SearchSession::RecordFailure(std::string key, const Status& status) {
   if (!failed_keys_.insert(key).second) return;
   failures_.push_back(FailedCandidate{std::move(key), status});
+  ++revision_;
+}
+
+Status SearchSession::RoundBoundary() {
+  if (checkpoint_ == nullptr) return Status::OK();
+  return checkpoint_->MaybeSnapshot(this, /*force=*/false);
+}
+
+Status SearchSession::CheckpointNow() {
+  if (checkpoint_ == nullptr) return Status::OK();
+  return checkpoint_->MaybeSnapshot(this, /*force=*/true);
+}
+
+Status SearchSession::RecordTrajectoryDigest(const std::string& label,
+                                             uint32_t crc) {
+  auto restored = restored_digests_.find(label);
+  if (restored != restored_digests_.end() && restored->second != crc) {
+    return Status::DataLoss(StrFormat(
+        "checkpoint divergence at trajectory digest '%s': checkpoint %08x, "
+        "replay %08x — the checkpoint belongs to a different fit "
+        "configuration or data",
+        label.c_str(), restored->second, crc));
+  }
+  if (digests_.emplace(label, crc).second) ++revision_;
+  return Status::OK();
+}
+
+SearchSession::Snapshot SearchSession::ExportSnapshot() const {
+  Snapshot out;
+  out.proxy.assign(proxy_cache_.begin(), proxy_cache_.end());
+  std::sort(out.proxy.begin(), out.proxy.end());
+  out.model.assign(model_cache_.begin(), model_cache_.end());
+  std::sort(out.model.begin(), out.model.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // The fidelity section is the union of what this run computed and what a
+  // restored checkpoint carried: entries the replay never touched must
+  // survive into the next checkpoint generation.
+  std::unordered_map<std::string, double> fidelity = fidelity_replay_;
+  for (const auto& [k, v] : fidelity_log_) fidelity[k] = v;
+  out.fidelity.assign(fidelity.begin(), fidelity.end());
+  std::sort(out.fidelity.begin(), out.fidelity.end());
+  out.failures.reserve(failures_.size());
+  for (const FailedCandidate& f : failures_) {
+    out.failures.push_back(Snapshot::FailureEntry{
+        static_cast<int>(f.status.code()), f.status.message(), f.key});
+  }
+  std::unordered_map<std::string, uint32_t> digests = restored_digests_;
+  for (const auto& [k, v] : digests_) digests[k] = v;
+  out.digests.assign(digests.begin(), digests.end());
+  std::sort(out.digests.begin(), out.digests.end());
+  return out;
+}
+
+void SearchSession::RestoreSnapshot(const Snapshot& snapshot) {
+  for (const auto& [k, v] : snapshot.proxy) proxy_cache_.emplace(k, v);
+  for (const auto& [k, v] : snapshot.model) model_cache_.emplace(k, v);
+  for (const auto& [k, v] : snapshot.fidelity) fidelity_replay_.emplace(k, v);
+  for (const Snapshot::FailureEntry& f : snapshot.failures) {
+    if (!failed_keys_.insert(f.key).second) continue;
+    failures_.push_back(FailedCandidate{
+        f.key, Status(static_cast<StatusCode>(f.code), f.message)});
+  }
+  for (const auto& [k, v] : snapshot.digests) restored_digests_.emplace(k, v);
+  ++revision_;
 }
 
 const char* SearchStageToString(SearchStage stage) {
@@ -67,7 +148,10 @@ Result<std::vector<double>> SearchSession::ProxyScores(
       missing.push_back(i);
     }
   }
-  if (missing.empty()) return out;
+  if (missing.empty()) {
+    FEAT_RETURN_NOT_OK(RoundBoundary());
+    return out;
+  }
 
   // One EvaluateManyIsolated pass materializes every uncached member's
   // feature column; the per-member ProxyScore calls below then hit the
@@ -103,9 +187,11 @@ Result<std::vector<double>> SearchSession::ProxyScores(
       continue;
     }
     proxy_cache_.emplace(keys[i], score.value());
+    ++revision_;
     out[i] = score.value();
   }
   counters.proxy_evals += evaluator_->num_proxy_evals() - proxy_before;
+  FEAT_RETURN_NOT_OK(RoundBoundary());
   return out;
 }
 
@@ -126,7 +212,10 @@ Result<std::vector<SearchSession::ModelOutcome>> SearchSession::ModelScores(
     }
   }
   if (content_keys != nullptr) *content_keys = keys;
-  if (missing.empty()) return out;
+  if (missing.empty()) {
+    FEAT_RETURN_NOT_OK(RoundBoundary());
+    return out;
+  }
 
   std::vector<AggQuery> uncached;
   uncached.reserve(missing.size());
@@ -163,25 +252,52 @@ Result<std::vector<SearchSession::ModelOutcome>> SearchSession::ModelScores(
     const ModelOutcome outcome{metric.value(),
                                evaluator_->ScoreToLoss(metric.value())};
     model_cache_.emplace(keys[i], outcome);
+    ++revision_;
     out[i] = outcome;
   }
   counters.model_evals += evaluator_->num_model_evals() - model_before;
+  FEAT_RETURN_NOT_OK(RoundBoundary());
   return out;
 }
 
 Result<std::vector<double>> SearchSession::FidelityLosses(
     const std::vector<AggQuery>& pool, double fidelity) {
   StageCounters& counters = current();
+  // Replay pass: members whose (fidelity, query) loss a restored checkpoint
+  // already carries skip materialization and training entirely — the rung
+  // recomputation is deterministic, so the cached loss is the loss the
+  // replay would have produced.
+  std::vector<double> out(pool.size());
+  std::vector<std::string> keys(pool.size());
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    keys[i] = FidelityKey(fidelity, pool[i].CacheKey());
+    auto it = fidelity_replay_.find(keys[i]);
+    if (it != fidelity_replay_.end()) {
+      out[i] = it->second;
+      ++counters.model_cache_hits;
+    } else {
+      missing.push_back(i);
+    }
+  }
+  if (missing.empty()) {
+    FEAT_RETURN_NOT_OK(RoundBoundary());
+    return out;
+  }
+
+  std::vector<AggQuery> uncached;
+  uncached.reserve(missing.size());
+  for (size_t i : missing) uncached.push_back(pool[i]);
   const size_t model_before = evaluator_->num_model_evals();
   FEAT_ASSIGN_OR_RETURN(std::vector<FeatureEvaluator::FeatureSlot> slots,
-                        evaluator_->FeaturesIsolated(pool));
-  std::vector<double> out(pool.size());
-  for (size_t i = 0; i < pool.size(); ++i) {
+                        evaluator_->FeaturesIsolated(uncached));
+  for (size_t j = 0; j < missing.size(); ++j) {
+    const size_t i = missing[j];
     FEAT_RETURN_NOT_OK(ExecContext::CheckFor(evaluator_->exec_context()));
-    if (!slots[i].status.ok()) {
+    if (!slots[j].status.ok()) {
       // +inf loss: never promoted by successive halving, never NaN in a
       // loss-ascending sort.
-      RecordFailure(pool[i].CacheKey(), slots[i].status);
+      RecordFailure(pool[i].CacheKey(), slots[j].status);
       out[i] = kInf;
       continue;
     }
@@ -193,8 +309,13 @@ Result<std::vector<double>> SearchSession::FidelityLosses(
       continue;
     }
     out[i] = evaluator_->ScoreToLoss(metric.value());
+    // Log (never consult within a run): within-run rung repeats recompute,
+    // keeping the cost ledger identical to the non-checkpointed pipeline;
+    // the log only feeds the next checkpoint.
+    if (fidelity_log_.emplace(keys[i], out[i]).second) ++revision_;
   }
   counters.model_evals += evaluator_->num_model_evals() - model_before;
+  FEAT_RETURN_NOT_OK(RoundBoundary());
   return out;
 }
 

@@ -20,9 +20,20 @@
 ///     back into GenerationResult and AugmentationPlan.
 ///
 /// Reduced-fidelity losses (Hyperband/BOHB rungs) are deliberately *not*
-/// cached: they are rung-specific training subsets and the sequential driver
-/// recomputed repeats too — caching them would change no trajectory but
-/// would misstate the cost ledger.
+/// cached within a run: they are rung-specific training subsets and the
+/// sequential driver recomputed repeats too — caching them would change no
+/// trajectory but would misstate the cost ledger. They *are* logged for the
+/// checkpoint layer, and a restored checkpoint's fidelity entries are
+/// consulted on resume (the recomputation is deterministic, so a replay hit
+/// returns the identical loss without retraining).
+///
+/// **Durable fit:** attach a CheckpointWriter (set_checkpoint) and every
+/// scoring call becomes a round boundary — the writer snapshots the
+/// session's replay state (score caches, fidelity log, failures, trajectory
+/// digests) atomically to disk. A killed fit resumed from that snapshot
+/// replays the deterministic search from the start; every previously-paid
+/// evaluation hits the restored caches, so the replay costs surrogate math
+/// only and the continuation is byte-identical to an uninterrupted run.
 ///
 /// A session holds no table data itself; feature columns live in the
 /// evaluator's byte-capped feature cache, and evicted columns re-materialize
@@ -31,11 +42,14 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/feature_eval.h"
 
 namespace featlib {
+
+class CheckpointWriter;  // core/checkpoint.h
 
 /// Search stages the session attributes evaluation work to.
 enum class SearchStage {
@@ -131,10 +145,66 @@ class SearchSession {
   FeatureEvaluator* evaluator() { return evaluator_; }
   const FeatureEvaluator* evaluator() const { return evaluator_; }
 
+  /// \name Durable fit: snapshot / restore / checkpoint hooks.
+  /// @{
+
+  /// The serializable replay state of a session, in deterministic (sorted)
+  /// order. What a CheckpointWriter persists and a resumed fit restores.
+  struct Snapshot {
+    /// "<proxy>|<query CacheKey>" -> score, sorted by key.
+    std::vector<std::pair<std::string, double>> proxy;
+    /// query CacheKey -> outcome, sorted by key.
+    std::vector<std::pair<std::string, ModelOutcome>> model;
+    /// "<fidelity bits as 16 hex>|<query CacheKey>" -> loss, sorted by key.
+    std::vector<std::pair<std::string, double>> fidelity;
+    /// Skipped candidates in first-failure order (order is part of
+    /// FitDiagnostics, so it is preserved, not sorted).
+    struct FailureEntry {
+      int code = 0;
+      std::string message;
+      std::string key;
+    };
+    std::vector<FailureEntry> failures;
+    /// Trajectory digests (label -> CRC32 of optimizer observation state),
+    /// sorted by label. A restored digest that differs on replay means the
+    /// checkpoint belongs to a different trajectory — a typed kDataLoss.
+    std::vector<std::pair<std::string, uint32_t>> digests;
+  };
+
+  /// Deterministic export of the current replay state.
+  Snapshot ExportSnapshot() const;
+
+  /// Restores a snapshot into the session: score caches merge in, fidelity
+  /// entries become the replay cache, failures seed the dedup ledger,
+  /// digests arm divergence detection. Call before the search starts.
+  void RestoreSnapshot(const Snapshot& snapshot);
+
+  /// Attaches a checkpoint writer (not owned; may be null). Every scoring
+  /// call then ends with a round boundary: the writer decides whether to
+  /// snapshot, and the "checkpoint.kill" fault site fires for crash sweeps.
+  void set_checkpoint(CheckpointWriter* checkpoint) { checkpoint_ = checkpoint; }
+  CheckpointWriter* checkpoint() { return checkpoint_; }
+
+  /// Forces a snapshot now (template/QTI completion). No-op without a
+  /// writer.
+  Status CheckpointNow();
+
+  /// Records the CRC32 digest of one search unit's optimizer observation
+  /// state under `label`. Against a restored checkpoint, a differing digest
+  /// for the same label fails with kDataLoss ("checkpoint divergence")
+  /// instead of silently emitting a different plan.
+  Status RecordTrajectoryDigest(const std::string& label, uint32_t crc);
+
+  /// Monotone revision of the mutable replay state; a CheckpointWriter
+  /// skips snapshots when nothing changed since the last write.
+  uint64_t revision() const { return revision_; }
+  /// @}
+
   /// \name Session-cache introspection (tests and benches).
   /// @{
   size_t proxy_cache_size() const { return proxy_cache_.size(); }
   size_t model_cache_size() const { return model_cache_.size(); }
+  size_t fidelity_replay_size() const { return fidelity_replay_.size(); }
   /// @}
 
  private:
@@ -143,6 +213,10 @@ class SearchSession {
 
   /// Records a skipped candidate (deduplicated by content key).
   void RecordFailure(std::string key, const Status& status);
+
+  /// End-of-scoring-call hook: lets the attached CheckpointWriter snapshot
+  /// and fires the crash-sweep kill site. No-op without a writer.
+  Status RoundBoundary();
 
   FeatureEvaluator* evaluator_;
   SearchStage stage_ = SearchStage::kOther;
@@ -153,6 +227,18 @@ class SearchSession {
   std::unordered_map<std::string, ModelOutcome> model_cache_;
   std::vector<FailedCandidate> failures_;
   std::unordered_set<std::string> failed_keys_;  // dedups failures_
+  /// Fidelity losses restored from a checkpoint: consulted before paying a
+  /// rung training on resume. Never written within a run (see file comment).
+  std::unordered_map<std::string, double> fidelity_replay_;
+  /// Fidelity losses computed this run: logged for the next checkpoint,
+  /// never consulted (within-run repeats recompute, keeping the cost ledger
+  /// byte-compatible with the non-checkpointed pipeline).
+  std::unordered_map<std::string, double> fidelity_log_;
+  /// label -> digest recorded this run / restored from the checkpoint.
+  std::unordered_map<std::string, uint32_t> digests_;
+  std::unordered_map<std::string, uint32_t> restored_digests_;
+  CheckpointWriter* checkpoint_ = nullptr;
+  uint64_t revision_ = 0;
 };
 
 }  // namespace featlib

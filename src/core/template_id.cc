@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/file_io.h"
+#include "common/str_util.h"
 #include "common/timer.h"
 #include "core/codec.h"
 #include "hpo/tpe.h"
@@ -149,6 +151,7 @@ Result<NodeEvaluation> TemplateIdentifier::EvaluateNode(
     }
     done += b;
   }
+  search.AppendObservationState(&observation_state_);
   return node;
 }
 
@@ -314,6 +317,16 @@ Result<TemplateIdResult> TemplateIdentifier::Run(
   }
   result.seconds = timer.Seconds();
   session_->BeginStage(SearchStage::kOther);
+
+  // Durable fit: completed QTI is a durable unit. The digest covers every
+  // node search's observations in evaluation order; a resumed fit whose
+  // replay diverges fails kDataLoss instead of silently recommending
+  // different templates. The forced snapshot makes a kill between QTI and
+  // generation lose nothing.
+  FEAT_RETURN_NOT_OK(session_->RecordTrajectoryDigest(
+      StrFormat("qti_s%llu", static_cast<unsigned long long>(options_.seed)),
+      Crc32(observation_state_)));
+  FEAT_RETURN_NOT_OK(session_->CheckpointNow());
   return result;
 }
 

@@ -107,6 +107,10 @@ class TemplateIdentifier {
   std::unique_ptr<SearchSession> owned_session_;
   SearchSession* session_;
   TemplateIdOptions options_;
+  /// Canonical encoding of every node search's optimizer observations, in
+  /// evaluation order; its CRC is the QTI trajectory digest the durable-fit
+  /// checkpoint layer compares on resume.
+  std::string observation_state_;
 };
 
 }  // namespace featlib

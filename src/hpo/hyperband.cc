@@ -27,6 +27,23 @@ std::vector<double> Hyperband::RungFidelities() const {
   return out;
 }
 
+void Hyperband::AppendObservationState(std::string* out) const {
+  for (size_t rung = 0; rung < rung_observations_.size(); ++rung) {
+    out->push_back('r');
+    out->append(std::to_string(rung));
+    out->push_back('\n');
+    for (const Trial& t : rung_observations_[rung]) {
+      for (double v : t.params) {
+        AppendDoubleBits(v, out);
+        out->push_back(' ');
+      }
+      out->push_back(':');
+      AppendDoubleBits(t.loss, out);
+      out->push_back('\n');
+    }
+  }
+}
+
 void Hyperband::WarmStart(const std::vector<Trial>& trials) {
   // Full-fidelity pool is the last rung.
   auto& pool = rung_observations_.back();

@@ -107,6 +107,12 @@ class Hyperband {
 
   int s_max() const { return s_max_; }
 
+  /// Hyperband's analog of Optimizer::AppendObservationState: a canonical,
+  /// bit-exact encoding of the per-rung observation ledger (the state that
+  /// determines every future proposal and promotion). Used by the durable-fit
+  /// checkpoint layer to digest multi-fidelity trajectories.
+  void AppendObservationState(std::string* out) const;
+
  private:
   /// Draws a bracket's initial pool of `n` configurations: uniform
   /// (Hyperband / random_fraction / cold model) or, per model-based slot, a

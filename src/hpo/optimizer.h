@@ -4,11 +4,28 @@
 /// \brief Common suggest/observe interface for sequential optimizers.
 /// FeatAug plugs TPE in here (§V.B); the Random baseline plugs RandomSearch.
 
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "hpo/space.h"
 
 namespace featlib {
+
+/// Appends the exact bit pattern of `v` as 16 hex digits. The encoding is
+/// lossless for every double, including the NaN "None" marker — byte-equal
+/// encodings mean bit-equal trajectories, which is what checkpoint
+/// trajectory digests compare.
+inline void AppendDoubleBits(double v, std::string* out) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  out->append(buf, 16);
+}
 
 /// Sentinel recorded in place of non-finite losses (NaN metrics, infinite
 /// objectives). Large enough to rank below every real observation, small
@@ -104,6 +121,25 @@ class Optimizer {
   }
 
   virtual const std::vector<Trial>& history() const = 0;
+
+  /// Appends a canonical, bit-exact encoding of every observation (the
+  /// optimizer's trajectory-determining state) to `*out`. Two optimizers of
+  /// the same backend and seed that produce byte-equal encodings are in the
+  /// same state and will emit the same future suggestions — the durable-fit
+  /// checkpoint layer digests this to detect replay divergence. The default
+  /// covers every history()-backed backend (TPE, SMAC, RandomSearch);
+  /// drivers with richer state (Hyperband's rung ledger) override it.
+  virtual void AppendObservationState(std::string* out) const {
+    for (const Trial& t : history()) {
+      for (double v : t.params) {
+        AppendDoubleBits(v, out);
+        out->push_back(' ');
+      }
+      out->push_back(':');
+      AppendDoubleBits(t.loss, out);
+      out->push_back('\n');
+    }
+  }
 
   /// Best (lowest-loss) trial so far, or nullptr before any observation.
   const Trial* best() const {

@@ -23,6 +23,11 @@ class RandomSearch : public Optimizer {
     history_.push_back(Trial{params, loss});
   }
 
+  /// Observation state serializes through the inherited
+  /// AppendObservationState default; random search consults no history, but
+  /// its RNG position advances one full-vector sample per Suggest(), which a
+  /// deterministic replay re-drives identically, so the canonical base
+  /// encoding still pins the trajectory.
   const std::vector<Trial>& history() const override { return history_; }
 
  private:

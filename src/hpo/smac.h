@@ -49,6 +49,10 @@ class Smac : public Optimizer {
   std::vector<ParamVector> SuggestBatch(int n) override;
 
   void Observe(const ParamVector& params, double loss) override;
+  /// Observation state serializes through the inherited
+  /// AppendObservationState default: the surrogate forest is refit from
+  /// history_ on every proposal (seeded per call), so history_ is the full
+  /// trajectory-determining state and the canonical base encoding covers it.
   const std::vector<Trial>& history() const override { return history_; }
 
   const SearchSpace& space() const { return space_; }

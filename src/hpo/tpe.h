@@ -48,6 +48,10 @@ class Tpe : public Optimizer {
   std::vector<ParamVector> SuggestBatch(int n) override;
 
   void Observe(const ParamVector& params, double loss) override;
+  /// Observation state serializes through the inherited
+  /// AppendObservationState default: history_ *is* the full
+  /// trajectory-determining state (the Parzen estimators are rebuilt from it
+  /// on every proposal), so the canonical base encoding covers TPE exactly.
   const std::vector<Trial>& history() const override { return history_; }
 
   const SearchSpace& space() const { return space_; }

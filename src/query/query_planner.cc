@@ -26,14 +26,29 @@ bool IsRetryable(const Status& s) {
   return s.code() == StatusCode::kInternal || s.code() == StatusCode::kIOError;
 }
 
+// Per-request jitter token: a cheap FNV-1a over the artifact's cache key
+// mixed with the site name, so two requests retrying in lockstep draw
+// different (but each deterministic) delays.
+uint64_t RetryToken(const char* site, const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 1099511628211ull;
+  }
+  for (char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  return h;
+}
+
 // Runs one artifact build (`body` returns its Status, storing the built
 // value on success) behind a named fault-injection site, re-attempting
 // transient failures per `retry`. `*retries` counts the re-attempts taken;
 // it lives in the request struct (workers touch disjoint requests), and the
-// coordinator sums them into PlanStats after the stages join.
+// coordinator sums them into PlanStats after the stages join. `token`
+// decorrelates the jittered sleeps of concurrent failers.
 template <typename Body>
 Status BuildWithRetry(const char* site, const QueryPlanner::RetryPolicy& retry,
-                      int* retries, const Body& body) {
+                      uint64_t token, int* retries, const Body& body) {
   Status last;
   for (int attempt = 0;; ++attempt) {
     Status s = FaultPoint(site);
@@ -42,9 +57,9 @@ Status BuildWithRetry(const char* site, const QueryPlanner::RetryPolicy& retry,
     last = std::move(s);
     if (!IsRetryable(last) || attempt + 1 >= retry.max_attempts) return last;
     ++*retries;
-    if (retry.backoff_ms > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(retry.backoff_ms << attempt));
+    const int delay = QueryPlanner::RetryDelayMs(retry, attempt, token);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
     }
   }
 }
@@ -168,6 +183,31 @@ struct CandidateSpec {
 };
 
 }  // namespace
+
+int QueryPlanner::RetryDelayMs(const RetryPolicy& policy, int attempt,
+                               uint64_t token) {
+  if (policy.backoff_ms <= 0) return 0;
+  const int64_t cap =
+      std::max<int64_t>(policy.backoff_ms, policy.max_backoff_ms);
+  // Saturating doubling: shift until the cap would be crossed.
+  int64_t base = policy.backoff_ms;
+  for (int i = 0; i < attempt && base < cap; ++i) base <<= 1;
+  base = std::min(base, cap);
+  // splitmix64 finalizer over (seed, token, attempt): uniform enough to
+  // spread sleepers, and a pure function of its inputs so every retry
+  // schedule is reproducible run-to-run.
+  uint64_t x = policy.jitter_seed ^ (token * 0x9e3779b97f4a7c15ull) ^
+               static_cast<uint64_t>(attempt);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  // Equal jitter: [base/2, base] keeps a meaningful minimum wait while
+  // halving the collision window.
+  const int64_t half = base / 2;
+  const int64_t span = base - half + 1;
+  return static_cast<int>(half + static_cast<int64_t>(x % span));
+}
 
 Result<const QueryPlanner::CompiledShape*> QueryPlanner::ResolveShape(
     const AggQuery& q, const Table& relevant) {
@@ -470,7 +510,8 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     if (t < a_groups.size()) {
       GroupReq& req = groups[a_groups[t]];
       req.error = BuildWithRetry(
-          "prepare.group", retry_, &req.retries, [&]() -> Status {
+          "prepare.group", retry_, RetryToken("prepare.group", req.key),
+          &req.retries, [&]() -> Status {
             auto built = GroupIndex::Build(relevant, *req.group_keys);
             if (!built.ok()) return built.status();
             req.built.emplace(std::move(built).ValueOrDie());
@@ -482,7 +523,8 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     if (t < a_masks.size()) {
       MaskReq& req = masks[a_masks[t]];
       req.error = BuildWithRetry(
-          "prepare.mask", retry_, &req.retries, [&]() -> Status {
+          "prepare.mask", retry_, RetryToken("prepare.mask", req.key),
+          &req.retries, [&]() -> Status {
             auto filter = CompiledFilter::Compile({*req.pred}, relevant);
             if (!filter.ok()) return filter.status();
             Bitset bits(relevant.num_rows());
@@ -496,7 +538,8 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     }
     ViewReq& req = views[a_views[t - a_masks.size()]];
     req.error = BuildWithRetry(
-        "prepare.view", retry_, &req.retries, [&]() -> Status {
+        "prepare.view", retry_, RetryToken("prepare.view", req.attr),
+        &req.retries, [&]() -> Status {
           // NaN encodes null: stored doubles are never NaN (AppendDouble
           // maps NaN to null) and int/string numeric views cannot produce
           // one.
@@ -545,7 +588,8 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
         return;
       }
       req.map_error = BuildWithRetry(
-          "prepare.train_map", retry_, &req.retries, [&]() -> Status {
+          "prepare.train_map", retry_,
+          RetryToken("prepare.train_map", req.key), &req.retries, [&]() -> Status {
             auto built =
                 req.artifact->index.MapTrainingRows(*training, relevant);
             if (!built.ok()) return built.status();
@@ -562,7 +606,8 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
       }
     }
     req.error = BuildWithRetry(
-        "prepare.conjunction", retry_, &req.retries, [&]() -> Status {
+        "prepare.conjunction", retry_,
+        RetryToken("prepare.conjunction", req.key), &req.retries, [&]() -> Status {
           Bitset combined = *masks[req.parts[0]].bits;
           for (size_t k = 1; k < req.parts.size(); ++k) {
             combined.AndWith(*masks[req.parts[k]].bits);
@@ -623,7 +668,8 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
                          : combo != nullptr ? combo->bits
                                             : nullptr;
     req.error = BuildWithRetry(
-        "prepare.mat", retry_, &req.retries, [&]() -> Status {
+        "prepare.mat", retry_, RetryToken("prepare.mat", req.key),
+        &req.retries, [&]() -> Status {
           req.built.emplace(BuildMaterializedValues(group.artifact->index,
                                                     mask, view.view->data()));
           return Status::OK();
@@ -677,6 +723,7 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
   for (const MatReq& r : mats) {
     plan_stats_.build_retries += static_cast<size_t>(r.retries);
   }
+  build_retries_total_ += plan_stats_.build_retries;
   FEAT_RETURN_NOT_OK(stage_error);
 
   // ---- Resolve: every surviving candidate's kernel inputs are now

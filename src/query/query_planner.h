@@ -122,15 +122,34 @@ class QueryPlanner {
   /// Bounded retry for transiently-failing artifact builds: a build whose
   /// failure is retryable (kInternal / kIOError — the transient classes; a
   /// kInvalidArgument query shape never retries) is re-attempted up to
-  /// `max_attempts` total tries, sleeping backoff_ms << attempt between
-  /// tries. Default is one attempt (no retry); retries taken are reported in
+  /// `max_attempts` total tries, sleeping RetryDelayMs between tries.
+  /// Default is one attempt (no retry); retries taken are reported in
   /// PlanStats::build_retries.
   struct RetryPolicy {
     int max_attempts = 1;
+    /// Base of the exponential schedule (attempt 0 waits ~backoff_ms). 0
+    /// disables sleeping entirely (retries stay immediate).
     int backoff_ms = 0;
+    /// The doubling saturates here: no single wait exceeds this, however
+    /// many attempts the policy allows.
+    int max_backoff_ms = 1000;
+    /// Seed of the deterministic jitter. Concurrent builds that fail
+    /// together desynchronize (each request's delay is drawn from its own
+    /// token), yet every (seed, token, attempt) triple always yields the
+    /// same delay — retry timing is reproducible like everything else.
+    uint64_t jitter_seed = 0;
   };
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// The pure delay schedule behind the retry sleeps: the exponential base
+  /// min(backoff_ms << attempt, max_backoff_ms) jittered deterministically
+  /// into [base/2, base] by hashing (jitter_seed, token, attempt). `token`
+  /// identifies the retrying request (the planner derives it from the
+  /// artifact's cache key) so parallel failers spread out. Exposed for
+  /// tests: the sequence is a pure function of its arguments.
+  static int RetryDelayMs(const RetryPolicy& policy, int attempt,
+                          uint64_t token);
 
   /// Feature column of `q` aligned to `training` (NaN where the entity has
   /// no qualifying rows), reusing the store's artifacts across calls.
@@ -243,6 +262,10 @@ class QueryPlanner {
   size_t compile_cache_flushes() const { return compile_cache_flushes_; }
   /// @}
 
+  /// Build re-attempts summed across all batches (PlanStats::build_retries
+  /// resets per Prepare; fit-level diagnostics read this).
+  size_t build_retries_total() const { return build_retries_total_; }
+
   /// Entry cap of the compile memo. Shapes are tiny (a handful of strings)
   /// but content-keyed, so a long-lived planner must not grow without bound
   /// — the same concern the byte-capped shards and feature cache address.
@@ -311,6 +334,7 @@ class QueryPlanner {
   size_t compile_cache_hits_ = 0;
   size_t compile_cache_misses_ = 0;
   size_t compile_cache_flushes_ = 0;
+  size_t build_retries_total_ = 0;
   double prepare_seconds_ = 0.0;
   double aggregate_seconds_ = 0.0;
 };

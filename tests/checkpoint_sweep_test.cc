@@ -1,0 +1,125 @@
+/// \file checkpoint_sweep_test.cc
+/// \brief Seeded kill-resume sweep: simulate a crash at *every* checkpoint
+/// round boundary of a durable fit (or a rotating subset under CI), resume
+/// from whatever the dying run left on disk, and require the resumed plan to
+/// be byte-identical to an uninterrupted run's.
+///
+/// CI drives this binary with a date-rotated seed (scripts/ci.sh
+/// kill-resume job) via:
+///   FEATLIB_FAULT_SEED — rotation offset into the kill points (default 0)
+///   FEATLIB_KILL_POINTS — kill points exercised per run (default 6)
+/// A full sweep (every boundary) runs when FEATLIB_KILL_POINTS >= the
+/// fit's boundary count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/feataug.h"
+#include "core/plan_io.h"
+#include "data/synthetic.h"
+
+namespace featlib {
+namespace {
+
+#ifdef FEATLIB_FAULT_INJECTION
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+SyntheticOptions SweepData() {
+  SyntheticOptions options;
+  options.n_train = 200;
+  options.avg_logs_per_entity = 8;
+  options.seed = 33;
+  return options;
+}
+
+FeatAugOptions SweepOptions() {
+  FeatAugOptions options;
+  options.n_templates = 2;
+  options.queries_per_template = 2;
+  options.generator.warmup_iterations = 10;
+  options.generator.warmup_top_k = 3;
+  options.generator.generation_iterations = 5;
+  options.qti.beam_width = 2;
+  options.qti.max_depth = 2;
+  options.qti.node_iterations = 5;
+  options.evaluator.model = ModelKind::kLogisticRegression;
+  options.evaluator.metric = MetricKind::kAuc;
+  options.seed = 11;
+  return options;
+}
+
+TEST(CheckpointSweepTest, KillResumeEveryBoundaryIsByteIdentical) {
+  DatasetBundle bundle = MakeTmall(SweepData());
+
+  // Reference run, instrumented at zero probability: armed but never
+  // failing, so the injector counts how many "checkpoint.kill" boundaries
+  // the fit crosses — the sweep space.
+  FeatAugOptions options = SweepOptions();
+  options.checkpoint.dir = ::testing::TempDir();
+  options.checkpoint.tag = "sweep";
+  const std::string path = ::testing::TempDir() + "/fit_sweep.ckpt";
+
+  FaultInjector::Global().EnableRandom(/*seed=*/1, /*probability=*/0.0);
+  FeatAug reference(bundle.ToProblem(), options);
+  auto baseline = reference.Fit();
+  const uint64_t boundaries = FaultInjector::Global().calls("checkpoint.kill");
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_GT(boundaries, 0u);
+  const std::string want =
+      SerializeAugmentationPlan(baseline.value(), "R", bundle.relevant);
+  std::remove(path.c_str());
+
+  // Rotate through the boundary space: CI varies FEATLIB_FAULT_SEED by date
+  // so successive days cover different kill points at bounded cost per run.
+  const uint64_t per_run =
+      std::min<uint64_t>(EnvU64("FEATLIB_KILL_POINTS", 6), boundaries);
+  const uint64_t offset = EnvU64("FEATLIB_FAULT_SEED", 0) % boundaries;
+  uint64_t exercised = 0;
+  for (uint64_t i = 0; i < per_run; ++i) {
+    const uint64_t kill_at = (offset + i * (boundaries / per_run + 1)) % boundaries;
+
+    std::remove(path.c_str());  // each kill point starts from no checkpoint
+    FaultInjector::Global().ArmSite("checkpoint.kill", kill_at);
+    FeatAug killed(bundle.ToProblem(), options);
+    auto interrupted = killed.Fit();
+    FaultInjector::Global().Reset();
+    ASSERT_FALSE(interrupted.ok()) << "kill_at=" << kill_at;
+    EXPECT_EQ(interrupted.status().code(), StatusCode::kInternal)
+        << interrupted.status().ToString();
+
+    FeatAugOptions resume_options = options;
+    resume_options.checkpoint.resume = true;
+    FeatAug resumed(bundle.ToProblem(), resume_options);
+    auto plan = resumed.Fit();
+    ASSERT_TRUE(plan.ok()) << "resume after kill_at=" << kill_at << ": "
+                           << plan.status().ToString();
+    EXPECT_EQ(want,
+              SerializeAugmentationPlan(plan.value(), "R", bundle.relevant))
+        << "resume after kill_at=" << kill_at << " diverged";
+    ++exercised;
+  }
+  std::printf("kill-resume sweep: %llu/%llu boundaries exercised\n",
+              static_cast<unsigned long long>(exercised),
+              static_cast<unsigned long long>(boundaries));
+  std::remove(path.c_str());
+}
+
+#else
+
+TEST(CheckpointSweepTest, RequiresFaultInjectionBuild) { GTEST_SKIP(); }
+
+#endif  // FEATLIB_FAULT_INJECTION
+
+}  // namespace
+}  // namespace featlib

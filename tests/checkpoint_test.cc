@@ -1,0 +1,381 @@
+/// \file checkpoint_test.cc
+/// \brief Durable fit: checkpoint file format (deterministic bytes,
+/// bit-exact doubles, corruption -> kDataLoss), the CheckpointWriter's
+/// rate-limit/dirty-skip policy, and the headline resume contract — a fit
+/// killed at an injected crash point and resumed emits a plan byte-identical
+/// to an uninterrupted run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/file_io.h"
+#include "core/checkpoint.h"
+#include "core/feataug.h"
+#include "core/plan_io.h"
+#include "core/search_session.h"
+#include "data/synthetic.h"
+
+namespace featlib {
+namespace {
+
+std::string CkptPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+SearchSession::Snapshot RichSnapshot() {
+  SearchSession::Snapshot s;
+  s.proxy = {
+      {"mi|plain_key", 0.25},
+      {"mi|key with spaces", -1.5},
+      {"mi|key\nwith\nnewlines", std::numeric_limits<double>::quiet_NaN()},
+      {"mi|key\\with\\backslashes", std::numeric_limits<double>::infinity()},
+  };
+  s.model = {
+      {"model_key_a", {0.81, 0.19}},
+      {"model key b", {std::nan("1"), std::numeric_limits<double>::infinity()}},
+  };
+  s.fidelity = {
+      {"3fb999999999999a|sub key", 0.625},
+  };
+  s.failures = {
+      {static_cast<int>(StatusCode::kInvalidArgument),
+       "bad predicate: level > 99", "failed_key_z"},
+      {static_cast<int>(StatusCode::kInternal), "injected fault at x #1",
+       "failed key with spaces"},
+  };
+  s.digests = {
+      {"gen_s1042", 0xdeadbeefu},
+      {"qti_s42", 0x00000001u},
+  };
+  return s;
+}
+
+void ExpectSnapshotsEqual(const SearchSession::Snapshot& a,
+                          const SearchSession::Snapshot& b) {
+  // Compare through serialized bytes: bit-exact doubles (incl. NaN) and
+  // every field participate, with no NaN != NaN pitfalls.
+  EXPECT_EQ(SerializeCheckpoint(a, 1), SerializeCheckpoint(b, 1));
+}
+
+TEST(CheckpointFormatTest, EmptySnapshotRoundtrips) {
+  const SearchSession::Snapshot empty;
+  const std::string text = SerializeCheckpoint(empty, 0x12345678u);
+  uint32_t signature = 0;
+  auto parsed = ParseCheckpoint(text, &signature);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(signature, 0x12345678u);
+  ExpectSnapshotsEqual(parsed.value(), empty);
+}
+
+TEST(CheckpointFormatTest, RichSnapshotRoundtripsBitExactly) {
+  const SearchSession::Snapshot snapshot = RichSnapshot();
+  const std::string text = SerializeCheckpoint(snapshot, 0xabcdef01u);
+  uint32_t signature = 0;
+  auto parsed = ParseCheckpoint(text, &signature);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(signature, 0xabcdef01u);
+  ExpectSnapshotsEqual(parsed.value(), snapshot);
+  // Failure order (first-failure order) survives the sorted file format.
+  ASSERT_EQ(parsed.value().failures.size(), 2u);
+  EXPECT_EQ(parsed.value().failures[0].key, "failed_key_z");
+  EXPECT_EQ(parsed.value().failures[1].key, "failed key with spaces");
+}
+
+TEST(CheckpointFormatTest, SerializationIsOrderIndependent) {
+  SearchSession::Snapshot forward = RichSnapshot();
+  SearchSession::Snapshot reversed = RichSnapshot();
+  std::reverse(reversed.proxy.begin(), reversed.proxy.end());
+  std::reverse(reversed.model.begin(), reversed.model.end());
+  std::reverse(reversed.digests.begin(), reversed.digests.end());
+  // Same state in different container order -> identical bytes (failures
+  // keep their order: it is semantic).
+  EXPECT_EQ(SerializeCheckpoint(forward, 7), SerializeCheckpoint(reversed, 7));
+}
+
+TEST(CheckpointFormatTest, BitFlipAnywhereIsDataLoss) {
+  const std::string text = SerializeCheckpoint(RichSnapshot(), 99);
+  for (size_t i = 0; i < text.size(); i += 3) {
+    std::string corrupted = text;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x02);
+    auto parsed = ParseCheckpoint(corrupted, nullptr);
+    ASSERT_FALSE(parsed.ok()) << "flip at byte " << i << " loaded";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss)
+        << "flip at byte " << i << ": " << parsed.status().ToString();
+  }
+}
+
+TEST(CheckpointFormatTest, TruncationAnywhereIsDataLoss) {
+  const std::string text = SerializeCheckpoint(RichSnapshot(), 99);
+  for (size_t cut = 0; cut + 1 < text.size(); cut += 7) {
+    auto parsed = ParseCheckpoint(text.substr(0, cut), nullptr);
+    ASSERT_FALSE(parsed.ok()) << "cut at byte " << cut << " loaded";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss)
+        << "cut at byte " << cut;
+  }
+}
+
+TEST(CheckpointFormatTest, SaveLoadRoundtripsThroughDisk) {
+  const std::string path = CkptPath("roundtrip.ckpt");
+  const SearchSession::Snapshot snapshot = RichSnapshot();
+  ASSERT_TRUE(SaveCheckpoint(path, snapshot, 0x5eedu).ok());
+  auto loaded = LoadCheckpoint(path, 0x5eedu);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSnapshotsEqual(loaded.value(), snapshot);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFormatTest, SignatureMismatchIsDataLoss) {
+  const std::string path = CkptPath("foreign.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, RichSnapshot(), 0x5eedu).ok());
+  auto loaded = LoadCheckpoint(path, 0xfeedu);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFormatTest, MissingFileIsNotFound) {
+  auto loaded = LoadCheckpoint(CkptPath("never_saved.ckpt"), 1);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// ---- CheckpointWriter policy --------------------------------------------
+
+TEST(CheckpointWriterTest, SkipsCleanRoundsAndHonorsRateLimit) {
+  const std::string path = CkptPath("writer_policy.ckpt");
+  SearchSession session(nullptr);
+  CheckpointWriter writer(path, /*signature=*/1, /*every_rounds=*/2);
+  session.set_checkpoint(&writer);
+
+  // Round 1: not due (1 % 2 != 0) -> nothing written.
+  ASSERT_TRUE(writer.MaybeSnapshot(&session, false).ok());
+  EXPECT_EQ(writer.snapshots_written(), 0u);
+  // Round 2: due and dirty (initial state counts as unseen) -> written.
+  ASSERT_TRUE(writer.MaybeSnapshot(&session, false).ok());
+  EXPECT_EQ(writer.snapshots_written(), 1u);
+  // Round 3 (not due) and round 4 (due but clean): both skipped.
+  ASSERT_TRUE(writer.MaybeSnapshot(&session, false).ok());
+  ASSERT_TRUE(writer.MaybeSnapshot(&session, false).ok());
+  EXPECT_EQ(writer.snapshots_written(), 1u);
+  // Dirty the session; a forced snapshot writes regardless of the rate.
+  ASSERT_TRUE(session.RecordTrajectoryDigest("unit", 5).ok());
+  ASSERT_TRUE(writer.MaybeSnapshot(&session, true).ok());
+  EXPECT_EQ(writer.snapshots_written(), 2u);
+  EXPECT_EQ(writer.rounds_seen(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointWriterTest, RestoredDigestDivergenceIsDataLoss) {
+  SearchSession::Snapshot snapshot;
+  snapshot.digests = {{"gen_s7", 0x11111111u}};
+  SearchSession session(nullptr);
+  session.RestoreSnapshot(snapshot);
+  // Replay producing the recorded digest is fine...
+  EXPECT_TRUE(session.RecordTrajectoryDigest("gen_s7", 0x11111111u).ok());
+  // ...a different trajectory under the same label is not.
+  Status st = session.RecordTrajectoryDigest("gen_s7", 0x22222222u);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+// ---- End-to-end durable fit ---------------------------------------------
+
+SyntheticOptions SmallData() {
+  SyntheticOptions options;
+  options.n_train = 220;
+  options.avg_logs_per_entity = 8;
+  options.seed = 21;
+  return options;
+}
+
+FeatAugOptions FastOptions() {
+  FeatAugOptions options;
+  options.n_templates = 2;
+  options.queries_per_template = 3;
+  options.generator.warmup_iterations = 12;
+  options.generator.warmup_top_k = 4;
+  options.generator.generation_iterations = 6;
+  options.qti.beam_width = 2;
+  options.qti.max_depth = 2;
+  options.qti.node_iterations = 6;
+  options.evaluator.model = ModelKind::kLogisticRegression;
+  options.evaluator.metric = MetricKind::kAuc;
+  options.seed = 5;
+  return options;
+}
+
+std::string PlanBytes(const AugmentationPlan& plan, const Table& relevant) {
+  return SerializeAugmentationPlan(plan, "R", relevant);
+}
+
+TEST(DurableFitTest, CheckpointedFitMatchesUncheckpointed) {
+  DatasetBundle bundle = MakeTmall(SmallData());
+
+  FeatAug plain(bundle.ToProblem(), FastOptions());
+  auto baseline = plain.Fit();
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  FeatAugOptions options = FastOptions();
+  options.checkpoint.dir = ::testing::TempDir();
+  options.checkpoint.tag = "match";
+  FeatAug durable(bundle.ToProblem(), options);
+  auto checkpointed = durable.Fit();
+  ASSERT_TRUE(checkpointed.ok()) << checkpointed.status().ToString();
+
+  // Checkpointing must not perturb the search: identical plan bytes.
+  EXPECT_EQ(PlanBytes(baseline.value(), bundle.relevant),
+            PlanBytes(checkpointed.value(), bundle.relevant));
+  EXPECT_GT(checkpointed.value().checkpoints_written, 0u);
+  EXPECT_FALSE(checkpointed.value().resumed_from_checkpoint);
+  std::remove((::testing::TempDir() + "/fit_match.ckpt").c_str());
+}
+
+TEST(DurableFitTest, ResumeAfterCompletionIsPureCacheReplay) {
+  DatasetBundle bundle = MakeTmall(SmallData());
+  FeatAugOptions options = FastOptions();
+  options.checkpoint.dir = ::testing::TempDir();
+  options.checkpoint.tag = "replay";
+
+  FeatAug first(bundle.ToProblem(), options);
+  auto full = first.Fit();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  options.checkpoint.resume = true;
+  FeatAug second(bundle.ToProblem(), options);
+  auto resumed = second.Fit();
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+
+  EXPECT_TRUE(resumed.value().resumed_from_checkpoint);
+  EXPECT_EQ(PlanBytes(full.value(), bundle.relevant),
+            PlanBytes(resumed.value(), bundle.relevant));
+  // Every evaluation of the replay is a restored-cache hit: the resumed run
+  // pays zero model trainings and zero proxy computations.
+  EXPECT_EQ(resumed.value().model_evals, 0u);
+  EXPECT_EQ(resumed.value().proxy_evals, 0u);
+  std::remove((::testing::TempDir() + "/fit_replay.ckpt").c_str());
+}
+
+TEST(DurableFitTest, ResumeRefusesForeignCheckpoint) {
+  DatasetBundle bundle = MakeTmall(SmallData());
+  FeatAugOptions options = FastOptions();
+  options.checkpoint.dir = ::testing::TempDir();
+  options.checkpoint.tag = "foreign_fit";
+  FeatAug first(bundle.ToProblem(), options);
+  ASSERT_TRUE(first.Fit().ok());
+
+  // Same checkpoint file, different seed: a different fit entirely.
+  options.seed = 6;
+  options.checkpoint.resume = true;
+  FeatAug second(bundle.ToProblem(), options);
+  auto refused = second.Fit();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss);
+  std::remove((::testing::TempDir() + "/fit_foreign_fit.ckpt").c_str());
+}
+
+TEST(DurableFitTest, ResumeRefusesCorruptedCheckpoint) {
+  DatasetBundle bundle = MakeTmall(SmallData());
+  FeatAugOptions options = FastOptions();
+  options.checkpoint.dir = ::testing::TempDir();
+  options.checkpoint.tag = "bitflip";
+  FeatAug first(bundle.ToProblem(), options);
+  ASSERT_TRUE(first.Fit().ok());
+
+  const std::string path = ::testing::TempDir() + "/fit_bitflip.ckpt";
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  std::string corrupted = text.value();
+  corrupted[corrupted.size() / 2] ^= 0x10;
+  ASSERT_TRUE(AtomicWriteFile(path, corrupted).ok());
+
+  options.checkpoint.resume = true;
+  FeatAug second(bundle.ToProblem(), options);
+  auto refused = second.Fit();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(DurableFitTest, ResumeWithoutCheckpointIsFreshStart) {
+  DatasetBundle bundle = MakeTmall(SmallData());
+  FeatAug plain(bundle.ToProblem(), FastOptions());
+  auto baseline = plain.Fit();
+  ASSERT_TRUE(baseline.ok());
+
+  FeatAugOptions options = FastOptions();
+  options.checkpoint.dir = ::testing::TempDir();
+  options.checkpoint.tag = "fresh";
+  options.checkpoint.resume = true;  // nothing on disk yet
+  FeatAug durable(bundle.ToProblem(), options);
+  auto fresh = durable.Fit();
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_FALSE(fresh.value().resumed_from_checkpoint);
+  EXPECT_EQ(PlanBytes(baseline.value(), bundle.relevant),
+            PlanBytes(fresh.value(), bundle.relevant));
+  std::remove((::testing::TempDir() + "/fit_fresh.ckpt").c_str());
+}
+
+#ifdef FEATLIB_FAULT_INJECTION
+
+TEST(DurableFitTest, KillAtEveryEarlyBoundaryThenResumeIsByteIdentical) {
+  DatasetBundle bundle = MakeTmall(SmallData());
+  FeatAug plain(bundle.ToProblem(), FastOptions());
+  auto baseline = plain.Fit();
+  ASSERT_TRUE(baseline.ok());
+  const std::string want = PlanBytes(baseline.value(), bundle.relevant);
+
+  // Kill at a spread of round boundaries (the full sweep lives in
+  // checkpoint_sweep_test.cc; CI rotates its seeds).
+  for (uint64_t kill_at : {0ull, 1ull, 3ull, 7ull, 15ull}) {
+    const std::string tag = "kill" + std::to_string(kill_at);
+    const std::string path = ::testing::TempDir() + "/fit_" + tag + ".ckpt";
+    FeatAugOptions options = FastOptions();
+    options.checkpoint.dir = ::testing::TempDir();
+    options.checkpoint.tag = tag;
+
+    FaultInjector::Global().ArmSite("checkpoint.kill", kill_at);
+    FeatAug killed(bundle.ToProblem(), options);
+    auto interrupted = killed.Fit();
+    FaultInjector::Global().Reset();
+    ASSERT_FALSE(interrupted.ok())
+        << "kill_at=" << kill_at << " did not interrupt the fit";
+
+    options.checkpoint.resume = true;
+    FeatAug resumed(bundle.ToProblem(), options);
+    auto plan = resumed.Fit();
+    ASSERT_TRUE(plan.ok()) << "kill_at=" << kill_at << ": "
+                           << plan.status().ToString();
+    EXPECT_EQ(want, PlanBytes(plan.value(), bundle.relevant))
+        << "resume after kill_at=" << kill_at << " diverged";
+    std::remove(path.c_str());
+  }
+}
+
+TEST(DurableFitTest, SnapshotWriteFailureSurfacesTyped) {
+  DatasetBundle bundle = MakeTmall(SmallData());
+  FeatAugOptions options = FastOptions();
+  options.checkpoint.dir = ::testing::TempDir();
+  options.checkpoint.tag = "enospc";
+  // The first snapshot write dies mid-write (ENOSPC-class): the fit must
+  // fail loudly with the typed I/O status, not run silently undurable.
+  FaultInjector::Global().ArmSite("file_io.write", 0);
+  FeatAug feataug(bundle.ToProblem(), options);
+  auto plan = feataug.Fit();
+  FaultInjector::Global().Reset();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kIOError)
+      << plan.status().ToString();
+  std::remove((::testing::TempDir() + "/fit_enospc.ckpt").c_str());
+}
+
+#endif  // FEATLIB_FAULT_INJECTION
+
+}  // namespace
+}  // namespace featlib

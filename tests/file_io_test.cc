@@ -1,0 +1,154 @@
+/// \file file_io_test.cc
+/// \brief Crash-safe file primitives: CRC32, the shared integrity footer,
+/// and AtomicWriteFile's all-or-nothing contract under injected open /
+/// short-write / fsync (ENOSPC-class) / rename failures.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/fault_injection.h"
+#include "common/file_io.h"
+
+namespace featlib {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+TEST(Crc32Test, KnownValues) {
+  EXPECT_EQ(Crc32(""), 0u);
+  // The standard CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  // Incremental == one-shot.
+  uint32_t crc = 0;
+  crc = Crc32Update(crc, "1234", 4);
+  crc = Crc32Update(crc, "56789", 5);
+  EXPECT_EQ(crc, 0xcbf43926u);
+}
+
+TEST(CrcFooterTest, AppendThenCheckRoundtrips) {
+  std::string contents = "line one\nline two\n";
+  AppendCrcFooter(&contents);
+  EXPECT_NE(contents.find(kCrcFooterPrefix), std::string::npos);
+  EXPECT_TRUE(CheckCrcFooter(contents).ok());
+}
+
+TEST(CrcFooterTest, AnySingleBitFlipIsDataLoss) {
+  std::string contents = "the payload that must survive intact\n";
+  AppendCrcFooter(&contents);
+  // Every byte except the footer's own trailing newline: trailing whitespace
+  // after the checksum digits is tolerated by design (it cannot alter the
+  // decoded payload), so a flip there is harmless rather than corruption.
+  for (size_t i = 0; i + 1 < contents.size(); ++i) {
+    std::string corrupted = contents;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x01);
+    Status st = CheckCrcFooter(corrupted);
+    EXPECT_FALSE(st.ok()) << "flip at byte " << i << " went undetected";
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.ToString();
+  }
+}
+
+TEST(CrcFooterTest, MissingOrTrailingFooterRejected) {
+  EXPECT_EQ(CheckCrcFooter("no footer here\n").code(), StatusCode::kDataLoss);
+  std::string contents = "payload\n";
+  AppendCrcFooter(&contents);
+  // Anything after the footer line means the footer did not cover the tail.
+  EXPECT_EQ(CheckCrcFooter(contents + "trailing\n").code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(AtomicWriteFileTest, WritesReadableContents) {
+  const std::string path = TempPath("atomic_basic.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "hello\n").ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "hello\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteFileTest, ReadMissingFileIsNotFound) {
+  EXPECT_EQ(ReadFileToString(TempPath("never_written.txt")).status().code(),
+            StatusCode::kNotFound);
+}
+
+#ifdef FEATLIB_FAULT_INJECTION
+
+// The satellite contract: a failed save — whatever step fails — leaves the
+// previous file byte-identical and readable, and leaves no temp debris.
+class AtomicWriteFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  void ExpectFailedSaveKeepsPrevious(const char* site) {
+    const std::string path = TempPath("atomic_fault.txt");
+    const std::string previous = "generation 1: the durable bytes\n";
+    ASSERT_TRUE(AtomicWriteFile(path, previous).ok());
+
+    FaultInjector::Global().ArmSite(site, 0);
+    Status st = AtomicWriteFile(path, "generation 2: never lands\n");
+    FaultInjector::Global().Reset();
+    EXPECT_FALSE(st.ok()) << "site " << site << " did not inject";
+
+    auto read = ReadFileToString(path);
+    ASSERT_TRUE(read.ok()) << site;
+    EXPECT_EQ(read.value(), previous) << site;
+    // The half-written temp never survives a failed save.
+    EXPECT_FALSE(FileExists(path + ".tmp")) << site;
+    std::remove(path.c_str());
+  }
+};
+
+TEST_F(AtomicWriteFaultTest, OpenFailureKeepsPrevious) {
+  ExpectFailedSaveKeepsPrevious("file_io.open");
+}
+
+TEST_F(AtomicWriteFaultTest, ShortWriteKeepsPrevious) {
+  ExpectFailedSaveKeepsPrevious("file_io.write");
+}
+
+TEST_F(AtomicWriteFaultTest, FsyncFailureKeepsPrevious) {
+  // fsync is where a real ENOSPC on a journaled filesystem surfaces.
+  ExpectFailedSaveKeepsPrevious("file_io.fsync");
+}
+
+TEST_F(AtomicWriteFaultTest, RenameFailureKeepsPrevious) {
+  ExpectFailedSaveKeepsPrevious("file_io.rename");
+}
+
+// Sequential saves are linearizable at the file level: after any prefix of
+// saves (with arbitrary injected failures between them) the file holds
+// exactly one generation's bytes, never a mix.
+TEST_F(AtomicWriteFaultTest, SequentialSavesNeverExposeMixedState) {
+  const std::string path = TempPath("atomic_seq.txt");
+  const std::string gen1(4096, 'a');
+  const std::string gen2(9000, 'b');  // longer: a torn overwrite would mix
+  ASSERT_TRUE(AtomicWriteFile(path, gen1 + "\n").ok());
+
+  FaultInjector::Global().ArmSite("file_io.write", 0);
+  EXPECT_FALSE(AtomicWriteFile(path, gen2 + "\n").ok());
+  FaultInjector::Global().Reset();
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), gen1 + "\n");
+
+  ASSERT_TRUE(AtomicWriteFile(path, gen2 + "\n").ok());
+  read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), gen2 + "\n");
+  std::remove(path.c_str());
+}
+
+#endif  // FEATLIB_FAULT_INJECTION
+
+}  // namespace
+}  // namespace featlib

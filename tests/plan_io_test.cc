@@ -5,6 +5,8 @@
 #include <fstream>
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
+
 namespace featlib {
 namespace {
 
@@ -54,10 +56,31 @@ TEST(PlanIoTest, RoundTripPreservesQueriesNamesAndMetrics) {
 TEST(PlanIoTest, SerializedFormHasHeaderAndComments) {
   const std::string text =
       SerializeAugmentationPlan(MakePlan(), "logs", MakeLogs());
-  EXPECT_NE(text.find("-- feataug plan v1"), std::string::npos);
+  EXPECT_NE(text.find("-- feataug plan v2"), std::string::npos);
   EXPECT_NE(text.find("-- queries: 2"), std::string::npos);
   EXPECT_NE(text.find("-- feature: avg_electronics_recent"), std::string::npos);
   EXPECT_NE(text.find("-- valid_metric: 0.742100"), std::string::npos);
+  // v2 integrity envelope: the file ends with a crc32 footer line.
+  EXPECT_NE(text.find("\n-- crc32: "), std::string::npos);
+}
+
+TEST(PlanIoTest, BitFlipAnywhereInV2PlanIsDataLoss) {
+  Table logs = MakeLogs();
+  const std::string full = SerializeAugmentationPlan(MakePlan(), "logs", logs);
+  // Flip one bit at a stride of positions across the file. Every corruption
+  // must surface as a typed kDataLoss (crc mismatch / bad header / bad
+  // footer) or kInvalidArgument (the flip made the SQL unparseable before
+  // metadata checks ran) — never a silent partial plan and never a crash.
+  for (size_t pos = 0; pos < full.size(); pos += 5) {
+    std::string corrupt = full;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x04);
+    if (corrupt == full) continue;
+    auto loaded = ParseAugmentationPlan(corrupt);
+    ASSERT_FALSE(loaded.ok()) << "flip at " << pos << " went undetected";
+    EXPECT_TRUE(loaded.status().code() == StatusCode::kDataLoss ||
+                loaded.status().code() == StatusCode::kInvalidArgument)
+        << "flip at " << pos << ": " << loaded.status().ToString();
+  }
 }
 
 TEST(PlanIoTest, HandEditedPlanWithoutMetadataLoads) {
@@ -139,6 +162,42 @@ TEST(PlanIoTest, MissingFileIsNotFound) {
   ASSERT_FALSE(loaded.ok());
 }
 
+#ifdef FEATLIB_FAULT_INJECTION
+
+TEST(PlanIoTest, FailedSaveLeavesPreviousPlanIntact) {
+  // The durable-save contract at the plan level: an ENOSPC-class failure
+  // while writing a new plan (injected at the shared file_io.write site,
+  // which tears the temp file mid-write) leaves the previously saved plan
+  // byte-identical and loadable.
+  Table logs = MakeLogs();
+  AugmentationPlan first = MakePlan();
+  const std::string path = ::testing::TempDir() + "/plan_io_durable.sql";
+  ASSERT_TRUE(WriteAugmentationPlan(first, "logs", logs, path).ok());
+
+  AugmentationPlan second = MakePlan();
+  second.queries.pop_back();  // a different plan entirely
+  second.feature_names.pop_back();
+  second.valid_metrics.pop_back();
+  FaultInjector::Global().ArmSite("file_io.write", 0);
+  Status st = WriteAugmentationPlan(second, "logs", logs, path);
+  FaultInjector::Global().Reset();
+  ASSERT_FALSE(st.ok());
+
+  auto loaded = ReadAugmentationPlan(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().queries.size(), first.queries.size());
+  EXPECT_EQ(loaded.value().queries[0].CacheKey(), first.queries[0].CacheKey());
+
+  // The retried save lands the new generation whole.
+  ASSERT_TRUE(WriteAugmentationPlan(second, "logs", logs, path).ok());
+  loaded = ReadAugmentationPlan(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().queries.size(), second.queries.size());
+  std::remove(path.c_str());
+}
+
+#endif  // FEATLIB_FAULT_INJECTION
+
 // --- Corruption corpus -------------------------------------------------------
 //
 // Every corrupt input must fail with a clean typed Status (kInvalidArgument
@@ -148,12 +207,23 @@ TEST(PlanIoTest, MissingFileIsNotFound) {
 TEST(PlanIoTest, TruncatedMidStatementFailsCleanly) {
   Table logs = MakeLogs();
   const std::string full = SerializeAugmentationPlan(MakePlan(), "logs", logs);
-  // Chop the script at every prefix length: each truncation either still
-  // parses (cut between statements) or fails kInvalidArgument.
+  // Chop the script at every prefix length. Once enough of the v2 header
+  // survives to identify the format (the "-- feataug plan" prefix), any
+  // truncation short of the complete file must fail kDataLoss: the crc32
+  // footer is gone or partial. Cuts inside the first few header bytes
+  // degrade to the lenient legacy path (they look like a hand comment) and
+  // parse as an empty script — the atomic writer is what makes such torn
+  // destination files unobservable in practice.
+  const size_t header_prefix = std::string("-- feataug plan").size();
   for (size_t cut = 0; cut < full.size(); cut += 7) {
     auto loaded = ParseAugmentationPlan(full.substr(0, cut));
-    if (!loaded.ok()) {
-      EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+    if (cut >= header_prefix && cut + 1 < full.size()) {
+      ASSERT_FALSE(loaded.ok()) << "torn v2 file loaded at cut=" << cut;
+      EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+          << "cut=" << cut << ": " << loaded.status().ToString();
+    } else if (!loaded.ok()) {
+      EXPECT_TRUE(loaded.status().code() == StatusCode::kInvalidArgument ||
+                  loaded.status().code() == StatusCode::kDataLoss)
           << "cut=" << cut << ": " << loaded.status().ToString();
     } else {
       EXPECT_LE(loaded.value().queries.size(), MakePlan().queries.size())

@@ -44,6 +44,7 @@ std::vector<CodeCase> AllErrorCodes() {
        "DeadlineExceeded"},
       {StatusCode::kResourceExhausted, Status::ResourceExhausted("m"),
        "ResourceExhausted"},
+      {StatusCode::kDataLoss, Status::DataLoss("m"), "DataLoss"},
   };
 }
 
