@@ -33,6 +33,7 @@
 #include "hpo/tpe.h"
 #include "query/query_planner.h"
 #include "query/bitset.h"
+#include "query/kernel_dispatch.h"
 #include "query/sql_parser.h"
 #include "query/executor.h"
 #include "stats/stats.h"
@@ -454,6 +455,108 @@ void BM_FlattenRelevant(benchmark::State& state) {
 }
 BENCHMARK(BM_FlattenRelevant)->Arg(1000)->Arg(5000);
 
+// Shared inputs of the kernel-backend comparison (BM_KernelScalarVsSimd and
+// the speedup record's kernel_* fields): the golden template's group index
+// and compiled filter, a dense ~95% row mask, and the agg attribute's
+// numeric view — the dense-mask shapes the vectorized backend targets
+// (compare+movemask predicate evaluation, run-decoded streaming
+// aggregation, aligned bucket materialization + slice MIN/MAX).
+struct KernelBenchInputs {
+  const GroupIndex* index = nullptr;         // golden keys: many small groups
+  const GroupIndex* coarse_index = nullptr;  // coarse key: few long slices
+  const CompiledFilter* filter = nullptr;
+  Bitset dense_mask;
+  std::vector<double> view;
+  size_t n_rows = 0;
+};
+
+// Picks a low-cardinality group key for the long-slice materialized shape:
+// the golden keys give entity-grained groups (slices of ~avg_logs rows),
+// while template pools also group by coarse attributes whose slices span
+// thousands of rows — where the aligned slice MIN/MAX vector loop engages.
+std::vector<std::string> CoarseGroupKeys(const DatasetBundle& b) {
+  for (const char* name : {"weekday", "order_dow", "hour"}) {
+    if (b.relevant.HasColumn(name)) return {name};
+  }
+  return b.golden_query.group_keys;
+}
+
+const KernelBenchInputs& KernelBenchFixture() {
+  static const KernelBenchInputs* inputs = [] {
+    const DatasetBundle& b = SharedBundle();
+    auto* in = new KernelBenchInputs();
+    auto index = GroupIndex::Build(b.relevant, b.golden_query.group_keys);
+    auto coarse = GroupIndex::Build(b.relevant, CoarseGroupKeys(b));
+    auto filter =
+        CompiledFilter::Compile(b.golden_query.predicates, b.relevant);
+    auto view_col = b.relevant.GetColumn(b.golden_query.agg_attr);
+    if (!index.ok() || !coarse.ok() || !filter.ok() || !view_col.ok()) {
+      std::fprintf(stderr, "kernel bench fixture construction failed\n");
+      std::abort();
+    }
+    in->index = new GroupIndex(std::move(index).ValueOrDie());
+    in->coarse_index = new GroupIndex(std::move(coarse).ValueOrDie());
+    in->filter = new CompiledFilter(std::move(filter).ValueOrDie());
+    in->n_rows = b.relevant.num_rows();
+    in->dense_mask = Bitset(in->n_rows);
+    for (size_t i = 0; i < in->n_rows; ++i) {
+      if (i % 19 != 7) in->dense_mask.Set(i);  // ~95% selected
+    }
+    in->view.resize(in->n_rows);
+    for (size_t row = 0; row < in->n_rows; ++row) {
+      in->view[row] = view_col.value()->AsDouble(row);
+    }
+    return in;
+  }();
+  return *inputs;
+}
+
+// Everything one composite pass produces — returned so the bit-identity
+// check can compare backends output-for-output.
+struct KernelCompositeOut {
+  Bitset mask;
+  std::vector<uint32_t> first_selected;
+  std::vector<double> count, sum;
+  MaterializedValues mat;
+  std::vector<double> mn, mx;
+};
+
+// One pass of the dense-mask kernel workload through a backend table:
+// fused predicate->mask evaluation, streaming COUNT (first-selected-row
+// tracking) and SUM, bucket materialization, and slice MIN/MAX — every
+// entry point the planner dispatches through except the training-row
+// scatter (timed end-to-end by the EvaluateMany arms above).
+KernelCompositeOut RunKernelComposite(const KernelOps& ops) {
+  const KernelBenchInputs& in = KernelBenchFixture();
+  KernelCompositeOut out;
+  out.mask = Bitset(in.n_rows);
+  ops.build_filter_mask(*in.filter, &out.mask);
+  out.count = ops.aggregate_streaming(AggFunction::kCount, *in.index,
+                                      &in.dense_mask, nullptr,
+                                      &out.first_selected);
+  out.sum = ops.aggregate_streaming(AggFunction::kSum, *in.index,
+                                    &in.dense_mask, in.view.data(), nullptr);
+  out.mat = ops.build_materialized(*in.coarse_index, &in.dense_mask,
+                                   in.view.data());
+  out.mn = ops.aggregate_from_materialized(AggFunction::kMin, out.mat);
+  out.mx = ops.aggregate_from_materialized(AggFunction::kMax, out.mat);
+  return out;
+}
+
+void BM_KernelScalarVsSimd(benchmark::State& state) {
+  const KernelOps& ops =
+      state.range(0) == 0 ? ScalarKernelOps() : SimdKernelOps();
+  KernelBenchFixture();  // build outside the timed loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunKernelComposite(ops));
+  }
+  state.SetLabel(std::string(state.range(0) == 0 ? "scalar" : "simd/") +
+                 (state.range(0) == 0 ? "" : SimdLevelName(ops.level)));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(KernelBenchFixture().n_rows));
+}
+BENCHMARK(BM_KernelScalarVsSimd)->Arg(0)->Arg(1);
+
 }  // namespace
 
 // True when every (row, candidate) cell matches bit for bit (NaN == NaN).
@@ -465,6 +568,29 @@ static bool ColumnsBitIdentical(const std::vector<double>& a,
     if (std::memcmp(&a[r], &b[r], sizeof(double)) != 0) return false;
   }
   return true;
+}
+
+// True when two composite kernel passes agree output-for-output at the byte
+// level — the backend bit-identity contract, checked on the exact workload
+// the kernel_* timing fields compare.
+static bool KernelOutputsBitIdentical(const KernelCompositeOut& a,
+                                      const KernelCompositeOut& b) {
+  if (a.mask.num_words() != b.mask.num_words() ||
+      std::memcmp(a.mask.words(), b.mask.words(),
+                  a.mask.num_words() * sizeof(uint64_t)) != 0) {
+    return false;
+  }
+  if (a.first_selected != b.first_selected) return false;
+  if (a.mat.present != b.mat.present || a.mat.offsets != b.mat.offsets)
+    return false;
+  if (a.mat.flat.size() != b.mat.flat.size() ||
+      std::memcmp(a.mat.flat.data(), b.mat.flat.data(),
+                  a.mat.flat.size() * sizeof(double)) != 0) {
+    return false;
+  }
+  return ColumnsBitIdentical(a.count, b.count) &&
+         ColumnsBitIdentical(a.sum, b.sum) && ColumnsBitIdentical(a.mn, b.mn) &&
+         ColumnsBitIdentical(a.mx, b.mx);
 }
 
 // Times the repeated-template candidate-evaluation workload on the
@@ -571,6 +697,42 @@ int WriteExecutorSpeedupRecord(const char* path,
     benchmark::DoNotOptimize(bytes_a.data());
   }
   const double bytemask_and_seconds = timer.Seconds() / kAndReps;
+
+  // Scalar vs simd kernel backend on the dense-mask composite workload
+  // (fused predicate->mask, run-decoded streaming aggregation, aligned
+  // bucket materialization + slice MIN/MAX). Outputs are verified
+  // byte-identical first — the backend contract — then best-of-k
+  // interleaved repeats cancel drift, exactly as the ExecContext arms.
+  double kernel_scalar_seconds = 0.0, kernel_simd_seconds = 0.0;
+  bool kernel_simd_bit_identical = false;
+  {
+    const KernelOps& scalar_ops = ScalarKernelOps();
+    const KernelOps& simd_ops = SimdKernelOps();
+    kernel_simd_bit_identical = KernelOutputsBitIdentical(
+        RunKernelComposite(scalar_ops), RunKernelComposite(simd_ops));
+    constexpr int kKernelReps = 7;
+    constexpr int kKernelCallsPerRep = 10;
+    double scalar_best = 0.0, simd_best = 0.0;
+    for (int rep = 0; rep < kKernelReps; ++rep) {
+      timer.Restart();
+      for (int c = 0; c < kKernelCallsPerRep; ++c) {
+        benchmark::DoNotOptimize(RunKernelComposite(scalar_ops));
+      }
+      const double s = timer.Seconds();
+      timer.Restart();
+      for (int c = 0; c < kKernelCallsPerRep; ++c) {
+        benchmark::DoNotOptimize(RunKernelComposite(simd_ops));
+      }
+      const double v = timer.Seconds();
+      if (rep == 0 || s < scalar_best) scalar_best = s;
+      if (rep == 0 || v < simd_best) simd_best = v;
+    }
+    kernel_scalar_seconds = scalar_best / kKernelCallsPerRep;
+    kernel_simd_seconds = simd_best / kKernelCallsPerRep;
+  }
+  const double kernel_simd_speedup =
+      kernel_simd_seconds > 0.0 ? kernel_scalar_seconds / kernel_simd_seconds
+                                : 0.0;
 
   // Serving: the same plan applied to successive batches, cold (fresh
   // planner per batch, the pre-handle Apply cost model) vs warm (one
@@ -908,6 +1070,14 @@ int WriteExecutorSpeedupRecord(const char* path,
            best_seconds > 0.0 ? per_candidate_seconds / best_seconds : 0.0)
       .Add("bitset_and_seconds", bitset_and_seconds)
       .Add("bytemask_and_seconds", bytemask_and_seconds)
+      // Scalar vs simd kernel backend on the dense-mask composite workload;
+      // dispatch_level records the ISA the simd table engaged on this host
+      // ("scalar" on machines without one — speedup then sits near 1.0).
+      .Add("kernel_scalar_seconds", kernel_scalar_seconds)
+      .Add("kernel_simd_seconds", kernel_simd_seconds)
+      .Add("kernel_simd_speedup", kernel_simd_speedup)
+      .Add("kernel_dispatch_level", std::string(SimdLevelName(DetectedSimdLevel())))
+      .Add("kernel_simd_bit_identical", kernel_simd_bit_identical)
       // The serving comparison: warm FittedAugmenter (plan compiled once,
       // per-batch work = train maps + kernels) vs a fresh planner per batch.
       .Add("transform_batches", static_cast<double>(kServingBatches))
@@ -955,7 +1125,8 @@ int WriteExecutorSpeedupRecord(const char* path,
     return 1;
   }
   std::printf("%s\n", record.ToString().c_str());
-  return bit_identical && transform_bit_identical && checkpoint_plan_identical
+  return bit_identical && transform_bit_identical &&
+                 checkpoint_plan_identical && kernel_simd_bit_identical
              ? 0
              : 1;
 }

@@ -14,6 +14,18 @@ cmake -B "$ROOT/build" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
+# ---- Kernel-backend pinning: goldens + parity under scalar and simd --------
+# (Backend choice is a pure performance knob: the recorded goldens and the
+# dispatch parity sweep must pass byte-identically with either table pinned
+# via the env var. On hosts without a vector ISA "simd" resolves to the
+# run-decoded scalar loops, so the pinned runs stay meaningful everywhere.)
+for backend in scalar simd; do
+  echo "ci.sh: golden + parity suite under FEATLIB_KERNEL_BACKEND=$backend"
+  FEATLIB_KERNEL_BACKEND="$backend" ctest --test-dir "$ROOT/build" \
+    --output-on-failure -j "$JOBS" \
+    -R 'executor_golden_test|executor_parallel_test|kernel_dispatch_test|serving_concurrency_test'
+done
+
 # ---- Bench record: serving warm-vs-cold + the search-pipeline comparison ---
 # (bench_micro writes BENCH_executor.json at the repo root; the record
 # carries the transform_warm_vs_cold fields of the FittedAugmenter path, the
@@ -31,7 +43,10 @@ if [[ -x "$ROOT/build/bench_micro" ]]; then
                search_batched_seconds search_batched_speedup \
                plan_compile_hit_rate exec_context_overhead \
                checkpoint_off_seconds checkpoint_on_seconds \
-               checkpoint_overhead checkpoint_plan_identical; do
+               checkpoint_overhead checkpoint_plan_identical \
+               kernel_scalar_seconds kernel_simd_seconds \
+               kernel_simd_speedup kernel_dispatch_level \
+               kernel_simd_bit_identical; do
     grep -q "\"$field\"" "$ROOT/BENCH_executor.json" || {
       echo "ci.sh: $field missing from BENCH_executor.json" >&2
       exit 1
@@ -51,6 +66,18 @@ for field in ("exec_context_overhead", "checkpoint_overhead"):
     print(f"ci.sh: {field} {overhead:.4f} (< 1.02)")
 if not record["checkpoint_plan_identical"]:
     sys.exit("ci.sh: durable fit's plan diverged from the plain fit's")
+# Kernel backend: the simd table must be byte-identical to the scalar
+# oracle on the composite dense-mask workload, and on hosts where a vector
+# ISA engaged it must actually pay (>= 1.5x on the composite; ISA-less
+# hosts run the same run-decoded loops on both sides, so only identity is
+# gated there).
+if not record["kernel_simd_bit_identical"]:
+    sys.exit("ci.sh: simd kernel outputs diverged from the scalar oracle")
+level = record["kernel_dispatch_level"]
+speedup = record["kernel_simd_speedup"]
+if level != "scalar" and speedup < 1.5:
+    sys.exit(f"ci.sh: kernel_simd_speedup {speedup:.2f} < 1.5 at level {level}")
+print(f"ci.sh: kernel_simd_speedup {speedup:.2f} at level {level} (bit-identical)")
 EOF
 else
   echo "ci.sh: bench_micro not built (google-benchmark missing?)" >&2
@@ -95,6 +122,13 @@ cmake -B "$ROOT/build-asan" -S "$ROOT" \
   -DFEATLIB_BUILD_EXAMPLES=OFF
 cmake --build "$ROOT/build-asan" -j "$JOBS"
 ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$JOBS"
+# The vectorized kernels do word-granular loads/stores around mask tails
+# and aligned flat buffers; pin both backends under ASan/UBSan so an
+# out-of-bounds lane or misaligned assumption cannot hide behind dispatch.
+for backend in scalar simd; do
+  FEATLIB_KERNEL_BACKEND="$backend" "$ROOT/build-asan/kernel_dispatch_test"
+  FEATLIB_KERNEL_BACKEND="$backend" "$ROOT/build-asan/executor_golden_test"
+done
 
 # ---- TSan: planner / store / executor / serving concurrency tests ----------
 # (Benches/examples are skipped: TSan only needs the threaded paths, and the

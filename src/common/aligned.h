@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file aligned.h
+/// \brief Minimal over-aligned allocator for kernel-facing flat buffers.
+///
+/// The vectorized kernel backend (query/kernels_simd.cc) reads
+/// MaterializedValues::flat with 256-bit loads; allocating the flat array at
+/// a 64-byte (cache-line) boundary lets slices whose offset is a multiple of
+/// the vector width hit aligned loads and keeps any buffer from straddling
+/// an extra line. The allocator changes only the *address* of the storage,
+/// never its contents, so buffers stay byte-identical to ones backed by the
+/// default allocator.
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace featlib {
+
+inline constexpr size_t kKernelAlignment = 64;
+
+template <typename T, size_t Alignment = kKernelAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two no weaker than alignof(T)");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// vector<T> whose storage starts on a kernel-alignment boundary.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace featlib

@@ -6,6 +6,18 @@
 
 namespace featlib {
 
+const char* KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kSimd:
+      return "simd";
+    case KernelBackend::kAuto:
+      return "auto";
+  }
+  return "auto";
+}
+
 FeatAugConfig& FeatAugConfig::Global() {
   static FeatAugConfig config;
   return config;
@@ -24,6 +36,18 @@ int FeatAugConfig::ResolvedNumThreads() const {
   if (num_threads > 0) return num_threads;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+KernelBackend FeatAugConfig::ResolvedKernelBackend() const {
+  if (const char* env = std::getenv("FEATLIB_KERNEL_BACKEND")) {
+    const std::string v(env);
+    // Unrecognized values fall through to the config field rather than
+    // silently changing a deployment's backend.
+    if (v == "scalar") return KernelBackend::kScalar;
+    if (v == "simd") return KernelBackend::kSimd;
+    if (v == "auto") return KernelBackend::kAuto;
+  }
+  return kernel_backend;
 }
 
 }  // namespace featlib

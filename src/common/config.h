@@ -12,10 +12,29 @@
 
 namespace featlib {
 
+/// Which kernel implementation set the query layer dispatches to (see
+/// query/kernel_dispatch.h). Every backend is bit-identical to the scalar
+/// oracle — the choice is purely a performance knob.
+enum class KernelBackend {
+  kScalar,  ///< the reference kernels in query/kernels.cc
+  kSimd,    ///< the vectorized set (AVX2 / NEON when detected, else scalar code)
+  kAuto,    ///< kSimd when the CPU has a vector ISA, kScalar otherwise
+};
+
+/// Canonical lowercase name ("scalar" / "simd" / "auto").
+const char* KernelBackendName(KernelBackend backend);
+
 struct FeatAugConfig {
   /// Threads for QueryPlanner::EvaluateMany prepare/fan-out. 0 = auto (hardware
   /// concurrency); 1 = serial (the exact single-threaded code path).
   int num_threads = 0;
+
+  /// Kernel backend for the candidate-evaluation fan-out, predicate-mask
+  /// builds, and serving Transform. Resolution order mirrors num_threads:
+  /// the FEATLIB_KERNEL_BACKEND environment variable (scalar|simd|auto),
+  /// then this field, then auto. Per-planner overrides
+  /// (QueryPlanner::set_kernel_backend) beat both.
+  KernelBackend kernel_backend = KernelBackend::kAuto;
 
   /// The mutable process-wide instance.
   static FeatAugConfig& Global();
@@ -23,6 +42,11 @@ struct FeatAugConfig {
   /// Applies the FEATLIB_NUM_THREADS override and the auto default; always
   /// returns >= 1.
   int ResolvedNumThreads() const;
+
+  /// Applies the FEATLIB_KERNEL_BACKEND override (malformed values fall
+  /// through to the config field). May return kAuto — the dispatch layer
+  /// maps kAuto to the detected ISA.
+  KernelBackend ResolvedKernelBackend() const;
 };
 
 }  // namespace featlib

@@ -39,6 +39,18 @@ class Bitset {
   size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
   const uint64_t* words() const { return words_.data(); }
 
+  /// Mutable word access for bulk writers (the vectorized predicate-mask
+  /// builder fills whole words via compare+movemask). Writers must preserve
+  /// the tail-zero invariant — call ClearTail() after writing the last word.
+  uint64_t* mutable_words() { return words_.data(); }
+  /// Zeroes the bits at positions >= size() in the last word, restoring the
+  /// tail invariant after bulk word writes.
+  void ClearTail() {
+    if (!words_.empty() && (n_bits_ & 63) != 0) {
+      words_.back() &= (uint64_t{1} << (n_bits_ & 63)) - 1;
+    }
+  }
+
   void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
   bool Test(size_t i) const {
     return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
@@ -47,6 +59,14 @@ class Bitset {
   /// this &= other. Sizes must match; the tail-zero invariant is preserved
   /// (AND can only clear bits).
   void AndWith(const Bitset& other);
+
+  /// Fused this &= other with the popcount of the result computed in the
+  /// same pass — the conjunction-build kernel (no second scan, no temporary).
+  size_t AndWithCount(const Bitset& other);
+
+  /// popcount(this & other) without materializing the AND — the
+  /// empty-conjunction probe.
+  size_t AndCount(const Bitset& other) const;
 
   /// Number of set bits (per-word popcount).
   size_t Count() const;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "query/agg_query.h"
 #include "query/bitset.h"
 #include "query/group_index.h"
@@ -30,16 +31,27 @@ namespace featlib {
 /// attribute) bucket, bucketed into one flat array in row order. Built at
 /// most once per bucket: candidates that vary only the agg function (the
 /// common shape of a template's pool) aggregate contiguous slices of the
-/// same flat array.
+/// same flat array. `flat` is allocated on a 64-byte boundary so the
+/// vectorized backend's slice loads start cache-line-aligned; the values —
+/// and therefore every aggregate over them — are byte-identical either way.
 struct MaterializedValues {
-  std::vector<uint32_t> present;  // selected rows per group (incl. nulls)
-  std::vector<size_t> offsets;    // group id -> slice bounds (size G+1)
-  std::vector<double> flat;       // non-null selected values, row order
+  std::vector<uint32_t> present;   // selected rows per group (incl. nulls)
+  std::vector<size_t> offsets;     // group id -> slice bounds (size G+1)
+  AlignedVector<double> flat;      // non-null selected values, row order
 
-  /// Heap footprint (ArtifactStore byte accounting).
+  /// Heap footprint (ArtifactStore byte accounting). Counts *capacity*, not
+  /// size — what the allocator actually handed out — so cache byte caps
+  /// never undercount a buffer that grew geometrically; the aligned flat
+  /// buffer additionally rounds up to its allocation granularity.
   size_t SizeBytes() const {
-    return flat.size() * sizeof(double) + offsets.size() * sizeof(size_t) +
-           present.size() * sizeof(uint32_t);
+    const size_t flat_bytes = flat.capacity() * sizeof(double);
+    const size_t aligned_flat =
+        flat_bytes == 0
+            ? 0
+            : (flat_bytes + kKernelAlignment - 1) / kKernelAlignment *
+                  kKernelAlignment;
+    return aligned_flat + offsets.capacity() * sizeof(size_t) +
+           present.capacity() * sizeof(uint32_t);
   }
 };
 

@@ -57,6 +57,20 @@ struct Predicate {
 /// repeated executions in the search loop.
 class CompiledFilter {
  public:
+  /// One conjunct bound to its column. Public so the kernel backends
+  /// (query/kernel_dispatch.h) can evaluate conjuncts over the raw column
+  /// arrays; the semantics stay exactly those of Matches().
+  struct BoundPredicate {
+    const Column* column;
+    Predicate::Kind kind;
+    // Equality: either a code (string columns) or a numeric value.
+    int32_t code = -1;          // -1 means "value absent from dictionary"
+    bool is_string = false;
+    double equals_numeric = 0.0;
+    bool has_lo = false, has_hi = false;
+    double lo = 0.0, hi = 0.0;
+  };
+
   /// Binds predicates to `table`'s columns. Fails on unknown attributes or
   /// type mismatches (e.g. a range predicate on a string column).
   static Result<CompiledFilter> Compile(const std::vector<Predicate>& predicates,
@@ -69,18 +83,13 @@ class CompiledFilter {
   /// Returns all matching row indices.
   std::vector<uint32_t> Apply() const;
 
- private:
-  struct BoundPredicate {
-    const Column* column;
-    Predicate::Kind kind;
-    // Equality: either a code (string columns) or a numeric value.
-    int32_t code = -1;          // -1 means "value absent from dictionary"
-    bool is_string = false;
-    double equals_numeric = 0.0;
-    bool has_lo = false, has_hi = false;
-    double lo = 0.0, hi = 0.0;
-  };
+  /// \name Kernel-backend introspection.
+  /// @{
+  size_t num_rows() const { return num_rows_; }
+  const std::vector<BoundPredicate>& bound() const { return bound_; }
+  /// @}
 
+ private:
   size_t num_rows_ = 0;
   std::vector<BoundPredicate> bound_;
 };

@@ -12,6 +12,7 @@
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "query/kernel_dispatch.h"
 #include "query/predicate.h"
 
 namespace featlib {
@@ -144,6 +145,12 @@ struct ComboReq {  // conjunction of >= 2 predicates (depends on MaskReqs)
   std::vector<size_t> parts;  // MaskReq indices; empty when cached
   const Bitset* bits = nullptr;
   std::optional<Bitset> built;
+  /// Set-bit count of the conjunction, a free by-product of the fused
+  /// AndWithCount build pass. Valid only for conjunctions built this batch
+  /// (cached ones skipped the AND); stage C's empty-selection short-circuit
+  /// reads it without rescanning the words.
+  size_t count = 0;
+  bool count_valid = false;
   Status error;
   int retries = 0;
 };
@@ -166,6 +173,7 @@ struct MatReq {  // bucket materialization (depends on group + mask + view)
   size_t view = 0;
   const MaterializedValues* values = nullptr;
   std::optional<MaterializedValues> built;
+  bool empty_selection = false;  // mask proved empty; build short-circuited
   Status error;
   int retries = 0;
 };
@@ -252,6 +260,10 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
 
   plan_stats_ = PlanStats{};
   plan_stats_.candidates = queries.size();
+
+  // Resolve the kernel backend once per batch; every phase below (mask
+  // build, materialization, fan-out kernels) dispatches through this table.
+  ops_ = &ResolveKernelOps(kernel_backend_);
 
   // Over-cap memo is flushed between batches only: shape pointers resolved
   // below stay valid for the whole Prepare.
@@ -528,9 +540,7 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
             auto filter = CompiledFilter::Compile({*req.pred}, relevant);
             if (!filter.ok()) return filter.status();
             Bitset bits(relevant.num_rows());
-            for (size_t row = 0; row < relevant.num_rows(); ++row) {
-              if (filter.value().Matches(row)) bits.Set(row);
-            }
+            ops_->build_filter_mask(filter.value(), &bits);
             req.built.emplace(std::move(bits));
             return Status::OK();
           });
@@ -608,10 +618,16 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     req.error = BuildWithRetry(
         "prepare.conjunction", retry_,
         RetryToken("prepare.conjunction", req.key), &req.retries, [&]() -> Status {
+          // Fused AND + popcount: the last constituent's pass also yields
+          // the conjunction's selectivity, which stage C uses to skip
+          // materializing provably-empty buckets.
           Bitset combined = *masks[req.parts[0]].bits;
+          size_t count = 0;
           for (size_t k = 1; k < req.parts.size(); ++k) {
-            combined.AndWith(*masks[req.parts[k]].bits);
+            count = combined.AndWithCount(*masks[req.parts[k]].bits);
           }
+          req.count = count;
+          req.count_valid = true;
           req.built.emplace(std::move(combined));
           return Status::OK();
         });
@@ -667,11 +683,29 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
     const Bitset* mask = single != nullptr ? single->bits
                          : combo != nullptr ? combo->bits
                                             : nullptr;
+    // Empty-selection early-out: a conjunction built this batch proved its
+    // selectivity for free (fused AndWithCount); other masks pay one
+    // popcount scan — far cheaper than streaming every row through the
+    // builder. An empty bucket is constructed directly; the result is
+    // byte-identical to what the builder returns for an all-zero mask.
+    if (mask != nullptr) {
+      req.empty_selection = combo != nullptr && combo->count_valid
+                                ? combo->count == 0
+                                : mask->Count() == 0;
+    }
     req.error = BuildWithRetry(
         "prepare.mat", retry_, RetryToken("prepare.mat", req.key),
         &req.retries, [&]() -> Status {
-          req.built.emplace(BuildMaterializedValues(group.artifact->index,
-                                                    mask, view.view->data()));
+          if (req.empty_selection) {
+            const size_t n_groups = group.artifact->index.num_groups();
+            MaterializedValues empty;
+            empty.present.assign(n_groups, 0);
+            empty.offsets.assign(n_groups + 1, 0);
+            req.built.emplace(std::move(empty));
+            return Status::OK();
+          }
+          req.built.emplace(ops_->build_materialized(
+              group.artifact->index, mask, view.view->data()));
           return Status::OK();
         });
   };
@@ -722,6 +756,7 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
   }
   for (const MatReq& r : mats) {
     plan_stats_.build_retries += static_cast<size_t>(r.retries);
+    if (r.empty_selection) ++plan_stats_.empty_selections;
   }
   build_retries_total_ += plan_stats_.build_retries;
   FEAT_RETURN_NOT_OK(stage_error);
@@ -801,7 +836,7 @@ Result<std::vector<double>> QueryPlanner::ComputeFeatureColumn(
                         Prepare(one, &training, relevant,
                                 /*for_grouped_result=*/false, ctx));
   FEAT_RETURN_NOT_OK(FaultPoint("exec.kernel"));
-  return ComputeFeatureKernel(planned[0]);
+  return ops_->compute_feature(planned[0]);
 }
 
 Result<std::vector<std::vector<double>>> QueryPlanner::EvaluateMany(
@@ -823,7 +858,7 @@ Result<std::vector<std::vector<double>>> QueryPlanner::EvaluateMany(
   std::vector<Status> kernel_errors(queries.size());
   auto run_one = [&](size_t i) {
     kernel_errors[i] = FaultPoint("exec.kernel");
-    if (kernel_errors[i].ok()) out[i] = ComputeFeatureKernel(planned[i]);
+    if (kernel_errors[i].ok()) out[i] = ops_->compute_feature(planned[i]);
   };
   if (pool_ != nullptr) {
     FEAT_RETURN_NOT_OK(pool_->ParallelFor(planned.size(), run_one, 0, ctx));
@@ -865,7 +900,7 @@ QueryPlanner::EvaluateManyIsolated(const std::vector<AggQuery>& queries,
       slot_errors[i] = std::move(injected);
       return;
     }
-    out[i].values = ComputeFeatureKernel(planned[i]);
+    out[i].values = ops_->compute_feature(planned[i]);
   };
   if (pool_ != nullptr) {
     FEAT_RETURN_NOT_OK(pool_->ParallelFor(planned.size(), run_one, 0, ctx));
@@ -888,6 +923,7 @@ Result<ServingPlan> QueryPlanner::CompileServingPlan(
   store_.BeginEpoch();
   ServingPlan plan;
   plan.relevant = &relevant;
+  plan.kernel_backend = kernel_backend_;
   FEAT_ASSIGN_OR_RETURN(plan.candidates,
                         Prepare(queries, /*training=*/nullptr, relevant,
                                 /*for_grouped_result=*/false, ctx));
@@ -922,6 +958,9 @@ Result<std::vector<std::vector<double>>> ExecuteServingPlan(
     train_maps.push_back(std::move(map));
   }
 
+  // Serving dispatches like the fit path: the plan's captured override
+  // first, then FEATLIB_KERNEL_BACKEND / FeatAugConfig at execution time.
+  const KernelOps& ops = ResolveKernelOps(plan.kernel_backend);
   std::vector<std::vector<double>> out(plan.candidates.size());
   std::vector<Status> kernel_errors(plan.candidates.size());
   auto run_one = [&](size_t i) {
@@ -929,7 +968,7 @@ Result<std::vector<std::vector<double>>> ExecuteServingPlan(
     if (!kernel_errors[i].ok()) return;
     PlannedCandidate p = plan.candidates[i];
     p.train_map = &train_maps[plan.candidate_group[i]];
-    out[i] = ComputeFeatureKernel(p);
+    out[i] = ops.compute_feature(p);
   };
   if (pool != nullptr) {
     FEAT_RETURN_NOT_OK(pool->ParallelFor(plan.candidates.size(), run_one, 0,
@@ -954,8 +993,8 @@ Result<Table> QueryPlanner::ExecuteAggQuery(const AggQuery& q,
                                 /*for_grouped_result=*/true, ctx));
   const PlannedCandidate& p = planned[0];
   std::vector<uint32_t> first_selected;
-  std::vector<double> per_group =
-      AggregateStreaming(q.agg, *p.index, p.mask, p.view, &first_selected);
+  std::vector<double> per_group = ops_->aggregate_streaming(
+      q.agg, *p.index, p.mask, p.view, &first_selected);
 
   // Groups are emitted in first-seen order among *filtered* rows with the
   // first matching row as representative; sorting surviving groups by their

@@ -60,6 +60,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/config.h"
 #include "common/exec_context.h"
 #include "common/status.h"
 #include "query/agg_query.h"
@@ -71,6 +72,7 @@ namespace featlib {
 
 class GroupIndex;
 class ThreadPool;
+struct KernelOps;
 
 /// \brief A frozen, batch-independent query plan for repeated serving.
 ///
@@ -98,6 +100,10 @@ struct ServingPlan {
   /// compile time: executing against any other table — even one with the
   /// same schema — would translate batch keys through the wrong dictionary.
   const Table* relevant = nullptr;
+  /// Kernel-backend override captured from the compiling planner. kAuto
+  /// defers to FEATLIB_KERNEL_BACKEND / FeatAugConfig at *execution* time,
+  /// so a serving process can steer the backend without recompiling plans.
+  KernelBackend kernel_backend = KernelBackend::kAuto;
 };
 
 /// Executes a frozen serving plan against one batch: builds the batch's
@@ -118,6 +124,15 @@ class QueryPlanner {
   /// (the default) means serial evaluation. Not owned; must outlive the
   /// planner's use.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Kernel backend for every phase this planner dispatches — predicate
+  /// masks, bucket materializations, streaming aggregation, the fan-out
+  /// kernels. kAuto (the default) defers to FEATLIB_KERNEL_BACKEND /
+  /// FeatAugConfig and then to CPU detection (see query/kernel_dispatch.h).
+  /// Backends are byte-identical by contract; this is a performance knob
+  /// and a test hook, never a semantics switch.
+  void set_kernel_backend(KernelBackend backend) { kernel_backend_ = backend; }
+  KernelBackend kernel_backend() const { return kernel_backend_; }
 
   /// Bounded retry for transiently-failing artifact builds: a build whose
   /// failure is retryable (kInternal / kIOError — the transient classes; a
@@ -250,6 +265,10 @@ class QueryPlanner {
     size_t compile_misses = 0;
     /// Build re-attempts taken under the RetryPolicy (0 without retries).
     size_t build_retries = 0;
+    /// Bucket materializations short-circuited because their selection mask
+    /// had no set bits (the fused conjunction popcount — or a cached mask's
+    /// count — proved the bucket empty before any build ran).
+    size_t empty_selections = 0;
   };
   const PlanStats& last_plan_stats() const { return plan_stats_; }
 
@@ -327,6 +346,10 @@ class QueryPlanner {
 
   ArtifactStore store_;
   ThreadPool* pool_ = nullptr;
+  /// Resolved once per Prepare from kernel_backend_; points at a static
+  /// KernelOps table, so fan-out threads read it freely.
+  const KernelOps* ops_ = nullptr;
+  KernelBackend kernel_backend_ = KernelBackend::kAuto;
   RetryPolicy retry_;
   PlanStats plan_stats_;
   std::unordered_map<std::string, CompiledShape> compile_cache_;

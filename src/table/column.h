@@ -89,6 +89,21 @@ class Column {
   }
   /// @}
 
+  /// \name Raw storage views (vectorized kernel backend)
+  ///
+  /// Direct pointers into the typed backing arrays so the SIMD predicate
+  /// evaluator can stream whole cache lines instead of calling the per-row
+  /// accessors. Each pointer is meaningful only for the matching type()
+  /// (see the storage-layout table above); cells whose validity byte is 0
+  /// hold unspecified placeholder values and must be masked out by the
+  /// reader, exactly as IsNull() gates the scalar accessors.
+  /// @{
+  const uint8_t* raw_validity() const { return valid_.data(); }
+  const double* raw_doubles() const { return doubles_.data(); }
+  const int64_t* raw_ints() const { return ints_.data(); }
+  const int32_t* raw_codes() const { return codes_.data(); }
+  /// @}
+
   /// Min/max over non-null rows as doubles. Error if the column is empty,
   /// all-null, or a string column.
   Result<std::pair<double, double>> MinMaxAsDouble() const;
