@@ -20,17 +20,32 @@
 /// the last snapshot.
 ///
 /// Transform (the serving phase): load a serialized plan into a warm
-/// FittedAugmenter and augment one or more CSV batches — no search, no
-/// model, no re-planning between batches:
+/// FittedAugmenter and stream one or more CSV batches through the serving
+/// batcher — no search, no model, no re-planning between batches:
 ///
 ///   feataug_cli transform --plan=plan.sql --relevant=R.csv
 ///               --in=batch.csv[,batch2.csv] --out=augmented.csv
 ///               [--deadline-ms=N] [--memory-budget-mb=N]
 ///
+/// Batches go through the same serve::Batcher the daemon uses: one warm
+/// handle, concurrent submissions coalesced into TransformManyIsolated
+/// fan-outs, per-batch failure isolation (a failing batch reports its own
+/// error; siblings still write their outputs).
+///
+/// With --socket the transform forwards to a running `feataug_serve`
+/// daemon instead of loading the plan locally — no --plan/--relevant
+/// needed, the daemon owns both:
+///
+///   feataug_cli transform --socket=/tmp/feataug_serve.sock
+///               --plan-name=NAME --in=batch.csv[,batch2.csv]
+///               [--out=augmented.csv] [--deadline-ms=N]
+///
 /// --deadline-ms / --memory-budget-mb impose cooperative execution limits
 /// (ExecContext) on the transform: past the deadline (or over the budget)
 /// the run stops within one chunk of work and exits with a clean
 /// DeadlineExceeded / ResourceExhausted error instead of running away.
+/// In socket mode the deadline travels with each request and is enforced
+/// by the daemon.
 ///
 /// Column roles default sensibly (InferTemplateIngredients): aggregation
 /// attributes = R's numeric/bool/datetime columns (minus FKs), WHERE
@@ -38,10 +53,14 @@
 /// features = D's numeric columns (minus label and FKs).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/exec_context.h"
 #include "common/str_util.h"
@@ -49,6 +68,8 @@
 #include "core/feataug.h"
 #include "core/multi_table.h"
 #include "core/plan_io.h"
+#include "serve/batcher.h"
+#include "serve/client.h"
 #include "table/csv.h"
 
 using namespace featlib;
@@ -293,6 +314,8 @@ struct TransformArgs {
   std::string out_path = "augmented.csv";
   long long deadline_ms = 0;       // 0 = no deadline
   long long memory_budget_mb = 0;  // 0 = unlimited
+  std::string socket_path;         // non-empty: forward to a daemon
+  std::string plan_name;           // daemon-side plan name (socket mode)
 };
 
 bool ParseTransform(int argc, char** argv, TransformArgs* args) {
@@ -308,10 +331,21 @@ bool ParseTransform(int argc, char** argv, TransformArgs* args) {
     else if (const char* v = value_of("--out=")) args->out_path = v;
     else if (const char* v = value_of("--deadline-ms=")) args->deadline_ms = std::atoll(v);
     else if (const char* v = value_of("--memory-budget-mb=")) args->memory_budget_mb = std::atoll(v);
+    else if (const char* v = value_of("--socket=")) args->socket_path = v;
+    else if (const char* v = value_of("--plan-name=")) args->plan_name = v;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
     }
+  }
+  if (!args->socket_path.empty()) {
+    if (args->plan_name.empty() || args->in_paths.empty()) {
+      std::fprintf(stderr,
+                   "required: transform --socket=daemon.sock --plan-name=NAME "
+                   "--in=batch.csv[,batch2.csv]\n");
+      return false;
+    }
+    return true;
   }
   if (args->plan_path.empty() || args->relevant_path.empty() ||
       args->in_paths.empty()) {
@@ -337,7 +371,85 @@ std::string BatchOutPath(const std::string& out, size_t index) {
   return out.substr(0, dot) + suffix + out.substr(dot);
 }
 
+// Writes each successful batch output to its derived path; failed batches
+// report their own error without blocking siblings (partial-failure
+// isolation, matching the daemon's per-slot semantics).
+int WriteBatchOutputs(const std::vector<Status>& statuses,
+                      std::vector<Table>& outputs,
+                      const TransformArgs& args) {
+  int failures = 0;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (!statuses[i].ok()) {
+      std::fprintf(stderr, "batch %zu (%s): %s\n", i, args.in_paths[i].c_str(),
+                   statuses[i].ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const std::string out_path = BatchOutPath(args.out_path, i);
+    Status st = WriteCsv(outputs[i], out_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "writing %s: %s\n", out_path.c_str(),
+                   st.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("augmented table (%zu rows x %zu columns) -> %s\n",
+                outputs[i].num_rows(), outputs[i].num_columns(),
+                out_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// Socket mode: forward every batch to a running daemon, one connection per
+// in-flight batch (capped), so the daemon's batcher can coalesce them.
+int RunTransformSocket(const TransformArgs& args) {
+  std::vector<Table> batches;
+  for (const std::string& path : args.in_paths) {
+    auto batch = ReadCsv(path);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "reading %s: %s\n", path.c_str(),
+                   batch.status().ToString().c_str());
+      return 1;
+    }
+    batches.push_back(std::move(batch).ValueOrDie());
+  }
+  const uint64_t deadline_us =
+      args.deadline_ms > 0 ? static_cast<uint64_t>(args.deadline_ms) * 1000 : 0;
+
+  WallTimer timer;
+  const size_t n = batches.size();
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<Table> outputs(n);
+  const size_t parallel = std::min<size_t>(n, 8);
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> senders;
+  senders.reserve(parallel);
+  for (size_t t = 0; t < parallel; ++t) {
+    senders.emplace_back([&] {
+      auto client = serve::ServeClient::ConnectUnix(args.socket_path);
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        if (!client.ok()) {
+          statuses[i] = client.status();
+          continue;
+        }
+        auto out = client.value().Transform(args.plan_name, batches[i],
+                                            deadline_us);
+        if (out.ok()) {
+          outputs[i] = std::move(out).ValueOrDie();
+        } else {
+          statuses[i] = out.status();
+        }
+      }
+    });
+  }
+  for (std::thread& sender : senders) sender.join();
+  std::printf("transformed %zu batch(es) via %s in %.3fs\n", n,
+              args.socket_path.c_str(), timer.Seconds());
+  return WriteBatchOutputs(statuses, outputs, args);
+}
+
 int RunTransform(const TransformArgs& args) {
+  if (!args.socket_path.empty()) return RunTransformSocket(args);
   auto relevant = ReadCsv(args.relevant_path);
   if (!relevant.ok()) {
     std::fprintf(stderr, "reading %s: %s\n", args.relevant_path.c_str(),
@@ -369,41 +481,60 @@ int RunTransform(const TransformArgs& args) {
     batches.push_back(std::move(batch).ValueOrDie());
   }
 
-  // Cooperative limits for the whole serving run: the deadline clock starts
-  // here (after load/compile), the budget covers the transform's output
-  // columns across every batch.
-  ExecContext ctx;
-  if (args.deadline_ms > 0) {
-    ctx.set_deadline_after(std::chrono::milliseconds(args.deadline_ms));
-  }
+  // Stream the batches through the serving batcher on the one warm handle
+  // — the same admission path the daemon uses: submissions coalesce into
+  // TransformManyIsolated fan-outs with per-batch failure isolation. The
+  // deadline rides on each request; the memory budget applies per fan-out.
+  std::shared_ptr<const FittedAugmenter> handle(std::move(fitted).ValueOrDie());
+  serve::BatcherOptions batcher_options;
+  batcher_options.max_batch_size = 16;
+  batcher_options.max_delay_us = 200;
   if (args.memory_budget_mb > 0) {
-    ctx.set_memory_budget_bytes(static_cast<size_t>(args.memory_budget_mb) << 20);
+    batcher_options.memory_budget_bytes =
+        static_cast<size_t>(args.memory_budget_mb) << 20;
   }
-  const bool limited = args.deadline_ms > 0 || args.memory_budget_mb > 0;
+  serve::Batcher batcher(batcher_options);
 
   timer.Restart();
-  auto augmented = fitted.value()->TransformMany(batches, limited ? &ctx : nullptr);
-  if (!augmented.ok()) {
-    std::fprintf(stderr, "transform: %s\n",
-                 augmented.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("transformed %zu batch(es) in %.3fs (warm handle, no re-plan)\n",
-              batches.size(), timer.Seconds());
-
-  for (size_t i = 0; i < augmented.value().size(); ++i) {
-    const std::string out_path = BatchOutPath(args.out_path, i);
-    Status st = WriteCsv(augmented.value()[i], out_path);
-    if (!st.ok()) {
-      std::fprintf(stderr, "writing %s: %s\n", out_path.c_str(),
-                   st.ToString().c_str());
-      return 1;
+  const size_t n = batches.size();
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<Table> outputs(n);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t done_count = 0;
+  const serve::Batcher::Clock::time_point deadline =
+      args.deadline_ms > 0
+          ? serve::Batcher::Clock::now() +
+                std::chrono::milliseconds(args.deadline_ms)
+          : serve::Batcher::Clock::time_point::max();
+  for (size_t i = 0; i < n; ++i) {
+    serve::Batcher::Request request;
+    request.handle = handle;
+    request.batch = batches[i];
+    request.deadline = deadline;
+    request.done = [&, i](Status status, Table table) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      statuses[i] = std::move(status);
+      outputs[i] = std::move(table);
+      ++done_count;
+      done_cv.notify_one();
+    };
+    Status admitted = batcher.Submit("cli", std::move(request));
+    if (!admitted.ok()) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      statuses[i] = admitted;
+      ++done_count;
     }
-    std::printf("augmented table (%zu rows x %zu columns) -> %s\n",
-                augmented.value()[i].num_rows(),
-                augmented.value()[i].num_columns(), out_path.c_str());
   }
-  return 0;
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return done_count == n; });
+  }
+  batcher.Shutdown();
+  std::printf(
+      "transformed %zu batch(es) in %.3fs (warm handle, %zu fan-out(s))\n",
+      n, timer.Seconds(), batcher.num_flushes());
+  return WriteBatchOutputs(statuses, outputs, args);
 }
 
 }  // namespace

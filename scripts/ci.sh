@@ -84,6 +84,37 @@ else
   exit 1
 fi
 
+# ---- Serving daemon smoke: socket round-trip latency + byte identity --------
+# (bench_serve stands up a live daemon on a unix socket, drives concurrent
+# client connections through the framing/registry/batcher stack, and merges
+# serve_p50/p99/throughput plus the byte-identity verdict into the record
+# bench_micro just wrote. Byte identity — every socket response equal to
+# direct in-process TransformMany — is the serving contract and is gated.)
+if [[ -x "$ROOT/build/bench_serve" ]]; then
+  "$ROOT/build/bench_serve" --out="$ROOT/BENCH_executor.json"
+  for field in serve_p50_seconds serve_p99_seconds serve_throughput_rps \
+               serve_bit_identical serve_coalesced_flushes; do
+    grep -q "\"$field\"" "$ROOT/BENCH_executor.json" || {
+      echo "ci.sh: $field missing from BENCH_executor.json" >&2
+      exit 1
+    }
+  done
+  python3 - "$ROOT/BENCH_executor.json" <<'EOF'
+import json, sys
+record = json.load(open(sys.argv[1]))
+if not record["serve_bit_identical"]:
+    sys.exit("ci.sh: daemon responses diverged from in-process TransformMany")
+if record["serve_coalesced_flushes"] < 1:
+    sys.exit("ci.sh: the batcher never coalesced concurrent requests")
+print(f"ci.sh: serve p50 {record['serve_p50_seconds']*1e3:.3f}ms "
+      f"p99 {record['serve_p99_seconds']*1e3:.3f}ms "
+      f"{record['serve_throughput_rps']:.0f} req/s (bit-identical)")
+EOF
+else
+  echo "ci.sh: bench_serve not built" >&2
+  exit 1
+fi
+
 # ---- Fault-injection sweep: randomized seeds, typed-Status invariant --------
 # (fault_sweep_test runs EnableRandom(seed, p) sweeps: every injected fault
 # must surface as a clean typed Status and every surviving slot must be
@@ -137,7 +168,9 @@ done
 # FeatureEvaluator::Features into the parallel EvaluateMany prepare/fan-out —
 # so they pin the pipeline's thread-safety claims too. checkpoint_test
 # exercises the async CheckpointWriter: fit-thread enqueue vs background
-# writer vs destructor drain.)
+# writer vs destructor drain. The serve_* tests cover the daemon stack:
+# registry load/evict/pin races, batcher coalescing + drain, and the full
+# socket path with 8 concurrent connections and a SIGTERM drain.)
 TSAN_TESTS=(
   executor_golden_test
   executor_parallel_test
@@ -147,6 +180,9 @@ TSAN_TESTS=(
   generator_test
   search_session_test
   checkpoint_test
+  plan_registry_test
+  serve_batcher_test
+  serve_daemon_test
 )
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,0 +1,210 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+namespace featlib {
+namespace serve {
+
+Batcher::Batcher(BatcherOptions options) : options_(options) {
+  const int workers = std::max(1, options_.num_workers);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Batcher::~Batcher() { Shutdown(); }
+
+Status Batcher::Submit(const std::string& plan_name, Request request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    return Status::Cancelled("batcher is draining; request refused");
+  }
+  ++num_requests_;
+  auto it = pending_.find(plan_name);
+  if (it == pending_.end()) {
+    auto group = std::make_shared<Group>();
+    group->plan = plan_name;
+    group->flush_at =
+        Clock::now() + std::chrono::microseconds(options_.max_delay_us);
+    group->requests.push_back(std::move(request));
+    if (group->requests.size() >= options_.max_batch_size ||
+        options_.max_delay_us <= 0) {
+      ready_.push_back(std::move(group));
+    } else {
+      pending_.emplace(plan_name, std::move(group));
+    }
+  } else {
+    it->second->requests.push_back(std::move(request));
+    if (it->second->requests.size() >= options_.max_batch_size) {
+      ready_.push_back(std::move(it->second));
+      pending_.erase(it);
+    }
+  }
+  // Wake a worker either way: one must (re)compute the nearest flush_at.
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+std::shared_ptr<Batcher::Group> Batcher::NextReadyGroupLocked(
+    std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    if (!ready_.empty()) {
+      auto group = std::move(ready_.front());
+      ready_.pop_front();
+      return group;
+    }
+    if (draining_) {
+      // Drain: every pending group flushes now, regardless of its window.
+      if (!pending_.empty()) {
+        auto it = pending_.begin();
+        auto group = std::move(it->second);
+        pending_.erase(it);
+        return group;
+      }
+      return nullptr;  // fully drained; worker exits
+    }
+    if (pending_.empty()) {
+      work_cv_.wait(lock);
+      continue;
+    }
+    // This worker doubles as the timer for the nearest window.
+    Clock::time_point nearest = Clock::time_point::max();
+    for (const auto& [name, group] : pending_) {
+      nearest = std::min(nearest, group->flush_at);
+    }
+    if (Clock::now() >= nearest) {
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->second->flush_at == nearest) {
+          auto group = std::move(it->second);
+          pending_.erase(it);
+          return group;
+        }
+      }
+      continue;  // raced with another worker; re-evaluate
+    }
+    work_cv_.wait_until(lock, nearest);
+  }
+}
+
+void Batcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::shared_ptr<Group> group = NextReadyGroupLocked(lock);
+    if (group == nullptr) return;
+    ++in_flight_groups_;
+    ++num_flushes_;
+    if (group->requests.size() >= 2) ++num_coalesced_flushes_;
+    max_flush_size_ = std::max(max_flush_size_, group->requests.size());
+    lock.unlock();
+    ExecuteGroup(group.get());
+    lock.lock();
+    --in_flight_groups_;
+    drain_cv_.notify_all();
+  }
+}
+
+void Batcher::ExecuteGroup(Group* group) {
+  const Clock::time_point now = Clock::now();
+  // Slot requests that expired while coalescing fail up front and are
+  // excluded from the fan-out; live slots map to positions in `batches`.
+  std::vector<size_t> live;
+  std::vector<Table> batches;
+  Clock::time_point latest_deadline = Clock::time_point::min();
+  bool all_have_deadlines = true;
+  for (size_t i = 0; i < group->requests.size(); ++i) {
+    Request& req = group->requests[i];
+    if (req.deadline != Clock::time_point::max()) {
+      latest_deadline = std::max(latest_deadline, req.deadline);
+      if (req.deadline <= now) {
+        req.done(Status::DeadlineExceeded(
+                     "request deadline expired while coalescing"),
+                 Table());
+        continue;
+      }
+    } else {
+      all_have_deadlines = false;
+    }
+    live.push_back(i);
+    batches.push_back(req.batch);
+  }
+  if (live.empty()) return;
+
+  // The group context's deadline is the latest request deadline: a batch-
+  // wide ExecContext trip fails every slot, so the tightest request must
+  // not be the one to pull the trigger — it is late-checked below instead.
+  ExecContext ctx;
+  const FittedAugmenter& handle = *group->requests[live.front()].handle;
+  if (all_have_deadlines) ctx.set_deadline(latest_deadline);
+  if (options_.memory_budget_bytes > 0) {
+    ctx.set_memory_budget_bytes(options_.memory_budget_bytes);
+  }
+
+  auto results = handle.TransformManyIsolated(batches, &ctx);
+  const Clock::time_point done_at = Clock::now();
+  if (!results.ok()) {
+    // Batch-wide failure (tripped group context): every live slot reports
+    // it, with per-request deadline attribution where that is the cause.
+    for (size_t i : live) {
+      Request& req = group->requests[i];
+      if (req.deadline <= done_at) {
+        req.done(Status::DeadlineExceeded("request deadline exceeded"),
+                 Table());
+      } else {
+        req.done(results.status(), Table());
+      }
+    }
+    return;
+  }
+  std::vector<FittedAugmenter::BatchResult>& slots = results.value();
+  FEAT_CHECK(slots.size() == live.size(),
+             "TransformManyIsolated returned wrong slot count");
+  for (size_t s = 0; s < live.size(); ++s) {
+    Request& req = group->requests[live[s]];
+    if (req.deadline <= done_at) {
+      req.done(
+          Status::DeadlineExceeded("request deadline exceeded during fan-out"),
+          Table());
+    } else if (slots[s].status.ok()) {
+      req.done(Status::OK(), std::move(slots[s].table));
+    } else {
+      req.done(slots[s].status, Table());
+    }
+  }
+}
+
+void Batcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ && workers_.empty()) return;
+    draining_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+size_t Batcher::num_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_requests_;
+}
+
+size_t Batcher::num_flushes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_flushes_;
+}
+
+size_t Batcher::num_coalesced_flushes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_coalesced_flushes_;
+}
+
+size_t Batcher::max_flush_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_flush_size_;
+}
+
+}  // namespace serve
+}  // namespace featlib

@@ -1,0 +1,140 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace featlib {
+namespace serve {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<ServeClient> ServeClient::ConnectUnix(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket(AF_UNIX)");
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("unix socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return ErrnoStatus("connect(" + socket_path + ")");
+  }
+  return ServeClient(fd);
+}
+
+Result<ServeClient> ServeClient::ConnectTcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket(AF_INET)");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return ErrnoStatus("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return ServeClient(fd);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Frame> ServeClient::RoundTrip(MessageType type,
+                                     const std::string& payload,
+                                     MessageType expect) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  FEAT_RETURN_NOT_OK(WriteFrame(fd_, type, payload));
+  FEAT_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+  if (frame.type == MessageType::kError) {
+    auto msg = DecodeErrorMessage(frame.payload);
+    return Status::DataLoss(
+        "daemon reported a protocol error: " +
+        (msg.ok() ? msg.value().message : std::string("<unparseable>")));
+  }
+  if (frame.type != expect) {
+    return Status::DataLoss("unexpected response type " +
+                            std::to_string(static_cast<int>(frame.type)));
+  }
+  return frame;
+}
+
+Result<Table> ServeClient::Transform(const std::string& plan_name,
+                                     const Table& batch,
+                                     uint64_t deadline_us) {
+  TransformRequest req;
+  req.request_id = next_request_id_++;
+  req.plan = plan_name;
+  req.deadline_us = deadline_us;
+  req.batch = batch;
+  FEAT_ASSIGN_OR_RETURN(
+      Frame frame, RoundTrip(MessageType::kTransformRequest,
+                             EncodeTransformRequest(req),
+                             MessageType::kTransformResponse));
+  FEAT_ASSIGN_OR_RETURN(TransformResponse resp,
+                        DecodeTransformResponse(frame.payload));
+  // request_id 0 marks a response to a request the daemon could not parse.
+  if (resp.request_id != req.request_id && resp.request_id != 0) {
+    return Status::DataLoss("response for request " +
+                            std::to_string(resp.request_id) + ", expected " +
+                            std::to_string(req.request_id));
+  }
+  if (!resp.status.ok()) return resp.status;
+  return std::move(resp.table);
+}
+
+Status ServeClient::Ping() {
+  const std::string payload = "ping";
+  auto frame = RoundTrip(MessageType::kPing, payload, MessageType::kPong);
+  if (!frame.ok()) return frame.status();
+  if (frame.value().payload != payload) {
+    return Status::DataLoss("pong payload mismatch");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PlanInfo>> ServeClient::ListPlans() {
+  FEAT_ASSIGN_OR_RETURN(Frame frame,
+                        RoundTrip(MessageType::kListPlans, std::string(),
+                                  MessageType::kPlanList));
+  FEAT_ASSIGN_OR_RETURN(PlanList list, DecodePlanList(frame.payload));
+  return std::move(list.plans);
+}
+
+}  // namespace serve
+}  // namespace featlib

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file client.h
+/// \brief Client side of the serving protocol: connect to a running
+/// `feataug_serve` daemon over its Unix-domain or TCP socket and issue
+/// Transform / Ping / ListPlans calls.
+///
+/// The client is synchronous — one request in flight per connection — and
+/// deliberately thin: framing, request-id bookkeeping, and decode live
+/// here; retries, pooling, and load balancing are the caller's business.
+/// Transform sends the batch, blocks for the daemon's response (which the
+/// daemon may have coalesced with concurrent requests from other
+/// connections), verifies the echoed request id, and returns either the
+/// transformed table — byte-identical to an in-process Transform on the
+/// same fitted plan — or the typed Status the daemon reported for this
+/// request (unknown plan, expired deadline, tripped limits, ...).
+///
+/// A kError frame from the daemon (it could not trust our stream) and any
+/// envelope corruption on the way back surface as kDataLoss /
+/// kInvalidArgument; the connection is then unusable and should be
+/// reconnected. Instances are movable, not copyable, and not thread-safe:
+/// use one client per thread (the daemon is built for many connections).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+#include "table/table.h"
+
+namespace featlib {
+namespace serve {
+
+class ServeClient {
+ public:
+  static Result<ServeClient> ConnectUnix(const std::string& socket_path);
+  static Result<ServeClient> ConnectTcp(const std::string& host, int port);
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  /// Transforms `batch` against the daemon's plan `plan_name`.
+  /// `deadline_us` > 0 asks the daemon to fail the request (typed
+  /// kDeadlineExceeded) if it cannot finish within that many microseconds
+  /// of receipt; 0 = no deadline.
+  Result<Table> Transform(const std::string& plan_name, const Table& batch,
+                          uint64_t deadline_us = 0);
+
+  /// Round-trips a small payload through the daemon.
+  Status Ping();
+
+  /// Plans the daemon serves, with residency and warm-byte estimates.
+  Result<std::vector<PlanInfo>> ListPlans();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  /// Sends one frame and reads one frame back, expecting `expect` (a
+  /// kError frame decodes into its carried message instead).
+  Result<Frame> RoundTrip(MessageType type, const std::string& payload,
+                          MessageType expect);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace serve
+}  // namespace featlib

@@ -1,0 +1,228 @@
+/// \file serve_batcher_test.cc
+/// \brief Pins the coalescing batcher: concurrent same-plan requests merge
+/// into one fan-out whose per-slot results are byte-identical to direct
+/// Transform calls, per-slot failures stay isolated, queue-expired
+/// deadlines fail typed without poisoning siblings, and Shutdown delivers
+/// every admitted callback before returning.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+#include "serve_test_util.h"
+
+namespace featlib {
+namespace serve {
+namespace {
+
+using serve_test::MakeBatch;
+using serve_test::MakeHandle;
+
+/// Collects callback results and lets the test block until N arrived.
+struct Collector {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Status> statuses;
+  std::vector<Table> tables;
+
+  Batcher::Callback Slot(size_t i) {
+    return [this, i](Status status, Table table) {
+      std::lock_guard<std::mutex> lock(mu);
+      statuses[i] = std::move(status);
+      tables[i] = std::move(table);
+      cv.notify_all();
+    };
+  }
+
+  void Resize(size_t n) {
+    statuses.assign(n, Status::Internal("callback never ran"));
+    tables.assign(n, Table());
+  }
+
+  void AwaitAll() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] {
+      for (const Status& s : statuses) {
+        if (s.message() == "callback never ran") return false;
+      }
+      return true;
+    });
+  }
+};
+
+Batcher::Request MakeRequest(std::shared_ptr<const FittedAugmenter> handle,
+                             Table batch, Batcher::Callback done) {
+  Batcher::Request request;
+  request.handle = std::move(handle);
+  request.batch = std::move(batch);
+  request.done = std::move(done);
+  return request;
+}
+
+TEST(ServeBatcherTest, CoalescesIntoOneByteIdenticalFanOut) {
+  auto handle = MakeHandle();
+  ASSERT_NE(handle, nullptr);
+
+  const std::vector<Table> batches = {MakeBatch(20, 1), MakeBatch(15, 2),
+                                      MakeBatch(25, 3), MakeBatch(10, 4)};
+  std::vector<std::string> reference;
+  for (const Table& batch : batches) {
+    auto direct = handle->Transform(batch);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    reference.push_back(EncodeTable(direct.value()));
+  }
+
+  // A wide-open window guarantees all four requests land in one group.
+  BatcherOptions options;
+  options.max_batch_size = 16;
+  options.max_delay_us = 200 * 1000;
+  options.num_workers = 2;
+  Batcher batcher(options);
+
+  Collector collector;
+  collector.Resize(batches.size());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    ASSERT_TRUE(
+        batcher.Submit("plan", MakeRequest(handle, batches[i],
+                                           collector.Slot(i)))
+            .ok());
+  }
+  collector.AwaitAll();
+
+  EXPECT_EQ(batcher.num_requests(), batches.size());
+  EXPECT_EQ(batcher.num_flushes(), 1u);
+  EXPECT_EQ(batcher.num_coalesced_flushes(), 1u);
+  EXPECT_EQ(batcher.max_flush_size(), batches.size());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    ASSERT_TRUE(collector.statuses[i].ok())
+        << i << ": " << collector.statuses[i].ToString();
+    EXPECT_EQ(EncodeTable(collector.tables[i]), reference[i])
+        << "slot " << i << " not byte-identical";
+  }
+  batcher.Shutdown();
+}
+
+TEST(ServeBatcherTest, FullGroupFlushesWithoutWaitingForTheWindow) {
+  auto handle = MakeHandle();
+  BatcherOptions options;
+  options.max_batch_size = 2;
+  options.max_delay_us = 60 * 1000 * 1000;  // would stall a minute if waited
+  Batcher batcher(options);
+
+  Collector collector;
+  collector.Resize(2);
+  ASSERT_TRUE(batcher
+                  .Submit("plan", MakeRequest(handle, MakeBatch(5, 1),
+                                              collector.Slot(0)))
+                  .ok());
+  ASSERT_TRUE(batcher
+                  .Submit("plan", MakeRequest(handle, MakeBatch(5, 2),
+                                              collector.Slot(1)))
+                  .ok());
+  collector.AwaitAll();
+  EXPECT_TRUE(collector.statuses[0].ok());
+  EXPECT_TRUE(collector.statuses[1].ok());
+  EXPECT_EQ(batcher.max_flush_size(), 2u);
+  batcher.Shutdown();
+}
+
+TEST(ServeBatcherTest, PerSlotFailureIsIsolated) {
+  auto handle = MakeHandle();
+  Table bad;  // missing the join-key columns -> that slot fails
+  Column c(DataType::kInt64);
+  c.AppendInt(1);
+  ASSERT_TRUE(bad.AddColumn("unrelated", std::move(c)).ok());
+
+  const Table good = MakeBatch(12, 9);
+  auto direct = handle->Transform(good);
+  ASSERT_TRUE(direct.ok());
+
+  BatcherOptions options;
+  options.max_delay_us = 100 * 1000;
+  Batcher batcher(options);
+  Collector collector;
+  collector.Resize(3);
+  ASSERT_TRUE(batcher
+                  .Submit("plan",
+                          MakeRequest(handle, good, collector.Slot(0)))
+                  .ok());
+  ASSERT_TRUE(
+      batcher.Submit("plan", MakeRequest(handle, bad, collector.Slot(1)))
+          .ok());
+  ASSERT_TRUE(batcher
+                  .Submit("plan",
+                          MakeRequest(handle, good, collector.Slot(2)))
+                  .ok());
+  collector.AwaitAll();
+
+  EXPECT_TRUE(collector.statuses[0].ok());
+  EXPECT_FALSE(collector.statuses[1].ok());
+  EXPECT_TRUE(collector.statuses[2].ok());
+  EXPECT_EQ(EncodeTable(collector.tables[0]), EncodeTable(direct.value()));
+  EXPECT_EQ(EncodeTable(collector.tables[2]), EncodeTable(direct.value()));
+  batcher.Shutdown();
+}
+
+TEST(ServeBatcherTest, QueueExpiredDeadlineFailsTypedWithoutPoisoningSiblings) {
+  auto handle = MakeHandle();
+  BatcherOptions options;
+  options.max_delay_us = 30 * 1000;
+  Batcher batcher(options);
+
+  Collector collector;
+  collector.Resize(2);
+  // Already expired on arrival: must fail kDeadlineExceeded before any
+  // work, and must not take the sibling (which has no deadline) with it.
+  Batcher::Request expired =
+      MakeRequest(handle, MakeBatch(8, 5), collector.Slot(0));
+  expired.deadline = Batcher::Clock::now() - std::chrono::milliseconds(5);
+  ASSERT_TRUE(batcher.Submit("plan", std::move(expired)).ok());
+  ASSERT_TRUE(batcher
+                  .Submit("plan", MakeRequest(handle, MakeBatch(8, 6),
+                                              collector.Slot(1)))
+                  .ok());
+  collector.AwaitAll();
+
+  EXPECT_EQ(collector.statuses[0].code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(collector.statuses[1].ok())
+      << collector.statuses[1].ToString();
+  batcher.Shutdown();
+}
+
+TEST(ServeBatcherTest, ShutdownDrainsAdmittedRequestsThenRefuses) {
+  auto handle = MakeHandle();
+  BatcherOptions options;
+  options.max_delay_us = 60 * 1000 * 1000;  // window far in the future
+  Batcher batcher(options);
+
+  Collector collector;
+  collector.Resize(3);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(batcher
+                    .Submit("plan", MakeRequest(handle, MakeBatch(6, i + 1),
+                                                collector.Slot(i)))
+                    .ok());
+  }
+  // Shutdown must flush the pending group despite its distant window and
+  // deliver all three callbacks before returning.
+  batcher.Shutdown();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(collector.statuses[i].ok())
+        << i << ": " << collector.statuses[i].ToString();
+  }
+
+  Status refused = batcher.Submit(
+      "plan", MakeRequest(handle, MakeBatch(2, 9), collector.Slot(0)));
+  EXPECT_EQ(refused.code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace featlib
