@@ -11,7 +11,7 @@
 ///               [--task=binary|multiclass|regression] [--model=LR|XGB|RF|DeepFM]
 ///               [--features=20] [--templates=4] [--seed=42]
 ///               [--agg-attrs=a,b] [--where-attrs=p,q] [--base-features=x,y]
-///               [--checkpoint-dir=DIR] [--resume]
+///               [--checkpoint-dir=DIR] [--resume] [--morsel-rows=N]
 ///
 /// --checkpoint-dir makes the fit durable: the search snapshots its state
 /// to DIR/fit.ckpt (atomic, checksummed) at round boundaries. A fit killed
@@ -25,7 +25,7 @@
 ///
 ///   feataug_cli transform --plan=plan.sql --relevant=R.csv
 ///               --in=batch.csv[,batch2.csv] --out=augmented.csv
-///               [--deadline-ms=N] [--memory-budget-mb=N]
+///               [--deadline-ms=N] [--memory-budget-mb=N] [--morsel-rows=N]
 ///
 /// Batches go through the same serve::Batcher the daemon uses: one warm
 /// handle, concurrent submissions coalesced into TransformManyIsolated
@@ -47,6 +47,11 @@
 /// In socket mode the deadline travels with each request and is enforced
 /// by the daemon.
 ///
+/// --morsel-rows=N streams artifact builds in N-row morsels (query/morsel.h)
+/// instead of whole-table passes: bounded peak memory, bit-identical
+/// features. 0 forces the single-pass path; unset defers to the
+/// FEATLIB_MORSEL_ROWS env var, then the config default (single-pass).
+///
 /// Column roles default sensibly (InferTemplateIngredients): aggregation
 /// attributes = R's numeric/bool/datetime columns (minus FKs), WHERE
 /// candidates = those plus low-cardinality string columns (minus FKs), base
@@ -62,6 +67,7 @@
 #include <string>
 #include <thread>
 
+#include "common/config.h"
 #include "common/exec_context.h"
 #include "common/str_util.h"
 #include "common/timer.h"
@@ -93,6 +99,7 @@ struct CliArgs {
   std::vector<std::string> base_features;
   std::string checkpoint_dir;
   bool resume = false;
+  long long morsel_rows = -1;  // <0 = keep config / FEATLIB_MORSEL_ROWS
 };
 
 bool Parse(int argc, char** argv, CliArgs* args) {
@@ -117,6 +124,7 @@ bool Parse(int argc, char** argv, CliArgs* args) {
     else if (const char* v = value_of("--where-attrs=")) args->where_attrs = StrSplit(v, ',');
     else if (const char* v = value_of("--base-features=")) args->base_features = StrSplit(v, ',');
     else if (const char* v = value_of("--checkpoint-dir=")) args->checkpoint_dir = v;
+    else if (const char* v = value_of("--morsel-rows=")) args->morsel_rows = std::atoll(v);
     else if (arg == "--resume") args->resume = true;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -219,6 +227,12 @@ int RunCli(const CliArgs& args) {
   }
   options.checkpoint.dir = args.checkpoint_dir;
   options.checkpoint.resume = args.resume;
+  // --morsel-rows beats the FEATLIB_MORSEL_ROWS env / config default; 0
+  // explicitly forces the single-pass in-RAM path.
+  if (args.morsel_rows >= 0) {
+    FeatAugConfig::Global().morsel_rows =
+        static_cast<size_t>(args.morsel_rows);
+  }
 
   std::printf("FeatAug: D=%zu rows, R=%zu rows, %zu agg attrs, %zu WHERE candidates\n",
               problem.training.num_rows(), problem.relevant.num_rows(),
@@ -316,6 +330,7 @@ struct TransformArgs {
   long long memory_budget_mb = 0;  // 0 = unlimited
   std::string socket_path;         // non-empty: forward to a daemon
   std::string plan_name;           // daemon-side plan name (socket mode)
+  long long morsel_rows = -1;      // <0 = keep config / FEATLIB_MORSEL_ROWS
 };
 
 bool ParseTransform(int argc, char** argv, TransformArgs* args) {
@@ -333,6 +348,7 @@ bool ParseTransform(int argc, char** argv, TransformArgs* args) {
     else if (const char* v = value_of("--memory-budget-mb=")) args->memory_budget_mb = std::atoll(v);
     else if (const char* v = value_of("--socket=")) args->socket_path = v;
     else if (const char* v = value_of("--plan-name=")) args->plan_name = v;
+    else if (const char* v = value_of("--morsel-rows=")) args->morsel_rows = std::atoll(v);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -450,6 +466,12 @@ int RunTransformSocket(const TransformArgs& args) {
 
 int RunTransform(const TransformArgs& args) {
   if (!args.socket_path.empty()) return RunTransformSocket(args);
+  // Applies to the plan compile below (the planner resolves the morsel size
+  // when the serving plan is compiled); beats FEATLIB_MORSEL_ROWS.
+  if (args.morsel_rows >= 0) {
+    FeatAugConfig::Global().morsel_rows =
+        static_cast<size_t>(args.morsel_rows);
+  }
   auto relevant = ReadCsv(args.relevant_path);
   if (!relevant.ok()) {
     std::fprintf(stderr, "reading %s: %s\n", args.relevant_path.c_str(),

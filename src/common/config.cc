@@ -50,4 +50,18 @@ KernelBackend FeatAugConfig::ResolvedKernelBackend() const {
   return kernel_backend;
 }
 
+size_t FeatAugConfig::ResolvedMorselRows() const {
+  if (const char* env = std::getenv("FEATLIB_MORSEL_ROWS")) {
+    // Malformed or negative values fall through to the config field rather
+    // than silently changing a deployment's execution mode. 0 is a valid
+    // explicit override (force single-pass).
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return morsel_rows;
+}
+
 }  // namespace featlib

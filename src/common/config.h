@@ -10,6 +10,8 @@
 /// the hardware concurrency. The shared pool is sized exactly once at first
 /// use; later changes only affect pools the caller constructs explicitly.
 
+#include <cstddef>
+
 namespace featlib {
 
 /// Which kernel implementation set the query layer dispatches to (see
@@ -36,6 +38,13 @@ struct FeatAugConfig {
   /// (QueryPlanner::set_kernel_backend) beat both.
   KernelBackend kernel_backend = KernelBackend::kAuto;
 
+  /// Relevant-table rows per morsel for the out-of-core streaming executor
+  /// (see query/morsel.h). 0 = whole table in one pass (the legacy in-RAM
+  /// path, byte-for-byte). Resolution order mirrors the other knobs: the
+  /// FEATLIB_MORSEL_ROWS environment variable, then this field; a
+  /// per-planner override (QueryPlanner::set_morsel_rows) beats both.
+  size_t morsel_rows = 0;
+
   /// The mutable process-wide instance.
   static FeatAugConfig& Global();
 
@@ -47,6 +56,10 @@ struct FeatAugConfig {
   /// through to the config field). May return kAuto — the dispatch layer
   /// maps kAuto to the detected ISA.
   KernelBackend ResolvedKernelBackend() const;
+
+  /// Applies the FEATLIB_MORSEL_ROWS override (malformed values fall through
+  /// to the config field). 0 means single-pass whole-table execution.
+  size_t ResolvedMorselRows() const;
 };
 
 }  // namespace featlib

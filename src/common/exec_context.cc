@@ -7,7 +7,9 @@ namespace featlib {
 Status ExecContext::ChargeMemory(size_t bytes) const {
   const size_t budget = budget_bytes_.load(std::memory_order_relaxed);
   if (budget == 0) {
-    charged_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    const size_t now =
+        charged_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    UpdatePeak(now);
     return Status::OK();
   }
   // CAS loop so concurrent chargers never overshoot the budget and a
@@ -22,6 +24,7 @@ Status ExecContext::ChargeMemory(size_t bytes) const {
     }
     if (charged_bytes_.compare_exchange_weak(current, current + bytes,
                                              std::memory_order_relaxed)) {
+      UpdatePeak(current + bytes);
       return Status::OK();
     }
   }

@@ -106,6 +106,16 @@ class ExecContext {
     return charged_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// High-water mark of charged_bytes() over the context's lifetime. Because
+  /// the morsel executor charges each in-flight morsel's artifacts and
+  /// releases them after its combine, this is the measured peak *planned*
+  /// footprint of a bounded-memory run — the number the morsel bench
+  /// compares against the single-pass peak (where nothing is released, so
+  /// peak == charged).
+  size_t peak_charged_bytes() const {
+    return peak_charged_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// \name Null-tolerant helpers: the idiom for optional contexts.
   /// @{
   static Status CheckFor(const ExecContext* ctx) {
@@ -122,10 +132,19 @@ class ExecContext {
  private:
   static constexpr int64_t kNoDeadline = INT64_MAX;
 
+  /// CAS-max: lifts the peak to `now` unless a racing charger already did.
+  void UpdatePeak(size_t now) const {
+    size_t peak = peak_charged_bytes_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_charged_bytes_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
   std::atomic<bool> cancelled_{false};
   std::atomic<int64_t> deadline_ns_{kNoDeadline};  // steady-clock epoch ns
   std::atomic<size_t> budget_bytes_{0};            // 0 = unlimited
   mutable std::atomic<size_t> charged_bytes_{0};
+  mutable std::atomic<size_t> peak_charged_bytes_{0};
 };
 
 }  // namespace featlib

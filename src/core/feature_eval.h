@@ -149,6 +149,15 @@ class FeatureEvaluator {
   void set_exec_context(const ExecContext* ctx) { ctx_ = ctx; }
   const ExecContext* exec_context() const { return ctx_; }
 
+  /// \name Out-of-core morsel streaming (query/morsel.h), forwarded to the
+  /// shared planner. 0 rows (the default) keeps the in-RAM artifact path;
+  /// non-zero streams every uncached materialization below this point in
+  /// bounded-memory morsels (bit-identical results).
+  /// @{
+  void set_morsel_rows(size_t rows) { planner_.set_morsel_rows(rows); }
+  void set_morsel_prefetch(bool on) { planner_.set_morsel_prefetch(on); }
+  /// @}
+
  private:
   FeatureEvaluator() = default;
 

@@ -45,6 +45,27 @@ bool EncodeKeyFromColumns(const std::vector<const Column*>& cols, size_t row,
   return true;
 }
 
+/// Heap bytes of one key-map entry: the key's character storage (composite
+/// keys are 8 bytes per component, so they always spill std::string's SSO at
+/// 2+ components — count the buffer unconditionally to stay deterministic
+/// across libstdc++ SSO thresholds) plus node + bucket overhead.
+size_t KeyMapEntryBytes(const std::string& key) {
+  return key.size() + sizeof(std::string) + sizeof(uint32_t) +
+         4 * sizeof(void*);
+}
+
+/// Resolves the group-key columns of one (morsel) table, in key order.
+Result<std::vector<const Column*>> ResolveKeyColumns(
+    const Table& table, const std::vector<std::string>& group_keys) {
+  std::vector<const Column*> cols;
+  cols.reserve(group_keys.size());
+  for (const auto& k : group_keys) {
+    FEAT_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(k));
+    cols.push_back(col);
+  }
+  return cols;
+}
+
 }  // namespace
 
 Result<GroupIndex> GroupIndex::Build(const Table& relevant,
@@ -139,6 +160,64 @@ Result<std::vector<uint32_t>> GroupIndex::MapTrainingRows(
     auto it = group_of_key_.find(key);
     if (it != group_of_key_.end()) out[row] = it->second;
   }
+  return out;
+}
+
+size_t GroupIndex::SizeBytes() const {
+  size_t bytes = row_groups_.capacity() * sizeof(uint32_t);
+  for (const auto& [key, id] : group_of_key_) {
+    (void)id;
+    bytes += KeyMapEntryBytes(key);
+  }
+  return bytes;
+}
+
+Result<std::vector<uint32_t>> GroupIndexBuilder::AppendMorsel(
+    const Table& morsel) {
+  FEAT_ASSIGN_OR_RETURN(std::vector<const Column*> key_cols,
+                        ResolveKeyColumns(morsel, group_keys_));
+  const size_t n = morsel.num_rows();
+  std::vector<uint32_t> out(n, GroupIndex::kNoGroup);
+  std::string key;
+  for (size_t row = 0; row < n; ++row) {
+    if (!EncodeKeyFromColumns(key_cols, row, &key)) continue;
+    auto [it, inserted] =
+        group_of_key_.try_emplace(key, static_cast<uint32_t>(num_groups_));
+    if (inserted) ++num_groups_;
+    out[row] = it->second;
+  }
+  return out;
+}
+
+Result<std::vector<uint32_t>> GroupIndexBuilder::MapMorsel(
+    const Table& morsel) const {
+  FEAT_ASSIGN_OR_RETURN(std::vector<const Column*> key_cols,
+                        ResolveKeyColumns(morsel, group_keys_));
+  const size_t n = morsel.num_rows();
+  std::vector<uint32_t> out(n, GroupIndex::kNoGroup);
+  std::string key;
+  for (size_t row = 0; row < n; ++row) {
+    if (!EncodeKeyFromColumns(key_cols, row, &key)) continue;
+    auto it = group_of_key_.find(key);
+    if (it != group_of_key_.end()) out[row] = it->second;
+  }
+  return out;
+}
+
+size_t GroupIndexBuilder::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, id] : group_of_key_) {
+    (void)id;
+    bytes += KeyMapEntryBytes(key);
+  }
+  return bytes;
+}
+
+GroupIndex GroupIndexBuilder::Finish() && {
+  GroupIndex out;
+  out.group_keys_ = std::move(group_keys_);
+  out.group_of_key_ = std::move(group_of_key_);
+  out.num_groups_ = num_groups_;
   return out;
 }
 

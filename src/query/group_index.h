@@ -52,15 +52,71 @@ class GroupIndex {
   /// Maps each training row to its group id via the relevant table's
   /// canonical encoding (string key cells are translated through the
   /// relevant table's dictionary). kNoGroup where the row cannot join.
+  /// Needs only the key map — works on key-map-only indexes from
+  /// GroupIndexBuilder::Finish just as on fully built ones.
   Result<std::vector<uint32_t>> MapTrainingRows(const Table& training,
                                                 const Table& relevant) const;
 
+  /// Actual heap footprint (row-group array + key-map nodes), the number
+  /// charged against an ExecContext memory budget. Deterministic for a given
+  /// build (walks the key map; O(num_groups)).
+  size_t SizeBytes() const;
+
  private:
+  friend class GroupIndexBuilder;
+
   GroupIndex() = default;
 
   std::vector<std::string> group_keys_;
   std::vector<uint32_t> row_groups_;
   /// Canonical key bytes -> dense group id (kept for training-row mapping).
+  std::unordered_map<std::string, uint32_t> group_of_key_;
+  size_t num_groups_ = 0;
+};
+
+/// \brief Incremental GroupIndex construction over row-range morsels of the
+/// relevant table (see query/morsel.h).
+///
+/// AppendMorsel calls must cover the relevant table's morsels in ascending
+/// row order; dense group ids are then assigned in exactly the first-seen
+/// order GroupIndex::Build would produce over the whole table, which is what
+/// keeps morsel-streamed per-group results byte-identical to the single-pass
+/// path. Each call returns the morsel-local row→group mapping (the morsel's
+/// slice of row_groups()) instead of retaining it, so the builder's memory
+/// is bounded by the number of *groups*, never the number of rows.
+///
+/// Thread-safety: AppendMorsel mutates the key map and must be externally
+/// serialized (the morsel pipeline runs builds one at a time); MapMorsel is
+/// const and lookup-only, for re-streaming sweeps over a finished key space.
+class GroupIndexBuilder {
+ public:
+  explicit GroupIndexBuilder(std::vector<std::string> group_keys)
+      : group_keys_(std::move(group_keys)) {}
+
+  /// Assigns (first-seen) group ids to one morsel's rows. `morsel` holds the
+  /// morsel-local slice of the key columns; returned ids are indexed by
+  /// morsel-local row.
+  Result<std::vector<uint32_t>> AppendMorsel(const Table& morsel);
+
+  /// Lookup-only mapping of one morsel's rows onto the already-built group
+  /// space (second sweep of two-pass aggregates). Unknown keys map to
+  /// GroupIndex::kNoGroup — with the same morsel sequence as the append
+  /// sweep they cannot occur.
+  Result<std::vector<uint32_t>> MapMorsel(const Table& morsel) const;
+
+  size_t num_groups() const { return num_groups_; }
+
+  /// Key-map heap bytes so far (same accounting as GroupIndex::SizeBytes).
+  size_t SizeBytes() const;
+
+  /// Moves the accumulated key map into a key-map-only GroupIndex:
+  /// row_groups() is empty (per-row ids were streamed out by AppendMorsel),
+  /// but MapTrainingRows and num_groups() work exactly as on a built index.
+  /// The builder is consumed.
+  GroupIndex Finish() &&;
+
+ private:
+  std::vector<std::string> group_keys_;
   std::unordered_map<std::string, uint32_t> group_of_key_;
   size_t num_groups_ = 0;
 };

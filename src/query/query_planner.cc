@@ -761,6 +761,38 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
   build_retries_total_ += plan_stats_.build_retries;
   FEAT_RETURN_NOT_OK(stage_error);
 
+  // ---- True-up: replace the conservative up-front estimates of the
+  // hash-map-backed group indexes and the packed bitsets with the published
+  // artifacts' actual SizeBytes() — charge the shortfall (group key maps are
+  // invisible to the row-count estimate), release the surplus (packed masks
+  // are 8x smaller than the byte-per-row guess). Views, training-row maps
+  // and materializations are flat arrays already estimated exactly. ----
+  if (ctx != nullptr) {
+    const size_t n_rows = relevant.num_rows();
+    size_t estimated = 0;
+    size_t actual = 0;
+    for (size_t gi : a_groups) {
+      if (groups[gi].artifact == nullptr) continue;  // isolated build failure
+      estimated += n_rows * sizeof(uint32_t);
+      actual += groups[gi].artifact->index.SizeBytes();
+    }
+    for (size_t mi : a_masks) {
+      if (masks[mi].bits == nullptr) continue;
+      estimated += n_rows / 8 + 16;
+      actual += masks[mi].bits->SizeBytes();
+    }
+    for (size_t ci : b_combos) {
+      if (combos[ci].bits == nullptr) continue;
+      estimated += n_rows / 8 + 16;
+      actual += combos[ci].bits->SizeBytes();
+    }
+    if (actual > estimated) {
+      FEAT_RETURN_NOT_OK(ctx->ChargeMemory(actual - estimated));
+    } else {
+      ctx->ReleaseMemory(estimated - actual);
+    }
+  }
+
   // ---- Resolve: every surviving candidate's kernel inputs are now
   // store-owned pointers, pinned for this epoch. In isolated mode a
   // candidate whose dependency chain has a failure takes that Status into
@@ -830,8 +862,14 @@ Result<std::vector<PlannedCandidate>> QueryPlanner::Prepare(
 Result<std::vector<double>> QueryPlanner::ComputeFeatureColumn(
     const AggQuery& q, const Table& training, const Table& relevant,
     const ExecContext* ctx) {
-  store_.BeginEpoch();
   const std::vector<AggQuery> one(1, q);
+  if (ResolvedMorselRows() != 0) {
+    FEAT_ASSIGN_OR_RETURN(
+        std::vector<std::vector<double>> out,
+        EvaluateManyMorsel(one, training, relevant, ctx, nullptr));
+    return std::move(out[0]);
+  }
+  store_.BeginEpoch();
   FEAT_ASSIGN_OR_RETURN(std::vector<PlannedCandidate> planned,
                         Prepare(one, &training, relevant,
                                 /*for_grouped_result=*/false, ctx));
@@ -839,9 +877,98 @@ Result<std::vector<double>> QueryPlanner::ComputeFeatureColumn(
   return ops_->compute_feature(planned[0]);
 }
 
+size_t QueryPlanner::ResolvedMorselRows() const {
+  return morsel_rows_ != 0 ? morsel_rows_
+                           : FeatAugConfig::Global().ResolvedMorselRows();
+}
+
+Result<std::vector<std::vector<double>>> QueryPlanner::EvaluateManyMorsel(
+    const std::vector<AggQuery>& queries, const Table& training,
+    const Table& relevant, const ExecContext* ctx,
+    std::vector<Status>* slot_errors) {
+  WallTimer timer;
+  FEAT_RETURN_NOT_OK(ExecContext::ChargeFor(
+      ctx, queries.size() * training.num_rows() * sizeof(double)));
+  ops_ = &ResolveKernelOps(kernel_backend_);
+  MorselOptions options;
+  options.morsel_rows = ResolvedMorselRows();
+  options.prefetch = morsel_prefetch_;
+  options.pool = pool_;
+  options.ops = ops_;
+  options.ctx = ctx;
+  FEAT_ASSIGN_OR_RETURN(
+      MorselResult streamed,
+      ExecuteMorsels(queries, relevant, options, slot_errors));
+  morsel_stats_ = streamed.stats;
+  plan_stats_ = PlanStats{};
+  plan_stats_.candidates = queries.size();
+  plan_stats_.morsels = streamed.stats.morsels;
+  prepare_seconds_ = timer.Seconds();
+
+  // The batch-dependent step, same as serving: one training-row map per
+  // distinct group index, into call-local storage. A failed map fails every
+  // candidate on that index (isolated) or the batch (fail-fast) — exactly
+  // the in-RAM train-map contract.
+  timer.Restart();
+  std::vector<std::vector<uint32_t>> train_maps(streamed.group_indexes.size());
+  std::vector<Status> map_errors(streamed.group_indexes.size());
+  for (size_t gi = 0; gi < streamed.group_indexes.size(); ++gi) {
+    FEAT_RETURN_NOT_OK(ExecContext::CheckFor(ctx));
+    Status st = FaultPoint("prepare.train_map");
+    if (st.ok()) {
+      auto mapped =
+          streamed.group_indexes[gi]->MapTrainingRows(training, relevant);
+      if (mapped.ok()) {
+        train_maps[gi] = std::move(mapped).value();
+      } else {
+        st = mapped.status();
+      }
+    }
+    if (!st.ok()) {
+      if (slot_errors == nullptr) return st;
+      map_errors[gi] = std::move(st);
+    }
+  }
+
+  // Scatter fan-out: disjoint output slots, deterministic at every thread
+  // count (the per-group values are already frozen).
+  std::vector<std::vector<double>> out(queries.size());
+  std::vector<Status> kernel_errors(queries.size());
+  auto run_one = [&](size_t i) {
+    const size_t gi = streamed.candidate_group[i];
+    if (gi == MorselResult::kNoGroupSpec) return;  // isolated slot failure
+    if (!map_errors[gi].ok()) {
+      kernel_errors[i] = map_errors[gi];
+      return;
+    }
+    kernel_errors[i] = FaultPoint("exec.kernel");
+    if (!kernel_errors[i].ok()) return;
+    out[i] = ScatterPerGroup(streamed.per_group[i], train_maps[gi]);
+  };
+  if (pool_ != nullptr) {
+    FEAT_RETURN_NOT_OK(pool_->ParallelFor(queries.size(), run_one, 0, ctx));
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      FEAT_RETURN_NOT_OK(ExecContext::CheckFor(ctx));
+      run_one(i);
+    }
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (kernel_errors[i].ok()) continue;
+    if (slot_errors == nullptr) return std::move(kernel_errors[i]);
+    (*slot_errors)[i] = std::move(kernel_errors[i]);
+  }
+  aggregate_seconds_ = timer.Seconds();
+  return out;
+}
+
 Result<std::vector<std::vector<double>>> QueryPlanner::EvaluateMany(
     const std::vector<AggQuery>& queries, const Table& training,
     const Table& relevant, const ExecContext* ctx) {
+  if (ResolvedMorselRows() != 0) {
+    return EvaluateManyMorsel(queries, training, relevant, ctx, nullptr);
+  }
+  morsel_stats_ = MorselExecStats{};
   store_.BeginEpoch();
   WallTimer timer;
   FEAT_RETURN_NOT_OK(ExecContext::ChargeFor(
@@ -878,6 +1005,19 @@ QueryPlanner::EvaluateManyIsolated(const std::vector<AggQuery>& queries,
                                    const Table& training,
                                    const Table& relevant,
                                    const ExecContext* ctx) {
+  if (ResolvedMorselRows() != 0) {
+    std::vector<Status> morsel_slot_errors(queries.size());
+    FEAT_ASSIGN_OR_RETURN(std::vector<std::vector<double>> values,
+                          EvaluateManyMorsel(queries, training, relevant, ctx,
+                                             &morsel_slot_errors));
+    std::vector<CandidateResult> out(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out[i].status = std::move(morsel_slot_errors[i]);
+      if (out[i].status.ok()) out[i].values = std::move(values[i]);
+    }
+    return out;
+  }
+  morsel_stats_ = MorselExecStats{};
   store_.BeginEpoch();
   WallTimer timer;
   FEAT_RETURN_NOT_OK(ExecContext::ChargeFor(
@@ -920,10 +1060,40 @@ QueryPlanner::EvaluateManyIsolated(const std::vector<AggQuery>& queries,
 Result<ServingPlan> QueryPlanner::CompileServingPlan(
     const std::vector<AggQuery>& queries, const Table& relevant,
     const ExecContext* ctx) {
-  store_.BeginEpoch();
   ServingPlan plan;
   plan.relevant = &relevant;
   plan.kernel_backend = kernel_backend_;
+  if (ResolvedMorselRows() != 0) {
+    // Morsel mode freezes the per-group values at compile time: the relevant
+    // table is streamed once under the memory bound, and serving keeps only
+    // the per-group features plus the key-map-only indexes (owned by the
+    // plan — never published into the store, whose consumers expect per-row
+    // ids). Execution degenerates to per-batch map + scatter.
+    ops_ = &ResolveKernelOps(kernel_backend_);
+    MorselOptions options;
+    options.morsel_rows = ResolvedMorselRows();
+    options.prefetch = morsel_prefetch_;
+    options.pool = pool_;
+    options.ops = ops_;
+    options.ctx = ctx;
+    FEAT_ASSIGN_OR_RETURN(MorselResult streamed,
+                          ExecuteMorsels(queries, relevant, options));
+    morsel_stats_ = streamed.stats;
+    plan_stats_ = PlanStats{};
+    plan_stats_.candidates = queries.size();
+    plan_stats_.morsels = streamed.stats.morsels;
+    plan.morsel_streamed = true;
+    plan.per_group_features = std::move(streamed.per_group);
+    plan.owned_indexes = std::move(streamed.group_indexes);
+    plan.candidate_group = std::move(streamed.candidate_group);
+    plan.group_indexes.reserve(plan.owned_indexes.size());
+    for (const auto& index : plan.owned_indexes) {
+      plan.group_indexes.push_back(index.get());
+    }
+    return plan;
+  }
+  morsel_stats_ = MorselExecStats{};
+  store_.BeginEpoch();
   FEAT_ASSIGN_OR_RETURN(plan.candidates,
                         Prepare(queries, /*training=*/nullptr, relevant,
                                 /*for_grouped_result=*/false, ctx));
@@ -942,6 +1112,41 @@ Result<std::vector<std::vector<double>>> ExecuteServingPlan(
     const ExecContext* ctx) {
   if (plan.relevant == nullptr) {
     return Status::InvalidArgument("serving plan was never compiled");
+  }
+  if (plan.morsel_streamed) {
+    // Per-group values were frozen at compile time; execution is the map +
+    // scatter tail only. Still const over the plan — concurrent calls share
+    // the frozen vectors read-only.
+    FEAT_RETURN_NOT_OK(ExecContext::ChargeFor(
+        ctx,
+        plan.per_group_features.size() * batch.num_rows() * sizeof(double)));
+    std::vector<std::vector<uint32_t>> train_maps;
+    train_maps.reserve(plan.group_indexes.size());
+    for (const GroupIndex* index : plan.group_indexes) {
+      FEAT_RETURN_NOT_OK(ExecContext::CheckFor(ctx));
+      FEAT_RETURN_NOT_OK(FaultPoint("prepare.train_map"));
+      FEAT_ASSIGN_OR_RETURN(std::vector<uint32_t> map,
+                            index->MapTrainingRows(batch, *plan.relevant));
+      train_maps.push_back(std::move(map));
+    }
+    std::vector<std::vector<double>> out(plan.per_group_features.size());
+    std::vector<Status> scatter_errors(out.size());
+    auto scatter_one = [&](size_t i) {
+      scatter_errors[i] = FaultPoint("exec.kernel");
+      if (!scatter_errors[i].ok()) return;
+      out[i] = ScatterPerGroup(plan.per_group_features[i],
+                               train_maps[plan.candidate_group[i]]);
+    };
+    if (pool != nullptr) {
+      FEAT_RETURN_NOT_OK(pool->ParallelFor(out.size(), scatter_one, 0, ctx));
+    } else {
+      for (size_t i = 0; i < out.size(); ++i) {
+        FEAT_RETURN_NOT_OK(ExecContext::CheckFor(ctx));
+        scatter_one(i);
+      }
+    }
+    for (const Status& s : scatter_errors) FEAT_RETURN_NOT_OK(s);
+    return out;
   }
   FEAT_RETURN_NOT_OK(ExecContext::ChargeFor(
       ctx, plan.candidates.size() * batch.num_rows() * sizeof(double)));

@@ -56,6 +56,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +67,7 @@
 #include "query/agg_query.h"
 #include "query/artifact_store.h"
 #include "query/kernels.h"
+#include "query/morsel.h"
 #include "table/table.h"
 
 namespace featlib {
@@ -104,6 +106,22 @@ struct ServingPlan {
   /// defers to FEATLIB_KERNEL_BACKEND / FeatAugConfig at *execution* time,
   /// so a serving process can steer the backend without recompiling plans.
   KernelBackend kernel_backend = KernelBackend::kAuto;
+
+  /// \name Morsel-streamed plans (see query/morsel.h).
+  ///
+  /// When the compiling planner resolved a non-zero morsel size, the
+  /// per-group aggregate values were computed at compile time by the
+  /// bounded-memory morsel pipeline and frozen here; executing the plan only
+  /// maps each batch onto them (a per-group lookup — the same final step the
+  /// kernels perform). `candidates` is then empty, `group_indexes` points
+  /// into `owned_indexes` (key-map-only indexes, deliberately never
+  /// published into the planner's store), and per_group_features[i] pairs
+  /// with candidate_group[i] exactly as candidates[i] otherwise would.
+  /// @{
+  bool morsel_streamed = false;
+  std::vector<std::vector<double>> per_group_features;
+  std::vector<std::shared_ptr<const GroupIndex>> owned_indexes;
+  /// @}
 };
 
 /// Executes a frozen serving plan against one batch: builds the batch's
@@ -133,6 +151,25 @@ class QueryPlanner {
   /// and a test hook, never a semantics switch.
   void set_kernel_backend(KernelBackend backend) { kernel_backend_ = backend; }
   KernelBackend kernel_backend() const { return kernel_backend_; }
+
+  /// Rows per morsel for out-of-core evaluation. 0 (the default) defers to
+  /// FEATLIB_MORSEL_ROWS / FeatAugConfig::Global().morsel_rows; when the
+  /// resolved value is non-zero, EvaluateMany / EvaluateManyIsolated /
+  /// ComputeFeatureColumn / CompileServingPlan run the bounded-memory morsel
+  /// pipeline (query/morsel.h) instead of whole-table artifact preparation.
+  /// Purely a memory/performance knob: results are byte-identical to the
+  /// in-RAM path at every morsel size and thread count.
+  void set_morsel_rows(size_t rows) { morsel_rows_ = rows; }
+  size_t morsel_rows() const { return morsel_rows_; }
+
+  /// Build/combine overlap of the morsel pipeline (on by default). Identical
+  /// bytes either way — the toggle only changes wall-clock overlap.
+  void set_morsel_prefetch(bool on) { morsel_prefetch_ = on; }
+  bool morsel_prefetch() const { return morsel_prefetch_; }
+
+  /// Stats of the last morsel-mode evaluation on this planner (zeroed when
+  /// the last evaluation took the in-RAM path).
+  const MorselExecStats& last_morsel_stats() const { return morsel_stats_; }
 
   /// Bounded retry for transiently-failing artifact builds: a build whose
   /// failure is retryable (kInternal / kIOError — the transient classes; a
@@ -269,6 +306,9 @@ class QueryPlanner {
     /// had no set bits (the fused conjunction popcount — or a cached mask's
     /// count — proved the bucket empty before any build ran).
     size_t empty_selections = 0;
+    /// Morsels processed when the batch ran the out-of-core pipeline (0 on
+    /// the in-RAM path; see last_morsel_stats() for the full breakdown).
+    size_t morsels = 0;
   };
   const PlanStats& last_plan_stats() const { return plan_stats_; }
 
@@ -324,6 +364,18 @@ class QueryPlanner {
   Result<const CompiledShape*> ResolveShape(const AggQuery& q,
                                             const Table& relevant);
 
+  /// The morsel size this planner actually runs with: the per-planner
+  /// override when non-zero, else the config/env resolution. 0 = in-RAM.
+  size_t ResolvedMorselRows() const;
+
+  /// The morsel-mode twin of Prepare + fan-out: streams the relevant table
+  /// through ExecuteMorsels, then scatters per-group values through
+  /// batch-local training-row maps. Same slot_errors contract as Prepare.
+  Result<std::vector<std::vector<double>>> EvaluateManyMorsel(
+      const std::vector<AggQuery>& queries, const Table& training,
+      const Table& relevant, const ExecContext* ctx,
+      std::vector<Status>* slot_errors);
+
   /// Compiles `queries` into the artifact DAG, executes the missing builds
   /// stage-parallel on the pool, publishes them, and resolves one
   /// PlannedCandidate per query. `training` may be null only when
@@ -350,6 +402,9 @@ class QueryPlanner {
   /// KernelOps table, so fan-out threads read it freely.
   const KernelOps* ops_ = nullptr;
   KernelBackend kernel_backend_ = KernelBackend::kAuto;
+  size_t morsel_rows_ = 0;
+  bool morsel_prefetch_ = true;
+  MorselExecStats morsel_stats_;
   RetryPolicy retry_;
   PlanStats plan_stats_;
   std::unordered_map<std::string, CompiledShape> compile_cache_;
